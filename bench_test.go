@@ -1,0 +1,544 @@
+// Package benchmarks contains the per-experiment benchmarks of
+// DESIGN.md's experiment index. Each benchmark regenerates the shape of
+// one of the paper's comparative claims; cmd/benchharness prints the
+// corresponding tables. Absolute numbers differ from the 1996 testbed,
+// but who wins — and by roughly what factor — should hold.
+package benchmarks
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"oasis/internal/baseline"
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/composite"
+	"oasis/internal/credrec"
+	"oasis/internal/event"
+	"oasis/internal/ids"
+	"oasis/internal/mssa"
+	"oasis/internal/oasis"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// ---- E2: certificate validation and the signature-length trade-off ----
+
+func benchRMC(sig cert.Signer) *cert.RMC {
+	c := &cert.RMC{
+		Service:  "Conf",
+		Rolefile: "main",
+		Roles:    cert.RoleSet(1),
+		Args:     []value.Value{value.Object("Login.userid", "dm")},
+		Client:   ids.ClientID{Host: "ely", ID: 1, BootTime: time.Unix(0, 0)},
+		CRR:      credrec.Ref{Index: 1, Magic: 1},
+	}
+	c.Sign(sig)
+	return c
+}
+
+func BenchmarkRMCVerifyShortSig(b *testing.B) {
+	s := cert.NewHMACSigner([]byte("secret"), 4)
+	c := benchRMC(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.Verify(s) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkRMCVerifyLongSig(b *testing.B) {
+	s := cert.NewHMACSigner([]byte("secret"), 32)
+	c := benchRMC(s)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.Verify(s) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkRMCVerifyRolling(b *testing.B) {
+	// §5.5.1: the rolling table verifies against up to `keep` secrets.
+	s := cert.NewRollingSigner([]byte("gen0"), 16, 4)
+	c := benchRMC(s)
+	s.Roll([]byte("gen1"))
+	s.Roll([]byte("gen2"))
+	s.Roll([]byte("gen3")) // cert now verifies against the oldest secret
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.Verify(s) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+// ---- E3: capability chaining vs credential records ----
+
+func BenchmarkChainedCapabilityValidate(b *testing.B) {
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s := baseline.NewChainService([]byte("k"))
+			c := s.Issue("rw")
+			for i := 1; i < depth; i++ {
+				c = s.Delegate(c, "rw")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Validate(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCredRecValidate(b *testing.B) {
+	// The OASIS check is one record lookup regardless of how deep the
+	// delegation graph is (§4.6).
+	for _, depth := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			st := credrec.NewStore()
+			ref := st.NewFact(credrec.True)
+			for i := 1; i < depth; i++ {
+				ref = st.NewDerived(credrec.OpAnd, credrec.Of(ref))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !st.Valid(ref) {
+					b.Fatal("invalid")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRevokeCascade(b *testing.B) {
+	// Revocation cost grows with the number of dependants actually
+	// severed (selective revocation, figure 4.5).
+	for _, width := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("dependants=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := credrec.NewStore()
+				root := st.NewFact(credrec.True)
+				for j := 0; j < width; j++ {
+					st.NewDerived(credrec.OpAnd, credrec.Of(root))
+				}
+				b.StartTimer()
+				if err := st.Invalidate(root); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E1/E4: role entry ----
+
+type benchWorld struct {
+	clk   *clock.Virtual
+	net   *bus.Network
+	login *oasis.Service
+	conf  *oasis.Service
+	host  *ids.HostAuthority
+}
+
+func newBenchWorld(b *testing.B) *benchWorld {
+	b.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		b.Fatal(err)
+	}
+	conf, err := oasis.New("Conf", clk, net, oasis.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* : (u in staff)*
+`); err != nil {
+		b.Fatal(err)
+	}
+	conf.Groups().AddMember("dm", "staff")
+	return &benchWorld{clk: clk, net: net, login: login, conf: conf,
+		host: ids.NewHostAuthority("ely", clk.Now())}
+}
+
+func (w *benchWorld) logOn(b *testing.B, user string) (ids.ClientID, *cert.RMC) {
+	b.Helper()
+	c := w.host.NewDomain()
+	rmc, err := w.login.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", user),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, rmc
+}
+
+func BenchmarkRoleEntryLocalService(b *testing.B) {
+	w := newBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := w.host.NewDomain()
+		if _, err := w.login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{
+				value.Object("Login.userid", "dm"),
+				value.Object("Login.host", "ely"),
+			},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoleEntryWithForeignCredential(b *testing.B) {
+	// Entry into Member: foreign validation callback, group record,
+	// conjunction record, signing (figure 4.6 end to end).
+	w := newBenchWorld(b)
+	c, login := w.logOn(b, "dm")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.conf.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "Member",
+			Creds: []*cert.RMC{login},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateRMC(b *testing.B) {
+	// The per-request hot path: signature + one credential record.
+	w := newBenchWorld(b)
+	c, login := w.logOn(b, "dm")
+	member, err := w.conf.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.conf.Validate(member, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E6: background traffic, event-driven vs refresh ----
+
+func BenchmarkBackgroundTrafficRefresh(b *testing.B) {
+	// Lease-based validity: one refresh per credential per period even
+	// when nothing changes.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	svc := baseline.NewLeaseService(clk, 10*time.Second)
+	const creds = 100
+	leases := make([]*baseline.Lease, creds)
+	for i := range leases {
+		leases[i] = svc.Issue()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(8 * time.Second)
+		for _, l := range leases {
+			if err := svc.Refresh(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(svc.Refreshes)/float64(b.N), "msgs/period")
+}
+
+func BenchmarkBackgroundTrafficOasis(b *testing.B) {
+	// Event-driven validity: with no revocations the steady state costs
+	// only the heartbeat, independent of credential count (§4.14).
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	broker := event.NewBroker("Login", clk, event.BrokerOptions{})
+	n := 0
+	sink := event.SinkFunc(func(event.Notification) { n++ })
+	sess, err := broker.OpenSession(sink, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := broker.Register(sess, event.NewTemplate("Oasis.Modified",
+			event.Lit(value.Str(fmt.Sprintf("%x", i))), event.Wildcard(), event.Wildcard())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(8 * time.Second)
+		broker.Heartbeat()
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "msgs/period")
+}
+
+// ---- E9: ACL evaluation ----
+
+func BenchmarkACLEvaluate(b *testing.B) {
+	acl := mssa.MustParseACL("rjh21=rwx group:staff=rx -group:students=w *=r")
+	groups := func(u, g string) bool { return g == "staff" && u == "ann" }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := acl.Evaluate("ann", groups); got.Members() == "" {
+			b.Fatal("no rights")
+		}
+	}
+}
+
+// ---- E10: VAC access paths ----
+
+type vacBench struct {
+	w       *benchWorld
+	ffc     *mssa.Custode
+	vac     *mssa.VAC
+	client  ids.ClientID
+	useVAC  *cert.RMC
+	vacFile mssa.FileID
+	lower   mssa.FileID
+}
+
+func newVACBench(b *testing.B) *vacBench {
+	b.Helper()
+	w := newBenchWorld(b)
+	ffc, err := mssa.NewCustode("FFC", w.clk, w.net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lowerACL, err := ffc.CreateACL(mssa.MustParseACL("iffc=rwxd"), mssa.FileID{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vacSelf, vacLogin := w.logOn(b, "iffc")
+	lowerCert, err := ffc.EnterUseAcl(vacSelf, vacLogin, lowerACL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vac, err := mssa.NewVAC("IFFC", w.clk, w.net, ffc, vacSelf, lowerCert, lowerACL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vacACL, err := vac.CreateACL(mssa.MustParseACL("alice=rw"), mssa.FileID{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vacFile, err := vac.CreateIndexed([]byte("benchmark data payload"), vacACL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := vac.EnableBypass(vacFile, vacACL); err != nil {
+		b.Fatal(err)
+	}
+	client, clientLogin := w.logOn(b, "alice")
+	useVAC, err := vac.EnterUseAcl(client, clientLogin, vacACL)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lower, _ := vac.Backing(vacFile)
+	return &vacBench{w: w, ffc: ffc, vac: vac, client: client,
+		useVAC: useVAC, vacFile: vacFile, lower: lower}
+}
+
+func BenchmarkVACStacked(b *testing.B) {
+	v := newVACBench(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.vac.Read(v.client, v.vacFile, v.useVAC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVACBypassCached(b *testing.B) {
+	v := newVACBench(b)
+	// Prime the cache: the single callback of figure 5.8b.
+	if _, err := v.ffc.ReadBypassed(v.client, v.lower, v.useVAC); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ffc.ReadBypassed(v.client, v.lower, v.useVAC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E13: broker dispatch ----
+
+func BenchmarkBrokerSignal(b *testing.B) {
+	for _, regs := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("regs=%d", regs), func(b *testing.B) {
+			clk := clock.NewVirtual(time.Unix(0, 0))
+			broker := event.NewBroker("S", clk, event.BrokerOptions{})
+			sink := event.SinkFunc(func(event.Notification) {})
+			sess, err := broker.OpenSession(sink, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < regs; i++ {
+				if _, err := broker.Register(sess, event.NewTemplate("E",
+					event.Lit(value.Int(int64(i))))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ev := event.New("E", value.Int(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				broker.Signal(ev)
+			}
+		})
+	}
+}
+
+func BenchmarkTemplateMatch(b *testing.B) {
+	tmpl := event.NewTemplate("Seen", event.Var("b"), event.Var("r"))
+	ev := event.New("Seen", value.Str("badge12"), value.Str("T14"))
+	env := value.Env{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tmpl.Match(ev, env); !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// ---- E14/E16: composite detection throughput ----
+
+func BenchmarkBeadMachine(b *testing.B) {
+	for _, badges := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("badges=%d", badges), func(b *testing.B) {
+			n := composite.MustParse(`$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, composite.ParseOptions{})
+			m := composite.NewMachine(n, func(composite.Occurrence) {}, composite.MachineOptions{})
+			t0 := time.Unix(0, 0)
+			m.Start(t0, value.Env{})
+			rooms := []string{"T14", "T15", "T16"}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Process(event.Event{
+					Name:   "Seen",
+					Source: "s",
+					Args: []value.Value{
+						value.Str(fmt.Sprintf("b%d", i%badges)),
+						value.Str(rooms[i%len(rooms)]),
+					},
+					Time: t0.Add(time.Duration(i+1) * time.Millisecond),
+				})
+			}
+		})
+	}
+}
+
+// ---- E5: cross-service revocation latency (messages, not wall time) ----
+
+func BenchmarkCrossServiceRevocation(b *testing.B) {
+	w := newBenchWorld(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, login := w.logOn(b, "dm")
+		member, err := w.conf.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "Member",
+			Creds: []*cert.RMC{login},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// Logout at Login; the Modified event revokes at Conf.
+		if err := w.login.Exit(login, c); err != nil {
+			b.Fatal(err)
+		}
+		if w.conf.Validate(member, c) == nil {
+			b.Fatal("membership survived")
+		}
+	}
+}
+
+// ---- RDL front-end costs ----
+
+func BenchmarkRDLParseAndCheck(b *testing.B) {
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+Level(3, u) <- Login.LoggedOn(u, h) : u in secure
+Level(2, u) <- Login.LoggedOn(u, h) : u in hosts
+Level(1, u) <- Login.LoggedOn(u, h)
+`
+	resolver := func(service, rolefile, role string) ([]value.Type, error) {
+		return []value.Type{value.ObjectType("Login.userid"), value.ObjectType("Login.host")}, nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := rdl.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rdl.Check(f, resolver, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRDLConstraintEval(b *testing.B) {
+	f, err := rdl.Parse(`R <- S : (u in staff)* and n < 100 and u != v`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expr := f.Rules[0].Constraint
+	env := value.Env{}.
+		Extend("u", value.Str("dm")).
+		Extend("v", value.Str("kgm")).
+		Extend("n", value.Int(42))
+	groups := rdl.GroupOracleFunc(func(m value.Value, g string) bool { return m.S == "dm" })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rdl.Eval(expr, rdl.EvalContext{Env: env, Groups: groups})
+		if err != nil || !res.OK {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompositeParse(b *testing.B) {
+	src := `$serve(s); (((floor | wall | hit(i)) - front) | ($hit(i); (floor | hit(j)) - front))`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := composite.Parse(src, composite.ParseOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// badgesim runs the multi-site Active Badge simulation of §6.3,
+// printing event statistics and demonstrating the inter-site protocol
+// at scale. Flags control sites, badges, sensors and steps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"oasis/internal/badge"
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/composite"
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		nSites   = flag.Int("sites", 3, "number of sites")
+		nBadges  = flag.Int("badges", 20, "number of badges")
+		nSensors = flag.Int("sensors", 4, "sensors per site")
+		nSteps   = flag.Int("steps", 200, "simulation steps")
+		seed     = flag.Uint64("seed", 1996, "simulation seed")
+	)
+	flag.Parse()
+
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	sites := make([]*badge.Site, *nSites)
+	sensors := make(map[string][]string, *nSites)
+	for i := range sites {
+		name := fmt.Sprintf("Site%d", i)
+		s, err := badge.NewSite(name, clk, net)
+		if err != nil {
+			return err
+		}
+		sites[i] = s
+		sensors[name] = badge.DefaultSensors(s, *nSensors)
+	}
+
+	// Count Seen and MovedSite events at site 0, and run an Enters
+	// detector over its stream.
+	var seen, moved, enters int
+	m := composite.NewMachine(
+		composite.MustParse(`$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, composite.ParseOptions{}),
+		func(composite.Occurrence) { enters++ },
+		composite.MachineOptions{})
+	m.Start(clk.Now(), value.Env{})
+	sink := event.SinkFunc(func(n event.Notification) {
+		if n.Heartbeat {
+			return
+		}
+		switch n.Event.Name {
+		case badge.EvSeen:
+			seen++
+			m.Process(n.Event)
+		case badge.EvMovedSite:
+			moved++
+		}
+	})
+	sess, err := sites[0].Broker().OpenSession(sink, nil)
+	if err != nil {
+		return err
+	}
+	for _, tmpl := range []event.Template{
+		event.NewTemplate(badge.EvSeen, event.Wildcard(), event.Wildcard()),
+		event.NewTemplate(badge.EvMovedSite, event.Wildcard(), event.Wildcard(), event.Wildcard()),
+	} {
+		if _, err := sites[0].Broker().Register(sess, tmpl); err != nil {
+			return err
+		}
+	}
+
+	sim := badge.NewSim(clk, sites, sensors, *seed)
+	for i := 0; i < *nBadges; i++ {
+		id := fmt.Sprintf("b%03d", i)
+		if err := sim.AddBadge(id, "user-"+id, i%*nSites); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	sim.Run(*nSteps, 250*time.Millisecond)
+	elapsed := time.Since(start)
+
+	beads, matched := m.Stats()
+	fmt.Printf("badgesim: %d sites, %d badges, %d steps in %v (wall)\n",
+		*nSites, *nBadges, *nSteps, elapsed.Round(time.Millisecond))
+	fmt.Printf("  site0: Seen=%d MovedSite=%d Enters-detected=%d\n", seen, moved, enters)
+	fmt.Printf("  detector: beads=%d matched=%d activeWatchers=%d\n",
+		beads, matched, m.ActiveWatchers())
+	fmt.Printf("  network: notify=%d calls(badge-arrived)=%d calls(badge-left)=%d\n",
+		net.Count("notify"), net.Count("call:badge-arrived"), net.Count("call:badge-left"))
+	return nil
+}

@@ -1,0 +1,123 @@
+// oasisd serves one OASIS service over TCP with a newline-delimited
+// JSON protocol: clients enter roles, validate certificates, and exit
+// memberships remotely. It is the standalone deployment path for a
+// bootstrap service (§4.12) such as Login; richer multi-service
+// deployments use the in-process bus plus this front.
+//
+// Usage:
+//
+//	oasisd -name Login -rolefile login.rdl -listen :7465 -peer-listen :7466
+//	oasisd -name Conf -rolefile conf.rdl -listen :7475 -peer-listen :7476 \
+//	       -remote Login=127.0.0.1:7466
+//
+// -peer-listen serves the inter-service (gob) protocol so other oasisd
+// processes can validate this service's certificates and receive its
+// Modified events; -remote joins another process's peer port under its
+// service name, letting rolefiles here reference its roles.
+//
+// Protocol (one JSON object per line):
+//
+//	{"op":"enter","enter":{...}}          -> {"ok":true,"cert":{...}}
+//	{"op":"validate","cert":{...},"client":{...}} -> {"ok":true}
+//	{"op":"exit","cert":{...},"client":{...}}     -> {"ok":true}
+//	{"op":"roles","cert":{...}}           -> {"ok":true,"roles":[...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/oasis"
+)
+
+// remoteFlags collects -remote name=addr pairs.
+type remoteFlags map[string]string
+
+func (r remoteFlags) String() string { return fmt.Sprint(map[string]string(r)) }
+
+// Set implements flag.Value.
+func (r remoteFlags) Set(s string) error {
+	name, addr, ok := strings.Cut(s, "=")
+	if !ok || name == "" || addr == "" {
+		return fmt.Errorf("expected name=addr, got %q", s)
+	}
+	r[name] = addr
+	return nil
+}
+
+func main() {
+	var (
+		name       = flag.String("name", "Login", "service instance name")
+		rolefile   = flag.String("rolefile", "", "rolefile path (default: built-in Login rolefile)")
+		scope      = flag.String("scope", "main", "rolefile scope id")
+		listen     = flag.String("listen", "127.0.0.1:7465", "client (JSON) listen address")
+		peerListen = flag.String("peer-listen", "", "inter-service (gob) listen address; empty disables")
+		remotes    = remoteFlags{}
+	)
+	flag.Var(remotes, "remote", "peer service name=addr (repeatable)")
+	flag.Parse()
+	if err := run(*name, *rolefile, *scope, *listen, *peerListen, remotes); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+const builtinLoginRolefile = `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`
+
+func run(name, rolefilePath, scope, listen, peerListen string, remotes map[string]string) error {
+	src := builtinLoginRolefile
+	if rolefilePath != "" {
+		data, err := os.ReadFile(rolefilePath)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	}
+	oasis.RegisterWireTypes()
+	network := bus.NewNetwork(clock.Real())
+	svc, err := oasis.New(name, clock.Real(), network, oasis.Options{})
+	if err != nil {
+		return err
+	}
+	for peer, addr := range remotes {
+		if err := network.AddRemote(peer, addr); err != nil {
+			return fmt.Errorf("join %s at %s: %w", peer, addr, err)
+		}
+		log.Printf("oasisd: joined peer %q at %s", peer, addr)
+	}
+	if err := svc.AddRolefile(scope, src); err != nil {
+		return err
+	}
+	if peerListen != "" {
+		peerLn, err := net.Listen("tcp", peerListen)
+		if err != nil {
+			return err
+		}
+		defer peerLn.Close()
+		go func() {
+			if err := network.ServeTCP(peerLn); err != nil {
+				log.Printf("oasisd: peer listener: %v", err)
+			}
+		}()
+		log.Printf("oasisd: inter-service protocol on %s", peerLn.Addr())
+	}
+	stopHB := svc.StartHeartbeats()
+	defer stopHB()
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	log.Printf("oasisd: service %q serving rolefile %q on %s", name, scope, ln.Addr())
+	srv := NewServer(svc)
+	return srv.Serve(ln)
+}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"oasis/internal/cert"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+)
+
+// Request is one protocol message from a client.
+type Request struct {
+	Op     string              `json:"op"`
+	Enter  *oasis.EnterRequest `json:"enter,omitempty"`
+	Cert   *cert.RMC           `json:"cert,omitempty"`
+	Client ids.ClientID        `json:"client,omitempty"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool      `json:"ok"`
+	Error string    `json:"error,omitempty"`
+	Cert  *cert.RMC `json:"cert,omitempty"`
+	Roles []string  `json:"roles,omitempty"`
+}
+
+// Server serves the JSON protocol for one OASIS service.
+type Server struct {
+	svc *oasis.Service
+
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// NewServer wraps a service.
+func NewServer(svc *oasis.Service) *Server { return &Server{svc: svc} }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				s.wg.Wait()
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req Request
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(Response{Error: "bad request: " + err.Error()})
+			continue
+		}
+		_ = enc.Encode(s.dispatch(req))
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Op {
+	case "enter":
+		if req.Enter == nil {
+			return Response{Error: "enter: missing body"}
+		}
+		rmc, err := s.svc.Enter(*req.Enter)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Cert: rmc}
+	case "validate":
+		if err := s.svc.Validate(req.Cert, req.Client); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "exit":
+		if err := s.svc.Exit(req.Cert, req.Client); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true}
+	case "roles":
+		if req.Cert == nil {
+			return Response{Error: "roles: missing certificate"}
+		}
+		return Response{OK: true, Roles: s.svc.RoleNames(req.Cert)}
+	default:
+		return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client is a minimal protocol client, used by tests and other tools.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to an oasisd.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do performs one request/response exchange.
+func (c *Client) Do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, err
+		}
+		return Response{}, errors.New("oasisd: connection closed")
+	}
+	var res Response
+	if err := json.Unmarshal(c.sc.Bytes(), &res); err != nil {
+		return Response{}, err
+	}
+	return res, nil
+}
+
+// Enter requests role entry.
+func (c *Client) Enter(req oasis.EnterRequest) (*cert.RMC, error) {
+	res, err := c.Do(Request{Op: "enter", Enter: &req})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, errors.New(res.Error)
+	}
+	return res.Cert, nil
+}
+
+// Validate checks a certificate remotely.
+func (c *Client) Validate(rmc *cert.RMC, client ids.ClientID) error {
+	res, err := c.Do(Request{Op: "validate", Cert: rmc, Client: client})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return errors.New(res.Error)
+	}
+	return nil
+}
+
+// Exit gives up a membership remotely.
+func (c *Client) Exit(rmc *cert.RMC, client ids.ClientID) error {
+	res, err := c.Do(Request{Op: "exit", Cert: rmc, Client: client})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return errors.New(res.Error)
+	}
+	return nil
+}

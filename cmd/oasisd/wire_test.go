@@ -1,0 +1,254 @@
+package main
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// startServer runs an oasisd on a random port and returns its address.
+func startServer(t *testing.T) string {
+	t.Helper()
+	svc, err := oasis.New("Login", clock.Real(), nil, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddRolefile("main", builtinLoginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(svc)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		<-done
+	})
+	return ln.Addr().String()
+}
+
+func TestTCPEnterValidateExit(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	host := ids.NewHostAuthority("ely", time.Now())
+	client := host.NewDomain()
+	rmc, err := c.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmc.Service != "Login" {
+		t.Fatalf("cert = %v", rmc)
+	}
+	// The certificate survives the JSON round trip, signature intact.
+	if err := c.Validate(rmc, client); err != nil {
+		t.Fatalf("remote validate: %v", err)
+	}
+	// A tampered copy fails remotely.
+	forged := *rmc
+	forged.Args = []value.Value{
+		value.Object("Login.userid", "root"),
+		value.Object("Login.host", "ely"),
+	}
+	if err := c.Validate(&forged, client); err == nil {
+		t.Fatal("forged certificate validated over TCP")
+	}
+	// Exit, then validation fails.
+	if err := c.Exit(rmc, client); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(rmc, client); err == nil {
+		t.Fatal("exited certificate still valid")
+	}
+}
+
+func TestTCPRolesAndErrors(t *testing.T) {
+	addr := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	host := ids.NewHostAuthority("ely", time.Now())
+	client := host.NewDomain()
+	rmc, err := c.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Do(Request{Op: "roles", Cert: rmc})
+	if err != nil || !res.OK {
+		t.Fatalf("roles: %v %v", res, err)
+	}
+	if len(res.Roles) != 1 || res.Roles[0] != "LoggedOn" {
+		t.Fatalf("roles = %v", res.Roles)
+	}
+	// Unknown op.
+	if res, _ := c.Do(Request{Op: "frobnicate"}); res.OK {
+		t.Fatal("unknown op accepted")
+	}
+	// Missing bodies.
+	if res, _ := c.Do(Request{Op: "enter"}); res.OK {
+		t.Fatal("enter without body accepted")
+	}
+	if res, _ := c.Do(Request{Op: "roles"}); res.OK {
+		t.Fatal("roles without cert accepted")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	addr := startServer(t)
+	host := ids.NewHostAuthority("ely", time.Now())
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		client := host.NewDomain()
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			rmc, err := c.Enter(oasis.EnterRequest{
+				Client: client, Rolefile: "main", Role: "LoggedOn",
+				Args: []value.Value{
+					value.Object("Login.userid", "dm"),
+					value.Object("Login.host", "ely"),
+				},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- c.Validate(rmc, client)
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTwoDaemonDeployment runs two complete oasisd stacks — Login and
+// Conf — joined by peer links over real TCP, and drives them through
+// the JSON client API: log on at Login, enter Member at Conf (which
+// validates the Login certificate across the peer link), then log off
+// and watch the Conference membership die via the wire-crossing
+// Modified event.
+func TestTwoDaemonDeployment(t *testing.T) {
+	oasis.RegisterWireTypes()
+
+	start := func(name, rolefile string) (addr, peerAddr string, network *bus.Network, svc *oasis.Service) {
+		t.Helper()
+		network = bus.NewNetwork(clock.Real())
+		var err error
+		svc, err = oasis.New(name, clock.Real(), network, oasis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peerLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = network.ServeTCP(peerLn) }()
+		t.Cleanup(func() { _ = peerLn.Close() })
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(svc)
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = ln.Close() })
+		_ = rolefile
+		return ln.Addr().String(), peerLn.Addr().String(), network, svc
+	}
+
+	loginAddr, loginPeer, _, loginSvc := start("Login", "")
+	if err := loginSvc.AddRolefile("main", builtinLoginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	confAddr, _, confNet, confSvc := start("Conf", "")
+	if err := confNet.AddRemote("Login", loginPeer); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(confNet.CloseRemotes)
+	if err := confSvc.AddRolefile("main", `Member(u) <- Login.LoggedOn(u, h)*`); err != nil {
+		t.Fatal(err)
+	}
+
+	loginC, err := Dial(loginAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loginC.Close()
+	confC, err := Dial(confAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer confC.Close()
+
+	host := ids.NewHostAuthority("ely", time.Now())
+	client := host.NewDomain()
+	loggedOn, err := loginC.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := confC.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{loggedOn},
+	})
+	if err != nil {
+		t.Fatalf("cross-daemon entry: %v", err)
+	}
+	if err := confC.Validate(member, client); err != nil {
+		t.Fatal(err)
+	}
+	// Log off at the Login daemon; the revocation crosses to Conf.
+	if err := loginC.Exit(loggedOn, client); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for confC.Validate(member, client) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("membership survived logout across daemons")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

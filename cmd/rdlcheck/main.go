@@ -1,0 +1,109 @@
+// rdlcheck parses and type-checks a rolefile, printing the inferred
+// role signatures and the proof-system axioms of §3.2.2. Foreign role
+// signatures may be supplied with -foreign "Svc.Role=type,type" flags.
+//
+// Usage:
+//
+//	rdlcheck [-foreign Login.LoggedOn=Login.userid,Login.host] file.rdl
+//	echo 'Chair <- Login.LoggedOn("jmb", h)' | rdlcheck -foreign ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+type foreignFlags map[string][]value.Type
+
+func (f foreignFlags) String() string { return fmt.Sprint(map[string][]value.Type(f)) }
+
+func (f foreignFlags) Set(s string) error {
+	name, types, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected Svc.Role=type,type, got %q", s)
+	}
+	var ts []value.Type
+	if types != "" {
+		for _, t := range strings.Split(types, ",") {
+			switch t {
+			case "integer", "int":
+				ts = append(ts, value.IntType)
+			case "string":
+				ts = append(ts, value.StringType)
+			default:
+				if strings.HasPrefix(t, "{") && strings.HasSuffix(t, "}") {
+					ts = append(ts, value.SetType(strings.Trim(t, "{}")))
+				} else {
+					ts = append(ts, value.ObjectType(t))
+				}
+			}
+		}
+	}
+	f[name] = ts
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("rdlcheck", flag.ContinueOnError)
+	foreign := foreignFlags{}
+	fs.Var(foreign, "foreign", "foreign role signature Svc.Role=type,type (repeatable)")
+	axioms := fs.Bool("axioms", true, "print proof-system axioms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src []byte
+	var err error
+	if fs.NArg() > 0 {
+		src, err = os.ReadFile(fs.Arg(0))
+	} else {
+		src, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	file, err := rdl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	resolver := func(service, rolefile, role string) ([]value.Type, error) {
+		if ts, ok := foreign[service+"."+role]; ok {
+			return ts, nil
+		}
+		return nil, fmt.Errorf("unknown foreign role %s.%s (add -foreign)", service, role)
+	}
+	checked, err := rdl.Check(file, resolver, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "rolefile OK: %d rules, %d local roles\n", len(file.Rules), len(checked.Types))
+	for _, role := range checked.Roles() {
+		types := checked.Types[role]
+		parts := make([]string, len(types))
+		for i, t := range types {
+			parts[i] = t.String()
+		}
+		fmt.Fprintf(stdout, "  role %s(%s)\n", role, strings.Join(parts, ", "))
+	}
+	if *axioms {
+		for i, r := range file.Rules {
+			fmt.Fprintf(stdout, "\naxiom %d:\n%s\n", i+1, rdl.Axiom(r))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOnConferenceRolefile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "conf.rdl")
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-foreign", "Login.LoggedOn=Login.userid,Login.host", path}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"rolefile OK: 2 rules, 2 local roles",
+		"role Chair()",
+		"role Member(Login.userid)",
+		"c owns Member(u)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-axioms=false"}, strings.NewReader(`Visitor("x") <-`), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "role Visitor(string)") {
+		t.Errorf("output = %s", out.String())
+	}
+	if strings.Contains(out.String(), "axiom") {
+		t.Error("-axioms=false still printed axioms")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	// Unknown foreign role without a -foreign flag.
+	if err := run(nil, strings.NewReader(`R <- Ghost.Role(x)`), &out); err == nil {
+		t.Error("unresolved foreign role accepted")
+	}
+	// Syntax error.
+	if err := run(nil, strings.NewReader(`R <- (`), &out); err == nil {
+		t.Error("syntax error accepted")
+	}
+	// Bad -foreign syntax.
+	if err := run([]string{"-foreign", "nonsense"}, strings.NewReader(`R <-`), &out); err == nil {
+		t.Error("bad -foreign flag accepted")
+	}
+	// Missing file.
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.rdl")}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestForeignFlagTypes(t *testing.T) {
+	f := foreignFlags{}
+	if err := f.Set("Svc.Role=integer,string,{rwx},Custom.type"); err != nil {
+		t.Fatal(err)
+	}
+	ts := f["Svc.Role"]
+	if len(ts) != 4 {
+		t.Fatalf("types = %v", ts)
+	}
+	if ts[2].Universe != "rwx" || ts[3].Name != "Custom.type" {
+		t.Fatalf("types = %v", ts)
+	}
+	if err := f.Set("Svc.Empty="); err != nil {
+		t.Fatal(err)
+	}
+	if len(f["Svc.Empty"]) != 0 {
+		t.Fatal("empty signature not empty")
+	}
+}

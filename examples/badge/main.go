@@ -1,0 +1,125 @@
+// Badge example: the global Active Badge System of §6.3 with composite
+// event monitoring (§6.5-6.6) and ERDL event security (chapter 7).
+// Three sites run the inter-site protocol; a monitoring client detects
+// Enters events and a fire-drill sweep; a proxy enforces the local
+// policy on an exported stream.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oasis/internal/badge"
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/composite"
+	"oasis/internal/event"
+	"oasis/internal/eventsec"
+	"oasis/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	cl, err := badge.NewSite("CL", clk, net)
+	if err != nil {
+		return err
+	}
+	parc, err := badge.NewSite("Parc", clk, net)
+	if err != nil {
+		return err
+	}
+	for i, s := range []*badge.Site{cl, parc} {
+		s.AddSensor(fmt.Sprintf("s%d-T14", i), "T14")
+		s.AddSensor(fmt.Sprintf("s%d-T15", i), "T15")
+	}
+	rjhBadge := badge.Badge{ID: "b12", Home: "CL"}
+	if err := cl.RegisterBadge(rjhBadge, "rjh21"); err != nil {
+		return err
+	}
+
+	// A composite-event monitor: Enters(B, R) per §6.6.
+	enters := composite.MustParse(
+		`$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, composite.ParseOptions{})
+	m := composite.NewMachine(enters, func(o composite.Occurrence) {
+		fmt.Printf("ENTERS: badge %s entered %s\n", o.Env["B"].S, o.Env["R"].S)
+	}, composite.MachineOptions{Sources: []string{"CL"}})
+	m.Start(clk.Now(), value.Env{})
+
+	sink := event.SinkFunc(func(n event.Notification) {
+		// Every notification carries the source's event-horizon
+		// timestamp, which lets the 'without' operator assume event
+		// absence (§6.8.2); heartbeats carry nothing else.
+		m.ProcessHorizon(n.Source, n.Horizon)
+		if !n.Heartbeat {
+			m.Process(n.Event)
+		}
+	})
+	sess, err := cl.Broker().OpenSession(sink, nil)
+	if err != nil {
+		return err
+	}
+	if _, err := cl.Broker().Register(sess,
+		event.NewTemplate(badge.EvSeen, event.Wildcard(), event.Wildcard())); err != nil {
+		return err
+	}
+
+	move := func(s *badge.Site, sensor string) {
+		clk.Advance(time.Second)
+		s.Sight(rjhBadge, sensor)
+	}
+	move(cl, "s0-T14")
+	move(cl, "s0-T14") // same room: no Enters
+	move(cl, "s0-T15") // enters T15
+	move(cl, "s0-T14") // enters T14
+
+	// A heartbeat advances the horizon, releasing the last detection.
+	clk.Advance(time.Second)
+	cl.Broker().Heartbeat()
+
+	// Inter-site movement: CL always knows where its badge is.
+	move(parc, "s1-T14")
+	loc, _ := cl.LocationOf("b12")
+	fmt.Println("home site records location:", loc)
+
+	// Event security: Parc exports its stream through a proxy applying
+	// its policy: only a badge's owner may follow it remotely.
+	pol := eventsec.MustParse(`allow Seen(b, room) to Owner(b)`)
+	proxy, err := eventsec.NewProxy(parc.Broker(), pol)
+	if err != nil {
+		return err
+	}
+	remote := event.SinkFunc(func(n event.Notification) {
+		if !n.Heartbeat {
+			fmt.Printf("REMOTE (owner) sees: %v\n", n.Event)
+		}
+	})
+	owner := eventsec.Subject{Roles: []eventsec.SubjectRole{
+		{Name: "Owner", Args: []value.Value{value.Str("b12")}},
+	}}
+	if _, err := proxy.Subscribe(owner,
+		event.NewTemplate(badge.EvSeen, event.Wildcard(), event.Wildcard()), remote); err != nil {
+		return err
+	}
+	stranger := eventsec.Subject{Roles: []eventsec.SubjectRole{
+		{Name: "Owner", Args: []value.Value{value.Str("b99")}},
+	}}
+	strangerSink := event.SinkFunc(func(n event.Notification) {
+		fmt.Println("STRANGER sees:", n.Event) // must never print
+	})
+	if _, err := proxy.Subscribe(stranger,
+		event.NewTemplate(badge.EvSeen, event.Wildcard(), event.Wildcard()), strangerSink); err != nil {
+		return err
+	}
+	move(parc, "s1-T15")
+	fmt.Println("proxy filtered instances:", proxy.Filtered())
+	return nil
+}

@@ -1,0 +1,147 @@
+// Golf club example (§3.4.5): joining requires recommendations from two
+// *different* existing members — quorum delegation expressed directly
+// in RDL via an intermediate Rec role and the constraint m1 != m2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+const golfRolefile = `
+def Member(p) p: Login.userid
+Member(p)  <- Login.LoggedOn(p, h) : p in founders
+Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)
+Member(p)  <- Rec(p, m1)* <| Member(m2) : m1 != m2
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		return err
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		return err
+	}
+	club, err := oasis.New("Golf", clk, net, oasis.Options{})
+	if err != nil {
+		return err
+	}
+	if err := club.AddRolefile("main", golfRolefile); err != nil {
+		return err
+	}
+	club.Groups().AddMember("arnold", "founders")
+	club.Groups().AddMember("gary", "founders")
+
+	hosts := ids.NewHostAuthority("clubhouse", clk.Now())
+	uid := func(u string) value.Value { return value.Object("Login.userid", u) }
+	logOn := func(user string) (ids.ClientID, *cert.RMC, error) {
+		c := hosts.NewDomain()
+		rmc, err := login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{uid(user), value.Object("Login.host", "clubhouse")},
+		})
+		return c, rmc, err
+	}
+
+	join := func(user string) (ids.ClientID, *cert.RMC, error) {
+		c, lg, err := logOn(user)
+		if err != nil {
+			return c, nil, err
+		}
+		m, err := club.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "Member",
+			Args: []value.Value{uid(user)}, Creds: []*cert.RMC{lg},
+		})
+		return c, m, err
+	}
+	arnoldC, arnold, err := join("arnold")
+	if err != nil {
+		return err
+	}
+	garyC, gary, err := join("gary")
+	if err != nil {
+		return err
+	}
+	fmt.Println("founders joined:", arnold.Args[0].S, "and", gary.Args[0].S)
+
+	// jack collects arnold's recommendation.
+	jackC, jackLogin, err := logOn("jack")
+	if err != nil {
+		return err
+	}
+	rec1Deleg, _, err := club.Delegate(oasis.DelegateRequest{
+		Client: arnoldC, Rolefile: "main", Role: "Rec",
+		Args:        []value.Value{uid("jack"), uid("arnold")},
+		ElectorCert: arnold,
+	})
+	if err != nil {
+		return err
+	}
+	rec1, err := club.EnterDelegated(oasis.EnterRequest{
+		Client: jackC, Rolefile: "main", Role: "Rec",
+		Creds: []*cert.RMC{jackLogin}, Delegation: rec1Deleg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("jack recommended by arnold:", rec1.Args[1].S)
+
+	// arnold alone cannot second his own recommendation.
+	sameDeleg, _, err := club.Delegate(oasis.DelegateRequest{
+		Client: arnoldC, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("jack")}, ElectorCert: arnold,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = club.EnterDelegated(oasis.EnterRequest{
+		Client: jackC, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{jackLogin, rec1}, Delegation: sameDeleg,
+	})
+	fmt.Println("same member seconding twice:", err)
+
+	// gary seconds: quorum met, jack joins.
+	secondDeleg, _, err := club.Delegate(oasis.DelegateRequest{
+		Client: garyC, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("jack")}, ElectorCert: gary,
+	})
+	if err != nil {
+		return err
+	}
+	jackMember, err := club.EnterDelegated(oasis.EnterRequest{
+		Client: jackC, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{jackLogin, rec1}, Delegation: secondDeleg,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("jack joined:", club.Validate(jackMember, jackC) == nil)
+
+	// If jack logs off, the starred recommendation chain collapses.
+	if err := login.Exit(jackLogin, jackC); err != nil {
+		return err
+	}
+	fmt.Println("after logout, jack still a member:",
+		club.Validate(jackMember, jackC) == nil)
+	return nil
+}

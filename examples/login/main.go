@@ -1,0 +1,101 @@
+// Login example (§3.4.3): a central password service issues
+// Passwd(user, key) proofs; the login service grades logins by host
+// trust using the first-matching-rule semantics, with the reserved
+// @host variable bound to the authenticated client host. A visitor
+// level accepts an unchecked claim.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/passwd"
+	"oasis/internal/value"
+)
+
+const loginRolefile = `
+def Login(l, u, h) l: integer u: Login.userid h: string
+Login(3, u, @host) <- Pw.Passwd(u, "Login")* : @host in secure
+Login(2, u, @host) <- Pw.Passwd(u, "Login")* : @host in hosts
+Login(1, u, @host) <- Pw.Passwd(u, "Login")*
+Login(0, u, @host) <-
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	pw, err := passwd.New("Pw", clk, net)
+	if err != nil {
+		return err
+	}
+	if err := pw.SetPassword("dm", "sesame"); err != nil {
+		return err
+	}
+
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		return err
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		return err
+	}
+	login.Groups().AddMember("console1", "secure")
+	login.Groups().AddMember("console1", "hosts")
+	login.Groups().AddMember("lab-pc", "hosts")
+
+	logIn := func(host, user, password string) (*cert.RMC, error) {
+		ha := ids.NewHostAuthority(host, clk.Now())
+		client := ha.NewDomain()
+		proof, err := pw.Authenticate(client, user, password, "Login")
+		if err != nil {
+			return nil, err
+		}
+		return login.Enter(oasis.EnterRequest{
+			Client: client, Rolefile: "main", Role: "Login",
+			Creds: []*cert.RMC{proof},
+		})
+	}
+
+	for _, host := range []string{"console1", "lab-pc", "cafe-laptop"} {
+		rmc, err := logIn(host, "dm", "sesame")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("login from %-12s -> level %d\n", host, rmc.Args[0].I)
+	}
+
+	// Wrong password: the password service refuses; no login possible.
+	if _, err := logIn("console1", "dm", "guess"); err != nil {
+		fmt.Println("wrong password:", err)
+	}
+
+	// The visitor path: an unchecked claim at level 0.
+	ha := ids.NewHostAuthority("kiosk", clk.Now())
+	client := ha.NewDomain()
+	visitor, err := login.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "Login",
+		Args: []value.Value{
+			value.Int(0),
+			value.Object("Login.userid", "someone"),
+			value.Str("kiosk"),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("visitor claim           -> level %d (unchecked)\n", visitor.Args[0].I)
+	return nil
+}

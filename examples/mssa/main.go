@@ -1,0 +1,153 @@
+// MSSA example: shared ACLs grouping files (figure 5.3), meta-access
+// control, volatile-ACL revocation (§5.5.2), and the bypassing
+// optimisation for a value-adding custode (figure 5.8).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/mssa"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		return err
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		return err
+	}
+	hosts := ids.NewHostAuthority("ws1", clk.Now())
+	logOn := func(user string) (ids.ClientID, *cert.RMC, error) {
+		c := hosts.NewDomain()
+		rmc, err := login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{
+				value.Object("Login.userid", user),
+				value.Object("Login.host", "ws1"),
+			},
+		})
+		return c, rmc, err
+	}
+
+	// A flat file custode with one shared ACL protecting many files.
+	ffc, err := mssa.NewCustode("FFC", clk, net)
+	if err != nil {
+		return err
+	}
+	meta, err := ffc.CreateACL(mssa.MustParseACL("jo=rc"), mssa.FileID{})
+	if err != nil {
+		return err
+	}
+	project, err := ffc.CreateACL(mssa.MustParseACL("jo=rw bob=rw group:readers=r"), meta)
+	if err != nil {
+		return err
+	}
+	var files []mssa.FileID
+	for i := 0; i < 10; i++ {
+		id, err := ffc.Create([]byte(fmt.Sprintf("chapter %d", i)), project)
+		if err != nil {
+			return err
+		}
+		files = append(files, id)
+	}
+	fmt.Printf("files=%d shared ACL objects=%d\n", ffc.FileCount(), ffc.ACLCount())
+
+	bobProc, bobLogin, err := logOn("bob")
+	if err != nil {
+		return err
+	}
+	bobCert, err := ffc.EnterUseAcl(bobProc, bobLogin, project)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob's rights under %v: %s\n", project, bobCert.Args[0].Members())
+	data, err := ffc.Read(bobProc, files[3], bobCert)
+	fmt.Printf("bob reads %v: %q (err=%v)\n", files[3], data, err)
+
+	// jo tightens the ACL: bob's outstanding certificate is revoked.
+	joProc, joLogin, err := logOn("jo")
+	if err != nil {
+		return err
+	}
+	joMeta, err := ffc.EnterUseAcl(joProc, joLogin, meta)
+	if err != nil {
+		return err
+	}
+	if err := ffc.SetACL(joProc, project, joMeta, mssa.MustParseACL("jo=rw bob=r")); err != nil {
+		return err
+	}
+	err = ffc.Write(bobProc, files[3], bobCert, []byte("edit"))
+	fmt.Println("bob writes with the old certificate:", err)
+	bobCert, err = ffc.EnterUseAcl(bobProc, bobLogin, project)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bob re-applies; new rights: %s\n", bobCert.Args[0].Members())
+
+	// An indexed VAC over the FFC, with bypassed reads (figure 5.8).
+	lowerACL, err := ffc.CreateACL(mssa.MustParseACL("iffc=rwxd"), mssa.FileID{})
+	if err != nil {
+		return err
+	}
+	vacProc, vacLogin, err := logOn("iffc")
+	if err != nil {
+		return err
+	}
+	lowerCert, err := ffc.EnterUseAcl(vacProc, vacLogin, lowerACL)
+	if err != nil {
+		return err
+	}
+	vac, err := mssa.NewVAC("IFFC", clk, net, ffc, vacProc, lowerCert, lowerACL)
+	if err != nil {
+		return err
+	}
+	vacACL, err := vac.CreateACL(mssa.MustParseACL("bob=r"), mssa.FileID{})
+	if err != nil {
+		return err
+	}
+	doc, err := vac.CreateIndexed([]byte("oasis secure interworking services"), vacACL)
+	if err != nil {
+		return err
+	}
+	bobVAC, err := vac.EnterUseAcl(bobProc, bobLogin, vacACL)
+	if err != nil {
+		return err
+	}
+	hits, _ := vac.LookupWord(bobProc, "secure", bobVAC)
+	fmt.Println("index lookup 'secure':", hits)
+
+	if err := vac.EnableBypass(doc, vacACL); err != nil {
+		return err
+	}
+	lower, _ := vac.Backing(doc)
+	before := net.Count("call:validate")
+	for i := 0; i < 3; i++ {
+		if _, err := ffc.ReadBypassed(bobProc, lower, bobVAC); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("3 bypassed reads cost %d validation callback(s) (then cached)\n",
+		net.Count("call:validate")-before)
+	return nil
+}

@@ -1,0 +1,348 @@
+package aggregate
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/composite"
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+var t0 = time.Unix(1000, 0)
+
+func occ(secs int, env value.Env) composite.Occurrence {
+	return composite.Occurrence{Time: t0.Add(time.Duration(secs) * time.Second), Env: env}
+}
+
+func TestQueueOrderAndFixed(t *testing.T) {
+	var q Queue
+	// Figure 6.6: events inserted out of order sort by timestamp.
+	for _, s := range []int{5, 2, 8, 3} {
+		if err := q.Insert(occ(s, value.Env{}.Extend("s", value.Int(int64(s))))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixed := q.AdvanceFixed(t0.Add(4 * time.Second))
+	if len(fixed) != 2 {
+		t.Fatalf("fixed = %d items", len(fixed))
+	}
+	if fixed[0].Env["s"].I != 2 || fixed[1].Env["s"].I != 3 {
+		t.Fatalf("fixed order = %v, %v", fixed[0].Env["s"], fixed[1].Env["s"])
+	}
+	if q.Len() != 2 {
+		t.Fatalf("variable section = %d", q.Len())
+	}
+}
+
+func TestQueueRejectsInsertIntoFixed(t *testing.T) {
+	var q Queue
+	q.AdvanceFixed(t0.Add(10 * time.Second))
+	if err := q.Insert(occ(5, value.Env{})); err == nil {
+		t.Fatal("insertion into fixed section accepted")
+	}
+	if err := q.Insert(occ(11, value.Env{})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueAdvanceIdempotent(t *testing.T) {
+	var q Queue
+	if err := q.Insert(occ(5, value.Env{})); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.AdvanceFixed(t0.Add(6 * time.Second)); len(got) != 1 {
+		t.Fatalf("first advance = %d", len(got))
+	}
+	if got := q.AdvanceFixed(t0.Add(6 * time.Second)); len(got) != 0 {
+		t.Fatalf("repeat advance = %d", len(got))
+	}
+	if got := q.AdvanceFixed(t0.Add(3 * time.Second)); len(got) != 0 {
+		t.Fatalf("backward advance = %d", len(got))
+	}
+}
+
+func TestCountBuiltin(t *testing.T) {
+	agg := Count()(t0, value.Env{})
+	var counts []int64
+	for i := 1; i <= 3; i++ {
+		for _, o := range agg.OnOccurrence(occ(i, value.Env{})) {
+			counts = append(counts, o.Env["count"].I)
+		}
+	}
+	if len(counts) != 3 || counts[2] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMaxBuiltin(t *testing.T) {
+	agg := Max("x")(t0, value.Env{})
+	var maxes []int64
+	feed := []int64{3, 1, 7, 7, 9}
+	for i, v := range feed {
+		for _, o := range agg.OnOccurrence(occ(i+1, value.Env{}.Extend("x", value.Int(v)))) {
+			maxes = append(maxes, o.Env["max"].I)
+		}
+	}
+	if len(maxes) != 3 || maxes[0] != 3 || maxes[1] != 7 || maxes[2] != 9 {
+		t.Fatalf("maxes = %v", maxes)
+	}
+}
+
+func TestFirstBuiltinWaitsForFixed(t *testing.T) {
+	// §6.11.3: receiving A is not enough; absence of an earlier B must
+	// be known. A later-arriving earlier occurrence wins.
+	agg := First()(t0, value.Env{})
+	if out := agg.OnOccurrence(occ(5, value.Env{}.Extend("who", value.Str("late")))); len(out) != 0 {
+		t.Fatal("FIRST emitted before fixed")
+	}
+	// An earlier occurrence arrives after (delayed).
+	if out := agg.OnOccurrence(occ(3, value.Env{}.Extend("who", value.Str("early")))); len(out) != 0 {
+		t.Fatal("FIRST emitted before fixed")
+	}
+	out := agg.OnFixed(t0.Add(10 * time.Second))
+	if len(out) != 1 || out[0].Env["who"].S != "early" {
+		t.Fatalf("FIRST = %v", out)
+	}
+	// Only once.
+	if out := agg.OnOccurrence(occ(20, value.Env{})); len(out) != 0 {
+		t.Fatal("FIRST emitted twice")
+	}
+	if out := agg.OnFixed(t0.Add(30 * time.Second)); len(out) != 0 {
+		t.Fatal("FIRST emitted twice via fixed")
+	}
+}
+
+func TestCountingInMachine(t *testing.T) {
+	// §6.9: Open(x); COUNT($Deposit(x, y) - Close(x)) — deposits per
+	// account between open and close, evaluated independently per
+	// account. ($ makes the deposit stream repeat; the paper's prose
+	// intends every deposit to be counted.)
+	src := `$Open(x); COUNT($Deposit(x, y) - Close(x))`
+	n, err := composite.Parse(src, composite.ParseOptions{AggNames: map[string]bool{"COUNT": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	m := composite.NewMachine(n, func(o composite.Occurrence) {
+		counts[o.Env["x"].S] = o.Env["count"].I
+	}, composite.MachineOptions{Aggs: map[string]composite.AggFactory{"COUNT": Count()}})
+	m.Start(t0, value.Env{})
+
+	send := func(secs int, name string, args ...value.Value) {
+		m.Process(event.Event{Name: name, Source: "s", Args: args,
+			Time: t0.Add(time.Duration(secs) * time.Second)})
+	}
+	send(1, "Open", value.Str("acct1"))
+	send(2, "Deposit", value.Str("acct1"), value.Int(100))
+	send(3, "Open", value.Str("acct2"))
+	send(4, "Deposit", value.Str("acct2"), value.Int(50))
+	send(5, "Deposit", value.Str("acct1"), value.Int(10))
+	send(6, "Close", value.Str("acct1"))
+	send(7, "Deposit", value.Str("acct1"), value.Int(99)) // after close: not counted
+	send(20, "Tick")
+	if counts["acct1"] != 2 {
+		t.Fatalf("acct1 count = %d, want 2", counts["acct1"])
+	}
+	if counts["acct2"] != 1 {
+		t.Fatalf("acct2 count = %d, want 1", counts["acct2"])
+	}
+}
+
+func TestLangCount(t *testing.T) {
+	// The §6.10 block for counting: emit the running count per event.
+	prog := MustCompile(`{
+		int n = 0;
+		event: n = n + 1 ; signal(n)
+	}`)
+	agg := prog.Factory()(t0, value.Env{})
+	var got []int64
+	for i := 1; i <= 4; i++ {
+		for _, o := range agg.OnOccurrence(occ(i, value.Env{})) {
+			got = append(got, o.Env["a1"].I)
+		}
+	}
+	if len(got) != 4 || got[3] != 4 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestLangSumOfField(t *testing.T) {
+	prog := MustCompile(`{
+		int t = 0;
+		event: t = t + new.x ; signal(t)
+	}`)
+	agg := prog.Factory()(t0, value.Env{})
+	var last int64
+	for i, v := range []int64{5, 10, 20} {
+		for _, o := range agg.OnOccurrence(occ(i+1, value.Env{}.Extend("x", value.Int(v)))) {
+			last = o.Env["a1"].I
+		}
+	}
+	if last != 35 {
+		t.Fatalf("sum = %d", last)
+	}
+}
+
+func TestLangMaxWithIf(t *testing.T) {
+	prog := MustCompile(`{
+		int m = 0;
+		int started = 0;
+		event:
+			if started = 0 or new.x > m then
+				m = new.x ; started = 1 ; signal(m)
+			end
+	}`)
+	agg := prog.Factory()(t0, value.Env{})
+	var got []int64
+	for i, v := range []int64{3, 1, 7} {
+		for _, o := range agg.OnOccurrence(occ(i+1, value.Env{}.Extend("x", value.Int(v)))) {
+			got = append(got, o.Env["a1"].I)
+		}
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("maxes = %v", got)
+	}
+}
+
+func TestLangFixedSectionProcessesInOrder(t *testing.T) {
+	// The fixed: handler sees occurrences in timestamp order even when
+	// they arrived out of order — the point of the two-section queue.
+	prog := MustCompile(`{
+		int first = 0;
+		int done = 0;
+		fixed:
+			if done = 0 then
+				first = new.time ; done = 1 ; signal(first)
+			end
+	}`)
+	agg := prog.Factory()(t0, value.Env{})
+	agg.OnOccurrence(occ(5, value.Env{}))
+	agg.OnOccurrence(occ(3, value.Env{})) // delayed but earlier
+	out := agg.OnFixed(t0.Add(10 * time.Second))
+	if len(out) != 1 {
+		t.Fatalf("signals = %d", len(out))
+	}
+	if out[0].Env["a1"].I != t0.Add(3*time.Second).UnixNano() {
+		t.Fatalf("first = %d, want the 3s occurrence", out[0].Env["a1"].I)
+	}
+}
+
+func TestLangVarSectionSynonym(t *testing.T) {
+	prog, err := Compile(`{ var: signal(1) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := prog.Factory()(t0, value.Env{})
+	agg.OnOccurrence(occ(1, value.Env{}))
+	if out := agg.OnFixed(t0.Add(5 * time.Second)); len(out) != 1 {
+		t.Fatalf("var: section did not run: %v", out)
+	}
+}
+
+func TestLangErrors(t *testing.T) {
+	bad := []string{
+		``, `{`, `{ int ; }`, `{ mystery: signal(1) }`,
+		`{ event: signal( }`, `{ event: if x then end }`, // x undeclared is a runtime error, but if needs then
+		`{ event: 3 = x }`, `{ event: x = }`,
+	}
+	for _, src := range bad {
+		if src == `{ event: if x then end }` {
+			continue // parses; x is a runtime error
+		}
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLangRuntimeErrorsStopExecution(t *testing.T) {
+	prog := MustCompile(`{ event: x = 1 / 0 ; signal(1) }`)
+	agg := prog.Factory()(t0, value.Env{})
+	if out := agg.OnOccurrence(occ(1, value.Env{})); len(out) != 0 {
+		t.Fatal("signal after runtime error")
+	}
+	prog2 := MustCompile(`{ event: signal(zz) }`)
+	agg2 := prog2.Factory()(t0, value.Env{})
+	if out := agg2.OnOccurrence(occ(1, value.Env{})); len(out) != 0 {
+		t.Fatal("signal with unknown variable")
+	}
+}
+
+func TestLangArithmetic(t *testing.T) {
+	prog := MustCompile(`{ event: signal(2 + 3 * 4, (2 + 3) * 4, 10 / 2 - 1) }`)
+	agg := prog.Factory()(t0, value.Env{})
+	out := agg.OnOccurrence(occ(1, value.Env{}))
+	if len(out) != 1 {
+		t.Fatal("no signal")
+	}
+	e := out[0].Env
+	if e["a1"].I != 14 || e["a2"].I != 20 || e["a3"].I != 4 {
+		t.Fatalf("arith = %v %v %v", e["a1"], e["a2"], e["a3"])
+	}
+}
+
+func TestSquashFirstEndOfPoint(t *testing.T) {
+	// §6.6's closing problem: the end-of-point disjunction can trigger
+	// several times; FIRST maps the set to a single occurrence.
+	src := `$serve(s); FIRST(((floor | wall) - front) | ($hit(i); hit(i) - hit(j) {j != i}))`
+	n, err := composite.Parse(src, composite.ParseOptions{AggNames: map[string]bool{"FIRST": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []composite.Occurrence
+	m := composite.NewMachine(n, func(o composite.Occurrence) { ends = append(ends, o) },
+		composite.MachineOptions{Aggs: map[string]composite.AggFactory{"FIRST": First()}})
+	m.Start(t0, value.Env{})
+	send := func(secs int, name string, args ...value.Value) {
+		m.Process(event.Event{Name: name, Source: "s", Args: args,
+			Time: t0.Add(time.Duration(secs) * time.Second)})
+	}
+	send(1, "serve", value.Str("alice"))
+	send(2, "floor") // fault (floor before front) — also starts rallies etc.
+	send(3, "floor")
+	send(30, "Tick")
+	if len(ends) != 1 {
+		t.Fatalf("end-of-point signalled %d times, want exactly 1", len(ends))
+	}
+}
+
+func TestFullEndOfPoint(t *testing.T) {
+	// The complete §6.6 squash expression wrapped in FIRST, exercising
+	// all five point-ending clauses over one rally.
+	src := `$serve(s); FIRST(
+		  ((floor | wall | hit(i)) - front)
+		| ($front; ((floor; floor) | front) - hit(i))
+		| ($hit(i); (floor | hit(j) {j != i}) - front)
+		| (hit(s) - hit(i) {i != s})
+		| ($hit(i); hit(i) - hit(j) {j != i}))`
+	n, err := composite.Parse(src, composite.ParseOptions{AggNames: map[string]bool{"FIRST": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []composite.Occurrence
+	m := composite.NewMachine(n, func(o composite.Occurrence) { ends = append(ends, o) },
+		composite.MachineOptions{Aggs: map[string]composite.AggFactory{"FIRST": First()}})
+	m.Start(t0, value.Env{})
+	send := func(secs int, name string, args ...value.Value) {
+		m.Process(event.Event{Name: name, Source: "s", Args: args,
+			Time: t0.Add(time.Duration(secs) * time.Second)})
+	}
+	// A legal rally: serve, front, alice... serve(s=alice); front; bob
+	// hits; front; alice hits; front; then bob lets it bounce twice.
+	send(1, "serve", value.Str("alice"))
+	send(2, "front")
+	send(3, "hit", value.Str("bob"))
+	send(4, "front")
+	send(5, "hit", value.Str("alice"))
+	send(6, "front")
+	send(7, "floor")
+	send(8, "floor") // double bounce: point over
+	send(30, "Tick")
+	if len(ends) != 1 {
+		t.Fatalf("end-of-point signalled %d times, want exactly 1 (FIRST)", len(ends))
+	}
+	if !ends[0].Time.Equal(t0.Add(8 * time.Second)) {
+		t.Fatalf("point ended at %v, want the double bounce", ends[0].Time)
+	}
+}

@@ -1,0 +1,103 @@
+package aggregate
+
+import (
+	"time"
+
+	"oasis/internal/composite"
+	"oasis/internal/value"
+)
+
+// Count returns an AggFactory emitting the running occurrence count
+// (§6.11.1): each sub-occurrence produces an aggregate occurrence whose
+// environment binds "count".
+func Count() composite.AggFactory {
+	return func(start time.Time, env value.Env) composite.Aggregator {
+		return &countAgg{}
+	}
+}
+
+type countAgg struct{ n int64 }
+
+func (c *countAgg) OnOccurrence(o composite.Occurrence) []composite.Occurrence {
+	c.n++
+	return []composite.Occurrence{{Time: o.Time, Env: o.Env.Extend("count", value.Int(c.n))}}
+}
+
+func (c *countAgg) OnFixed(time.Time) []composite.Occurrence { return nil }
+
+// Max returns an AggFactory tracking the maximum of an integer variable
+// (§6.11.2); it emits whenever the maximum increases, binding "max".
+func Max(varName string) composite.AggFactory {
+	return func(start time.Time, env value.Env) composite.Aggregator {
+		return &maxAgg{varName: varName}
+	}
+}
+
+type maxAgg struct {
+	varName string
+	has     bool
+	max     int64
+}
+
+func (m *maxAgg) OnOccurrence(o composite.Occurrence) []composite.Occurrence {
+	v, ok := o.Env[m.varName]
+	if !ok || v.T.Kind != value.KindInt {
+		return nil
+	}
+	if m.has && v.I <= m.max {
+		return nil
+	}
+	m.has, m.max = true, v.I
+	return []composite.Occurrence{{Time: o.Time, Env: o.Env.Extend("max", value.Int(m.max))}}
+}
+
+func (m *maxAgg) OnFixed(time.Time) []composite.Occurrence { return nil }
+
+// First returns an AggFactory emitting only the first occurrence in
+// timestamp order (§6.11.3) — the fix for the squash example's multiple
+// end-of-point signals. It must wait for the fixed portion of the queue
+// to cover an occurrence before knowing it was first: receiving A alone
+// is not enough, absence of an earlier B must also be known (§6.9.1).
+func First() composite.AggFactory {
+	return func(start time.Time, env value.Env) composite.Aggregator {
+		return &firstAgg{}
+	}
+}
+
+type firstAgg struct {
+	q    Queue
+	done bool
+}
+
+func (f *firstAgg) OnOccurrence(o composite.Occurrence) []composite.Occurrence {
+	if f.done {
+		return nil
+	}
+	_ = f.q.Insert(o)
+	return nil
+}
+
+func (f *firstAgg) OnFixed(t time.Time) []composite.Occurrence {
+	if f.done {
+		return nil
+	}
+	fixed := f.q.AdvanceFixed(t)
+	if len(fixed) == 0 {
+		return nil
+	}
+	f.done = true
+	return fixed[:1]
+}
+
+// Once is an alias of First matching the paper's naming (§6.11.3).
+func Once() composite.AggFactory { return First() }
+
+// StdAggs is the standard aggregation table for parsers and machines.
+func StdAggs() map[string]composite.AggFactory {
+	return map[string]composite.AggFactory{
+		"COUNT": Count(),
+		"MAX":   Max("x"),
+		"FIRST": First(),
+		"ONCE":  Once(),
+	}
+}

@@ -1,0 +1,635 @@
+package aggregate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"oasis/internal/composite"
+	"oasis/internal/value"
+)
+
+// The aggregation language of §6.10: a block of local variable
+// declarations followed by handler sections.
+//
+//	{
+//	  int t = 0;
+//	  event: t = t + new.x ; signal(t)
+//	  fixed: if t > 10 then signal(t) end
+//	}
+//
+// The `event:` handler runs when a sub-occurrence arrives — the
+// earliest possible moment (§6.9.1); the `fixed:` handler runs for each
+// occurrence as it enters the fixed portion of the two-section queue,
+// in timestamp order — i.e. once absence information is known. (The
+// paper calls this section `var:`, which is accepted as a synonym.)
+// `new.x` reads an occurrence parameter; `new.time` its timestamp;
+// signal(...) emits an aggregate occurrence binding a1, a2, ....
+
+// Program is a compiled aggregation block.
+type Program struct {
+	decls   []decl
+	onEvent []stmt
+	onFixed []stmt
+}
+
+type decl struct {
+	name string
+	init expr
+}
+
+// stmt is an interpreted statement.
+type stmt interface{ exec(st *instState) error }
+
+// expr evaluates to an int64.
+type expr interface {
+	eval(st *instState) (int64, error)
+}
+
+type instState struct {
+	vars    map[string]int64
+	occ     *composite.Occurrence // bound to `new` inside handlers
+	signals []composite.Occurrence
+}
+
+// Compile parses an aggregation block.
+func Compile(src string) (*Program, error) {
+	p := &aparser{toks: ascan(src)}
+	return p.block()
+}
+
+// MustCompile panics on error.
+func MustCompile(src string) *Program {
+	prog, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// Factory returns an AggFactory running this program.
+func (p *Program) Factory() composite.AggFactory {
+	return func(start time.Time, env value.Env) composite.Aggregator {
+		inst := &langAgg{prog: p, st: &instState{vars: make(map[string]int64)}}
+		for _, d := range p.decls {
+			v, err := d.init.eval(inst.st)
+			if err != nil {
+				v = 0
+			}
+			inst.st.vars[d.name] = v
+		}
+		return inst
+	}
+}
+
+type langAgg struct {
+	prog *Program
+	st   *instState
+	q    Queue
+}
+
+func (a *langAgg) run(stmts []stmt, occ *composite.Occurrence) []composite.Occurrence {
+	a.st.occ = occ
+	a.st.signals = nil
+	for _, s := range stmts {
+		if err := s.exec(a.st); err != nil {
+			break
+		}
+	}
+	return a.st.signals
+}
+
+// OnOccurrence implements composite.Aggregator.
+func (a *langAgg) OnOccurrence(o composite.Occurrence) []composite.Occurrence {
+	if len(a.prog.onFixed) > 0 {
+		_ = a.q.Insert(o)
+	}
+	if len(a.prog.onEvent) == 0 {
+		return nil
+	}
+	return a.run(a.prog.onEvent, &o)
+}
+
+// OnFixed implements composite.Aggregator.
+func (a *langAgg) OnFixed(t time.Time) []composite.Occurrence {
+	if len(a.prog.onFixed) == 0 {
+		return nil
+	}
+	var out []composite.Occurrence
+	for _, o := range a.q.AdvanceFixed(t) {
+		occ := o
+		out = append(out, a.run(a.prog.onFixed, &occ)...)
+	}
+	return out
+}
+
+// ---- lexer ----
+
+type atok struct {
+	kind string // "id", "num", "punct", "eof"
+	text string
+}
+
+func ascan(src string) []atok {
+	var out []atok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case strings.ContainsRune("{}();,=+-*/<>!.", rune(c)):
+			// two-char operators
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				if two == "!=" || two == "<=" || two == ">=" || two == "==" {
+					out = append(out, atok{"punct", two})
+					i += 2
+					continue
+				}
+			}
+			out = append(out, atok{"punct", string(c)})
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			out = append(out, atok{"num", src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, atok{"id", src[i:j]})
+			i = j
+		default:
+			out = append(out, atok{"punct", string(c)})
+			i++
+		}
+	}
+	return append(out, atok{"eof", ""})
+}
+
+type aparser struct {
+	toks []atok
+	pos  int
+}
+
+func (p *aparser) cur() atok { return p.toks[p.pos] }
+
+func (p *aparser) advance() atok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *aparser) acceptPunct(s string) bool {
+	if p.cur().kind == "punct" && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *aparser) acceptID(s string) bool {
+	if p.cur().kind == "id" && p.cur().text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *aparser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("aggregate: expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *aparser) block() (*Program, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	// declarations
+	for p.acceptID("int") {
+		name := p.advance()
+		if name.kind != "id" {
+			return nil, fmt.Errorf("aggregate: bad declaration name %q", name.text)
+		}
+		init := expr(intLit(0))
+		if p.acceptPunct("=") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			init = e
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		prog.decls = append(prog.decls, decl{name: name.text, init: init})
+	}
+	// sections
+	for p.cur().kind == "id" {
+		section := p.advance().text
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		stmts, err := p.stmts()
+		if err != nil {
+			return nil, err
+		}
+		switch section {
+		case "event":
+			prog.onEvent = stmts
+		case "fixed", "var":
+			prog.onFixed = stmts
+		default:
+			return nil, fmt.Errorf("aggregate: unknown section %q", section)
+		}
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// stmts parses statements until a section header, '}' or eof.
+func (p *aparser) stmts() ([]stmt, error) {
+	var out []stmt
+	for {
+		// stop at '}' / eof / next section header (id ':')
+		if p.cur().kind == "eof" || (p.cur().kind == "punct" && p.cur().text == "}") {
+			return out, nil
+		}
+		if p.cur().kind == "id" && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].kind == "punct" && p.toks[p.pos+1].text == ":" &&
+			(p.cur().text == "event" || p.cur().text == "fixed" || p.cur().text == "var") {
+			return out, nil
+		}
+		if p.cur().kind == "id" && (p.cur().text == "end" || p.cur().text == "else") {
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		p.acceptPunct(";")
+	}
+}
+
+func (p *aparser) stmt() (stmt, error) {
+	t := p.cur()
+	if t.kind != "id" {
+		return nil, fmt.Errorf("aggregate: bad statement at %q", t.text)
+	}
+	switch t.text {
+	case "signal":
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var args []expr
+		for !(p.cur().kind == "punct" && p.cur().text == ")") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return signalStmt{args: args}, nil
+	case "if":
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptID("then") {
+			return nil, fmt.Errorf("aggregate: expected 'then'")
+		}
+		body, err := p.stmts()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.acceptID("else") {
+			els, err = p.stmts()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if !p.acceptID("end") {
+			return nil, fmt.Errorf("aggregate: expected 'end'")
+		}
+		return ifStmt{cond: cond, then: body, els: els}, nil
+	default:
+		p.advance()
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{name: t.text, e: e}, nil
+	}
+}
+
+// expr := cmp { ('and'|'or') cmp }
+func (p *aparser) expr() (expr, error) {
+	l, err := p.cmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "id" && (p.cur().text == "and" || p.cur().text == "or") {
+		op := p.advance().text
+		r, err := p.cmp()
+		if err != nil {
+			return nil, err
+		}
+		l = boolExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *aparser) cmp() (expr, error) {
+	l, err := p.sum()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == "punct" {
+		switch p.cur().text {
+		case "=", "==", "!=", "<", "<=", ">", ">=":
+			op := p.advance().text
+			r, err := p.sum()
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{op: op, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *aparser) sum() (expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "punct" && (p.cur().text == "+" || p.cur().text == "-") {
+		op := p.advance().text
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = arithExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *aparser) term() (expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == "punct" && (p.cur().text == "*" || p.cur().text == "/") {
+		op := p.advance().text
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = arithExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *aparser) factor() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "num":
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return intLit(n), nil
+	case t.kind == "id" && t.text == "new":
+		p.advance()
+		if err := p.expectPunct("."); err != nil {
+			return nil, err
+		}
+		f := p.advance()
+		if f.kind != "id" {
+			return nil, fmt.Errorf("aggregate: bad field %q", f.text)
+		}
+		return newField{field: f.text}, nil
+	case t.kind == "id":
+		p.advance()
+		return varRef(t.text), nil
+	case t.kind == "punct" && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, fmt.Errorf("aggregate: bad expression at %q", t.text)
+	}
+}
+
+// ---- AST & interpretation ----
+
+type intLit int64
+
+func (i intLit) eval(*instState) (int64, error) { return int64(i), nil }
+
+type varRef string
+
+func (v varRef) eval(st *instState) (int64, error) {
+	n, ok := st.vars[string(v)]
+	if !ok {
+		return 0, fmt.Errorf("aggregate: unknown variable %s", string(v))
+	}
+	return n, nil
+}
+
+type newField struct{ field string }
+
+func (n newField) eval(st *instState) (int64, error) {
+	if st.occ == nil {
+		return 0, fmt.Errorf("aggregate: 'new' outside a handler")
+	}
+	if n.field == "time" {
+		return st.occ.Time.UnixNano(), nil
+	}
+	v, ok := st.occ.Env[n.field]
+	if !ok || v.T.Kind != value.KindInt {
+		return 0, fmt.Errorf("aggregate: occurrence has no integer field %q", n.field)
+	}
+	return v.I, nil
+}
+
+type arithExpr struct {
+	op   string
+	l, r expr
+}
+
+func (a arithExpr) eval(st *instState) (int64, error) {
+	l, err := a.l.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	r, err := a.r.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	switch a.op {
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, fmt.Errorf("aggregate: division by zero")
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("aggregate: bad operator %q", a.op)
+}
+
+type cmpExpr struct {
+	op   string
+	l, r expr
+}
+
+func (c cmpExpr) eval(st *instState) (int64, error) {
+	l, err := c.l.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	r, err := c.r.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	b := false
+	switch c.op {
+	case "=", "==":
+		b = l == r
+	case "!=":
+		b = l != r
+	case "<":
+		b = l < r
+	case "<=":
+		b = l <= r
+	case ">":
+		b = l > r
+	case ">=":
+		b = l >= r
+	}
+	if b {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+type boolExpr struct {
+	op   string
+	l, r expr
+}
+
+func (b boolExpr) eval(st *instState) (int64, error) {
+	l, err := b.l.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	if b.op == "and" && l == 0 {
+		return 0, nil
+	}
+	if b.op == "or" && l != 0 {
+		return 1, nil
+	}
+	r, err := b.r.eval(st)
+	if err != nil {
+		return 0, err
+	}
+	if r != 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+type assignStmt struct {
+	name string
+	e    expr
+}
+
+func (a assignStmt) exec(st *instState) error {
+	v, err := a.e.eval(st)
+	if err != nil {
+		return err
+	}
+	st.vars[a.name] = v
+	return nil
+}
+
+type signalStmt struct{ args []expr }
+
+func (s signalStmt) exec(st *instState) error {
+	env := value.Env{}
+	for i, a := range s.args {
+		v, err := a.eval(st)
+		if err != nil {
+			return err
+		}
+		env = env.Extend("a"+strconv.Itoa(i+1), value.Int(v))
+	}
+	t := time.Time{}
+	if st.occ != nil {
+		t = st.occ.Time
+	}
+	st.signals = append(st.signals, composite.Occurrence{Time: t, Env: env})
+	return nil
+}
+
+type ifStmt struct {
+	cond expr
+	then []stmt
+	els  []stmt
+}
+
+func (i ifStmt) exec(st *instState) error {
+	c, err := i.cond.eval(st)
+	if err != nil {
+		return err
+	}
+	body := i.then
+	if c == 0 {
+		body = i.els
+	}
+	for _, s := range body {
+		if err := s.exec(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}

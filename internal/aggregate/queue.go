@@ -1,0 +1,58 @@
+// Package aggregate implements OASIS aggregation functions (§6.9-6.11
+// of the paper): the two-section priority queue of figure 6.6, built-in
+// COUNT / MAX / FIRST aggregators, and an interpreter for the small
+// C-like aggregation language of §6.10.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"oasis/internal/composite"
+)
+
+// Queue is the two-section priority queue of figure 6.6: occurrences
+// are held in timestamp order; the fixed section — into which the
+// system guarantees no more insertions — grows as horizon knowledge
+// arrives, and its items are consumed in order.
+type Queue struct {
+	items []composite.Occurrence // sorted by time, stable for equal stamps
+	fixed time.Time              // items with Time <= fixed are fixed
+}
+
+// Insert adds an occurrence. Inserting into the fixed section violates
+// the system guarantee and is reported as an error.
+func (q *Queue) Insert(o composite.Occurrence) error {
+	if !o.Time.After(q.fixed) {
+		return fmt.Errorf("aggregate: insertion at %v into fixed section (boundary %v)", o.Time, q.fixed)
+	}
+	i := sort.Search(len(q.items), func(i int) bool {
+		return q.items[i].Time.After(o.Time)
+	})
+	q.items = append(q.items, composite.Occurrence{})
+	copy(q.items[i+1:], q.items[i:])
+	q.items[i] = o
+	return nil
+}
+
+// AdvanceFixed grows the fixed section to t and returns the occurrences
+// that became fixed, in timestamp order.
+func (q *Queue) AdvanceFixed(t time.Time) []composite.Occurrence {
+	if !t.After(q.fixed) {
+		return nil
+	}
+	q.fixed = t
+	n := sort.Search(len(q.items), func(i int) bool {
+		return q.items[i].Time.After(t)
+	})
+	out := q.items[:n:n]
+	q.items = append([]composite.Occurrence(nil), q.items[n:]...)
+	return out
+}
+
+// Len reports the number of occurrences still in the variable section.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Fixed reports the fixed-section boundary.
+func (q *Queue) Fixed() time.Time { return q.fixed }

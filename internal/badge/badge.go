@@ -1,0 +1,292 @@
+// Package badge implements the global Active Badge System of §6.3 of
+// the paper: per-site Masters signalling Seen events from sensors, a
+// Sighting Cache detecting previously unknown badges, a Namer that is
+// an active database (signalling updates as events, with the atomic
+// combined lookup-and-register of §6.3.3), and the inter-site protocol
+// of figure 6.2 in which each badge's home site always knows its
+// location and naming information is deleted from sites the badge has
+// left.
+package badge
+
+import (
+	"fmt"
+	"sync"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// Event names signalled by a site's broker.
+const (
+	// EvSeen is Seen(badge, room): a badge sighted by a sensor. The
+	// Master signals sightings directly (§6.3.2).
+	EvSeen = "Seen"
+	// EvNewBadge is NewBadge(badge, home): the Sighting Cache noticed a
+	// badge not currently known at this site.
+	EvNewBadge = "NewBadge"
+	// EvMovedSite is MovedSite(badge, oldsite, newsite), signalled by
+	// the badge's home site (§6.3.1).
+	EvMovedSite = "MovedSite"
+	// EvOwnsBadge is OwnsBadge(user, badge): an active-database update
+	// in the Namer (§6.3.3).
+	EvOwnsBadge = "OwnsBadge"
+)
+
+// Badge is the physical token: a globally unique identifier plus the
+// pointer-to-home stored in the badge's memory (§6.3.1).
+type Badge struct {
+	ID   string
+	Home string
+}
+
+// arrivedArg is the inter-site "previously unknown badge sighted here"
+// request to the badge's home site.
+type arrivedArg struct {
+	BadgeID string
+	At      string
+}
+
+// badgeInfo is the naming information a home site returns.
+type badgeInfo struct {
+	Owner string
+}
+
+// leftArg tells a site the badge has been seen elsewhere, so its cached
+// naming information can be deleted (figure 6.2).
+type leftArg struct {
+	BadgeID string
+}
+
+// Site is one organisation's badge system: Master + Sighting Cache +
+// Namer, fronted by a single event broker.
+type Site struct {
+	name   string
+	clk    clock.Clock
+	net    *bus.Network
+	broker *event.Broker
+
+	mu        sync.Mutex
+	rooms     map[string]string // sensor -> room
+	owns      map[string]string // badge -> user (authoritative for home badges, cached for visitors)
+	home      map[string]Badge  // badges registered here
+	visiting  map[string]Badge  // foreign badges currently known here
+	locations map[string]string // home badges: site last seen at
+}
+
+// NewSite creates a badge site and registers it on the network.
+func NewSite(name string, clk clock.Clock, net *bus.Network) (*Site, error) {
+	return NewSiteWithOptions(name, clk, net, event.BrokerOptions{})
+}
+
+// NewSiteWithOptions creates a site whose broker applies the given
+// options — in particular the admission and visibility hooks through
+// which a local ERDL policy controls who may watch whom (chapter 7;
+// each site has relative freedom with its own badge system, §6.3.1).
+func NewSiteWithOptions(name string, clk clock.Clock, net *bus.Network, opts event.BrokerOptions) (*Site, error) {
+	s := &Site{
+		name:      name,
+		clk:       clk,
+		net:       net,
+		broker:    event.NewBroker(name, clk, opts),
+		rooms:     make(map[string]string),
+		owns:      make(map[string]string),
+		home:      make(map[string]Badge),
+		visiting:  make(map[string]Badge),
+		locations: make(map[string]string),
+	}
+	if net != nil {
+		if err := net.Register(name, s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.name }
+
+// Broker exposes the site's event broker for client registration.
+func (s *Site) Broker() *event.Broker { return s.broker }
+
+// AddSensor installs a sensor in a room.
+func (s *Site) AddSensor(sensor, room string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rooms[sensor] = room
+}
+
+// RegisterBadge registers a badge at its home site with an owner; the
+// Namer signals the database update as an OwnsBadge event.
+func (s *Site) RegisterBadge(b Badge, owner string) error {
+	if b.Home != s.name {
+		return fmt.Errorf("badge: %s's home is %s, not %s", b.ID, b.Home, s.name)
+	}
+	s.mu.Lock()
+	s.home[b.ID] = b
+	s.owns[b.ID] = owner
+	s.locations[b.ID] = s.name
+	s.mu.Unlock()
+	s.broker.Signal(event.New(EvOwnsBadge, value.Str(owner), value.Str(b.ID)))
+	return nil
+}
+
+// ReassignBadge changes a user's badge — flat batteries, lost badge
+// (§6.3.3) — signalling the active-database update.
+func (s *Site) ReassignBadge(b Badge, owner string) error {
+	return s.RegisterBadge(b, owner)
+}
+
+// OwnerOf reports the user associated with a badge, if known here.
+func (s *Site) OwnerOf(badgeID string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.owns[badgeID]
+	return u, ok
+}
+
+// LocationOf reports where a home badge was last seen; the home site
+// always knows (figure 6.2).
+func (s *Site) LocationOf(badgeID string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locations[badgeID]
+	return l, ok
+}
+
+// Knows reports whether the site currently holds naming information for
+// a badge (its own or cached for a visitor).
+func (s *Site) Knows(badgeID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.owns[badgeID]
+	return ok
+}
+
+// Sight is the Master's input path: a sensor has decoded a badge's
+// broadcast. It signals Seen(badge, room), runs the Sighting Cache's
+// new-badge detection, and drives the inter-site protocol.
+func (s *Site) Sight(b Badge, sensor string) {
+	s.mu.Lock()
+	room, ok := s.rooms[sensor]
+	if !ok {
+		room = sensor // uninstalled sensors name themselves
+	}
+	_, isHome := s.home[b.ID]
+	_, isVisiting := s.visiting[b.ID]
+	known := isHome || isVisiting
+	s.mu.Unlock()
+
+	// The Master signals sightings directly (§6.3.2).
+	s.broker.Signal(event.New(EvSeen, value.Str(b.ID), value.Str(room)))
+
+	if known {
+		if isHome {
+			s.noteLocation(b.ID, s.name)
+		}
+		return
+	}
+	// Sighting Cache: a previously unknown badge.
+	s.broker.Signal(event.New(EvNewBadge, value.Str(b.ID), value.Str(b.Home)))
+	if b.Home == s.name {
+		// A home badge we had no record of: nothing to fetch.
+		return
+	}
+	// Interrogate the badge's pointer-to-home (§6.3.1): inform the home
+	// site and receive naming information in return.
+	if s.net == nil {
+		return
+	}
+	res, err := s.net.Call(s.name, b.Home, "badge-arrived", arrivedArg{BadgeID: b.ID, At: s.name})
+	if err != nil {
+		return // home unreachable: sightings still flow, names are absent
+	}
+	info, ok := res.(badgeInfo)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	s.visiting[b.ID] = b
+	s.owns[b.ID] = info.Owner
+	s.mu.Unlock()
+}
+
+// noteLocation updates a home badge's location, signalling MovedSite
+// and asking the site it left to delete its cached information.
+func (s *Site) noteLocation(badgeID, newSite string) {
+	s.mu.Lock()
+	old := s.locations[badgeID]
+	if old == newSite {
+		s.mu.Unlock()
+		return
+	}
+	s.locations[badgeID] = newSite
+	s.mu.Unlock()
+	s.broker.Signal(event.New(EvMovedSite,
+		value.Str(badgeID), value.Str(old), value.Str(newSite)))
+	if old != "" && old != s.name && old != newSite && s.net != nil {
+		_, _ = s.net.Call(s.name, old, "badge-left", leftArg{BadgeID: badgeID})
+	}
+}
+
+// Call implements bus.Endpoint: the inter-site protocol of figure 6.2.
+func (s *Site) Call(from, op string, arg any) (any, error) {
+	switch op {
+	case "badge-arrived":
+		a, ok := arg.(arrivedArg)
+		if !ok {
+			return nil, fmt.Errorf("badge: bad badge-arrived argument %T", arg)
+		}
+		s.mu.Lock()
+		_, isHome := s.home[a.BadgeID]
+		owner := s.owns[a.BadgeID]
+		s.mu.Unlock()
+		if !isHome {
+			return nil, fmt.Errorf("badge: %s is not based at %s", a.BadgeID, s.name)
+		}
+		s.noteLocation(a.BadgeID, a.At)
+		return badgeInfo{Owner: owner}, nil
+	case "badge-left":
+		a, ok := arg.(leftArg)
+		if !ok {
+			return nil, fmt.Errorf("badge: bad badge-left argument %T", arg)
+		}
+		s.mu.Lock()
+		if _, visiting := s.visiting[a.BadgeID]; visiting {
+			delete(s.visiting, a.BadgeID)
+			delete(s.owns, a.BadgeID)
+		}
+		s.mu.Unlock()
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("badge: unknown operation %q", op)
+	}
+}
+
+// Deliver implements bus.Endpoint (sites currently receive no inbound
+// event notifications; monitoring clients subscribe directly).
+func (s *Site) Deliver(n event.Notification) {}
+
+var _ bus.Endpoint = (*Site)(nil)
+
+// DBRegisterOwns is the Namer's combined Lookup and Register of §6.3.3:
+// atomically return all existing OwnsBadge(user, *) tuples as events
+// and register interest in future updates, closing the race between
+// lookup and registration.
+func (s *Site) DBRegisterOwns(sess uint64, user string) (uint64, []event.Event, error) {
+	tmpl := event.NewTemplate(EvOwnsBadge, event.Lit(value.Str(user)), event.Wildcard())
+	return s.broker.RegisterAndQuery(sess, tmpl, func() []event.Event {
+		var out []event.Event
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for b, u := range s.owns {
+			if u == user {
+				if _, isHome := s.home[b]; isHome {
+					out = append(out, event.New(EvOwnsBadge, value.Str(u), value.Str(b)))
+				}
+			}
+		}
+		return out
+	})
+}

@@ -1,0 +1,106 @@
+package badge
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/event"
+	"oasis/internal/eventsec"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// TestThreeSiteLocalPolicies wires figure 7.2 into real badge sites:
+// each site's broker enforces its own local ERDL policy, so the same
+// subject receives different views at different sites (E21 end-to-end).
+func TestThreeSiteLocalPolicies(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	// Site policies: CL lets users see their own badge only; Parc is
+	// open to anyone logged on; DEC publishes nothing to anyone.
+	owner := func(b string) string {
+		if b == "b12" {
+			return "rjh21"
+		}
+		return "someone-else"
+	}
+	clPol := eventsec.MustParse(`allow Seen(b, room) to LoggedOn(u) : u = owner(b)`)
+	clPol.Funcs = ownerFuncs(owner)
+	parcPol := eventsec.MustParse(`allow Seen(b, room) to LoggedOn(u)`)
+	decPol := eventsec.MustParse(`deny Seen(b, room) to LoggedOn(u)`)
+
+	mkSite := func(name string, pol *eventsec.Policy) *Site {
+		s, err := NewSiteWithOptions(name, clk, net, event.BrokerOptions{
+			Admission:  pol.AdmissionFunc(),
+			Visibility: pol.VisibilityFunc(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddSensor(name+"-s", "T14")
+		return s
+	}
+	cl := mkSite("CL", clPol)
+	parc := mkSite("Parc", parcPol)
+	dec := mkSite("DEC", decPol)
+
+	b12 := Badge{ID: "b12", Home: "CL"}
+	b13 := Badge{ID: "b13", Home: "CL"}
+	if err := cl.RegisterBadge(b12, "rjh21"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterBadge(b13, "kgm"); err != nil {
+		t.Fatal(err)
+	}
+
+	rjh := eventsec.Subject{Roles: []eventsec.SubjectRole{
+		{Name: "LoggedOn", Args: []value.Value{value.Str("rjh21")}},
+	}}
+	subscribeAll := func(s *Site) *eventLog {
+		t.Helper()
+		log := &eventLog{}
+		sess, err := s.Broker().OpenSession(log, rjh)
+		if err != nil {
+			t.Fatalf("open at %s: %v", s.Name(), err)
+		}
+		if _, err := s.Broker().Register(sess,
+			event.NewTemplate(EvSeen, event.Wildcard(), event.Wildcard())); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	clLog := subscribeAll(cl)
+	parcLog := subscribeAll(parc)
+	decLog := subscribeAll(dec)
+
+	// Both badges are sighted at every site.
+	for _, s := range []*Site{cl, parc, dec} {
+		s.Sight(b12, s.Name()+"-s")
+		s.Sight(b13, s.Name()+"-s")
+	}
+
+	if got := len(clLog.named(EvSeen)); got != 1 {
+		t.Fatalf("CL delivered %d sightings to rjh21, want 1 (own badge only)", got)
+	}
+	if got := len(parcLog.named(EvSeen)); got != 2 {
+		t.Fatalf("Parc delivered %d sightings, want 2 (open policy)", got)
+	}
+	if got := len(decLog.named(EvSeen)); got != 0 {
+		t.Fatalf("DEC delivered %d sightings, want 0 (closed policy)", got)
+	}
+}
+
+// ownerFuncs builds the owner() constraint function table.
+func ownerFuncs(owner func(string) string) rdl.FuncTable {
+	return rdl.FuncTable{
+		"owner": {
+			Result: value.StringType,
+			Fn: func(args []value.Value) (value.Value, error) {
+				return value.Str(owner(args[0].S)), nil
+			},
+		},
+	}
+}

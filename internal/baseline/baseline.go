@@ -1,0 +1,228 @@
+// Package baseline implements the access-control schemes the paper
+// positions OASIS against, so that the comparative claims of §4.5 and
+// §4.14 can be measured rather than asserted:
+//
+//   - capability chaining (Redell): delegation by indirection, with
+//     validation cost proportional to the chain length (figure 4.4);
+//   - an I-Cap-style scheme (Gong): the issuer checks a signature per
+//     capability and revokes by keeping a revocation list consulted on
+//     every access;
+//   - refresh-based validity (as in [LABW94]): certificates are valid
+//     for a short lease and clients continually refresh them, trading
+//     background traffic for revocation latency.
+package baseline
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"oasis/internal/clock"
+)
+
+// ErrRevoked is returned when a capability (or its chain) is revoked.
+var ErrRevoked = errors.New("baseline: capability revoked")
+
+// ---- Capability chaining (figure 4.4) ----
+
+// ChainCap is a capability that may be an indirection onto another: to
+// use it, every link of the chain must be validated.
+type ChainCap struct {
+	ID     uint64
+	Parent *ChainCap // nil for the root capability
+	Rights string
+	Sig    []byte
+}
+
+// ChainService issues and validates chained capabilities.
+type ChainService struct {
+	secret  []byte
+	nextID  uint64
+	revoked map[uint64]bool
+	// sigChecks counts signature computations, the cost the paper
+	// attributes to long chains ("many cryptographic checks", §4.5).
+	sigChecks uint64
+}
+
+// NewChainService creates a chained-capability issuer.
+func NewChainService(secret []byte) *ChainService {
+	return &ChainService{secret: secret, revoked: make(map[uint64]bool)}
+}
+
+func (s *ChainService) sign(c *ChainCap) []byte {
+	m := hmac.New(sha256.New, s.secret)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], c.ID)
+	m.Write(buf[:])
+	if c.Parent != nil {
+		binary.BigEndian.PutUint64(buf[:], c.Parent.ID)
+		m.Write(buf[:])
+	}
+	m.Write([]byte(c.Rights))
+	return m.Sum(nil)[:16]
+}
+
+// Issue mints a root capability.
+func (s *ChainService) Issue(rights string) *ChainCap {
+	s.nextID++
+	c := &ChainCap{ID: s.nextID, Rights: rights}
+	c.Sig = s.sign(c)
+	return c
+}
+
+// Delegate mints an indirected capability under parent (possibly with
+// restricted rights); revoking the parent severs every descendant.
+func (s *ChainService) Delegate(parent *ChainCap, rights string) *ChainCap {
+	s.nextID++
+	c := &ChainCap{ID: s.nextID, Parent: parent, Rights: rights}
+	c.Sig = s.sign(c)
+	return c
+}
+
+// Revoke destroys one capability, severing the chains through it.
+func (s *ChainService) Revoke(c *ChainCap) { s.revoked[c.ID] = true }
+
+// Validate walks and checks the whole chain — O(depth) signature
+// computations and revocation lookups.
+func (s *ChainService) Validate(c *ChainCap) error {
+	for link := c; link != nil; link = link.Parent {
+		s.sigChecks++
+		if !hmac.Equal(link.Sig, s.sign(link)) {
+			return fmt.Errorf("baseline: bad signature on capability %d", link.ID)
+		}
+		if s.revoked[link.ID] {
+			return ErrRevoked
+		}
+	}
+	return nil
+}
+
+// SigChecks reports cumulative signature computations.
+func (s *ChainService) SigChecks() uint64 { return s.sigChecks }
+
+// ---- I-Cap style (Gong 1989) ----
+
+// ICap is an identity-based capability: bound to a holder, checked by
+// the issuer, revoked via an ever-growing invalid-capability list that
+// is consulted on each access (§4.5's second approach).
+type ICap struct {
+	ID     uint64
+	Holder string
+	Rights string
+	Sig    []byte
+}
+
+// ICapService issues and validates I-Caps.
+type ICapService struct {
+	secret  []byte
+	nextID  uint64
+	invalid map[uint64]bool // state about all *revoked* capabilities
+}
+
+// NewICapService creates an I-Cap issuer.
+func NewICapService(secret []byte) *ICapService {
+	return &ICapService{secret: secret, invalid: make(map[uint64]bool)}
+}
+
+func (s *ICapService) sign(c *ICap) []byte {
+	m := hmac.New(sha256.New, s.secret)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], c.ID)
+	m.Write(buf[:])
+	m.Write([]byte(c.Holder))
+	m.Write([]byte(c.Rights))
+	return m.Sum(nil)[:16]
+}
+
+// Issue mints a capability for a holder.
+func (s *ICapService) Issue(holder, rights string) *ICap {
+	s.nextID++
+	c := &ICap{ID: s.nextID, Holder: holder, Rights: rights}
+	c.Sig = s.sign(c)
+	return c
+}
+
+// Delegate re-issues for a new holder after consulting the issuer — the
+// point of I-Cap is that delegation cannot bypass the service.
+func (s *ICapService) Delegate(c *ICap, newHolder string) (*ICap, error) {
+	if err := s.Validate(c, c.Holder); err != nil {
+		return nil, err
+	}
+	return s.Issue(newHolder, c.Rights), nil
+}
+
+// Revoke adds the capability to the invalid list. The list grows
+// without bound unless some complementary collection scheme exists
+// (which [Gon89] leaves undefined, §4.5).
+func (s *ICapService) Revoke(c *ICap) { s.invalid[c.ID] = true }
+
+// InvalidListLen exposes the revocation-state growth.
+func (s *ICapService) InvalidListLen() int { return len(s.invalid) }
+
+// Validate checks binding, signature and the invalid list.
+func (s *ICapService) Validate(c *ICap, holder string) error {
+	if c.Holder != holder {
+		return fmt.Errorf("baseline: capability bound to %q used by %q", c.Holder, holder)
+	}
+	if !hmac.Equal(c.Sig, s.sign(c)) {
+		return errors.New("baseline: bad signature")
+	}
+	if s.invalid[c.ID] {
+		return ErrRevoked
+	}
+	return nil
+}
+
+// ---- Refresh-based validity ([LABW94]-style leases) ----
+
+// Lease is a short-lived credential that must be refreshed continually.
+type Lease struct {
+	ID     uint64
+	Expiry time.Time
+}
+
+// LeaseService issues and refreshes leases. Revocation is implicit:
+// stop honouring refreshes and wait out the lease — revocation latency
+// is bounded by the lease length, and background traffic is one refresh
+// per credential per period even when nothing changes (§4.14's point).
+type LeaseService struct {
+	clk     clock.Clock
+	ttl     time.Duration
+	nextID  uint64
+	blocked map[uint64]bool
+	// Refreshes counts background messages.
+	Refreshes uint64
+}
+
+// NewLeaseService creates a lease issuer with the given lease length.
+func NewLeaseService(clk clock.Clock, ttl time.Duration) *LeaseService {
+	return &LeaseService{clk: clk, ttl: ttl, blocked: make(map[uint64]bool)}
+}
+
+// Issue grants a lease.
+func (s *LeaseService) Issue() *Lease {
+	s.nextID++
+	return &Lease{ID: s.nextID, Expiry: s.clk.Now().Add(s.ttl)}
+}
+
+// Refresh extends a lease; a blocked lease is not renewed.
+func (s *LeaseService) Refresh(l *Lease) error {
+	s.Refreshes++
+	if s.blocked[l.ID] {
+		return ErrRevoked
+	}
+	l.Expiry = s.clk.Now().Add(s.ttl)
+	return nil
+}
+
+// Revoke stops future refreshes; existing holders keep access until the
+// lease runs out (the latency OASIS's event-driven revocation avoids).
+func (s *LeaseService) Revoke(l *Lease) { s.blocked[l.ID] = true }
+
+// Valid checks the lease clock.
+func (s *LeaseService) Valid(l *Lease) bool {
+	return s.clk.Now().Before(l.Expiry)
+}

@@ -1,0 +1,126 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oasis/internal/clock"
+)
+
+func TestChainDelegationAndRevocation(t *testing.T) {
+	s := NewChainService([]byte("k"))
+	root := s.Issue("rw")
+	c2 := s.Delegate(root, "rw")
+	c3 := s.Delegate(c2, "r")
+	if err := s.Validate(c3); err != nil {
+		t.Fatal(err)
+	}
+	// Figure 4.4: destroying the shaded capability cuts off 2 and 3.
+	s.Revoke(c2)
+	if err := s.Validate(c2); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("c2: %v", err)
+	}
+	if err := s.Validate(c3); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("c3: %v", err)
+	}
+	if err := s.Validate(root); err != nil {
+		t.Fatalf("root: %v", err)
+	}
+}
+
+func TestChainValidationCostGrowsWithDepth(t *testing.T) {
+	s := NewChainService([]byte("k"))
+	c := s.Issue("rw")
+	for i := 0; i < 9; i++ {
+		c = s.Delegate(c, "rw")
+	}
+	before := s.SigChecks()
+	if err := s.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SigChecks() - before; got != 10 {
+		t.Fatalf("validation of depth-10 chain cost %d checks, want 10", got)
+	}
+}
+
+func TestChainForgeryDetected(t *testing.T) {
+	s := NewChainService([]byte("k"))
+	c := s.Issue("r")
+	c.Rights = "rw"
+	if err := s.Validate(c); err == nil {
+		t.Fatal("amplified rights accepted")
+	}
+}
+
+func TestICapBindingAndRevocation(t *testing.T) {
+	s := NewICapService([]byte("k"))
+	c := s.Issue("alice", "rw")
+	if err := s.Validate(c, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(c, "bob"); err == nil {
+		t.Fatal("capability used by wrong holder")
+	}
+	d, err := s.Delegate(c, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(d, "bob"); err != nil {
+		t.Fatal(err)
+	}
+	s.Revoke(c)
+	if err := s.Validate(c, "alice"); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("revoked: %v", err)
+	}
+	// Independent delegated copy survives (no cascade in I-Cap).
+	if err := s.Validate(d, "bob"); err != nil {
+		t.Fatalf("delegate after parent revocation: %v", err)
+	}
+}
+
+func TestICapRevocationListGrows(t *testing.T) {
+	// §4.5: state must be stored for all revoked capabilities forever.
+	s := NewICapService([]byte("k"))
+	for i := 0; i < 100; i++ {
+		s.Revoke(s.Issue("u", "r"))
+	}
+	if s.InvalidListLen() != 100 {
+		t.Fatalf("invalid list = %d", s.InvalidListLen())
+	}
+	if _, err := s.Delegate(&ICap{Holder: "x"}, "y"); err == nil {
+		t.Fatal("delegation of invalid capability accepted")
+	}
+}
+
+func TestLeaseRefreshAndRevocationLatency(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	s := NewLeaseService(clk, 10*time.Second)
+	l := s.Issue()
+	if !s.Valid(l) {
+		t.Fatal("fresh lease invalid")
+	}
+	clk.Advance(8 * time.Second)
+	if err := s.Refresh(l); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+	if !s.Valid(l) {
+		t.Fatal("refreshed lease expired early")
+	}
+	// Revocation takes effect only when the lease runs out.
+	s.Revoke(l)
+	if !s.Valid(l) {
+		t.Fatal("lease-based revocation was instant (should have latency)")
+	}
+	if err := s.Refresh(l); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("refresh after revoke: %v", err)
+	}
+	clk.Advance(11 * time.Second)
+	if s.Valid(l) {
+		t.Fatal("lease survived past expiry")
+	}
+	if s.Refreshes != 2 {
+		t.Fatalf("refreshes = %d", s.Refreshes)
+	}
+}

@@ -1,0 +1,213 @@
+// Package bus provides the communication substrate connecting OASIS
+// services: synchronous calls (the RPC side of the paper's extended RPC
+// system, §6.2.1) and asynchronous event notification, with per-link
+// failure and delay injection so that the heartbeat and event-horizon
+// experiments of §4.10 and §6.8 run deterministically on a virtual clock.
+//
+// This stands in for the ANSAware RPC runtime the dissertation used; the
+// behaviours that matter to the architecture — independent service
+// failure, message loss, delayed notification — are all reproducible.
+package bus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"oasis/internal/clock"
+	"oasis/internal/event"
+)
+
+// Endpoint is a service attached to the network.
+type Endpoint interface {
+	// Call handles a synchronous request.
+	Call(from, op string, arg any) (any, error)
+	// Deliver receives an asynchronous event notification.
+	Deliver(n event.Notification)
+}
+
+// ErrUnreachable is returned for calls over a failed link or to an
+// unregistered peer.
+var ErrUnreachable = errors.New("bus: peer unreachable")
+
+type linkKey struct{ a, b string }
+
+func normKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+type queued struct {
+	to  string
+	n   event.Notification
+	due time.Time
+	seq uint64
+}
+
+// Network is an in-process message fabric with failure injection.
+type Network struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	peers   map[string]Endpoint
+	remotes map[string]remoteLink // names reachable over TCP (tcp.go)
+	down    map[linkKey]bool
+	delay   map[linkKey]time.Duration
+	queue   []queued
+	nextSeq uint64
+	counts  map[string]int // message counters by kind
+}
+
+// NewNetwork creates a network over the given clock.
+func NewNetwork(clk clock.Clock) *Network {
+	return &Network{
+		clk:    clk,
+		peers:  make(map[string]Endpoint),
+		down:   make(map[linkKey]bool),
+		delay:  make(map[linkKey]time.Duration),
+		counts: make(map[string]int),
+	}
+}
+
+// Register attaches an endpoint under a unique name.
+func (n *Network) Register(name string, ep Endpoint) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.peers[name]; dup {
+		return fmt.Errorf("bus: name %q already registered", name)
+	}
+	n.peers[name] = ep
+	return nil
+}
+
+// SetDown fails or restores the (bidirectional) link between two peers.
+func (n *Network) SetDown(a, b string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[normKey(a, b)] = down
+}
+
+// SetDelay imposes a one-way-equivalent delivery delay on the link; it
+// applies to asynchronous notifications only (synchronous calls model a
+// blocking RPC).
+func (n *Network) SetDelay(a, b string, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delay[normKey(a, b)] = d
+}
+
+// Call performs a synchronous request from one peer to another; names
+// added with AddRemote are reached over their TCP link.
+func (n *Network) Call(from, to, op string, arg any) (any, error) {
+	n.mu.Lock()
+	ep, ok := n.peers[to]
+	remote := n.remotes[to]
+	downNow := n.down[normKey(from, to)]
+	n.counts["call:"+op]++
+	n.mu.Unlock()
+	if downNow || (!ok && remote == nil) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	if !ok {
+		return remote.call(from, to, op, arg)
+	}
+	return ep.Call(from, op, arg)
+}
+
+// Send delivers an event notification from one peer to another,
+// applying link failure (silent drop — exactly what heartbeats exist to
+// detect) and delay (queued until Flush past the due time).
+func (n *Network) Send(from, to string, note event.Notification) {
+	n.mu.Lock()
+	ep, ok := n.peers[to]
+	remote := n.remotes[to]
+	k := normKey(from, to)
+	n.counts["notify"]++
+	if note.Heartbeat {
+		n.counts["heartbeat"]++
+	}
+	if n.down[k] || (!ok && remote == nil) {
+		n.counts["dropped"]++
+		n.mu.Unlock()
+		return
+	}
+	if !ok {
+		n.mu.Unlock()
+		remote.send(from, to, note)
+		return
+	}
+	if d := n.delay[k]; d > 0 {
+		n.nextSeq++
+		n.queue = append(n.queue, queued{to: to, n: note, due: n.clk.Now().Add(d), seq: n.nextSeq})
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	ep.Deliver(note)
+}
+
+// Flush delivers every queued notification whose due time has passed, in
+// due-time order. Simulations call this after advancing the clock.
+func (n *Network) Flush() int {
+	n.mu.Lock()
+	now := n.clk.Now()
+	var due, rest []queued
+	for _, q := range n.queue {
+		if !q.due.After(now) {
+			due = append(due, q)
+		} else {
+			rest = append(rest, q)
+		}
+	}
+	n.queue = rest
+	sort.Slice(due, func(i, j int) bool {
+		if !due[i].due.Equal(due[j].due) {
+			return due[i].due.Before(due[j].due)
+		}
+		return due[i].seq < due[j].seq
+	})
+	eps := make([]Endpoint, len(due))
+	for i, q := range due {
+		eps[i] = n.peers[q.to]
+	}
+	n.mu.Unlock()
+	for i, q := range due {
+		if eps[i] != nil {
+			eps[i].Deliver(q.n)
+		}
+	}
+	return len(due)
+}
+
+// Pending reports queued (delayed) notifications not yet delivered.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Count reports a message counter ("call:<op>", "notify", "heartbeat",
+// "dropped"). The background-traffic experiment (E6) reads these.
+func (n *Network) Count(kind string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counts[kind]
+}
+
+// ResetCounts zeroes the message counters.
+func (n *Network) ResetCounts() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counts = make(map[string]int)
+}
+
+// Sink returns an event.Sink that sends notifications from `from` to
+// `to` over this network — used to subscribe a remote service to a
+// broker while keeping failure injection in the path.
+func (n *Network) Sink(from, to string) event.Sink {
+	return event.SinkFunc(func(note event.Notification) { n.Send(from, to, note) })
+}

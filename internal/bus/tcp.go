@@ -1,0 +1,270 @@
+package bus
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"oasis/internal/event"
+)
+
+// TCP bridging: a Network can serve its registered endpoints to remote
+// processes and route calls/notifications for remote names over real
+// sockets, so that OASIS services in different processes interwork with
+// the same semantics as in-process ones (the architecture is
+// "inherently distributed and scalable").
+//
+// The wire protocol is gob: one persistent connection per remote peer
+// link, multiplexing synchronous calls (with sequence-numbered replies)
+// and asynchronous notifications. Call/Send payloads must have their
+// concrete types gob-registered by the owning packages (see
+// oasis.RegisterWireTypes).
+
+type wireMsg struct {
+	Kind  string // "call", "reply", "notify"
+	Seq   uint64
+	From  string
+	To    string
+	Op    string
+	Arg   any
+	Err   string
+	Note  event.Notification
+	IsNil bool // reply payload was nil
+}
+
+// remoteLink routes traffic for one remote name.
+type remoteLink interface {
+	call(from, to, op string, arg any) (any, error)
+	send(from, to string, note event.Notification)
+}
+
+// backchannel is a notify-only route back to a peer that dialled us:
+// asynchronous notifications (Modified events, heartbeats) flow down
+// the same TCP connection its calls came up on, so a dialling service
+// needs no listener of its own.
+type backchannel struct {
+	mu  *sync.Mutex
+	enc *gob.Encoder
+}
+
+func (b *backchannel) call(from, to, op string, arg any) (any, error) {
+	return nil, fmt.Errorf("%w: %s (notify-only back-channel)", ErrUnreachable, to)
+}
+
+func (b *backchannel) send(from, to string, note event.Notification) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_ = b.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note})
+}
+
+// remotePeer is the client side of a TCP link to another Network.
+type remotePeer struct {
+	addr string
+	home *Network // dispatches inbound back-channel notifications
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	nextSeq uint64
+	waiting map[uint64]chan wireMsg
+}
+
+// ServeTCP exports this network's registered endpoints on the listener.
+// It blocks until the listener closes; run it in a goroutine and close
+// the listener to stop.
+func (n *Network) ServeTCP(ln net.Listener) error {
+	var wg sync.WaitGroup
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *Network) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var backNames []string
+	defer func() {
+		// Drop back-channels routed over this connection.
+		n.mu.Lock()
+		for _, name := range backNames {
+			if bc, ok := n.remotes[name].(*backchannel); ok && bc.enc == enc {
+				delete(n.remotes, name)
+			}
+		}
+		n.mu.Unlock()
+	}()
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		// The caller is reachable for notifications over this very
+		// connection; remember that unless it is already known.
+		if msg.From != "" {
+			n.mu.Lock()
+			_, local := n.peers[msg.From]
+			_, known := n.remotes[msg.From]
+			if !local && !known {
+				if n.remotes == nil {
+					n.remotes = make(map[string]remoteLink)
+				}
+				n.remotes[msg.From] = &backchannel{mu: &encMu, enc: enc}
+				backNames = append(backNames, msg.From)
+			}
+			n.mu.Unlock()
+		}
+		switch msg.Kind {
+		case "call":
+			go func(msg wireMsg) {
+				res, err := n.Call(msg.From, msg.To, msg.Op, msg.Arg)
+				reply := wireMsg{Kind: "reply", Seq: msg.Seq, Arg: res, IsNil: res == nil}
+				if err != nil {
+					reply.Err = err.Error()
+				}
+				encMu.Lock()
+				_ = enc.Encode(reply)
+				encMu.Unlock()
+			}(msg)
+		case "notify":
+			n.Send(msg.From, msg.To, msg.Note)
+		}
+	}
+}
+
+// AddRemote routes the given peer name over a TCP link to addr: calls
+// and notifications to that name cross the socket; the remote network
+// must be serving (ServeTCP) and have the name registered.
+func (n *Network) AddRemote(name, addr string) error {
+	p := &remotePeer{addr: addr, home: n, waiting: make(map[uint64]chan wireMsg)}
+	if err := p.connect(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.peers[name]; dup {
+		return fmt.Errorf("bus: name %q already registered", name)
+	}
+	if n.remotes == nil {
+		n.remotes = make(map[string]remoteLink)
+	}
+	n.remotes[name] = p
+	return nil
+}
+
+// CloseRemotes shuts down outgoing TCP links.
+func (n *Network) CloseRemotes() {
+	n.mu.Lock()
+	remotes := n.remotes
+	n.remotes = nil
+	n.mu.Unlock()
+	for _, link := range remotes {
+		if p, ok := link.(*remotePeer); ok {
+			p.mu.Lock()
+			if p.conn != nil {
+				_ = p.conn.Close()
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+func (p *remotePeer) connect() error {
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.conn = conn
+	p.enc = gob.NewEncoder(conn)
+	p.mu.Unlock()
+	go p.readLoop(conn)
+	return nil
+}
+
+func (p *remotePeer) readLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg wireMsg
+		if err := dec.Decode(&msg); err != nil {
+			// Fail all outstanding calls.
+			p.mu.Lock()
+			for seq, ch := range p.waiting {
+				ch <- wireMsg{Kind: "reply", Seq: seq, Err: "bus: connection lost"}
+				delete(p.waiting, seq)
+			}
+			p.mu.Unlock()
+			return
+		}
+		if msg.Kind == "notify" {
+			// Back-channel delivery (figure 4.8's event notification
+			// arriving over the link we dialled).
+			if p.home != nil {
+				p.home.Send(msg.From, msg.To, msg.Note)
+			}
+			continue
+		}
+		if msg.Kind != "reply" {
+			continue
+		}
+		p.mu.Lock()
+		ch, ok := p.waiting[msg.Seq]
+		delete(p.waiting, msg.Seq)
+		p.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
+	p.mu.Lock()
+	if p.conn == nil {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (link closed)", ErrUnreachable, to)
+	}
+	p.nextSeq++
+	seq := p.nextSeq
+	ch := make(chan wireMsg, 1)
+	p.waiting[seq] = ch
+	err := p.enc.Encode(wireMsg{Kind: "call", Seq: seq, From: from, To: to, Op: op, Arg: arg})
+	p.mu.Unlock()
+	if err != nil {
+		p.mu.Lock()
+		delete(p.waiting, seq)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	reply := <-ch
+	if reply.Err != "" {
+		return nil, errors.New(reply.Err)
+	}
+	if reply.IsNil {
+		return nil, nil
+	}
+	return reply.Arg, nil
+}
+
+func (p *remotePeer) send(from, to string, note event.Notification) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		return
+	}
+	_ = p.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note})
+}

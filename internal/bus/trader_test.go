@@ -1,0 +1,32 @@
+package bus
+
+import "testing"
+
+func TestTraderRegisterLookup(t *testing.T) {
+	tr := NewTrader()
+	tr.Register("Printer", "print-1")
+	tr.Register("Printer", "print-2")
+	tr.Register("Oasis.Validate", "Login")
+
+	got := tr.Lookup("Printer")
+	if len(got) != 2 || got[0] != "print-1" || got[1] != "print-2" {
+		t.Fatalf("Lookup = %v", got)
+	}
+	one, err := tr.LookupOne("Oasis.Validate")
+	if err != nil || one != "Login" {
+		t.Fatalf("LookupOne = %q, %v", one, err)
+	}
+	if _, err := tr.LookupOne("Nothing"); err == nil {
+		t.Fatal("lookup of unoffered interface succeeded")
+	}
+}
+
+func TestTraderWithdraw(t *testing.T) {
+	tr := NewTrader()
+	tr.Register("Printer", "p1")
+	tr.Withdraw("Printer", "p1")
+	if got := tr.Lookup("Printer"); len(got) != 0 {
+		t.Fatalf("Lookup after withdraw = %v", got)
+	}
+	tr.Withdraw("Printer", "ghost") // withdrawing the absent is a no-op
+}

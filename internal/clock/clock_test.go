@@ -1,0 +1,87 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualNowAdvances(t *testing.T) {
+	start := time.Date(1996, 3, 1, 0, 0, 0, 0, time.UTC)
+	v := NewVirtual(start)
+	if got := v.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	v.Advance(5 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Fatalf("Now() after advance = %v", got)
+	}
+}
+
+func TestVirtualAfterFires(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case got := <-ch:
+		want := time.Unix(11, 0)
+		if !got.Equal(want) {
+			t.Fatalf("fired at %v, want %v", got, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("zero-duration timer did not fire")
+	}
+}
+
+func TestVirtualSetIgnoresPast(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	v.Set(time.Unix(50, 0))
+	if got := v.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Fatalf("Set moved clock backwards to %v", got)
+	}
+	v.Set(time.Unix(200, 0))
+	if got := v.Now(); !got.Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set did not move clock forwards, got %v", got)
+	}
+}
+
+func TestDriftingOffset(t *testing.T) {
+	v := NewVirtual(time.Unix(1000, 0))
+	d := NewDrifting(v, 3*time.Second)
+	if got := d.Now(); !got.Equal(time.Unix(1003, 0)) {
+		t.Fatalf("drifted Now() = %v", got)
+	}
+	v.Advance(time.Second)
+	if got := d.Now(); !got.Equal(time.Unix(1004, 0)) {
+		t.Fatalf("drifted Now() after advance = %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

@@ -1,0 +1,199 @@
+// Package composite implements the distributed composite event language
+// of chapter 6 of the paper: base event templates with parameter
+// matching and side expressions, the sequence (;), inclusive-or (|),
+// without (-) and whenever ($) operators, AbsTime timers, and the
+// 'push-down' evaluation machine of §6.7 in which independent beads
+// carry environments so that network delay affecting one sub-evaluation
+// does not disturb others.
+//
+// Surface syntax (ASCII rendering of the paper's notation):
+//
+//	$Seen(B, R2); Seen(B, R) - Seen(B, R2)
+//	Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)
+//	$Alarm() {t := @+60}; AbsTime(t); $OwnsBadge(B, P); Seen(B)
+//	A - B {Delay="5s"}
+//	Open(x); COUNT(Deposit(x, y) - Close(x))
+package composite
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// Node is a composite event expression.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// SideOp enumerates side-expression operators (§6.5.1). OpAssign binds
+// the left variable to the right expression's value.
+type SideOp int
+
+// Side-expression operators.
+const (
+	SideEq SideOp = iota + 1
+	SideNeq
+	SideLt
+	SideLe
+	SideGt
+	SideGe
+	SideAssign
+)
+
+func (o SideOp) String() string {
+	switch o {
+	case SideEq:
+		return "="
+	case SideNeq:
+		return "!="
+	case SideLt:
+		return "<"
+	case SideLe:
+		return "<="
+	case SideGt:
+		return ">"
+	case SideGe:
+		return ">="
+	case SideAssign:
+		return ":="
+	default:
+		return "?"
+	}
+}
+
+// SideTerm is an operand of a side expression: a variable, a literal,
+// or the current time '@' plus an offset in seconds.
+type SideTerm struct {
+	Var    string
+	Lit    *value.Value
+	IsNow  bool
+	Offset time.Duration // applies to IsNow
+}
+
+func (t SideTerm) String() string {
+	switch {
+	case t.Var != "":
+		return t.Var
+	case t.IsNow && t.Offset != 0:
+		return fmt.Sprintf("@+%d", int(t.Offset/time.Second))
+	case t.IsNow:
+		return "@"
+	case t.Lit != nil:
+		return t.Lit.String()
+	default:
+		return "<term>"
+	}
+}
+
+// SideExpr is one clause of a base event's side expression.
+type SideExpr struct {
+	L  string // always a variable on the left
+	Op SideOp
+	R  SideTerm
+}
+
+func (s SideExpr) String() string {
+	return s.L + " " + s.Op.String() + " " + s.R.String()
+}
+
+// Base is a base event template with optional side expressions (§6.5).
+type Base struct {
+	T    event.Template
+	Side []SideExpr
+}
+
+func (b Base) isNode() {}
+
+func (b Base) String() string {
+	s := b.T.String()
+	if len(b.Side) > 0 {
+		parts := make([]string, len(b.Side))
+		for i, se := range b.Side {
+			parts[i] = se.String()
+		}
+		s += " {" + strings.Join(parts, ", ") + "}"
+	}
+	return s
+}
+
+// Seq is the sequence operator C1 ; C2 — C2 evaluated from each
+// occurrence time of C1 (§6.5). It does not mean "immediately
+// following": no interest is registered in other events.
+type Seq struct{ L, R Node }
+
+func (Seq) isNode() {}
+
+func (s Seq) String() string { return s.L.String() + "; " + s.R.String() }
+
+// Or is the inclusive-or operator C1 | C2.
+type Or struct{ L, R Node }
+
+func (Or) isNode() {}
+
+func (o Or) String() string { return "(" + o.L.String() + " | " + o.R.String() + ")" }
+
+// Without is C1 - C2: C1 occurs without C2 having occurred first. Delay
+// optionally trades certainty for latency (§6.8.3); Margin widens the
+// ordering comparison to account for clock drift (§6.8.4).
+type Without struct {
+	L, R   Node
+	Delay  time.Duration // 0 = wait for the event horizon
+	HasDel bool
+	Margin time.Duration // probability-of-ordering allowance
+}
+
+func (Without) isNode() {}
+
+func (w Without) String() string {
+	s := "(" + w.L.String() + " - " + w.R.String()
+	if w.HasDel {
+		s += fmt.Sprintf(" {Delay=%q}", w.Delay)
+	}
+	if w.Margin != 0 {
+		s += fmt.Sprintf(" {Margin=%q}", w.Margin)
+	}
+	return s + ")"
+}
+
+// Whenever is the $ operator (§6.4.2): a new evaluation starts each time
+// the previous one completes, each with (potentially) different
+// bindings; it replaces the Kleene star in an open environment.
+type Whenever struct{ E Node }
+
+func (Whenever) isNode() {}
+
+func (w Whenever) String() string { return "$" + w.E.String() }
+
+// AbsTime triggers at the absolute time bound to its variable (used by
+// the fire-drill example: $Alarm() {t := @+60}; AbsTime(t); ...).
+type AbsTime struct{ Var string }
+
+func (AbsTime) isNode() {}
+
+func (a AbsTime) String() string { return "AbsTime(" + a.Var + ")" }
+
+// Agg wraps a sub-expression with an aggregation function (§6.9): the
+// function collates the sub-expression's occurrence stream (with
+// meta-events about the fixed portion of the queue) and emits derived
+// occurrences.
+type Agg struct {
+	Name string
+	E    Node
+}
+
+func (Agg) isNode() {}
+
+func (a Agg) String() string { return a.Name + "(" + a.E.String() + ")" }
+
+// Null is the trivial event that occurs at the evaluation start time; it
+// completes the algebra's correspondence with regular expressions (§6.5).
+type Null struct{}
+
+func (Null) isNode() {}
+
+func (Null) String() string { return "null" }

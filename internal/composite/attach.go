@@ -1,0 +1,99 @@
+package composite
+
+import (
+	"sync"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// Attachment connects a Machine to an event broker: every template a
+// strand starts waiting for is registered with the broker — already
+// narrowed by bound variables, so "only events that are truly of
+// interest are ever registered" (§6.7) — and notifications feed the
+// machine, with horizons flowing from every notification.
+type Attachment struct {
+	m      *Machine
+	broker *event.Broker
+	sess   uint64
+
+	mu         sync.Mutex
+	registered map[string]bool // template strings already registered
+	err        error
+}
+
+// Attach opens a session on the broker and arranges for the machine's
+// registrations to be mirrored there. Call before Machine.Start so
+// initial registrations are captured; the machine's OnRegister option
+// must be wired with the returned attachment via Hook.
+//
+// Typical use:
+//
+//	var at *composite.Attachment
+//	m := composite.NewMachine(expr, out, composite.MachineOptions{
+//	    Sources:    []string{"SiteA"},
+//	    OnRegister: func(t event.Template) { at.Register(t) },
+//	})
+//	at, err := composite.Attach(m, broker, credentials)
+//	m.Start(now, nil)
+func Attach(m *Machine, broker *event.Broker, credentials any) (*Attachment, error) {
+	a := &Attachment{m: m, broker: broker, registered: make(map[string]bool)}
+	sess, err := broker.OpenSession(event.SinkFunc(a.deliver), credentials)
+	if err != nil {
+		return nil, err
+	}
+	a.sess = sess
+	return a, nil
+}
+
+// Register mirrors one machine registration onto the broker,
+// de-duplicating by template identity. Safe to call from the machine's
+// OnRegister hook.
+func (a *Attachment) Register(t event.Template) {
+	key := t.String()
+	a.mu.Lock()
+	if a.registered[key] {
+		a.mu.Unlock()
+		return
+	}
+	a.registered[key] = true
+	a.mu.Unlock()
+	if _, err := a.broker.Register(a.sess, t); err != nil {
+		a.mu.Lock()
+		a.err = err
+		a.mu.Unlock()
+	}
+}
+
+// Err reports the first registration error, if any.
+func (a *Attachment) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Registrations reports how many distinct templates were registered —
+// the §6.7 efficiency measure.
+func (a *Attachment) Registrations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.registered)
+}
+
+// deliver feeds notifications to the machine. Horizon timestamps flow
+// from every notification (heartbeats included), driving the 'without'
+// operator and aggregation fixed sections.
+func (a *Attachment) deliver(n event.Notification) {
+	a.m.ProcessHorizon(n.Source, n.Horizon)
+	if !n.Heartbeat {
+		a.m.Process(n.Event)
+	}
+}
+
+// StartAt is a convenience that starts the machine slightly before now,
+// so occurrences stamped at the current instant still match (base
+// events match strictly after the start time).
+func (a *Attachment) StartAt(now time.Time, env value.Env) {
+	a.m.Start(now.Add(-time.Nanosecond), env)
+}

@@ -1,0 +1,89 @@
+package composite
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/clock"
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+func TestAttachMirrorsNarrowedRegistrations(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	broker := event.NewBroker("DB", clk, event.BrokerOptions{})
+
+	var at *Attachment
+	var occ []Occurrence
+	m := NewMachine(
+		MustParse(`OwnsBadge("rjh21", b); Seen(b, room)`, ParseOptions{}),
+		func(o Occurrence) { occ = append(occ, o) },
+		MachineOptions{
+			Sources:    []string{"DB"},
+			OnRegister: func(tm event.Template) { at.Register(tm) },
+		})
+	var err error
+	at, err = Attach(m, broker, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at.StartAt(clk.Now(), value.Env{})
+
+	if at.Registrations() != 1 {
+		t.Fatalf("initial registrations = %d, want 1 (only OwnsBadge)", at.Registrations())
+	}
+	// An irrelevant Seen event before the badge is known must NOT reach
+	// the machine at all — the broker filters it (§6.7's efficiency
+	// point, stronger than machine-side filtering).
+	clk.Advance(time.Second)
+	broker.Signal(event.New("Seen", value.Str("b99"), value.Str("T14")))
+	if _, matched := m.Stats(); matched != 0 {
+		t.Fatal("unregistered event reached the machine")
+	}
+
+	clk.Advance(time.Second)
+	broker.Signal(event.New("OwnsBadge", value.Str("rjh21"), value.Str("b7")))
+	if at.Registrations() != 2 {
+		t.Fatalf("registrations after binding = %d, want 2", at.Registrations())
+	}
+	clk.Advance(time.Second)
+	broker.Signal(event.New("Seen", value.Str("b7"), value.Str("T15")))
+	if len(occ) != 1 || occ[0].Env["room"].S != "T15" {
+		t.Fatalf("occurrences = %v", occ)
+	}
+	if err := at.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachHeartbeatsDriveHorizons(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	broker := event.NewBroker("S", clk, event.BrokerOptions{})
+	var at *Attachment
+	var occ []Occurrence
+	m := NewMachine(
+		MustParse(`A() - B()`, ParseOptions{}),
+		func(o Occurrence) { occ = append(occ, o) },
+		MachineOptions{
+			Sources:    []string{"S"},
+			OnRegister: func(tm event.Template) { at.Register(tm) },
+		})
+	var err error
+	at, err = Attach(m, broker, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at.StartAt(clk.Now(), value.Env{})
+
+	clk.Advance(time.Second)
+	broker.Signal(event.New("A"))
+	if len(occ) != 0 {
+		t.Fatal("without fired before horizon")
+	}
+	// A heartbeat carries the horizon past A's timestamp.
+	clk.Advance(5 * time.Second)
+	broker.Heartbeat()
+	if len(occ) != 1 {
+		t.Fatalf("occurrences = %d after heartbeat", len(occ))
+	}
+}

@@ -1,0 +1,556 @@
+package composite
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// Occurrence is one triggering of a composite event: an occurrence time
+// and the environment of variable bindings accumulated during matching
+// (§6.5: an evaluation returns a set of (occurrence time, environment)
+// tuples — in practice a stream).
+type Occurrence struct {
+	Time time.Time
+	Env  value.Env
+}
+
+// Aggregator collates a stream of occurrences (§6.9). OnOccurrence is
+// called per sub-event; OnFixed is the meta-event reporting that the
+// fixed portion of the queue has grown to t — no occurrence with an
+// earlier timestamp can now arrive. Both may emit derived occurrences.
+type Aggregator interface {
+	OnOccurrence(Occurrence) []Occurrence
+	OnFixed(t time.Time) []Occurrence
+}
+
+// AggFactory creates an aggregator instance for one evaluation (there
+// may be many simultaneous independent evaluations, §6.9).
+type AggFactory func(start time.Time, env value.Env) Aggregator
+
+// Machine evaluates one composite expression over a stream of events —
+// the push-down machine of §6.7. Each evaluation strand ("bead")
+// carries its own environment; strands are independent, so delay in one
+// does not block another.
+type Machine struct {
+	mu sync.Mutex
+
+	expr     Node
+	out      func(Occurrence)
+	aggTable map[string]AggFactory
+
+	watchers []*watcher
+	timers   []*timerEntry
+	withouts []*withoutState
+	aggs     []*aggState
+
+	declared  map[string]bool
+	horizons  map[string]time.Time
+	lastEvent time.Time
+	curTime   time.Time
+
+	// onRegister, if set, is told each ground template a strand starts
+	// waiting for — the hook a client library uses to register interest
+	// with event brokers, keeping registrations minimal (§6.7).
+	onRegister func(event.Template)
+
+	beads   int // total strands started (for the E16 benchmark)
+	matched int
+}
+
+// watcher is a bead waiting in a Base state.
+type watcher struct {
+	active  bool
+	persist bool // whenever-over-base: matches every event after `after`
+	after   time.Time
+	tmpl    event.Template
+	side    []SideExpr
+	env     value.Env
+	emit    func(Occurrence)
+}
+
+type timerEntry struct {
+	active bool
+	at     time.Time
+	env    value.Env
+	emit   func(Occurrence)
+}
+
+type withoutState struct {
+	w       Without
+	start   time.Time
+	rTimes  []time.Time
+	pending []Occurrence
+	emit    func(Occurrence)
+	m       *Machine
+	// singleL: the left side is a plain base event, which can fire at
+	// most once; once it has and its pending occurrence is resolved, the
+	// state is dead and can be collected ("beads are destroyed when no
+	// longer required", §6.7).
+	singleL bool
+	lFired  bool
+	done    bool
+}
+
+type aggState struct {
+	inst  Aggregator
+	emit  func(Occurrence)
+	fixed time.Time
+}
+
+// Options configure a Machine.
+type MachineOptions struct {
+	// Sources declares the event sources feeding this machine. With
+	// sources declared, event absence is only assumed once every
+	// source's horizon has passed the instant in question (§6.8.2).
+	// With none declared, events are assumed totally ordered and the
+	// last processed timestamp is the horizon.
+	Sources []string
+	// Aggs supplies aggregation functions by name.
+	Aggs map[string]AggFactory
+	// OnRegister observes template registrations.
+	OnRegister func(event.Template)
+}
+
+// NewMachine compiles an expression into a runnable machine delivering
+// occurrences to out.
+func NewMachine(expr Node, out func(Occurrence), opts MachineOptions) *Machine {
+	m := &Machine{
+		expr:       expr,
+		out:        out,
+		aggTable:   opts.Aggs,
+		declared:   make(map[string]bool),
+		horizons:   make(map[string]time.Time),
+		onRegister: opts.OnRegister,
+	}
+	for _, s := range opts.Sources {
+		m.declared[s] = true
+	}
+	return m
+}
+
+// Start begins an evaluation at time s with initial environment env
+// (which may pre-bind variables, §6.5).
+func (m *Machine) Start(s time.Time, env value.Env) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if env == nil {
+		env = value.Env{}
+	}
+	if s.After(m.curTime) {
+		m.curTime = s
+	}
+	m.start(m.expr, s, env, m.out)
+}
+
+// start spawns an evaluation strand for node n. Must hold m.mu.
+func (m *Machine) start(n Node, s time.Time, env value.Env, emit func(Occurrence)) {
+	m.beads++
+	switch x := n.(type) {
+	case Null:
+		emit(Occurrence{Time: s, Env: env})
+	case Base:
+		w := &watcher{active: true, after: s, tmpl: x.T, side: x.Side, env: env, emit: emit}
+		m.watchers = append(m.watchers, w)
+		if m.onRegister != nil {
+			m.onRegister(x.T.Instantiate(env))
+		}
+	case Seq:
+		m.start(x.L, s, env, func(o Occurrence) {
+			m.start(x.R, o.Time, o.Env, emit)
+		})
+	case Or:
+		m.start(x.L, s, env, emit)
+		m.start(x.R, s, env, emit)
+	case Whenever:
+		if b, ok := x.E.(Base); ok {
+			// The common case — $ over a base event — is one persistent
+			// watcher matching every event after s, each with a fresh
+			// binding (§6.4.2). Keeping the original start time means a
+			// delayed earlier event still matches, so misordered arrival
+			// converges to the same result set (figure 6.4).
+			w := &watcher{active: true, persist: true, after: s,
+				tmpl: b.T, side: b.Side, env: env, emit: emit}
+			m.watchers = append(m.watchers, w)
+			if m.onRegister != nil {
+				m.onRegister(b.T.Instantiate(env))
+			}
+			return
+		}
+		var loop func(time.Time)
+		loop = func(from time.Time) {
+			m.start(x.E, from, env, func(o Occurrence) {
+				emit(o)
+				if o.Time.After(from) { // guard against $null divergence
+					loop(o.Time)
+				}
+			})
+		}
+		loop(s)
+	case Without:
+		_, singleL := x.L.(Base)
+		st := &withoutState{w: x, start: s, emit: emit, m: m, singleL: singleL}
+		m.withouts = append(m.withouts, st)
+		m.start(x.L, s, env, st.onL)
+		m.start(x.R, s, env, st.onR)
+	case AbsTime:
+		v, ok := env[x.Var]
+		if !ok || v.T.Kind != value.KindInt {
+			return // unbound timer never fires
+		}
+		at := time.Unix(0, v.I)
+		t := &timerEntry{active: true, at: at, env: env, emit: emit}
+		m.timers = append(m.timers, t)
+		m.fireTimersLocked()
+	case Agg:
+		factory, ok := m.aggTable[x.Name]
+		if !ok {
+			return
+		}
+		st := &aggState{inst: factory(s, env), emit: emit}
+		m.aggs = append(m.aggs, st)
+		m.start(x.E, s, env, func(o Occurrence) {
+			for _, oo := range st.inst.OnOccurrence(o) {
+				emit(oo)
+			}
+		})
+	default:
+		panic(fmt.Sprintf("composite: unknown node %T", n))
+	}
+}
+
+// Process feeds one event into the machine (events may arrive out of
+// timestamp order; strands evaluate independently, figure 6.4).
+func (m *Machine) Process(ev event.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ev.Time.After(m.lastEvent) {
+		m.lastEvent = ev.Time
+	}
+	if ev.Time.After(m.curTime) {
+		m.curTime = ev.Time
+	}
+	// Fire due timers before matching, so an evaluation gated on an
+	// absolute time sees events that carry the clock past it — the
+	// machine-internal analogue of retrospective registration (§6.8.1).
+	m.fireTimersLocked()
+	snapshot := m.watchers
+	for _, w := range snapshot {
+		if !w.active || !ev.Time.After(w.after) {
+			continue
+		}
+		env, ok := w.tmpl.Match(ev, w.env)
+		if !ok {
+			continue
+		}
+		env, ok = applySide(w.side, env, ev.Time)
+		if !ok {
+			continue
+		}
+		if !w.persist {
+			w.active = false
+		}
+		m.matched++
+		w.emit(Occurrence{Time: ev.Time, Env: env})
+	}
+	m.advanceLocked()
+	m.compactLocked()
+}
+
+// ProcessHorizon records an event-horizon timestamp from a source
+// (§6.8.2): no event with an earlier stamp will arrive from it.
+func (m *Machine) ProcessHorizon(source string, t time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.After(m.horizons[source]) {
+		m.horizons[source] = t
+	}
+	if t.After(m.curTime) {
+		m.curTime = t
+	}
+	m.advanceLocked()
+}
+
+// Tick advances the machine's notion of current time (for Delay-based
+// releases and AbsTime timers).
+func (m *Machine) Tick(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now.After(m.curTime) {
+		m.curTime = now
+	}
+	m.advanceLocked()
+}
+
+// minHorizon is the instant up to which the event stream is known
+// complete: the minimum across declared sources, or the last processed
+// event time when no sources are declared (total order assumption).
+func (m *Machine) minHorizon() time.Time {
+	if len(m.declared) == 0 {
+		return m.lastEvent
+	}
+	var minT time.Time
+	first := true
+	for src := range m.declared {
+		h := m.horizons[src]
+		if first || h.Before(minT) {
+			minT = h
+			first = false
+		}
+	}
+	return minT
+}
+
+// advanceLocked releases pending without-occurrences and fires timers
+// and aggregation meta-events after any time/horizon progress.
+func (m *Machine) advanceLocked() {
+	m.fireTimersLocked()
+	for _, st := range m.withouts {
+		if !st.done {
+			st.advance()
+		}
+	}
+	// Aggregators' fixed boundary trails the horizon by ε: an operator
+	// such as 'without' only releases an occurrence at time t once the
+	// horizon passes t, so occurrences exactly at the horizon may still
+	// be in flight inside the machine.
+	fixed := m.minHorizon()
+	if !fixed.IsZero() {
+		fixed = fixed.Add(-time.Nanosecond)
+		for _, ag := range m.aggs {
+			if fixed.After(ag.fixed) {
+				ag.fixed = fixed
+				for _, oo := range ag.inst.OnFixed(fixed) {
+					ag.emit(oo)
+				}
+			}
+		}
+	}
+}
+
+func (m *Machine) fireTimersLocked() {
+	for _, t := range m.timers {
+		if t.active && !t.at.After(m.curTime) {
+			t.active = false
+			t.emit(Occurrence{Time: t.at, Env: t.env})
+		}
+	}
+}
+
+// compactLocked drops dead watchers and timers ("beads are destroyed
+// when no longer required", §6.7).
+func (m *Machine) compactLocked() {
+	if len(m.watchers) > 64 {
+		live := m.watchers[:0]
+		for _, w := range m.watchers {
+			if w.active {
+				live = append(live, w)
+			}
+		}
+		m.watchers = live
+	}
+	if len(m.timers) > 64 {
+		live := m.timers[:0]
+		for _, t := range m.timers {
+			if t.active {
+				live = append(live, t)
+			}
+		}
+		m.timers = live
+	}
+	if len(m.withouts) > 64 {
+		live := m.withouts[:0]
+		for _, st := range m.withouts {
+			if !st.done {
+				live = append(live, st)
+			}
+		}
+		m.withouts = live
+	}
+}
+
+// ActiveWatchers reports the live registrations (§6.7: only events that
+// are truly of interest are ever registered).
+func (m *Machine) ActiveWatchers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.watchers {
+		if w.active {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports strand and match counts.
+func (m *Machine) Stats() (beads, matched int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.beads, m.matched
+}
+
+// onL handles an occurrence of the left side of a without.
+func (st *withoutState) onL(o Occurrence) {
+	st.lFired = true
+	if st.blocked(o.Time) {
+		st.refreshDone()
+		return
+	}
+	if st.certain(o.Time) {
+		st.emit(o)
+		st.refreshDone()
+		return
+	}
+	st.pending = append(st.pending, o)
+}
+
+// refreshDone marks the state collectable once nothing more can happen.
+func (st *withoutState) refreshDone() {
+	if st.singleL && st.lFired && len(st.pending) == 0 {
+		st.done = true
+	}
+}
+
+// onR records an occurrence of the right side and kills blocked pending
+// occurrences (the semantics of 'without', §6.5).
+func (st *withoutState) onR(o Occurrence) {
+	st.rTimes = append(st.rTimes, o.Time)
+	live := st.pending[:0]
+	for _, p := range st.pending {
+		if !st.blocked(p.Time) {
+			live = append(live, p)
+		}
+	}
+	st.pending = live
+	st.refreshDone()
+}
+
+// blocked reports whether an R occurrence at or before tL (within the
+// clock-drift margin, §6.8.4) has been seen.
+func (st *withoutState) blocked(tL time.Time) bool {
+	limit := tL.Add(st.w.Margin)
+	for _, tR := range st.rTimes {
+		if !tR.After(limit) {
+			return true
+		}
+	}
+	return false
+}
+
+// certain reports whether absence of an earlier R occurrence can now be
+// assumed: the event horizon has passed tL (plus margin), or the Delay
+// annotation's deadline has expired (§6.8.3: trading correctness).
+func (st *withoutState) certain(tL time.Time) bool {
+	if st.m.minHorizon().After(tL.Add(st.w.Margin)) {
+		return true
+	}
+	if st.w.HasDel && !st.m.curTime.Before(tL.Add(st.w.Delay)) {
+		return true
+	}
+	return false
+}
+
+// advance releases pending occurrences that have become certain.
+func (st *withoutState) advance() {
+	var release []Occurrence
+	live := st.pending[:0]
+	for _, p := range st.pending {
+		switch {
+		case st.blocked(p.Time):
+			// drop
+		case st.certain(p.Time):
+			release = append(release, p)
+		default:
+			live = append(live, p)
+		}
+	}
+	st.pending = live
+	for _, o := range release {
+		st.emit(o)
+	}
+	st.refreshDone()
+}
+
+// applySide evaluates side expressions (§6.5.1) against the matched
+// environment; now is the matched event's timestamp (the '@' value).
+func applySide(side []SideExpr, env value.Env, now time.Time) (value.Env, bool) {
+	for _, se := range side {
+		rv, ok := sideValue(se.R, env, now)
+		if !ok {
+			return nil, false
+		}
+		if se.Op == SideAssign {
+			env = env.Extend(se.L, rv)
+			continue
+		}
+		lv, bound := env[se.L]
+		if !bound {
+			return nil, false
+		}
+		if !compareSide(se.Op, lv, rv) {
+			return nil, false
+		}
+	}
+	return env, true
+}
+
+func sideValue(t SideTerm, env value.Env, now time.Time) (value.Value, bool) {
+	switch {
+	case t.IsNow:
+		return value.Int(now.Add(t.Offset).UnixNano()), true
+	case t.Var != "":
+		v, ok := env[t.Var]
+		return v, ok
+	case t.Lit != nil:
+		return *t.Lit, true
+	default:
+		return value.Value{}, false
+	}
+}
+
+func compareSide(op SideOp, l, r value.Value) bool {
+	switch op {
+	case SideEq:
+		return l.Equal(r)
+	case SideNeq:
+		return !l.Equal(r)
+	}
+	if !l.T.Equal(r.T) {
+		return false
+	}
+	var c int
+	switch l.T.Kind {
+	case value.KindInt:
+		switch {
+		case l.I < r.I:
+			c = -1
+		case l.I > r.I:
+			c = 1
+		}
+	case value.KindString:
+		switch {
+		case l.S < r.S:
+			c = -1
+		case l.S > r.S:
+			c = 1
+		}
+	default:
+		return false
+	}
+	switch op {
+	case SideLt:
+		return c < 0
+	case SideLe:
+		return c <= 0
+	case SideGt:
+		return c > 0
+	case SideGe:
+		return c >= 0
+	default:
+		return false
+	}
+}

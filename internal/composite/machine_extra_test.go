@@ -1,0 +1,173 @@
+package composite
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+func TestLeavesExample(t *testing.T) {
+	// §6.6 Leaves(B, R2): identical to Enters except the old location is
+	// signalled.
+	f := newFeeder(t, `$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, MachineOptions{})
+	f.send(1, "Seen", str("b1"), str("T14"))
+	f.send(2, "Seen", str("b1"), str("T15"))
+	f.send(20, "Tick")
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	// R2 carries the room left, R the room entered.
+	if f.occ[0].Env["R2"].S != "T14" || f.occ[0].Env["R"].S != "T15" {
+		t.Fatalf("leaves binding = %v", f.occ[0].Env)
+	}
+}
+
+func TestRuntimeDriftMargin(t *testing.T) {
+	// §6.8.4: with a high required probability of correct ordering, an R
+	// occurrence just *after* L (within the drift margin) still blocks.
+	f := newFeeder(t, `A() - B() {Probability=99}`, MachineOptions{})
+	// Margin at 99% is 990ms: B at +2.5s is within the margin of A at 2s.
+	f.m.Process(f.at(2, "s1", "A"))
+	f.m.Process(event.Event{Name: "B", Source: "s2",
+		Time: f.t0.Add(2500 * time.Millisecond)})
+	f.send(20, "Tick")
+	if len(f.occ) != 0 {
+		t.Fatalf("occurrences = %d; drift margin ignored", len(f.occ))
+	}
+	// Without the probability requirement, timestamp order decides.
+	g := newFeeder(t, `A() - B()`, MachineOptions{})
+	g.m.Process(g.at(2, "s1", "A"))
+	g.m.Process(event.Event{Name: "B", Source: "s2",
+		Time: g.t0.Add(2500 * time.Millisecond)})
+	g.send(20, "Tick")
+	if len(g.occ) != 1 {
+		t.Fatalf("plain without occurrences = %d", len(g.occ))
+	}
+}
+
+func TestWheneverOverComplexExpression(t *testing.T) {
+	// The general $ form: a new evaluation starts each time the previous
+	// completes — here over a sequence.
+	f := newFeeder(t, `$(A(); B())`, MachineOptions{})
+	f.send(1, "A")
+	f.send(2, "B") // completes; a new evaluation starts from t=2
+	f.send(3, "A")
+	f.send(4, "B")
+	f.send(5, "B") // no pending A: ignored
+	if len(f.occ) != 2 {
+		t.Fatalf("occurrences = %d, want 2", len(f.occ))
+	}
+}
+
+func TestMultiSourceHorizonIsMinimum(t *testing.T) {
+	f := newFeeder(t, `A() - B()`, MachineOptions{Sources: []string{"s1", "s2", "s3"}})
+	f.m.Process(f.at(2, "s1", "A"))
+	f.horizonAll(10, "s1", "s2")
+	if len(f.occ) != 0 {
+		t.Fatal("released while s3's horizon is unknown")
+	}
+	f.m.ProcessHorizon("s3", f.t0.Add(1*time.Second))
+	if len(f.occ) != 0 {
+		t.Fatal("released while s3's horizon is behind")
+	}
+	f.m.ProcessHorizon("s3", f.t0.Add(3*time.Second))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d after all horizons pass", len(f.occ))
+	}
+}
+
+func TestHorizonRegressionDoesNotRewind(t *testing.T) {
+	f := newFeeder(t, `A() - B()`, MachineOptions{Sources: []string{"s1"}})
+	f.m.ProcessHorizon("s1", f.t0.Add(10*time.Second))
+	f.m.ProcessHorizon("s1", f.t0.Add(5*time.Second)) // stale: ignored
+	f.m.Process(f.at(2, "s1", "A"))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d (horizon rewound?)", len(f.occ))
+	}
+}
+
+func TestSequenceRequiresStrictlyAfter(t *testing.T) {
+	// A; B with B carrying the same timestamp as A does not satisfy the
+	// sequence (occurrence times are strictly ordered per source).
+	n := MustParse(`A(); B()`, ParseOptions{})
+	var occ []Occurrence
+	m := NewMachine(n, func(o Occurrence) { occ = append(occ, o) }, MachineOptions{})
+	t0 := time.Unix(1000, 0)
+	m.Start(t0, value.Env{})
+	m.Process(event.Event{Name: "A", Source: "s", Time: t0.Add(time.Second)})
+	m.Process(event.Event{Name: "B", Source: "s2", Time: t0.Add(time.Second)})
+	if len(occ) != 0 {
+		t.Fatal("equal-timestamp B satisfied the sequence")
+	}
+	m.Process(event.Event{Name: "B", Source: "s", Time: t0.Add(2 * time.Second)})
+	if len(occ) != 1 {
+		t.Fatal("later B did not satisfy the sequence")
+	}
+}
+
+func TestStartWithPreBoundEnvironment(t *testing.T) {
+	// §6.5: evaluation is defined over an initial environment E; a
+	// pre-bound variable restricts matching.
+	n := MustParse(`Seen(b, r)`, ParseOptions{})
+	var occ []Occurrence
+	m := NewMachine(n, func(o Occurrence) { occ = append(occ, o) }, MachineOptions{})
+	t0 := time.Unix(1000, 0)
+	m.Start(t0, value.Env{}.Extend("b", value.Str("b7")))
+	m.Process(event.Event{Name: "Seen", Source: "s",
+		Args: []value.Value{value.Str("b9"), value.Str("T14")}, Time: t0.Add(time.Second)})
+	if len(occ) != 0 {
+		t.Fatal("pre-bound variable ignored")
+	}
+	m.Process(event.Event{Name: "Seen", Source: "s",
+		Args: []value.Value{value.Str("b7"), value.Str("T14")}, Time: t0.Add(2 * time.Second)})
+	if len(occ) != 1 {
+		t.Fatal("matching event missed")
+	}
+}
+
+func TestCompactionKeepsLiveWatchers(t *testing.T) {
+	// Force compaction past the 64-watcher threshold and verify a live
+	// persistent watcher still fires afterwards.
+	f := newFeeder(t, `$Seen(B, R)`, MachineOptions{})
+	for i := 0; i < 200; i++ {
+		f.send(i+1, "Seen", str("b"), str("T14"))
+	}
+	if len(f.occ) != 200 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+}
+
+func TestWithoutNestedInSequenceChains(t *testing.T) {
+	// front; (floor; floor) - hit(i): the double-bounce clause of the
+	// squash example.
+	f := newFeeder(t, `front; (floor; floor) - hit(i)`, MachineOptions{})
+	f.send(1, "front")
+	f.send(2, "floor")
+	f.send(3, "hit", str("p1")) // player reached it: no point-end
+	f.send(4, "floor")
+	f.send(20, "Tick")
+	if len(f.occ) != 0 {
+		t.Fatalf("double bounce signalled despite hit: %v", f.occ)
+	}
+	g := newFeeder(t, `front; (floor; floor) - hit(i)`, MachineOptions{})
+	g.send(1, "front")
+	g.send(2, "floor")
+	g.send(3, "floor")
+	g.send(20, "Tick")
+	if len(g.occ) != 1 {
+		t.Fatalf("double bounce not signalled: %d", len(g.occ))
+	}
+}
+
+func TestBeadStatsGrow(t *testing.T) {
+	f := newFeeder(t, `$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, MachineOptions{})
+	b0, m0 := f.m.Stats()
+	f.send(1, "Seen", str("b1"), str("T14"))
+	f.send(2, "Seen", str("b1"), str("T15"))
+	b1, m1 := f.m.Stats()
+	if b1 <= b0 || m1 <= m0 {
+		t.Fatalf("stats did not grow: %d/%d -> %d/%d", b0, m0, b1, m1)
+	}
+}

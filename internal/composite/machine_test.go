@@ -1,0 +1,495 @@
+package composite
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// feeder drives a machine with timestamped events from named sources.
+type feeder struct {
+	m   *Machine
+	t0  time.Time
+	occ []Occurrence
+}
+
+func newFeeder(t *testing.T, src string, opts MachineOptions) *feeder {
+	t.Helper()
+	n, err := Parse(src, ParseOptions{AggNames: aggNamesOf(opts.Aggs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &feeder{t0: time.Unix(1000, 0)}
+	f.m = NewMachine(n, func(o Occurrence) { f.occ = append(f.occ, o) }, opts)
+	f.m.Start(f.t0, value.Env{})
+	return f
+}
+
+func aggNamesOf(aggs map[string]AggFactory) map[string]bool {
+	out := make(map[string]bool, len(aggs))
+	for k := range aggs {
+		out[k] = true
+	}
+	return out
+}
+
+// at builds an event occurring secs after t0 from the given source.
+func (f *feeder) at(secs int, source, name string, args ...value.Value) event.Event {
+	return event.Event{
+		Name: name, Source: source, Args: args,
+		Time: f.t0.Add(time.Duration(secs) * time.Second),
+	}
+}
+
+func (f *feeder) send(secs int, name string, args ...value.Value) {
+	f.m.Process(f.at(secs, "s", name, args...))
+}
+
+func (f *feeder) horizonAll(secs int, sources ...string) {
+	for _, s := range sources {
+		f.m.ProcessHorizon(s, f.t0.Add(time.Duration(secs)*time.Second))
+	}
+}
+
+func str(s string) value.Value { return value.Str(s) }
+
+func TestBaseEventTriggersOnce(t *testing.T) {
+	f := newFeeder(t, `Finished(27)`, MachineOptions{})
+	f.send(1, "Finished", value.Int(26))
+	f.send(2, "Finished", value.Int(27))
+	f.send(3, "Finished", value.Int(27))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d, want 1 (base event = first match)", len(f.occ))
+	}
+	if f.occ[0].Time != f.t0.Add(2*time.Second) {
+		t.Fatalf("occurrence time = %v", f.occ[0].Time)
+	}
+}
+
+func TestVariableBindingInOccurrence(t *testing.T) {
+	f := newFeeder(t, `Seen(b, r)`, MachineOptions{})
+	f.send(1, "Seen", str("badge12"), str("T14"))
+	if len(f.occ) != 1 {
+		t.Fatal("no occurrence")
+	}
+	if f.occ[0].Env["b"].S != "badge12" || f.occ[0].Env["r"].S != "T14" {
+		t.Fatalf("env = %v", f.occ[0].Env)
+	}
+}
+
+func TestSequence(t *testing.T) {
+	f := newFeeder(t, `A(); B()`, MachineOptions{})
+	f.send(1, "B") // B before A does not count
+	f.send(2, "A")
+	f.send(3, "B")
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	if f.occ[0].Time != f.t0.Add(3*time.Second) {
+		t.Fatalf("time = %v", f.occ[0].Time)
+	}
+}
+
+func TestSequenceSharesBindings(t *testing.T) {
+	// Seen(b, x); Seen(b, y): the same badge must appear in both.
+	f := newFeeder(t, `Seen(b, x); Gone(b)`, MachineOptions{})
+	f.send(1, "Seen", str("b1"), str("T14"))
+	f.send(2, "Gone", str("b2")) // different badge: no match
+	f.send(3, "Gone", str("b1"))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+}
+
+func TestOrTriggersForEither(t *testing.T) {
+	f := newFeeder(t, `A() | B()`, MachineOptions{})
+	f.send(1, "B")
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	// Both sides may trigger (inclusive or over occurrence sets).
+	f.send(2, "A")
+	if len(f.occ) != 2 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+}
+
+func TestWheneverRestartsWithFreshBindings(t *testing.T) {
+	// $Enter(p): one occurrence per event, each with its own binding.
+	f := newFeeder(t, `$Enter(p)`, MachineOptions{})
+	f.send(1, "Enter", str("alice"))
+	f.send(2, "Enter", str("bob"))
+	f.send(3, "Enter", str("carol"))
+	if len(f.occ) != 3 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	if f.occ[1].Env["p"].S != "bob" {
+		t.Fatalf("second binding = %v", f.occ[1].Env)
+	}
+}
+
+func TestWithoutBlocksWhenRFirst(t *testing.T) {
+	// A() - B(): B first kills the evaluation.
+	f := newFeeder(t, `A() - B()`, MachineOptions{})
+	f.send(1, "B")
+	f.send(2, "A")
+	f.send(10, "X") // advance horizon (total-order mode)
+	if len(f.occ) != 0 {
+		t.Fatalf("occurrences = %d, want 0", len(f.occ))
+	}
+}
+
+func TestWithoutFiresAfterHorizon(t *testing.T) {
+	f := newFeeder(t, `A() - B()`, MachineOptions{})
+	f.send(2, "A")
+	if len(f.occ) != 0 {
+		t.Fatal("without fired before absence was certain")
+	}
+	f.send(3, "X") // total-order horizon passes 2s
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d, want 1", len(f.occ))
+	}
+	if f.occ[0].Time != f.t0.Add(2*time.Second) {
+		t.Fatalf("time = %v (must be A's occurrence time)", f.occ[0].Time)
+	}
+}
+
+func TestWithoutWithDeclaredSources(t *testing.T) {
+	// §6.8.2: with declared sources, absence requires every source's
+	// horizon to pass — one lagging sensor holds back certainty.
+	f := newFeeder(t, `A() - B()`, MachineOptions{Sources: []string{"s1", "s2"}})
+	f.m.Process(f.at(2, "s1", "A"))
+	f.m.ProcessHorizon("s1", f.t0.Add(5*time.Second))
+	if len(f.occ) != 0 {
+		t.Fatal("fired while s2's horizon unknown")
+	}
+	f.m.ProcessHorizon("s2", f.t0.Add(5*time.Second))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d after both horizons", len(f.occ))
+	}
+}
+
+func TestWithoutDelayedREventStillBlocks(t *testing.T) {
+	// A delayed B (timestamp before A, arriving after) must still block:
+	// the point of waiting for the horizon.
+	f := newFeeder(t, `A() - B()`, MachineOptions{Sources: []string{"s1", "s2"}})
+	f.m.Process(f.at(5, "s1", "A"))
+	// B occurred at 3s on s2 but arrives later.
+	f.m.Process(f.at(3, "s2", "B"))
+	f.horizonAll(10, "s1", "s2")
+	if len(f.occ) != 0 {
+		t.Fatalf("occurrences = %d; delayed earlier B ignored", len(f.occ))
+	}
+}
+
+func TestWithoutDelayAnnotationTradesCertainty(t *testing.T) {
+	// §6.8.3: Delay=δ assumes absence once δ has passed, without
+	// waiting for the horizon.
+	f := newFeeder(t, `A() - B() {Delay="5s"}`, MachineOptions{Sources: []string{"s1", "s2"}})
+	f.m.Process(f.at(2, "s1", "A"))
+	f.m.Tick(f.t0.Add(4 * time.Second))
+	if len(f.occ) != 0 {
+		t.Fatal("fired before delay elapsed")
+	}
+	f.m.Tick(f.t0.Add(8 * time.Second))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d after delay", len(f.occ))
+	}
+}
+
+func TestEntersExample(t *testing.T) {
+	// §6.6 Enters(B, R): $Seen(B, R2); Seen(B, R) - Seen(B, R2).
+	f := newFeeder(t, `$Seen(B, R2); Seen(B, R) - Seen(B, R2)`, MachineOptions{})
+	f.send(1, "Seen", str("b1"), str("T14"))
+	f.send(2, "Seen", str("b1"), str("T15")) // b1 enters T15
+	f.send(3, "Seen", str("b1"), str("T15")) // still in T15: same room, no Enters
+	f.send(4, "Seen", str("b1"), str("T16")) // enters T16
+	f.send(20, "Tick")                       // flush horizon
+	var rooms []string
+	for _, o := range f.occ {
+		rooms = append(rooms, o.Env["R"].S)
+	}
+	if len(rooms) != 2 || rooms[0] != "T15" || rooms[1] != "T16" {
+		t.Fatalf("Enters rooms = %v, want [T15 T16]", rooms)
+	}
+}
+
+func TestTogetherExample(t *testing.T) {
+	// §6.6 Together(A, B) with A, B pre-bound: Roger and Giles meet when
+	// Giles enters a room Roger is in.
+	src := `($Seen(A, R); $Seen(B, R) - Seen(A, R2) {R2 != R}) | ($Seen(B, R); $Seen(A, R) - Seen(B, R2) {R2 != R})`
+	n, err := Parse(src, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var occ []Occurrence
+	m := NewMachine(n, func(o Occurrence) { occ = append(occ, o) }, MachineOptions{})
+	t0 := time.Unix(1000, 0)
+	env := value.Env{}.Extend("A", str("roger")).Extend("B", str("giles"))
+	m.Start(t0, env)
+
+	at := func(secs int, name string, args ...value.Value) {
+		m.Process(event.Event{Name: name, Source: "s", Args: args,
+			Time: t0.Add(time.Duration(secs) * time.Second)})
+	}
+	at(1, "Seen", str("roger"), str("T14"))
+	at(2, "Seen", str("giles"), str("T14")) // together in T14
+	at(30, "Tick")
+	if len(occ) == 0 {
+		t.Fatal("meeting not detected")
+	}
+	if occ[0].Env["R"].S != "T14" {
+		t.Fatalf("room = %v", occ[0].Env["R"])
+	}
+}
+
+func TestTogetherNotDetectedWhenRogerLeft(t *testing.T) {
+	src := `$Seen(A, R); $Seen(B, R) - Seen(A, R2) {R2 != R}`
+	n, err := Parse(src, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var occ []Occurrence
+	m := NewMachine(n, func(o Occurrence) { occ = append(occ, o) }, MachineOptions{})
+	t0 := time.Unix(1000, 0)
+	m.Start(t0, value.Env{}.Extend("A", str("roger")).Extend("B", str("giles")))
+	at := func(secs int, name string, args ...value.Value) {
+		m.Process(event.Event{Name: name, Source: "s", Args: args,
+			Time: t0.Add(time.Duration(secs) * time.Second)})
+	}
+	at(1, "Seen", str("roger"), str("T14"))
+	at(2, "Seen", str("roger"), str("T15")) // roger moves away
+	at(3, "Seen", str("giles"), str("T14")) // giles arrives too late
+	at(30, "Tick")
+	for _, o := range occ {
+		if o.Env["R"].S == "T14" && o.Time == t0.Add(3*time.Second) {
+			t.Fatal("stale meeting detected after roger left")
+		}
+	}
+}
+
+func TestTrappedExample(t *testing.T) {
+	// §6.6 Trapped(P): Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P).
+	f := newFeeder(t, `Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)`, MachineOptions{})
+	f.send(1, "Seen", str("b9")) // before the alarm: irrelevant
+	f.send(2, "Alarm")
+	f.send(3, "Seen", str("b7"))
+	f.send(4, "X") // horizon past 3s: the without releases
+	f.send(5, "OwnsBadge", str("b7"), str("rjh21"))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	if f.occ[0].Env["P"].S != "rjh21" {
+		t.Fatalf("trapped person = %v", f.occ[0].Env["P"])
+	}
+}
+
+func TestTrappedAllClearSuppresses(t *testing.T) {
+	f := newFeeder(t, `Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)`, MachineOptions{})
+	f.send(2, "Alarm")
+	f.send(3, "AllClear")
+	f.send(4, "Seen", str("b7"))
+	f.send(5, "X")
+	f.send(6, "OwnsBadge", str("b7"), str("rjh21"))
+	if len(f.occ) != 0 {
+		t.Fatalf("occurrences = %d after all-clear", len(f.occ))
+	}
+}
+
+func TestFireDrillExample(t *testing.T) {
+	// §6.6: $Alarm() {t := @+60}; AbsTime(t); $OwnsBadge(B, P); Seen(B)
+	// — a minute after each alarm, signal badges still being seen.
+	f := newFeeder(t, `$Alarm() {t := @+60}; AbsTime(t); $OwnsBadge(B, P); Seen(B)`, MachineOptions{})
+	f.send(1, "Alarm")
+	// Database lookups modelled as events (§6.3.3).
+	f.send(70, "OwnsBadge", str("b7"), str("rjh21"))
+	f.send(75, "Seen", str("b7"))
+	if len(f.occ) != 1 {
+		t.Fatalf("occurrences = %d", len(f.occ))
+	}
+	if f.occ[0].Env["P"].S != "rjh21" {
+		t.Fatalf("person = %v", f.occ[0].Env["P"])
+	}
+	// A sighting before the minute elapsed must not have counted: the
+	// AbsTime gate only opened at t0+61.
+	if f.occ[0].Time.Before(f.t0.Add(61 * time.Second)) {
+		t.Fatalf("triggered at %v, before the minute elapsed", f.occ[0].Time)
+	}
+}
+
+func TestAbsTimeUnboundNeverFires(t *testing.T) {
+	f := newFeeder(t, `AbsTime(t)`, MachineOptions{})
+	f.send(100, "X")
+	if len(f.occ) != 0 {
+		t.Fatal("unbound AbsTime fired")
+	}
+}
+
+func TestNullFiresImmediately(t *testing.T) {
+	f := newFeeder(t, `null`, MachineOptions{})
+	if len(f.occ) != 1 || f.occ[0].Time != f.t0 {
+		t.Fatalf("occ = %v", f.occ)
+	}
+}
+
+func TestWheneverNullLeastSolution(t *testing.T) {
+	// §6.5: $null is the least solution — a single occurrence at s.
+	f := newFeeder(t, `$null`, MachineOptions{})
+	if len(f.occ) != 1 {
+		t.Fatalf("$null occurrences = %d, want 1", len(f.occ))
+	}
+}
+
+func TestSideExpressionFilters(t *testing.T) {
+	f := newFeeder(t, `Withdraw(z) {z > 500}`, MachineOptions{})
+	f.send(1, "Withdraw", value.Int(100))
+	if len(f.occ) != 0 {
+		t.Fatal("filtered event matched")
+	}
+	f.send(2, "Withdraw", value.Int(600))
+	if len(f.occ) != 1 {
+		t.Fatal("passing event did not match")
+	}
+}
+
+func TestSideExpressionInequalityOnVariables(t *testing.T) {
+	f := newFeeder(t, `$hit(i); hit(j) {j != i}`, MachineOptions{})
+	f.send(1, "hit", str("p1"))
+	f.send(2, "hit", str("p1")) // same player: filtered in the inner match
+	f.send(3, "hit", str("p2"))
+	found := false
+	for _, o := range f.occ {
+		if o.Env["i"].S == "p1" && o.Env["j"].S == "p2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("alternating hit not detected: %v", f.occ)
+	}
+}
+
+func TestEndOfPointServeFault(t *testing.T) {
+	// One clause of the squash example: after the serve, the ball fails
+	// to hit the front wall first.
+	src := `$serve(s); (floor | wall | hit(i)) - front`
+	f := newFeeder(t, src, MachineOptions{})
+	f.send(1, "serve", str("alice"))
+	f.send(2, "front") // good serve: front wall first
+	f.send(3, "floor")
+	f.send(4, "X")
+	if len(f.occ) != 0 {
+		t.Fatalf("point ended on a good serve: %v", f.occ)
+	}
+	f.send(5, "serve", str("bob"))
+	f.send(6, "floor") // fault: floor before front
+	f.send(7, "X")
+	if len(f.occ) != 1 {
+		t.Fatalf("fault not detected: %d", len(f.occ))
+	}
+}
+
+func TestActiveWatchersBounded(t *testing.T) {
+	// §6.7: only events truly of interest are registered; dead beads are
+	// collected.
+	f := newFeeder(t, `A(); B()`, MachineOptions{})
+	if f.m.ActiveWatchers() != 1 {
+		t.Fatalf("initial watchers = %d", f.m.ActiveWatchers())
+	}
+	f.send(1, "A")
+	if f.m.ActiveWatchers() != 1 { // now waiting for B
+		t.Fatalf("watchers after A = %d", f.m.ActiveWatchers())
+	}
+	f.send(2, "B")
+	if f.m.ActiveWatchers() != 0 {
+		t.Fatalf("watchers after completion = %d", f.m.ActiveWatchers())
+	}
+}
+
+func TestOnRegisterHookSeesInstantiatedTemplates(t *testing.T) {
+	var regs []string
+	n := MustParse(`OwnsBadge("rjh21", b); Seen(b, s)`, ParseOptions{})
+	m := NewMachine(n, func(Occurrence) {}, MachineOptions{
+		OnRegister: func(tmpl event.Template) { regs = append(regs, tmpl.String()) },
+	})
+	t0 := time.Unix(1000, 0)
+	m.Start(t0, value.Env{})
+	if len(regs) != 1 || regs[0] != `OwnsBadge("rjh21",b)` {
+		t.Fatalf("initial registrations = %v", regs)
+	}
+	m.Process(event.Event{Name: "OwnsBadge", Source: "db",
+		Args: []value.Value{str("rjh21"), str("b7")}, Time: t0.Add(time.Second)})
+	// The second registration is narrowed by the binding of b (§6.8.1).
+	if len(regs) != 2 || regs[1] != `Seen("b7",s)` {
+		t.Fatalf("registrations = %v", regs)
+	}
+}
+
+// TestIndependentVsGlobalView reproduces figure 6.4 (E14): with one
+// room's sensor delayed, independent evaluation detects the second
+// meeting as soon as its events arrive, while a global-view detector —
+// which must process events in timestamp order — blocks on the delayed
+// sensor and detects the first meeting first.
+func TestIndependentVsGlobalView(t *testing.T) {
+	const src = `$Seen("roger", R); Seen("giles", R)`
+	t0 := time.Unix(1000, 0)
+	ts := func(secs int) time.Time { return t0.Add(time.Duration(secs) * time.Second) }
+	mk := func(secs int, room, who string) event.Event {
+		return event.Event{Name: "Seen", Source: room,
+			Args: []value.Value{str(who), str(room)}, Time: ts(secs)}
+	}
+	// Meeting 1 in T14 at 1-2s; meeting 2 in T15 at 10-11s. T14's
+	// events are delayed and arrive after T15's.
+	t14a, t14b := mk(1, "T14", "roger"), mk(2, "T14", "giles")
+	t15a, t15b := mk(10, "T15", "roger"), mk(11, "T15", "giles")
+	arrival := []event.Event{t15a, t15b, t14a, t14b}
+
+	// Independent evaluation: process in arrival order.
+	var indep []string
+	mi := NewMachine(MustParse(src, ParseOptions{}),
+		func(o Occurrence) { indep = append(indep, o.Env["R"].S) },
+		MachineOptions{})
+	mi.Start(t0, value.Env{})
+	for _, ev := range arrival {
+		mi.Process(ev)
+	}
+	if len(indep) != 2 || indep[0] != "T15" || indep[1] != "T14" {
+		t.Fatalf("independent detection order = %v, want [T15 T14]", indep)
+	}
+
+	// Global view: buffer and sort by timestamp before processing —
+	// nothing is detected until the delayed events arrive, and then the
+	// first meeting is reported first.
+	var global []string
+	mg := NewMachine(MustParse(src, ParseOptions{}),
+		func(o Occurrence) { global = append(global, o.Env["R"].S) },
+		MachineOptions{})
+	mg.Start(t0, value.Env{})
+	buffered := append([]event.Event(nil), arrival...)
+	// The global-view detector can only process once it has a total
+	// order, i.e. after the delayed T14 events arrive.
+	for i := 0; i < len(buffered); i++ {
+		for j := i + 1; j < len(buffered); j++ {
+			if buffered[j].Time.Before(buffered[i].Time) {
+				buffered[i], buffered[j] = buffered[j], buffered[i]
+			}
+		}
+	}
+	for _, ev := range buffered {
+		mg.Process(ev)
+	}
+	if len(global) != 2 || global[0] != "T14" || global[1] != "T15" {
+		t.Fatalf("global-view detection order = %v, want [T14 T15]", global)
+	}
+	// Both ultimately return the same result set (figure 6.4's note).
+	seen := map[string]bool{}
+	for _, r := range indep {
+		seen[r] = true
+	}
+	for _, r := range global {
+		if !seen[r] {
+			t.Fatalf("detectors disagree: %v vs %v", indep, global)
+		}
+	}
+}

@@ -1,0 +1,525 @@
+package composite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// ParseOptions configure parsing.
+type ParseOptions struct {
+	// AggNames are the aggregation function names in scope; a call to
+	// one of these parses as an Agg node rather than a base event.
+	AggNames map[string]bool
+}
+
+// Parse parses a composite event expression. Operator precedence,
+// loosest to tightest: ';', '|', '-', '$' (§6.6: whenever binds most
+// closely, sequence least).
+func Parse(src string, opts ParseOptions) (Node, error) {
+	toks, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks, opts: opts}
+	n, err := p.seq()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != cEOF {
+		return nil, fmt.Errorf("composite: unexpected %q at end of expression", p.cur().text)
+	}
+	return n, nil
+}
+
+// MustParse panics on error; for static expressions in examples/tests.
+func MustParse(src string, opts ParseOptions) Node {
+	n, err := Parse(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type ckind int
+
+const (
+	cEOF ckind = iota + 1
+	cIdent
+	cNumber
+	cString
+	cLParen
+	cRParen
+	cLBrace
+	cRBrace
+	cComma
+	cSemi
+	cPipe
+	cMinus
+	cDollar
+	cAt
+	cPlus
+	cEq
+	cNeq
+	cLt
+	cLe
+	cGt
+	cGe
+	cAssign
+	cStar
+)
+
+type ctok struct {
+	kind ckind
+	text string
+}
+
+func scan(src string) ([]ctok, error) {
+	var out []ctok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			out = append(out, ctok{cLParen, "("})
+			i++
+		case c == ')':
+			out = append(out, ctok{cRParen, ")"})
+			i++
+		case c == '{':
+			out = append(out, ctok{cLBrace, "{"})
+			i++
+		case c == '}':
+			out = append(out, ctok{cRBrace, "}"})
+			i++
+		case c == ',':
+			out = append(out, ctok{cComma, ","})
+			i++
+		case c == ';':
+			out = append(out, ctok{cSemi, ";"})
+			i++
+		case c == '|':
+			out = append(out, ctok{cPipe, "|"})
+			i++
+		case c == '-':
+			out = append(out, ctok{cMinus, "-"})
+			i++
+		case c == '$':
+			out = append(out, ctok{cDollar, "$"})
+			i++
+		case c == '@':
+			out = append(out, ctok{cAt, "@"})
+			i++
+		case c == '+':
+			out = append(out, ctok{cPlus, "+"})
+			i++
+		case c == '*':
+			out = append(out, ctok{cStar, "*"})
+			i++
+		case c == '=':
+			out = append(out, ctok{cEq, "="})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, ctok{cNeq, "!="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("composite: unexpected '!'")
+			}
+		case c == ':':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, ctok{cAssign, ":="})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("composite: unexpected ':'")
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, ctok{cLe, "<="})
+				i += 2
+			} else {
+				out = append(out, ctok{cLt, "<"})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(src) && src[i+1] == '=' {
+				out = append(out, ctok{cGe, ">="})
+				i += 2
+			} else {
+				out = append(out, ctok{cGt, ">"})
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(src) && src[j] != '"' {
+				b.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("composite: unterminated string")
+			}
+			out = append(out, ctok{cString, b.String()})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			out = append(out, ctok{cNumber, src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			out = append(out, ctok{cIdent, src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("composite: unexpected character %q", c)
+		}
+	}
+	out = append(out, ctok{cEOF, ""})
+	return out, nil
+}
+
+type cparser struct {
+	toks []ctok
+	pos  int
+	opts ParseOptions
+}
+
+func (p *cparser) cur() ctok { return p.toks[p.pos] }
+
+func (p *cparser) advance() ctok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *cparser) accept(k ckind) bool {
+	if p.cur().kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *cparser) expect(k ckind) (ctok, error) {
+	if p.cur().kind == k {
+		return p.advance(), nil
+	}
+	return ctok{}, fmt.Errorf("composite: expected token %d, found %q", k, p.cur().text)
+}
+
+// seq := or { ';' or }
+func (p *cparser) seq() (Node, error) {
+	l, err := p.or()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(cSemi) {
+		r, err := p.or()
+		if err != nil {
+			return nil, err
+		}
+		l = Seq{L: l, R: r}
+	}
+	return l, nil
+}
+
+// or := without { '|' without }
+func (p *cparser) or() (Node, error) {
+	l, err := p.without()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(cPipe) {
+		r, err := p.without()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+// without := unary { '-' unary [annotation] }
+func (p *cparser) without() (Node, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(cMinus) {
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		w := Without{L: l, R: r}
+		if p.cur().kind == cLBrace && p.annotationAhead() {
+			if err := p.annotation(&w); err != nil {
+				return nil, err
+			}
+		}
+		l = w
+	}
+	return l, nil
+}
+
+// annotationAhead distinguishes "{Delay=...}" / "{Probability=...}" from
+// a side expression (which can only follow a base event, handled in
+// base()).
+func (p *cparser) annotationAhead() bool {
+	if p.pos+1 >= len(p.toks) {
+		return false
+	}
+	t := p.toks[p.pos+1]
+	return t.kind == cIdent && (t.text == "Delay" || t.text == "Probability")
+}
+
+func (p *cparser) annotation(w *Without) error {
+	if _, err := p.expect(cLBrace); err != nil {
+		return err
+	}
+	for {
+		name, err := p.expect(cIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(cEq); err != nil {
+			return err
+		}
+		switch name.text {
+		case "Delay":
+			s, err := p.expect(cString)
+			if err != nil {
+				return err
+			}
+			d, err := time.ParseDuration(s.text)
+			if err != nil {
+				return fmt.Errorf("composite: bad Delay %q: %v", s.text, err)
+			}
+			w.Delay, w.HasDel = d, true
+		case "Probability":
+			n, err := p.expect(cNumber)
+			if err != nil {
+				return err
+			}
+			pct, err := strconv.Atoi(n.text)
+			if err != nil || pct < 0 || pct > 100 {
+				return fmt.Errorf("composite: bad Probability %q (percent 0-100)", n.text)
+			}
+			// Higher required probability of correct ordering widens the
+			// margin by which an R occurrence is considered "first"
+			// (§6.8.4). The mapping assumes a 1s worst-case drift.
+			w.Margin = time.Duration(pct) * 10 * time.Millisecond
+		default:
+			return fmt.Errorf("composite: unknown annotation %q", name.text)
+		}
+		if !p.accept(cComma) {
+			break
+		}
+	}
+	_, err := p.expect(cRBrace)
+	return err
+}
+
+// unary := '$' unary | '(' seq ')' | agg | AbsTime | null | base
+func (p *cparser) unary() (Node, error) {
+	if p.accept(cDollar) {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Whenever{E: e}, nil
+	}
+	if p.accept(cLParen) {
+		e, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	name, err := p.expect(cIdent)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case name.text == "null":
+		return Null{}, nil
+	case name.text == "AbsTime":
+		if _, err := p.expect(cLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(cIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cRParen); err != nil {
+			return nil, err
+		}
+		return AbsTime{Var: v.text}, nil
+	case p.opts.AggNames[name.text]:
+		if _, err := p.expect(cLParen); err != nil {
+			return nil, err
+		}
+		e, err := p.seq()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(cRParen); err != nil {
+			return nil, err
+		}
+		return Agg{Name: name.text, E: e}, nil
+	default:
+		return p.base(name.text)
+	}
+}
+
+// base := Name ['(' params ')'] [side]
+func (p *cparser) base(name string) (Node, error) {
+	b := Base{T: event.Template{Name: name}}
+	if p.accept(cLParen) {
+		for p.cur().kind != cRParen {
+			prm, err := p.param()
+			if err != nil {
+				return nil, err
+			}
+			b.T.Params = append(b.T.Params, prm)
+			if !p.accept(cComma) {
+				break
+			}
+		}
+		if _, err := p.expect(cRParen); err != nil {
+			return nil, err
+		}
+	}
+	if p.cur().kind == cLBrace && !p.annotationAhead() {
+		side, err := p.side()
+		if err != nil {
+			return nil, err
+		}
+		b.Side = side
+	}
+	return b, nil
+}
+
+func (p *cparser) param() (event.Param, error) {
+	t := p.cur()
+	switch t.kind {
+	case cStar:
+		p.advance()
+		return event.Wildcard(), nil
+	case cIdent:
+		p.advance()
+		return event.Var(t.text), nil
+	case cNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return event.Param{}, err
+		}
+		return event.Lit(value.Int(n)), nil
+	case cString:
+		p.advance()
+		return event.Lit(value.Str(t.text)), nil
+	default:
+		return event.Param{}, fmt.Errorf("composite: bad template parameter %q", t.text)
+	}
+}
+
+// side := '{' sideexpr {',' sideexpr} '}'
+func (p *cparser) side() ([]SideExpr, error) {
+	if _, err := p.expect(cLBrace); err != nil {
+		return nil, err
+	}
+	var out []SideExpr
+	for {
+		l, err := p.expect(cIdent)
+		if err != nil {
+			return nil, err
+		}
+		var op SideOp
+		switch p.cur().kind {
+		case cEq:
+			op = SideEq
+		case cNeq:
+			op = SideNeq
+		case cLt:
+			op = SideLt
+		case cLe:
+			op = SideLe
+		case cGt:
+			op = SideGt
+		case cGe:
+			op = SideGe
+		case cAssign:
+			op = SideAssign
+		default:
+			return nil, fmt.Errorf("composite: bad side-expression operator %q", p.cur().text)
+		}
+		p.advance()
+		r, err := p.sideTerm()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SideExpr{L: l.text, Op: op, R: r})
+		if !p.accept(cComma) {
+			break
+		}
+	}
+	if _, err := p.expect(cRBrace); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *cparser) sideTerm() (SideTerm, error) {
+	t := p.cur()
+	switch t.kind {
+	case cAt:
+		p.advance()
+		st := SideTerm{IsNow: true}
+		if p.accept(cPlus) {
+			n, err := p.expect(cNumber)
+			if err != nil {
+				return SideTerm{}, err
+			}
+			secs, err := strconv.Atoi(n.text)
+			if err != nil {
+				return SideTerm{}, err
+			}
+			st.Offset = time.Duration(secs) * time.Second
+		}
+		return st, nil
+	case cIdent:
+		p.advance()
+		return SideTerm{Var: t.text}, nil
+	case cNumber:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return SideTerm{}, err
+		}
+		v := value.Int(n)
+		return SideTerm{Lit: &v}, nil
+	case cString:
+		p.advance()
+		v := value.Str(t.text)
+		return SideTerm{Lit: &v}, nil
+	default:
+		return SideTerm{}, fmt.Errorf("composite: bad side-expression term %q", t.text)
+	}
+}

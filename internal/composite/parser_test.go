@@ -1,0 +1,190 @@
+package composite
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseC(t *testing.T, src string) Node {
+	t.Helper()
+	n, err := Parse(src, ParseOptions{AggNames: map[string]bool{"COUNT": true}})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestParsePrecedence(t *testing.T) {
+	// §6.6: whenever binds most closely, sequence least.
+	n := parseC(t, `$Seen(B, R2); Seen(B, R) - Seen(B, R2)`)
+	seq, ok := n.(Seq)
+	if !ok {
+		t.Fatalf("top = %T", n)
+	}
+	if _, ok := seq.L.(Whenever); !ok {
+		t.Fatalf("seq.L = %T", seq.L)
+	}
+	w, ok := seq.R.(Without)
+	if !ok {
+		t.Fatalf("seq.R = %T", seq.R)
+	}
+	if _, ok := w.L.(Base); !ok {
+		t.Fatalf("without.L = %T", w.L)
+	}
+}
+
+func TestParseOrBindsLooserThanWithout(t *testing.T) {
+	// (floor|wall|hit(i)) - front requires parens; floor|wall - front
+	// parses as floor | (wall - front).
+	n := parseC(t, `floor | wall - front`)
+	or, ok := n.(Or)
+	if !ok {
+		t.Fatalf("top = %T", n)
+	}
+	if _, ok := or.R.(Without); !ok {
+		t.Fatalf("or.R = %T", or.R)
+	}
+	n2 := parseC(t, `(floor | wall | hit(i)) - front`)
+	if _, ok := n2.(Without); !ok {
+		t.Fatalf("parenthesised = %T", n2)
+	}
+}
+
+func TestParseSideExpressions(t *testing.T) {
+	n := parseC(t, `Seen(x, y) {x != "rjh21"}`)
+	b := n.(Base)
+	if len(b.Side) != 1 || b.Side[0].Op != SideNeq || b.Side[0].L != "x" {
+		t.Fatalf("side = %+v", b.Side)
+	}
+	n2 := parseC(t, `Withdraw(z) {z > 500}`)
+	if n2.(Base).Side[0].Op != SideGt {
+		t.Fatal("gt side lost")
+	}
+	n3 := parseC(t, `Alarm() {t := @+60}`)
+	se := n3.(Base).Side[0]
+	if se.Op != SideAssign || !se.R.IsNow || se.R.Offset != 60*time.Second {
+		t.Fatalf("assign side = %+v", se)
+	}
+}
+
+func TestParseDelayAnnotation(t *testing.T) {
+	n := parseC(t, `A - B {Delay="5s"}`)
+	w := n.(Without)
+	if !w.HasDel || w.Delay != 5*time.Second {
+		t.Fatalf("without = %+v", w)
+	}
+}
+
+func TestParseProbabilityAnnotation(t *testing.T) {
+	n := parseC(t, `A - B {Probability=90}`)
+	w := n.(Without)
+	if w.Margin == 0 {
+		t.Fatal("probability did not widen margin")
+	}
+	hi := parseC(t, `A - B {Probability=99}`).(Without)
+	lo := parseC(t, `A - B {Probability=10}`).(Without)
+	if hi.Margin <= lo.Margin {
+		t.Fatal("higher probability should require a wider margin")
+	}
+}
+
+func TestParseAggregation(t *testing.T) {
+	n := parseC(t, `Open(x); COUNT(Deposit(x, y) - Close(x))`)
+	seq := n.(Seq)
+	agg, ok := seq.R.(Agg)
+	if !ok {
+		t.Fatalf("seq.R = %T", seq.R)
+	}
+	if agg.Name != "COUNT" {
+		t.Fatalf("agg = %+v", agg)
+	}
+	if _, ok := agg.E.(Without); !ok {
+		t.Fatalf("agg.E = %T", agg.E)
+	}
+	// Without COUNT in scope it parses as a base event template.
+	n2, err := Parse(`COUNT(x)`, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n2.(Base); !ok {
+		t.Fatalf("unscoped COUNT = %T", n2)
+	}
+}
+
+func TestParseAbsTimeAndNull(t *testing.T) {
+	n := parseC(t, `$Alarm() {t := @+60}; AbsTime(t); $OwnsBadge(B, P); Seen(B)`)
+	s := n.(Seq)
+	// Left-assoc: ((($Alarm; AbsTime); $Owns); Seen)
+	inner := s.L.(Seq).L.(Seq)
+	if _, ok := inner.R.(AbsTime); !ok {
+		t.Fatalf("AbsTime position = %T", inner.R)
+	}
+	if _, ok := parseC(t, `null`).(Null); !ok {
+		t.Fatal("null did not parse")
+	}
+}
+
+func TestParseWildcardAndLiterals(t *testing.T) {
+	n := parseC(t, `Finished(*) | Finished(27) | Finished("done")`)
+	or := n.(Or)
+	inner := or.L.(Or)
+	if !inner.L.(Base).T.Params[0].Wild {
+		t.Fatal("wildcard param lost")
+	}
+	if inner.R.(Base).T.Params[0].Lit.I != 27 {
+		t.Fatal("int literal lost")
+	}
+	if or.R.(Base).T.Params[0].Lit.S != "done" {
+		t.Fatal("string literal lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `(A`, `A;`, `A -`, `A | `, `A {x ~ y}`, `A {x}`,
+		`A - B {Delay=5}`, `A - B {Delay="xx"}`, `A - B {Probability=200}`,
+		`AbsTime()`, `A("unterminated`, `A !`, `A :`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, ParseOptions{}); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestStringRoundTrips(t *testing.T) {
+	exprs := []string{
+		`$Seen(B, R2); Seen(B, R) - Seen(B, R2)`,
+		`(A | B) - C`,
+		`Alarm() {t := @+60}`,
+		`null`,
+		`AbsTime(t)`,
+	}
+	for _, src := range exprs {
+		n := parseC(t, src)
+		s := n.String()
+		if s == "" {
+			t.Errorf("String() empty for %q", src)
+		}
+		// Re-parse the rendering: must yield a parseable expression.
+		if _, err := Parse(s, ParseOptions{AggNames: map[string]bool{"COUNT": true}}); err != nil {
+			t.Errorf("rendering %q of %q does not re-parse: %v", s, src, err)
+		}
+	}
+}
+
+func TestSquashEndOfPointParses(t *testing.T) {
+	// Gehani's end-of-point example, §6.6.
+	src := `
+$serve(s); (((floor | wall | hit(i)) - front)
+  | ($front; ((floor; floor) | front) - hit(i))
+  | ($hit(i); (floor | hit(j)) - front)
+  | (hit(s) - hit(i) {Delay="1s"})
+  | ($hit(i); hit(i) - hit(j)))
+`
+	n := parseC(t, strings.TrimSpace(strings.ReplaceAll(src, "\n", " ")))
+	if _, ok := n.(Seq); !ok {
+		t.Fatalf("top = %T", n)
+	}
+}

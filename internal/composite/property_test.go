@@ -1,0 +1,127 @@
+package composite
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"oasis/internal/event"
+	"oasis/internal/value"
+)
+
+// TestQuickEntersMatchesOracle: for any in-order sequence of sightings
+// of one badge, the Enters detector fires exactly when the room differs
+// from the previous sighting's room — an independent oracle over random
+// walks (the §6.6 semantics, machine vs straight-line code).
+func TestQuickEntersMatchesOracle(t *testing.T) {
+	f := func(walk []uint8) bool {
+		if len(walk) == 0 {
+			return true
+		}
+		n := MustParse(`$Seen("b", R2); Seen("b", R) - Seen("b", R2)`, ParseOptions{})
+		var got []string
+		m := NewMachine(n, func(o Occurrence) { got = append(got, o.Env["R"].S) }, MachineOptions{})
+		t0 := time.Unix(1000, 0)
+		m.Start(t0, value.Env{})
+
+		rooms := []string{"T14", "T15", "T16"}
+		var want []string
+		prev := ""
+		for i, w := range walk {
+			room := rooms[int(w)%len(rooms)]
+			if prev != "" && room != prev {
+				want = append(want, room)
+			}
+			prev = room
+			m.Process(event.Event{
+				Name:   "Seen",
+				Source: "s",
+				Args:   []value.Value{value.Str("b"), value.Str(room)},
+				Time:   t0.Add(time.Duration(i+1) * time.Second),
+			})
+		}
+		// Flush the final pending detections past the horizon.
+		m.Process(event.Event{Name: "flush", Source: "s",
+			Time: t0.Add(time.Duration(len(walk)+10) * time.Second)})
+
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTogetherSymmetric: the two-sided Together expression detects
+// a meeting independent of arrival order of the two people, for random
+// interleavings of two walks.
+func TestQuickTogetherSymmetric(t *testing.T) {
+	const src = `($Seen(A, R); $Seen(B, R) - Seen(A, R2) {R2 != R}) | ($Seen(B, R); $Seen(A, R) - Seen(B, R2) {R2 != R})`
+	f := func(walkA, walkB []uint8, interleave []bool) bool {
+		n := MustParse(src, ParseOptions{})
+		detected := map[string]bool{}
+		m := NewMachine(n, func(o Occurrence) {
+			detected[o.Env["R"].S] = true
+		}, MachineOptions{})
+		t0 := time.Unix(1000, 0)
+		m.Start(t0, value.Env{}.Extend("A", value.Str("a")).Extend("B", value.Str("b")))
+
+		rooms := []string{"T14", "T15"}
+		where := map[string]string{}
+		step := 0
+		send := func(who string, w uint8) {
+			step++
+			room := rooms[int(w)%len(rooms)]
+			where[who] = room
+			m.Process(event.Event{
+				Name:   "Seen",
+				Source: "s",
+				Args:   []value.Value{value.Str(who), value.Str(room)},
+				Time:   t0.Add(time.Duration(step) * time.Second),
+			})
+		}
+		// Oracle: a meeting in room r happens when both are in r at once.
+		oracle := map[string]bool{}
+		ia, ib := 0, 0
+		for _, pickA := range interleave {
+			if pickA && ia < len(walkA) {
+				send("a", walkA[ia])
+				ia++
+			} else if ib < len(walkB) {
+				send("b", walkB[ib])
+				ib++
+			}
+			if where["a"] != "" && where["a"] == where["b"] {
+				oracle[where["a"]] = true
+			}
+		}
+		m.Process(event.Event{Name: "flush", Source: "s",
+			Time: t0.Add(time.Duration(step+10) * time.Second)})
+
+		// Every oracle meeting must be detected. (The detector may also
+		// report a room the oracle saw — never a room it did not.)
+		for r := range oracle {
+			if !detected[r] {
+				return false
+			}
+		}
+		for r := range detected {
+			if !oracle[r] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(fmt.Sprintf("together property: %v", err))
+	}
+}

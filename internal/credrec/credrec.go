@@ -1,0 +1,601 @@
+// Package credrec implements OASIS credential records (sections 4.5-4.8
+// of the paper): small records representing a server's current belief
+// about some fact, linked into a directed graph so that a change in the
+// value of one credential propagates to the certificates and services
+// that depend on it. This is the basis of rapid, selective revocation.
+//
+// Records live in a table; (table index, magic) forms a reference that is
+// unique over the life of the service, so a dangling reference is
+// detected rather than misread (figure 4.7, [Lo94 6.4]). Child records
+// hold counters of how many parents are true, false or unknown instead of
+// back pointers; this is all that is needed to set a record's state.
+package credrec
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// State is a record's current truth value. Unknown models network
+// failure: the value cannot currently be confirmed (§4.10).
+type State int
+
+// Record states.
+const (
+	False State = iota + 1
+	True
+	Unknown
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	default:
+		return "state(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// Op is the binary operation a derived record performs on the effective
+// truth values of its parents (§4.7). "Not" is an attribute of the
+// parent→child edge, not an operation.
+type Op int
+
+// Derived-record operations.
+const (
+	OpAnd Op = iota + 1
+	OpOr
+	OpNand
+	OpNor
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "and"
+	case OpOr:
+		return "or"
+	case OpNand:
+		return "nand"
+	case OpNor:
+		return "nor"
+	default:
+		return "op(" + strconv.Itoa(int(o)) + ")"
+	}
+}
+
+// Ref is a credential record reference: the 64-bit (index, magic)
+// identifier embedded in certificates (the CRR field of figure 4.2).
+type Ref struct {
+	Index uint32
+	Magic uint32
+}
+
+// Uint64 packs the reference into the 8-byte wire form.
+func (r Ref) Uint64() uint64 { return uint64(r.Index)<<32 | uint64(r.Magic) }
+
+// RefFromUint64 unpacks a wire-form reference.
+func RefFromUint64(u uint64) Ref {
+	return Ref{Index: uint32(u >> 32), Magic: uint32(u)}
+}
+
+// String renders the reference.
+func (r Ref) String() string { return fmt.Sprintf("crr:%d.%d", r.Index, r.Magic) }
+
+// Parent designates a parent record, optionally via a negating edge.
+type Parent struct {
+	Ref     Ref
+	Negated bool
+}
+
+// Not marks a negating edge to the given record.
+func Not(r Ref) Parent { return Parent{Ref: r, Negated: true} }
+
+// Of marks a plain edge to the given record.
+func Of(r Ref) Parent { return Parent{Ref: r} }
+
+// ErrDangling is returned when a reference's magic does not match the
+// table slot: the record has been deleted (its fact is permanently
+// false) or never existed.
+var ErrDangling = errors.New("credrec: dangling credential record reference")
+
+type childLink struct {
+	ref     Ref
+	negated bool
+}
+
+type record struct {
+	ref       Ref
+	op        Op
+	state     State
+	permanent bool
+	notify    bool // another service is using this credential
+	directUse bool // a certificate embeds this credential
+	autoRev   bool // revoke if a parent exits its role
+	external  string
+
+	children []childLink
+
+	// Effective (post edge-negation) parent counters.
+	nParents  int
+	effTrue   int
+	effFalse  int
+	effUnk    int
+	permTrue  int // effective-true parents that are permanent
+	permFalse int
+}
+
+type slot struct {
+	magic uint32
+	rec   *record // nil when free
+}
+
+// ChangeFunc observes state changes of records whose Notify flag is set;
+// the oasis layer uses it to drive cross-service event notification
+// (§4.9.2). permanent reports that the value will never change again.
+type ChangeFunc func(ref Ref, s State, permanent bool)
+
+type pendingChange struct {
+	ref  Ref
+	s    State
+	perm bool
+}
+
+// Store is a server's credential record table.
+type Store struct {
+	mu       sync.Mutex
+	slots    []slot
+	free     []uint32
+	onChange ChangeFunc
+	pending  []pendingChange // notifications queued during propagation
+
+	// stats
+	created uint64
+	deleted uint64
+}
+
+// NewStore creates an empty credential record store.
+func NewStore() *Store { return &Store{} }
+
+// OnChange installs the change observer for Notify-flagged records.
+func (st *Store) OnChange(f ChangeFunc) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.onChange = f
+}
+
+func (st *Store) allocLocked(r *record) Ref {
+	var idx uint32
+	if n := len(st.free); n > 0 {
+		idx = st.free[n-1]
+		st.free = st.free[:n-1]
+		st.slots[idx].magic++ // never reuse a reference
+		st.slots[idx].rec = r
+	} else {
+		idx = uint32(len(st.slots))
+		st.slots = append(st.slots, slot{magic: 1, rec: r})
+	}
+	r.ref = Ref{Index: idx, Magic: st.slots[idx].magic}
+	st.created++
+	return r.ref
+}
+
+func (st *Store) getLocked(ref Ref) (*record, error) {
+	if int(ref.Index) >= len(st.slots) {
+		return nil, ErrDangling
+	}
+	s := st.slots[ref.Index]
+	if s.rec == nil || s.magic != ref.Magic {
+		return nil, ErrDangling
+	}
+	return s.rec, nil
+}
+
+// NewFact creates a leaf record asserting a simple fact with the given
+// initial state.
+func (st *Store) NewFact(s State) Ref {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.allocLocked(&record{state: s})
+}
+
+// NewExternal creates a surrogate record for a fact held by another
+// service (§4.9.1). Its state is maintained by event notification via
+// SetState; source records where the remote fact lives.
+func (st *Store) NewExternal(source string, s State) Ref {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.allocLocked(&record{state: s, external: source})
+}
+
+// NewDerived creates a record computing op over the effective values of
+// the given parents, links it beneath them, and returns its reference.
+// Any dangling parent makes the new record permanently false (the fact it
+// depended on has been revoked).
+func (st *Store) NewDerived(op Op, parents ...Parent) Ref {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r := &record{op: op, nParents: len(parents)}
+	ref := st.allocLocked(r)
+	broken := false
+	for _, p := range parents {
+		pr, err := st.getLocked(p.Ref)
+		if err != nil {
+			broken = true
+			continue
+		}
+		pr.children = append(pr.children, childLink{ref: ref, negated: p.Negated})
+		eff := effective(pr.state, p.Negated)
+		r.count(eff, +1, pr.permanent)
+	}
+	if broken {
+		r.state = False
+		r.permanent = true
+	} else {
+		r.state = r.compute()
+		r.permanent = r.decided()
+	}
+	return ref
+}
+
+// effective applies edge negation to a parent state.
+func effective(s State, negated bool) State {
+	if !negated {
+		return s
+	}
+	switch s {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+func (r *record) count(eff State, d int, permanent bool) {
+	switch eff {
+	case True:
+		r.effTrue += d
+		if permanent {
+			r.permTrue += d
+		}
+	case False:
+		r.effFalse += d
+		if permanent {
+			r.permFalse += d
+		}
+	case Unknown:
+		r.effUnk += d
+	}
+}
+
+// compute derives the record's state from its counters (§4.8: counters
+// of the number of parents that are true, false or unknown are all that
+// is required).
+func (r *record) compute() State {
+	var s State
+	switch r.op {
+	case OpAnd, OpNand:
+		switch {
+		case r.effFalse > 0:
+			s = False
+		case r.effUnk > 0:
+			s = Unknown
+		default:
+			s = True
+		}
+	case OpOr, OpNor:
+		switch {
+		case r.effTrue > 0:
+			s = True
+		case r.effUnk > 0:
+			s = Unknown
+		default:
+			s = False
+		}
+	default: // leaf records have no op; state is set directly
+		return r.state
+	}
+	if r.op == OpNand || r.op == OpNor {
+		s = effective(s, true)
+	}
+	return s
+}
+
+// decided reports whether the record's value can never change again:
+// either a dominant parent is permanent, or all parents are permanent.
+func (r *record) decided() bool {
+	switch r.op {
+	case OpAnd, OpNand:
+		if r.permFalse > 0 {
+			return true
+		}
+	case OpOr, OpNor:
+		if r.permTrue > 0 {
+			return true
+		}
+	default:
+		return r.permanent
+	}
+	return r.permTrue+r.permFalse == r.nParents
+}
+
+// SetState sets the state of a leaf or external record and propagates the
+// change through the graph. It fails on derived records (their state is
+// a function of their parents) and on permanent records.
+func (st *Store) SetState(ref Ref, s State) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return err
+	}
+	if r.nParents > 0 {
+		return fmt.Errorf("credrec: %v is derived; its state follows its parents", ref)
+	}
+	if r.permanent {
+		return fmt.Errorf("credrec: %v is permanent", ref)
+	}
+	st.transitionLocked(r, s, false)
+	st.mu.Unlock()
+	st.drain()
+	st.mu.Lock()
+	return nil
+}
+
+// Invalidate makes a record permanently false: the credential is revoked
+// and can never return (§4.6: "credential records representing facts
+// that are false, and will always remain false, can be deleted"). The
+// change cascades. Invalidate on a derived record is permitted — it is
+// how an explicit revocation deletes a delegation record.
+func (st *Store) Invalidate(ref Ref) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return err
+	}
+	st.transitionLocked(r, False, true)
+	st.mu.Unlock()
+	st.drain()
+	st.mu.Lock()
+	return nil
+}
+
+// MakePermanent freezes a record at its current state.
+func (st *Store) MakePermanent(ref Ref) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return err
+	}
+	st.transitionLocked(r, r.state, true)
+	st.mu.Unlock()
+	st.drain()
+	st.mu.Lock()
+	return nil
+}
+
+// transitionLocked applies a state/permanence change to r and recursively
+// updates children via their counters. Notifications for Notify-flagged
+// records are queued; public entry points drain them after unlocking.
+func (st *Store) transitionLocked(r *record, s State, makePermanent bool) {
+	if r.permanent {
+		return
+	}
+	old := r.state
+	if old == s && !makePermanent {
+		return
+	}
+	r.state = s
+	if makePermanent {
+		r.permanent = true
+	}
+	if r.notify && st.onChange != nil {
+		st.pending = append(st.pending, pendingChange{ref: r.ref, s: r.state, perm: r.permanent})
+	}
+	for _, cl := range r.children {
+		cr, err := st.getLocked(cl.ref)
+		if err != nil {
+			continue
+		}
+		if cr.permanent {
+			continue
+		}
+		oldEff := effective(old, cl.negated)
+		newEff := effective(s, cl.negated)
+		// The old contribution was counted while this parent was still
+		// non-permanent; the new one carries the new permanence.
+		cr.count(oldEff, -1, false)
+		cr.count(newEff, +1, r.permanent)
+		ns := cr.compute()
+		nperm := cr.decided()
+		if ns != cr.state || nperm {
+			st.transitionLocked(cr, ns, nperm)
+		}
+	}
+}
+
+// drain fires queued change notifications; callers must not hold the lock.
+func (st *Store) drain() {
+	for {
+		st.mu.Lock()
+		if len(st.pending) == 0 {
+			st.mu.Unlock()
+			return
+		}
+		batch := st.pending
+		st.pending = nil
+		f := st.onChange
+		st.mu.Unlock()
+		if f == nil {
+			return
+		}
+		for _, p := range batch {
+			f(p.ref, p.s, p.perm)
+		}
+	}
+}
+
+// Lookup returns the record's current state. A dangling reference
+// returns ErrDangling, which callers treat as permanently false.
+func (st *Store) Lookup(ref Ref) (State, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return False, err
+	}
+	return r.state, nil
+}
+
+// Valid reports whether the record exists and is currently true. This is
+// the single check a server performs on each access (§4.6: "only a
+// single credential record need be consulted to confirm an arbitrary
+// number of facts").
+func (st *Store) Valid(ref Ref) bool {
+	s, err := st.Lookup(ref)
+	return err == nil && s == True
+}
+
+// Flag setters. MarkDirectUse records that a certificate embeds the
+// credential; MarkNotify that another service uses it; MarkAutoRevoke
+// that it should be revoked if a parent exits its role (figure 4.7).
+func (st *Store) MarkDirectUse(ref Ref) error {
+	return st.setFlag(ref, func(r *record) { r.directUse = true })
+}
+
+// MarkNotify flags the record for cross-service change notification.
+func (st *Store) MarkNotify(ref Ref) error {
+	return st.setFlag(ref, func(r *record) { r.notify = true })
+}
+
+// MarkAutoRevoke flags the record for revocation on parent role exit.
+func (st *Store) MarkAutoRevoke(ref Ref) error {
+	return st.setFlag(ref, func(r *record) { r.autoRev = true })
+}
+
+func (st *Store) setFlag(ref Ref, f func(*record)) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return err
+	}
+	f(r)
+	return nil
+}
+
+// AutoRevoke reports the auto-revoke flag.
+func (st *Store) AutoRevoke(ref Ref) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	return err == nil && r.autoRev
+}
+
+// External returns the source service of an external record ("" for
+// local records).
+func (st *Store) External(ref Ref) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	r, err := st.getLocked(ref)
+	if err != nil {
+		return ""
+	}
+	return r.external
+}
+
+// MarkSourceUnknown marks every external record from the given source as
+// Unknown; used when a heartbeat from that source is missed (§4.10).
+// The unknown state propagates to children and possibly other servers.
+func (st *Store) MarkSourceUnknown(source string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, sl := range st.slots {
+		r := sl.rec
+		if r == nil || r.external != source || r.permanent || r.state == Unknown {
+			continue
+		}
+		st.transitionLocked(r, Unknown, false)
+		n++
+	}
+	st.mu.Unlock()
+	st.drain()
+	st.mu.Lock()
+	return n
+}
+
+// ExternalRefs lists the live external records for a source, so a server
+// can re-read their states when a connection is re-established.
+func (st *Store) ExternalRefs(source string) []Ref {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []Ref
+	for _, sl := range st.slots {
+		if r := sl.rec; r != nil && r.external == source {
+			out = append(out, r.ref)
+		}
+	}
+	return out
+}
+
+// Sweep garbage-collects (§4.8): it unlinks parent→child edges from
+// permanent records and deletes records that are permanent-and-false, or
+// uninteresting (no direct use, no notify flag, no children). It returns
+// the number of records deleted.
+func (st *Store) Sweep() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	deleted := 0
+	for i := range st.slots {
+		r := st.slots[i].rec
+		if r == nil {
+			continue
+		}
+		if r.permanent {
+			// Children's counters already carry this record's final
+			// contribution; the links are redundant.
+			r.children = nil
+		}
+		uninteresting := !r.directUse && !r.notify && len(r.children) == 0
+		if (r.permanent && r.state == False) || (uninteresting && r.permanent) || (uninteresting && r.nParents == 0 && r.external == "" && r.state == False) {
+			st.slots[i].rec = nil
+			st.free = append(st.free, uint32(i))
+			deleted++
+			st.deleted++
+		}
+	}
+	return deleted
+}
+
+// Live reports the number of live records (for tests and benchmarks).
+func (st *Store) Live() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, sl := range st.slots {
+		if sl.rec != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports cumulative creations and deletions.
+func (st *Store) Stats() (created, deleted uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.created, st.deleted
+}

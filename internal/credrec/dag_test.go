@@ -1,0 +1,207 @@
+package credrec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// dagSpec deterministically describes a random DAG: nLeaves leaf facts
+// followed by derived records whose parents are chosen among earlier
+// records.
+type dagSpec struct {
+	nLeaves int
+	derived []derivedSpec
+}
+
+type derivedSpec struct {
+	op      Op
+	parents []int // indices into the record list
+	negate  []bool
+}
+
+// buildDag constructs the store from a spec.
+func buildDag(spec dagSpec, leafStates []State) (*Store, []Ref) {
+	st := NewStore()
+	refs := make([]Ref, 0, spec.nLeaves+len(spec.derived))
+	for i := 0; i < spec.nLeaves; i++ {
+		refs = append(refs, st.NewFact(leafStates[i]))
+	}
+	for _, d := range spec.derived {
+		ps := make([]Parent, len(d.parents))
+		for j, pi := range d.parents {
+			ps[j] = Parent{Ref: refs[pi], Negated: d.negate[j]}
+		}
+		refs = append(refs, st.NewDerived(d.op, ps...))
+	}
+	return st, refs
+}
+
+// decodeSpec turns raw fuzz bytes into a well-formed DAG spec.
+func decodeSpec(raw []byte) (dagSpec, []State, [][2]byte) {
+	spec := dagSpec{nLeaves: 2}
+	var leafStates []State
+	var mutations [][2]byte
+	if len(raw) > 0 {
+		spec.nLeaves = 1 + int(raw[0]%5)
+	}
+	states := []State{False, True, Unknown}
+	for i := 0; i < spec.nLeaves; i++ {
+		s := True
+		if i < len(raw) {
+			s = states[int(raw[i])%3]
+		}
+		leafStates = append(leafStates, s)
+	}
+	ops := []Op{OpAnd, OpOr, OpNand, OpNor}
+	i := spec.nLeaves
+	total := spec.nLeaves
+	for i+2 < len(raw) && total < 24 {
+		nP := 1 + int(raw[i]%3)
+		d := derivedSpec{op: ops[int(raw[i+1])%4]}
+		for j := 0; j < nP; j++ {
+			k := i + 2 + j
+			pb := byte(j)
+			if k < len(raw) {
+				pb = raw[k]
+			}
+			d.parents = append(d.parents, int(pb)%total)
+			d.negate = append(d.negate, pb%7 == 0)
+		}
+		spec.derived = append(spec.derived, d)
+		total++
+		i += 2 + nP
+	}
+	// Remaining bytes are leaf mutations (leaf index, new state).
+	for ; i+1 < len(raw); i += 2 {
+		mutations = append(mutations, [2]byte{raw[i], raw[i+1]})
+	}
+	return spec, leafStates, mutations
+}
+
+// TestQuickDAGPropagation: after any sequence of leaf state changes on
+// any DAG, every record's state equals an independent recursive
+// evaluation — counter-based propagation never drifts.
+func TestQuickDAGPropagation(t *testing.T) {
+	states := []State{False, True, Unknown}
+	f := func(raw []byte) bool {
+		spec, leafStates, mutations := decodeSpec(raw)
+		st, refs := buildDag(spec, leafStates)
+
+		cur := append([]State(nil), leafStates...)
+		var oracle func(i int) State
+		oracle = func(i int) State {
+			if i < spec.nLeaves {
+				return cur[i]
+			}
+			d := spec.derived[i-spec.nLeaves]
+			unknown := false
+			var s State
+			switch d.op {
+			case OpAnd, OpNand:
+				s = True
+				for j, pi := range d.parents {
+					switch effective(oracle(pi), d.negate[j]) {
+					case False:
+						s = False
+					case Unknown:
+						unknown = true
+					}
+				}
+			case OpOr, OpNor:
+				s = False
+				for j, pi := range d.parents {
+					switch effective(oracle(pi), d.negate[j]) {
+					case True:
+						s = True
+					case Unknown:
+						unknown = true
+					}
+				}
+			}
+			if unknown && ((d.op == OpAnd || d.op == OpNand) && s != False ||
+				(d.op == OpOr || d.op == OpNor) && s != True) {
+				s = Unknown
+			}
+			if d.op == OpNand || d.op == OpNor {
+				s = effective(s, true)
+			}
+			return s
+		}
+		check := func() bool {
+			for i, r := range refs {
+				got, err := st.Lookup(r)
+				if err != nil {
+					return false
+				}
+				if got != oracle(i) {
+					return false
+				}
+			}
+			return true
+		}
+		if !check() {
+			return false
+		}
+		for _, m := range mutations {
+			li := int(m[0]) % spec.nLeaves
+			ns := states[int(m[1])%3]
+			if err := st.SetState(refs[li], ns); err != nil {
+				return false
+			}
+			cur[li] = ns
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSweepSafety: sweeping never changes the observable validity
+// of reachable-and-true records, and dangling references after a sweep
+// always read as revoked.
+func TestQuickSweepSafety(t *testing.T) {
+	f := func(raw []byte) bool {
+		spec, leafStates, mutations := decodeSpec(raw)
+		st, refs := buildDag(spec, leafStates)
+		// Mark every record direct-use, as certificates would.
+		for _, r := range refs {
+			if err := st.MarkDirectUse(r); err != nil {
+				return false
+			}
+		}
+		for _, m := range mutations {
+			li := int(m[0]) % spec.nLeaves
+			if m[1]%2 == 0 {
+				_ = st.SetState(refs[li], False)
+			} else {
+				_ = st.Invalidate(refs[li])
+			}
+		}
+		before := make([]bool, len(refs))
+		for i, r := range refs {
+			before[i] = st.Valid(r)
+		}
+		st.Sweep()
+		for i, r := range refs {
+			after := st.Valid(r)
+			if before[i] != after {
+				// A sweep may only turn validity off for records that
+				// were already false (deleted); never on.
+				if after && !before[i] {
+					return false
+				}
+				if before[i] && !after {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

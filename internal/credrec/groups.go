@@ -1,0 +1,111 @@
+package credrec
+
+import "sync"
+
+// Groups manages credential records for group membership (§4.8.1).
+// Rather than storing a record for every possible membership, a hash
+// table of "interesting" credentials is kept, indexed by (member, group):
+// those with child records or used by an external server. When group
+// membership changes, the corresponding record — if any — is updated and
+// the change propagates through the graph.
+type Groups struct {
+	st *Store
+
+	mu          sync.Mutex
+	members     map[groupKey]bool
+	interesting map[groupKey]Ref
+}
+
+type groupKey struct {
+	member string
+	group  string
+}
+
+// NewGroups creates a group-membership manager over the given store.
+func NewGroups(st *Store) *Groups {
+	return &Groups{
+		st:          st,
+		members:     make(map[groupKey]bool),
+		interesting: make(map[groupKey]Ref),
+	}
+}
+
+// AddMember records that member belongs to group, updating any
+// interesting credential record.
+func (g *Groups) AddMember(member, group string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := groupKey{member, group}
+	g.members[k] = true
+	if ref, ok := g.interesting[k]; ok {
+		if err := g.st.SetState(ref, True); err != nil {
+			// Record became permanent or was swept; a future
+			// CredentialFor will mint a fresh one.
+			delete(g.interesting, k)
+		}
+	}
+}
+
+// RemoveMember records that member no longer belongs to group. Any
+// certificate whose membership rule mentions this group membership is
+// revoked by propagation (the worked example of §3.2.3).
+func (g *Groups) RemoveMember(member, group string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := groupKey{member, group}
+	delete(g.members, k)
+	if ref, ok := g.interesting[k]; ok {
+		if err := g.st.SetState(ref, False); err != nil {
+			delete(g.interesting, k)
+		}
+	}
+}
+
+// IsMember reports current membership.
+func (g *Groups) IsMember(member, group string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.members[groupKey{member, group}]
+}
+
+// CredentialFor returns the credential record representing the (member,
+// group) membership, creating it — with the current truth value — if it
+// is not already interesting. Membership lookup returns a reference as a
+// side effect (§4.7, rule 3).
+func (g *Groups) CredentialFor(member, group string) Ref {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	k := groupKey{member, group}
+	if ref, ok := g.interesting[k]; ok {
+		if _, err := g.st.Lookup(ref); err == nil {
+			return ref
+		}
+		delete(g.interesting, k)
+	}
+	s := False
+	if g.members[k] {
+		s = True
+	}
+	ref := g.st.NewFact(s)
+	g.interesting[k] = ref
+	return ref
+}
+
+// Interesting reports the number of live interesting credentials (for
+// tests and benchmarks: this stays far below members × groups).
+func (g *Groups) Interesting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.interesting)
+}
+
+// Compact drops hash entries whose records have been garbage collected.
+func (g *Groups) Compact() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for k, ref := range g.interesting {
+		if _, err := g.st.Lookup(ref); err != nil {
+			delete(g.interesting, k)
+		}
+	}
+}

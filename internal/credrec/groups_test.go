@@ -1,0 +1,94 @@
+package credrec
+
+import "testing"
+
+func TestGroupMembershipCredential(t *testing.T) {
+	st := NewStore()
+	g := NewGroups(st)
+	g.AddMember("dm", "staff")
+
+	ref := g.CredentialFor("dm", "staff")
+	if !st.Valid(ref) {
+		t.Fatal("membership credential for member not true")
+	}
+	// Same lookup returns the same interesting record.
+	if ref2 := g.CredentialFor("dm", "staff"); ref2 != ref {
+		t.Fatalf("second lookup minted new record %v != %v", ref2, ref)
+	}
+
+	// §3.2.3: removing dm from staff revokes the role membership whose
+	// rule depended on it.
+	member := st.NewDerived(OpAnd, Of(ref))
+	g.RemoveMember("dm", "staff")
+	if st.Valid(member) {
+		t.Fatal("role membership survived group change")
+	}
+	g.AddMember("dm", "staff")
+	if !st.Valid(member) {
+		t.Fatal("role membership did not recover on re-add")
+	}
+}
+
+func TestGroupCredentialForNonMember(t *testing.T) {
+	st := NewStore()
+	g := NewGroups(st)
+	ref := g.CredentialFor("stranger", "staff")
+	if st.Valid(ref) {
+		t.Fatal("non-member credential true")
+	}
+	g.AddMember("stranger", "staff")
+	if !st.Valid(ref) {
+		t.Fatal("credential not updated on later join")
+	}
+}
+
+func TestGroupIsMember(t *testing.T) {
+	g := NewGroups(NewStore())
+	if g.IsMember("a", "g") {
+		t.Fatal("empty groups report membership")
+	}
+	g.AddMember("a", "g")
+	if !g.IsMember("a", "g") {
+		t.Fatal("added member not reported")
+	}
+	g.RemoveMember("a", "g")
+	if g.IsMember("a", "g") {
+		t.Fatal("removed member still reported")
+	}
+}
+
+func TestGroupInterestingStaysSmall(t *testing.T) {
+	// §4.8.1: no record is stored for memberships nobody asked about.
+	st := NewStore()
+	g := NewGroups(st)
+	for i := 0; i < 100; i++ {
+		g.AddMember(string(rune('a'+i%26)), "staff")
+	}
+	if g.Interesting() != 0 {
+		t.Fatalf("interesting = %d before any lookup", g.Interesting())
+	}
+	g.CredentialFor("a", "staff")
+	g.CredentialFor("b", "staff")
+	if g.Interesting() != 2 {
+		t.Fatalf("interesting = %d, want 2", g.Interesting())
+	}
+}
+
+func TestGroupCompact(t *testing.T) {
+	st := NewStore()
+	g := NewGroups(st)
+	ref := g.CredentialFor("a", "staff") // false: not a member
+	if err := st.Invalidate(ref); err != nil {
+		t.Fatal(err)
+	}
+	st.Sweep()
+	g.Compact()
+	if g.Interesting() != 0 {
+		t.Fatal("compact kept swept record")
+	}
+	// A fresh lookup mints a new record.
+	ref2 := g.CredentialFor("a", "staff")
+	if ref2 == ref {
+		t.Fatal("fresh lookup returned dangling record")
+	}
+}

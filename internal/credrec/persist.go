@@ -1,0 +1,246 @@
+package credrec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Persistent credential records (§4.8 / [Lo94 6.4]): the (index, magic)
+// reference scheme works unchanged for records kept in stable storage.
+// LoggedStore wraps a Store and journals every mutation as one text
+// line; Replay re-executes a journal to rebuild an identical store —
+// identical including the references themselves, because allocation is
+// deterministic in the operation order. Certificates issued before a
+// crash therefore validate correctly after recovery, and revocations
+// performed before the crash stay revoked.
+
+// LoggedStore journals mutations of an underlying Store. Journal writes
+// are serialised, but the journal-then-apply pair is not atomic against
+// other mutators: callers mutating concurrently must impose their own
+// ordering (the OASIS service engine serialises issuance already).
+type LoggedStore struct {
+	*Store
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLoggedStore wraps an empty store with a journal writer. Wrapping a
+// non-empty store would desynchronise replay; start from NewStore().
+func NewLoggedStore(w io.Writer) *LoggedStore {
+	return &LoggedStore{Store: NewStore(), w: w}
+}
+
+func (ls *LoggedStore) log(format string, args ...any) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	fmt.Fprintf(ls.w, format+"\n", args...)
+}
+
+// NewFact journals and performs.
+func (ls *LoggedStore) NewFact(s State) Ref {
+	ls.log("fact %d", int(s))
+	return ls.Store.NewFact(s)
+}
+
+// NewExternal journals and performs.
+func (ls *LoggedStore) NewExternal(source string, s State) Ref {
+	ls.log("ext %q %d", source, int(s))
+	return ls.Store.NewExternal(source, s)
+}
+
+// NewDerived journals and performs.
+func (ls *LoggedStore) NewDerived(op Op, parents ...Parent) Ref {
+	var b strings.Builder
+	fmt.Fprintf(&b, "derived %d", int(op))
+	for _, p := range parents {
+		neg := 0
+		if p.Negated {
+			neg = 1
+		}
+		fmt.Fprintf(&b, " %d:%d", p.Ref.Uint64(), neg)
+	}
+	ls.log("%s", b.String())
+	return ls.Store.NewDerived(op, parents...)
+}
+
+// SetState journals and performs.
+func (ls *LoggedStore) SetState(ref Ref, s State) error {
+	if err := ls.Store.SetState(ref, s); err != nil {
+		return err
+	}
+	ls.log("set %d %d", ref.Uint64(), int(s))
+	return nil
+}
+
+// Invalidate journals and performs.
+func (ls *LoggedStore) Invalidate(ref Ref) error {
+	if err := ls.Store.Invalidate(ref); err != nil {
+		return err
+	}
+	ls.log("invalidate %d", ref.Uint64())
+	return nil
+}
+
+// MakePermanent journals and performs.
+func (ls *LoggedStore) MakePermanent(ref Ref) error {
+	if err := ls.Store.MakePermanent(ref); err != nil {
+		return err
+	}
+	ls.log("permanent %d", ref.Uint64())
+	return nil
+}
+
+// MarkDirectUse journals and performs.
+func (ls *LoggedStore) MarkDirectUse(ref Ref) error {
+	if err := ls.Store.MarkDirectUse(ref); err != nil {
+		return err
+	}
+	ls.log("directuse %d", ref.Uint64())
+	return nil
+}
+
+// MarkNotify journals and performs.
+func (ls *LoggedStore) MarkNotify(ref Ref) error {
+	if err := ls.Store.MarkNotify(ref); err != nil {
+		return err
+	}
+	ls.log("notify %d", ref.Uint64())
+	return nil
+}
+
+// MarkAutoRevoke journals and performs.
+func (ls *LoggedStore) MarkAutoRevoke(ref Ref) error {
+	if err := ls.Store.MarkAutoRevoke(ref); err != nil {
+		return err
+	}
+	ls.log("autorevoke %d", ref.Uint64())
+	return nil
+}
+
+// Sweep journals and performs: the garbage collector's slot reuse is
+// deterministic, so replay reproduces the same free list.
+func (ls *LoggedStore) Sweep() int {
+	ls.log("sweep")
+	return ls.Store.Sweep()
+}
+
+// Replay rebuilds a store by re-executing a journal.
+func Replay(r io.Reader) (*Store, error) {
+	st := NewStore()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(err error) error {
+			return fmt.Errorf("credrec: journal line %d (%q): %v", line, text, err)
+		}
+		argInt := func(i int) (uint64, error) {
+			if i >= len(fields) {
+				return 0, fmt.Errorf("missing field %d", i)
+			}
+			return strconv.ParseUint(fields[i], 10, 64)
+		}
+		switch fields[0] {
+		case "fact":
+			s, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			st.NewFact(State(s))
+		case "ext":
+			if len(fields) < 3 {
+				return nil, bad(fmt.Errorf("want source and state"))
+			}
+			source, err := strconv.Unquote(fields[1])
+			if err != nil {
+				return nil, bad(err)
+			}
+			s, err := argInt(2)
+			if err != nil {
+				return nil, bad(err)
+			}
+			st.NewExternal(source, State(s))
+		case "derived":
+			op, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			var parents []Parent
+			for _, f := range fields[2:] {
+				refStr, negStr, ok := strings.Cut(f, ":")
+				if !ok {
+					return nil, bad(fmt.Errorf("bad parent %q", f))
+				}
+				u, err := strconv.ParseUint(refStr, 10, 64)
+				if err != nil {
+					return nil, bad(err)
+				}
+				parents = append(parents, Parent{Ref: RefFromUint64(u), Negated: negStr == "1"})
+			}
+			st.NewDerived(Op(op), parents...)
+		case "set":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			s, err := argInt(2)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.SetState(RefFromUint64(u), State(s)); err != nil {
+				return nil, bad(err)
+			}
+		case "invalidate":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.Invalidate(RefFromUint64(u)); err != nil {
+				return nil, bad(err)
+			}
+		case "permanent":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.MakePermanent(RefFromUint64(u)); err != nil {
+				return nil, bad(err)
+			}
+		case "directuse", "notify", "autorevoke":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			ref := RefFromUint64(u)
+			var merr error
+			switch fields[0] {
+			case "directuse":
+				merr = st.MarkDirectUse(ref)
+			case "notify":
+				merr = st.MarkNotify(ref)
+			case "autorevoke":
+				merr = st.MarkAutoRevoke(ref)
+			}
+			if merr != nil {
+				return nil, bad(merr)
+			}
+		case "sweep":
+			st.Sweep()
+		default:
+			return nil, bad(fmt.Errorf("unknown op"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

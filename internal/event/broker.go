@@ -1,0 +1,469 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"oasis/internal/clock"
+	"oasis/internal/value"
+)
+
+// Notification is the unit of delivery from a broker to a client session.
+// Every notification carries a per-session sequence number, so the client
+// can detect loss, and an event-horizon timestamp: a lower bound on the
+// timestamps of events yet to be signalled by this source (§6.8.2).
+type Notification struct {
+	Source    string
+	SessionID uint64
+	Seq       uint64 // per-session sequence number (§4.10)
+	Heartbeat bool   // true for pure heartbeats carrying no event
+	RegID     uint64 // registration that matched (0 for heartbeats)
+	Event     Event
+	Horizon   time.Time
+}
+
+// Sink receives notifications on behalf of a client. Delivery transports
+// (in-process, TCP) implement this; they may drop or delay, which the
+// heartbeat protocol is designed to detect.
+type Sink interface {
+	Deliver(Notification)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Notification)
+
+// Deliver implements Sink.
+func (f SinkFunc) Deliver(n Notification) { f(n) }
+
+// AdmissionFunc decides whether a client presenting the given opaque
+// credentials may open a session (admission control, chapter 7). A nil
+// AdmissionFunc admits everyone.
+type AdmissionFunc func(credentials any) error
+
+// VisibilityFunc decides whether a particular event instance may be
+// notified to a particular session (per-instance policy, chapter 7).
+// A nil VisibilityFunc makes every instance visible.
+type VisibilityFunc func(session uint64, credentials any, ev Event) bool
+
+// ErrNoSession is returned for operations on unknown or closed sessions.
+var ErrNoSession = errors.New("event: no such session")
+
+// BrokerOptions tune a broker's failure-detection and buffering
+// behaviour; the paper stresses that each service chooses its own
+// trade-offs (§4.10, §6.8.1).
+type BrokerOptions struct {
+	// HeartbeatEvery is the maximum quiet period t: the broker promises a
+	// message at least this often (0 disables automatic heartbeats; the
+	// owner then calls Heartbeat explicitly, as the simulations do).
+	HeartbeatEvery time.Duration
+	// AckEvery is i: the client should acknowledge every i-th heartbeat.
+	AckEvery int
+	// RetainFor bounds how long pre-registration buffers event
+	// occurrences before discarding them (§6.8.1).
+	RetainFor time.Duration
+	// RetainMax bounds the number of buffered occurrences.
+	RetainMax int
+	// Admission and Visibility install security policy hooks.
+	Admission  AdmissionFunc
+	Visibility VisibilityFunc
+}
+
+type registration struct {
+	id       uint64
+	session  uint64
+	template Template
+	pre      bool // pre-registration: buffer, do not notify (§6.8.1)
+}
+
+type session struct {
+	id          uint64
+	sink        Sink
+	credentials any
+	nextSeq     uint64
+	unacked     []Notification // kept until acknowledged, for resend
+	closed      bool
+}
+
+type buffered struct {
+	ev    Event
+	added time.Time
+}
+
+// Broker is the server-side event library of figure 6.1: it keeps a
+// database of registrations, matches signalled events against them
+// without knowing concrete event types, and notifies interested clients.
+type Broker struct {
+	name string
+	clk  clock.Clock
+	opts BrokerOptions
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	regs      map[uint64]*registration
+	nextSess  uint64
+	nextReg   uint64
+	eventSeq  uint64
+	buffer    []buffered // recent occurrences for retrospective registration
+	lastStamp time.Time
+}
+
+// NewBroker creates an event broker for the named service instance.
+func NewBroker(name string, clk clock.Clock, opts BrokerOptions) *Broker {
+	if opts.AckEvery <= 0 {
+		opts.AckEvery = 4
+	}
+	if opts.RetainMax <= 0 {
+		opts.RetainMax = 4096
+	}
+	if opts.RetainFor <= 0 {
+		opts.RetainFor = time.Minute
+	}
+	return &Broker{
+		name:     name,
+		clk:      clk,
+		opts:     opts,
+		sessions: make(map[uint64]*session),
+		regs:     make(map[uint64]*registration),
+	}
+}
+
+// Name returns the broker's service-instance name.
+func (b *Broker) Name() string { return b.name }
+
+// OpenSession establishes a client session, applying admission control to
+// the supplied credentials (§6.2.2). It returns the session identifier.
+func (b *Broker) OpenSession(sink Sink, credentials any) (uint64, error) {
+	if b.opts.Admission != nil {
+		if err := b.opts.Admission(credentials); err != nil {
+			return 0, fmt.Errorf("event: admission refused: %w", err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextSess++
+	b.sessions[b.nextSess] = &session{id: b.nextSess, sink: sink, credentials: credentials}
+	return b.nextSess, nil
+}
+
+// CloseSession ends a session and drops its registrations.
+func (b *Broker) CloseSession(id uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[id]
+	if !ok {
+		return ErrNoSession
+	}
+	s.closed = true
+	delete(b.sessions, id)
+	for rid, r := range b.regs {
+		if r.session == id {
+			delete(b.regs, rid)
+		}
+	}
+	return nil
+}
+
+// Register records live interest in events matching the template and
+// returns a registration id used to correlate notifications.
+func (b *Broker) Register(sess uint64, t Template) (uint64, error) {
+	return b.register(sess, t, false)
+}
+
+// PreRegister records interest in events the client may later want
+// retrospectively (§6.8.1): matching occurrences are buffered at the
+// source but not notified.
+func (b *Broker) PreRegister(sess uint64, t Template) (uint64, error) {
+	return b.register(sess, t, true)
+}
+
+func (b *Broker) register(sess uint64, t Template, pre bool) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.sessions[sess]; !ok {
+		return 0, ErrNoSession
+	}
+	b.nextReg++
+	b.regs[b.nextReg] = &registration{id: b.nextReg, session: sess, template: t, pre: pre}
+	return b.nextReg, nil
+}
+
+// Narrow replaces a registration's template with a more specific one as
+// parameters become known (§6.8.1). The caller is responsible for the new
+// template actually being narrower.
+func (b *Broker) Narrow(regID uint64, t Template) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r, ok := b.regs[regID]
+	if !ok {
+		return fmt.Errorf("event: no registration %d", regID)
+	}
+	r.template = t
+	return nil
+}
+
+// RetroRegister converts a pre-registration into a live registration
+// starting at the instant `since` in the past: buffered occurrences with
+// timestamps in (since, now] that match the (possibly narrowed) template
+// are notified immediately, and subsequent occurrences flow live
+// (retrospective registration, §6.8.1).
+func (b *Broker) RetroRegister(regID uint64, t Template, since time.Time) error {
+	b.mu.Lock()
+	r, ok := b.regs[regID]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("event: no registration %d", regID)
+	}
+	if !r.pre {
+		b.mu.Unlock()
+		return fmt.Errorf("event: registration %d is not a pre-registration", regID)
+	}
+	r.template = t
+	r.pre = false
+	s := b.sessions[r.session]
+	var pending []Notification
+	for _, buf := range b.buffer {
+		if buf.ev.Time.After(since) && t.Matches(buf.ev) && b.visible(s, buf.ev) {
+			pending = append(pending, b.prepareLocked(s, r.id, buf.ev, false))
+		}
+	}
+	sink := s.sink
+	b.mu.Unlock()
+	for _, n := range pending {
+		sink.Deliver(n)
+	}
+	return nil
+}
+
+// Deregister removes a registration.
+func (b *Broker) Deregister(regID uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.regs, regID)
+}
+
+func (b *Broker) visible(s *session, ev Event) bool {
+	if b.opts.Visibility == nil {
+		return true
+	}
+	return b.opts.Visibility(s.id, s.credentials, ev)
+}
+
+// prepareLocked builds a notification and records it as unacknowledged.
+func (b *Broker) prepareLocked(s *session, regID uint64, ev Event, hb bool) Notification {
+	s.nextSeq++
+	n := Notification{
+		Source:    b.name,
+		SessionID: s.id,
+		Seq:       s.nextSeq,
+		Heartbeat: hb,
+		RegID:     regID,
+		Event:     ev,
+		Horizon:   b.horizonLocked(),
+	}
+	s.unacked = append(s.unacked, n)
+	return n
+}
+
+// horizonLocked returns the broker's event-horizon timestamp: a lower
+// bound on timestamps of future notifications. Events are stamped with a
+// monotone clock reading, so the last stamp is such a bound.
+func (b *Broker) horizonLocked() time.Time {
+	now := b.clk.Now()
+	if now.After(b.lastStamp) {
+		return now
+	}
+	return b.lastStamp
+}
+
+// Signal stamps and signals an event: it is buffered for matching
+// pre-registrations and delivered to every live registration whose
+// template matches and whose session may see it.
+func (b *Broker) Signal(ev Event) Event {
+	b.mu.Lock()
+	ev.Source = b.name
+	now := b.clk.Now()
+	if !now.After(b.lastStamp) {
+		// Guarantee monotone per-source stamps so horizons are honest.
+		now = b.lastStamp.Add(time.Nanosecond)
+	}
+	b.lastStamp = now
+	ev.Time = now
+	b.eventSeq++
+	ev.Seq = b.eventSeq
+	return b.dispatchLocked(ev)
+}
+
+// SignalAt signals an event with an explicit occurrence time, used by
+// sources (such as badge sensors) that timestamp at detection. Stamps
+// must be monotone per source; non-monotone stamps are nudged forward.
+func (b *Broker) SignalAt(ev Event, at time.Time) Event {
+	b.mu.Lock()
+	ev.Source = b.name
+	if !at.After(b.lastStamp) {
+		at = b.lastStamp.Add(time.Nanosecond)
+	}
+	b.lastStamp = at
+	ev.Time = at
+	b.eventSeq++
+	ev.Seq = b.eventSeq
+	return b.dispatchLocked(ev)
+}
+
+func (b *Broker) dispatchLocked(ev Event) Event {
+	// Buffer for retrospective registration if any pre-registration
+	// matches, trimming by age and count (§6.8.1).
+	shouldBuffer := false
+	for _, r := range b.regs {
+		if r.pre && r.template.Matches(ev) {
+			shouldBuffer = true
+			break
+		}
+	}
+	if shouldBuffer {
+		b.buffer = append(b.buffer, buffered{ev: ev, added: ev.Time})
+		b.trimBufferLocked(ev.Time)
+	}
+
+	type delivery struct {
+		sink Sink
+		n    Notification
+	}
+	var out []delivery
+	for _, r := range b.regs {
+		if r.pre || !r.template.Matches(ev) {
+			continue
+		}
+		s, ok := b.sessions[r.session]
+		if !ok || !b.visible(s, ev) {
+			continue
+		}
+		out = append(out, delivery{s.sink, b.prepareLocked(s, r.id, ev, false)})
+	}
+	b.mu.Unlock()
+	for _, d := range out {
+		d.sink.Deliver(d.n)
+	}
+	return ev
+}
+
+func (b *Broker) trimBufferLocked(now time.Time) {
+	cutoff := now.Add(-b.opts.RetainFor)
+	i := 0
+	for i < len(b.buffer) && b.buffer[i].added.Before(cutoff) {
+		i++
+	}
+	if over := len(b.buffer) - i - b.opts.RetainMax; over > 0 {
+		i += over
+	}
+	if i > 0 {
+		b.buffer = append([]buffered(nil), b.buffer[i:]...)
+	}
+}
+
+// Heartbeat asserts the broker's liveness to every open session: each
+// receives a heartbeat notification carrying the current event horizon
+// (§4.10). The owner calls this every t seconds (or wires it to a timer).
+func (b *Broker) Heartbeat() {
+	b.mu.Lock()
+	type delivery struct {
+		sink Sink
+		n    Notification
+	}
+	out := make([]delivery, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		out = append(out, delivery{s.sink, b.prepareLocked(s, 0, Event{}, true)})
+	}
+	b.mu.Unlock()
+	for _, d := range out {
+		d.sink.Deliver(d.n)
+	}
+}
+
+// Ack acknowledges receipt of every notification up to and including seq
+// on the session, letting the broker delete resend state (§4.10).
+func (b *Broker) Ack(sess, seq uint64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sess]
+	if !ok {
+		return ErrNoSession
+	}
+	i := 0
+	for i < len(s.unacked) && s.unacked[i].Seq <= seq {
+		i++
+	}
+	s.unacked = append([]Notification(nil), s.unacked[i:]...)
+	return nil
+}
+
+// Resend redelivers every unacknowledged notification on the session;
+// the broker does this when the client reports a gap or reconnects.
+func (b *Broker) Resend(sess uint64) error {
+	b.mu.Lock()
+	s, ok := b.sessions[sess]
+	if !ok {
+		b.mu.Unlock()
+		return ErrNoSession
+	}
+	pending := append([]Notification(nil), s.unacked...)
+	sink := s.sink
+	b.mu.Unlock()
+	for _, n := range pending {
+		sink.Deliver(n)
+	}
+	return nil
+}
+
+// UnackedCount reports resend state held for a session (for tests and
+// the background-traffic experiment E6).
+func (b *Broker) UnackedCount(sess uint64) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sess]
+	if !ok {
+		return 0
+	}
+	return len(s.unacked)
+}
+
+// SessionCount reports the number of open sessions.
+func (b *Broker) SessionCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// BufferedCount reports the number of occurrences held for retrospective
+// registration.
+func (b *Broker) BufferedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buffer)
+}
+
+// Lookup support: some services (the Namer's active database, §6.3.3)
+// need an atomic combined lookup-and-register. The broker provides the
+// primitive: RegisterAndQuery registers the template live and, under the
+// same lock, returns the result of the caller's query function, so no
+// update can slip between the two.
+func (b *Broker) RegisterAndQuery(sess uint64, t Template, query func() []Event) (uint64, []Event, error) {
+	b.mu.Lock()
+	if _, ok := b.sessions[sess]; !ok {
+		b.mu.Unlock()
+		return 0, nil, ErrNoSession
+	}
+	b.nextReg++
+	id := b.nextReg
+	b.regs[id] = &registration{id: id, session: sess, template: t}
+	existing := query()
+	b.mu.Unlock()
+	return id, existing, nil
+}
+
+// EnvMatch is a convenience for composite-event evaluators: it matches
+// the event against the template under env via Template.Match.
+func EnvMatch(t Template, e Event, env value.Env) (value.Env, bool) {
+	return t.Match(e, env)
+}

@@ -1,0 +1,119 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/value"
+)
+
+func ev(name string, args ...value.Value) Event { return New(name, args...) }
+
+func TestTemplateMatchLiterals(t *testing.T) {
+	tpl := NewTemplate("Finished", Lit(value.Int(27)))
+	if !tpl.Matches(ev("Finished", value.Int(27))) {
+		t.Fatal("literal template did not match equal event")
+	}
+	if tpl.Matches(ev("Finished", value.Int(28))) {
+		t.Fatal("literal template matched unequal event")
+	}
+	if tpl.Matches(ev("Started", value.Int(27))) {
+		t.Fatal("template matched different event type")
+	}
+	if tpl.Matches(ev("Finished")) {
+		t.Fatal("template matched wrong arity")
+	}
+}
+
+func TestTemplateMatchWildcard(t *testing.T) {
+	tpl := NewTemplate("Finished", Wildcard())
+	for _, n := range []int64{1, 2, 99} {
+		if !tpl.Matches(ev("Finished", value.Int(n))) {
+			t.Fatalf("wildcard failed to match %d", n)
+		}
+	}
+}
+
+func TestTemplateMatchVariableBinding(t *testing.T) {
+	tpl := NewTemplate("Seen", Var("b"), Var("r"))
+	env, ok := tpl.Match(ev("Seen", value.Str("badge12"), value.Str("T14")), value.Env{})
+	if !ok {
+		t.Fatal("variable template did not match")
+	}
+	if !env["b"].Equal(value.Str("badge12")) || !env["r"].Equal(value.Str("T14")) {
+		t.Fatalf("bindings wrong: %v", env)
+	}
+}
+
+func TestTemplateMatchBoundVariable(t *testing.T) {
+	tpl := NewTemplate("Seen", Var("b"), Var("r"))
+	env := value.Env{}.Extend("b", value.Str("badge12"))
+	if _, ok := tpl.Match(ev("Seen", value.Str("badge13"), value.Str("T14")), env); ok {
+		t.Fatal("bound variable matched different value")
+	}
+	env2, ok := tpl.Match(ev("Seen", value.Str("badge12"), value.Str("T15")), env)
+	if !ok {
+		t.Fatal("bound variable failed to match equal value")
+	}
+	if !env2["r"].Equal(value.Str("T15")) {
+		t.Fatal("new variable not bound alongside bound one")
+	}
+}
+
+func TestTemplateRepeatedVariableMustAgree(t *testing.T) {
+	// Seen(x, x) should only match events whose two args are equal.
+	tpl := NewTemplate("Pair", Var("x"), Var("x"))
+	if !tpl.Matches(ev("Pair", value.Int(1), value.Int(1))) {
+		t.Fatal("repeated variable did not match agreeing args")
+	}
+	if tpl.Matches(ev("Pair", value.Int(1), value.Int(2))) {
+		t.Fatal("repeated variable matched disagreeing args")
+	}
+}
+
+func TestTemplateMatchDoesNotMutateEnv(t *testing.T) {
+	tpl := NewTemplate("Seen", Var("b"))
+	env := value.Env{}
+	_, ok := tpl.Match(ev("Seen", value.Str("x")), env)
+	if !ok {
+		t.Fatal("match failed")
+	}
+	if len(env) != 0 {
+		t.Fatal("Match mutated caller's environment")
+	}
+}
+
+func TestTemplateInstantiateAndGround(t *testing.T) {
+	tpl := NewTemplate("Seen", Var("b"), Var("r"))
+	env := value.Env{}.Extend("b", value.Str("badge12"))
+	inst := tpl.Instantiate(env)
+	if inst.Params[0].Lit.S != "badge12" || inst.Params[0].Var != "" {
+		t.Fatalf("Instantiate did not substitute: %v", inst)
+	}
+	if inst.Params[1].Var != "r" {
+		t.Fatal("Instantiate touched unbound variable")
+	}
+	if tpl.Ground(env) {
+		t.Fatal("template with unbound var reported ground")
+	}
+	if !tpl.Ground(env.Extend("r", value.Str("T14"))) {
+		t.Fatal("fully bound template not ground")
+	}
+	if NewTemplate("X", Wildcard()).Ground(value.Env{}) {
+		t.Fatal("wildcard template reported ground")
+	}
+}
+
+func TestTemplateString(t *testing.T) {
+	tpl := NewTemplate("Seen", Var("b"), Wildcard(), Lit(value.Int(3)))
+	if got, want := tpl.String(), "Seen(b,*,3)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Name: "Seen", Args: []value.Value{value.Str("b")}, Time: time.Unix(0, 5)}
+	if got, want := e.String(), `Seen("b")@5`; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

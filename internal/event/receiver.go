@@ -1,0 +1,175 @@
+package event
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Handler consumes events delivered for one registration.
+type Handler func(Event)
+
+// GapHandler is invoked when the receiver detects that one or more
+// notifications from a source have been lost or delayed (a sequence gap,
+// §4.10); the argument is the source name.
+type GapHandler func(source string)
+
+// Receiver is the client-side event library of figure 6.1. It dispatches
+// notifications to per-registration handlers, tracks per-source event
+// horizons, detects sequence gaps, and acknowledges every i-th heartbeat
+// so that the broker can delete resend state.
+type Receiver struct {
+	ackEvery int
+	onGap    GapHandler
+
+	mu          sync.Mutex
+	handlers    map[uint64]Handler
+	srcHandlers map[string]Handler   // keyed source + "/" + regID
+	lastSeq     map[uint64]uint64    // per session
+	horizons    map[string]time.Time // per source
+	hbCount     map[uint64]int
+	acks        []Ack
+	silent      map[string]bool // sources currently presumed failed
+}
+
+// Ack records an acknowledgement the receiver owes its broker; the
+// transport collects these via TakeAcks and forwards them.
+type Ack struct {
+	Session uint64
+	Seq     uint64
+}
+
+// NewReceiver creates a receiver that acknowledges every ackEvery-th
+// heartbeat (i in §4.10).
+func NewReceiver(ackEvery int, onGap GapHandler) *Receiver {
+	if ackEvery <= 0 {
+		ackEvery = 4
+	}
+	return &Receiver{
+		ackEvery:    ackEvery,
+		onGap:       onGap,
+		handlers:    make(map[uint64]Handler),
+		srcHandlers: make(map[string]Handler),
+		lastSeq:     make(map[uint64]uint64),
+		horizons:    make(map[string]time.Time),
+		hbCount:     make(map[uint64]int),
+		silent:      make(map[string]bool),
+	}
+}
+
+// Handle installs the handler for a registration id.
+func (r *Receiver) Handle(regID uint64, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers[regID] = h
+}
+
+// HandleFrom installs a handler for a registration id scoped to one
+// source, so that registration ids allocated independently by different
+// brokers cannot collide.
+func (r *Receiver) HandleFrom(source string, regID uint64, h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.srcHandlers[srcKey(source, regID)] = h
+}
+
+func srcKey(source string, regID uint64) string {
+	return source + "/" + strconv.FormatUint(regID, 10)
+}
+
+// Deliver implements Sink.
+func (r *Receiver) Deliver(n Notification) {
+	r.mu.Lock()
+	gap := false
+	if last, ok := r.lastSeq[n.SessionID]; ok && n.Seq > last+1 {
+		gap = true
+	}
+	if n.Seq > r.lastSeq[n.SessionID] {
+		r.lastSeq[n.SessionID] = n.Seq
+	}
+	if n.Horizon.After(r.horizons[n.Source]) {
+		r.horizons[n.Source] = n.Horizon
+	}
+	delete(r.silent, n.Source)
+	var h Handler
+	if !n.Heartbeat {
+		if sh, ok := r.srcHandlers[srcKey(n.Source, n.RegID)]; ok {
+			h = sh
+		} else {
+			h = r.handlers[n.RegID]
+		}
+	} else {
+		r.hbCount[n.SessionID]++
+		if r.hbCount[n.SessionID]%r.ackEvery == 0 {
+			r.acks = append(r.acks, Ack{Session: n.SessionID, Seq: n.Seq})
+		}
+	}
+	onGap := r.onGap
+	r.mu.Unlock()
+
+	if gap && onGap != nil {
+		onGap(n.Source)
+	}
+	if h != nil {
+		h(n.Event)
+	}
+}
+
+// ObserveSource seeds liveness tracking for a source from an
+// out-of-band contact (e.g. a successful synchronous validation call):
+// the source was demonstrably alive at t, so silence is measured from
+// then even before the first notification arrives.
+func (r *Receiver) ObserveSource(source string, t time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t.After(r.horizons[source]) {
+		r.horizons[source] = t
+	}
+	delete(r.silent, source)
+}
+
+// Horizon returns the highest event-horizon timestamp seen from the
+// source: the receiver is guaranteed to have seen every event from that
+// source with an earlier timestamp (assuming no unresolved gap).
+func (r *Receiver) Horizon(source string) (time.Time, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.horizons[source]
+	return t, ok
+}
+
+// TakeAcks returns and clears the pending acknowledgements.
+func (r *Receiver) TakeAcks() []Ack {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.acks
+	r.acks = nil
+	return out
+}
+
+// CheckLiveness inspects each known source's horizon against the current
+// time: if a source has been quiet past the allowance (the heartbeat
+// period t plus slack), it is presumed failed and reported. A client can
+// be certain of receiving an event within t of its generation, or of
+// detecting that notification may have failed (§4.10).
+func (r *Receiver) CheckLiveness(now time.Time, allowance time.Duration) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var failed []string
+	for src, h := range r.horizons {
+		if now.Sub(h) > allowance && !r.silent[src] {
+			r.silent[src] = true
+			failed = append(failed, src)
+		}
+	}
+	return failed
+}
+
+// Silent reports whether the source is currently presumed failed.
+func (r *Receiver) Silent(source string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.silent[source]
+}
+
+var _ Sink = (*Receiver)(nil)

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/clock"
+	"oasis/internal/value"
+)
+
+func TestReceiverDispatchByRegistration(t *testing.T) {
+	r := NewReceiver(2, nil)
+	var got []Event
+	r.Handle(7, func(e Event) { got = append(got, e) })
+	r.Deliver(Notification{SessionID: 1, Seq: 1, RegID: 7, Event: New("E", value.Int(1))})
+	r.Deliver(Notification{SessionID: 1, Seq: 2, RegID: 8, Event: New("E", value.Int(2))})
+	if len(got) != 1 || !got[0].Args[0].Equal(value.Int(1)) {
+		t.Fatalf("dispatched = %v", got)
+	}
+}
+
+func TestReceiverDetectsGap(t *testing.T) {
+	var gaps []string
+	r := NewReceiver(2, func(src string) { gaps = append(gaps, src) })
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 1, Heartbeat: true})
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 3, Heartbeat: true})
+	if len(gaps) != 1 || gaps[0] != "s" {
+		t.Fatalf("gaps = %v", gaps)
+	}
+	// A duplicate (resend) is not a gap.
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 3, Heartbeat: true})
+	if len(gaps) != 1 {
+		t.Fatalf("duplicate counted as gap: %v", gaps)
+	}
+}
+
+func TestReceiverAcksEveryIth(t *testing.T) {
+	r := NewReceiver(3, nil)
+	for i := uint64(1); i <= 7; i++ {
+		r.Deliver(Notification{Source: "s", SessionID: 1, Seq: i, Heartbeat: true})
+	}
+	acks := r.TakeAcks()
+	if len(acks) != 2 { // after heartbeats 3 and 6
+		t.Fatalf("acks = %v", acks)
+	}
+	if acks[0].Seq != 3 || acks[1].Seq != 6 {
+		t.Fatalf("ack seqs = %v", acks)
+	}
+	if len(r.TakeAcks()) != 0 {
+		t.Fatal("TakeAcks did not clear")
+	}
+}
+
+func TestReceiverHorizonTracking(t *testing.T) {
+	r := NewReceiver(2, nil)
+	t1 := time.Unix(100, 0)
+	t2 := time.Unix(200, 0)
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 1, Horizon: t2, Heartbeat: true})
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 2, Horizon: t1, Heartbeat: true})
+	h, ok := r.Horizon("s")
+	if !ok || !h.Equal(t2) {
+		t.Fatalf("horizon = %v, %v", h, ok)
+	}
+	if _, ok := r.Horizon("unknown"); ok {
+		t.Fatal("unknown source has horizon")
+	}
+}
+
+func TestReceiverLivenessDetection(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	r := NewReceiver(2, nil)
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 1, Horizon: clk.Now(), Heartbeat: true})
+
+	// Within the allowance: alive.
+	clk.Advance(2 * time.Second)
+	if failed := r.CheckLiveness(clk.Now(), 5*time.Second); len(failed) != 0 {
+		t.Fatalf("premature failure report: %v", failed)
+	}
+	// Past the allowance: presumed failed, reported exactly once.
+	clk.Advance(10 * time.Second)
+	failed := r.CheckLiveness(clk.Now(), 5*time.Second)
+	if len(failed) != 1 || failed[0] != "s" {
+		t.Fatalf("failed = %v", failed)
+	}
+	if !r.Silent("s") {
+		t.Fatal("source not marked silent")
+	}
+	if again := r.CheckLiveness(clk.Now(), 5*time.Second); len(again) != 0 {
+		t.Fatalf("failure reported twice: %v", again)
+	}
+	// A fresh heartbeat clears the silence.
+	clk.Advance(time.Second)
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 2, Horizon: clk.Now(), Heartbeat: true})
+	if r.Silent("s") {
+		t.Fatal("source still silent after heartbeat")
+	}
+}
+
+func TestBrokerReceiverEndToEnd(t *testing.T) {
+	// The full figure 6.1 loop: register, signal, dispatch, heartbeat, ack.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := NewBroker("printer", clk, BrokerOptions{AckEvery: 2})
+	r := NewReceiver(2, nil)
+	sess, err := b.OpenSession(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := b.Register(sess, NewTemplate("Finished", Lit(value.Int(27))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Event, 1)
+	r.Handle(reg, func(e Event) { done <- e })
+
+	b.Signal(New("Finished", value.Int(27)))
+	select {
+	case e := <-done:
+		if !e.Args[0].Equal(value.Int(27)) {
+			t.Fatalf("wrong event %v", e)
+		}
+	default:
+		t.Fatal("event not delivered")
+	}
+
+	b.Heartbeat()
+	b.Heartbeat()
+	acks := r.TakeAcks()
+	if len(acks) != 1 {
+		t.Fatalf("acks = %v", acks)
+	}
+	if err := b.Ack(sess, acks[0].Seq); err != nil {
+		t.Fatal(err)
+	}
+	if b.UnackedCount(sess) != 0 {
+		t.Fatalf("unacked = %d after ack", b.UnackedCount(sess))
+	}
+}

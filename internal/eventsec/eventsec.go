@@ -1,0 +1,279 @@
+// Package eventsec implements access control for event management —
+// chapter 7 of the paper. Event notification inverts the usual
+// client-request model (§7.2): the service pushes information, so
+// policy must control which clients may *receive* which event
+// instances. Policy is written in ERDL, an RDL-derived language of
+// ordered allow/deny statements (§7.3):
+//
+//	allow Seen(b, room) to LoggedOn(u) : u = owner(b)
+//	allow Seen(b, room) to Manager(u)
+//	deny  Seen(b, room) to Visitor(u)
+//	allow MovedSite(b, o, n) to Admin(u)
+//
+// Enforcement happens at two points (§7.4): admission control when a
+// client registers (could any rule ever deliver a matching instance to
+// this client?) and per-instance visibility filtering at notification
+// time. Exported event streams are guarded by a Proxy that applies the
+// exporting site's policy to remote subscribers (figure 7.3).
+package eventsec
+
+import (
+	"fmt"
+	"strings"
+
+	"oasis/internal/event"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// Rule is one ERDL statement: event template, subject role, optional
+// constraint. Rules are ordered; the first rule matching both the
+// instance and one of the subject's roles decides (default deny).
+type Rule struct {
+	Allow      bool
+	Event      rdl.RoleRef
+	Role       rdl.RoleRef
+	Constraint rdl.Expr
+	Line       int
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	kw := "deny"
+	if r.Allow {
+		kw = "allow"
+	}
+	s := kw + " " + r.Event.String() + " to " + r.Role.String()
+	if r.Constraint != nil {
+		s += " : " + r.Constraint.String()
+	}
+	return s
+}
+
+// Policy is a compiled ERDL policy.
+type Policy struct {
+	Rules  []Rule
+	Funcs  rdl.FuncTable
+	Groups rdl.GroupOracle
+}
+
+// SubjectRole is one role a subscribing client holds, as certified by
+// its role membership certificate.
+type SubjectRole struct {
+	Name string
+	Args []value.Value
+}
+
+// Subject is the credential set a client presented at registration.
+type Subject struct {
+	Roles []SubjectRole
+}
+
+// Parse compiles ERDL source: one statement per line, '#' comments.
+// Each statement is rewritten to an RDL entry statement ("EV <- ROLE")
+// and parsed with the RDL grammar — the preprocessing stage of
+// figure 7.1.
+func Parse(src string) (*Policy, error) {
+	p := &Policy{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kw, rest, ok := strings.Cut(line, " ")
+		if !ok || (kw != "allow" && kw != "deny") {
+			return nil, fmt.Errorf("eventsec: line %d: expected 'allow' or 'deny'", lineNo+1)
+		}
+		// "EV(...) to ROLE(...) [: C]"  ->  "EV(...) <- ROLE(...) [: C]"
+		stmt := strings.Replace(rest, " to ", " <- ", 1)
+		if stmt == rest {
+			return nil, fmt.Errorf("eventsec: line %d: missing 'to'", lineNo+1)
+		}
+		file, err := rdl.Parse(stmt)
+		if err != nil {
+			return nil, fmt.Errorf("eventsec: line %d: %v", lineNo+1, err)
+		}
+		if len(file.Rules) != 1 || len(file.Rules[0].Candidates) != 1 {
+			return nil, fmt.Errorf("eventsec: line %d: expected one event and one role", lineNo+1)
+		}
+		r := file.Rules[0]
+		p.Rules = append(p.Rules, Rule{
+			Allow:      kw == "allow",
+			Event:      r.Head,
+			Role:       r.Candidates[0],
+			Constraint: r.Constraint,
+			Line:       lineNo + 1,
+		})
+	}
+	return p, nil
+}
+
+// Check is the second preprocessing stage of figure 7.1: the parsed
+// policy is validated against the service's event schema and the role
+// signatures it may be asked about (name → arity). Unknown event types,
+// unknown roles and arity mismatches are configuration errors better
+// caught at load time than silently never matching.
+func (p *Policy) Check(events map[string]int, roles map[string]int) error {
+	for _, r := range p.Rules {
+		if n, ok := events[r.Event.Name]; !ok {
+			return fmt.Errorf("eventsec: line %d: unknown event type %s", r.Line, r.Event.Name)
+		} else if n != len(r.Event.Args) {
+			return fmt.Errorf("eventsec: line %d: event %s takes %d parameters, rule uses %d",
+				r.Line, r.Event.Name, n, len(r.Event.Args))
+		}
+		if n, ok := roles[r.Role.Name]; !ok {
+			return fmt.Errorf("eventsec: line %d: unknown role %s", r.Line, r.Role.Name)
+		} else if n != len(r.Role.Args) {
+			return fmt.Errorf("eventsec: line %d: role %s takes %d parameters, rule uses %d",
+				r.Line, r.Role.Name, n, len(r.Role.Args))
+		}
+	}
+	return nil
+}
+
+// MustParse panics on error.
+func MustParse(src string) *Policy {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// matchTerms unifies rule terms against concrete values, extending env.
+// Literals compare structurally (string literals match both strings and
+// object identifiers, as in certificate argument marshalling).
+func matchTerms(terms []rdl.Term, vals []value.Value, env value.Env) (value.Env, bool) {
+	if len(terms) != len(vals) {
+		return nil, false
+	}
+	out := env
+	for i, t := range terms {
+		v := vals[i]
+		switch {
+		case t.Var != "":
+			if bound, ok := out[t.Var]; ok {
+				if !bound.Equal(v) && !looseEqual(bound, v) {
+					return nil, false
+				}
+			} else {
+				out = out.Extend(t.Var, v)
+			}
+		case t.IsInt:
+			if v.T.Kind != value.KindInt || v.I != t.IntLit {
+				return nil, false
+			}
+		case t.IsStr:
+			if (v.T.Kind != value.KindString && v.T.Kind != value.KindObject) || v.S != t.StrLit {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// looseEqual treats strings and object identifiers with equal payloads
+// as matching: the subject's role argument may be an object id while the
+// event parameter is a plain string.
+func looseEqual(a, b value.Value) bool {
+	aStr := a.T.Kind == value.KindString || a.T.Kind == value.KindObject
+	bStr := b.T.Kind == value.KindString || b.T.Kind == value.KindObject
+	return aStr && bStr && a.S == b.S
+}
+
+// decide finds the first rule that matches the event instance and one
+// of the subject's roles (with a satisfied constraint) and returns its
+// verdict; ok reports whether any rule decided.
+func (p *Policy) decide(sub Subject, ev event.Event) (allow, ok bool) {
+	for _, r := range p.Rules {
+		if r.Event.Name != ev.Name {
+			continue
+		}
+		env0, matched := matchTerms(r.Event.Args, ev.Args, value.Env{})
+		if !matched {
+			continue
+		}
+		for _, role := range sub.Roles {
+			if role.Name != r.Role.Name {
+				continue
+			}
+			env, matched := matchTerms(r.Role.Args, role.Args, env0)
+			if !matched {
+				continue
+			}
+			if r.Constraint != nil {
+				res, err := rdl.Eval(r.Constraint, rdl.EvalContext{
+					Env: env, Groups: p.Groups, Funcs: p.Funcs,
+				})
+				if err != nil || !res.OK {
+					continue
+				}
+			}
+			return r.Allow, true
+		}
+	}
+	return false, false
+}
+
+// Visible reports whether the subject may be notified of the instance —
+// the per-instance check of §7.4. Default deny.
+func (p *Policy) Visible(sub Subject, ev event.Event) bool {
+	allow, ok := p.decide(sub, ev)
+	return ok && allow
+}
+
+// Admit is registration-time admission control (§6.2.2, §7.4): the
+// subject may register the template if some allow rule names the event
+// type and a role the subject holds. Constraints are left to the
+// per-instance check (they usually involve event parameters unknown at
+// registration).
+func (p *Policy) Admit(sub Subject, tmpl event.Template) bool {
+	for _, r := range p.Rules {
+		if !r.Allow || r.Event.Name != tmpl.Name {
+			continue
+		}
+		for _, role := range sub.Roles {
+			if role.Name == r.Role.Name {
+				if _, matched := matchTerms(r.Role.Args, role.Args, value.Env{}); matched {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// VisibilityFunc adapts the policy to event.BrokerOptions.Visibility:
+// session credentials must be a Subject (or *Subject).
+func (p *Policy) VisibilityFunc() func(session uint64, credentials any, ev event.Event) bool {
+	return func(_ uint64, credentials any, ev event.Event) bool {
+		sub, ok := asSubject(credentials)
+		if !ok {
+			return false
+		}
+		return p.Visible(sub, ev)
+	}
+}
+
+// AdmissionFunc adapts the policy to event.BrokerOptions.Admission.
+func (p *Policy) AdmissionFunc() func(credentials any) error {
+	return func(credentials any) error {
+		if _, ok := asSubject(credentials); !ok {
+			return fmt.Errorf("eventsec: registration requires role credentials")
+		}
+		return nil
+	}
+}
+
+func asSubject(credentials any) (Subject, bool) {
+	switch s := credentials.(type) {
+	case Subject:
+		return s, true
+	case *Subject:
+		return *s, true
+	default:
+		return Subject{}, false
+	}
+}

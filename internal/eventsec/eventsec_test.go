@@ -1,0 +1,348 @@
+package eventsec
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/event"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+func str(s string) value.Value { return value.Str(s) }
+
+func subjectOf(roles ...SubjectRole) Subject { return Subject{Roles: roles} }
+
+func seen(badge, room string) event.Event {
+	return event.Event{Name: "Seen", Args: []value.Value{str(badge), str(room)}}
+}
+
+// clPolicy is site CL's local policy (figure 7.2 style): users see
+// their own badge, managers see their staff's badges, the sysadmin sees
+// everything, visitors see nothing.
+func clPolicy() *Policy {
+	owner := map[string]string{"b12": "rjh21", "b13": "kgm"}
+	p := MustParse(`
+# CL local policy
+deny  Seen(b, room) to Visitor(u)
+allow Seen(b, room) to Admin(u)
+allow Seen(b, room) to LoggedOn(u) : u = owner(b)
+allow Seen(b, room) to Manager(u) : owner(b) in staff
+allow MovedSite(b, o, n) to Admin(u)
+`)
+	p.Funcs = rdl.FuncTable{
+		"owner": {
+			Result: value.StringType,
+			Fn: func(args []value.Value) (value.Value, error) {
+				return value.Str(owner[args[0].S]), nil
+			},
+		},
+	}
+	p.Groups = rdl.GroupOracleFunc(func(m value.Value, g string) bool {
+		return g == "staff" && m.S == "rjh21"
+	})
+	return p
+}
+
+func TestParseERDL(t *testing.T) {
+	p := clPolicy()
+	if len(p.Rules) != 5 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if p.Rules[0].Allow || p.Rules[0].Role.Name != "Visitor" {
+		t.Fatalf("rule 0 = %v", p.Rules[0])
+	}
+	if p.Rules[2].Constraint == nil {
+		t.Fatal("constraint lost")
+	}
+}
+
+func TestParseERDLErrors(t *testing.T) {
+	bad := []string{
+		"allow Seen(b)",          // missing 'to'
+		"permit Seen(b) to R",    // bad keyword
+		"allow Seen(b) to R & S", // two roles
+		"allow Seen(b to R",      // syntax
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, err := Parse("\n# comment\n\nallow E(x) to R(u)\n"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyCheck(t *testing.T) {
+	// Figure 7.1's preprocessing: validate the policy against the event
+	// schema and role signatures before installing it.
+	p := clPolicy()
+	events := map[string]int{"Seen": 2, "MovedSite": 3}
+	roles := map[string]int{"Visitor": 1, "Admin": 1, "LoggedOn": 1, "Manager": 1}
+	if err := p.Check(events, roles); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown event type.
+	if err := p.Check(map[string]int{"MovedSite": 3}, roles); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+	// Wrong event arity.
+	if err := p.Check(map[string]int{"Seen": 3, "MovedSite": 3}, roles); err == nil {
+		t.Fatal("wrong event arity accepted")
+	}
+	// Unknown role.
+	if err := p.Check(events, map[string]int{"Admin": 1}); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+	// Wrong role arity.
+	badRoles := map[string]int{"Visitor": 2, "Admin": 1, "LoggedOn": 1, "Manager": 1}
+	if err := p.Check(events, badRoles); err == nil {
+		t.Fatal("wrong role arity accepted")
+	}
+}
+
+func TestOwnBadgeVisibility(t *testing.T) {
+	p := clPolicy()
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	if !p.Visible(rjh, seen("b12", "T14")) {
+		t.Fatal("owner cannot see own badge")
+	}
+	if p.Visible(rjh, seen("b13", "T14")) {
+		t.Fatal("user sees someone else's badge")
+	}
+}
+
+func TestManagerSeesStaff(t *testing.T) {
+	p := clPolicy()
+	mgr := subjectOf(SubjectRole{Name: "Manager", Args: []value.Value{str("boss")}})
+	if !p.Visible(mgr, seen("b12", "T14")) { // rjh21 is staff
+		t.Fatal("manager cannot see staff badge")
+	}
+	if p.Visible(mgr, seen("b13", "T14")) { // kgm is not staff
+		t.Fatal("manager sees non-staff badge")
+	}
+}
+
+func TestAdminSeesAllVisitorSeesNothing(t *testing.T) {
+	p := clPolicy()
+	admin := subjectOf(SubjectRole{Name: "Admin", Args: []value.Value{str("root")}})
+	for _, b := range []string{"b12", "b13"} {
+		if !p.Visible(admin, seen(b, "T14")) {
+			t.Fatalf("admin cannot see %s", b)
+		}
+	}
+	// The visitor deny rule fires first even if the visitor also holds
+	// an otherwise-allowing role (ordered rules, first match wins).
+	visitor := subjectOf(
+		SubjectRole{Name: "Visitor", Args: []value.Value{str("eve")}},
+		SubjectRole{Name: "Admin", Args: []value.Value{str("eve")}},
+	)
+	if p.Visible(visitor, seen("b12", "T14")) {
+		t.Fatal("visitor deny did not take precedence")
+	}
+}
+
+func TestDefaultDeny(t *testing.T) {
+	p := clPolicy()
+	nobody := subjectOf(SubjectRole{Name: "Stranger"})
+	if p.Visible(nobody, seen("b12", "T14")) {
+		t.Fatal("default allow")
+	}
+	// Unknown event types are denied too.
+	admin := subjectOf(SubjectRole{Name: "Admin", Args: []value.Value{str("root")}})
+	if p.Visible(admin, event.Event{Name: "Secret", Args: nil}) {
+		t.Fatal("unlisted event visible")
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	p := clPolicy()
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	if !p.Admit(rjh, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard())) {
+		t.Fatal("owner refused registration")
+	}
+	if p.Admit(rjh, event.NewTemplate("MovedSite", event.Wildcard(), event.Wildcard(), event.Wildcard())) {
+		t.Fatal("non-admin admitted to MovedSite")
+	}
+	stranger := subjectOf(SubjectRole{Name: "Stranger"})
+	if p.Admit(stranger, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard())) {
+		t.Fatal("stranger admitted")
+	}
+}
+
+func TestBrokerIntegration(t *testing.T) {
+	// The policy plugs into the broker's admission and visibility hooks
+	// (§7.4): the same broker serves different clients different views.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	p := clPolicy()
+	b := event.NewBroker("CL", clk, event.BrokerOptions{
+		Admission:  p.AdmissionFunc(),
+		Visibility: p.VisibilityFunc(),
+	})
+	var mu sync.Mutex
+	got := map[string][]string{}
+	open := func(name string, sub Subject) {
+		sink := event.SinkFunc(func(n event.Notification) {
+			if n.Heartbeat {
+				return
+			}
+			mu.Lock()
+			got[name] = append(got[name], n.Event.Args[0].S)
+			mu.Unlock()
+		})
+		sess, err := b.OpenSession(sink, sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Register(sess, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	open("rjh", subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}}))
+	open("admin", subjectOf(SubjectRole{Name: "Admin", Args: []value.Value{str("root")}}))
+
+	// A credential-less client is refused at session open.
+	if _, err := b.OpenSession(event.SinkFunc(func(event.Notification) {}), nil); err == nil {
+		t.Fatal("admission without credentials")
+	}
+
+	b.Signal(event.New("Seen", str("b12"), str("T14")))
+	b.Signal(event.New("Seen", str("b13"), str("T15")))
+
+	if len(got["rjh"]) != 1 || got["rjh"][0] != "b12" {
+		t.Fatalf("rjh sees %v", got["rjh"])
+	}
+	if len(got["admin"]) != 2 {
+		t.Fatalf("admin sees %v", got["admin"])
+	}
+}
+
+func TestThreeSitePolicies(t *testing.T) {
+	// E21 / figure 7.2: the same subject receives different views at
+	// sites with different local policies.
+	open := MustParse(`allow Seen(b, room) to LoggedOn(u)`)
+	strict := MustParse(`allow Seen(b, room) to LoggedOn(u) : u = owner(b)`)
+	strict.Funcs = rdl.FuncTable{"owner": {
+		Result: value.StringType,
+		Fn: func(args []value.Value) (value.Value, error) {
+			if args[0].S == "b12" {
+				return value.Str("rjh21"), nil
+			}
+			return value.Str("someone-else"), nil
+		},
+	}}
+	cl := clPolicy()
+
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	evOwn := seen("b12", "T14")
+	evOther := seen("b13", "T14")
+
+	type verdicts struct{ own, other bool }
+	check := func(p *Policy) verdicts {
+		return verdicts{p.Visible(rjh, evOwn), p.Visible(rjh, evOther)}
+	}
+	if v := check(open); !v.own || !v.other {
+		t.Fatalf("open site: %+v", v)
+	}
+	if v := check(strict); !v.own || v.other {
+		t.Fatalf("strict site: %+v", v)
+	}
+	if v := check(cl); !v.own || v.other {
+		t.Fatalf("CL site: %+v", v)
+	}
+}
+
+func TestRemoteProxyPolicy(t *testing.T) {
+	// E21 / figure 7.3: a remote subscriber reaches the site's events
+	// only through the proxy, which applies the local policy with the
+	// remote client's credentials.
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	_ = net
+	b := event.NewBroker("CL", clk, event.BrokerOptions{})
+	p := clPolicy()
+	proxy, err := NewProxy(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var remoteSees []string
+	sink := event.SinkFunc(func(n event.Notification) {
+		if n.Heartbeat {
+			return
+		}
+		mu.Lock()
+		remoteSees = append(remoteSees, n.Event.Args[0].S)
+		mu.Unlock()
+	})
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	if _, err := proxy.Subscribe(rjh, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard()), sink); err != nil {
+		t.Fatal(err)
+	}
+	// A visitor may not subscribe at all (admission at the proxy).
+	visitor := subjectOf(SubjectRole{Name: "Visitor", Args: []value.Value{str("eve")}})
+	if _, err := proxy.Subscribe(visitor, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard()), sink); err == nil {
+		t.Fatal("visitor admitted through proxy")
+	}
+
+	b.Signal(event.New("Seen", str("b12"), str("T14"))) // rjh's own badge
+	b.Signal(event.New("Seen", str("b13"), str("T15"))) // someone else's
+
+	if len(remoteSees) != 1 || remoteSees[0] != "b12" {
+		t.Fatalf("remote sees %v", remoteSees)
+	}
+	if proxy.Filtered() != 1 {
+		t.Fatalf("filtered = %d", proxy.Filtered())
+	}
+}
+
+func TestProxyUnsubscribe(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := event.NewBroker("CL", clk, event.BrokerOptions{})
+	proxy, err := NewProxy(b, clPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	sink := event.SinkFunc(func(nn event.Notification) { n++ })
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	id, err := proxy.Subscribe(rjh, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard()), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Signal(event.New("Seen", str("b12"), str("T14")))
+	proxy.Unsubscribe(id)
+	b.Signal(event.New("Seen", str("b12"), str("T15")))
+	if n != 1 {
+		t.Fatalf("delivered = %d after unsubscribe", n)
+	}
+}
+
+func TestProxyForwardsHeartbeats(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := event.NewBroker("CL", clk, event.BrokerOptions{})
+	proxy, err := NewProxy(b, clPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := 0
+	sink := event.SinkFunc(func(n event.Notification) {
+		if n.Heartbeat {
+			hb++
+		}
+	})
+	rjh := subjectOf(SubjectRole{Name: "LoggedOn", Args: []value.Value{str("rjh21")}})
+	if _, err := proxy.Subscribe(rjh, event.NewTemplate("Seen", event.Wildcard(), event.Wildcard()), sink); err != nil {
+		t.Fatal(err)
+	}
+	b.Heartbeat()
+	if hb != 1 {
+		t.Fatalf("heartbeats forwarded = %d", hb)
+	}
+}

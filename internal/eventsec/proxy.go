@@ -1,0 +1,139 @@
+package eventsec
+
+import (
+	"fmt"
+	"sync"
+
+	"oasis/internal/event"
+)
+
+// Proxy enforces a site's local policy on its exported event stream
+// (figure 7.3): remote clients subscribe through the proxy, which holds
+// a trusted local session on the site's broker and filters each
+// instance against the exporting site's policy using the remote
+// subscriber's credentials. The remote site's own infrastructure never
+// needs to be trusted with unfiltered events.
+type Proxy struct {
+	pol    *Policy
+	broker *event.Broker
+
+	mu      sync.Mutex
+	subs    map[uint64]*proxySub
+	nextSub uint64
+	sess    uint64
+	// Filtered counts instances suppressed by policy (for tests and the
+	// E21 experiment report).
+	filtered int
+}
+
+type proxySub struct {
+	subject Subject
+	tmpl    event.Template
+	sink    event.Sink
+}
+
+// NewProxy attaches a proxy to a broker under the given policy. The
+// proxy's own session is unrestricted (it is part of the site's trusted
+// base); filtering happens per remote subscriber.
+func NewProxy(broker *event.Broker, pol *Policy) (*Proxy, error) {
+	p := &Proxy{pol: pol, broker: broker, subs: make(map[uint64]*proxySub)}
+	sess, err := broker.OpenSession(event.SinkFunc(p.deliver), nil)
+	if err != nil {
+		return nil, err
+	}
+	p.sess = sess
+	return p, nil
+}
+
+// Subscribe registers a remote client. Admission control applies the
+// policy's registration-time check; the returned id cancels the
+// subscription.
+func (p *Proxy) Subscribe(sub Subject, tmpl event.Template, sink event.Sink) (uint64, error) {
+	if !p.pol.Admit(sub, tmpl) {
+		return 0, fmt.Errorf("eventsec: policy admits no %s events for this subject", tmpl.Name)
+	}
+	p.mu.Lock()
+	needReg := len(p.subs) == 0 || !p.hasTemplateLocked(tmpl)
+	p.nextSub++
+	id := p.nextSub
+	p.subs[id] = &proxySub{subject: sub, tmpl: tmpl, sink: sink}
+	p.mu.Unlock()
+	if needReg {
+		if _, err := p.broker.Register(p.sess, event.Template{Name: tmpl.Name,
+			Params: wildcards(len(tmpl.Params))}); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+func wildcards(n int) []event.Param {
+	out := make([]event.Param, n)
+	for i := range out {
+		out[i] = event.Wildcard()
+	}
+	return out
+}
+
+func (p *Proxy) hasTemplateLocked(tmpl event.Template) bool {
+	for _, s := range p.subs {
+		if s.tmpl.Name == tmpl.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// Unsubscribe cancels a subscription.
+func (p *Proxy) Unsubscribe(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.subs, id)
+}
+
+// deliver fans a locally received instance out to remote subscribers,
+// filtering per subscriber.
+func (p *Proxy) deliver(n event.Notification) {
+	if n.Heartbeat {
+		// Heartbeats are forwarded to everyone: liveness is not secret.
+		p.mu.Lock()
+		sinks := make([]event.Sink, 0, len(p.subs))
+		for _, s := range p.subs {
+			sinks = append(sinks, s.sink)
+		}
+		p.mu.Unlock()
+		for _, s := range sinks {
+			s.Deliver(n)
+		}
+		return
+	}
+	p.mu.Lock()
+	type out struct {
+		sink event.Sink
+		n    event.Notification
+	}
+	var outs []out
+	for id, s := range p.subs {
+		if !s.tmpl.Matches(n.Event) {
+			continue
+		}
+		if !p.pol.Visible(s.subject, n.Event) {
+			p.filtered++
+			continue
+		}
+		fn := n
+		fn.RegID = id
+		outs = append(outs, out{s.sink, fn})
+	}
+	p.mu.Unlock()
+	for _, o := range outs {
+		o.sink.Deliver(o.n)
+	}
+}
+
+// Filtered reports how many instances policy suppressed.
+func (p *Proxy) Filtered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.filtered
+}

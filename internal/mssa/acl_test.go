@@ -1,0 +1,151 @@
+package mssa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oasis/internal/value"
+)
+
+func TestParseACL(t *testing.T) {
+	acl, err := ParseACL("rjh21=rwx group:staff=rx -group:students=w *=r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acl.Entries) != 4 {
+		t.Fatalf("entries = %d", len(acl.Entries))
+	}
+	if !acl.Entries[2].Negative || acl.Entries[2].Subject != "group:students" {
+		t.Fatalf("entry 2 = %+v", acl.Entries[2])
+	}
+	if acl.Entries[0].Rights.Members() != "rwx" {
+		t.Fatalf("entry 0 rights = %q", acl.Entries[0].Rights.Members())
+	}
+}
+
+func TestParseACLErrors(t *testing.T) {
+	for _, src := range []string{"noequals", "=rw", "u=zz"} {
+		if _, err := ParseACL(src); err == nil {
+			t.Errorf("ParseACL(%q) succeeded", src)
+		}
+	}
+}
+
+func TestACLStringRoundTrip(t *testing.T) {
+	src := "rjh21=rwx -group:students=w *=r"
+	acl := MustParseACL(src)
+	again, err := ParseACL(acl.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != acl.String() {
+		t.Fatalf("round trip: %q vs %q", again.String(), acl.String())
+	}
+}
+
+func staffGroups(u, g string) bool {
+	return g == "staff" && (u == "bob" || u == "ann")
+}
+
+func TestEvaluateMostExpressiveCases(t *testing.T) {
+	// §5.4.4's worked ambiguity: Bob(Read/Write), student(Read) — with
+	// ordered entries there are no "difficult cases": Bob gets rw.
+	acl := MustParseACL("bob=rw group:staff=r")
+	if got := acl.Evaluate("bob", staffGroups).Members(); got != "rw" {
+		t.Fatalf("bob = %q", got)
+	}
+	if got := acl.Evaluate("ann", staffGroups).Members(); got != "r" {
+		t.Fatalf("ann = %q", got)
+	}
+	if got := acl.Evaluate("eve", staffGroups).Members(); got != "" {
+		t.Fatalf("eve = %q", got)
+	}
+}
+
+func TestEvaluateNegativeRestricts(t *testing.T) {
+	// "Students may not have write access" is different from "students
+	// may have (only) read access" (§5.4.4).
+	students := func(u, g string) bool { return g == "students" && u == "sam" }
+	acl := MustParseACL("-group:students=w *=rw")
+	if got := acl.Evaluate("sam", students).Members(); got != "r" {
+		t.Fatalf("student rights = %q, want r (write denied)", got)
+	}
+	if got := acl.Evaluate("prof", students).Members(); got != "rw" {
+		t.Fatalf("prof rights = %q", got)
+	}
+}
+
+func TestEvaluateOrderMatters(t *testing.T) {
+	// A negative entry only restricts *later* grants.
+	first := MustParseACL("-bob=w bob=rw")
+	if got := first.Evaluate("bob", nil).Members(); got != "r" {
+		t.Fatalf("deny-then-grant = %q", got)
+	}
+	second := MustParseACL("bob=rw -bob=w")
+	if got := second.Evaluate("bob", nil).Members(); got != "rw" {
+		t.Fatalf("grant-then-deny = %q (grants are not retracted)", got)
+	}
+}
+
+func TestEvaluateEmptyACL(t *testing.T) {
+	if got := (ACL{}).Evaluate("anyone", nil).Members(); got != "" {
+		t.Fatalf("empty ACL grants %q", got)
+	}
+}
+
+// Property: granted rights are always a subset of the union of positive
+// entries matching the user, and never include a right denied by an
+// earlier matching negative entry.
+func TestQuickEvaluateSound(t *testing.T) {
+	letters := []rune{'r', 'w', 'x', 'd', 'c'}
+	f := func(entriesRaw []uint16, userPick bool) bool {
+		user := "u1"
+		if userPick {
+			user = "u2"
+		}
+		var acl ACL
+		for _, raw := range entriesRaw {
+			var rights string
+			for i, l := range letters {
+				if raw&(1<<uint(i)) != 0 {
+					rights += string(l)
+				}
+			}
+			subj := "u1"
+			if raw&(1<<6) != 0 {
+				subj = "u2"
+			}
+			if raw&(1<<7) != 0 {
+				subj = "*"
+			}
+			rv, err := value.Set(RightsUniverse, rights)
+			if err != nil {
+				return false
+			}
+			acl.Entries = append(acl.Entries, Entry{
+				Negative: raw&(1<<8) != 0,
+				Subject:  subj,
+				Rights:   rv,
+			})
+		}
+		got := acl.Evaluate(user, nil)
+
+		// Oracle: re-run the G/P algorithm independently.
+		var g, p uint64
+		p = (1 << 5) - 1
+		for _, e := range acl.Entries {
+			if e.Subject != user && e.Subject != "*" {
+				continue
+			}
+			if e.Negative {
+				p &^= e.Rights.Set
+			} else {
+				g |= e.Rights.Set & p
+			}
+		}
+		return got.Set == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

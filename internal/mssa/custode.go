@@ -1,0 +1,565 @@
+package mssa
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// FileID names a file anywhere in the MSSA: files carry a machine
+// oriented unique identifier that locates the custode responsible for
+// them (§5.2).
+type FileID struct {
+	Custode string
+	N       uint64
+}
+
+// IsZero reports an unset id.
+func (f FileID) IsZero() bool { return f.Custode == "" && f.N == 0 }
+
+// String renders the id.
+func (f FileID) String() string { return fmt.Sprintf("%s/%d", f.Custode, f.N) }
+
+// ErrNoFile is returned for unknown files.
+var ErrNoFile = errors.New("mssa: no such file")
+
+// ErrDenied is returned when a certificate lacks the required right.
+var ErrDenied = errors.New("mssa: access denied")
+
+// file is one stored object. An ACL file stores policy instead of (as
+// well as) data; every file names the ACL file protecting it.
+type file struct {
+	id          uint64
+	data        []byte
+	isACL       bool
+	acl         ACL
+	aclCRR      credrec.Ref // validity of certificates issued under the current ACL contents (§5.5.2)
+	protectedBy FileID
+	refs        []FileID // structured-file references (§5.3.1)
+	container   string   // accounting group (§5.3.1)
+}
+
+// Custode is an MSSA file custode: storage plus an embedded OASIS
+// service that names its clients with per-ACL UseAcl / UseFile roles
+// (§5.4.3). Byte-segment custodes are modelled by the in-memory data
+// arrays; the access-control architecture above them is complete.
+type Custode struct {
+	name string
+	clk  clock.Clock
+	net  *bus.Network
+	svc  *oasis.Service
+
+	mu     sync.Mutex
+	nextID uint64
+	files  map[uint64]*file
+
+	// hop accounting for the E8 placement-constraint experiment
+	remoteChecks int
+
+	// bypassing state (figure 5.8)
+	bypass      map[uint64]bypassGrant
+	bypassCache map[string]credrec.Ref
+}
+
+// loginService is the service name whose LoggedOn certificates identify
+// users; the paper's examples use a central Login service.
+const loginService = "Login"
+
+// NewCustode creates a custode attached to the network.
+func NewCustode(name string, clk clock.Clock, net *bus.Network) (*Custode, error) {
+	c := &Custode{
+		name:  name,
+		clk:   clk,
+		net:   net,
+		files: make(map[uint64]*file),
+	}
+	svc, err := oasis.New(name, clk, net, oasis.Options{
+		Funcs: rdl.FuncTable{
+			"acl": &rdl.Func{
+				Result: value.SetType(RightsUniverse),
+				Args:   []value.Type{value.StringType, value.ObjectType("Login.userid")},
+				Fn:     c.aclFunc,
+			},
+		},
+		ExtraParents: c.extraParents,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.svc = svc
+	return c, nil
+}
+
+// Name returns the custode name.
+func (c *Custode) Name() string { return c.name }
+
+// Service exposes the embedded OASIS service (for group management and
+// direct validation in tests).
+func (c *Custode) Service() *oasis.Service { return c.svc }
+
+// aclFunc is the parametrised acl() constraint function of §3.3.3 /
+// §5.4.4: acl("<n>", u) evaluates the stored ACL for user u.
+func (c *Custode) aclFunc(args []value.Value) (value.Value, error) {
+	n, err := strconv.ParseUint(args[0].S, 10, 64)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("mssa: bad acl reference %q", args[0].S)
+	}
+	c.mu.Lock()
+	f, ok := c.files[n]
+	c.mu.Unlock()
+	if !ok || !f.isACL {
+		return value.Value{}, fmt.Errorf("mssa: %d is not an ACL file", n)
+	}
+	user := args[1].S
+	groups := func(u, g string) bool { return c.svc.Groups().IsMember(u, g) }
+	return f.acl.Evaluate(user, groups), nil
+}
+
+// extraParents ties every certificate issued under an ACL rolefile to
+// that ACL's version record, so changing the ACL revokes outstanding
+// certificates (§5.5.2).
+func (c *Custode) extraParents(rolefile, role string, args []value.Value) []credrec.Parent {
+	var n uint64
+	if _, err := fmt.Sscanf(rolefile, "acl:%d", &n); err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[n]
+	if !ok || !f.isACL {
+		return nil
+	}
+	return []credrec.Parent{credrec.Of(f.aclCRR)}
+}
+
+// aclRolefile is the generated rolefile of §5.4.3: a simple ACL plus the
+// policy template (admin access and restricted delegation of per-file
+// rights). The ACL itself is consulted through the acl() function at
+// entry time, so the rolefile never changes when the ACL does.
+func aclRolefile(n uint64) string {
+	ref := strconv.FormatUint(n, 10)
+	return `
+def UseAcl(r) r: {` + RightsUniverse + `}
+def UseFile(f, r) f: string r: {` + RightsUniverse + `}
+UseAcl({` + RightsUniverse + `}) <- ` + loginService + `.LoggedOn(u, h)* : (u in mssa_admins)*
+UseAcl(r) <- ` + loginService + `.LoggedOn(u, h)* : r = acl("` + ref + `", u)
+UseFile(f, r) <- <|* UseAcl(rr) : r <= rr
+`
+}
+
+// rolefileID names the rolefile scope for an ACL file (§2.10: one
+// rolefile per protection context).
+func rolefileID(n uint64) string { return "acl:" + strconv.FormatUint(n, 10) }
+
+// policyPrologue and policyEpilogue are the "policy template" of §5.4.3
+// that every per-ACL rolefile — simple or full — is merged with: role
+// declarations, the standard administrator statement, and restricted
+// per-file delegation.
+const policyPrologue = `
+def UseAcl(r) r: {` + RightsUniverse + `}
+def UseFile(f, r) f: string r: {` + RightsUniverse + `}
+UseAcl({` + RightsUniverse + `}) <- ` + loginService + `.LoggedOn(u, h)* : (u in mssa_admins)*
+`
+
+const policyEpilogue = `
+UseFile(f, r) <- <|* UseAcl(rr) : r <= rr
+`
+
+// CreateProtectedPolicy installs a *full* rolefile as the protection
+// policy for a group of files (§5.4.3: "a simple ACL may be given
+// instead of the full rolefile" — this is the full form). The policy
+// defines entry to UseAcl in terms of any roles, local or foreign; it is
+// merged with the standard template. The returned FileID is used as
+// protectedBy for the files the policy governs, exactly like an ACL
+// file. This realises §5.7's example: "the members of a meeting are the
+// only people who may read the file used to store the minutes".
+func (c *Custode) CreateProtectedPolicy(policy string, protectedBy FileID) (FileID, error) {
+	if !protectedBy.IsZero() && protectedBy.Custode != c.name {
+		return FileID{}, fmt.Errorf("mssa: the ACL file protecting a policy must reside in the same custode (§5.4.2)")
+	}
+	c.mu.Lock()
+	c.nextID++
+	n := c.nextID
+	if protectedBy.IsZero() {
+		protectedBy = FileID{Custode: c.name, N: n}
+	}
+	f := &file{
+		id:          n,
+		isACL:       true,
+		data:        []byte(policy),
+		aclCRR:      c.svc.Store().NewFact(credrec.True),
+		protectedBy: protectedBy,
+	}
+	c.files[n] = f
+	c.mu.Unlock()
+	merged := policyPrologue + policy + policyEpilogue
+	if err := c.svc.AddRolefile(rolefileID(n), merged); err != nil {
+		return FileID{}, err
+	}
+	return FileID{Custode: c.name, N: n}, nil
+}
+
+// CreateACL stores an access control list as a file (§5.4.1). The
+// protecting ACL must reside in this custode — the placement constraint
+// of §5.4.2 that bounds recursive checks; protectedBy zero means the
+// ACL protects itself (the bootstrap case of figure 5.3's root ACLs).
+func (c *Custode) CreateACL(acl ACL, protectedBy FileID) (FileID, error) {
+	if !protectedBy.IsZero() && protectedBy.Custode != c.name {
+		return FileID{}, fmt.Errorf("mssa: the ACL file protecting an ACL file must reside in the same custode (§5.4.2); %v is remote", protectedBy)
+	}
+	c.mu.Lock()
+	c.nextID++
+	n := c.nextID
+	if protectedBy.IsZero() {
+		protectedBy = FileID{Custode: c.name, N: n} // self-protecting root
+	} else if f, ok := c.files[protectedBy.N]; !ok || !f.isACL {
+		c.mu.Unlock()
+		return FileID{}, fmt.Errorf("mssa: %v is not an ACL file", protectedBy)
+	}
+	f := &file{
+		id:          n,
+		isACL:       true,
+		acl:         acl,
+		aclCRR:      c.svc.Store().NewFact(credrec.True),
+		protectedBy: protectedBy,
+	}
+	c.files[n] = f
+	c.mu.Unlock()
+	if err := c.svc.AddRolefile(rolefileID(n), aclRolefile(n)); err != nil {
+		return FileID{}, err
+	}
+	return FileID{Custode: c.name, N: n}, nil
+}
+
+// Create stores a regular file under the protection of an ACL file
+// (which may live in another custode: files are grouped by shared ACL,
+// not by location, §5.4).
+func (c *Custode) Create(data []byte, protectedBy FileID) (FileID, error) {
+	return c.CreateIn("", data, protectedBy)
+}
+
+// CreateIn stores a file in a named container. Containers group files
+// purely for management and accounting (§5.3.1); under OASIS, grouping
+// for access control is the orthogonal shared-ACL mechanism, so the
+// overloading the original MSSA suffered from is gone (§5.3.1's
+// critique of the original scheme).
+func (c *Custode) CreateIn(container string, data []byte, protectedBy FileID) (FileID, error) {
+	if protectedBy.IsZero() {
+		return FileID{}, errors.New("mssa: a file must name its protecting ACL")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	c.files[c.nextID] = &file{
+		id:          c.nextID,
+		data:        append([]byte(nil), data...),
+		protectedBy: protectedBy,
+		container:   container,
+	}
+	return FileID{Custode: c.name, N: c.nextID}, nil
+}
+
+// Usage reports per-container accounting: file count and stored bytes.
+func (c *Custode) Usage(container string) (files int, bytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, f := range c.files {
+		if f.container == container {
+			files++
+			bytes += len(f.data)
+		}
+	}
+	return files, bytes
+}
+
+// CreateStructured stores a structured file referencing other files,
+// possibly on other custodes (§5.3.1's compound documents).
+func (c *Custode) CreateStructured(refs []FileID, protectedBy FileID) (FileID, error) {
+	id, err := c.Create(nil, protectedBy)
+	if err != nil {
+		return FileID{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.files[id.N].refs = append([]FileID(nil), refs...)
+	return id, nil
+}
+
+// References returns a structured file's references (no access check:
+// callers check access to each referenced file as they follow it).
+func (c *Custode) References(id FileID) ([]FileID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[id.N]
+	if !ok || id.Custode != c.name {
+		return nil, ErrNoFile
+	}
+	return append([]FileID(nil), f.refs...), nil
+}
+
+// EnterUseAcl obtains a UseAcl certificate for an ACL file from a Login
+// credential (the client-facing entry RPC).
+func (c *Custode) EnterUseAcl(client ids.ClientID, login *cert.RMC, aclFile FileID) (*cert.RMC, error) {
+	return c.EnterPolicy(client, []*cert.RMC{login}, aclFile)
+}
+
+// EnterPolicy obtains a UseAcl certificate under an ACL file or custom
+// policy, supplying arbitrary credentials — e.g. a conference Member
+// certificate when the policy grants readers by meeting membership
+// (§5.7).
+func (c *Custode) EnterPolicy(client ids.ClientID, creds []*cert.RMC, aclFile FileID) (*cert.RMC, error) {
+	if aclFile.Custode != c.name {
+		return nil, fmt.Errorf("mssa: ACL %v is not managed by %s", aclFile, c.name)
+	}
+	return c.svc.Enter(oasis.EnterRequest{
+		Client:   client,
+		Rolefile: rolefileID(aclFile.N),
+		Role:     "UseAcl",
+		Creds:    creds,
+	})
+}
+
+// DelegateFile lets a UseAcl holder delegate access to one file with
+// (possibly reduced) rights — the UseFile role of §5.4.3.
+func (c *Custode) DelegateFile(client ids.ClientID, useAcl *cert.RMC, fileID FileID, rights string) (*cert.Delegation, *cert.Revocation, error) {
+	rv, err := value.Set(RightsUniverse, rights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c.svc.Delegate(oasis.DelegateRequest{
+		Client:      client,
+		Rolefile:    useAcl.Rolefile,
+		Role:        "UseFile",
+		Args:        []value.Value{value.Str(fileID.String()), rv},
+		ElectorCert: useAcl,
+	})
+}
+
+// authorize validates a certificate for an operation needing the given
+// right on a file. The certificate may be a UseAcl for the protecting
+// ACL (local or remote custode) or a UseFile naming this very file.
+func (c *Custode) authorize(client ids.ClientID, f *file, crt *cert.RMC, right rune) error {
+	need := value.MustSet(RightsUniverse, string(right))
+
+	rightsOK := func(rv value.Value) error {
+		if ok, err := need.SubsetOf(rv); err != nil || !ok {
+			return fmt.Errorf("%w: need %q, certificate conveys %q", ErrDenied, string(right), rv.Members())
+		}
+		return nil
+	}
+
+	if crt.Service == c.name {
+		if err := c.svc.Validate(crt, client); err != nil {
+			return err
+		}
+		switch {
+		case c.svc.HasRole(crt, crt.Rolefile, "UseAcl"):
+			if crt.Rolefile != rolefileID(f.protectedBy.N) || f.protectedBy.Custode != c.name {
+				return fmt.Errorf("%w: certificate is for a different ACL", ErrDenied)
+			}
+			return rightsOK(crt.Args[0])
+		case c.svc.HasRole(crt, crt.Rolefile, "UseFile"):
+			if crt.Args[0].S != (FileID{Custode: c.name, N: f.id}).String() {
+				return fmt.Errorf("%w: UseFile certificate is for a different file", ErrDenied)
+			}
+			return rightsOK(crt.Args[1])
+		default:
+			return fmt.Errorf("%w: certificate carries no storage role", ErrDenied)
+		}
+	}
+
+	// The protecting ACL lives in another custode: validate the UseAcl
+	// certificate by a single remote call to its issuer — the most a
+	// check can cost under the placement constraint (§5.4.2).
+	if crt.Service != f.protectedBy.Custode || crt.Rolefile != rolefileID(f.protectedBy.N) {
+		return fmt.Errorf("%w: certificate is for a different ACL", ErrDenied)
+	}
+	c.mu.Lock()
+	c.remoteChecks++
+	c.mu.Unlock()
+	ext, _, err := c.svc.WatchCertificate(crt, client)
+	if err != nil {
+		return err
+	}
+	if !c.svc.Store().Valid(ext) {
+		return fmt.Errorf("%w: remote certificate revoked", ErrDenied)
+	}
+	return rightsOK(crt.Args[0])
+}
+
+func (c *Custode) lookup(id FileID) (*file, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id.Custode != c.name {
+		return nil, fmt.Errorf("mssa: %v is not managed by %s", id, c.name)
+	}
+	f, ok := c.files[id.N]
+	if !ok {
+		return nil, ErrNoFile
+	}
+	return f, nil
+}
+
+// Read returns file contents; requires the 'r' right.
+func (c *Custode) Read(client ids.ClientID, id FileID, crt *cert.RMC) ([]byte, error) {
+	f, err := c.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.authorize(client, f, crt, 'r'); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), f.data...), nil
+}
+
+// Write replaces file contents; requires the 'w' right.
+func (c *Custode) Write(client ids.ClientID, id FileID, crt *cert.RMC, data []byte) error {
+	f, err := c.lookup(id)
+	if err != nil {
+		return err
+	}
+	if err := c.authorize(client, f, crt, 'w'); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f.data = append([]byte(nil), data...)
+	return nil
+}
+
+// Delete removes a file; requires the 'd' right.
+func (c *Custode) Delete(client ids.ClientID, id FileID, crt *cert.RMC) error {
+	f, err := c.lookup(id)
+	if err != nil {
+		return err
+	}
+	if err := c.authorize(client, f, crt, 'd'); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.files, f.id)
+	return nil
+}
+
+// ReadACL returns an ACL's entries; requires 'r' on the ACL file's own
+// protecting ACL (meta-access control, §5.3.2 — the ACL is an object
+// like any other, best protected by a second ACL).
+func (c *Custode) ReadACL(client ids.ClientID, id FileID, crt *cert.RMC) (ACL, error) {
+	f, err := c.lookup(id)
+	if err != nil {
+		return ACL{}, err
+	}
+	if !f.isACL {
+		return ACL{}, fmt.Errorf("mssa: %v is not an ACL file", id)
+	}
+	if err := c.metaAuthorize(client, f, crt, 'r'); err != nil {
+		return ACL{}, err
+	}
+	return f.acl, nil
+}
+
+// SetACL replaces an ACL's contents; requires the 'c' (control) right
+// on the ACL protecting the ACL file. Outstanding certificates issued
+// under the old contents are revoked through the version record
+// (volatile ACLs, §5.5.2).
+func (c *Custode) SetACL(client ids.ClientID, id FileID, crt *cert.RMC, acl ACL) error {
+	f, err := c.lookup(id)
+	if err != nil {
+		return err
+	}
+	if !f.isACL {
+		return fmt.Errorf("mssa: %v is not an ACL file", id)
+	}
+	if err := c.metaAuthorize(client, f, crt, 'c'); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	old := f.aclCRR
+	f.acl = acl
+	f.aclCRR = c.svc.Store().NewFact(credrec.True)
+	c.mu.Unlock()
+	return c.svc.Store().Invalidate(old)
+}
+
+// metaAuthorize checks a right on an ACL file: an ACL is an object like
+// any other, protected by the ACL it names — which is local by the
+// placement constraint, so this check never leaves the custode
+// (figure 5.5).
+func (c *Custode) metaAuthorize(client ids.ClientID, f *file, crt *cert.RMC, right rune) error {
+	return c.authorize(client, f, crt, right)
+}
+
+// ChainHops walks a file's protection chain (file → ACL → ACL's ACL …),
+// returning how many remote custodes were consulted and whether the
+// walk terminated. With the placement constraint, at most one remote
+// custode is ever involved and cycles (which are legal: two ACLs may
+// protect each other, figure 5.5) terminate immediately (E8).
+func (c *Custode) ChainHops(id FileID, reg map[string]*Custode) (remote int, err error) {
+	visited := make(map[FileID]bool)
+	cur := id
+	curCustode := c
+	for {
+		if visited[cur] {
+			return remote, nil // cycle: already checked, terminate
+		}
+		visited[cur] = true
+		f, err := curCustode.lookup(cur)
+		if err != nil {
+			return remote, err
+		}
+		next := f.protectedBy
+		if next == cur {
+			return remote, nil // self-protecting root
+		}
+		if next.Custode != curCustode.name {
+			remote++
+			nc, ok := reg[next.Custode]
+			if !ok {
+				return remote, fmt.Errorf("mssa: unknown custode %s", next.Custode)
+			}
+			curCustode = nc
+		}
+		cur = next
+	}
+}
+
+// RemoteChecks reports how many access checks required a remote call.
+func (c *Custode) RemoteChecks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remoteChecks
+}
+
+// FileCount reports stored files (ACLs included).
+func (c *Custode) FileCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.files)
+}
+
+// ACLCount reports stored ACL files — the experiment E7 measure: far
+// fewer ACL objects than files.
+func (c *Custode) ACLCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, f := range c.files {
+		if f.isACL {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,493 @@
+package mssa
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// mssaHarness wires a Login service and one or more custodes.
+type mssaHarness struct {
+	clk   *clock.Virtual
+	net   *bus.Network
+	login *oasis.Service
+	hosts map[string]*ids.HostAuthority
+	t     *testing.T
+}
+
+func newMSSAHarness(t *testing.T) *mssaHarness {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	return &mssaHarness{clk: clk, net: net, login: login,
+		hosts: make(map[string]*ids.HostAuthority), t: t}
+}
+
+func (h *mssaHarness) custode(name string) *Custode {
+	h.t.Helper()
+	c, err := NewCustode(name, h.clk, h.net)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c
+}
+
+// loginRequest builds the standard LoggedOn entry request for a client.
+func loginRequest(c ids.ClientID, user string) oasis.EnterRequest {
+	return oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", user),
+			value.Object("Login.host", c.Host),
+		},
+	}
+}
+
+func (h *mssaHarness) user(host, user string) (ids.ClientID, *cert.RMC) {
+	h.t.Helper()
+	ha, ok := h.hosts[host]
+	if !ok {
+		ha = ids.NewHostAuthority(host, h.clk.Now())
+		h.hosts[host] = ha
+	}
+	c := ha.NewDomain()
+	rmc, err := h.login.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", user),
+			value.Object("Login.host", host),
+		},
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return c, rmc
+}
+
+func TestSharedACLGrouping(t *testing.T) {
+	// E7 / figure 5.2b: many files share one ACL object; one UseAcl
+	// certificate covers them all.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, err := fc.CreateACL(MustParseACL("rjh21=rw *=r"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []FileID
+	for i := 0; i < 50; i++ {
+		id, err := fc.Create([]byte("data"), acl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, id)
+	}
+	if fc.ACLCount() != 1 || fc.FileCount() != 51 {
+		t.Fatalf("acls=%d files=%d", fc.ACLCount(), fc.FileCount())
+	}
+
+	client, login := h.user("ely", "rjh21")
+	useAcl, err := fc.EnterUseAcl(client, login, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if useAcl.Args[0].Members() != "rw" {
+		t.Fatalf("rights = %q", useAcl.Args[0].Members())
+	}
+	for _, id := range files[:5] {
+		if _, err := fc.Read(client, id, useAcl); err != nil {
+			t.Fatalf("read %v: %v", id, err)
+		}
+		if err := fc.Write(client, id, useAcl, []byte("new")); err != nil {
+			t.Fatalf("write %v: %v", id, err)
+		}
+	}
+
+	// A read-only user may read but not write.
+	other, otherLogin := h.user("cam", "guest")
+	otherCert, err := fc.EnterUseAcl(other, otherLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(other, files[0], otherCert); err != nil {
+		t.Fatalf("guest read: %v", err)
+	}
+	if err := fc.Write(other, files[0], otherCert, nil); !errors.Is(err, ErrDenied) {
+		t.Fatalf("guest write: %v", err)
+	}
+}
+
+func TestMetaAccessControl(t *testing.T) {
+	// §5.3.2 / figure 5.3: the ACL is itself protected by an ACL; only
+	// the controller may modify it, and control is finer than a root id.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	metaACL, err := fc.CreateACL(MustParseACL("jo=rc"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupACL, err := fc.CreateACL(MustParseACL("jo=rw bob=rw"), metaACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileID, err := fc.Create([]byte("project"), groupACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jo, joLogin := h.user("ely", "jo")
+	joMeta, err := fc.EnterUseAcl(jo, joLogin, metaACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jo can read and rewrite the group ACL through the meta ACL.
+	if _, err := fc.ReadACL(jo, groupACL, joMeta); err != nil {
+		t.Fatalf("jo read ACL: %v", err)
+	}
+	if err := fc.SetACL(jo, groupACL, joMeta, MustParseACL("jo=rw ann=rw")); err != nil {
+		t.Fatalf("jo set ACL: %v", err)
+	}
+
+	// bob — a member of the group ACL, but not of the meta ACL — cannot.
+	bob, bobLogin := h.user("cam", "bob")
+	bobUse, err := fc.EnterUseAcl(bob, bobLogin, groupACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.SetACL(bob, groupACL, bobUse, MustParseACL("bob=rwxdc")); err == nil {
+		t.Fatal("non-controller modified the ACL")
+	}
+	_ = fileID
+}
+
+func TestVolatileACLRevocation(t *testing.T) {
+	// E12 / §5.5.2: changing an ACL revokes certificates issued under
+	// its old contents; clients transparently re-apply.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	meta, _ := fc.CreateACL(MustParseACL("admin=rc"), FileID{})
+	acl, err := fc.CreateACL(MustParseACL("bob=rw"), meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileID, _ := fc.Create([]byte("x"), acl)
+
+	bob, bobLogin := h.user("ely", "bob")
+	bobCert, err := fc.EnterUseAcl(bob, bobLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(bob, fileID, bobCert); err != nil {
+		t.Fatal(err)
+	}
+
+	admin, adminLogin := h.user("ops", "admin")
+	adminMeta, _ := fc.EnterUseAcl(admin, adminLogin, meta)
+	if err := fc.SetACL(admin, acl, adminMeta, MustParseACL("bob=r")); err != nil {
+		t.Fatal(err)
+	}
+	// The old certificate is revoked, not merely reinterpreted.
+	if _, err := fc.Read(bob, fileID, bobCert); err == nil {
+		t.Fatal("certificate issued under old ACL survived the change")
+	}
+	// Re-entry under the new ACL yields reduced rights.
+	bobCert2, err := fc.EnterUseAcl(bob, bobLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bobCert2.Args[0].Members() != "r" {
+		t.Fatalf("new rights = %q", bobCert2.Args[0].Members())
+	}
+	if err := fc.Write(bob, fileID, bobCert2, nil); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write under reduced rights: %v", err)
+	}
+}
+
+func TestLogoutRevokesStorageAccess(t *testing.T) {
+	// The starred LoggedOn candidate in the generated rolefile ties
+	// storage certificates to the login session (chapter 5's point that
+	// OASIS clarified how capabilities are gained and lost).
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, _ := fc.CreateACL(MustParseACL("bob=rw"), FileID{})
+	fileID, _ := fc.Create([]byte("x"), acl)
+	bob, bobLogin := h.user("ely", "bob")
+	bobCert, _ := fc.EnterUseAcl(bob, bobLogin, acl)
+	if _, err := fc.Read(bob, fileID, bobCert); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.login.Exit(bobLogin, bob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(bob, fileID, bobCert); err == nil {
+		t.Fatal("storage certificate survived logout")
+	}
+}
+
+func TestAdminTemplateRule(t *testing.T) {
+	// §5.4.3: rolefiles merge standard statements allowing administrator
+	// access — finer-grained than a root identifier.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	fc.Service().Groups().AddMember("root-jo", "mssa_admins")
+	acl, _ := fc.CreateACL(MustParseACL("bob=r"), FileID{})
+	fileID, _ := fc.Create([]byte("x"), acl)
+	adm, admLogin := h.user("ops", "root-jo")
+	admCert, err := fc.EnterUseAcl(adm, admLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admCert.Args[0].Members() != RightsUniverse {
+		t.Fatalf("admin rights = %q", admCert.Args[0].Members())
+	}
+	if err := fc.Write(adm, fileID, admCert, []byte("fixed")); err != nil {
+		t.Fatal(err)
+	}
+	// Revoking admin group membership revokes the certificate (starred
+	// candidate + group membership rule).
+	fc.Service().Groups().RemoveMember("root-jo", "mssa_admins")
+	if err := fc.Write(adm, fileID, admCert, nil); err == nil {
+		t.Fatal("admin certificate survived group removal")
+	}
+}
+
+func TestACLPlacementConstraint(t *testing.T) {
+	// E8 / §5.4.2: the ACL protecting an ACL must reside in the same
+	// custode; regular files may be protected by remote ACLs.
+	h := newMSSAHarness(t)
+	a := h.custode("A")
+	b := h.custode("B")
+	aclA, err := a.CreateACL(MustParseACL("bob=rw"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateACL(MustParseACL("x=r"), aclA); err == nil {
+		t.Fatal("remote protecting ACL accepted for an ACL file")
+	}
+	// A regular file on B protected by A's ACL is fine.
+	fileOnB, err := b.Create([]byte("remote-protected"), aclA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := map[string]*Custode{"A": a, "B": b}
+	remote, err := b.ChainHops(fileOnB, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote != 1 {
+		t.Fatalf("protection chain crossed %d custodes, want 1 (figure 5.5)", remote)
+	}
+}
+
+func TestACLCycleTerminates(t *testing.T) {
+	// Figure 5.5: a logical cycle between two (local) ACLs is legal and
+	// checks terminate.
+	h := newMSSAHarness(t)
+	a := h.custode("A")
+	acl1, err := a.CreateACL(MustParseACL("jo=rc"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl2, err := a.CreateACL(MustParseACL("jo=rc"), acl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire acl1 to be protected by acl2: a 2-cycle. (Direct state
+	// manipulation: the public API would require jo's certificate.)
+	a.mu.Lock()
+	a.files[acl1.N].protectedBy = acl2
+	a.mu.Unlock()
+
+	reg := map[string]*Custode{"A": a}
+	remote, err := a.ChainHops(acl1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote != 0 {
+		t.Fatalf("cycle check left the custode %d times", remote)
+	}
+	// And access checks still work: jo can read acl1 via acl2.
+	jo, joLogin := h.user("ely", "jo")
+	joCert, err := a.EnterUseAcl(jo, joLogin, acl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadACL(jo, acl1, joCert); err != nil {
+		t.Fatalf("cyclic meta-access: %v", err)
+	}
+}
+
+func TestRemoteACLAccessAndRevocation(t *testing.T) {
+	// A file on custode B protected by an ACL on custode A: B validates
+	// the A-issued certificate with one remote call and tracks it with
+	// an external record; revocation at A propagates to B (§4.9).
+	h := newMSSAHarness(t)
+	a := h.custode("A")
+	b := h.custode("B")
+	acl, _ := a.CreateACL(MustParseACL("bob=rw"), FileID{})
+	fileOnB, _ := b.Create([]byte("x"), acl)
+
+	bob, bobLogin := h.user("ely", "bob")
+	bobCert, err := a.EnterUseAcl(bob, bobLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bob, fileOnB, bobCert); err != nil {
+		t.Fatalf("remote-ACL read: %v", err)
+	}
+	if b.RemoteChecks() != 1 {
+		t.Fatalf("remote checks = %d, want 1", b.RemoteChecks())
+	}
+	// Logout at Login revokes at A, which propagates to B's cache.
+	if err := h.login.Exit(bobLogin, bob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bob, fileOnB, bobCert); err == nil {
+		t.Fatal("revoked remote certificate still accepted at B")
+	}
+}
+
+func TestUseFileDelegation(t *testing.T) {
+	// §5.4.3: a UseAcl holder delegates access to one file with reduced
+	// rights; the delegate cannot exceed them or touch other files.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, _ := fc.CreateACL(MustParseACL("owner=rwxdc"), FileID{})
+	f1, _ := fc.Create([]byte("one"), acl)
+	f2, _ := fc.Create([]byte("two"), acl)
+
+	owner, ownerLogin := h.user("ely", "owner")
+	ownerCert, err := fc.EnterUseAcl(owner, ownerLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, rev, err := fc.DelegateFile(owner, ownerCert, f1, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper, _ := h.user("cam", "helper")
+	helperCert, err := fc.Service().EnterDelegated(oasis.EnterRequest{
+		Client: helper, Rolefile: ownerCert.Rolefile, Role: "UseFile",
+		Delegation: deleg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fc.Read(helper, f1, helperCert); err != nil || string(data) != "one" {
+		t.Fatalf("delegated read: %v %q", err, data)
+	}
+	if err := fc.Write(helper, f1, helperCert, nil); !errors.Is(err, ErrDenied) {
+		t.Fatalf("delegated write beyond rights: %v", err)
+	}
+	if _, err := fc.Read(helper, f2, helperCert); !errors.Is(err, ErrDenied) {
+		t.Fatalf("delegated certificate used on other file: %v", err)
+	}
+	// The owner revokes.
+	if rev == nil {
+		t.Fatal("no revocation certificate for starred delegation")
+	}
+	if err := fc.Service().Revoke(rev); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(helper, f1, helperCert); err == nil {
+		t.Fatal("delegated access survived revocation")
+	}
+}
+
+func TestDelegationCannotAmplifyRights(t *testing.T) {
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, _ := fc.CreateACL(MustParseACL("reader=r"), FileID{})
+	f1, _ := fc.Create([]byte("x"), acl)
+	reader, readerLogin := h.user("ely", "reader")
+	readerCert, err := fc.EnterUseAcl(reader, readerLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := fc.DelegateFile(reader, readerCert, f1, "rw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper, _ := h.user("cam", "helper")
+	if _, err := fc.Service().EnterDelegated(oasis.EnterRequest{
+		Client: helper, Rolefile: readerCert.Rolefile, Role: "UseFile",
+		Delegation: deleg,
+	}); err == nil {
+		t.Fatal("delegation amplified rights beyond the elector's (r <= rr violated)")
+	}
+}
+
+func TestStructuredFiles(t *testing.T) {
+	// §5.3.1: a structured file references files on other custodes.
+	h := newMSSAHarness(t)
+	a := h.custode("SFC")
+	b := h.custode("FFC")
+	aclA, _ := a.CreateACL(MustParseACL("u=rw"), FileID{})
+	aclB, _ := b.CreateACL(MustParseACL("u=rw"), FileID{})
+	part1, _ := b.Create([]byte("part-1"), aclB)
+	part2, _ := b.Create([]byte("part-2"), aclB)
+	doc, err := a.CreateStructured([]FileID{part1, part2}, aclA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := a.References(doc)
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("refs = %v, %v", refs, err)
+	}
+	u, uLogin := h.user("ely", "u")
+	certB, _ := b.EnterUseAcl(u, uLogin, aclB)
+	for _, r := range refs {
+		if _, err := b.Read(u, r, certB); err != nil {
+			t.Fatalf("read part %v: %v", r, err)
+		}
+	}
+}
+
+func TestDeleteRequiresRight(t *testing.T) {
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, _ := fc.CreateACL(MustParseACL("bob=rwd ann=rw"), FileID{})
+	f, _ := fc.Create([]byte("x"), acl)
+	ann, annLogin := h.user("ely", "ann")
+	annCert, _ := fc.EnterUseAcl(ann, annLogin, acl)
+	if err := fc.Delete(ann, f, annCert); !errors.Is(err, ErrDenied) {
+		t.Fatalf("delete without 'd': %v", err)
+	}
+	bob, bobLogin := h.user("cam", "bob")
+	bobCert, _ := fc.EnterUseAcl(bob, bobLogin, acl)
+	if err := fc.Delete(bob, f, bobCert); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(bob, f, bobCert); !errors.Is(err, ErrNoFile) {
+		t.Fatalf("read after delete: %v", err)
+	}
+}
+
+func TestCertificateForWrongACLRejected(t *testing.T) {
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl1, _ := fc.CreateACL(MustParseACL("bob=rw"), FileID{})
+	acl2, _ := fc.CreateACL(MustParseACL("bob=rw"), FileID{})
+	f2, _ := fc.Create([]byte("x"), acl2)
+	bob, bobLogin := h.user("ely", "bob")
+	cert1, _ := fc.EnterUseAcl(bob, bobLogin, acl1)
+	if _, err := fc.Read(bob, f2, cert1); !errors.Is(err, ErrDenied) {
+		t.Fatalf("certificate for acl1 accepted on acl2 file: %v", err)
+	}
+}

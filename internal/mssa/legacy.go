@@ -1,0 +1,67 @@
+package mssa
+
+import (
+	"fmt"
+	"strings"
+
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// UnixACL evaluates a Unix-style access list of the form
+// "rjh21=rwx staff=rx other=r": the first component is the owner, the
+// second names a group, and "other" catches everyone else — the most
+// closely binding entry applies (§3.3.3, [RT78]). Rights are over
+// "rwx".
+func UnixACL(spec, user string, inGroup func(user, group string) bool) (value.Value, error) {
+	empty := value.Value{T: value.SetType("rwx")}
+	var otherRights *value.Value
+	var groupRights *value.Value
+	for _, tok := range strings.Fields(spec) {
+		subject, rights, ok := strings.Cut(tok, "=")
+		if !ok {
+			return empty, fmt.Errorf("mssa: bad unix acl entry %q", tok)
+		}
+		rights = strings.Map(func(r rune) rune {
+			if r == '-' {
+				return -1
+			}
+			return r
+		}, rights)
+		rv, err := value.Set("rwx", rights)
+		if err != nil {
+			return empty, err
+		}
+		switch {
+		case subject == user:
+			return rv, nil // owner entry binds most closely
+		case subject == "other":
+			otherRights = &rv
+		default:
+			if groupRights == nil && inGroup != nil && inGroup(user, subject) {
+				groupRights = &rv
+			}
+		}
+	}
+	if groupRights != nil {
+		return *groupRights, nil
+	}
+	if otherRights != nil {
+		return *otherRights, nil
+	}
+	return empty, nil
+}
+
+// UnixACLFunc packages UnixACL as the RDL constraint function of §3.3.3
+// ("r = unixacl(\"rjh21=rwx staff=rx other=r\", u)"), so legacy Unix
+// policies can be expressed as RDL statements and reasoned about
+// alongside OASIS services.
+func UnixACLFunc(inGroup func(user, group string) bool) *rdl.Func {
+	return &rdl.Func{
+		Result: value.SetType("rwx"),
+		Args:   []value.Type{value.StringType, value.ObjectType("Login.userid")},
+		Fn: func(args []value.Value) (value.Value, error) {
+			return UnixACL(args[0].S, args[1].S, inGroup)
+		},
+	}
+}

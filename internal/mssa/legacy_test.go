@@ -1,0 +1,120 @@
+package mssa
+
+import (
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/oasis"
+	"oasis/internal/rdl"
+)
+
+func TestUnixACLSemantics(t *testing.T) {
+	inGroup := func(u, g string) bool { return g == "staff" && u == "ann" }
+	cases := []struct {
+		user string
+		want string
+	}{
+		{"rjh21", "rwx"}, // owner entry binds most closely
+		{"ann", "rx"},    // group entry
+		{"eve", "r"},     // other
+	}
+	for _, c := range cases {
+		got, err := UnixACL("rjh21=rwx staff=rx other=r", c.user, inGroup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Members() != c.want {
+			t.Errorf("UnixACL(%s) = %q, want %q", c.user, got.Members(), c.want)
+		}
+	}
+}
+
+func TestUnixACLDashesAndErrors(t *testing.T) {
+	got, err := UnixACL("rjh21=r-x other=---", "rjh21", nil)
+	if err != nil || got.Members() != "rx" {
+		t.Fatalf("dashes: %v %v", got, err)
+	}
+	other, err := UnixACL("rjh21=r-x other=---", "guest", nil)
+	if err != nil || other.Members() != "" {
+		t.Fatalf("empty other: %v %v", other, err)
+	}
+	if _, err := UnixACL("malformed", "x", nil); err == nil {
+		t.Fatal("malformed entry accepted")
+	}
+	if _, err := UnixACL("u=zz", "x", nil); err == nil {
+		t.Fatal("bad rights accepted")
+	}
+	// Owner with no entries at all: empty rights, no error.
+	none, err := UnixACL("", "x", nil)
+	if err != nil || none.Members() != "" {
+		t.Fatalf("empty spec: %v %v", none, err)
+	}
+}
+
+func TestUnixACLInRDLRolefile(t *testing.T) {
+	// §3.3.3's exact expression: a legacy Unix ACL embedded in an RDL
+	// rolefile, interworking with OASIS naming.
+	h := newMSSAHarness(t)
+	legacy, err := oasis.New("NFS", h.clk, h.net, oasis.Options{
+		Funcs: rdl.FuncTable{
+			"unixacl": UnixACLFunc(func(u, g string) bool { return g == "staff" && u == "ann" }),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AddRolefile("main",
+		`UseFile(r) <- Login.LoggedOn(u, h)* : r = unixacl("rjh21=rwx staff=rx other=r", u)`); err != nil {
+		t.Fatal(err)
+	}
+	client, login := h.user("ely", "ann")
+	rmc, err := legacy.Enter(oasis.EnterRequest{
+		Client: client, Rolefile: "main", Role: "UseFile",
+		Creds: []*cert.RMC{login},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmc.Args[0].Members() != "rx" {
+		t.Fatalf("ann's legacy rights = %q", rmc.Args[0].Members())
+	}
+}
+
+func TestContainerAccounting(t *testing.T) {
+	// §5.3.1: containers group files for accounting; access-control
+	// grouping (shared ACLs) is orthogonal — here two containers share
+	// one ACL.
+	h := newMSSAHarness(t)
+	fc := h.custode("FFC")
+	acl, err := fc.CreateACL(MustParseACL("u=rw"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.CreateIn("projA", make([]byte, 100), acl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.CreateIn("projA", make([]byte, 50), acl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.CreateIn("projB", make([]byte, 10), acl); err != nil {
+		t.Fatal(err)
+	}
+	files, bytes := fc.Usage("projA")
+	if files != 2 || bytes != 150 {
+		t.Fatalf("projA usage = %d files, %d bytes", files, bytes)
+	}
+	files, bytes = fc.Usage("projB")
+	if files != 1 || bytes != 10 {
+		t.Fatalf("projB usage = %d files, %d bytes", files, bytes)
+	}
+	// One certificate still covers both containers' files (orthogonal
+	// grouping).
+	u, uLogin := h.user("ely", "u")
+	c, err := fc.EnterUseAcl(u, uLogin, acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Args[0].Members() != "rw" {
+		t.Fatalf("rights = %q", c.Args[0].Members())
+	}
+}

@@ -1,0 +1,173 @@
+package mssa
+
+import (
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// TestMeetingMinutesPolicy realises §5.7's flagship sentence: "it is
+// now possible to indicate explicitly that the members of a meeting are
+// the only people who may read the file used to store the minutes."
+// The custode's protection policy references the Conference service's
+// roles directly; ejecting a member revokes their file access through
+// cross-service event notification, with no ACL to forget to update.
+func TestMeetingMinutesPolicy(t *testing.T) {
+	h := newMSSAHarness(t)
+
+	// The Conference service: the open-meeting rolefile of §3.3.2.
+	conf, err := oasis.New("Conf", h.clk, h.net, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair : u in staff
+`); err != nil {
+		t.Fatal(err)
+	}
+	conf.Groups().AddMember("dm", "staff")
+
+	// The storage custode, with a policy naming the conference roles.
+	fc := h.custode("FFC")
+	policy, err := fc.CreateProtectedPolicy(`
+UseAcl({rw}) <- Conf.Chair*
+UseAcl({r})  <- Conf.Member(u)*
+`, FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minutes, err := fc.Create([]byte("1. apologies\n2. matters arising"), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	enterConf := func(host, user, role string) (ids.ClientID, *cert.RMC) {
+		t.Helper()
+		c, login := h.user(host, user)
+		rmc, err := conf.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: role,
+			Creds: []*cert.RMC{login},
+		})
+		if err != nil {
+			t.Fatalf("enter %s as %s: %v", role, user, err)
+		}
+		return c, rmc
+	}
+
+	chairClient, chair := enterConf("hq", "jmb", "Chair")
+	memberClient, member := enterConf("ely", "dm", "Member")
+
+	// The chair gets read/write, the member read-only.
+	chairUse, err := fc.EnterPolicy(chairClient, []*cert.RMC{chair}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chairUse.Args[0].Members() != "rw" {
+		t.Fatalf("chair rights = %q", chairUse.Args[0].Members())
+	}
+	memberUse, err := fc.EnterPolicy(memberClient, []*cert.RMC{member}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memberUse.Args[0].Members() != "r" {
+		t.Fatalf("member rights = %q", memberUse.Args[0].Members())
+	}
+
+	if err := fc.Write(chairClient, minutes, chairUse, []byte("minutes v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fc.Read(memberClient, minutes, memberUse)
+	if err != nil || string(data) != "minutes v2" {
+		t.Fatalf("member read: %q, %v", data, err)
+	}
+	if err := fc.Write(memberClient, minutes, memberUse, nil); err == nil {
+		t.Fatal("member wrote the minutes")
+	}
+
+	// A non-member cannot even obtain a certificate.
+	outsider, outsiderLogin := h.user("cafe", "eve")
+	if _, err := fc.EnterPolicy(outsider, []*cert.RMC{outsiderLogin}, policy); err == nil {
+		t.Fatal("outsider obtained minutes access")
+	}
+
+	// The chair ejects dm from the meeting (role-based revocation at the
+	// Conference); dm's storage certificate dies via the external record
+	// — the ACL-update step that manual schemes forget simply does not
+	// exist (§5.7).
+	if err := conf.RevokeByRole(chair, chairClient, "main", "Member",
+		[]value.Value{value.Object("Login.userid", "dm")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Read(memberClient, minutes, memberUse); err == nil {
+		t.Fatal("ejected member still reads the minutes")
+	}
+	// The chair is unaffected.
+	if _, err := fc.Read(chairClient, minutes, chairUse); err != nil {
+		t.Fatalf("chair read after ejection: %v", err)
+	}
+}
+
+// TestPolicyDelegationTemplateStillApplies: the merged policy template
+// gives admins access and bounded per-file delegation even under a
+// custom policy.
+func TestPolicyDelegationTemplateStillApplies(t *testing.T) {
+	h := newMSSAHarness(t)
+	conf, err := oasis.New("Conf", h.clk, h.net, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", `Chair <- Login.LoggedOn("jmb", h)`); err != nil {
+		t.Fatal(err)
+	}
+	fc := h.custode("FFC")
+	policy, err := fc.CreateProtectedPolicy(`UseAcl({rw}) <- Conf.Chair*`, FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fc.Create([]byte("x"), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admin template rule applies.
+	fc.Service().Groups().AddMember("root", "mssa_admins")
+	adm, admLogin := h.user("ops", "root")
+	admUse, err := fc.EnterPolicy(adm, []*cert.RMC{admLogin}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admUse.Args[0].Members() != RightsUniverse {
+		t.Fatalf("admin rights = %q", admUse.Args[0].Members())
+	}
+
+	// Per-file delegation from the chair, bounded by r <= rr.
+	chairClient, chairLogin := h.user("hq", "jmb")
+	chair, err := conf.Enter(oasis.EnterRequest{Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chairUse, err := fc.EnterPolicy(chairClient, []*cert.RMC{chair}, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := fc.DelegateFile(chairClient, chairUse, f, "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	helper, _ := h.user("ely", "helper")
+	helperUse, err := fc.Service().EnterDelegated(oasis.EnterRequest{
+		Client: helper, Rolefile: chairUse.Rolefile, Role: "UseFile",
+		Delegation: deleg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fc.Read(helper, f, helperUse); err != nil || string(data) != "x" {
+		t.Fatalf("delegated read: %q %v", data, err)
+	}
+}

@@ -1,0 +1,219 @@
+package mssa
+
+import (
+	"fmt"
+	"strings"
+
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+
+	"oasis/internal/bus"
+)
+
+// VAC is a value-adding custode (§5.2): it presents the standard file
+// custode interface plus specialised operations (here: keyword lookup,
+// making it the indexed flat file custode of figure 5.7), and is
+// implemented by abstracting a custode below it. The two custodes are
+// mutually distrustful; the VAC holds a single UseAcl certificate for
+// the ACL protecting all of its backing files below (§5.5).
+type VAC struct {
+	*Custode
+	below     *Custode
+	self      ids.ClientID
+	lowerCert *cert.RMC
+	lowerACL  FileID // the ACL at the lower custode covering backing files
+
+	backing map[uint64]FileID   // VAC file -> backing file below
+	index   map[string][]FileID // keyword -> VAC files
+}
+
+// NewVAC creates a value-adding custode over `below`. self is the VAC's
+// own protection domain; lowerCert its UseAcl certificate at the lower
+// custode for lowerACL, which covers every backing file (§5.5: one
+// certificate for the level below, not one per file).
+func NewVAC(name string, clk clock.Clock, net *bus.Network, below *Custode, self ids.ClientID, lowerCert *cert.RMC, lowerACL FileID) (*VAC, error) {
+	c, err := NewCustode(name, clk, net)
+	if err != nil {
+		return nil, err
+	}
+	return &VAC{
+		Custode:   c,
+		below:     below,
+		self:      self,
+		lowerCert: lowerCert,
+		lowerACL:  lowerACL,
+		backing:   make(map[uint64]FileID),
+		index:     make(map[string][]FileID),
+	}, nil
+}
+
+// CreateIndexed stores a file: the data lives in the lower custode, the
+// VAC keeps the index entry and the access-control wrapper.
+func (v *VAC) CreateIndexed(data []byte, protectedBy FileID) (FileID, error) {
+	lower, err := v.below.Create(data, v.lowerACL)
+	if err != nil {
+		return FileID{}, err
+	}
+	id, err := v.Custode.Create(nil, protectedBy)
+	if err != nil {
+		return FileID{}, err
+	}
+	v.mu.Lock()
+	v.backing[id.N] = lower
+	for _, w := range strings.Fields(string(data)) {
+		v.index[w] = append(v.index[w], id)
+	}
+	v.mu.Unlock()
+	return id, nil
+}
+
+// Read is the unmodified pass-through operation of figure 5.7: validate
+// at the VAC, then perform the corresponding read below using the VAC's
+// own certificate (figure 5.6's access path).
+func (v *VAC) Read(client ids.ClientID, id FileID, crt *cert.RMC) ([]byte, error) {
+	f, err := v.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.authorize(client, f, crt, 'r'); err != nil {
+		return nil, err
+	}
+	v.mu.Lock()
+	lower, ok := v.backing[id.N]
+	v.mu.Unlock()
+	if !ok {
+		return nil, ErrNoFile
+	}
+	return v.below.Read(v.self, lower, v.lowerCert)
+}
+
+// LookupWord is the specialised operation the VAC adds: it cannot be
+// bypassed, because the index lives here.
+func (v *VAC) LookupWord(client ids.ClientID, word string, crt *cert.RMC) ([]FileID, error) {
+	v.mu.Lock()
+	hits := append([]FileID(nil), v.index[word]...)
+	v.mu.Unlock()
+	var out []FileID
+	for _, id := range hits {
+		f, err := v.lookup(id)
+		if err != nil {
+			continue
+		}
+		if v.authorize(client, f, crt, 'r') == nil {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Backing exposes the lower file id for a VAC file so a client may
+// issue bypassed reads against the lower custode directly.
+func (v *VAC) Backing(id FileID) (FileID, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	lower, ok := v.backing[id.N]
+	return lower, ok
+}
+
+// EnableBypass registers the bypass route at the lower custode: clients
+// holding a VAC certificate for aclFile may call the lower custode
+// directly for the named file; the lower custode validates by callback
+// to the VAC (figure 5.8).
+func (v *VAC) EnableBypass(vacFile FileID, aclFile FileID) error {
+	lower, ok := v.Backing(vacFile)
+	if !ok {
+		return ErrNoFile
+	}
+	v.below.GrantBypass(lower, v.Name(), rolefileID(aclFile.N))
+	return nil
+}
+
+// ---- Bypassing support on the lower custode ----
+
+// bypassGrant authorises direct calls for one file when the caller
+// presents a certificate from the named top-level custode.
+type bypassGrant struct {
+	topService  string
+	topRolefile string
+}
+
+// GrantBypass records that direct access to a file is governed by
+// certificates of the given top-level service and rolefile.
+func (c *Custode) GrantBypass(id FileID, topService, topRolefile string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.bypass == nil {
+		c.bypass = make(map[uint64]bypassGrant)
+	}
+	c.bypass[id.N] = bypassGrant{topService: topService, topRolefile: topRolefile}
+}
+
+// ReadBypassed serves a client read directly, validating the top-level
+// certificate by callback to its issuer on first use and caching the
+// check thereafter; event notification invalidates the cache when the
+// credential changes, so a cached bypass is never a security hole
+// (figure 5.8). Never less efficient than the full stack; much more
+// efficient once cached (§5.6).
+func (c *Custode) ReadBypassed(client ids.ClientID, id FileID, topCert *cert.RMC) ([]byte, error) {
+	f, err := c.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	grant, ok := c.bypass[f.id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no bypass route for %v", ErrDenied, id)
+	}
+	if topCert.Service != grant.topService || topCert.Rolefile != grant.topRolefile {
+		return nil, fmt.Errorf("%w: certificate is not from the governing custode", ErrDenied)
+	}
+
+	key := string(topCert.Sig) + "|" + client.String()
+	c.mu.Lock()
+	ext, cached := c.bypassCache[key]
+	c.mu.Unlock()
+	if !cached {
+		// One callback to the top of the stack (figure 5.8b).
+		ref, roles, err := c.svc.WatchCertificate(topCert, client)
+		if err != nil {
+			return nil, err
+		}
+		hasUseAcl := false
+		for _, r := range roles {
+			if r == "UseAcl" {
+				hasUseAcl = true
+			}
+		}
+		if !hasUseAcl {
+			return nil, fmt.Errorf("%w: certificate carries no UseAcl role", ErrDenied)
+		}
+		c.mu.Lock()
+		if c.bypassCache == nil {
+			c.bypassCache = make(map[string]credrec.Ref)
+		}
+		c.bypassCache[key] = ref
+		c.mu.Unlock()
+		ext = ref
+	}
+	if !c.svc.Store().Valid(ext) {
+		return nil, fmt.Errorf("%w: top-level certificate revoked", ErrDenied)
+	}
+	need := value.MustSet(RightsUniverse, "r")
+	if ok, err := need.SubsetOf(topCert.Args[0]); err != nil || !ok {
+		return nil, fmt.Errorf("%w: certificate conveys %q", ErrDenied, topCert.Args[0].Members())
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), f.data...), nil
+}
+
+// BypassCacheLen reports cached bypass validations (benchmark support).
+func (c *Custode) BypassCacheLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.bypassCache)
+}

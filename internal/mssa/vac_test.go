@@ -1,0 +1,188 @@
+package mssa
+
+import (
+	"errors"
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/ids"
+)
+
+// vacHarness builds the figure 5.6 stack: an indexed flat file custode
+// (the VAC) over a flat file custode.
+type vacHarness struct {
+	*mssaHarness
+	ffc     *Custode
+	vac     *VAC
+	vacACL  FileID // ACL at the VAC protecting its files
+	alice   ids.ClientID
+	useVAC  *cert.RMC
+	vacFile FileID
+}
+
+func newVACHarness(t *testing.T) *vacHarness {
+	t.Helper()
+	h := newMSSAHarness(t)
+	ffc := h.custode("FFC")
+
+	// The lower ACL grants the VAC's user full access to backing files.
+	lowerACL, err := ffc.CreateACL(MustParseACL("iffc-daemon=rwxd"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacSelf, vacLogin := h.user("rack1", "iffc-daemon")
+	lowerCert, err := ffc.EnterUseAcl(vacSelf, vacLogin, lowerACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vac, err := NewVAC("IFFC", h.clk, h.net, ffc, vacSelf, lowerCert, lowerACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacACL, err := vac.CreateACL(MustParseACL("alice=rw *=r"), FileID{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vacFile, err := vac.CreateIndexed([]byte("the quick brown fox"), vacACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, aliceLogin := h.user("desk", "alice")
+	useVAC, err := vac.EnterUseAcl(alice, aliceLogin, vacACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &vacHarness{
+		mssaHarness: h, ffc: ffc, vac: vac, vacACL: vacACL,
+		alice: alice, useVAC: useVAC, vacFile: vacFile,
+	}
+}
+
+func TestVACStackedRead(t *testing.T) {
+	// Figure 5.6: client -> VAC -> lower custode, each hop checked.
+	h := newVACHarness(t)
+	data, err := h.vac.Read(h.alice, h.vacFile, h.useVAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "the quick brown fox" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+func TestVACSpecialisedLookup(t *testing.T) {
+	// Figure 5.7: the IFFC adds Lookup; Read passes through.
+	h := newVACHarness(t)
+	hits, err := h.vac.LookupWord(h.alice, "quick", h.useVAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0] != h.vacFile {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits, _ := h.vac.LookupWord(h.alice, "absent", h.useVAC); len(hits) != 0 {
+		t.Fatalf("hits for absent word = %v", hits)
+	}
+}
+
+func TestVACClientCannotTouchLowerDirectly(t *testing.T) {
+	// The mutually-distrustful layering: the client's VAC certificate
+	// means nothing at the lower custode without a bypass route.
+	h := newVACHarness(t)
+	lower, _ := h.vac.Backing(h.vacFile)
+	if _, err := h.ffc.Read(h.alice, lower, h.useVAC); err == nil {
+		t.Fatal("VAC certificate accepted by lower custode as UseAcl")
+	}
+}
+
+func TestVACBypassedRead(t *testing.T) {
+	// Figure 5.8: with a bypass route, the client calls the bottom
+	// custode directly; the bottom validates by one callback to the top
+	// and caches the check.
+	h := newVACHarness(t)
+	if err := h.vac.EnableBypass(h.vacFile, h.vacACL); err != nil {
+		t.Fatal(err)
+	}
+	lower, _ := h.vac.Backing(h.vacFile)
+
+	data, err := h.ffc.ReadBypassed(h.alice, lower, h.useVAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "the quick brown fox" {
+		t.Fatalf("data = %q", data)
+	}
+	if h.ffc.BypassCacheLen() != 1 {
+		t.Fatalf("cache = %d", h.ffc.BypassCacheLen())
+	}
+	// Second read hits the cache: no new validation callbacks.
+	calls := h.net.Count("call:validate")
+	if _, err := h.ffc.ReadBypassed(h.alice, lower, h.useVAC); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.net.Count("call:validate"); got != calls {
+		t.Fatalf("cached bypass made %d extra validate calls", got-calls)
+	}
+}
+
+func TestVACBypassRevocationPropagates(t *testing.T) {
+	// Figure 5.8: if a credential changes, the bottom custode is told by
+	// event notification — a cached bypass is not a loophole.
+	h := newVACHarness(t)
+	if err := h.vac.EnableBypass(h.vacFile, h.vacACL); err != nil {
+		t.Fatal(err)
+	}
+	lower, _ := h.vac.Backing(h.vacFile)
+	if _, err := h.ffc.ReadBypassed(h.alice, lower, h.useVAC); err != nil {
+		t.Fatal(err)
+	}
+	// The VAC's ACL changes: top-level certificates are revoked; the
+	// Modified event reaches the bottom custode's external record.
+	h.vac.Service().Groups().AddMember("boss", "mssa_admins")
+	boss, bossLogin := h.user("hq", "boss")
+	bossCert, err := h.vac.EnterUseAcl(boss, bossLogin, h.vacACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.vac.SetACL(boss, h.vacACL, bossCert, MustParseACL("alice=")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ffc.ReadBypassed(h.alice, lower, h.useVAC); err == nil {
+		t.Fatal("bypassed read succeeded after top-level revocation")
+	}
+}
+
+func TestVACBypassRequiresRoute(t *testing.T) {
+	h := newVACHarness(t)
+	lower, _ := h.vac.Backing(h.vacFile)
+	if _, err := h.ffc.ReadBypassed(h.alice, lower, h.useVAC); !errors.Is(err, ErrDenied) {
+		t.Fatalf("bypass without route: %v", err)
+	}
+}
+
+func TestVACBypassChecksRights(t *testing.T) {
+	h := newVACHarness(t)
+	if err := h.vac.EnableBypass(h.vacFile, h.vacACL); err != nil {
+		t.Fatal(err)
+	}
+	lower, _ := h.vac.Backing(h.vacFile)
+	// A certificate from a different custode is refused outright.
+	otherACL, _ := h.ffc.CreateACL(MustParseACL("alice=rw"), FileID{})
+	otherCert, err := h.ffc.EnterUseAcl(h.alice, mustLogin(t, h.mssaHarness, h.alice, "alice"), otherACL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ffc.ReadBypassed(h.alice, lower, otherCert); !errors.Is(err, ErrDenied) {
+		t.Fatalf("foreign certificate accepted on bypass: %v", err)
+	}
+}
+
+// mustLogin re-issues a login certificate for an existing client.
+func mustLogin(t *testing.T, h *mssaHarness, c ids.ClientID, user string) *cert.RMC {
+	t.Helper()
+	rmc, err := h.login.Enter(loginRequest(c, user))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rmc
+}

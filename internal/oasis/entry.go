@@ -1,0 +1,437 @@
+package oasis
+
+import (
+	"fmt"
+
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// EnterRequest asks for entry to a role (§3.2.2). Args may be nil to
+// accept whatever parameters the applicable rules produce — the "first
+// suitable membership" of the precedence algorithm — or concrete values
+// to select a specific instance (and to supply claimed parameters for
+// rules with no premises, like the paper's Visitor login).
+type EnterRequest struct {
+	Client     ids.ClientID
+	Rolefile   string
+	Role       string
+	Args       []value.Value
+	Creds      []*cert.RMC
+	Delegation *cert.Delegation // set for role entry by election (§4.4)
+}
+
+// held is one entry on the working membership list of §3.2.2.
+type held struct {
+	service  string // issuing service; "" for this service
+	rolefile string
+	name     string
+	args     []value.Value
+	types    []value.Type
+
+	// Validity support: either an existing credential record (for
+	// certificate-backed memberships), or the accumulated support of an
+	// intermediate membership derived during this entry.
+	crr      credrec.Ref
+	hasCRR   bool
+	parents  []credrec.Parent
+	revokers []revokerReq
+}
+
+// revokerReq is a pending role-based-revocation clause (§4.11) to be
+// instantiated when the membership is issued.
+type revokerReq struct {
+	revokerRole string
+	instance    string
+}
+
+// starSupport returns the parents contributed when this membership is
+// used as a *starred* candidate: its own record if it has one, or the
+// support it accumulated as an intermediate.
+func (h *held) starSupport() ([]credrec.Parent, []revokerReq) {
+	if h.hasCRR {
+		return []credrec.Parent{credrec.Of(h.crr)}, nil
+	}
+	return h.parents, h.revokers
+}
+
+// Enter performs role entry from existing credentials (the standard
+// form RPC). Election rules are not applicable here — delegated entry
+// is a separate call, EnterDelegated (§4.4).
+func (s *Service) Enter(req EnterRequest) (*cert.RMC, error) {
+	if req.Delegation != nil {
+		return s.EnterDelegated(req)
+	}
+	st, err := s.rolefileFor(req.Rolefile)
+	if err != nil {
+		return nil, err
+	}
+	list, err := s.initialList(st, req.Client, req.Creds)
+	if err != nil {
+		return nil, err
+	}
+	list = s.applyRules(st, req, list, nil)
+	return s.selectAndIssue(st, req, list)
+}
+
+// initialList validates the supplied certificates and seeds the
+// membership list. Foreign certificates are validated by callback to
+// their issuing service, producing external credential records (§4.9.1).
+func (s *Service) initialList(st *rolefileState, client ids.ClientID, creds []*cert.RMC) ([]*held, error) {
+	var list []*held
+	for _, c := range creds {
+		if c.Service == s.name {
+			if err := s.Validate(c, client); err != nil {
+				return nil, err
+			}
+			fs, err := s.rolefileFor(c.Rolefile)
+			if err != nil {
+				return nil, err
+			}
+			for _, role := range fs.roleMap.Names(c.Roles) {
+				list = append(list, &held{
+					rolefile: c.Rolefile,
+					name:     role,
+					args:     c.Args,
+					types:    fs.rf.Types[role],
+					crr:      c.CRR,
+					hasCRR:   true,
+				})
+			}
+			continue
+		}
+		roles, types, ext, err := s.validateForeign(c, client)
+		if err != nil {
+			return nil, err
+		}
+		for _, role := range roles {
+			list = append(list, &held{
+				service:  c.Service,
+				rolefile: c.Rolefile,
+				name:     role,
+				args:     c.Args,
+				types:    types,
+				crr:      ext,
+				hasCRR:   true,
+			})
+		}
+	}
+	return list, nil
+}
+
+// applyRules runs the precedence algorithm of §3.2.2: each statement is
+// applied in turn; a resulting membership is appended to the tail of the
+// list and may serve as a credential for later statements. Election
+// rules are skipped unless this entry carries the matching delegation
+// (electionOnly identifies the rule enabled by the delegation).
+func (s *Service) applyRules(st *rolefileState, req EnterRequest, list []*held, election *electionCtx) []*held {
+	for i, rule := range st.rf.File.Rules {
+		rt := st.ruleTypes[i]
+		if rule.Elector != nil {
+			if election == nil || election.rule != rule {
+				continue
+			}
+			if h := s.applyElection(st, rt, req, list, election); h != nil {
+				list = append(list, h)
+			}
+			continue
+		}
+		if h := s.applyStandard(st, rt, rule, req, list); h != nil {
+			list = append(list, h)
+		}
+	}
+	return list
+}
+
+// requestEnv seeds the evaluation environment with ambient request
+// context: the reserved variable @host is bound to the authenticated
+// client's host, so rolefiles can grade access by origin (the paper's
+// login service "performs additional checks, such as on the identity
+// of the host", §3.4.3).
+func requestEnv(client ids.ClientID) value.Env {
+	return value.Env{}.Extend("@host", value.Str(client.Host))
+}
+
+// applyStandard attempts one standard-form rule against the list.
+func (s *Service) applyStandard(st *rolefileState, rt *ruleTypes, rule *rdl.Rule, req EnterRequest, list []*held) *held {
+	env := requestEnv(req.Client)
+	// Seed from the request when this rule defines the requested role
+	// and concrete arguments were supplied.
+	if rule.Head.Name == req.Role && req.Args != nil {
+		e, ok, err := rdl.MatchArgs(rule.Head.Args, rt.head, req.Args, env)
+		if err != nil || !ok {
+			return nil
+		}
+		env = e
+	}
+	var parents []credrec.Parent
+	var revokers []revokerReq
+	for ci := range rule.Candidates {
+		cand := &rule.Candidates[ci]
+		h, e := matchCandidate(cand, rt.candidates[ci], list, env)
+		if h == nil {
+			return nil
+		}
+		env = e
+		if cand.Starred {
+			ps, rs := h.starSupport()
+			parents = append(parents, ps...)
+			revokers = append(revokers, rs...)
+		}
+	}
+	env2, conds, ok := s.evalConstraint(rule.Constraint, env)
+	if !ok {
+		return nil
+	}
+	env = env2
+	parents = append(parents, s.condParents(conds)...)
+
+	args, err := rdl.InstantiateArgs(rule.Head.Args, rt.head, env)
+	if err != nil {
+		return nil // unbound head variable: rule not applicable
+	}
+	if rule.Revoker != nil {
+		revokers = append(revokers, revokerReq{
+			revokerRole: rule.Revoker.Name,
+			instance:    instanceKey(rule.Head.Name, args),
+		})
+	}
+	return &held{
+		rolefile: st.id,
+		name:     rule.Head.Name,
+		args:     args,
+		types:    rt.head,
+		parents:  parents,
+		revokers: revokers,
+	}
+}
+
+// matchCandidate finds the first membership on the list satisfying a
+// candidate role reference (the "first suitable one", §3.2.2).
+func matchCandidate(ref *rdl.RoleRef, types []value.Type, list []*held, env value.Env) (*held, value.Env) {
+	for _, h := range list {
+		if h.name != ref.Name || h.service != ref.Service {
+			continue
+		}
+		if ref.Rolefile != "" && h.rolefile != ref.Rolefile {
+			continue
+		}
+		e, ok, err := rdl.MatchArgs(ref.Args, types, h.args, env)
+		if err != nil || !ok {
+			continue
+		}
+		return h, e
+	}
+	return nil, nil
+}
+
+// evalConstraint evaluates an optional constraint, returning the
+// (possibly extended) environment and the starred membership conditions.
+func (s *Service) evalConstraint(e rdl.Expr, env value.Env) (value.Env, []rdl.MembershipCond, bool) {
+	if e == nil {
+		return env, nil, true
+	}
+	res, err := rdl.Eval(e, rdl.EvalContext{
+		Env:    env,
+		Groups: rdl.GroupOracleFunc(s.groupMember),
+		Funcs:  s.opts.Funcs,
+	})
+	if err != nil || !res.OK {
+		return env, nil, false
+	}
+	return res.Env, res.Conds, true
+}
+
+func (s *Service) groupMember(member value.Value, group string) bool {
+	return s.groups.IsMember(memberKey(member), group)
+}
+
+// memberKey names a value for group membership purposes.
+func memberKey(v value.Value) string {
+	if v.T.Kind == value.KindString || v.T.Kind == value.KindObject {
+		return v.S
+	}
+	return v.Marshal()
+}
+
+// condParents converts starred constraint conditions into credential
+// record parents: group tests wire to group membership records (§4.8.1),
+// negated tests via negating edges. Other starred conditions were
+// evaluated at entry time; their parameters cannot change (§3.2.3), so
+// they contribute no dynamic parent.
+func (s *Service) condParents(conds []rdl.MembershipCond) []credrec.Parent {
+	var out []credrec.Parent
+	for _, c := range conds {
+		if !c.IsGroupTest {
+			continue
+		}
+		ref := s.groups.CredentialFor(memberKey(c.Member), c.Group)
+		if c.Neg {
+			out = append(out, credrec.Not(ref))
+		} else {
+			out = append(out, credrec.Of(ref))
+		}
+	}
+	return out
+}
+
+// selectAndIssue picks the first suitable membership from the list and
+// issues the certificate, building the credential record graph (§4.7).
+func (s *Service) selectAndIssue(st *rolefileState, req EnterRequest, list []*held) (*cert.RMC, error) {
+	var chosen *held
+	for _, h := range list {
+		if h.service != "" || h.rolefile != st.id || h.name != req.Role {
+			continue
+		}
+		if h.hasCRR {
+			continue // a certificate the client already holds; issue afresh only from derivations
+		}
+		if req.Args != nil {
+			if len(req.Args) != len(h.args) {
+				continue
+			}
+			match := true
+			for i := range req.Args {
+				if !req.Args[i].Equal(h.args[i]) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+		}
+		chosen = h
+		break
+	}
+	if chosen == nil {
+		return nil, s.fail(Erroneous, "no rule grants %v entry to %s", req.Client, req.Role)
+	}
+	return s.issue(st, req.Client, chosen, list)
+}
+
+// issue mints the certificate for a chosen membership: it instantiates
+// role-based-revocation records, creates the conjunction credential
+// record (reusing a single parent where possible — the optimisation of
+// §4.7), compounds other equal-argument memberships into the same
+// certificate (§4.3), signs and returns.
+func (s *Service) issue(st *rolefileState, client ids.ClientID, chosen *held, list []*held) (*cert.RMC, error) {
+	roles := cert.RoleSet(0)
+	bit, ok := st.roleMap.Bit(chosen.name)
+	if !ok {
+		return nil, fmt.Errorf("oasis: role %s missing from role map", chosen.name)
+	}
+	roles = roles.With(bit)
+
+	parents := append([]credrec.Parent(nil), chosen.parents...)
+	revokers := append([]revokerReq(nil), chosen.revokers...)
+	if s.opts.ExtraParents != nil {
+		parents = append(parents, s.opts.ExtraParents(st.id, chosen.name, chosen.args)...)
+	}
+
+	// Compound equal-argument memberships whose support adds nothing new.
+	for _, h := range list {
+		if h == chosen || h.service != "" || h.rolefile != st.id || h.hasCRR {
+			continue
+		}
+		if !argsEqual(h.args, chosen.args) || len(h.revokers) > 0 {
+			continue
+		}
+		if !parentSubset(h.parents, parents) {
+			continue
+		}
+		if b, ok := st.roleMap.Bit(h.name); ok {
+			roles = roles.With(b)
+		}
+	}
+
+	s.mu.Lock()
+	// Role-based revocation (§4.11): entry is refused for instances in
+	// the revoked-forever database; otherwise each clause creates a
+	// not-revoked fact and registers it for the revoker.
+	for _, r := range revokers {
+		if st.revoked[r.instance] {
+			s.mu.Unlock()
+			return nil, s.fail(Revoked, "role instance %s has been revoked", r.instance)
+		}
+	}
+	for _, r := range revokers {
+		if e, exists := st.revocable[r.instance]; exists && s.store.Valid(e.crr) {
+			// Re-entry of a live revocable instance shares the record,
+			// so one revocation kills every certificate for it.
+			parents = append(parents, credrec.Of(e.crr))
+			continue
+		}
+		ref := s.store.NewFact(credrec.True)
+		st.revocable[r.instance] = roleRevEntry{revokerRole: r.revokerRole, crr: ref}
+		parents = append(parents, credrec.Of(ref))
+	}
+	s.mu.Unlock()
+
+	var crr credrec.Ref
+	switch {
+	case len(parents) == 0:
+		// Unconditional membership: revocable only by exit.
+		crr = s.store.NewFact(credrec.True)
+	case len(parents) == 1 && !parents[0].Negated:
+		// §4.7's optimisation: a single membership rule needs no new
+		// conjunction record.
+		crr = parents[0].Ref
+	default:
+		crr = s.store.NewDerived(credrec.OpAnd, parents...)
+	}
+	if err := s.store.MarkDirectUse(crr); err != nil {
+		return nil, s.fail(Revoked, "support revoked during entry: %v", err)
+	}
+	if !s.store.Valid(crr) {
+		return nil, s.fail(Revoked, "membership conditions no longer hold")
+	}
+
+	c := &cert.RMC{
+		Service:  s.name,
+		Rolefile: st.id,
+		Roles:    roles,
+		Args:     chosen.args,
+		Client:   client,
+		CRR:      crr,
+	}
+	if s.opts.CertTTL > 0 {
+		c.Expiry = s.clk.Now().Add(s.opts.CertTTL)
+	}
+	c.Sign(s.signer)
+	s.mu.Lock()
+	s.audit.Issued++
+	s.mu.Unlock()
+	return c, nil
+}
+
+func argsEqual(a, b []value.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func parentSubset(sub, super []credrec.Parent) bool {
+	for _, p := range sub {
+		found := false
+		for _, q := range super {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

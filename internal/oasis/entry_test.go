@@ -1,0 +1,428 @@
+package oasis
+
+import (
+	"errors"
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+func TestLoginIssuesCertificate(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	rmc := h.logOn(t, c, "jmb")
+	if rmc.Service != "Login" || rmc.Client != c {
+		t.Fatalf("rmc = %v", rmc)
+	}
+	if err := h.login.Validate(rmc, c); err != nil {
+		t.Fatalf("fresh certificate invalid: %v", err)
+	}
+	if names := h.login.RoleNames(rmc); len(names) != 1 || names[0] != "LoggedOn" {
+		t.Fatalf("roles = %v", names)
+	}
+}
+
+func TestChairEntryWithForeignCredential(t *testing.T) {
+	// Figure 3.1, first rule: a client holding LoggedOn("jmb", h) may
+	// enter Chair. Conf validates the Login certificate by callback
+	// (§2.10) and the literal "jmb" must match.
+	h := newHarness(t)
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "jmb")
+	chair, err := h.conf.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{loggedOn},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.conf.HasRole(chair, "main", "Chair") {
+		t.Fatal("certificate lacks Chair role")
+	}
+	if err := h.conf.Validate(chair, c); err != nil {
+		t.Fatalf("chair certificate invalid: %v", err)
+	}
+}
+
+func TestChairEntryDeniedForOtherUser(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm") // not jmb
+	_, err := h.conf.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{loggedOn},
+	})
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Class != Erroneous {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEntryWithoutCredentialsDenied(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	if _, err := h.conf.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Chair"}); err == nil {
+		t.Fatal("entry with no credentials succeeded")
+	}
+}
+
+func TestMemberRequiresElection(t *testing.T) {
+	// The Member rule is election-form: holding LoggedOn alone must not
+	// grant Member, even for staff.
+	h := newHarness(t)
+	h.conf.Groups().AddMember("dm", "staff")
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	if _, err := h.conf.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{loggedOn},
+	}); err == nil {
+		t.Fatal("election-form rule applied without delegation")
+	}
+}
+
+func TestAmbiguousRolefilePrecedence(t *testing.T) {
+	// Figure 3.2: for a client holding Foo and requesting Bar, the list
+	// is Bas(1), Bas(2), Bar(1), Bar(2) and the first suitable
+	// membership, Bar(1), is returned. (Experiment E1.)
+	h := newHarness(t)
+	svc, err := New("Fig32", h.clk, h.net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+Foo    <- Login.LoggedOn(u, h)
+Bas(1) <- Foo
+Bas(2) <- Foo
+Bar(1) <- Bas(2)
+Bar(2) <- Foo
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	foo, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Foo", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bar, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Bar", Creds: []*cert.RMC{foo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bar.Args) != 1 || !bar.Args[0].Equal(value.Int(1)) {
+		t.Fatalf("Bar args = %v, want [1] per §3.2.2", bar.Args)
+	}
+}
+
+func TestIntermediateRolesEnteredAutomatically(t *testing.T) {
+	// §3.2.2: a client may enter a role indirectly via intermediate
+	// roles without requesting them explicitly.
+	h := newHarness(t)
+	svc, _ := New("Inter", h.clk, h.net, Options{})
+	src := `
+Candidate(u) <- Login.LoggedOn(u, h)
+Member(u)    <- Candidate(u)
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	m, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Member", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Args[0].Equal(uid("dm")) {
+		t.Fatalf("args = %v", m.Args)
+	}
+}
+
+func TestRequestedArgsSelectRule(t *testing.T) {
+	// §3.4.3: Login levels. With explicit args the client picks a level;
+	// without, the first matching rule (the maximum level) applies.
+	h := newHarness(t)
+	svc, _ := New("Levels", h.clk, h.net, Options{})
+	src := `
+def Level(l, u) l: integer
+Level(3, u) <- Login.LoggedOn(u, h) : h in secure
+Level(2, u) <- Login.LoggedOn(u, h) : h in hosts
+Level(1, u) <- Login.LoggedOn(u, h)
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	svc.Groups().AddMember("ely", "hosts")
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+
+	// Unspecified: first matching rule wins; ely is in hosts but not
+	// secure, so Level(2, dm).
+	got, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Level", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Args[0].Equal(value.Int(2)) {
+		t.Fatalf("default level = %v, want 2", got.Args[0])
+	}
+	// Explicit level 1 is honoured.
+	got1, err := svc.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Level",
+		Args:  []value.Value{value.Int(1), uid("dm")},
+		Creds: []*cert.RMC{loggedOn},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got1.Args[0].Equal(value.Int(1)) {
+		t.Fatalf("explicit level = %v, want 1", got1.Args[0])
+	}
+	// Level 3 is unobtainable from this host.
+	if _, err := svc.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Level",
+		Args:  []value.Value{value.Int(3), uid("dm")},
+		Creds: []*cert.RMC{loggedOn},
+	}); err == nil {
+		t.Fatal("secure level granted from insecure host")
+	}
+}
+
+func TestUncheckedClaimRule(t *testing.T) {
+	// Login(0, u) <-  : the Visitor login accepts an unchecked claim,
+	// but only when the client supplies the parameters.
+	h := newHarness(t)
+	svc, _ := New("Visitor", h.clk, h.net, Options{})
+	src := `
+def Visit(u) u: string
+Visit(u) <-
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	got, err := svc.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Visit",
+		Args: []value.Value{value.Str("claimed-name")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Args[0].S != "claimed-name" {
+		t.Fatalf("args = %v", got.Args)
+	}
+	// Without args the rule cannot instantiate.
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Visit"}); err == nil {
+		t.Fatal("claim rule fired without parameters")
+	}
+}
+
+func TestGroupConstraintCheckedAtEntry(t *testing.T) {
+	h := newHarness(t)
+	svc, _ := New("Grp", h.clk, h.net, Options{})
+	src := `Staffer(u) <- Login.LoggedOn(u, h) : u in staff`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Staffer", Creds: []*cert.RMC{loggedOn}}); err == nil {
+		t.Fatal("non-staff entered Staffer")
+	}
+	svc.Groups().AddMember("dm", "staff")
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Staffer", Creds: []*cert.RMC{loggedOn}}); err != nil {
+		t.Fatalf("staff member denied: %v", err)
+	}
+}
+
+func TestStarredGroupConstraintRevokes(t *testing.T) {
+	// §3.2.3's worked example: membership is revoked when dm is removed
+	// from staff, and recovers only with a new certificate.
+	h := newHarness(t)
+	svc, _ := New("Grp2", h.clk, h.net, Options{})
+	src := `Staffer(u) <- Login.LoggedOn(u, h) : (u in staff)*`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	svc.Groups().AddMember("dm", "staff")
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	rmc, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Staffer", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(rmc, c); err != nil {
+		t.Fatal(err)
+	}
+	svc.Groups().RemoveMember("dm", "staff")
+	err = svc.Validate(rmc, c)
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Class != Revoked {
+		t.Fatalf("after group removal: %v", err)
+	}
+}
+
+func TestUnstarredCandidateNotAMembershipRule(t *testing.T) {
+	// Without the star, revoking the LoggedOn certificate does not
+	// revoke the derived role (§3.2.3: only starred conditions persist).
+	h := newHarness(t)
+	svcStar, _ := New("Star", h.clk, h.net, Options{})
+	if err := svcStar.AddRolefile("main", `R(u) <- Login.LoggedOn(u, h)*`); err != nil {
+		t.Fatal(err)
+	}
+	svcNoStar, _ := New("NoStar", h.clk, h.net, Options{})
+	if err := svcNoStar.AddRolefile("main", `R(u) <- Login.LoggedOn(u, h)`); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "dm")
+	starred, err := svcStar.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "R", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := svcNoStar.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "R", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The user logs off: Login invalidates the LoggedOn certificate.
+	if err := h.login.Exit(loggedOn, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := svcStar.Validate(starred, c); err == nil {
+		t.Fatal("starred membership survived logout")
+	}
+	if err := svcNoStar.Validate(plain, c); err != nil {
+		t.Fatalf("unstarred membership revoked by logout: %v", err)
+	}
+}
+
+func TestCompoundCertificate(t *testing.T) {
+	// §4.3: entering Chair also grants Member when the rolefile derives
+	// Member from Chair with identical arguments; one certificate covers
+	// both and the client need not distinguish.
+	h := newHarness(t)
+	svc, _ := New("Compound", h.clk, h.net, Options{})
+	src := `
+Chair  <- Login.LoggedOn("jmb", h)
+Member <- Chair
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "jmb")
+	rmc, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Chair", Creds: []*cert.RMC{loggedOn}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc.HasRole(rmc, "main", "Chair") || !svc.HasRole(rmc, "main", "Member") {
+		t.Fatalf("compound roles = %v", svc.RoleNames(rmc))
+	}
+}
+
+func TestHighScoreTableExample(t *testing.T) {
+	// §3.4.1: only processes certified by the Loader as running the game
+	// may write; any logged-on user may read.
+	h := newHarness(t)
+	loader, _ := New("Loader", h.clk, h.net, Options{})
+	if err := loader.AddRolefile("main", `
+def Running(p) p: Loader.program
+Running(p) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	scores, _ := New("Scores", h.clk, h.net, Options{})
+	if err := scores.AddRolefile("main", `
+def Write()
+Write <- Loader.Running("game")*
+Read  <- Login.LoggedOn(u, h)
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	gameProc := h.client("ely")
+	running, err := loader.Enter(EnterRequest{
+		Client: gameProc, Rolefile: "main", Role: "Running",
+		Args: []value.Value{value.Object("Loader.program", "game")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := scores.Enter(EnterRequest{Client: gameProc, Rolefile: "main", Role: "Write", Creds: []*cert.RMC{running}})
+	if err != nil {
+		t.Fatalf("game process denied write: %v", err)
+	}
+	if err := scores.Validate(w, gameProc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A mere user can read but not write.
+	user := h.client("cam")
+	loggedOn := h.logOn(t, user, "dm")
+	if _, err := scores.Enter(EnterRequest{Client: user, Rolefile: "main", Role: "Write", Creds: []*cert.RMC{loggedOn}}); err == nil {
+		t.Fatal("user without Loader certificate granted write")
+	}
+	if _, err := scores.Enter(EnterRequest{Client: user, Rolefile: "main", Role: "Read", Creds: []*cert.RMC{loggedOn}}); err != nil {
+		t.Fatalf("user denied read: %v", err)
+	}
+
+	// When the game exits, the Loader revokes Running and writes stop.
+	if err := loader.Exit(running, gameProc); err != nil {
+		t.Fatal(err)
+	}
+	if err := scores.Validate(w, gameProc); err == nil {
+		t.Fatal("write certificate survived game exit")
+	}
+}
+
+func TestSharedAuthorshipExample(t *testing.T) {
+	// §3.4.4: the author is identified implicitly via creator(DOC).
+	h := newHarness(t)
+	docSvc, _ := New("Doc", h.clk, h.net, Options{
+		Funcs: rdl.FuncTable{
+			"creator": &rdl.Func{
+				Result: value.ObjectType("Login.userid"),
+				Args:   []value.Type{},
+				Fn: func(args []value.Value) (value.Value, error) {
+					return uid("rjh"), nil
+				},
+			},
+		},
+	})
+	src := `
+def Rights(r) r: {eaf}
+Author <- Login.LoggedOn(u, h) : u = creator()
+Editor <- Login.LoggedOn("MrEd", h)
+Rights({ae}) <- Author
+Rights({af}) <- Editor
+`
+	if err := docSvc.AddRolefile("DOC", src); err != nil {
+		t.Fatal(err)
+	}
+	author := h.client("ely")
+	authorLogin := h.logOn(t, author, "rjh")
+	r, err := docSvc.Enter(EnterRequest{Client: author, Rolefile: "DOC", Role: "Rights", Creds: []*cert.RMC{authorLogin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Args[0].Members() != "ea" {
+		t.Fatalf("author rights = %v", r.Args[0])
+	}
+	editor := h.client("cam")
+	editorLogin := h.logOn(t, editor, "MrEd")
+	r2, err := docSvc.Enter(EnterRequest{Client: editor, Rolefile: "DOC", Role: "Rights", Creds: []*cert.RMC{editorLogin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Args[0].Members() != "af" {
+		t.Fatalf("editor rights = %v", r2.Args[0])
+	}
+	// A third party gets nothing.
+	other := h.client("ox")
+	otherLogin := h.logOn(t, other, "nobody")
+	if _, err := docSvc.Enter(EnterRequest{Client: other, Rolefile: "DOC", Role: "Rights", Creds: []*cert.RMC{otherLogin}}); err == nil {
+		t.Fatal("stranger obtained rights")
+	}
+}

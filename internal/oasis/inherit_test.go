@@ -1,0 +1,142 @@
+package oasis
+
+import (
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/value"
+)
+
+// TestIntermediateRevokerInherited: when a role is entered via a starred
+// intermediate whose rule carries a |> revoker clause, the clause flows
+// into the final membership's support — revoking the intermediate
+// instance kills the derived role too.
+func TestIntermediateRevokerInherited(t *testing.T) {
+	h := newHarness(t)
+	svc, _ := New("Inh", h.clk, h.net, Options{})
+	src := `
+Warden        <- Login.LoggedOn("kgm", h)
+Candidate(u)  <- Login.LoggedOn(u, h)* |>* Warden
+Member(u)     <- Candidate(u)*
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	wardenClient := h.client("hq")
+	warden, err := svc.Enter(EnterRequest{Client: wardenClient, Rolefile: "main", Role: "Warden",
+		Creds: []*cert.RMC{h.logOn(t, wardenClient, "kgm")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := h.client("ely")
+	login := h.logOn(t, c, "dm")
+	member, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(member, c); err != nil {
+		t.Fatal(err)
+	}
+	// The warden revokes Candidate(dm) — the instance the Member role
+	// was derived through.
+	if err := svc.RevokeByRole(warden, wardenClient, "main", "Candidate", []value.Value{uid("dm")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(member, c); err == nil {
+		t.Fatal("member survived revocation of its intermediate candidate")
+	}
+	// Fresh entry is refused until reinstatement.
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login}}); err == nil {
+		t.Fatal("re-entry through revoked intermediate succeeded")
+	}
+	if err := svc.Reinstate(warden, wardenClient, "main", "Candidate", []value.Value{uid("dm")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login}}); err != nil {
+		t.Fatalf("entry after reinstatement: %v", err)
+	}
+}
+
+// TestSharedRevocableInstance: two clients entering the same revocable
+// role instance share one not-revoked record; a single revocation kills
+// both certificates (§4.11's per-instance database).
+func TestSharedRevocableInstance(t *testing.T) {
+	h := newHarness(t)
+	svc, _ := New("Shared", h.clk, h.net, Options{})
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	chairClient := h.client("hq")
+	chair, err := svc.Enter(EnterRequest{Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{h.logOn(t, chairClient, "jmb")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dm logs on from two machines; both processes enter Member(dm).
+	c1 := h.client("ely")
+	m1, err := svc.Enter(EnterRequest{Client: c1, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{h.logOn(t, c1, "dm")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := h.client("cam")
+	m2, err := svc.Enter(EnterRequest{Client: c2, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{h.logOn(t, c2, "dm")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.RevokeByRole(chair, chairClient, "main", "Member", []value.Value{uid("dm")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(m1, c1); err == nil {
+		t.Fatal("first certificate survived")
+	}
+	if err := svc.Validate(m2, c2); err == nil {
+		t.Fatal("second certificate survived")
+	}
+}
+
+// TestNegatedGroupMembershipRule: "(u not in banned)*" — joining the
+// banned group revokes; the condition is wired through a negating edge
+// to the group credential record.
+func TestNegatedGroupMembershipRule(t *testing.T) {
+	h := newHarness(t)
+	svc, _ := New("Neg", h.clk, h.net, Options{})
+	if err := svc.AddRolefile("main", `R(u) <- Login.LoggedOn(u, h)* : (u not in banned)*`); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	login := h.logOn(t, c, "dm")
+	rmc, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "R",
+		Creds: []*cert.RMC{login}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Validate(rmc, c); err != nil {
+		t.Fatal(err)
+	}
+	svc.Groups().AddMember("dm", "banned")
+	if err := svc.Validate(rmc, c); err == nil {
+		t.Fatal("membership survived joining the banned group")
+	}
+	// Un-banning restores the standing certificate (the condition is not
+	// permanent).
+	svc.Groups().RemoveMember("dm", "banned")
+	if err := svc.Validate(rmc, c); err != nil {
+		t.Fatalf("membership did not recover after un-ban: %v", err)
+	}
+	// Entry while banned is refused outright.
+	svc.Groups().AddMember("dm", "banned")
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "R",
+		Creds: []*cert.RMC{login}}); err == nil {
+		t.Fatal("banned user entered")
+	}
+}

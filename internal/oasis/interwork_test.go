@@ -1,0 +1,264 @@
+package oasis
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis/internal/cert"
+	"oasis/internal/event"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+)
+
+func TestIssueDirect(t *testing.T) {
+	// §4.12: a password service issues Passwd certificates based on
+	// policy not expressed in RDL (a secret check).
+	h := newHarness(t)
+	pw, _ := New("Pw", h.clk, h.net, Options{})
+	if err := pw.AddRolefile("main", `
+def Passwd(u, key) u: Login.userid key: string
+Passwd(u, key) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	secrets := map[string]string{"dm": "sesame"}
+	authenticate := func(client ids.ClientID, user, password, key string) (*cert.RMC, error) {
+		if secrets[user] != password {
+			return nil, errors.New("bad password")
+		}
+		return pw.IssueDirect(client, "main", "Passwd",
+			[]value.Value{uid(user), value.Str(key)})
+	}
+
+	c := h.client("ely")
+	if _, err := authenticate(c, "dm", "wrong", "Login"); err == nil {
+		t.Fatal("bad password accepted")
+	}
+	rmc, err := authenticate(c, "dm", "sesame", "Login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Validate(rmc, c); err != nil {
+		t.Fatal(err)
+	}
+	// The directly issued certificate works as a credential at other
+	// services, exactly like an RDL-issued one (§3.4.3's login flow).
+	login2, _ := New("Login2", h.clk, h.net, Options{})
+	if err := login2.AddRolefile("main", `
+LoggedOn(u) <- Pw.Passwd(u, "Login")*
+`); err != nil {
+		t.Fatal(err)
+	}
+	logged, err := login2.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Creds: []*cert.RMC{rmc},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login2.Validate(logged, c); err != nil {
+		t.Fatal(err)
+	}
+	// Revoking the password certificate cascades.
+	if err := pw.RevokeDirect(rmc); err != nil {
+		t.Fatal(err)
+	}
+	if err := login2.Validate(logged, c); err == nil {
+		t.Fatal("derived login survived password revocation")
+	}
+}
+
+func TestIssueDirectTypeChecked(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	if _, err := h.login.IssueDirect(c, "main", "LoggedOn",
+		[]value.Value{value.Int(3), value.Int(4)}); err == nil {
+		t.Fatal("wrong argument types accepted")
+	}
+	if _, err := h.login.IssueDirect(c, "main", "LoggedOn",
+		[]value.Value{uid("dm")}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := h.login.IssueDirect(c, "main", "Nothing", nil); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestOrganisationalRolesInterworking(t *testing.T) {
+	// §4.12's worked example: a system using organisational roles
+	// (manager, project leader, [SCFY96]) interworks by a service that
+	// issues an equivalent OASIS role for each holder.
+	h := newHarness(t)
+	org, _ := New("Org", h.clk, h.net, Options{})
+	if err := org.AddRolefile("main", `
+def Manager(u) u: Login.userid
+def ProjectLeader(u, proj) u: Login.userid proj: string
+Manager(u) <-
+ProjectLeader(u, proj) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	// The adapter consults the legacy RBAC database.
+	legacy := map[string][]string{"dm": {"Manager"}}
+	adapt := func(client ids.ClientID, user string) ([]*cert.RMC, error) {
+		var out []*cert.RMC
+		for _, role := range legacy[user] {
+			rmc, err := org.IssueDirect(client, "main", role, []value.Value{uid(user)})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rmc)
+		}
+		return out, nil
+	}
+
+	// A payroll service defines policy over the organisational roles.
+	payroll, _ := New("Payroll", h.clk, h.net, Options{})
+	if err := payroll.AddRolefile("main", `
+Approve(u) <- Org.Manager(u)*
+`); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	creds, err := adapt(c, "dm")
+	if err != nil || len(creds) != 1 {
+		t.Fatalf("adapt: %v %v", creds, err)
+	}
+	approve, err := payroll.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Approve", Creds: creds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := payroll.Validate(approve, c); err != nil {
+		t.Fatal(err)
+	}
+	// Firing dm in the legacy scheme: the adapter revokes the bridge
+	// certificate and the payroll right dies with it.
+	if err := org.RevokeDirect(creds[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := payroll.Validate(approve, c); err == nil {
+		t.Fatal("payroll approval survived legacy revocation")
+	}
+}
+
+func TestSweepTickCollectsRevokedGraphs(t *testing.T) {
+	h := newHarness(t)
+	h.conf.Groups().AddMember("dm", "staff")
+	c := h.client("ely")
+	login := h.logOn(t, c, "dm")
+	chairClient := h.client("hq")
+	chair, err := h.conf.Enter(EnterRequest{Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{h.logOn(t, chairClient, "jmb")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := h.conf.Delegate(DelegateRequest{
+		Client: chairClient, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("dm")}, ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := h.conf.EnterDelegated(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login}, Delegation: deleg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h.conf.Store().Live()
+	// Logout revokes the whole graph; a sweep then reclaims it.
+	if err := h.login.Exit(login, c); err != nil {
+		t.Fatal(err)
+	}
+	freed := h.conf.SweepTick()
+	if freed == 0 {
+		t.Fatal("sweep reclaimed nothing after cascade revocation")
+	}
+	if h.conf.Store().Live() >= before {
+		t.Fatalf("live records did not shrink: %d -> %d", before, h.conf.Store().Live())
+	}
+	// The swept certificate still validates as revoked (dangling ref).
+	if err := h.conf.Validate(member, c); err == nil {
+		t.Fatal("swept membership validated")
+	}
+}
+
+func TestConcurrentEntryAndValidation(t *testing.T) {
+	// The service engine is safe under concurrent entry, validation and
+	// revocation (exercised under -race in CI).
+	h := newHarness(t)
+	h.conf.Groups().AddMember("dm", "staff")
+	clients := make([]ids.ClientID, 16)
+	for i := range clients {
+		clients[i] = h.client(fmt.Sprintf("host%d", i)) // harness map is not goroutine-safe
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := clients[i]
+			login, err := h.login.Enter(EnterRequest{
+				Client: c, Rolefile: "main", Role: "LoggedOn",
+				Args: []value.Value{uid("dm"), value.Object("Login.host", c.Host)},
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < 10; j++ {
+				if err := h.login.Validate(login, c); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if err := h.login.Exit(login, c); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStartHeartbeats(t *testing.T) {
+	h := newHarness(t)
+	sink := make(chan struct{}, 16)
+	if _, err := h.login.Broker().OpenSession(sinkFunc(func() { sink <- struct{}{} }), nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := h.login.StartHeartbeats()
+	defer stop() // must halt and join without deadlock
+	// The loop arms its timer asynchronously; keep advancing the virtual
+	// clock until the heartbeat lands.
+	deadline := time.After(5 * time.Second)
+	for {
+		h.clk.Advance(6 * time.Second) // default period 5s
+		select {
+		case <-sink:
+			return
+		case <-deadline:
+			t.Fatal("no heartbeat after period elapsed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// sinkFunc adapts a thunk to an event sink counting heartbeats.
+func sinkFunc(f func()) event.Sink {
+	return event.SinkFunc(func(n event.Notification) {
+		if n.Heartbeat {
+			f()
+		}
+	})
+}

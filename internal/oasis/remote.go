@@ -1,0 +1,336 @@
+package oasis
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/event"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+)
+
+// ModifiedEvent is the event type a service signals when a watched
+// credential record changes state (§4.9.2). Arguments: the record
+// reference (hex string), the new state, and a permanence flag.
+const ModifiedEvent = "Oasis.Modified"
+
+// GetTypesArg asks a service for a role's parameter types (§4.3).
+type GetTypesArg struct {
+	Rolefile string
+	Role     string
+}
+
+// ValidateArg asks an issuing service to validate a certificate
+// presented elsewhere (§2.10: services offer to validate certificates
+// for use in other services). Watch additionally subscribes the caller
+// to state changes of the certificate's credential record.
+type ValidateArg struct {
+	Cert   *cert.RMC
+	Client ids.ClientID
+	Watch  bool
+}
+
+// ValidateReply carries the validation verdict, the certificate's role
+// names and types, and the registration id for Modified events.
+type ValidateReply struct {
+	Roles []string
+	Types []value.Type
+	State credrec.State
+	RegID uint64
+}
+
+// ReadStateArg reads a record's current state (used on reconnection).
+type ReadStateArg struct {
+	Ref credrec.Ref
+}
+
+// Call implements bus.Endpoint: the service's inter-service interface.
+func (s *Service) Call(from, op string, arg any) (any, error) {
+	switch op {
+	case "gettypes":
+		a, ok := arg.(GetTypesArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad gettypes argument %T", arg)
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.localTypesLocked(a.Rolefile, a.Role)
+	case "validate":
+		a, ok := arg.(ValidateArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad validate argument %T", arg)
+		}
+		return s.handleValidate(from, a)
+	case "readstate":
+		a, ok := arg.(ReadStateArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad readstate argument %T", arg)
+		}
+		st, err := s.store.Lookup(a.Ref)
+		if err != nil {
+			return credrec.False, nil // deleted means permanently false
+		}
+		return st, nil
+	case "revoke":
+		r, ok := arg.(*cert.Revocation)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad revoke argument %T", arg)
+		}
+		return nil, s.Revoke(r)
+	default:
+		return nil, fmt.Errorf("oasis: unknown operation %q", op)
+	}
+}
+
+// Deliver implements bus.Endpoint: inbound event notifications go to the
+// service's receiver library.
+func (s *Service) Deliver(n event.Notification) { s.receiver.Deliver(n) }
+
+var _ bus.Endpoint = (*Service)(nil)
+
+// handleValidate validates one of our certificates on behalf of another
+// service, optionally registering that service for Modified events on
+// the certificate's credential record.
+func (s *Service) handleValidate(from string, a ValidateArg) (ValidateReply, error) {
+	c := a.Cert
+	if c == nil || c.Service != s.name {
+		return ValidateReply{}, fmt.Errorf("oasis: certificate not issued by %s", s.name)
+	}
+	if !c.Verify(s.signer) {
+		s.countFailure(Fraud)
+		return ValidateReply{}, fmt.Errorf("oasis: signature check failed")
+	}
+	if !a.Client.IsZero() && c.Client != a.Client {
+		s.countFailure(Fraud)
+		return ValidateReply{}, fmt.Errorf("oasis: certificate bound to a different client")
+	}
+	if !c.Expiry.IsZero() && s.clk.Now().After(c.Expiry) {
+		return ValidateReply{State: credrec.False}, nil
+	}
+	fs, err := s.rolefileFor(c.Rolefile)
+	if err != nil {
+		return ValidateReply{}, err
+	}
+	state, err := s.store.Lookup(c.CRR)
+	if err != nil {
+		state = credrec.False
+	}
+	reply := ValidateReply{
+		Roles: fs.roleMap.Names(c.Roles),
+		State: state,
+	}
+	// Expose argument types so the peer can interpret parameters (§4.3).
+	if names := reply.Roles; len(names) > 0 {
+		reply.Types = fs.rf.Types[names[0]]
+	}
+	if a.Watch && err == nil {
+		regID, werr := s.watchFor(from, c.CRR)
+		if werr != nil {
+			return ValidateReply{}, werr
+		}
+		reply.RegID = regID
+	}
+	return reply, nil
+}
+
+// watchFor subscribes a peer service to Modified events for a record.
+func (s *Service) watchFor(peer string, ref credrec.Ref) (uint64, error) {
+	if s.net == nil {
+		return 0, fmt.Errorf("oasis: no network")
+	}
+	s.mu.Lock()
+	sess, ok := s.watchSessions[peer]
+	s.mu.Unlock()
+	if !ok {
+		var err error
+		sess, err = s.broker.OpenSession(s.net.Sink(s.name, peer), nil)
+		if err != nil {
+			return 0, err
+		}
+		s.mu.Lock()
+		s.watchSessions[peer] = sess
+		s.mu.Unlock()
+	}
+	if err := s.store.MarkNotify(ref); err != nil {
+		return 0, err
+	}
+	tmpl := event.NewTemplate(ModifiedEvent,
+		event.Lit(value.Str(refString(ref))), event.Wildcard(), event.Wildcard())
+	return s.broker.Register(sess, tmpl)
+}
+
+func refString(ref credrec.Ref) string {
+	return strconv.FormatUint(ref.Uint64(), 16)
+}
+
+// onRecordChange translates Notify-flagged credential record changes
+// into Modified events on the service's broker (§4.9.2).
+func (s *Service) onRecordChange(ref credrec.Ref, st credrec.State, permanent bool) {
+	perm := int64(0)
+	if permanent {
+		perm = 1
+	}
+	s.broker.Signal(event.New(ModifiedEvent,
+		value.Str(refString(ref)), value.Int(int64(st)), value.Int(perm)))
+}
+
+// extKey identifies a remote credential record.
+type extKey struct {
+	source string
+	ref    uint64
+}
+
+// WatchCertificate validates a certificate issued by another service
+// and returns a local external credential record tracking its validity
+// by event notification. Layered services (the MSSA's bypassing
+// custodes, figure 5.8) use it to cache a callback check: the record
+// stays true until the issuer revokes, with no further remote calls.
+func (s *Service) WatchCertificate(c *cert.RMC, client ids.ClientID) (credrec.Ref, []string, error) {
+	roles, _, ext, err := s.validateForeign(c, client)
+	return ext, roles, err
+}
+
+// validateForeign validates a certificate issued by another service and
+// wires up an external credential record kept coherent by event
+// notification (§4.9). Repeat validations of the same remote record
+// reuse the surrogate.
+func (s *Service) validateForeign(c *cert.RMC, client ids.ClientID) ([]string, []value.Type, credrec.Ref, error) {
+	if s.net == nil {
+		return nil, nil, credrec.Ref{}, s.fail(Erroneous, "no network to validate certificate from %s", c.Service)
+	}
+	res, err := s.net.Call(s.name, c.Service, "validate", ValidateArg{Cert: c, Client: client, Watch: true})
+	if err != nil {
+		return nil, nil, credrec.Ref{}, s.fail(Revoked, "cannot reach issuer %s: %v", c.Service, err)
+	}
+	reply, ok := res.(ValidateReply)
+	if !ok {
+		return nil, nil, credrec.Ref{}, fmt.Errorf("oasis: bad validate reply from %s", c.Service)
+	}
+	if reply.State != credrec.True {
+		return nil, nil, credrec.Ref{}, s.fail(Revoked, "issuer %s reports certificate %v", c.Service, reply.State)
+	}
+
+	key := extKey{source: c.Service, ref: c.CRR.Uint64()}
+	s.mu.Lock()
+	if s.extRecords == nil {
+		s.extRecords = make(map[extKey]credrec.Ref)
+	}
+	ext, exists := s.extRecords[key]
+	s.mu.Unlock()
+	if exists {
+		if _, lerr := s.store.Lookup(ext); lerr == nil {
+			return reply.Roles, reply.Types, ext, nil
+		}
+	}
+	ext = s.store.NewExternal(c.Service, reply.State)
+	s.mu.Lock()
+	s.extRecords[key] = ext
+	s.mu.Unlock()
+	// The synchronous validation proved the issuer alive just now; start
+	// the heartbeat liveness window from here.
+	s.receiver.ObserveSource(c.Service, s.clk.Now())
+	s.receiver.HandleFrom(c.Service, reply.RegID, func(ev event.Event) {
+		s.applyModified(ext, ev)
+	})
+	return reply.Roles, reply.Types, ext, nil
+}
+
+// applyModified applies a Modified event to an external record.
+func (s *Service) applyModified(ext credrec.Ref, ev event.Event) {
+	if len(ev.Args) != 3 {
+		return
+	}
+	st := credrec.State(ev.Args[1].I)
+	perm := ev.Args[2].I != 0
+	if perm && st == credrec.False {
+		_ = s.store.Invalidate(ext)
+		return
+	}
+	_ = s.store.SetState(ext, st)
+}
+
+// HeartbeatTick asserts liveness to every watcher (§4.10); wire it to a
+// timer with the service's chosen period t, or use StartHeartbeats.
+func (s *Service) HeartbeatTick() { s.broker.Heartbeat() }
+
+// StartHeartbeats runs the heartbeat protocol on the service's clock at
+// the configured period (Options.HeartbeatEvery; default 5s). The
+// returned stop function halts the loop and waits for it to exit —
+// services own their background goroutines' lifetimes.
+func (s *Service) StartHeartbeats() (stop func()) {
+	period := s.opts.HeartbeatEvery
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-s.clk.After(period):
+				s.broker.Heartbeat()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}
+
+// LivenessTick checks each watched source's event horizon against the
+// allowance (heartbeat period plus slack); silent sources have all their
+// external records marked Unknown, which propagates — servers must then
+// act as if the certificates were revoked (§4.10). It returns the
+// sources newly presumed failed.
+func (s *Service) LivenessTick(allowance time.Duration) []string {
+	failed := s.receiver.CheckLiveness(s.clk.Now(), allowance)
+	for _, src := range failed {
+		s.store.MarkSourceUnknown(src)
+	}
+	return failed
+}
+
+// Reconnect re-reads the state of every external record from a source
+// after a communications failure (§4.10: "when connection is
+// re-established the state of each record is read").
+func (s *Service) Reconnect(source string) error {
+	if s.net == nil {
+		return fmt.Errorf("oasis: no network")
+	}
+	// The remote reference for each local surrogate comes from the
+	// extRecords map: record name spaces are managed separately, so
+	// external identifiers must be mapped to internal ones (figure 4.8).
+	s.mu.Lock()
+	pairs := make(map[credrec.Ref]credrec.Ref) // local -> remote
+	for k, local := range s.extRecords {
+		if k.source == source {
+			pairs[local] = credrec.RefFromUint64(k.ref)
+		}
+	}
+	s.mu.Unlock()
+	for local, remote := range pairs {
+		res, err := s.net.Call(s.name, source, "readstate", ReadStateArg{Ref: remote})
+		if err != nil {
+			return err
+		}
+		st, ok := res.(credrec.State)
+		if !ok {
+			return fmt.Errorf("oasis: bad readstate reply from %s", source)
+		}
+		if st == credrec.False {
+			_ = s.store.Invalidate(local)
+			continue
+		}
+		_ = s.store.SetState(local, st)
+	}
+	s.receiver.ObserveSource(source, s.clk.Now())
+	return nil
+}

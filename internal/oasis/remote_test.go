@@ -1,0 +1,260 @@
+package oasis
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/value"
+)
+
+// enterConfMember walks the full figure 4.8 scenario: a Login
+// certificate used as a credential at the Conference service, producing
+// an external credential record there.
+func enterConfMember(t *testing.T) (*harness, *cert.RMC, *cert.RMC, *cert.RMC) {
+	t.Helper()
+	h := newHarness(t)
+	h.conf.Groups().AddMember("dm", "staff")
+	chairClient := h.client("ely")
+	chair, err := h.conf.Enter(EnterRequest{Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{h.logOn(t, chairClient, "jmb")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := h.conf.Delegate(DelegateRequest{
+		Client: chairClient, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("dm")}, ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := h.client("cam")
+	candLogin := h.logOn(t, cand, "dm")
+	member, err := h.conf.EnterDelegated(EnterRequest{
+		Client: cand, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{candLogin}, Delegation: deleg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, candLogin, member, chair
+}
+
+func TestCrossServiceRevocation(t *testing.T) {
+	// E5: logging off at the Login service revokes the Conference
+	// membership through an external record and event notification
+	// (figures 4.6 and 4.8).
+	h, candLogin, member, _ := enterConfMember(t)
+	cand := member.Client
+	if err := h.conf.Validate(member, cand); err != nil {
+		t.Fatal(err)
+	}
+	// The user logs off. Login invalidates the LoggedOn record; the
+	// Modified event crosses to Conf and the membership dies.
+	if err := h.login.Exit(candLogin, candLogin.Client); err != nil {
+		t.Fatal(err)
+	}
+	err := h.conf.Validate(member, cand)
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Class != Revoked {
+		t.Fatalf("membership after remote logout: %v", err)
+	}
+}
+
+func TestExternalRecordReuse(t *testing.T) {
+	// Validating two certificates backed by the same remote record
+	// creates a single surrogate (§4.9.1).
+	h := newHarness(t)
+	svc, _ := New("Two", h.clk, h.net, Options{})
+	src := `
+A(u) <- Login.LoggedOn(u, h)*
+B(u) <- Login.LoggedOn(u, h)*
+`
+	if err := svc.AddRolefile("main", src); err != nil {
+		t.Fatal(err)
+	}
+	c := h.client("ely")
+	login := h.logOn(t, c, "dm")
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "A", Creds: []*cert.RMC{login}}); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.Store().Live()
+	if _, err := svc.Enter(EnterRequest{Client: c, Rolefile: "main", Role: "B", Creds: []*cert.RMC{login}}); err != nil {
+		t.Fatal(err)
+	}
+	after := svc.Store().Live()
+	// B's entry reuses the external record; with the single-parent
+	// optimisation no new record is needed at all.
+	if after != before {
+		t.Fatalf("second entry created %d records (surrogate not reused)", after-before)
+	}
+}
+
+func TestMissedHeartbeatMarksUnknown(t *testing.T) {
+	// §4.10: a missed heartbeat leads to external records being marked
+	// unknown; servers then act as if certificates were revoked.
+	h, _, member, _ := enterConfMember(t)
+	cand := member.Client
+
+	// Heartbeats flow: liveness holds.
+	h.login.HeartbeatTick()
+	h.clk.Advance(2 * time.Second)
+	if failed := h.conf.LivenessTick(5 * time.Second); len(failed) != 0 {
+		t.Fatalf("premature failure: %v", failed)
+	}
+	if err := h.conf.Validate(member, cand); err != nil {
+		t.Fatal(err)
+	}
+
+	// The link fails; heartbeats stop arriving; after the allowance the
+	// Login source is presumed failed.
+	h.net.SetDown("Login", "Conf", true)
+	h.login.HeartbeatTick() // dropped
+	h.clk.Advance(10 * time.Second)
+	failed := h.conf.LivenessTick(5 * time.Second)
+	if len(failed) != 1 || failed[0] != "Login" {
+		t.Fatalf("failed = %v", failed)
+	}
+	err := h.conf.Validate(member, cand)
+	var verr *ValidationError
+	if !errors.As(err, &verr) || verr.Class != Revoked {
+		t.Fatalf("validation during partition: %v", err)
+	}
+}
+
+func TestReconnectRestoresState(t *testing.T) {
+	// §4.10: when connection is re-established the state of each record
+	// is read and service resumes.
+	h, _, member, _ := enterConfMember(t)
+	cand := member.Client
+	h.net.SetDown("Login", "Conf", true)
+	h.clk.Advance(time.Minute)
+	h.conf.LivenessTick(5 * time.Second)
+	if err := h.conf.Validate(member, cand); err == nil {
+		t.Fatal("membership valid during partition")
+	}
+
+	h.net.SetDown("Login", "Conf", false)
+	if err := h.conf.Reconnect("Login"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.conf.Validate(member, cand); err != nil {
+		t.Fatalf("membership not restored after reconnect: %v", err)
+	}
+}
+
+func TestReconnectAfterRemoteRevocation(t *testing.T) {
+	// If the logout happened during the partition, reconnection reads
+	// the record as permanently false.
+	h, candLogin, member, _ := enterConfMember(t)
+	cand := member.Client
+	h.net.SetDown("Login", "Conf", true)
+	if err := h.login.Exit(candLogin, candLogin.Client); err != nil {
+		t.Fatal(err)
+	}
+	h.clk.Advance(time.Minute)
+	h.conf.LivenessTick(5 * time.Second)
+	h.net.SetDown("Login", "Conf", false)
+	if err := h.conf.Reconnect("Login"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.conf.Validate(member, cand); err == nil {
+		t.Fatal("membership restored despite remote revocation during partition")
+	}
+}
+
+func TestForeignValidationRejectsForgery(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	login := h.logOn(t, c, "dm")
+	forged := *login
+	forged.Args = []value.Value{uid("root"), value.Object("Login.host", "ely")}
+	if _, err := h.conf.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{&forged},
+	}); err == nil {
+		t.Fatal("forged foreign certificate accepted")
+	}
+}
+
+func TestForeignValidationRejectsStolen(t *testing.T) {
+	h := newHarness(t)
+	victim := h.client("ely")
+	login := h.logOn(t, victim, "jmb")
+	thief := h.client("bad")
+	if _, err := h.conf.Enter(EnterRequest{
+		Client: thief, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{login},
+	}); err == nil {
+		t.Fatal("stolen certificate accepted for different client")
+	}
+}
+
+func TestValidateOpDirectly(t *testing.T) {
+	h := newHarness(t)
+	c := h.client("ely")
+	login := h.logOn(t, c, "jmb")
+	res, err := h.net.Call("Conf", "Login", "validate", ValidateArg{Cert: login, Client: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := res.(ValidateReply)
+	if reply.State != credrec.True || len(reply.Roles) != 1 || reply.Roles[0] != "LoggedOn" {
+		t.Fatalf("reply = %+v", reply)
+	}
+	// After exit it reports false.
+	if err := h.login.Exit(login, c); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := h.net.Call("Conf", "Login", "validate", ValidateArg{Cert: login, Client: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.(ValidateReply).State == credrec.True {
+		t.Fatal("exited certificate reported valid")
+	}
+}
+
+func TestUnknownOps(t *testing.T) {
+	h := newHarness(t)
+	if _, err := h.net.Call("Conf", "Login", "bogus", nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := h.net.Call("Conf", "Login", "gettypes", 42); err == nil {
+		t.Fatal("bad gettypes arg accepted")
+	}
+	if _, err := h.net.Call("Conf", "Login", "validate", 42); err == nil {
+		t.Fatal("bad validate arg accepted")
+	}
+	if _, err := h.net.Call("Conf", "Login", "readstate", 42); err == nil {
+		t.Fatal("bad readstate arg accepted")
+	}
+}
+
+func TestGetTypesOp(t *testing.T) {
+	h := newHarness(t)
+	res, err := h.net.Call("Conf", "Login", "gettypes", GetTypesArg{Rolefile: "main", Role: "LoggedOn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.([]value.Type)
+	if len(ts) != 2 || ts[0].Name != "Login.userid" {
+		t.Fatalf("types = %v", ts)
+	}
+}
+
+func TestRemoteRevokeOp(t *testing.T) {
+	// Revocation certificates can be presented over the network (§4.4:
+	// long-term delegation needs revocation regardless of where the
+	// delegator now runs).
+	h, chairClient, chair := confSetup(t)
+	cand, member, rev := electMember(t, h, chairClient, chair, "dm")
+	if _, err := h.net.Call("Elsewhere", "Conf", "revoke", rev); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.conf.Validate(member, cand); err == nil {
+		t.Fatal("membership survived remote revocation")
+	}
+}

@@ -1,0 +1,84 @@
+package oasis
+
+import (
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/value"
+)
+
+// TestRolefileScoping covers §2.10: many conferences, each with its own
+// rolefile inside one service; certificates are conference-specific.
+func TestRolefileScoping(t *testing.T) {
+	h := newHarness(t)
+	svc, _ := New("Meetings", h.clk, h.net, Options{})
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair
+`
+	if err := svc.AddRolefile("opera-group", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddRolefile("systems-group", src); err != nil {
+		t.Fatal(err)
+	}
+
+	c := h.client("ely")
+	login := h.logOn(t, c, "jmb")
+	operaChair, err := svc.Enter(EnterRequest{
+		Client: c, Rolefile: "opera-group", Role: "Chair",
+		Creds: []*cert.RMC{login},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The certificate names its rolefile; it carries no authority in the
+	// other conference.
+	if operaChair.Rolefile != "opera-group" {
+		t.Fatalf("rolefile = %q", operaChair.Rolefile)
+	}
+	if svc.HasRole(operaChair, "systems-group", "Chair") {
+		t.Fatal("opera chair recognised in systems group")
+	}
+	if !svc.HasRole(operaChair, "opera-group", "Chair") {
+		t.Fatal("opera chair not recognised in opera group")
+	}
+
+	// Delegation minted in the opera conference cannot be redeemed in
+	// the systems conference: the delegation embeds its rolefile.
+	deleg, _, err := svc.Delegate(DelegateRequest{
+		Client: c, Rolefile: "opera-group", Role: "Member",
+		Args:        []value.Value{uid("dm")},
+		ElectorCert: operaChair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := h.client("cam")
+	candLogin := h.logOn(t, cand, "dm")
+	member, err := svc.EnterDelegated(EnterRequest{
+		Client: cand, Rolefile: "systems-group", Role: "Member",
+		Creds: []*cert.RMC{candLogin}, Delegation: deleg,
+	})
+	// EnterDelegated resolves the rolefile from the delegation itself:
+	// the resulting membership is in the opera conference regardless of
+	// the requested scope.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if member.Rolefile != "opera-group" {
+		t.Fatalf("delegated membership scope = %q", member.Rolefile)
+	}
+	if svc.HasRole(member, "systems-group", "Member") {
+		t.Fatal("delegated membership leaked into another conference")
+	}
+
+	// Chair authority in one conference cannot delegate in the other.
+	if _, _, err := svc.Delegate(DelegateRequest{
+		Client: c, Rolefile: "systems-group", Role: "Member",
+		Args:        []value.Value{uid("dm")},
+		ElectorCert: operaChair,
+	}); err == nil {
+		t.Fatal("opera chair delegated in systems conference")
+	}
+}

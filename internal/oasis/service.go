@@ -1,0 +1,311 @@
+// Package oasis implements the OASIS service engine — the paper's
+// primary contribution. A Service names its clients with roles defined
+// in RDL rolefiles (chapter 3), issues and validates role membership
+// certificates (chapter 4), supports delegation/election with
+// revocation certificates, implements role-based revocation (§4.11),
+// maintains the credential record graph that makes revocation rapid and
+// selective, and interworks with other services through certificate
+// validation callbacks and event notification over external credential
+// records (§4.9).
+package oasis
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/credrec"
+	"oasis/internal/event"
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// Options configure a Service.
+type Options struct {
+	// Signer provides the integrity check; defaults to an HMAC signer
+	// with a random-ish (name-derived) secret, which is fine for tests
+	// and simulations. Production services supply their own.
+	Signer cert.Signer
+	// CertTTL is the default lifetime of issued role membership
+	// certificates. Zero means no expiry.
+	CertTTL time.Duration
+	// DelegationTTL is the default lifetime of delegation certificates
+	// (§4.4: a safety net against lost revocation certificates).
+	DelegationTTL time.Duration
+	// HeartbeatEvery is the inter-service heartbeat period t (§4.10).
+	HeartbeatEvery time.Duration
+	// Funcs are the server-specific constraint functions (§3.3.1).
+	Funcs rdl.FuncTable
+	// ExtraParents, if set, lets the embedding service contribute
+	// additional membership-rule parents at certificate issue time —
+	// the "considerable cooperation from the service itself" that
+	// attribute-based membership rules need (§3.3.1). The MSSA uses it
+	// to tie certificates to ACL-version records (§5.5.2).
+	ExtraParents func(rolefile, role string, args []value.Value) []credrec.Parent
+}
+
+// Service is one OASIS service instance.
+type Service struct {
+	name   string
+	clk    clock.Clock
+	net    *bus.Network
+	signer cert.Signer
+	opts   Options
+
+	store    *credrec.Store
+	groups   *credrec.Groups
+	broker   *event.Broker
+	receiver *event.Receiver
+
+	mu        sync.Mutex
+	rolefiles map[string]*rolefileState
+	typeCache map[string][]value.Type // foreign role signatures
+	// watch state: which peers watch which of our records
+	watchSessions map[string]uint64 // peer -> broker session
+	// external-record surrogates for remote credential records (§4.9.1)
+	extRecords map[extKey]credrec.Ref
+	// delegation bookkeeping (server-side state per §4.4/§4.11)
+	delegations map[credrec.Ref]*delegInfo
+	audit       Audit
+}
+
+// delegInfo is the server-side record of an outstanding delegation.
+type delegInfo struct {
+	rolefile   string
+	rule       *rdl.Rule
+	electorEnv value.Env
+	expiry     time.Time
+}
+
+// rolefileState is one loaded rolefile and its runtime indexes.
+type rolefileState struct {
+	id      string
+	rf      *rdl.Rolefile
+	roleMap *cert.RoleMap
+	// per-rule resolved argument types
+	ruleTypes []*ruleTypes
+	// role-based revocation databases (§4.11)
+	revocable map[string]roleRevEntry // role instance -> entry
+	revoked   map[string]bool         // revoked-forever role instances
+}
+
+type roleRevEntry struct {
+	revokerRole string
+	crr         credrec.Ref
+}
+
+type ruleTypes struct {
+	head       []value.Type
+	candidates [][]value.Type
+	elector    []value.Type
+	revoker    []value.Type
+}
+
+// New creates a service. net may be nil for a standalone service; clk
+// must not be nil.
+func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service, error) {
+	if opts.Signer == nil {
+		opts.Signer = cert.NewHMACSigner([]byte("svc-secret:"+name), 16)
+	}
+	s := &Service{
+		name:          name,
+		clk:           clk,
+		net:           net,
+		signer:        opts.Signer,
+		opts:          opts,
+		store:         credrec.NewStore(),
+		rolefiles:     make(map[string]*rolefileState),
+		typeCache:     make(map[string][]value.Type),
+		watchSessions: make(map[string]uint64),
+		delegations:   make(map[credrec.Ref]*delegInfo),
+	}
+	s.groups = credrec.NewGroups(s.store)
+	s.broker = event.NewBroker(name, clk, event.BrokerOptions{})
+	s.receiver = event.NewReceiver(4, nil)
+	s.store.OnChange(s.onRecordChange)
+	if net != nil {
+		if err := net.Register(name, s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Name returns the service instance name.
+func (s *Service) Name() string { return s.name }
+
+// Store exposes the credential record store (used by case-study layers
+// such as the MSSA that manage their own policy records).
+func (s *Service) Store() *credrec.Store { return s.store }
+
+// Groups exposes the group membership manager.
+func (s *Service) Groups() *credrec.Groups { return s.groups }
+
+// Broker exposes the service's event broker (application events share
+// the channel used for credential-record notification, figure 6.1).
+func (s *Service) Broker() *event.Broker { return s.broker }
+
+// Signer exposes the service's signer (the MSSA layers co-sign with it).
+func (s *Service) Signer() cert.Signer { return s.signer }
+
+// Clock exposes the service clock.
+func (s *Service) Clock() clock.Clock { return s.clk }
+
+// AddRolefile parses, type-checks and installs a rolefile under the
+// given scope identifier (§2.10). Role types referenced from other
+// services are resolved with gettypes callbacks over the network.
+func (s *Service) AddRolefile(id, src string) error {
+	file, err := rdl.Parse(src)
+	if err != nil {
+		return err
+	}
+	rf, err := rdl.Check(file, s.resolveTypes, s.opts.Funcs)
+	if err != nil {
+		return err
+	}
+	names := rf.Roles()
+	roleMap, err := cert.NewRoleMap(names...)
+	if err != nil {
+		return err
+	}
+	st := &rolefileState{
+		id:        id,
+		rf:        rf,
+		roleMap:   roleMap,
+		revocable: make(map[string]roleRevEntry),
+		revoked:   make(map[string]bool),
+	}
+	for _, rule := range rf.File.Rules {
+		rt, err := s.typesForRule(rf, rule)
+		if err != nil {
+			return err
+		}
+		st.ruleTypes = append(st.ruleTypes, rt)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.rolefiles[id]; dup {
+		return fmt.Errorf("oasis: rolefile %q already installed", id)
+	}
+	s.rolefiles[id] = st
+	return nil
+}
+
+// typesForRule resolves the argument types of every role reference in a
+// rule, so that entry-time matching needs no further callbacks.
+func (s *Service) typesForRule(rf *rdl.Rolefile, rule *rdl.Rule) (*ruleTypes, error) {
+	resolve := func(ref *rdl.RoleRef) ([]value.Type, error) {
+		if ref == nil {
+			return nil, nil
+		}
+		if ref.Local() {
+			ts, ok := rf.Types[ref.Name]
+			if !ok {
+				return nil, fmt.Errorf("oasis: unknown local role %s", ref.Name)
+			}
+			return ts, nil
+		}
+		return s.resolveTypes(ref.Service, ref.Rolefile, ref.Name)
+	}
+	rt := &ruleTypes{}
+	var err error
+	if rt.head, err = resolve(&rule.Head); err != nil {
+		return nil, err
+	}
+	for i := range rule.Candidates {
+		ts, err := resolve(&rule.Candidates[i])
+		if err != nil {
+			return nil, err
+		}
+		rt.candidates = append(rt.candidates, ts)
+	}
+	if rt.elector, err = resolve(rule.Elector); err != nil {
+		return nil, err
+	}
+	if rt.revoker, err = resolve(rule.Revoker); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// resolveTypes resolves a role signature, consulting the network for
+// foreign services and caching the result (§4.3's gettypes).
+func (s *Service) resolveTypes(service, rolefile, role string) ([]value.Type, error) {
+	if service == s.name || service == "" {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.localTypesLocked(rolefile, role)
+	}
+	key := service + "." + rolefile + "." + role
+	s.mu.Lock()
+	if ts, ok := s.typeCache[key]; ok {
+		s.mu.Unlock()
+		return ts, nil
+	}
+	s.mu.Unlock()
+	if s.net == nil {
+		return nil, fmt.Errorf("oasis: no network to resolve %s", key)
+	}
+	res, err := s.net.Call(s.name, service, "gettypes", GetTypesArg{Rolefile: rolefile, Role: role})
+	if err != nil {
+		return nil, err
+	}
+	ts, ok := res.([]value.Type)
+	if !ok {
+		return nil, fmt.Errorf("oasis: bad gettypes reply from %s", service)
+	}
+	s.mu.Lock()
+	s.typeCache[key] = ts
+	s.mu.Unlock()
+	return ts, nil
+}
+
+func (s *Service) localTypesLocked(rolefile, role string) ([]value.Type, error) {
+	if rolefile == "" {
+		// Search all rolefiles; role names are usually unique per service.
+		for _, st := range s.rolefiles {
+			if ts, ok := st.rf.Types[role]; ok {
+				return ts, nil
+			}
+		}
+		return nil, fmt.Errorf("oasis: unknown role %s in service %s", role, s.name)
+	}
+	st, ok := s.rolefiles[rolefile]
+	if !ok {
+		return nil, fmt.Errorf("oasis: unknown rolefile %s", rolefile)
+	}
+	ts, ok := st.rf.Types[role]
+	if !ok {
+		return nil, fmt.Errorf("oasis: unknown role %s in rolefile %s", role, rolefile)
+	}
+	return ts, nil
+}
+
+// rolefileFor returns the named rolefile state, defaulting to the sole
+// installed rolefile when id is empty.
+func (s *Service) rolefileFor(id string) (*rolefileState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		if len(s.rolefiles) == 1 {
+			for _, st := range s.rolefiles {
+				return st, nil
+			}
+		}
+		return nil, fmt.Errorf("oasis: rolefile id required (service has %d rolefiles)", len(s.rolefiles))
+	}
+	st, ok := s.rolefiles[id]
+	if !ok {
+		return nil, fmt.Errorf("oasis: unknown rolefile %q", id)
+	}
+	return st, nil
+}
+
+// instanceKey canonically names a role instance for the role-based
+// revocation databases (§4.11).
+func instanceKey(role string, args []value.Value) string {
+	return role + "(" + value.MarshalArgs(args) + ")"
+}

@@ -1,0 +1,123 @@
+package oasis
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+)
+
+// TestCrossProcessInterworkingOverTCP runs the figure 4.8 scenario with
+// the two services on *separate* networks joined by a real TCP socket:
+// the Conference validates Login certificates remotely, builds an
+// external credential record, and receives Modified events over the
+// wire when the user logs off. This is the architecture's
+// "inherently distributed" claim exercised end to end.
+func TestCrossProcessInterworkingOverTCP(t *testing.T) {
+	RegisterWireTypes()
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+
+	// "Process" 1: the Login service.
+	loginNet := bus.NewNetwork(clk)
+	login, err := New("Login", clk, loginNet, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	loginLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = loginNet.ServeTCP(loginLn) }()
+	defer loginLn.Close()
+
+	// "Process" 2: the Conference service.
+	confNet := bus.NewNetwork(clk)
+	conf, err := New("Conf", clk, confNet, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	confLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = confNet.ServeTCP(confLn) }()
+	defer confLn.Close()
+
+	// Join the two networks: each knows the other by name over TCP.
+	if err := confNet.AddRemote("Login", loginLn.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	defer confNet.CloseRemotes()
+	if err := loginNet.AddRemote("Conf", confLn.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	defer loginNet.CloseRemotes()
+
+	// Now the Conference can resolve Login's types over the wire.
+	if err := conf.AddRolefile("main", `Member(u) <- Login.LoggedOn(u, h)*`); err != nil {
+		t.Fatal(err)
+	}
+
+	host := ids.NewHostAuthority("ely", clk.Now())
+	client := host.NewDomain()
+	loggedOn, err := login.Enter(EnterRequest{
+		Client: client, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Entry at Conf validates the certificate over TCP and subscribes to
+	// Modified events across the socket.
+	member, err := conf.Enter(EnterRequest{
+		Client: client, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{loggedOn},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.Validate(member, client); err != nil {
+		t.Fatal(err)
+	}
+
+	// Logout at Login: the Modified event crosses the TCP link and the
+	// Conference membership dies.
+	if err := login.Exit(loggedOn, client); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for conf.Validate(member, client) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("membership still valid: Modified event never crossed the TCP link")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A forged certificate is rejected across the wire too.
+	forged := *loggedOn
+	forged.Args = []value.Value{
+		value.Object("Login.userid", "root"),
+		value.Object("Login.host", "ely"),
+	}
+	if _, err := conf.Enter(EnterRequest{
+		Client: client, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{&forged},
+	}); err == nil {
+		t.Fatal("forged certificate accepted over TCP")
+	}
+}

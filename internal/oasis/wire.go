@@ -1,0 +1,31 @@
+package oasis
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/value"
+)
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers every payload type the inter-service
+// protocol sends through the bus's TCP bridging (gob encodes the `any`
+// argument/reply fields by concrete type). Call it once in any process
+// that uses bus.Network.ServeTCP / AddRemote with OASIS services.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		gob.Register(GetTypesArg{})
+		gob.Register(ValidateArg{})
+		gob.Register(ValidateReply{})
+		gob.Register(ReadStateArg{})
+		gob.Register(&cert.RMC{})
+		gob.Register(&cert.Delegation{})
+		gob.Register(&cert.Revocation{})
+		gob.Register(credrec.State(0))
+		gob.Register([]value.Type{})
+		gob.Register(value.Value{})
+	})
+}

@@ -1,0 +1,112 @@
+// Package passwd implements the central password service of §3.4.3 of
+// the paper: it maintains user authentication secrets and, after a
+// discourse with the client, issues Passwd(userid, key) role membership
+// certificates that any other service requiring user authentication —
+// such as a login service — accepts as credentials. Certificate
+// issuance uses the direct-issue mechanism of §4.12 (the policy "the
+// client knows the secret" is not expressible in RDL).
+package passwd
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// ErrBadPassword is returned when authentication fails. It is
+// deliberately indistinguishable between unknown user and wrong secret.
+var ErrBadPassword = errors.New("passwd: authentication failed")
+
+// Service is the password service.
+type Service struct {
+	svc     *oasis.Service
+	secrets map[string]credential
+}
+
+type credential struct {
+	salt [16]byte
+	hash [32]byte
+}
+
+// rolefile declares the Passwd role: the userid authenticated and the
+// key naming what the certificate is for (e.g. "Login"), so a password
+// proof for one purpose cannot be replayed for another (§3.4.3).
+const rolefile = `
+def Passwd(u, key) u: Login.userid key: string
+Passwd(u, key) <-
+`
+
+// New creates a password service named "Pw" on the network.
+func New(name string, clk clock.Clock, net *bus.Network) (*Service, error) {
+	svc, err := oasis.New(name, clk, net, oasis.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.AddRolefile("main", rolefile); err != nil {
+		return nil, err
+	}
+	return &Service{svc: svc, secrets: make(map[string]credential)}, nil
+}
+
+// Oasis exposes the underlying OASIS service (other services resolve
+// the Passwd role types through it).
+func (s *Service) Oasis() *oasis.Service { return s.svc }
+
+// SetPassword stores a salted hash of the user's secret.
+func (s *Service) SetPassword(user, password string) error {
+	var c credential
+	if _, err := rand.Read(c.salt[:]); err != nil {
+		return fmt.Errorf("passwd: salt: %w", err)
+	}
+	c.hash = hashPassword(c.salt, password)
+	s.secrets[user] = c
+	return nil
+}
+
+func hashPassword(salt [16]byte, password string) [32]byte {
+	m := hmac.New(sha256.New, salt[:])
+	m.Write([]byte(password))
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// Authenticate performs the client discourse: on a correct secret it
+// issues a Passwd(user, key) certificate bound to the client.
+func (s *Service) Authenticate(client ids.ClientID, user, password, key string) (*cert.RMC, error) {
+	c, ok := s.secrets[user]
+	if !ok {
+		return nil, ErrBadPassword
+	}
+	got := hashPassword(c.salt, password)
+	if !hmac.Equal(got[:], c.hash[:]) {
+		return nil, ErrBadPassword
+	}
+	return s.svc.IssueDirect(client, "main", "Passwd", []value.Value{
+		value.Object("Login.userid", user),
+		value.Str(key),
+	})
+}
+
+// Revoke withdraws a previously issued certificate (e.g. when the
+// password is changed and outstanding proofs must die).
+func (s *Service) Revoke(c *cert.RMC) error { return s.svc.RevokeDirect(c) }
+
+// ChangePassword updates the secret. Certificates already issued remain
+// valid until revoked or expired; callers wanting forced re-proof use
+// Revoke on the outstanding certificates.
+func (s *Service) ChangePassword(user, password string) error {
+	if _, ok := s.secrets[user]; !ok {
+		return ErrBadPassword
+	}
+	return s.SetPassword(user, password)
+}

@@ -1,0 +1,169 @@
+package passwd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+func setup(t *testing.T) (*Service, *bus.Network, *clock.Virtual, *ids.HostAuthority) {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+	pw, err := New("Pw", clk, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.SetPassword("dm", "sesame"); err != nil {
+		t.Fatal(err)
+	}
+	return pw, net, clk, ids.NewHostAuthority("ely", clk.Now())
+}
+
+func TestAuthenticate(t *testing.T) {
+	pw, _, _, host := setup(t)
+	c := host.NewDomain()
+	rmc, err := pw.Authenticate(c, "dm", "sesame", "Login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rmc.Args[0].Equal(value.Object("Login.userid", "dm")) ||
+		!rmc.Args[1].Equal(value.Str("Login")) {
+		t.Fatalf("args = %v", rmc.Args)
+	}
+	if err := pw.Oasis().Validate(rmc, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthenticateFailures(t *testing.T) {
+	pw, _, _, host := setup(t)
+	c := host.NewDomain()
+	if _, err := pw.Authenticate(c, "dm", "wrong", "Login"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("wrong password: %v", err)
+	}
+	if _, err := pw.Authenticate(c, "ghost", "sesame", "Login"); !errors.Is(err, ErrBadPassword) {
+		t.Fatalf("unknown user: %v", err)
+	}
+}
+
+func TestChangePassword(t *testing.T) {
+	pw, _, _, host := setup(t)
+	c := host.NewDomain()
+	old, err := pw.Authenticate(c, "dm", "sesame", "Login")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.ChangePassword("dm", "open-sesame"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pw.Authenticate(c, "dm", "sesame", "Login"); !errors.Is(err, ErrBadPassword) {
+		t.Fatal("old password still works")
+	}
+	if _, err := pw.Authenticate(c, "dm", "open-sesame", "Login"); err != nil {
+		t.Fatal(err)
+	}
+	// Outstanding proofs survive until revoked.
+	if err := pw.Oasis().Validate(old, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Revoke(old); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Oasis().Validate(old, c); err == nil {
+		t.Fatal("revoked proof still valid")
+	}
+	if err := pw.ChangePassword("ghost", "x"); err == nil {
+		t.Fatal("change for unknown user accepted")
+	}
+}
+
+// TestFourLevelLogin is the complete §3.4.3 example: a login service
+// grades logins by host trust, consuming Passwd certificates, with the
+// "maximum permissible level" rolefile variant.
+func TestFourLevelLogin(t *testing.T) {
+	pw, net, clk, _ := setup(t)
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The l parameter grades the login: 3 secure host, 2 known host,
+	// 1 unknown host with a password, 0 unchecked visitor claim. The
+	// reserved @host variable is the authenticated client host.
+	if err := login.AddRolefile("main", `
+def Login(l, u, h) l: integer u: Login.userid h: string
+Login(3, u, @host) <- Pw.Passwd(u, "Login")* : @host in secure
+Login(2, u, @host) <- Pw.Passwd(u, "Login")* : @host in hosts
+Login(1, u, @host) <- Pw.Passwd(u, "Login")*
+Login(0, u, @host) <-
+`); err != nil {
+		t.Fatal(err)
+	}
+	login.Groups().AddMember("console1", "secure")
+	login.Groups().AddMember("console1", "hosts")
+	login.Groups().AddMember("lab-pc", "hosts")
+
+	// Without explicit args, the first matching rule gives the maximum
+	// level for the host.
+	enter := func(host string) (*cert.RMC, ids.ClientID) {
+		ha := ids.NewHostAuthority(host, clk.Now())
+		c := ha.NewDomain()
+		proof, err := pw.Authenticate(c, "dm", "sesame", "Login")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmc, err := login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "Login",
+			Creds: []*cert.RMC{proof},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rmc, c
+	}
+	secure, _ := enter("console1")
+	if secure.Args[0].I != 3 {
+		t.Fatalf("console1 level = %d, want 3", secure.Args[0].I)
+	}
+	known, _ := enter("lab-pc")
+	if known.Args[0].I != 2 {
+		t.Fatalf("lab-pc level = %d, want 2", known.Args[0].I)
+	}
+	unknown, _ := enter("cafe-laptop")
+	if unknown.Args[0].I != 1 {
+		t.Fatalf("cafe level = %d, want 1", unknown.Args[0].I)
+	}
+
+	// A visitor claim carries level 0 and needs no password; @host in
+	// the head is bound from the client identifier, so the claimed args
+	// must agree with the authenticated origin.
+	ha := ids.NewHostAuthority("anon", clk.Now())
+	c := ha.NewDomain()
+	visitor, err := login.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Login",
+		Args: []value.Value{value.Int(0), value.Object("Login.userid", "dm"), value.Str("anon")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visitor.Args[0].I != 0 {
+		t.Fatalf("visitor level = %d", visitor.Args[0].I)
+	}
+
+	// A password proof revoked at Pw kills graded logins through the
+	// starred candidate (cross-service revocation again).
+	rmc, cl := enter("console1")
+	if err := login.Validate(rmc, cl); err != nil {
+		t.Fatal(err)
+	}
+	if secure.Args[2].S != "console1" {
+		t.Fatalf("host arg = %v", secure.Args[2])
+	}
+}

@@ -1,0 +1,450 @@
+package rdl
+
+import (
+	"fmt"
+	"sort"
+
+	"oasis/internal/value"
+)
+
+// RoleTypesFunc resolves the parameter types of a role defined by another
+// service (the gettypes operation of §4.3). rolefile may be empty for the
+// service's default rolefile.
+type RoleTypesFunc func(service, rolefile, role string) ([]value.Type, error)
+
+// Func describes a server-specific function usable in constraint
+// expressions (§3.3.1), such as unixacl or creator. Args may be nil to
+// skip argument checking.
+type Func struct {
+	Result value.Type
+	Args   []value.Type
+	Fn     func(args []value.Value) (value.Value, error)
+}
+
+// FuncTable maps function names to their definitions.
+type FuncTable map[string]*Func
+
+// Rolefile is a checked, executable rolefile: parse trees plus resolved
+// role signatures. Rule order is preserved — it defines precedence.
+type Rolefile struct {
+	File  *File
+	Types map[string][]value.Type // local role name -> parameter types
+	Names map[string][]string     // local role name -> parameter names (best effort)
+}
+
+// Roles lists the locally defined role names in sorted order.
+func (rf *Rolefile) Roles() []string {
+	out := make([]string, 0, len(rf.Types))
+	for r := range rf.Types {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckError reports a type-inference failure.
+type CheckError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *CheckError) Error() string { return fmt.Sprintf("rdl: line %d: %s", e.Line, e.Msg) }
+
+// node is a union-find node carrying type information gathered so far.
+type node struct {
+	parent *node
+	typ    *value.Type // concrete type, if known
+	// literal shape constraints pending a concrete type
+	strlike bool     // a string literal flowed here (string or object)
+	sets    []string // set-literal member strings that must fit the universe
+	line    int
+}
+
+func (n *node) find() *node {
+	for n.parent != nil {
+		if n.parent.parent != nil {
+			n.parent = n.parent.parent
+		}
+		n = n.parent
+	}
+	return n
+}
+
+func unify(a, b *node) error {
+	ra, rb := a.find(), b.find()
+	if ra == rb {
+		return nil
+	}
+	if ra.typ != nil && rb.typ != nil && !ra.typ.Equal(*rb.typ) {
+		return fmt.Errorf("type mismatch: %v vs %v", *ra.typ, *rb.typ)
+	}
+	if ra.typ == nil {
+		ra.typ = rb.typ
+	}
+	ra.strlike = ra.strlike || rb.strlike
+	ra.sets = append(ra.sets, rb.sets...)
+	rb.parent = ra
+	return nil
+}
+
+func setConcrete(n *node, t value.Type) error {
+	r := n.find()
+	if r.typ != nil && !r.typ.Equal(t) {
+		return fmt.Errorf("type mismatch: %v vs %v", *r.typ, t)
+	}
+	r.typ = &t
+	return nil
+}
+
+// checker performs type inference over a parsed file.
+type checker struct {
+	file    *File
+	foreign RoleTypesFunc
+	funcs   FuncTable
+
+	roleSlots map[string][]*node // local role -> per-parameter nodes
+	roleNames map[string][]string
+	imports   map[string]bool // imported object type names
+}
+
+// Check type-checks a parsed rolefile. foreign resolves signatures of
+// roles issued by other services (may be nil if none are referenced);
+// funcs declares the server-specific constraint functions in use.
+// Declaration statements that only restate inferrable types are
+// redundant, exactly as §3.2.1 promises.
+func Check(f *File, foreign RoleTypesFunc, funcs FuncTable) (*Rolefile, error) {
+	c := &checker{
+		file:      f,
+		foreign:   foreign,
+		funcs:     funcs,
+		roleSlots: make(map[string][]*node),
+		roleNames: make(map[string][]string),
+		imports:   make(map[string]bool),
+	}
+	for _, im := range f.Imports {
+		c.imports[im.Service+"."+im.Type] = true
+	}
+	if err := c.seedDecls(); err != nil {
+		return nil, err
+	}
+	for _, r := range f.Rules {
+		if err := c.rule(r); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve all slots to concrete types.
+	types := make(map[string][]value.Type, len(c.roleSlots))
+	for role, slots := range c.roleSlots {
+		ts := make([]value.Type, len(slots))
+		for i, s := range slots {
+			r := s.find()
+			t, err := resolveNode(r)
+			if err != nil {
+				return nil, &CheckError{Line: r.line,
+					Msg: fmt.Sprintf("parameter %d of role %s: %v", i+1, role, err)}
+			}
+			ts[i] = t
+		}
+		types[role] = ts
+	}
+	return &Rolefile{File: f, Types: types, Names: c.roleNames}, nil
+}
+
+// resolveNode finalises a node's type, applying literal-shape defaults:
+// a bare string literal defaults to String; set literals demand a
+// declared or inferred universe.
+func resolveNode(r *node) (value.Type, error) {
+	if r.typ == nil {
+		if len(r.sets) > 0 {
+			return value.Type{}, fmt.Errorf("set literal with no inferrable universe; declare the parameter type")
+		}
+		if r.strlike {
+			return value.StringType, nil
+		}
+		return value.Type{}, fmt.Errorf("cannot infer type; add a def statement")
+	}
+	t := *r.typ
+	if len(r.sets) > 0 {
+		if t.Kind != value.KindSet {
+			return value.Type{}, fmt.Errorf("set literal used where %v expected", t)
+		}
+		for _, members := range r.sets {
+			if _, err := value.Set(t.Universe, members); err != nil {
+				return value.Type{}, err
+			}
+		}
+	}
+	if r.strlike && t.Kind != value.KindString && t.Kind != value.KindObject {
+		return value.Type{}, fmt.Errorf("string literal used where %v expected", t)
+	}
+	return t, nil
+}
+
+func (c *checker) seedDecls() error {
+	for _, d := range c.file.Decls {
+		slots := c.slotsFor(d.Role, len(d.Params), d.Line)
+		if slots == nil {
+			return &CheckError{Line: d.Line,
+				Msg: fmt.Sprintf("role %s declared with %d parameters but used with a different arity", d.Role, len(d.Params))}
+		}
+		c.roleNames[d.Role] = append([]string(nil), d.Params...)
+		for i, p := range d.Params {
+			if t, ok := d.Types[p]; ok {
+				if err := setConcrete(slots[i], t); err != nil {
+					return &CheckError{Line: d.Line, Msg: fmt.Sprintf("parameter %s of %s: %v", p, d.Role, err)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// slotsFor returns the per-parameter nodes for a local role, creating
+// them on first use; nil signals an arity clash.
+func (c *checker) slotsFor(role string, arity, line int) []*node {
+	if s, ok := c.roleSlots[role]; ok {
+		if len(s) != arity {
+			return nil
+		}
+		return s
+	}
+	s := make([]*node, arity)
+	for i := range s {
+		s[i] = &node{line: line}
+	}
+	c.roleSlots[role] = s
+	return s
+}
+
+func (c *checker) rule(r *Rule) error {
+	vars := make(map[string]*node)
+	varNode := func(name string, line int) *node {
+		if n, ok := vars[name]; ok {
+			return n
+		}
+		n := &node{line: line}
+		vars[name] = n
+		return n
+	}
+
+	bindRef := func(ref *RoleRef, defining bool) error {
+		var slotTypes []value.Type
+		var slots []*node
+		if ref.Local() {
+			slots = c.slotsFor(ref.Name, len(ref.Args), ref.Line)
+			if slots == nil {
+				return &CheckError{Line: ref.Line,
+					Msg: fmt.Sprintf("role %s used with %d arguments, conflicting with earlier use", ref.Name, len(ref.Args))}
+			}
+			if defining {
+				// Record parameter names from head variables, best effort.
+				if _, ok := c.roleNames[ref.Name]; !ok {
+					names := make([]string, len(ref.Args))
+					for i, a := range ref.Args {
+						names[i] = a.Var
+					}
+					c.roleNames[ref.Name] = names
+				}
+			}
+		} else {
+			if c.foreign == nil {
+				return &CheckError{Line: ref.Line,
+					Msg: fmt.Sprintf("no resolver for foreign role %s", ref.Qualified())}
+			}
+			ts, err := c.foreign(ref.Service, ref.Rolefile, ref.Name)
+			if err != nil {
+				return &CheckError{Line: ref.Line,
+					Msg: fmt.Sprintf("resolving %s: %v", ref.Qualified(), err)}
+			}
+			if len(ts) != len(ref.Args) {
+				return &CheckError{Line: ref.Line,
+					Msg: fmt.Sprintf("%s takes %d arguments, got %d", ref.Qualified(), len(ts), len(ref.Args))}
+			}
+			slotTypes = ts
+		}
+		for i, a := range ref.Args {
+			var n *node
+			if slots != nil {
+				n = slots[i]
+			} else {
+				n = &node{line: ref.Line}
+				if err := setConcrete(n, slotTypes[i]); err != nil {
+					return &CheckError{Line: ref.Line, Msg: err.Error()}
+				}
+			}
+			if err := c.bindTerm(a, n, varNode); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := bindRef(&r.Head, true); err != nil {
+		return err
+	}
+	for i := range r.Candidates {
+		if err := bindRef(&r.Candidates[i], false); err != nil {
+			return err
+		}
+	}
+	if r.Elector != nil {
+		if err := bindRef(r.Elector, false); err != nil {
+			return err
+		}
+	}
+	if r.Revoker != nil {
+		if err := bindRef(r.Revoker, false); err != nil {
+			return err
+		}
+	}
+	if r.Constraint != nil {
+		if err := c.expr(r.Constraint, varNode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bindTerm connects a term to a type node.
+func (c *checker) bindTerm(t Term, n *node, varNode func(string, int) *node) error {
+	switch {
+	case t.Var != "":
+		if err := unify(n, varNode(t.Var, t.Line)); err != nil {
+			return &CheckError{Line: t.Line, Msg: fmt.Sprintf("variable %s: %v", t.Var, err)}
+		}
+	case t.IsInt:
+		if err := setConcrete(n, value.IntType); err != nil {
+			return &CheckError{Line: t.Line, Msg: err.Error()}
+		}
+	case t.IsStr:
+		n.find().strlike = true
+	case t.IsSet:
+		r := n.find()
+		r.sets = append(r.sets, t.SetLit)
+	}
+	return nil
+}
+
+// expr walks a constraint expression collecting type constraints.
+func (c *checker) expr(e Expr, varNode func(string, int) *node) error {
+	switch x := e.(type) {
+	case AndExpr:
+		if err := c.expr(x.L, varNode); err != nil {
+			return err
+		}
+		return c.expr(x.R, varNode)
+	case OrExpr:
+		if err := c.expr(x.L, varNode); err != nil {
+			return err
+		}
+		return c.expr(x.R, varNode)
+	case NotExpr:
+		return c.expr(x.E, varNode)
+	case StarExpr:
+		return c.expr(x.E, varNode)
+	case InExpr:
+		// Group members are identified by string or object values; no
+		// further constraint is imposed on the member, but a call on the
+		// left is checked like any other call.
+		if x.Call != nil {
+			_, err := c.operand(Operand{Call: x.Call}, varNode)
+			return err
+		}
+		return nil
+	case CmpExpr:
+		ln, err := c.operand(x.L, varNode)
+		if err != nil {
+			return err
+		}
+		rn, err := c.operand(x.R, varNode)
+		if err != nil {
+			return err
+		}
+		if err := unify(ln, rn); err != nil {
+			return &CheckError{Msg: fmt.Sprintf("comparison operands: %v", err)}
+		}
+		if x.Op == CmpLt || x.Op == CmpGt {
+			// Strict order is only defined for integers and strings;
+			// leave sets to <= (subset). No constraint needed beyond
+			// operand agreement.
+			return nil
+		}
+		return nil
+	case CallExpr:
+		_, err := c.operand(Operand{Call: x.Call}, varNode)
+		return err
+	default:
+		return fmt.Errorf("rdl: unknown expression %T", e)
+	}
+}
+
+// operand returns the type node of an operand.
+func (c *checker) operand(o Operand, varNode func(string, int) *node) (*node, error) {
+	if o.Call != nil {
+		f, ok := c.funcs[o.Call.Fn]
+		if !ok {
+			return nil, &CheckError{Line: o.Call.Line,
+				Msg: fmt.Sprintf("unknown function %s (provide it in the service's FuncTable)", o.Call.Fn)}
+		}
+		for i, a := range o.Call.Args {
+			an, err := c.operand(a, varNode)
+			if err != nil {
+				return nil, err
+			}
+			if f.Args != nil {
+				if i >= len(f.Args) {
+					return nil, &CheckError{Line: o.Call.Line,
+						Msg: fmt.Sprintf("%s takes %d arguments", o.Call.Fn, len(f.Args))}
+				}
+				if err := setConcrete(an, f.Args[i]); err != nil {
+					return nil, &CheckError{Line: o.Call.Line,
+						Msg: fmt.Sprintf("argument %d of %s: %v", i+1, o.Call.Fn, err)}
+				}
+			}
+		}
+		if f.Args != nil && len(o.Call.Args) != len(f.Args) {
+			return nil, &CheckError{Line: o.Call.Line,
+				Msg: fmt.Sprintf("%s takes %d arguments, got %d", o.Call.Fn, len(f.Args), len(o.Call.Args))}
+		}
+		n := &node{line: o.Call.Line}
+		if err := setConcrete(n, f.Result); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	t := *o.Term
+	n := &node{line: t.Line}
+	if err := c.bindTerm(t, n, varNode); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// LiteralValue coerces a parsed literal term to the expected type. It is
+// used at entry time to turn rule literals into concrete values.
+func LiteralValue(t Term, expect value.Type) (value.Value, error) {
+	switch {
+	case t.IsInt:
+		if expect.Kind != value.KindInt {
+			return value.Value{}, fmt.Errorf("rdl: integer literal where %v expected", expect)
+		}
+		return value.Int(t.IntLit), nil
+	case t.IsStr:
+		switch expect.Kind {
+		case value.KindString:
+			return value.Str(t.StrLit), nil
+		case value.KindObject:
+			return value.Object(expect.Name, t.StrLit), nil
+		default:
+			return value.Value{}, fmt.Errorf("rdl: string literal where %v expected", expect)
+		}
+	case t.IsSet:
+		if expect.Kind != value.KindSet {
+			return value.Value{}, fmt.Errorf("rdl: set literal where %v expected", expect)
+		}
+		return value.Set(expect.Universe, t.SetLit)
+	default:
+		return value.Value{}, fmt.Errorf("rdl: term %v is not a literal", t)
+	}
+}

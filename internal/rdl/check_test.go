@@ -1,0 +1,250 @@
+package rdl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oasis/internal/value"
+)
+
+// loginTypes is a stand-in for the Login service's gettypes operation.
+func loginTypes(service, rolefile, role string) ([]value.Type, error) {
+	if service == "Login" && role == "LoggedOn" {
+		return []value.Type{value.ObjectType("Login.userid"), value.ObjectType("Login.host")}, nil
+	}
+	if service == "Pw" && role == "Passwd" {
+		return []value.Type{value.ObjectType("Login.userid"), value.StringType}, nil
+	}
+	return nil, fmt.Errorf("unknown role %s.%s", service, role)
+}
+
+func checkOK(t *testing.T, src string, funcs FuncTable) *Rolefile {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, loginTypes, funcs)
+	if err != nil {
+		t.Fatalf("Check(%q): %v", src, err)
+	}
+	return rf
+}
+
+func TestInferenceFromForeignRole(t *testing.T) {
+	// The paper's point: the dagger-marked declarations of figure 3.1 can
+	// be omitted because types are inferrable.
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["Member"]; len(got) != 1 || got[0].Name != "Login.userid" {
+		t.Fatalf("Member types = %v", got)
+	}
+	if got := rf.Types["Chair"]; len(got) != 0 {
+		t.Fatalf("Chair types = %v", got)
+	}
+}
+
+func TestInferenceThroughLocalRoles(t *testing.T) {
+	src := `
+Candidate(u) <- Login.LoggedOn(u, h)
+Member(u)    <- Candidate(u)
+`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["Member"]; got[0].Name != "Login.userid" {
+		t.Fatalf("Member types = %v", got)
+	}
+}
+
+func TestInferenceFromIntLiteral(t *testing.T) {
+	src := `
+Login(3, u) <- Pw.Passwd(u, "Login")
+Login(0, u) <-
+`
+	rf := checkOK(t, src, nil)
+	got := rf.Types["Login"]
+	if len(got) != 2 || got[0].Kind != value.KindInt || got[1].Name != "Login.userid" {
+		t.Fatalf("Login types = %v", got)
+	}
+}
+
+func TestDeclaredTypesUsed(t *testing.T) {
+	src := `
+def Rights(r) r: {eaf}
+Rights({ae}) <- Author
+Author <- Login.LoggedOn(u, h)
+`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["Rights"]; got[0].Universe != "eaf" {
+		t.Fatalf("Rights types = %v", got)
+	}
+}
+
+func TestSetLiteralValidatedAgainstUniverse(t *testing.T) {
+	src := `
+def Rights(r) r: {eaf}
+Rights({xz}) <- Author
+Author <- Login.LoggedOn(u, h)
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil {
+		t.Fatal("set literal outside universe accepted")
+	}
+}
+
+func TestUninferrableTypeRejected(t *testing.T) {
+	src := `Solo(x) <-` // x never constrained
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Check(f, nil, nil)
+	if err == nil {
+		t.Fatal("uninferrable parameter accepted")
+	}
+	if !strings.Contains(err.Error(), "infer") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestBareStringDefaultsToString(t *testing.T) {
+	src := `Tagged("hello") <-`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["Tagged"]; got[0].Kind != value.KindString {
+		t.Fatalf("types = %v", got)
+	}
+}
+
+func TestArityClashRejected(t *testing.T) {
+	src := `
+R(a)    <- Login.LoggedOn(a, h)
+R(a, b) <- Login.LoggedOn(a, b)
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil {
+		t.Fatal("arity clash accepted")
+	}
+}
+
+func TestTypeConflictRejected(t *testing.T) {
+	src := `
+R(a) <- Login.LoggedOn(a, h)
+R(3) <-
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil {
+		t.Fatal("int/userid conflict accepted")
+	}
+}
+
+func TestForeignArityChecked(t *testing.T) {
+	src := `R(a) <- Login.LoggedOn(a)`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil {
+		t.Fatal("wrong foreign arity accepted")
+	}
+}
+
+func TestUnknownForeignRole(t *testing.T) {
+	src := `R(a) <- Nowhere.Role(a)`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil {
+		t.Fatal("unknown foreign role accepted")
+	}
+	if _, err := Check(f, nil, nil); err == nil {
+		t.Fatal("foreign role without resolver accepted")
+	}
+}
+
+func TestFunctionTypesChecked(t *testing.T) {
+	funcs := FuncTable{
+		"unixacl": {
+			Result: value.SetType("rwx"),
+			Args:   []value.Type{value.StringType, value.ObjectType("Login.userid")},
+			Fn:     func(args []value.Value) (value.Value, error) { return value.MustSet("rwx", "r"), nil },
+		},
+	}
+	src := `UseFile(r) <- Login.LoggedOn(u, h) : r = unixacl("acl", u)`
+	rf := checkOK(t, src, funcs)
+	if got := rf.Types["UseFile"]; got[0].Universe != "rwx" {
+		t.Fatalf("UseFile types = %v (function result type not propagated)", got)
+	}
+
+	// Wrong argument type.
+	bad := `UseFile(r) <- Login.LoggedOn(u, h) : r = unixacl(3, u)`
+	f, _ := Parse(bad)
+	if _, err := Check(f, loginTypes, funcs); err == nil {
+		t.Fatal("bad function argument type accepted")
+	}
+	// Wrong arity.
+	bad2 := `UseFile(r) <- Login.LoggedOn(u, h) : r = unixacl("acl")`
+	f2, _ := Parse(bad2)
+	if _, err := Check(f2, loginTypes, funcs); err == nil {
+		t.Fatal("bad function arity accepted")
+	}
+	// Unknown function.
+	bad3 := `UseFile(r) <- Login.LoggedOn(u, h) : r = mystery("acl")`
+	f3, _ := Parse(bad3)
+	if _, err := Check(f3, loginTypes, funcs); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestElectorAndRevokerChecked(t *testing.T) {
+	src := `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(p) <- Person(p) <| Chair |> Chair
+Person(p) <- Login.LoggedOn(p, h)
+`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["Member"]; got[0].Name != "Login.userid" {
+		t.Fatalf("Member types = %v", got)
+	}
+}
+
+func TestRolefileRolesSorted(t *testing.T) {
+	src := `
+Zeta <- Login.LoggedOn("z", h)
+Alpha <- Login.LoggedOn("a", h)
+`
+	rf := checkOK(t, src, nil)
+	roles := rf.Roles()
+	if len(roles) != 2 || roles[0] != "Alpha" || roles[1] != "Zeta" {
+		t.Fatalf("Roles() = %v", roles)
+	}
+}
+
+func TestLiteralValueCoercion(t *testing.T) {
+	v, err := LiteralValue(Term{IsStr: true, StrLit: "jmb"}, value.ObjectType("Login.userid"))
+	if err != nil || v.T.Name != "Login.userid" || v.S != "jmb" {
+		t.Fatalf("LiteralValue = %v, %v", v, err)
+	}
+	if _, err := LiteralValue(Term{IsInt: true, IntLit: 3}, value.StringType); err == nil {
+		t.Fatal("int coerced to string")
+	}
+	if _, err := LiteralValue(Term{Var: "x"}, value.StringType); err == nil {
+		t.Fatal("variable treated as literal")
+	}
+	s, err := LiteralValue(Term{IsSet: true, SetLit: "ae"}, value.SetType("eaf"))
+	if err != nil || s.Members() != "ea" {
+		t.Fatalf("set literal = %v, %v", s, err)
+	}
+}

@@ -1,0 +1,276 @@
+package rdl
+
+import (
+	"testing"
+
+	"oasis/internal/value"
+)
+
+func constraintOf(t *testing.T, src string) Expr {
+	t.Helper()
+	f, err := Parse("R <- S : " + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Rules[0].Constraint
+}
+
+type testGroups map[string]map[string]bool
+
+func (g testGroups) IsMember(m value.Value, group string) bool {
+	return g[group][m.S]
+}
+
+func evalStr(t *testing.T, src string, env value.Env, groups GroupOracle, funcs FuncTable) EvalResult {
+	t.Helper()
+	res, err := Eval(constraintOf(t, src), EvalContext{Env: env, Groups: groups, Funcs: funcs})
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return res
+}
+
+func TestEvalComparisons(t *testing.T) {
+	env := value.Env{}.Extend("a", value.Int(3)).Extend("b", value.Int(5)).
+		Extend("s", value.Str("abc")).Extend("t", value.Str("abd"))
+	cases := map[string]bool{
+		"a = 3":     true,
+		"a = b":     false,
+		"a != b":    true,
+		"a < b":     true,
+		"a <= 3":    true,
+		"a > b":     false,
+		"a >= 3":    true,
+		"b < a":     false,
+		"s = s":     true,
+		"s != t":    true,
+		"s < t":     true,
+		`s = "abc"`: true,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, env, nil, nil).OK; got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalSetSubset(t *testing.T) {
+	env := value.Env{}.Extend("r", value.MustSet("rwx", "rw")).
+		Extend("s", value.MustSet("rwx", "rwx"))
+	if !evalStr(t, "r <= s", env, nil, nil).OK {
+		t.Fatal("subset test failed")
+	}
+	if evalStr(t, "s <= r", env, nil, nil).OK {
+		t.Fatal("superset passed subset test")
+	}
+	if !evalStr(t, "s >= r", env, nil, nil).OK {
+		t.Fatal("superset test failed")
+	}
+	// Set literal gets its universe from the other operand.
+	if !evalStr(t, "r = {rw}", env, nil, nil).OK {
+		t.Fatal("set literal comparison failed")
+	}
+	if !evalStr(t, "{r} <= r", env, nil, nil).OK {
+		t.Fatal("set literal on left failed")
+	}
+}
+
+func TestEvalBooleanStructure(t *testing.T) {
+	env := value.Env{}.Extend("a", value.Int(1)).Extend("b", value.Int(2))
+	cases := map[string]bool{
+		"a = 1 and b = 2":            true,
+		"a = 1 and b = 3":            false,
+		"a = 9 or b = 2":             true,
+		"a = 9 or b = 9":             false,
+		"not (a = 9)":                true,
+		"not (a = 1)":                false,
+		"(a = 1 or a = 2) and b = 2": true,
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, env, nil, nil).OK; got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestEvalGroupMembership(t *testing.T) {
+	groups := testGroups{"staff": {"dm": true}}
+	env := value.Env{}.Extend("u", value.Object("Login.userid", "dm")).
+		Extend("v", value.Object("Login.userid", "guest"))
+	if !evalStr(t, "u in staff", env, groups, nil).OK {
+		t.Fatal("member not in group")
+	}
+	if evalStr(t, "v in staff", env, groups, nil).OK {
+		t.Fatal("non-member in group")
+	}
+	if !evalStr(t, "v not in staff", env, groups, nil).OK {
+		t.Fatal("not-in failed")
+	}
+	if evalStr(t, "u not in staff", env, groups, nil).OK {
+		t.Fatal("not-in passed for member")
+	}
+}
+
+func TestEvalStarCollectsMembershipConds(t *testing.T) {
+	groups := testGroups{"staff": {"dm": true}}
+	env := value.Env{}.Extend("u", value.Object("Login.userid", "dm"))
+	res := evalStr(t, "(u in staff)*", env, groups, nil)
+	if !res.OK {
+		t.Fatal("starred condition failed")
+	}
+	if len(res.Conds) != 1 {
+		t.Fatalf("conds = %v", res.Conds)
+	}
+	c := res.Conds[0]
+	if !c.IsGroupTest || c.Group != "staff" || c.Member.S != "dm" || c.Neg {
+		t.Fatalf("cond = %+v", c)
+	}
+}
+
+func TestEvalStarGenericCondition(t *testing.T) {
+	env := value.Env{}.Extend("a", value.Int(1))
+	res := evalStr(t, "(a = 1)*", env, nil, nil)
+	if !res.OK || len(res.Conds) != 1 || res.Conds[0].IsGroupTest {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Conds[0].Env["a"].I != 1 {
+		t.Fatal("starred env not captured")
+	}
+}
+
+func TestEvalFalseStarNoCond(t *testing.T) {
+	groups := testGroups{}
+	env := value.Env{}.Extend("u", value.Object("Login.userid", "x"))
+	res := evalStr(t, "(u in staff)*", env, groups, nil)
+	if res.OK || len(res.Conds) != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestEvalBindingEquality(t *testing.T) {
+	// §3.3.3: r = unixacl(...) binds r.
+	funcs := FuncTable{
+		"unixacl": {
+			Result: value.SetType("rwx"),
+			Fn: func(args []value.Value) (value.Value, error) {
+				return value.MustSet("rwx", "rx"), nil
+			},
+		},
+	}
+	env := value.Env{}.Extend("u", value.Str("rjh21"))
+	res := evalStr(t, `r = unixacl("acl", u)`, env, nil, funcs)
+	if !res.OK {
+		t.Fatal("binding comparison failed")
+	}
+	if got := res.Env["r"]; got.Members() != "rx" {
+		t.Fatalf("r bound to %v", got)
+	}
+	// Reversed orientation binds too.
+	res2 := evalStr(t, `unixacl("acl", u) = r2`, env, nil, funcs)
+	if !res2.OK || res2.Env["r2"].Members() != "rx" {
+		t.Fatalf("reverse binding res = %+v", res2)
+	}
+}
+
+func TestEvalUnboundVariableError(t *testing.T) {
+	if _, err := Eval(constraintOf(t, "x < 3"), EvalContext{Env: value.Env{}}); err == nil {
+		t.Fatal("unbound variable in order comparison accepted")
+	}
+}
+
+func TestEvalShortCircuit(t *testing.T) {
+	// The right side of a satisfied 'or' must not be evaluated (it
+	// references an unbound variable).
+	env := value.Env{}.Extend("a", value.Int(1))
+	res := evalStr(t, "a = 1 or zz = 1", env, nil, nil)
+	if !res.OK {
+		t.Fatal("short-circuit or failed")
+	}
+	// And the left side of a failing 'and' stops evaluation.
+	res2 := evalStr(t, "a = 2 and zz = 1", env, nil, nil)
+	if res2.OK {
+		t.Fatal("failing and passed")
+	}
+}
+
+func TestEvalBooleanFunction(t *testing.T) {
+	funcs := FuncTable{
+		"Root": {
+			Result: value.IntType,
+			Fn: func(args []value.Value) (value.Value, error) {
+				if args[0].S == "/" {
+					return value.Int(1), nil
+				}
+				return value.Int(0), nil
+			},
+		},
+	}
+	env := value.Env{}.Extend("d", value.Str("/")).Extend("e", value.Str("/usr"))
+	if !evalStr(t, "Root(d)", env, nil, funcs).OK {
+		t.Fatal("boolean function true case failed")
+	}
+	if evalStr(t, "Root(e)", env, nil, funcs).OK {
+		t.Fatal("boolean function false case passed")
+	}
+}
+
+func TestEvalStarUnderNotNotCollected(t *testing.T) {
+	env := value.Env{}.Extend("a", value.Int(2))
+	res := evalStr(t, "not ((a = 1)*)", env, nil, nil)
+	if !res.OK {
+		t.Fatal("negated false star should be true")
+	}
+	if len(res.Conds) != 0 {
+		t.Fatalf("conds under negation = %v", res.Conds)
+	}
+}
+
+func TestMatchArgs(t *testing.T) {
+	types := []value.Type{value.ObjectType("uid"), value.IntType}
+	vals := []value.Value{value.Object("uid", "dm"), value.Int(3)}
+
+	// Variables bind.
+	env, ok, err := MatchArgs([]Term{{Var: "u"}, {Var: "n"}}, types, vals, value.Env{})
+	if err != nil || !ok || env["u"].S != "dm" || env["n"].I != 3 {
+		t.Fatalf("MatchArgs = %v %v %v", env, ok, err)
+	}
+	// Bound variables must agree.
+	_, ok, err = MatchArgs([]Term{{Var: "u"}, {Var: "n"}}, types, vals,
+		value.Env{}.Extend("u", value.Object("uid", "other")))
+	if err != nil || ok {
+		t.Fatalf("bound mismatch: ok=%v err=%v", ok, err)
+	}
+	// Literals must equal.
+	_, ok, err = MatchArgs([]Term{{IsStr: true, StrLit: "dm"}, {IsInt: true, IntLit: 3}}, types, vals, value.Env{})
+	if err != nil || !ok {
+		t.Fatalf("literal match: ok=%v err=%v", ok, err)
+	}
+	_, ok, _ = MatchArgs([]Term{{IsStr: true, StrLit: "xx"}, {IsInt: true, IntLit: 3}}, types, vals, value.Env{})
+	if ok {
+		t.Fatal("literal mismatch matched")
+	}
+	// Arity errors.
+	if _, _, err := MatchArgs([]Term{{Var: "u"}}, types, vals, value.Env{}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestInstantiateArgs(t *testing.T) {
+	types := []value.Type{value.ObjectType("uid"), value.IntType}
+	env := value.Env{}.Extend("u", value.Object("uid", "dm"))
+	vals, err := InstantiateArgs([]Term{{Var: "u"}, {IsInt: true, IntLit: 7}}, types, env)
+	if err != nil || vals[0].S != "dm" || vals[1].I != 7 {
+		t.Fatalf("InstantiateArgs = %v, %v", vals, err)
+	}
+	if _, err := InstantiateArgs([]Term{{Var: "zz"}, {IsInt: true, IntLit: 7}}, types, env); err == nil {
+		t.Fatal("unbound variable instantiated")
+	}
+	if _, err := InstantiateArgs([]Term{{Var: "u"}}, types, env); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Type mismatch between bound value and expected type.
+	bad := value.Env{}.Extend("u", value.Int(1))
+	if _, err := InstantiateArgs([]Term{{Var: "u"}, {IsInt: true, IntLit: 7}}, types, bad); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+}

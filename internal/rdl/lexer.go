@@ -1,0 +1,318 @@
+// Package rdl implements the OASIS Role Definition Language of chapter 3
+// of the paper: role declarations, role entry statements (standard and
+// election forms), membership-rule annotations, the revoke operator
+// extension, and the constraint expression grammar of figure 3.3.
+//
+// The surface syntax is an ASCII rendering of the paper's notation:
+//
+//	def Member(u) u: Login.userid
+//	import Login.userid
+//	Chair     <- Login.LoggedOn("jmb", h)
+//	Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+//	Member(p) <- Person(p) |> Chair
+//
+// "<-" is the paper's left arrow, "&" conjoins candidate role references,
+// "<|" is the election operator (the paper's open triangle), "|>" the
+// role-based revocation operator (the filled triangle), and a trailing
+// "*" marks an entry condition as a membership rule.
+package rdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokNewline
+	tokIdent
+	tokNumber
+	tokString
+	tokSet    // {rwx}
+	tokArrow  // <-
+	tokElect  // <|
+	tokRevoke // |>
+	tokAmp    // &
+	tokStar   // *
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokColon  // :
+	tokDot    // .
+	tokEq     // =
+	tokNeq    // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokNewline:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSet:
+		return "set literal"
+	case tokArrow:
+		return "'<-'"
+	case tokElect:
+		return "'<|'"
+	case tokRevoke:
+		return "'|>'"
+	case tokAmp:
+		return "'&'"
+	case tokStar:
+		return "'*'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokColon:
+		return "':'"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// SyntaxError reports a lexical or parse error with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rdl: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+			continue
+		case c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+
+	line, col := l.line, l.col
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, line: line, col: col}
+	}
+
+	c := l.advance()
+	switch {
+	case c == '\n' || c == ';':
+		return mk(tokNewline, "\n"), nil
+	case c == '(':
+		return mk(tokLParen, "("), nil
+	case c == ')':
+		return mk(tokRParen, ")"), nil
+	case c == ',':
+		return mk(tokComma, ","), nil
+	case c == ':':
+		return mk(tokColon, ":"), nil
+	case c == '.':
+		return mk(tokDot, "."), nil
+	case c == '*':
+		return mk(tokStar, "*"), nil
+	case c == '&':
+		return mk(tokAmp, "&"), nil
+	case c == '=':
+		return mk(tokEq, "="), nil
+	case c == '!':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokNeq, "!="), nil
+		}
+		return token{}, l.errf("unexpected '!'")
+	case c == '<':
+		switch l.peekByte() {
+		case '-':
+			l.advance()
+			return mk(tokArrow, "<-"), nil
+		case '|':
+			l.advance()
+			return mk(tokElect, "<|"), nil
+		case '=':
+			l.advance()
+			return mk(tokLe, "<="), nil
+		}
+		return mk(tokLt, "<"), nil
+	case c == '>':
+		if l.peekByte() == '=' {
+			l.advance()
+			return mk(tokGe, ">="), nil
+		}
+		return mk(tokGt, ">"), nil
+	case c == '|':
+		if l.peekByte() == '>' {
+			l.advance()
+			return mk(tokRevoke, "|>"), nil
+		}
+		return token{}, l.errf("unexpected '|' (did you mean '|>'?)")
+	case c == '{':
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated set literal")
+			}
+			ch := l.advance()
+			if ch == '}' {
+				break
+			}
+			if ch == '\n' {
+				return token{}, l.errf("newline in set literal")
+			}
+			if ch != ' ' {
+				b.WriteByte(ch)
+			}
+		}
+		return mk(tokSet, b.String()), nil
+	case c == '"':
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated string literal")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				ch = l.advance()
+				switch ch {
+				case 'n':
+					ch = '\n'
+				case 't':
+					ch = '\t'
+				}
+			}
+			b.WriteByte(ch)
+		}
+		return mk(tokString, b.String()), nil
+	case c >= '0' && c <= '9' || c == '-' && isDigit(l.peekByte()):
+		var b strings.Builder
+		b.WriteByte(c)
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			b.WriteByte(l.advance())
+		}
+		return mk(tokNumber, b.String()), nil
+	case isIdentStart(rune(c)):
+		var b strings.Builder
+		b.WriteByte(c)
+		for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+			b.WriteByte(l.advance())
+		}
+		return mk(tokIdent, b.String()), nil
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '@'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package rdl
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestParseConferenceRolefile(t *testing.T) {
+	// Figure 3.1.
+	src := `
+import Login.userid
+def Chair()
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`
+	f := parseOK(t, src)
+	if len(f.Imports) != 1 || f.Imports[0].Service != "Login" || f.Imports[0].Type != "userid" {
+		t.Fatalf("imports = %+v", f.Imports)
+	}
+	if len(f.Rules) != 2 {
+		t.Fatalf("rules = %d", len(f.Rules))
+	}
+	chair := f.Rules[0]
+	if chair.Head.Name != "Chair" || len(chair.Head.Args) != 0 {
+		t.Fatalf("head = %+v", chair.Head)
+	}
+	if len(chair.Candidates) != 1 || chair.Candidates[0].Service != "Login" ||
+		chair.Candidates[0].Name != "LoggedOn" {
+		t.Fatalf("candidates = %+v", chair.Candidates)
+	}
+	if !chair.Candidates[0].Args[0].IsStr || chair.Candidates[0].Args[0].StrLit != "jmb" {
+		t.Fatalf("literal arg = %+v", chair.Candidates[0].Args[0])
+	}
+
+	member := f.Rules[1]
+	if member.Elector == nil || member.Elector.Name != "Chair" {
+		t.Fatalf("elector = %+v", member.Elector)
+	}
+	if !member.ElectStarred {
+		t.Fatal("<|* star lost")
+	}
+	if !member.Candidates[0].Starred {
+		t.Fatal("candidate star lost")
+	}
+	star, ok := member.Constraint.(StarExpr)
+	if !ok {
+		t.Fatalf("constraint = %T", member.Constraint)
+	}
+	in, ok := star.E.(InExpr)
+	if !ok || in.Group != "staff" || in.T.Var != "u" {
+		t.Fatalf("starred expr = %+v", star.E)
+	}
+}
+
+func TestParseRevokeOperator(t *testing.T) {
+	// §3.3.2 open meeting.
+	src := `Member(p) <- Person(p) |>* Chair`
+	f := parseOK(t, src)
+	r := f.Rules[0]
+	if r.Revoker == nil || r.Revoker.Name != "Chair" || !r.RevokeStar {
+		t.Fatalf("revoker = %+v star=%v", r.Revoker, r.RevokeStar)
+	}
+}
+
+func TestParseEmptyPremises(t *testing.T) {
+	// §3.4.3: Login(0, u) <-   (an unchecked claim).
+	f := parseOK(t, "Login(0, u) <-")
+	r := f.Rules[0]
+	if len(r.Candidates) != 0 || r.Elector != nil || r.Constraint != nil {
+		t.Fatalf("rule = %+v", r)
+	}
+	if !r.Head.Args[0].IsInt || r.Head.Args[0].IntLit != 0 {
+		t.Fatalf("head args = %+v", r.Head.Args)
+	}
+}
+
+func TestParseDeclWithTypes(t *testing.T) {
+	src := `def Rights(r) r: {eaf}
+def Login(l, u) l: integer`
+	f := parseOK(t, src)
+	if len(f.Decls) != 2 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+	d := f.Decls[0]
+	if d.Role != "Rights" || d.Types["r"].Universe != "eaf" {
+		t.Fatalf("decl = %+v", d)
+	}
+	if f.Decls[1].Types["l"].Kind.String() != "Integer" {
+		t.Fatalf("decl = %+v", f.Decls[1])
+	}
+}
+
+func TestParseConstraintGrammar(t *testing.T) {
+	src := `R(a, b) <- S(a, b) : a != b and (a in staff or b not in students) and a < 5`
+	f := parseOK(t, src)
+	c := f.Rules[0].Constraint
+	// Shape: And(And(a != b, Or(in, not-in)), a < 5)
+	outer, ok := c.(AndExpr)
+	if !ok {
+		t.Fatalf("constraint = %T", c)
+	}
+	if _, ok := outer.R.(CmpExpr); !ok {
+		t.Fatalf("right = %T", outer.R)
+	}
+	inner, ok := outer.L.(AndExpr)
+	if !ok {
+		t.Fatalf("left = %T", outer.L)
+	}
+	if _, ok := inner.L.(CmpExpr); !ok {
+		t.Fatalf("inner.L = %T", inner.L)
+	}
+	or, ok := inner.R.(OrExpr)
+	if !ok {
+		t.Fatalf("inner.R = %T", inner.R)
+	}
+	if or.R.(InExpr).Neg != true {
+		t.Fatal("not-in lost negation")
+	}
+}
+
+func TestParseFunctionCallConstraint(t *testing.T) {
+	// §3.3.3: r = unixacl("rjh21=rwx staff=rx other=r", u)
+	src := `UseFile(r) <- LoggedOn(u) : r = unixacl("rjh21=rwx staff=rx other=r", u)`
+	f := parseOK(t, src)
+	cmp, ok := f.Rules[0].Constraint.(CmpExpr)
+	if !ok {
+		t.Fatalf("constraint = %T", f.Rules[0].Constraint)
+	}
+	if cmp.R.Call == nil || cmp.R.Call.Fn != "unixacl" || len(cmp.R.Call.Args) != 2 {
+		t.Fatalf("call = %+v", cmp.R.Call)
+	}
+}
+
+func TestParseBooleanFunctionAtom(t *testing.T) {
+	// §3.3.3: AccessFile rules use InDir(g, d) and Root(d).
+	src := `AccessFile(r, f) <- ACL(r, f) : InDir(f, d) and Root(d)`
+	f := parseOK(t, src)
+	and, ok := f.Rules[0].Constraint.(AndExpr)
+	if !ok {
+		t.Fatalf("constraint = %T", f.Rules[0].Constraint)
+	}
+	if _, ok := and.L.(CallExpr); !ok {
+		t.Fatalf("left = %T", and.L)
+	}
+}
+
+func TestParseSetLiteralArg(t *testing.T) {
+	src := `Rights({ae}) <- Author`
+	f := parseOK(t, src)
+	a := f.Rules[0].Head.Args[0]
+	if !a.IsSet || a.SetLit != "ae" {
+		t.Fatalf("arg = %+v", a)
+	}
+}
+
+func TestParseThreeComponentRef(t *testing.T) {
+	src := `R <- FileSvc.acl17.UseAcl(rights)`
+	f := parseOK(t, src)
+	c := f.Rules[0].Candidates[0]
+	if c.Service != "FileSvc" || c.Rolefile != "acl17" || c.Name != "UseAcl" {
+		t.Fatalf("ref = %+v", c)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# rolefile for the meeting
+Chair <- Person("jmb") // the organiser
+`
+	f := parseOK(t, src)
+	if len(f.Rules) != 1 {
+		t.Fatalf("rules = %d", len(f.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"Chair <-- Person",           // bad token
+		"Chair Person",               // missing arrow
+		`Member(u <- Person(u)`,      // unbalanced parens
+		"def 3(x)",                   // bad name
+		"import Login",               // missing .type
+		"R <- S : x !",               // dangling !
+		"R <- S : {ae} in g",         // set literal in group test? actually lexes; in needs term — set is a term, allowed? T is set literal, allowed at parse; fine
+		"Svc.Role(u) <- Person(u)",   // non-local head
+		"R* <- S",                    // starred head
+		"def R(x) y: integer",        // ascription for non-parameter
+		"R <- S : x ~ y",             // unknown char
+		`R <- S : x = "unterminated`, // unterminated string
+	}
+	for _, src := range cases {
+		if src == "R <- S : {ae} in g" {
+			continue // permitted by grammar
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseMultipleStatementsSemicolon(t *testing.T) {
+	f := parseOK(t, "A <- B ; C <- D")
+	if len(f.Rules) != 2 {
+		t.Fatalf("rules = %d", len(f.Rules))
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	src := `Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*`
+	f := parseOK(t, src)
+	s := f.Rules[0].String()
+	for _, want := range []string{"Member(u)", "<-", "Login.LoggedOn(u,h)*", "<|*", "Chair", "(u in staff)*"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestAxiomRendering(t *testing.T) {
+	f := parseOK(t, `Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*`)
+	ax := Axiom(f.Rules[0])
+	for _, want := range []string{"c owns Login.LoggedOn(u,h)*", "c <| c'", "c' owns Chair", "c owns Member(u)"} {
+		if !strings.Contains(ax, want) {
+			t.Errorf("Axiom() = %q missing %q", ax, want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetConstruction(t *testing.T) {
+	v, err := Set("rwx", "rx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Members(); got != "rx" {
+		t.Fatalf("Members() = %q, want %q", got, "rx")
+	}
+	if _, err := Set("rwx", "z"); err == nil {
+		t.Fatal("element outside universe accepted")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	rw := MustSet("rwx", "rw")
+	r := MustSet("rwx", "r")
+	x := MustSet("rwx", "x")
+
+	if ok, _ := r.SubsetOf(rw); !ok {
+		t.Fatal("r not subset of rw")
+	}
+	if ok, _ := rw.SubsetOf(r); ok {
+		t.Fatal("rw reported subset of r")
+	}
+	u, err := rw.Union(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Members() != "rwx" {
+		t.Fatalf("union = %q", u.Members())
+	}
+	in, _ := rw.Intersect(r)
+	if in.Members() != "r" {
+		t.Fatalf("intersect = %q", in.Members())
+	}
+	m, _ := rw.Minus(r)
+	if m.Members() != "w" {
+		t.Fatalf("minus = %q", m.Members())
+	}
+}
+
+func TestSetAlgebraTypeMismatch(t *testing.T) {
+	a := MustSet("rwx", "r")
+	b := MustSet("eaf", "e")
+	if _, err := a.SubsetOf(b); err == nil {
+		t.Fatal("subset across universes allowed")
+	}
+	if _, err := a.Union(b); err == nil {
+		t.Fatal("union across universes allowed")
+	}
+	if _, err := a.Intersect(b); err == nil {
+		t.Fatal("intersect across universes allowed")
+	}
+	if _, err := a.Minus(b); err == nil {
+		t.Fatal("minus across universes allowed")
+	}
+	if _, err := Int(1).SubsetOf(Int(2)); err == nil {
+		t.Fatal("subset on integers allowed")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Int(3), Str("3"), false},
+		{Object("uid", "jmb"), Object("uid", "jmb"), true},
+		{Object("uid", "jmb"), Object("uid", "rjh"), false},
+		{Object("uid", "jmb"), Object("gid", "jmb"), false},
+		{MustSet("rwx", "rw"), MustSet("rwx", "rw"), true},
+		{MustSet("rwx", "rw"), MustSet("rwx", "r"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(-42), Int(1 << 40),
+		Str(""), Str("hello"), Str("with,comma"), Str(`quo"te`),
+		MustSet("rwx", ""), MustSet("rwx", "rwx"),
+		Object("Login.userid", "jmb"),
+	}
+	for _, v := range vals {
+		got, err := Unmarshal(v.Marshal())
+		if err != nil {
+			t.Fatalf("Unmarshal(%q): %v", v.Marshal(), err)
+		}
+		if !got.Equal(v) {
+			t.Fatalf("round trip %v -> %q -> %v", v, v.Marshal(), got)
+		}
+	}
+}
+
+func TestMarshalArgsRoundTrip(t *testing.T) {
+	args := []Value{Int(1), Str("a,b"), MustSet("rwx", "w"), Object("uid", "x")}
+	wire := MarshalArgs(args)
+	got, err := UnmarshalArgs(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(args) {
+		t.Fatalf("got %d args, want %d", len(got), len(args))
+	}
+	for i := range args {
+		if !got[i].Equal(args[i]) {
+			t.Fatalf("arg %d: got %v want %v", i, got[i], args[i])
+		}
+	}
+	if empty, err := UnmarshalArgs(""); err != nil || len(empty) != 0 {
+		t.Fatalf("UnmarshalArgs(\"\") = %v, %v", empty, err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	bad := []string{"", "x", "i:zz", "s:unquoted", "b:rwx", "b:rwx:zz", "o:noid", "z:1"}
+	for _, s := range bad {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", s)
+		}
+	}
+}
+
+// Property: string marshalling round-trips for arbitrary strings,
+// and canonical marshalling means marshalled-equality == Equal.
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		v := Str(s)
+		got, err := Unmarshal(v.Marshal())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	f := func(i int64) bool {
+		v := Int(i)
+		got, err := Unmarshal(v.Marshal())
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMarshalCanonical(t *testing.T) {
+	f := func(a, b string) bool {
+		va, vb := Str(a), Str(b)
+		return (va.Marshal() == vb.Marshal()) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSetLaws(t *testing.T) {
+	// Subset of union; intersection subset of both.
+	f := func(x, y uint8) bool {
+		a := Value{T: SetType("abcdefgh"), Set: uint64(x)}
+		b := Value{T: SetType("abcdefgh"), Set: uint64(y)}
+		u, _ := a.Union(b)
+		i, _ := a.Intersect(b)
+		sa, _ := a.SubsetOf(u)
+		sb, _ := b.SubsetOf(u)
+		ia, _ := i.SubsetOf(a)
+		ib, _ := i.SubsetOf(b)
+		return sa && sb && ia && ib
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvExtendIsPersistent(t *testing.T) {
+	e := Env{}
+	e2 := e.Extend("x", Int(1))
+	e3 := e2.Extend("x", Int(2))
+	if _, ok := e["x"]; ok {
+		t.Fatal("Extend mutated original env")
+	}
+	if !e2["x"].Equal(Int(1)) {
+		t.Fatal("Extend mutated earlier binding")
+	}
+	if !e3["x"].Equal(Int(2)) {
+		t.Fatal("Extend did not rebind")
+	}
+}
+
+func TestEnvString(t *testing.T) {
+	e := Env{}.Extend("b", Int(2)).Extend("a", Int(1))
+	if got, want := e.String(), "{a=1, b=2}"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]Type{
+		"integer":      IntType,
+		"string":       StringType,
+		"{rwx}":        SetType("rwx"),
+		"Login.userid": ObjectType("Login.userid"),
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("Type.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInt.String() != "Integer" || KindSet.String() != "Set" {
+		t.Fatal("Kind.String wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
