@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race bench vet all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency regression suite: the striped store, read-mostly
+# service engine, and signer pools are only meaningfully tested with
+# the race detector on.
+race:
+	$(GO) test -race ./internal/oasis/... ./internal/credrec/... ./internal/cert/...
+
+# Serial benchmarks plus the parallel suite at 1, 4 and 8 threads
+# (bench_parallel_test.go); results feed EXPERIMENTS.md.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench Parallel -benchmem -cpu 1,4,8 -run '^$$' .
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,245 @@
+// Parallel variants of the E2/E3 benchmarks: the paper's claim that
+// validation is one credential-record lookup (§4.6) only pays off at
+// scale if that lookup — and the signature check in front of it — can
+// run concurrently on every core. These benchmarks drive the hot path
+// with b.RunParallel at the read/write mixes a busy service sees
+// (pure reads, 99/1 and 90/10 validate/revoke churn). Run with
+// `-cpu 1,4,8` to see the scaling curve; EXPERIMENTS.md records the
+// baseline (single big lock) versus sharded-store numbers.
+package benchmarks
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// ---- E2 parallel: RMC signature verification ----
+
+func BenchmarkRMCVerifyParallel(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		s    cert.Signer
+	}{
+		{"short", cert.NewHMACSigner([]byte("secret"), 4)},
+		{"long", cert.NewHMACSigner([]byte("secret"), 32)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := benchRMC(tc.s)
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if !c.Verify(tc.s) {
+						b.Error("verify failed")
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRMCVerifyRollingParallel(b *testing.B) {
+	// §5.5.1 under load: every verifier walks the retained-secret table
+	// concurrently; the certificate only matches the oldest secret.
+	s := cert.NewRollingSigner([]byte("gen0"), 16, 4)
+	c := benchRMC(s)
+	s.Roll([]byte("gen1"))
+	s.Roll([]byte("gen2"))
+	s.Roll([]byte("gen3"))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if !c.Verify(s) {
+				b.Error("verify failed")
+				return
+			}
+		}
+	})
+}
+
+// ---- E3 parallel: credential-record lookup ----
+
+// BenchmarkCredRecValidateParallel/hot drives every goroutine at one
+// record (a popular certificate); /spread round-robins over many
+// records, the shape of a service with a large working set.
+func BenchmarkCredRecValidateParallel(b *testing.B) {
+	b.Run("hot", func(b *testing.B) {
+		st := credrec.NewStore()
+		ref := st.NewFact(credrec.True)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if !st.Valid(ref) {
+					b.Error("invalid")
+					return
+				}
+			}
+		})
+	})
+	b.Run("spread", func(b *testing.B) {
+		const n = 1024
+		st := credrec.NewStore()
+		refs := make([]credrec.Ref, n)
+		for i := range refs {
+			refs[i] = st.NewFact(credrec.True)
+		}
+		var next atomic.Uint64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := next.Add(1) * 31
+			for pb.Next() {
+				if !st.Valid(refs[i%n]) {
+					b.Error("invalid")
+					return
+				}
+				i++
+			}
+		})
+	})
+}
+
+// ---- E2/E3 parallel: the full service validation hot path ----
+
+func BenchmarkValidateRMCParallel(b *testing.B) {
+	w := newBenchWorld(b)
+	c, login := w.logOn(b, "dm")
+	member, err := w.conf.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{login},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := w.conf.Validate(member, c); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// ---- mixed validate/revoke churn ----
+
+// benchChurnWorld issues `slots` independent LoggedOn certificates via
+// the §4.12 direct-issue path, each backed by its own leaf credential
+// record, so revocations touch disjoint parts of the store.
+type benchChurnWorld struct {
+	w       *benchWorld
+	clients []ids.ClientID
+	certs   []atomic.Pointer[cert.RMC]
+}
+
+func newBenchChurnWorld(b *testing.B, slots int) *benchChurnWorld {
+	b.Helper()
+	w := newBenchWorld(b)
+	cw := &benchChurnWorld{
+		w:       w,
+		clients: make([]ids.ClientID, slots),
+		certs:   make([]atomic.Pointer[cert.RMC], slots),
+	}
+	for i := 0; i < slots; i++ {
+		cl := w.host.NewDomain()
+		rmc, err := w.login.IssueDirect(cl, "main", "LoggedOn", churnArgs(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cw.clients[i] = cl
+		cw.certs[i].Store(rmc)
+	}
+	return cw
+}
+
+func churnArgs(i int) []value.Value {
+	return []value.Value{
+		value.Object("Login.userid", fmt.Sprintf("u%d", i)),
+		value.Object("Login.host", "ely"),
+	}
+}
+
+// BenchmarkValidateChurnParallel mixes validations with revoke+reissue
+// at the stated write percentage (1% = the paper's revocation-is-rare
+// regime, §4.14; 10% = heavy churn). A validation that races a
+// revocation may legitimately fail with class Revoked; anything else
+// is an error.
+func BenchmarkValidateChurnParallel(b *testing.B) {
+	for _, writePct := range []int{1, 10} {
+		b.Run(fmt.Sprintf("writes=%d%%", writePct), func(b *testing.B) {
+			const slots = 256
+			cw := newBenchChurnWorld(b, slots)
+			var seed atomic.Uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(int64(seed.Add(1))))
+				for pb.Next() {
+					i := rng.Intn(slots)
+					c := cw.certs[i].Load()
+					if rng.Intn(100) < writePct {
+						_ = cw.w.login.RevokeDirect(c)
+						nc, err := cw.w.login.IssueDirect(cw.clients[i], "main", "LoggedOn", churnArgs(i))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						cw.certs[i].Store(nc)
+					} else if err := cw.w.login.Validate(c, cw.clients[i]); err != nil {
+						var ve *oasis.ValidationError
+						if !errors.As(err, &ve) || ve.Class != oasis.Revoked {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// ---- revocation under concurrent readers ----
+
+// BenchmarkRevokeUnderReaders measures the write path's cost while the
+// read path hammers an unrelated record: with a single store-wide lock
+// every revocation stalls behind the readers, with striping it only
+// contends on the shards the cascade touches.
+func BenchmarkRevokeUnderReaders(b *testing.B) {
+	st := credrec.NewStore()
+	hot := st.NewFact(credrec.True)
+	stop := make(chan struct{})
+	defer close(stop)
+	for g := 0; g < 4; g++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					st.Valid(hot)
+				}
+			}
+		}()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := st.NewFact(credrec.True)
+		for j := 0; j < 16; j++ {
+			st.NewDerived(credrec.OpAnd, credrec.Of(root))
+		}
+		if err := st.Invalidate(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

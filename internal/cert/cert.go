@@ -13,10 +13,14 @@ package cert
 import (
 	"crypto/hmac"
 	"crypto/sha256"
+	"crypto/subtle"
 	"fmt"
+	"hash"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/credrec"
@@ -227,6 +231,8 @@ func (r *Revocation) Verify(s Signer) bool { return s.Verify(r.canonical(), r.Si
 // Signer abstracts the integrity check so that each service can choose
 // its own security/efficiency trade-off (§4.2): a cheap short-signature
 // HMAC, a full-length one, a rolling table, or a plain issue-record.
+// Implementations must be safe for concurrent use: the engine signs and
+// verifies certificates from many goroutines at once.
 type Signer interface {
 	Sign(data []byte) []byte
 	Verify(data, sig []byte) bool
@@ -234,9 +240,16 @@ type Signer interface {
 
 // HMACSigner signs with HMAC-SHA256 under a single secret, truncating to
 // size bytes (variable-length signatures, §4.2).
+//
+// hash.Hash instances are not goroutine-safe, so a keyed HMAC state is
+// never shared between concurrent callers: each Sign/Verify takes one
+// from a pool (HMAC key setup costs two SHA-256 block compressions, well
+// worth avoiding per certificate check) and returns it reset. Sign and
+// Verify are safe for arbitrary concurrent use.
 type HMACSigner struct {
 	secret []byte
 	size   int
+	pool   sync.Pool // of hash.Hash keyed with secret
 }
 
 // NewHMACSigner creates a signer. size is clamped to [4, 32].
@@ -247,19 +260,30 @@ func NewHMACSigner(secret []byte, size int) *HMACSigner {
 	if size > sha256.Size {
 		size = sha256.Size
 	}
-	return &HMACSigner{secret: append([]byte(nil), secret...), size: size}
+	h := &HMACSigner{secret: append([]byte(nil), secret...), size: size}
+	h.pool.New = func() any { return hmac.New(sha256.New, h.secret) }
+	return h
+}
+
+// mac computes the truncated HMAC into the caller's buffer.
+func (h *HMACSigner) mac(buf []byte, data []byte) []byte {
+	m := h.pool.Get().(hash.Hash)
+	m.Reset()
+	m.Write(data)
+	out := m.Sum(buf[:0])[:h.size]
+	h.pool.Put(m)
+	return out
 }
 
 // Sign implements Signer.
 func (h *HMACSigner) Sign(data []byte) []byte {
-	m := hmac.New(sha256.New, h.secret)
-	m.Write(data)
-	return m.Sum(nil)[:h.size]
+	return h.mac(make([]byte, 0, sha256.Size), data)
 }
 
 // Verify implements Signer.
 func (h *HMACSigner) Verify(data, sig []byte) bool {
-	return hmac.Equal(h.Sign(data), sig)
+	var buf [sha256.Size]byte
+	return subtle.ConstantTimeCompare(h.mac(buf[:0], data), sig) == 1
 }
 
 var _ Signer = (*HMACSigner)(nil)
@@ -268,10 +292,17 @@ var _ Signer = (*HMACSigner)(nil)
 // certificates are signed with the newest secret, but certificates
 // signed with any retained secret still verify. Periodically rolling
 // bounds the useful lifetime of a compromised secret.
+//
+// The secret table is copy-on-write: Roll publishes a fresh slice
+// through an atomic pointer, so Sign and Verify read a consistent table
+// without taking any lock and may run concurrently with each other and
+// with Roll (the engine rolls secrets while validations are in flight,
+// §5.5.1's periodic roll).
 type RollingSigner struct {
-	signers []*HMACSigner // newest first
-	keep    int
-	size    int
+	rollMu sync.Mutex // serialises Roll against Roll
+	gens   atomic.Pointer[[]*HMACSigner]
+	keep   int
+	size   int
 }
 
 // NewRollingSigner creates a rolling signer retaining keep secrets.
@@ -279,32 +310,35 @@ func NewRollingSigner(initial []byte, size, keep int) *RollingSigner {
 	if keep < 1 {
 		keep = 1
 	}
-	return &RollingSigner{
-		signers: []*HMACSigner{NewHMACSigner(initial, size)},
-		keep:    keep,
-		size:    size,
-	}
+	r := &RollingSigner{keep: keep, size: size}
+	gens := []*HMACSigner{NewHMACSigner(initial, size)}
+	r.gens.Store(&gens)
+	return r
 }
 
 // Roll installs a new current secret, discarding the oldest beyond the
 // retention limit; certificates signed with discarded secrets no longer
 // verify (they have timed out, §5.5.1).
 func (r *RollingSigner) Roll(secret []byte) {
-	r.signers = append([]*HMACSigner{NewHMACSigner(secret, r.size)}, r.signers...)
-	if len(r.signers) > r.keep {
-		r.signers = r.signers[:r.keep]
+	r.rollMu.Lock()
+	defer r.rollMu.Unlock()
+	old := *r.gens.Load()
+	gens := append([]*HMACSigner{NewHMACSigner(secret, r.size)}, old...)
+	if len(gens) > r.keep {
+		gens = gens[:r.keep]
 	}
+	r.gens.Store(&gens)
 }
 
 // Generations reports how many secrets are currently accepted.
-func (r *RollingSigner) Generations() int { return len(r.signers) }
+func (r *RollingSigner) Generations() int { return len(*r.gens.Load()) }
 
 // Sign implements Signer using the newest secret.
-func (r *RollingSigner) Sign(data []byte) []byte { return r.signers[0].Sign(data) }
+func (r *RollingSigner) Sign(data []byte) []byte { return (*r.gens.Load())[0].Sign(data) }
 
 // Verify implements Signer, accepting any retained secret.
 func (r *RollingSigner) Verify(data, sig []byte) bool {
-	for _, s := range r.signers {
+	for _, s := range *r.gens.Load() {
 		if s.Verify(data, sig) {
 			return true
 		}
@@ -317,8 +351,10 @@ var _ Signer = (*RollingSigner)(nil)
 // RecordSigner keeps a record of everything issued instead of relying on
 // cryptography — the paper notes a service issuing few certificates may
 // prefer this (§4.2). Not safe against a compromised server, like any
-// secret-based scheme, but immune to cryptanalysis.
+// secret-based scheme, but immune to cryptanalysis. The issue record is
+// a read-mostly table: verification takes a read lock only.
 type RecordSigner struct {
+	mu     sync.RWMutex
 	issued map[string]bool
 	n      uint64
 }
@@ -328,6 +364,8 @@ func NewRecordSigner() *RecordSigner { return &RecordSigner{issued: make(map[str
 
 // Sign implements Signer by recording the exact bytes issued.
 func (r *RecordSigner) Sign(data []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.n++
 	tag := strconv.FormatUint(r.n, 10)
 	r.issued[string(data)+"|"+tag] = true
@@ -336,6 +374,8 @@ func (r *RecordSigner) Sign(data []byte) []byte {
 
 // Verify implements Signer by consulting the issue record.
 func (r *RecordSigner) Verify(data, sig []byte) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.issued[string(data)+"|"+string(sig)]
 }
 

@@ -1,0 +1,123 @@
+package cert
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The Signer contract requires safety under arbitrary concurrency
+// (hash.Hash itself is not goroutine-safe, so the implementations must
+// never share a live HMAC state). These tests are meaningful under
+// -race: they fail only if two goroutines touch shared signer state.
+
+func TestHMACSignerParallel(t *testing.T) {
+	s := NewHMACSigner([]byte("secret"), 16)
+	fixed := s.Sign([]byte("fixed payload"))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				data := []byte(fmt.Sprintf("payload %d/%d", g, i))
+				sig := s.Sign(data)
+				if len(sig) != 16 {
+					t.Errorf("signature length %d, want 16", len(sig))
+					return
+				}
+				if !s.Verify(data, sig) {
+					t.Error("own signature rejected")
+					return
+				}
+				if !s.Verify([]byte("fixed payload"), fixed) {
+					t.Error("fixed signature rejected")
+					return
+				}
+				if s.Verify(data, fixed) {
+					t.Error("cross signature accepted")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestRollingSignerRollDuringVerify rolls the secret table while
+// verifiers walk it. Certificates signed with the initial secret must
+// verify for as long as that secret is retained (rolls < keep), and
+// must stop verifying once it falls off the table (§5.5.1).
+func TestRollingSignerRollDuringVerify(t *testing.T) {
+	const keep = 12
+	s := NewRollingSigner([]byte("gen0"), 16, keep)
+	data := []byte("certificate bytes")
+	sig := s.Sign(data)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if !s.Verify(data, sig) {
+						t.Error("gen0 signature rejected while gen0 still retained")
+						return
+					}
+					if s.Verify(data, []byte("not a signature...")) {
+						t.Error("bogus signature accepted")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 1; i < keep; i++ { // keep-1 rolls: gen0 stays on the table
+		s.Roll([]byte(fmt.Sprintf("gen%d", i)))
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if g := s.Generations(); g != keep {
+		t.Fatalf("retained %d generations, want %d", g, keep)
+	}
+	// One more roll discards gen0; the old signature must now time out.
+	s.Roll([]byte("gen-final"))
+	if s.Verify(data, sig) {
+		t.Fatal("signature from a discarded secret still verifies")
+	}
+	if !s.Verify(data, s.Sign(data)) {
+		t.Fatal("current-secret signature rejected")
+	}
+}
+
+func TestRecordSignerParallel(t *testing.T) {
+	s := NewRecordSigner()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				data := []byte(fmt.Sprintf("issue %d/%d", g, i))
+				sig := s.Sign(data)
+				if !s.Verify(data, sig) {
+					t.Error("recorded issue rejected")
+					return
+				}
+				if s.Verify([]byte("never issued"), sig) {
+					t.Error("unissued data accepted")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

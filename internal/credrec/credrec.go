@@ -9,6 +9,37 @@
 // detected rather than misread (figure 4.7, [Lo94 6.4]). Child records
 // hold counters of how many parents are true, false or unknown instead of
 // back pointers; this is all that is needed to set a record's state.
+//
+// # Concurrency
+//
+// The table is striped into numShards segments; global index i lives in
+// shard i%numShards. The validation hot path (Lookup/Valid — §4.6's
+// single credential-record check) takes only that shard's read lock to
+// resolve the slot, then atomically loads the record's published
+// state, so reads of unrelated records never contend with each other
+// or with writes to other shards. Mutations (allocation, state
+// changes, flag sets, sweep) are serialised by a store-wide writeMu;
+// allocation and sweep additionally take the write lock of the shard
+// whose slot table they rewrite, one shard at a time. The propagation
+// walk itself touches no shard locks: each record's reader-visible
+// state+permanence pair lives in a single atomic word (record.sp),
+// published before the record's slot becomes reachable and rewritten
+// atomically on every transition.
+//
+// Lock order (deadlock freedom): writeMu is always acquired first;
+// with writeMu held, at most ONE shard lock is held at any moment, and
+// only for slot-table surgery (alloc, sweep, flag sets). Readers take
+// a single shard read lock and nothing else. Fields read on the read
+// path under the shard lock (slot.magic, slot.rec, record.external,
+// record.autoRev and the flag bits) are only written under the owning
+// shard's write lock; record.sp is atomic; graph-structure fields
+// (children, parent counters, the mutator-owned state/permanent pair)
+// are only touched by mutators, which writeMu already serialises.
+// Because propagation is synchronous under writeMu and sp stores are
+// sequentially consistent, when Invalidate returns every dependent
+// record is already published false: a later Valid on any goroutine
+// fails. Change notifications are queued under writeMu and fired after
+// it is released, so ChangeFunc callbacks may re-enter the store.
 package credrec
 
 import (
@@ -16,6 +47,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // State is a record's current truth value. Unknown models network
@@ -113,10 +145,18 @@ type childLink struct {
 }
 
 type record struct {
-	ref       Ref
-	op        Op
+	ref Ref
+	op  Op
+
+	// sp is the published (state, permanent) pair readers load without
+	// any lock: state in the low byte, permBit above it. state and
+	// permanent below are the mutator-owned master copy, read and
+	// written only under Store.writeMu; every change is mirrored into
+	// sp via publish.
+	sp        atomic.Uint32
 	state     State
 	permanent bool
+
 	notify    bool // another service is using this credential
 	directUse bool // a certificate embeds this credential
 	autoRev   bool // revoke if a parent exits its role
@@ -133,9 +173,51 @@ type record struct {
 	permFalse int
 }
 
+// permBit flags permanence in record.sp; the low byte holds the State.
+const permBit = 1 << 8
+
+// publish mirrors the mutator-owned state/permanent pair into the
+// atomic word readers load. Caller holds Store.writeMu (or the record
+// is not yet reachable).
+func (r *record) publish() {
+	v := uint32(r.state)
+	if r.permanent {
+		v |= permBit
+	}
+	r.sp.Store(v)
+}
+
 type slot struct {
 	magic uint32
 	rec   *record // nil when free
+}
+
+// numShards is the number of lock stripes; a power of two so the
+// index→shard map is a mask. 16 comfortably exceeds the core counts we
+// target while keeping the sweep/iteration cost negligible.
+const numShards = 16
+
+// shard is one lock stripe of the record table. Local position p holds
+// the record with global index p*numShards + (shard id).
+type shard struct {
+	mu    sync.RWMutex
+	slots []slot
+	free  []uint32 // global indices available for reuse in this shard
+}
+
+// get resolves a reference within this shard; callers must hold sh.mu
+// (readers: read lock; mutators additionally hold Store.writeMu, which
+// makes an unlocked read safe — see getMut).
+func (sh *shard) get(ref Ref) (*record, error) {
+	p := int(ref.Index / numShards)
+	if p >= len(sh.slots) {
+		return nil, ErrDangling
+	}
+	s := sh.slots[p]
+	if s.rec == nil || s.magic != ref.Magic {
+		return nil, ErrDangling
+	}
+	return s.rec, nil
 }
 
 // ChangeFunc observes state changes of records whose Notify flag is set;
@@ -151,69 +233,99 @@ type pendingChange struct {
 
 // Store is a server's credential record table.
 type Store struct {
-	mu       sync.Mutex
-	slots    []slot
-	free     []uint32
-	onChange ChangeFunc
-	pending  []pendingChange // notifications queued during propagation
+	// writeMu serialises all mutations; see the package comment for the
+	// full lock order. The fields below it are mutator-only state.
+	writeMu   sync.Mutex
+	nalloc    uint64 // allocations so far; round-robin shard choice
+	totalFree int    // sum of len(shard.free), to keep reuse-before-grow
+	onChange  ChangeFunc
+	pending   []pendingChange // notifications queued during propagation
+
+	shards [numShards]shard
 
 	// stats
-	created uint64
-	deleted uint64
+	created atomic.Uint64
+	deleted atomic.Uint64
 }
 
 // NewStore creates an empty credential record store.
 func NewStore() *Store { return &Store{} }
 
+func (st *Store) shardFor(index uint32) *shard {
+	return &st.shards[index%numShards]
+}
+
 // OnChange installs the change observer for Notify-flagged records.
 func (st *Store) OnChange(f ChangeFunc) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
 	st.onChange = f
 }
 
-func (st *Store) allocLocked(r *record) Ref {
-	var idx uint32
-	if n := len(st.free); n > 0 {
-		idx = st.free[n-1]
-		st.free = st.free[:n-1]
-		st.slots[idx].magic++ // never reuse a reference
-		st.slots[idx].rec = r
-	} else {
-		idx = uint32(len(st.slots))
-		st.slots = append(st.slots, slot{magic: 1, rec: r})
+// alloc places r in the table and assigns its reference. Caller holds
+// writeMu. Shard choice is round-robin over the allocation count, but a
+// freed slot anywhere is reused before any shard grows — both rules are
+// functions of the operation order alone, keeping allocation
+// deterministic for journal replay (persist.go).
+func (st *Store) alloc(r *record) Ref {
+	start := st.nalloc % numShards
+	st.nalloc++
+	shardID := uint32(start)
+	if st.totalFree > 0 {
+		for i := uint64(0); i < numShards; i++ {
+			if len(st.shards[(start+i)%numShards].free) > 0 {
+				shardID = uint32((start + i) % numShards)
+				break
+			}
+		}
 	}
-	r.ref = Ref{Index: idx, Magic: st.slots[idx].magic}
-	st.created++
+	sh := &st.shards[shardID]
+	sh.mu.Lock()
+	if n := len(sh.free); n > 0 {
+		idx := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		st.totalFree--
+		p := idx / numShards
+		sh.slots[p].magic++ // never reuse a reference
+		sh.slots[p].rec = r
+		r.ref = Ref{Index: idx, Magic: sh.slots[p].magic}
+	} else {
+		p := uint32(len(sh.slots))
+		sh.slots = append(sh.slots, slot{magic: 1, rec: r})
+		r.ref = Ref{Index: p*numShards + shardID, Magic: 1}
+	}
+	sh.mu.Unlock()
+	st.created.Add(1)
 	return r.ref
 }
 
-func (st *Store) getLocked(ref Ref) (*record, error) {
-	if int(ref.Index) >= len(st.slots) {
-		return nil, ErrDangling
-	}
-	s := st.slots[ref.Index]
-	if s.rec == nil || s.magic != ref.Magic {
-		return nil, ErrDangling
-	}
-	return s.rec, nil
+// getMut resolves a reference on the mutation path. Caller holds
+// writeMu — the only writers of slot contents also hold writeMu, and
+// readers never write them, so no shard lock is needed to look at the
+// slot here.
+func (st *Store) getMut(ref Ref) (*record, error) {
+	return st.shardFor(ref.Index).get(ref)
 }
 
 // NewFact creates a leaf record asserting a simple fact with the given
 // initial state.
 func (st *Store) NewFact(s State) Ref {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.allocLocked(&record{state: s})
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	r := &record{state: s}
+	r.publish() // before alloc makes the slot reachable
+	return st.alloc(r)
 }
 
 // NewExternal creates a surrogate record for a fact held by another
 // service (§4.9.1). Its state is maintained by event notification via
 // SetState; source records where the remote fact lives.
 func (st *Store) NewExternal(source string, s State) Ref {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.allocLocked(&record{state: s, external: source})
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	r := &record{state: s, external: source}
+	r.publish() // before alloc makes the slot reachable
+	return st.alloc(r)
 }
 
 // NewDerived creates a record computing op over the effective values of
@@ -221,27 +333,35 @@ func (st *Store) NewExternal(source string, s State) Ref {
 // Any dangling parent makes the new record permanently false (the fact it
 // depended on has been revoked).
 func (st *Store) NewDerived(op Op, parents ...Parent) Ref {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
 	r := &record{op: op, nParents: len(parents)}
-	ref := st.allocLocked(r)
+	// First pass: tally parent contributions and compute the initial
+	// state, all before alloc makes the slot reachable — writeMu keeps
+	// the parents still while we look.
 	broken := false
 	for _, p := range parents {
-		pr, err := st.getLocked(p.Ref)
+		pr, err := st.getMut(p.Ref)
 		if err != nil {
 			broken = true
 			continue
 		}
-		pr.children = append(pr.children, childLink{ref: ref, negated: p.Negated})
 		eff := effective(pr.state, p.Negated)
 		r.count(eff, +1, pr.permanent)
 	}
 	if broken {
-		r.state = False
-		r.permanent = true
+		r.state, r.permanent = False, true
 	} else {
 		r.state = r.compute()
 		r.permanent = r.decided()
+	}
+	r.publish()
+	ref := st.alloc(r)
+	// Second pass: link beneath the parents now that the ref exists.
+	for _, p := range parents {
+		if pr, err := st.getMut(p.Ref); err == nil {
+			pr.children = append(pr.children, childLink{ref: ref, negated: p.Negated})
+		}
 	}
 	return ref
 }
@@ -333,22 +453,23 @@ func (r *record) decided() bool {
 // change through the graph. It fails on derived records (their state is
 // a function of their parents) and on permanent records.
 func (st *Store) SetState(ref Ref, s State) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	st.writeMu.Lock()
+	r, err := st.getMut(ref)
 	if err != nil {
+		st.writeMu.Unlock()
 		return err
 	}
 	if r.nParents > 0 {
+		st.writeMu.Unlock()
 		return fmt.Errorf("credrec: %v is derived; its state follows its parents", ref)
 	}
 	if r.permanent {
+		st.writeMu.Unlock()
 		return fmt.Errorf("credrec: %v is permanent", ref)
 	}
-	st.transitionLocked(r, s, false)
-	st.mu.Unlock()
+	st.transition(r, s, false)
+	st.writeMu.Unlock()
 	st.drain()
-	st.mu.Lock()
 	return nil
 }
 
@@ -358,38 +479,40 @@ func (st *Store) SetState(ref Ref, s State) error {
 // change cascades. Invalidate on a derived record is permitted — it is
 // how an explicit revocation deletes a delegation record.
 func (st *Store) Invalidate(ref Ref) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	st.writeMu.Lock()
+	r, err := st.getMut(ref)
 	if err != nil {
+		st.writeMu.Unlock()
 		return err
 	}
-	st.transitionLocked(r, False, true)
-	st.mu.Unlock()
+	st.transition(r, False, true)
+	st.writeMu.Unlock()
 	st.drain()
-	st.mu.Lock()
 	return nil
 }
 
 // MakePermanent freezes a record at its current state.
 func (st *Store) MakePermanent(ref Ref) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	st.writeMu.Lock()
+	r, err := st.getMut(ref)
 	if err != nil {
+		st.writeMu.Unlock()
 		return err
 	}
-	st.transitionLocked(r, r.state, true)
-	st.mu.Unlock()
+	st.transition(r, r.state, true)
+	st.writeMu.Unlock()
 	st.drain()
-	st.mu.Lock()
 	return nil
 }
 
-// transitionLocked applies a state/permanence change to r and recursively
-// updates children via their counters. Notifications for Notify-flagged
-// records are queued; public entry points drain them after unlocking.
-func (st *Store) transitionLocked(r *record, s State, makePermanent bool) {
+// transition applies a state/permanence change to r and recursively
+// updates children via their counters. Caller holds writeMu and no
+// shard lock; the reader-visible rewrite of each visited record is a
+// single atomic publish, so the cascade costs no lock operations
+// beyond writeMu itself (see the package comment's lock order).
+// Notifications for Notify-flagged records are queued; public entry
+// points drain them after unlocking.
+func (st *Store) transition(r *record, s State, makePermanent bool) {
 	if r.permanent {
 		return
 	}
@@ -401,11 +524,12 @@ func (st *Store) transitionLocked(r *record, s State, makePermanent bool) {
 	if makePermanent {
 		r.permanent = true
 	}
+	r.publish()
 	if r.notify && st.onChange != nil {
 		st.pending = append(st.pending, pendingChange{ref: r.ref, s: r.state, perm: r.permanent})
 	}
 	for _, cl := range r.children {
-		cr, err := st.getLocked(cl.ref)
+		cr, err := st.getMut(cl.ref)
 		if err != nil {
 			continue
 		}
@@ -421,23 +545,24 @@ func (st *Store) transitionLocked(r *record, s State, makePermanent bool) {
 		ns := cr.compute()
 		nperm := cr.decided()
 		if ns != cr.state || nperm {
-			st.transitionLocked(cr, ns, nperm)
+			st.transition(cr, ns, nperm)
 		}
 	}
 }
 
-// drain fires queued change notifications; callers must not hold the lock.
+// drain fires queued change notifications; callers must not hold any
+// store lock (callbacks may re-enter the store).
 func (st *Store) drain() {
 	for {
-		st.mu.Lock()
+		st.writeMu.Lock()
 		if len(st.pending) == 0 {
-			st.mu.Unlock()
+			st.writeMu.Unlock()
 			return
 		}
 		batch := st.pending
 		st.pending = nil
 		f := st.onChange
-		st.mu.Unlock()
+		st.writeMu.Unlock()
 		if f == nil {
 			return
 		}
@@ -450,19 +575,21 @@ func (st *Store) drain() {
 // Lookup returns the record's current state. A dangling reference
 // returns ErrDangling, which callers treat as permanently false.
 func (st *Store) Lookup(ref Ref) (State, error) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	sh := st.shardFor(ref.Index)
+	sh.mu.RLock()
+	r, err := sh.get(ref)
+	sh.mu.RUnlock()
 	if err != nil {
 		return False, err
 	}
-	return r.state, nil
+	return State(r.sp.Load() &^ permBit), nil
 }
 
 // Valid reports whether the record exists and is currently true. This is
 // the single check a server performs on each access (§4.6: "only a
 // single credential record need be consulted to confirm an arbitrary
-// number of facts").
+// number of facts"). It takes one shard read lock and nothing else, so
+// validations proceed in parallel across cores.
 func (st *Store) Valid(ref Ref) bool {
 	s, err := st.Lookup(ref)
 	return err == nil && s == True
@@ -486,30 +613,35 @@ func (st *Store) MarkAutoRevoke(ref Ref) error {
 }
 
 func (st *Store) setFlag(ref Ref, f func(*record)) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	r, err := st.getMut(ref)
 	if err != nil {
 		return err
 	}
+	sh := st.shardFor(ref.Index)
+	sh.mu.Lock()
 	f(r)
+	sh.mu.Unlock()
 	return nil
 }
 
 // AutoRevoke reports the auto-revoke flag.
 func (st *Store) AutoRevoke(ref Ref) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	sh := st.shardFor(ref.Index)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, err := sh.get(ref)
 	return err == nil && r.autoRev
 }
 
 // External returns the source service of an external record ("" for
 // local records).
 func (st *Store) External(ref Ref) string {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	r, err := st.getLocked(ref)
+	sh := st.shardFor(ref.Index)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r, err := sh.get(ref)
 	if err != nil {
 		return ""
 	}
@@ -520,33 +652,36 @@ func (st *Store) External(ref Ref) string {
 // Unknown; used when a heartbeat from that source is missed (§4.10).
 // The unknown state propagates to children and possibly other servers.
 func (st *Store) MarkSourceUnknown(source string) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.writeMu.Lock()
 	n := 0
-	for _, sl := range st.slots {
-		r := sl.rec
-		if r == nil || r.external != source || r.permanent || r.state == Unknown {
-			continue
+	for si := range st.shards {
+		for _, sl := range st.shards[si].slots {
+			r := sl.rec
+			if r == nil || r.external != source || r.permanent || r.state == Unknown {
+				continue
+			}
+			st.transition(r, Unknown, false)
+			n++
 		}
-		st.transitionLocked(r, Unknown, false)
-		n++
 	}
-	st.mu.Unlock()
+	st.writeMu.Unlock()
 	st.drain()
-	st.mu.Lock()
 	return n
 }
 
 // ExternalRefs lists the live external records for a source, so a server
 // can re-read their states when a connection is re-established.
 func (st *Store) ExternalRefs(source string) []Ref {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	var out []Ref
-	for _, sl := range st.slots {
-		if r := sl.rec; r != nil && r.external == source {
-			out = append(out, r.ref)
+	for si := range st.shards {
+		sh := &st.shards[si]
+		sh.mu.RLock()
+		for _, sl := range sh.slots {
+			if r := sl.rec; r != nil && r.external == source {
+				out = append(out, r.ref)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
@@ -556,46 +691,53 @@ func (st *Store) ExternalRefs(source string) []Ref {
 // uninteresting (no direct use, no notify flag, no children). It returns
 // the number of records deleted.
 func (st *Store) Sweep() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
 	deleted := 0
-	for i := range st.slots {
-		r := st.slots[i].rec
-		if r == nil {
-			continue
+	for si := range st.shards {
+		sh := &st.shards[si]
+		sh.mu.Lock()
+		for p := range sh.slots {
+			r := sh.slots[p].rec
+			if r == nil {
+				continue
+			}
+			if r.permanent {
+				// Children's counters already carry this record's final
+				// contribution; the links are redundant.
+				r.children = nil
+			}
+			uninteresting := !r.directUse && !r.notify && len(r.children) == 0
+			if (r.permanent && r.state == False) || (uninteresting && r.permanent) || (uninteresting && r.nParents == 0 && r.external == "" && r.state == False) {
+				sh.slots[p].rec = nil
+				sh.free = append(sh.free, uint32(p*numShards+si))
+				st.totalFree++
+				deleted++
+				st.deleted.Add(1)
+			}
 		}
-		if r.permanent {
-			// Children's counters already carry this record's final
-			// contribution; the links are redundant.
-			r.children = nil
-		}
-		uninteresting := !r.directUse && !r.notify && len(r.children) == 0
-		if (r.permanent && r.state == False) || (uninteresting && r.permanent) || (uninteresting && r.nParents == 0 && r.external == "" && r.state == False) {
-			st.slots[i].rec = nil
-			st.free = append(st.free, uint32(i))
-			deleted++
-			st.deleted++
-		}
+		sh.mu.Unlock()
 	}
 	return deleted
 }
 
 // Live reports the number of live records (for tests and benchmarks).
 func (st *Store) Live() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	n := 0
-	for _, sl := range st.slots {
-		if sl.rec != nil {
-			n++
+	for si := range st.shards {
+		sh := &st.shards[si]
+		sh.mu.RLock()
+		for _, sl := range sh.slots {
+			if sl.rec != nil {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
 // Stats reports cumulative creations and deletions.
 func (st *Store) Stats() (created, deleted uint64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.created, st.deleted
+	return st.created.Load(), st.deleted.Load()
 }

@@ -1,6 +1,9 @@
 package credrec
 
-import "sync"
+import (
+	"hash/maphash"
+	"sync"
+)
 
 // Groups manages credential records for group membership (§4.8.1).
 // Rather than storing a record for every possible membership, a hash
@@ -8,10 +11,23 @@ import "sync"
 // those with child records or used by an external server. When group
 // membership changes, the corresponding record — if any — is updated and
 // the change propagates through the graph.
+//
+// The table is hash-striped like the record store itself: membership
+// tests on the entry hot path (§3.2.2 constraint evaluation) take one
+// shard read lock, so lookups of unrelated (member, group) pairs never
+// contend. Lock order: a Groups shard lock may be held while acquiring
+// Store locks (AddMember/RemoveMember propagate state changes with the
+// shard held); the Store never calls back into Groups, so the reverse
+// edge cannot occur.
 type Groups struct {
-	st *Store
+	st   *Store
+	seed maphash.Seed
 
-	mu          sync.Mutex
+	shards [numShards]groupShard
+}
+
+type groupShard struct {
+	mu          sync.RWMutex
 	members     map[groupKey]bool
 	interesting map[groupKey]Ref
 }
@@ -23,25 +39,36 @@ type groupKey struct {
 
 // NewGroups creates a group-membership manager over the given store.
 func NewGroups(st *Store) *Groups {
-	return &Groups{
-		st:          st,
-		members:     make(map[groupKey]bool),
-		interesting: make(map[groupKey]Ref),
+	g := &Groups{st: st, seed: maphash.MakeSeed()}
+	for i := range g.shards {
+		g.shards[i].members = make(map[groupKey]bool)
+		g.shards[i].interesting = make(map[groupKey]Ref)
 	}
+	return g
+}
+
+func (g *Groups) shardFor(k groupKey) *groupShard {
+	var h maphash.Hash
+	h.SetSeed(g.seed)
+	h.WriteString(k.member)
+	h.WriteByte(0)
+	h.WriteString(k.group)
+	return &g.shards[h.Sum64()%numShards]
 }
 
 // AddMember records that member belongs to group, updating any
 // interesting credential record.
 func (g *Groups) AddMember(member, group string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	k := groupKey{member, group}
-	g.members[k] = true
-	if ref, ok := g.interesting[k]; ok {
+	sh := g.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.members[k] = true
+	if ref, ok := sh.interesting[k]; ok {
 		if err := g.st.SetState(ref, True); err != nil {
 			// Record became permanent or was swept; a future
 			// CredentialFor will mint a fresh one.
-			delete(g.interesting, k)
+			delete(sh.interesting, k)
 		}
 	}
 }
@@ -50,22 +77,25 @@ func (g *Groups) AddMember(member, group string) {
 // certificate whose membership rule mentions this group membership is
 // revoked by propagation (the worked example of §3.2.3).
 func (g *Groups) RemoveMember(member, group string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	k := groupKey{member, group}
-	delete(g.members, k)
-	if ref, ok := g.interesting[k]; ok {
+	sh := g.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.members, k)
+	if ref, ok := sh.interesting[k]; ok {
 		if err := g.st.SetState(ref, False); err != nil {
-			delete(g.interesting, k)
+			delete(sh.interesting, k)
 		}
 	}
 }
 
 // IsMember reports current membership.
 func (g *Groups) IsMember(member, group string) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.members[groupKey{member, group}]
+	k := groupKey{member, group}
+	sh := g.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.members[k]
 }
 
 // CredentialFor returns the credential record representing the (member,
@@ -73,39 +103,48 @@ func (g *Groups) IsMember(member, group string) bool {
 // is not already interesting. Membership lookup returns a reference as a
 // side effect (§4.7, rule 3).
 func (g *Groups) CredentialFor(member, group string) Ref {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	k := groupKey{member, group}
-	if ref, ok := g.interesting[k]; ok {
+	sh := g.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if ref, ok := sh.interesting[k]; ok {
 		if _, err := g.st.Lookup(ref); err == nil {
 			return ref
 		}
-		delete(g.interesting, k)
+		delete(sh.interesting, k)
 	}
 	s := False
-	if g.members[k] {
+	if sh.members[k] {
 		s = True
 	}
 	ref := g.st.NewFact(s)
-	g.interesting[k] = ref
+	sh.interesting[k] = ref
 	return ref
 }
 
 // Interesting reports the number of live interesting credentials (for
 // tests and benchmarks: this stays far below members × groups).
 func (g *Groups) Interesting() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.interesting)
+	n := 0
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.RLock()
+		n += len(sh.interesting)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Compact drops hash entries whose records have been garbage collected.
 func (g *Groups) Compact() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for k, ref := range g.interesting {
-		if _, err := g.st.Lookup(ref); err != nil {
-			delete(g.interesting, k)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for k, ref := range sh.interesting {
+			if _, err := g.st.Lookup(ref); err != nil {
+				delete(sh.interesting, k)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }

@@ -118,14 +118,14 @@ func (s *Service) Delegate(req DelegateRequest) (*cert.Delegation, *cert.Revocat
 	}
 	d.Sign(s.signer)
 
-	s.mu.Lock()
+	s.delegMu.Lock()
 	s.delegations[delegCRR] = &delegInfo{
 		rolefile:   st.id,
 		rule:       rule,
 		electorEnv: env,
 		expiry:     expiry,
 	}
-	s.mu.Unlock()
+	s.delegMu.Unlock()
 
 	// A revocation certificate is returned only when the rolefile makes
 	// the delegation revocable (§3.2.3: the star on the <| operator).
@@ -162,9 +162,9 @@ func (s *Service) EnterDelegated(req EnterRequest) (*cert.RMC, error) {
 	if !s.store.Valid(d.DelegCRR) {
 		return nil, s.fail(Revoked, "delegation revoked")
 	}
-	s.mu.Lock()
+	s.delegMu.Lock()
 	info, ok := s.delegations[d.DelegCRR]
-	s.mu.Unlock()
+	s.delegMu.Unlock()
 	if !ok {
 		return nil, s.fail(Erroneous, "unknown delegation")
 	}
@@ -283,9 +283,9 @@ func (s *Service) Revoke(rev *cert.Revocation) error {
 	if err := s.store.Invalidate(rev.TargetCRR); err != nil {
 		return s.fail(Revoked, "delegation already gone: %v", err)
 	}
-	s.mu.Lock()
+	s.delegMu.Lock()
 	delete(s.delegations, rev.TargetCRR)
-	s.mu.Unlock()
+	s.delegMu.Unlock()
 	return nil
 }
 
@@ -302,9 +302,9 @@ func (s *Service) RevokeByRole(revoker *cert.RMC, caller ids.ClientID, rolefile,
 		return err
 	}
 	key := instanceKey(role, args)
-	s.mu.Lock()
+	st.mu.Lock()
 	entry, ok := st.revocable[key]
-	s.mu.Unlock()
+	st.mu.Unlock()
 	if !ok {
 		return s.fail(Erroneous, "no revocable instance %s", key)
 	}
@@ -314,10 +314,10 @@ func (s *Service) RevokeByRole(revoker *cert.RMC, caller ids.ClientID, rolefile,
 	if err := s.store.Invalidate(entry.crr); err != nil && err != credrec.ErrDangling {
 		return err
 	}
-	s.mu.Lock()
+	st.mu.Lock()
 	st.revoked[key] = true
 	delete(st.revocable, key)
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -343,9 +343,9 @@ func (s *Service) Reinstate(revoker *cert.RMC, caller ids.ClientID, rolefile, ro
 		return s.fail(Erroneous, "caller may not reinstate %s", role)
 	}
 	key := instanceKey(role, args)
-	s.mu.Lock()
+	st.mu.Lock()
 	delete(st.revoked, key)
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return nil
 }
 
@@ -354,7 +354,7 @@ func (s *Service) Reinstate(revoker *cert.RMC, caller ids.ClientID, rolefile, ro
 // server delete stale revocation state). Call it periodically.
 func (s *Service) ExpireTick() int {
 	now := s.clk.Now()
-	s.mu.Lock()
+	s.delegMu.Lock()
 	var expired []credrec.Ref
 	for ref, info := range s.delegations {
 		if !info.expiry.IsZero() && now.After(info.expiry) {
@@ -362,7 +362,7 @@ func (s *Service) ExpireTick() int {
 			delete(s.delegations, ref)
 		}
 	}
-	s.mu.Unlock()
+	s.delegMu.Unlock()
 	for _, ref := range expired {
 		_ = s.store.Invalidate(ref) // already-gone records are fine
 	}

@@ -348,13 +348,13 @@ func (s *Service) issue(st *rolefileState, client ids.ClientID, chosen *held, li
 		}
 	}
 
-	s.mu.Lock()
+	st.mu.Lock()
 	// Role-based revocation (§4.11): entry is refused for instances in
 	// the revoked-forever database; otherwise each clause creates a
 	// not-revoked fact and registers it for the revoker.
 	for _, r := range revokers {
 		if st.revoked[r.instance] {
-			s.mu.Unlock()
+			st.mu.Unlock()
 			return nil, s.fail(Revoked, "role instance %s has been revoked", r.instance)
 		}
 	}
@@ -369,7 +369,7 @@ func (s *Service) issue(st *rolefileState, client ids.ClientID, chosen *held, li
 		st.revocable[r.instance] = roleRevEntry{revokerRole: r.revokerRole, crr: ref}
 		parents = append(parents, credrec.Of(ref))
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 
 	var crr credrec.Ref
 	switch {
@@ -402,9 +402,7 @@ func (s *Service) issue(st *rolefileState, client ids.ClientID, chosen *held, li
 		c.Expiry = s.clk.Now().Add(s.opts.CertTTL)
 	}
 	c.Sign(s.signer)
-	s.mu.Lock()
-	s.audit.Issued++
-	s.mu.Unlock()
+	s.audit.issued.Add(1)
 	return c, nil
 }
 

@@ -55,9 +55,7 @@ func (s *Service) IssueDirect(client ids.ClientID, rolefile, role string, args [
 		c.Expiry = s.clk.Now().Add(s.opts.CertTTL)
 	}
 	c.Sign(s.signer)
-	s.mu.Lock()
-	s.audit.Issued++
-	s.mu.Unlock()
+	s.audit.issued.Add(1)
 	return c, nil
 }
 

@@ -56,9 +56,7 @@ func (s *Service) Call(from, op string, arg any) (any, error) {
 		if !ok {
 			return nil, fmt.Errorf("oasis: bad gettypes argument %T", arg)
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.localTypesLocked(a.Rolefile, a.Role)
+		return s.localTypes(a.Rolefile, a.Role)
 	case "validate":
 		a, ok := arg.(ValidateArg)
 		if !ok {
@@ -138,23 +136,24 @@ func (s *Service) handleValidate(from string, a ValidateArg) (ValidateReply, err
 }
 
 // watchFor subscribes a peer service to Modified events for a record.
+// watchMu is held across session creation so concurrent validations
+// from the same peer share one broker session.
 func (s *Service) watchFor(peer string, ref credrec.Ref) (uint64, error) {
 	if s.net == nil {
 		return 0, fmt.Errorf("oasis: no network")
 	}
-	s.mu.Lock()
+	s.watchMu.Lock()
 	sess, ok := s.watchSessions[peer]
-	s.mu.Unlock()
 	if !ok {
 		var err error
 		sess, err = s.broker.OpenSession(s.net.Sink(s.name, peer), nil)
 		if err != nil {
+			s.watchMu.Unlock()
 			return 0, err
 		}
-		s.mu.Lock()
 		s.watchSessions[peer] = sess
-		s.mu.Unlock()
 	}
+	s.watchMu.Unlock()
 	if err := s.store.MarkNotify(ref); err != nil {
 		return 0, err
 	}
@@ -214,22 +213,24 @@ func (s *Service) validateForeign(c *cert.RMC, client ids.ClientID) ([]string, [
 		return nil, nil, credrec.Ref{}, s.fail(Revoked, "issuer %s reports certificate %v", c.Service, reply.State)
 	}
 
+	// extMu is held across the check and the surrogate's creation so
+	// concurrent validations of the same remote record share one
+	// surrogate rather than minting duplicates.
 	key := extKey{source: c.Service, ref: c.CRR.Uint64()}
-	s.mu.Lock()
+	s.extMu.Lock()
 	if s.extRecords == nil {
 		s.extRecords = make(map[extKey]credrec.Ref)
 	}
 	ext, exists := s.extRecords[key]
-	s.mu.Unlock()
 	if exists {
 		if _, lerr := s.store.Lookup(ext); lerr == nil {
+			s.extMu.Unlock()
 			return reply.Roles, reply.Types, ext, nil
 		}
 	}
 	ext = s.store.NewExternal(c.Service, reply.State)
-	s.mu.Lock()
 	s.extRecords[key] = ext
-	s.mu.Unlock()
+	s.extMu.Unlock()
 	// The synchronous validation proved the issuer alive just now; start
 	// the heartbeat liveness window from here.
 	s.receiver.ObserveSource(c.Service, s.clk.Now())
@@ -308,14 +309,14 @@ func (s *Service) Reconnect(source string) error {
 	// The remote reference for each local surrogate comes from the
 	// extRecords map: record name spaces are managed separately, so
 	// external identifiers must be mapped to internal ones (figure 4.8).
-	s.mu.Lock()
+	s.extMu.Lock()
 	pairs := make(map[credrec.Ref]credrec.Ref) // local -> remote
 	for k, local := range s.extRecords {
 		if k.source == source {
 			pairs[local] = credrec.RefFromUint64(k.ref)
 		}
 	}
-	s.mu.Unlock()
+	s.extMu.Unlock()
 	for local, remote := range pairs {
 		res, err := s.net.Call(s.name, source, "readstate", ReadStateArg{Ref: remote})
 		if err != nil {

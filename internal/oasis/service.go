@@ -48,6 +48,20 @@ type Options struct {
 }
 
 // Service is one OASIS service instance.
+//
+// The engine is read-mostly: the validation hot path (§4.2/§4.6) takes
+// no service lock at all — the signature check is lock-free, the
+// credential-record lookup takes one store shard read lock, and the
+// audit counters are atomics. State that changes rarely (installed
+// rolefiles, foreign type signatures) sits behind RWMutexes; mutable
+// bookkeeping is split into small independent leaf locks so issuance,
+// delegation and interworking contend only on what they actually touch.
+//
+// Lock order: each of rfMu, typeMu, watchMu, extMu, delegMu and a
+// rolefileState.mu is a leaf — no code path acquires one while holding
+// another. Store and broker locks may be acquired while holding a
+// service leaf lock, never the reverse (the store's change callbacks
+// fire with no store lock held).
 type Service struct {
 	name   string
 	clk    clock.Clock
@@ -60,16 +74,25 @@ type Service struct {
 	broker   *event.Broker
 	receiver *event.Receiver
 
-	mu        sync.Mutex
+	rfMu      sync.RWMutex // read-mostly: installed rolefiles
 	rolefiles map[string]*rolefileState
-	typeCache map[string][]value.Type // foreign role signatures
+
+	typeMu    sync.RWMutex            // read-mostly: foreign role signatures
+	typeCache map[string][]value.Type
+
 	// watch state: which peers watch which of our records
+	watchMu       sync.Mutex
 	watchSessions map[string]uint64 // peer -> broker session
+
 	// external-record surrogates for remote credential records (§4.9.1)
+	extMu      sync.Mutex
 	extRecords map[extKey]credrec.Ref
+
 	// delegation bookkeeping (server-side state per §4.4/§4.11)
+	delegMu     sync.Mutex
 	delegations map[credrec.Ref]*delegInfo
-	audit       Audit
+
+	audit auditCounters
 }
 
 // delegInfo is the server-side record of an outstanding delegation.
@@ -80,7 +103,9 @@ type delegInfo struct {
 	expiry     time.Time
 }
 
-// rolefileState is one loaded rolefile and its runtime indexes.
+// rolefileState is one loaded rolefile and its runtime indexes. The
+// parsed rolefile and type/role maps are immutable after installation;
+// only the revocation databases mutate, behind the state's own mutex.
 type rolefileState struct {
 	id      string
 	rf      *rdl.Rolefile
@@ -88,6 +113,7 @@ type rolefileState struct {
 	// per-rule resolved argument types
 	ruleTypes []*ruleTypes
 	// role-based revocation databases (§4.11)
+	mu        sync.Mutex
 	revocable map[string]roleRevEntry // role instance -> entry
 	revoked   map[string]bool         // revoked-forever role instances
 }
@@ -185,8 +211,8 @@ func (s *Service) AddRolefile(id, src string) error {
 		}
 		st.ruleTypes = append(st.ruleTypes, rt)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rfMu.Lock()
+	defer s.rfMu.Unlock()
 	if _, dup := s.rolefiles[id]; dup {
 		return fmt.Errorf("oasis: rolefile %q already installed", id)
 	}
@@ -235,17 +261,15 @@ func (s *Service) typesForRule(rf *rdl.Rolefile, rule *rdl.Rule) (*ruleTypes, er
 // foreign services and caching the result (§4.3's gettypes).
 func (s *Service) resolveTypes(service, rolefile, role string) ([]value.Type, error) {
 	if service == s.name || service == "" {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return s.localTypesLocked(rolefile, role)
+		return s.localTypes(rolefile, role)
 	}
 	key := service + "." + rolefile + "." + role
-	s.mu.Lock()
-	if ts, ok := s.typeCache[key]; ok {
-		s.mu.Unlock()
+	s.typeMu.RLock()
+	ts, ok := s.typeCache[key]
+	s.typeMu.RUnlock()
+	if ok {
 		return ts, nil
 	}
-	s.mu.Unlock()
 	if s.net == nil {
 		return nil, fmt.Errorf("oasis: no network to resolve %s", key)
 	}
@@ -253,17 +277,19 @@ func (s *Service) resolveTypes(service, rolefile, role string) ([]value.Type, er
 	if err != nil {
 		return nil, err
 	}
-	ts, ok := res.([]value.Type)
+	ts, ok = res.([]value.Type)
 	if !ok {
 		return nil, fmt.Errorf("oasis: bad gettypes reply from %s", service)
 	}
-	s.mu.Lock()
+	s.typeMu.Lock()
 	s.typeCache[key] = ts
-	s.mu.Unlock()
+	s.typeMu.Unlock()
 	return ts, nil
 }
 
-func (s *Service) localTypesLocked(rolefile, role string) ([]value.Type, error) {
+func (s *Service) localTypes(rolefile, role string) ([]value.Type, error) {
+	s.rfMu.RLock()
+	defer s.rfMu.RUnlock()
 	if rolefile == "" {
 		// Search all rolefiles; role names are usually unique per service.
 		for _, st := range s.rolefiles {
@@ -287,8 +313,8 @@ func (s *Service) localTypesLocked(rolefile, role string) ([]value.Type, error) 
 // rolefileFor returns the named rolefile state, defaulting to the sole
 // installed rolefile when id is empty.
 func (s *Service) rolefileFor(id string) (*rolefileState, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.rfMu.RLock()
+	defer s.rfMu.RUnlock()
 	if id == "" {
 		if len(s.rolefiles) == 1 {
 			for _, st := range s.rolefiles {

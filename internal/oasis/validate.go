@@ -2,6 +2,7 @@ package oasis
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"oasis/internal/cert"
 	"oasis/internal/credrec"
@@ -57,23 +58,37 @@ type Audit struct {
 	Revocation uint64
 }
 
+// auditCounters is the live, concurrently-updated form of Audit: plain
+// atomics, so the validation success path and AuditSnapshot never take
+// a lock (and never race — the seed serialised increments behind the
+// service mutex but still handed out copies mid-update).
+type auditCounters struct {
+	issued     atomic.Uint64
+	validated  atomic.Uint64
+	fraud      atomic.Uint64
+	errors     atomic.Uint64
+	revocation atomic.Uint64
+}
+
 // AuditSnapshot returns a copy of the audit counters.
 func (s *Service) AuditSnapshot() Audit {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.audit
+	return Audit{
+		Issued:     s.audit.issued.Load(),
+		Validated:  s.audit.validated.Load(),
+		FraudCount: s.audit.fraud.Load(),
+		ErrorCount: s.audit.errors.Load(),
+		Revocation: s.audit.revocation.Load(),
+	}
 }
 
 func (s *Service) countFailure(c FailureClass) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch c {
 	case Fraud:
-		s.audit.FraudCount++
+		s.audit.fraud.Add(1)
 	case Erroneous:
-		s.audit.ErrorCount++
+		s.audit.errors.Add(1)
 	case Revoked:
-		s.audit.Revocation++
+		s.audit.revocation.Add(1)
 	}
 }
 
@@ -117,9 +132,7 @@ func (s *Service) Validate(c *cert.RMC, caller ids.ClientID) error {
 		// be treated as revoked, §4.2 footnote).
 		return s.fail(Revoked, "credential record %v is %v", c.CRR, stateName(state, err))
 	}
-	s.mu.Lock()
-	s.audit.Validated++
-	s.mu.Unlock()
+	s.audit.validated.Add(1)
 	return nil
 }
 
