@@ -1,8 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench vet all
+.PHONY: build test race bench bench-notify vet ci all
 
 all: build vet test
+
+# ci is the gate a change must pass: build, vet, the full test suite,
+# then the race detector over every concurrency-sensitive package.
+ci: build vet test race
 
 build:
 	$(GO) build ./...
@@ -11,16 +15,23 @@ test:
 	$(GO) test ./...
 
 # The concurrency regression suite: the striped store, read-mostly
-# service engine, and signer pools are only meaningfully tested with
-# the race detector on.
+# service engine, sharded bus, and batched broker are only meaningfully
+# tested with the race detector on.
 race:
-	$(GO) test -race ./internal/oasis/... ./internal/credrec/... ./internal/cert/...
+	$(GO) test -race ./internal/bus/... ./internal/event/... \
+		./internal/oasis/... ./internal/credrec/... ./internal/cert/...
 
 # Serial benchmarks plus the parallel suite at 1, 4 and 8 threads
 # (bench_parallel_test.go); results feed EXPERIMENTS.md.
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 	$(GO) test -bench Parallel -benchmem -cpu 1,4,8 -run '^$$' .
+
+# The notification-plane suite (bench_notify_test.go): Modified-event
+# storms, heartbeat fan-out, and TCP bursts, batched and unbatched;
+# results feed EXPERIMENTS.md E28.
+bench-notify:
+	$(GO) test -bench 'Notify|Heartbeat' -benchmem -cpu 1,4,8 -run '^$$' .
 
 vet:
 	$(GO) vet ./...

@@ -7,13 +7,23 @@
 // This stands in for the ANSAware RPC runtime the dissertation used; the
 // behaviours that matter to the architecture — independent service
 // failure, message loss, delayed notification — are all reproducible.
+//
+// Concurrency: the peer/remote and link tables are read-mostly and sit
+// behind RWMutexes; the message counters are atomics (dedicated words
+// for the hot notify/heartbeat/dropped counts, a sharded map for the
+// per-op call counts); the delayed-notification queue is a min-heap
+// ordered by (due, seq) behind its own mutex. Lock order: every mutex
+// here is a leaf — no bus code path acquires one while holding another,
+// and endpoints are always invoked with no bus lock held.
 package bus
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
-	"sort"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/clock"
@@ -26,6 +36,15 @@ type Endpoint interface {
 	Call(from, op string, arg any) (any, error)
 	// Deliver receives an asynchronous event notification.
 	Deliver(n event.Notification)
+}
+
+// BatchEndpoint is an Endpoint that can accept a burst of notifications
+// in one call. The batch path (StartBatch/EndBatch) uses it when
+// available and falls back to per-note Deliver otherwise; notes arrive
+// in the same order either way.
+type BatchEndpoint interface {
+	Endpoint
+	DeliverBatch(notes []event.Notification)
 }
 
 // ErrUnreachable is returned for calls over a failed link or to an
@@ -42,41 +61,108 @@ func normKey(a, b string) linkKey {
 }
 
 type queued struct {
-	to  string
-	n   event.Notification
-	due time.Time
-	seq uint64
+	from string
+	to   string
+	n    event.Notification
+	due  time.Time
+	seq  uint64
+}
+
+// notifyHeap is a min-heap of delayed notifications ordered by
+// (due, seq): Flush pops due messages already sorted instead of
+// re-sorting the whole queue on every call.
+type notifyHeap []queued
+
+func (h notifyHeap) Len() int { return len(h) }
+func (h notifyHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h notifyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *notifyHeap) Push(x any)        { *h = append(*h, x.(queued)) }
+func (h *notifyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	*h = old[:n-1]
+	return q
+}
+
+// counterShards stripes the cold (string-keyed) message counters.
+const counterShards = 16
+
+type counterShard struct {
+	mu sync.RWMutex
+	m  map[string]*atomic.Int64
+}
+
+// CoalesceRule tells the batch path which notifications supersede
+// earlier ones on the same session. Key returns a non-empty coalescing
+// key for events that may coalesce (e.g. the record ref of a Modified
+// event) and "" for everything else; Sticky reports a terminal event
+// (permanently-false revocation) that later events with the same key
+// must never replace. The bus stays ignorant of event vocabularies —
+// the service layer installs the rule (§4.9.2).
+type CoalesceRule struct {
+	Key    func(ev event.Event) string
+	Sticky func(ev event.Event) bool
+}
+
+// batchState buffers one source's in-flight notification burst,
+// per destination in first-use order.
+type batchState struct {
+	depth  int
+	order  []string
+	byDest map[string][]event.Notification
 }
 
 // Network is an in-process message fabric with failure injection.
 type Network struct {
 	clk clock.Clock
 
-	mu      sync.Mutex
+	peersMu sync.RWMutex
 	peers   map[string]Endpoint
 	remotes map[string]remoteLink // names reachable over TCP (tcp.go)
-	down    map[linkKey]bool
-	delay   map[linkKey]time.Duration
-	queue   []queued
+
+	linkMu sync.RWMutex
+	down   map[linkKey]bool
+	delay  map[linkKey]time.Duration
+
+	queueMu sync.Mutex
+	queue   notifyHeap
 	nextSeq uint64
-	counts  map[string]int // message counters by kind
+
+	// Hot counters are dedicated atomics; everything else (per-op call
+	// counts) lives in the sharded map.
+	notifyCount    atomic.Int64
+	heartbeatCount atomic.Int64
+	droppedCount   atomic.Int64
+	counters       [counterShards]counterShard
+
+	coalesce atomic.Pointer[CoalesceRule]
+
+	activeBatches atomic.Int64 // fast "any batch open?" check for Send
+	batchMu       sync.Mutex
+	batches       map[string]*batchState
 }
 
 // NewNetwork creates a network over the given clock.
 func NewNetwork(clk clock.Clock) *Network {
 	return &Network{
-		clk:    clk,
-		peers:  make(map[string]Endpoint),
-		down:   make(map[linkKey]bool),
-		delay:  make(map[linkKey]time.Duration),
-		counts: make(map[string]int),
+		clk:     clk,
+		peers:   make(map[string]Endpoint),
+		down:    make(map[linkKey]bool),
+		delay:   make(map[linkKey]time.Duration),
+		batches: make(map[string]*batchState),
 	}
 }
 
 // Register attaches an endpoint under a unique name.
 func (n *Network) Register(name string, ep Endpoint) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
 	if _, dup := n.peers[name]; dup {
 		return fmt.Errorf("bus: name %q already registered", name)
 	}
@@ -86,8 +172,8 @@ func (n *Network) Register(name string, ep Endpoint) error {
 
 // SetDown fails or restores the (bidirectional) link between two peers.
 func (n *Network) SetDown(a, b string, down bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	n.down[normKey(a, b)] = down
 }
 
@@ -95,24 +181,36 @@ func (n *Network) SetDown(a, b string, down bool) {
 // applies to asynchronous notifications only (synchronous calls model a
 // blocking RPC).
 func (n *Network) SetDelay(a, b string, d time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.linkMu.Lock()
+	defer n.linkMu.Unlock()
 	n.delay[normKey(a, b)] = d
+}
+
+// SetCoalesceRule installs the batch-coalescing rule (see CoalesceRule).
+// Services sharing the network install the same rule; last write wins.
+func (n *Network) SetCoalesceRule(r CoalesceRule) {
+	n.coalesce.Store(&r)
+}
+
+// route resolves a destination name to a local endpoint or remote link.
+func (n *Network) route(to string) (Endpoint, remoteLink) {
+	n.peersMu.RLock()
+	defer n.peersMu.RUnlock()
+	return n.peers[to], n.remotes[to]
 }
 
 // Call performs a synchronous request from one peer to another; names
 // added with AddRemote are reached over their TCP link.
 func (n *Network) Call(from, to, op string, arg any) (any, error) {
-	n.mu.Lock()
-	ep, ok := n.peers[to]
-	remote := n.remotes[to]
+	ep, remote := n.route(to)
+	n.linkMu.RLock()
 	downNow := n.down[normKey(from, to)]
-	n.counts["call:"+op]++
-	n.mu.Unlock()
-	if downNow || (!ok && remote == nil) {
+	n.linkMu.RUnlock()
+	n.bump("call:" + op)
+	if downNow || (ep == nil && remote == nil) {
 		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
-	if !ok {
+	if ep == nil {
 		return remote.call(from, to, op, arg)
 	}
 	return ep.Call(from, op, arg)
@@ -120,89 +218,261 @@ func (n *Network) Call(from, to, op string, arg any) (any, error) {
 
 // Send delivers an event notification from one peer to another,
 // applying link failure (silent drop — exactly what heartbeats exist to
-// detect) and delay (queued until Flush past the due time).
+// detect) and delay (queued until Flush past the due time). While the
+// sender has a batch open (StartBatch), immediate deliveries are
+// buffered and flushed — coalesced — at EndBatch; link failure and
+// delay are still evaluated here, at send time.
 func (n *Network) Send(from, to string, note event.Notification) {
-	n.mu.Lock()
-	ep, ok := n.peers[to]
-	remote := n.remotes[to]
-	k := normKey(from, to)
-	n.counts["notify"]++
+	n.notifyCount.Add(1)
 	if note.Heartbeat {
-		n.counts["heartbeat"]++
+		n.heartbeatCount.Add(1)
 	}
-	if n.down[k] || (!ok && remote == nil) {
-		n.counts["dropped"]++
-		n.mu.Unlock()
+	ep, remote := n.route(to)
+	k := normKey(from, to)
+	n.linkMu.RLock()
+	downNow := n.down[k]
+	d := n.delay[k]
+	n.linkMu.RUnlock()
+	if downNow || (ep == nil && remote == nil) {
+		n.droppedCount.Add(1)
 		return
 	}
-	if !ok {
-		n.mu.Unlock()
+	if d > 0 {
+		n.queueMu.Lock()
+		n.nextSeq++
+		heap.Push(&n.queue, queued{from: from, to: to, n: note, due: n.clk.Now().Add(d), seq: n.nextSeq})
+		n.queueMu.Unlock()
+		return
+	}
+	if n.activeBatches.Load() > 0 && n.tryBuffer(from, to, note) {
+		return
+	}
+	if ep == nil {
 		remote.send(from, to, note)
 		return
 	}
-	if d := n.delay[k]; d > 0 {
-		n.nextSeq++
-		n.queue = append(n.queue, queued{to: to, n: note, due: n.clk.Now().Add(d), seq: n.nextSeq})
-		n.mu.Unlock()
-		return
-	}
-	n.mu.Unlock()
 	ep.Deliver(note)
 }
 
+// StartBatch opens (or nests into) a notification batch for the named
+// source: until the matching EndBatch, immediate sends from that source
+// are buffered per destination. Revocation cascades and heartbeat ticks
+// use this so a storm becomes one burst per destination instead of one
+// delivery per record (§4.9.2 at scale).
+func (n *Network) StartBatch(from string) {
+	n.batchMu.Lock()
+	st := n.batches[from]
+	if st == nil {
+		st = &batchState{byDest: make(map[string][]event.Notification)}
+		n.batches[from] = st
+		n.activeBatches.Add(1)
+	}
+	st.depth++
+	n.batchMu.Unlock()
+}
+
+// EndBatch closes the source's batch; when the outermost nesting level
+// closes, buffered notifications are coalesced per destination
+// (consecutive same-key events collapse, last writer wins, sticky
+// events are never replaced — see CoalesceRule) and delivered, via
+// DeliverBatch where the endpoint supports it.
+func (n *Network) EndBatch(from string) {
+	n.batchMu.Lock()
+	st := n.batches[from]
+	if st == nil {
+		n.batchMu.Unlock()
+		return
+	}
+	st.depth--
+	if st.depth > 0 {
+		n.batchMu.Unlock()
+		return
+	}
+	delete(n.batches, from)
+	n.activeBatches.Add(-1)
+	n.batchMu.Unlock()
+	rule := n.coalesce.Load()
+	for _, to := range st.order {
+		n.deliverBatch(from, to, coalesceNotes(rule, st.byDest[to]))
+	}
+}
+
+// tryBuffer appends the note to the sender's open batch, if any.
+func (n *Network) tryBuffer(from, to string, note event.Notification) bool {
+	n.batchMu.Lock()
+	st := n.batches[from]
+	if st == nil {
+		n.batchMu.Unlock()
+		return false
+	}
+	if _, seen := st.byDest[to]; !seen {
+		st.order = append(st.order, to)
+	}
+	st.byDest[to] = append(st.byDest[to], note)
+	n.batchMu.Unlock()
+	return true
+}
+
+// deliverBatch hands a coalesced burst to one destination.
+func (n *Network) deliverBatch(from, to string, notes []event.Notification) {
+	if len(notes) == 0 {
+		return
+	}
+	ep, remote := n.route(to)
+	switch {
+	case ep != nil:
+		if be, ok := ep.(BatchEndpoint); ok {
+			be.DeliverBatch(notes)
+			return
+		}
+		for _, note := range notes {
+			ep.Deliver(note)
+		}
+	case remote != nil:
+		remote.sendBatch(from, to, notes)
+	default:
+		// Destination vanished between Send and flush (e.g. CloseRemotes).
+		n.droppedCount.Add(int64(len(notes)))
+	}
+}
+
+// coalesceNotes collapses runs of superseded notifications per session:
+// a note merges into the session's previous note when they carry the
+// same coalescing key and contiguous sequence numbers. The survivor
+// keeps the later payload (last writer wins) unless the earlier one is
+// sticky (a permanent revocation), and always accounts the absorbed
+// sequence numbers in Coalesced so loss detection stays exact (§4.10).
+func coalesceNotes(rule *CoalesceRule, notes []event.Notification) []event.Notification {
+	if rule == nil || rule.Key == nil || len(notes) < 2 {
+		return notes
+	}
+	out := make([]event.Notification, 0, len(notes))
+	lastBySess := make(map[uint64]int)
+	for _, cur := range notes {
+		key := ""
+		if !cur.Heartbeat {
+			key = rule.Key(cur.Event)
+		}
+		if idx, ok := lastBySess[cur.SessionID]; ok && key != "" {
+			prev := &out[idx]
+			if !prev.Heartbeat && prev.Seq+1 == cur.Seq && rule.Key(prev.Event) == key {
+				if rule.Sticky == nil || !rule.Sticky(prev.Event) {
+					prev.Event = cur.Event
+					prev.RegID = cur.RegID
+				}
+				prev.Coalesced += 1 + cur.Coalesced
+				prev.Seq = cur.Seq
+				if cur.Horizon.After(prev.Horizon) {
+					prev.Horizon = cur.Horizon
+				}
+				continue
+			}
+		}
+		out = append(out, cur)
+		lastBySess[cur.SessionID] = len(out) - 1
+	}
+	return out
+}
+
 // Flush delivers every queued notification whose due time has passed, in
-// due-time order. Simulations call this after advancing the clock.
+// (due, seq) order. Simulations call this after advancing the clock. A
+// due notification whose destination is no longer routable counts as
+// dropped, not delivered.
 func (n *Network) Flush() int {
-	n.mu.Lock()
 	now := n.clk.Now()
-	var due, rest []queued
-	for _, q := range n.queue {
-		if !q.due.After(now) {
-			due = append(due, q)
-		} else {
-			rest = append(rest, q)
+	var due []queued
+	n.queueMu.Lock()
+	for len(n.queue) > 0 && !n.queue[0].due.After(now) {
+		due = append(due, heap.Pop(&n.queue).(queued))
+	}
+	n.queueMu.Unlock()
+	delivered := 0
+	for _, q := range due {
+		ep, remote := n.route(q.to)
+		switch {
+		case ep != nil:
+			ep.Deliver(q.n)
+			delivered++
+		case remote != nil:
+			remote.send(q.from, q.to, q.n)
+			delivered++
+		default:
+			n.droppedCount.Add(1)
 		}
 	}
-	n.queue = rest
-	sort.Slice(due, func(i, j int) bool {
-		if !due[i].due.Equal(due[j].due) {
-			return due[i].due.Before(due[j].due)
-		}
-		return due[i].seq < due[j].seq
-	})
-	eps := make([]Endpoint, len(due))
-	for i, q := range due {
-		eps[i] = n.peers[q.to]
-	}
-	n.mu.Unlock()
-	for i, q := range due {
-		if eps[i] != nil {
-			eps[i].Deliver(q.n)
-		}
-	}
-	return len(due)
+	return delivered
 }
 
 // Pending reports queued (delayed) notifications not yet delivered.
 func (n *Network) Pending() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.queueMu.Lock()
+	defer n.queueMu.Unlock()
 	return len(n.queue)
+}
+
+func (n *Network) counterShardFor(kind string) *counterShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(kind))
+	return &n.counters[h.Sum32()%counterShards]
+}
+
+// bump increments a cold (string-keyed) counter.
+func (n *Network) bump(kind string) {
+	sh := n.counterShardFor(kind)
+	sh.mu.RLock()
+	c := sh.m[kind]
+	sh.mu.RUnlock()
+	if c == nil {
+		sh.mu.Lock()
+		if sh.m == nil {
+			sh.m = make(map[string]*atomic.Int64)
+		}
+		if c = sh.m[kind]; c == nil {
+			c = new(atomic.Int64)
+			sh.m[kind] = c
+		}
+		sh.mu.Unlock()
+	}
+	c.Add(1)
 }
 
 // Count reports a message counter ("call:<op>", "notify", "heartbeat",
 // "dropped"). The background-traffic experiment (E6) reads these.
 func (n *Network) Count(kind string) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.counts[kind]
+	switch kind {
+	case "notify":
+		return int(n.notifyCount.Load())
+	case "heartbeat":
+		return int(n.heartbeatCount.Load())
+	case "dropped":
+		return int(n.droppedCount.Load())
+	}
+	sh := n.counterShardFor(kind)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if c := sh.m[kind]; c != nil {
+		return int(c.Load())
+	}
+	return 0
 }
 
 // ResetCounts zeroes the message counters.
 func (n *Network) ResetCounts() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.counts = make(map[string]int)
+	n.notifyCount.Store(0)
+	n.heartbeatCount.Store(0)
+	n.droppedCount.Store(0)
+	for i := range n.counters {
+		sh := &n.counters[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
+}
+
+// dropNote counts a notification lost in transport (tcp.go's encode
+// failures report through here so heartbeat loss detection sees them).
+func (n *Network) dropNote(count int) {
+	n.droppedCount.Add(int64(count))
 }
 
 // Sink returns an event.Sink that sends notifications from `from` to

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -21,6 +22,18 @@ import (
 // and asynchronous notifications. Call/Send payloads must have their
 // concrete types gob-registered by the owning packages (see
 // oasis.RegisterWireTypes).
+//
+// Every encoder writes through a bufio.Writer that is flushed once per
+// logical message — or once per burst on the batch path — so a
+// revocation storm costs a handful of write syscalls instead of one
+// per record. A failed encode or flush is never silent: the
+// notification counts as dropped on the home network (heartbeat loss
+// detection then sees the gap, §4.10) and the connection is torn down
+// so the next use reconnects.
+
+// wireBufSize is the write-buffer size per TCP link; notification
+// messages are a few hundred bytes, so one buffer holds a large burst.
+const wireBufSize = 32 << 10
 
 type wireMsg struct {
 	Kind  string // "call", "reply", "notify"
@@ -38,6 +51,7 @@ type wireMsg struct {
 type remoteLink interface {
 	call(from, to, op string, arg any) (any, error)
 	send(from, to string, note event.Notification)
+	sendBatch(from, to string, notes []event.Notification)
 }
 
 // backchannel is a notify-only route back to a peer that dialled us:
@@ -45,8 +59,11 @@ type remoteLink interface {
 // the same TCP connection its calls came up on, so a dialling service
 // needs no listener of its own.
 type backchannel struct {
-	mu  *sync.Mutex
-	enc *gob.Encoder
+	net  *Network // counts drops on encode failure
+	mu   *sync.Mutex
+	w    *bufio.Writer
+	enc  *gob.Encoder
+	dead bool // encode failed; the dialling peer must reconnect
 }
 
 func (b *backchannel) call(from, to, op string, arg any) (any, error) {
@@ -54,9 +71,29 @@ func (b *backchannel) call(from, to, op string, arg any) (any, error) {
 }
 
 func (b *backchannel) send(from, to string, note event.Notification) {
+	b.sendBatch(from, to, []event.Notification{note})
+}
+
+func (b *backchannel) sendBatch(from, to string, notes []event.Notification) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	_ = b.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note})
+	if b.dead {
+		b.net.dropNote(len(notes))
+		return
+	}
+	for i, note := range notes {
+		if err := b.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note}); err != nil {
+			// The rest of the burst is lost with this one; the peer's
+			// read loop will observe the broken stream and re-dial.
+			b.dead = true
+			b.net.dropNote(len(notes) - i)
+			return
+		}
+	}
+	if err := b.w.Flush(); err != nil {
+		b.dead = true
+		b.net.dropNote(len(notes))
+	}
 }
 
 // remotePeer is the client side of a TCP link to another Network.
@@ -66,7 +103,9 @@ type remotePeer struct {
 
 	mu      sync.Mutex
 	conn    net.Conn
+	w       *bufio.Writer
 	enc     *gob.Encoder
+	closed  bool // CloseRemotes: no reconnection
 	nextSeq uint64
 	waiting map[uint64]chan wireMsg
 }
@@ -96,18 +135,19 @@ func (n *Network) ServeTCP(ln net.Listener) error {
 func (n *Network) serveConn(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	w := bufio.NewWriterSize(conn, wireBufSize)
+	enc := gob.NewEncoder(w)
 	var encMu sync.Mutex
 	var backNames []string
 	defer func() {
 		// Drop back-channels routed over this connection.
-		n.mu.Lock()
+		n.peersMu.Lock()
 		for _, name := range backNames {
 			if bc, ok := n.remotes[name].(*backchannel); ok && bc.enc == enc {
 				delete(n.remotes, name)
 			}
 		}
-		n.mu.Unlock()
+		n.peersMu.Unlock()
 	}()
 	for {
 		var msg wireMsg
@@ -117,17 +157,17 @@ func (n *Network) serveConn(conn net.Conn) {
 		// The caller is reachable for notifications over this very
 		// connection; remember that unless it is already known.
 		if msg.From != "" {
-			n.mu.Lock()
+			n.peersMu.Lock()
 			_, local := n.peers[msg.From]
 			_, known := n.remotes[msg.From]
 			if !local && !known {
 				if n.remotes == nil {
 					n.remotes = make(map[string]remoteLink)
 				}
-				n.remotes[msg.From] = &backchannel{mu: &encMu, enc: enc}
+				n.remotes[msg.From] = &backchannel{net: n, mu: &encMu, w: w, enc: enc}
 				backNames = append(backNames, msg.From)
 			}
-			n.mu.Unlock()
+			n.peersMu.Unlock()
 		}
 		switch msg.Kind {
 		case "call":
@@ -138,7 +178,9 @@ func (n *Network) serveConn(conn net.Conn) {
 					reply.Err = err.Error()
 				}
 				encMu.Lock()
-				_ = enc.Encode(reply)
+				if err := enc.Encode(reply); err == nil {
+					_ = w.Flush()
+				}
 				encMu.Unlock()
 			}(msg)
 		case "notify":
@@ -152,11 +194,14 @@ func (n *Network) serveConn(conn net.Conn) {
 // must be serving (ServeTCP) and have the name registered.
 func (n *Network) AddRemote(name, addr string) error {
 	p := &remotePeer{addr: addr, home: n, waiting: make(map[uint64]chan wireMsg)}
-	if err := p.connect(); err != nil {
+	p.mu.Lock()
+	err := p.connectLocked()
+	p.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
 	if _, dup := n.peers[name]; dup {
 		return fmt.Errorf("bus: name %q already registered", name)
 	}
@@ -169,32 +214,57 @@ func (n *Network) AddRemote(name, addr string) error {
 
 // CloseRemotes shuts down outgoing TCP links.
 func (n *Network) CloseRemotes() {
-	n.mu.Lock()
+	n.peersMu.Lock()
 	remotes := n.remotes
 	n.remotes = nil
-	n.mu.Unlock()
+	n.peersMu.Unlock()
 	for _, link := range remotes {
 		if p, ok := link.(*remotePeer); ok {
 			p.mu.Lock()
+			p.closed = true
 			if p.conn != nil {
 				_ = p.conn.Close()
+				p.conn = nil
 			}
 			p.mu.Unlock()
 		}
 	}
 }
 
-func (p *remotePeer) connect() error {
+// connectLocked dials the peer and installs the buffered encoder;
+// caller holds p.mu.
+func (p *remotePeer) connectLocked() error {
 	conn, err := net.Dial("tcp", p.addr)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
 	p.conn = conn
-	p.enc = gob.NewEncoder(conn)
-	p.mu.Unlock()
+	p.w = bufio.NewWriterSize(conn, wireBufSize)
+	p.enc = gob.NewEncoder(p.w)
 	go p.readLoop(conn)
 	return nil
+}
+
+// ensureConnLocked reconnects a link marked broken by an earlier encode
+// failure; caller holds p.mu.
+func (p *remotePeer) ensureConnLocked() error {
+	if p.conn != nil {
+		return nil
+	}
+	if p.closed {
+		return fmt.Errorf("bus: link closed")
+	}
+	return p.connectLocked()
+}
+
+// breakLocked tears the connection down after a wire error so the next
+// use reconnects; caller holds p.mu. Outstanding calls are failed by
+// the read loop when the close surfaces there.
+func (p *remotePeer) breakLocked() {
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
 }
 
 func (p *remotePeer) readLoop(conn net.Conn) {
@@ -234,22 +304,25 @@ func (p *remotePeer) readLoop(conn net.Conn) {
 
 func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 	p.mu.Lock()
-	if p.conn == nil {
+	if err := p.ensureConnLocked(); err != nil {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s (link closed)", ErrUnreachable, to)
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
 	p.nextSeq++
 	seq := p.nextSeq
 	ch := make(chan wireMsg, 1)
 	p.waiting[seq] = ch
 	err := p.enc.Encode(wireMsg{Kind: "call", Seq: seq, From: from, To: to, Op: op, Arg: arg})
-	p.mu.Unlock()
+	if err == nil {
+		err = p.w.Flush()
+	}
 	if err != nil {
-		p.mu.Lock()
 		delete(p.waiting, seq)
+		p.breakLocked()
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
 	}
+	p.mu.Unlock()
 	reply := <-ch
 	if reply.Err != "" {
 		return nil, errors.New(reply.Err)
@@ -261,10 +334,29 @@ func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 }
 
 func (p *remotePeer) send(from, to string, note event.Notification) {
+	p.sendBatch(from, to, []event.Notification{note})
+}
+
+// sendBatch encodes a notification burst and flushes the socket once.
+// A failed encode loses the tail of the burst: each lost notification
+// counts as dropped and the link is marked for reconnection, so the
+// failure is visible to heartbeat loss detection rather than silent.
+func (p *remotePeer) sendBatch(from, to string, notes []event.Notification) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.conn == nil {
+	if err := p.ensureConnLocked(); err != nil {
+		p.home.dropNote(len(notes))
 		return
 	}
-	_ = p.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note})
+	for i, note := range notes {
+		if err := p.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note}); err != nil {
+			p.home.dropNote(len(notes) - i)
+			p.breakLocked()
+			return
+		}
+	}
+	if err := p.w.Flush(); err != nil {
+		p.home.dropNote(len(notes))
+		p.breakLocked()
+	}
 }

@@ -22,6 +22,12 @@ type Notification struct {
 	RegID     uint64 // registration that matched (0 for heartbeats)
 	Event     Event
 	Horizon   time.Time
+	// Coalesced counts earlier notifications on this session that this
+	// one subsumes: a batching transport that collapses a run of
+	// superseded notifications (bus.CoalesceRule) reports the collapsed
+	// run here, so sequence numbers (Seq-Coalesced .. Seq) all count as
+	// received and loss detection (§4.10) stays exact.
+	Coalesced uint64
 }
 
 // Sink receives notifications on behalf of a client. Delivery transports
@@ -74,16 +80,26 @@ type registration struct {
 	id       uint64
 	session  uint64
 	template Template
-	pre      bool // pre-registration: buffer, do not notify (§6.8.1)
+	pre      bool   // pre-registration: buffer, do not notify (§6.8.1)
+	key      string // current index key (maintained under Broker.mu)
 }
 
+// session is one client's delivery stream. The broker-wide lock guards
+// only the session table; per-stream state (sequence numbers, resend
+// buffer, outbound queue) sits behind the session's own mutex so that
+// concurrent Signal and Heartbeat calls serialise per session, not per
+// broker.
 type session struct {
 	id          uint64
 	sink        Sink
 	credentials any
-	nextSeq     uint64
-	unacked     []Notification // kept until acknowledged, for resend
-	closed      bool
+
+	mu       sync.Mutex
+	nextSeq  uint64
+	unacked  []Notification // kept until acknowledged, for resend
+	outbox   []Notification // prepared, not yet handed to the sink
+	draining bool           // a goroutine is flushing outbox in order
+	closed   bool
 }
 
 type buffered struct {
@@ -94,18 +110,35 @@ type buffered struct {
 // Broker is the server-side event library of figure 6.1: it keeps a
 // database of registrations, matches signalled events against them
 // without knowing concrete event types, and notifies interested clients.
+//
+// Concurrency: the registration/session tables are read-mostly and sit
+// behind an RWMutex; Signal and Heartbeat take only the read lock to
+// snapshot their targets and deliver outside it. Event stamps and the
+// source sequence live behind their own small mutex, and per-session
+// sequence numbers are assigned under the session lock with delivery
+// draining in assignment order, preserving the §4.10 loss-detection
+// contract. Registrations are indexed by event name — and, when the
+// template's first parameter is a literal, by (name, literal) — so
+// Signal matches only candidate registrations instead of scanning the
+// whole database.
+//
+// Lock order: Broker.mu before session.mu before nothing; stampMu is a
+// leaf. Sinks are always invoked with no broker or session lock held.
 type Broker struct {
 	name string
 	clk  clock.Clock
 	opts BrokerOptions
 
-	mu        sync.Mutex
-	sessions  map[uint64]*session
-	regs      map[uint64]*registration
-	nextSess  uint64
-	nextReg   uint64
+	mu       sync.RWMutex
+	sessions map[uint64]*session
+	regs     map[uint64]*registration
+	index    map[string]map[uint64]*registration // indexKey -> regs
+	nextSess uint64
+	nextReg  uint64
+	buffer   []buffered // recent occurrences for retrospective registration
+
+	stampMu   sync.Mutex // guards eventSeq and lastStamp
 	eventSeq  uint64
-	buffer    []buffered // recent occurrences for retrospective registration
 	lastStamp time.Time
 }
 
@@ -126,11 +159,48 @@ func NewBroker(name string, clk clock.Clock, opts BrokerOptions) *Broker {
 		opts:     opts,
 		sessions: make(map[uint64]*session),
 		regs:     make(map[uint64]*registration),
+		index:    make(map[string]map[uint64]*registration),
 	}
 }
 
 // Name returns the broker's service-instance name.
 func (b *Broker) Name() string { return b.name }
+
+// indexKey computes the index bucket for a template: the event name,
+// refined by the first parameter when it is a literal (the shape of the
+// §4.9.2 Modified templates, which are literal in the record ref). Two
+// values that render equally share a bucket; Template.Matches still
+// decides, so collisions cost a comparison, never a missed match.
+func indexKey(t Template) string {
+	if len(t.Params) > 0 {
+		p := t.Params[0]
+		if !p.Wild && p.Var == "" {
+			return t.Name + "\x00" + p.Lit.String()
+		}
+	}
+	return t.Name
+}
+
+// indexAddLocked and indexRemoveLocked maintain the candidate index;
+// caller holds b.mu for writing.
+func (b *Broker) indexAddLocked(r *registration) {
+	r.key = indexKey(r.template)
+	bucket := b.index[r.key]
+	if bucket == nil {
+		bucket = make(map[uint64]*registration)
+		b.index[r.key] = bucket
+	}
+	bucket[r.id] = r
+}
+
+func (b *Broker) indexRemoveLocked(r *registration) {
+	if bucket, ok := b.index[r.key]; ok {
+		delete(bucket, r.id)
+		if len(bucket) == 0 {
+			delete(b.index, r.key)
+		}
+	}
+}
 
 // OpenSession establishes a client session, applying admission control to
 // the supplied credentials (§6.2.2). It returns the session identifier.
@@ -150,18 +220,22 @@ func (b *Broker) OpenSession(sink Sink, credentials any) (uint64, error) {
 // CloseSession ends a session and drops its registrations.
 func (b *Broker) CloseSession(id uint64) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	s, ok := b.sessions[id]
 	if !ok {
+		b.mu.Unlock()
 		return ErrNoSession
 	}
-	s.closed = true
 	delete(b.sessions, id)
 	for rid, r := range b.regs {
 		if r.session == id {
+			b.indexRemoveLocked(r)
 			delete(b.regs, rid)
 		}
 	}
+	b.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 	return nil
 }
 
@@ -185,7 +259,9 @@ func (b *Broker) register(sess uint64, t Template, pre bool) (uint64, error) {
 		return 0, ErrNoSession
 	}
 	b.nextReg++
-	b.regs[b.nextReg] = &registration{id: b.nextReg, session: sess, template: t, pre: pre}
+	r := &registration{id: b.nextReg, session: sess, template: t, pre: pre}
+	b.regs[b.nextReg] = r
+	b.indexAddLocked(r)
 	return b.nextReg, nil
 }
 
@@ -199,7 +275,9 @@ func (b *Broker) Narrow(regID uint64, t Template) error {
 	if !ok {
 		return fmt.Errorf("event: no registration %d", regID)
 	}
+	b.indexRemoveLocked(r)
 	r.template = t
+	b.indexAddLocked(r)
 	return nil
 }
 
@@ -219,19 +297,23 @@ func (b *Broker) RetroRegister(regID uint64, t Template, since time.Time) error 
 		b.mu.Unlock()
 		return fmt.Errorf("event: registration %d is not a pre-registration", regID)
 	}
+	b.indexRemoveLocked(r)
 	r.template = t
+	b.indexAddLocked(r)
 	r.pre = false
 	s := b.sessions[r.session]
-	var pending []Notification
-	for _, buf := range b.buffer {
-		if buf.ev.Time.After(since) && t.Matches(buf.ev) && b.visible(s, buf.ev) {
-			pending = append(pending, b.prepareLocked(s, r.id, buf.ev, false))
+	var replay []Event
+	if s != nil {
+		for _, buf := range b.buffer {
+			if buf.ev.Time.After(since) && t.Matches(buf.ev) && b.visible(s, buf.ev) {
+				replay = append(replay, buf.ev)
+			}
 		}
 	}
-	sink := s.sink
 	b.mu.Unlock()
-	for _, n := range pending {
-		sink.Deliver(n)
+	horizon := b.horizon()
+	for _, ev := range replay {
+		b.notify(s, r.id, ev, false, horizon)
 	}
 	return nil
 }
@@ -240,7 +322,10 @@ func (b *Broker) RetroRegister(regID uint64, t Template, since time.Time) error 
 func (b *Broker) Deregister(regID uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	delete(b.regs, regID)
+	if r, ok := b.regs[regID]; ok {
+		b.indexRemoveLocked(r)
+		delete(b.regs, regID)
+	}
 }
 
 func (b *Broker) visible(s *session, ev Event) bool {
@@ -250,8 +335,16 @@ func (b *Broker) visible(s *session, ev Event) bool {
 	return b.opts.Visibility(s.id, s.credentials, ev)
 }
 
-// prepareLocked builds a notification and records it as unacknowledged.
-func (b *Broker) prepareLocked(s *session, regID uint64, ev Event, hb bool) Notification {
+// notify assigns the next per-session sequence number, records the
+// notification for resend, and drains the session's outbox in order.
+// Per-session delivery order therefore always equals sequence order,
+// even with concurrent signallers; the sink runs with no lock held.
+func (b *Broker) notify(s *session, regID uint64, ev Event, hb bool, horizon time.Time) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
 	s.nextSeq++
 	n := Notification{
 		Source:    b.name,
@@ -260,30 +353,75 @@ func (b *Broker) prepareLocked(s *session, regID uint64, ev Event, hb bool) Noti
 		Heartbeat: hb,
 		RegID:     regID,
 		Event:     ev,
-		Horizon:   b.horizonLocked(),
+		Horizon:   horizon,
 	}
 	s.unacked = append(s.unacked, n)
-	return n
+	if !s.draining && len(s.outbox) == 0 {
+		// Uncontended fast path: nothing queued and nobody delivering, so
+		// this notification can go straight to the sink — no outbox
+		// append. Concurrent notifiers see draining set and queue behind
+		// us, preserving sequence order.
+		s.draining = true
+		sink := s.sink
+		s.mu.Unlock()
+		sink.Deliver(n)
+		s.mu.Lock()
+		s.draining = false
+		if len(s.outbox) > 0 {
+			b.drainLocked(s)
+			return
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.outbox = append(s.outbox, n)
+	b.drainLocked(s)
 }
 
-// horizonLocked returns the broker's event-horizon timestamp: a lower
-// bound on timestamps of future notifications. Events are stamped with a
-// monotone clock reading, so the last stamp is such a bound.
-func (b *Broker) horizonLocked() time.Time {
+// drainLocked flushes s.outbox to the sink in order. Called with s.mu
+// held; returns with it released. Only one goroutine drains at a time;
+// others append and leave, so delivery order matches preparation order.
+func (b *Broker) drainLocked(s *session) {
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	for len(s.outbox) > 0 {
+		batch := s.outbox
+		s.outbox = nil
+		sink := s.sink
+		s.mu.Unlock()
+		for _, n := range batch {
+			sink.Deliver(n)
+		}
+		s.mu.Lock()
+	}
+	s.draining = false
+	s.mu.Unlock()
+}
+
+// horizon returns the broker's event-horizon timestamp: a lower bound on
+// timestamps of future notifications. Events are stamped with a monotone
+// clock reading, so the last stamp is such a bound.
+func (b *Broker) horizon() time.Time {
 	now := b.clk.Now()
-	if now.After(b.lastStamp) {
+	b.stampMu.Lock()
+	last := b.lastStamp
+	b.stampMu.Unlock()
+	if now.After(last) {
 		return now
 	}
-	return b.lastStamp
+	return last
 }
 
 // Signal stamps and signals an event: it is buffered for matching
 // pre-registrations and delivered to every live registration whose
 // template matches and whose session may see it.
 func (b *Broker) Signal(ev Event) Event {
-	b.mu.Lock()
 	ev.Source = b.name
 	now := b.clk.Now()
+	b.stampMu.Lock()
 	if !now.After(b.lastStamp) {
 		// Guarantee monotone per-source stamps so horizons are honest.
 		now = b.lastStamp.Add(time.Nanosecond)
@@ -292,15 +430,16 @@ func (b *Broker) Signal(ev Event) Event {
 	ev.Time = now
 	b.eventSeq++
 	ev.Seq = b.eventSeq
-	return b.dispatchLocked(ev)
+	b.stampMu.Unlock()
+	return b.dispatch(ev)
 }
 
 // SignalAt signals an event with an explicit occurrence time, used by
 // sources (such as badge sensors) that timestamp at detection. Stamps
 // must be monotone per source; non-monotone stamps are nudged forward.
 func (b *Broker) SignalAt(ev Event, at time.Time) Event {
-	b.mu.Lock()
 	ev.Source = b.name
+	b.stampMu.Lock()
 	if !at.After(b.lastStamp) {
 		at = b.lastStamp.Add(time.Nanosecond)
 	}
@@ -308,42 +447,56 @@ func (b *Broker) SignalAt(ev Event, at time.Time) Event {
 	ev.Time = at
 	b.eventSeq++
 	ev.Seq = b.eventSeq
-	return b.dispatchLocked(ev)
+	b.stampMu.Unlock()
+	return b.dispatch(ev)
 }
 
-func (b *Broker) dispatchLocked(ev Event) Event {
-	// Buffer for retrospective registration if any pre-registration
-	// matches, trimming by age and count (§6.8.1).
+// dispatch matches the stamped event against candidate registrations
+// (by name, and by name+first-literal when the event has arguments) and
+// notifies every interested live session. Matching runs under the read
+// lock; delivery runs outside it.
+func (b *Broker) dispatch(ev Event) Event {
+	type target struct {
+		s     *session
+		regID uint64
+	}
+	var targets []target
 	shouldBuffer := false
-	for _, r := range b.regs {
-		if r.pre && r.template.Matches(ev) {
-			shouldBuffer = true
-			break
+	scan := func(bucket map[uint64]*registration) {
+		for _, r := range bucket {
+			if !r.template.Matches(ev) {
+				continue
+			}
+			if r.pre {
+				shouldBuffer = true
+				continue
+			}
+			s, ok := b.sessions[r.session]
+			if !ok || !b.visible(s, ev) {
+				continue
+			}
+			targets = append(targets, target{s, r.id})
 		}
 	}
+	b.mu.RLock()
+	scan(b.index[ev.Name])
+	if len(ev.Args) > 0 {
+		scan(b.index[ev.Name+"\x00"+ev.Args[0].String()])
+	}
+	b.mu.RUnlock()
+
 	if shouldBuffer {
+		// Buffer for retrospective registration, trimming by age and
+		// count (§6.8.1). Rare path: takes the write lock.
+		b.mu.Lock()
 		b.buffer = append(b.buffer, buffered{ev: ev, added: ev.Time})
 		b.trimBufferLocked(ev.Time)
+		b.mu.Unlock()
 	}
 
-	type delivery struct {
-		sink Sink
-		n    Notification
-	}
-	var out []delivery
-	for _, r := range b.regs {
-		if r.pre || !r.template.Matches(ev) {
-			continue
-		}
-		s, ok := b.sessions[r.session]
-		if !ok || !b.visible(s, ev) {
-			continue
-		}
-		out = append(out, delivery{s.sink, b.prepareLocked(s, r.id, ev, false)})
-	}
-	b.mu.Unlock()
-	for _, d := range out {
-		d.sink.Deliver(d.n)
+	horizon := b.horizon()
+	for _, t := range targets {
+		b.notify(t.s, t.regID, ev, false, horizon)
 	}
 	return ev
 }
@@ -364,32 +517,33 @@ func (b *Broker) trimBufferLocked(now time.Time) {
 
 // Heartbeat asserts the broker's liveness to every open session: each
 // receives a heartbeat notification carrying the current event horizon
-// (§4.10). The owner calls this every t seconds (or wires it to a timer).
+// (§4.10). The owner calls this every t seconds (or wires it to a
+// timer). Sessions are snapshotted under the read lock and notified
+// outside it, so a slow sink never stalls registration traffic.
 func (b *Broker) Heartbeat() {
-	b.mu.Lock()
-	type delivery struct {
-		sink Sink
-		n    Notification
-	}
-	out := make([]delivery, 0, len(b.sessions))
+	b.mu.RLock()
+	sessions := make([]*session, 0, len(b.sessions))
 	for _, s := range b.sessions {
-		out = append(out, delivery{s.sink, b.prepareLocked(s, 0, Event{}, true)})
+		sessions = append(sessions, s)
 	}
-	b.mu.Unlock()
-	for _, d := range out {
-		d.sink.Deliver(d.n)
+	b.mu.RUnlock()
+	horizon := b.horizon()
+	for _, s := range sessions {
+		b.notify(s, 0, Event{}, true, horizon)
 	}
 }
 
 // Ack acknowledges receipt of every notification up to and including seq
 // on the session, letting the broker delete resend state (§4.10).
 func (b *Broker) Ack(sess, seq uint64) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
 	s, ok := b.sessions[sess]
+	b.mu.RUnlock()
 	if !ok {
 		return ErrNoSession
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	i := 0
 	for i < len(s.unacked) && s.unacked[i].Seq <= seq {
 		i++
@@ -400,46 +554,51 @@ func (b *Broker) Ack(sess, seq uint64) error {
 
 // Resend redelivers every unacknowledged notification on the session;
 // the broker does this when the client reports a gap or reconnects.
+// Resent notifications flow through the session outbox, so they never
+// interleave out of order with live traffic.
 func (b *Broker) Resend(sess uint64) error {
-	b.mu.Lock()
+	b.mu.RLock()
 	s, ok := b.sessions[sess]
+	b.mu.RUnlock()
 	if !ok {
-		b.mu.Unlock()
 		return ErrNoSession
 	}
-	pending := append([]Notification(nil), s.unacked...)
-	sink := s.sink
-	b.mu.Unlock()
-	for _, n := range pending {
-		sink.Deliver(n)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrNoSession
 	}
+	s.outbox = append(s.outbox, s.unacked...)
+	b.drainLocked(s)
 	return nil
 }
 
 // UnackedCount reports resend state held for a session (for tests and
 // the background-traffic experiment E6).
 func (b *Broker) UnackedCount(sess uint64) int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
 	s, ok := b.sessions[sess]
+	b.mu.RUnlock()
 	if !ok {
 		return 0
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.unacked)
 }
 
 // SessionCount reports the number of open sessions.
 func (b *Broker) SessionCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.sessions)
 }
 
 // BufferedCount reports the number of occurrences held for retrospective
 // registration.
 func (b *Broker) BufferedCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	b.mu.RLock()
+	defer b.mu.RUnlock()
 	return len(b.buffer)
 }
 
@@ -456,7 +615,9 @@ func (b *Broker) RegisterAndQuery(sess uint64, t Template, query func() []Event)
 	}
 	b.nextReg++
 	id := b.nextReg
-	b.regs[id] = &registration{id: id, session: sess, template: t}
+	r := &registration{id: id, session: sess, template: t}
+	b.regs[id] = r
+	b.indexAddLocked(r)
 	existing := query()
 	b.mu.Unlock()
 	return id, existing, nil

@@ -81,7 +81,10 @@ func srcKey(source string, regID uint64) string {
 func (r *Receiver) Deliver(n Notification) {
 	r.mu.Lock()
 	gap := false
-	if last, ok := r.lastSeq[n.SessionID]; ok && n.Seq > last+1 {
+	// A coalescing transport collapses a run of superseded notifications
+	// into one, reporting the collapsed count; sequence numbers
+	// (Seq-Coalesced .. Seq) all count as received (§4.10).
+	if last, ok := r.lastSeq[n.SessionID]; ok && n.Seq > last+1+n.Coalesced {
 		gap = true
 	}
 	if n.Seq > r.lastSeq[n.SessionID] {

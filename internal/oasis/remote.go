@@ -88,7 +88,53 @@ func (s *Service) Call(from, op string, arg any) (any, error) {
 // service's receiver library.
 func (s *Service) Deliver(n event.Notification) { s.receiver.Deliver(n) }
 
+// DeliverBatch implements bus.BatchEndpoint: a notification burst (a
+// peer's revocation storm) is applied under our own outbound batch, so
+// any Modified events it triggers on records derived from the affected
+// surrogates fan out downstream as one burst per watcher too.
+func (s *Service) DeliverBatch(notes []event.Notification) {
+	_ = s.batchNotify(func() error {
+		for _, n := range notes {
+			s.receiver.Deliver(n)
+		}
+		return nil
+	})
+}
+
 var _ bus.Endpoint = (*Service)(nil)
+var _ bus.BatchEndpoint = (*Service)(nil)
+
+// modifiedCoalesceRule teaches the bus batch path the Modified-event
+// vocabulary (§4.9.2): events for the same record ref supersede each
+// other (last writer wins), except a permanent False — revocation is
+// forever (§4.6) — which later events must never replace.
+var modifiedCoalesceRule = bus.CoalesceRule{
+	Key: func(ev event.Event) string {
+		if ev.Name != ModifiedEvent || len(ev.Args) != 3 {
+			return ""
+		}
+		return ev.Args[0].S
+	},
+	Sticky: func(ev event.Event) bool {
+		if ev.Name != ModifiedEvent || len(ev.Args) != 3 {
+			return false
+		}
+		return credrec.State(ev.Args[1].I) == credrec.False && ev.Args[2].I != 0
+	},
+}
+
+// batchNotify runs fn with a notification batch open on the network:
+// every Modified event and heartbeat signalled inside is buffered and
+// flushed as one coalesced burst per destination when fn returns.
+// Revocation cascades and heartbeat ticks route through here.
+func (s *Service) batchNotify(fn func() error) error {
+	if s.net == nil {
+		return fn()
+	}
+	s.net.StartBatch(s.name)
+	defer s.net.EndBatch(s.name)
+	return fn()
+}
 
 // handleValidate validates one of our certificates on behalf of another
 // service, optionally registering that service for Modified events on
@@ -137,29 +183,48 @@ func (s *Service) handleValidate(from string, a ValidateArg) (ValidateReply, err
 
 // watchFor subscribes a peer service to Modified events for a record.
 // watchMu is held across session creation so concurrent validations
-// from the same peer share one broker session.
+// from the same peer share one broker session, and across registration
+// so repeat validations of the same record share one registration —
+// a record's state change is one notification per watcher, however many
+// times the watcher validated it.
 func (s *Service) watchFor(peer string, ref credrec.Ref) (uint64, error) {
 	if s.net == nil {
 		return 0, fmt.Errorf("oasis: no network")
 	}
+	if err := s.store.MarkNotify(ref); err != nil {
+		return 0, err
+	}
 	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
 	sess, ok := s.watchSessions[peer]
 	if !ok {
 		var err error
 		sess, err = s.broker.OpenSession(s.net.Sink(s.name, peer), nil)
 		if err != nil {
-			s.watchMu.Unlock()
 			return 0, err
 		}
 		s.watchSessions[peer] = sess
 	}
-	s.watchMu.Unlock()
-	if err := s.store.MarkNotify(ref); err != nil {
-		return 0, err
+	if regID, ok := s.watchRegs[watchKey{peer, ref.Uint64()}]; ok {
+		return regID, nil
 	}
 	tmpl := event.NewTemplate(ModifiedEvent,
 		event.Lit(value.Str(refString(ref))), event.Wildcard(), event.Wildcard())
-	return s.broker.Register(sess, tmpl)
+	regID, err := s.broker.Register(sess, tmpl)
+	if err != nil {
+		return 0, err
+	}
+	if s.watchRegs == nil {
+		s.watchRegs = make(map[watchKey]uint64)
+	}
+	s.watchRegs[watchKey{peer, ref.Uint64()}] = regID
+	return regID, nil
+}
+
+// watchKey identifies one peer's watch on one of our records.
+type watchKey struct {
+	peer string
+	ref  uint64
 }
 
 func refString(ref credrec.Ref) string {
@@ -223,19 +288,24 @@ func (s *Service) validateForeign(c *cert.RMC, client ids.ClientID) ([]string, [
 	}
 	ext, exists := s.extRecords[key]
 	if exists {
-		if _, lerr := s.store.Lookup(ext); lerr == nil {
-			s.extMu.Unlock()
-			return reply.Roles, reply.Types, ext, nil
+		if _, lerr := s.store.Lookup(ext); lerr != nil {
+			exists = false
 		}
 	}
-	ext = s.store.NewExternal(c.Service, reply.State)
-	s.extRecords[key] = ext
+	if !exists {
+		ext = s.store.NewExternal(c.Service, reply.State)
+		s.extRecords[key] = ext
+	}
 	s.extMu.Unlock()
 	// The synchronous validation proved the issuer alive just now; start
-	// the heartbeat liveness window from here.
+	// the heartbeat liveness window from here. The handler is (re)bound
+	// even when the surrogate is reused: the issuer returns one
+	// registration per (watcher, record), and every validation must
+	// leave that registration wired to the surrogate.
 	s.receiver.ObserveSource(c.Service, s.clk.Now())
+	local := ext
 	s.receiver.HandleFrom(c.Service, reply.RegID, func(ev event.Event) {
-		s.applyModified(ext, ev)
+		s.applyModified(local, ev)
 	})
 	return reply.Roles, reply.Types, ext, nil
 }
@@ -255,8 +325,14 @@ func (s *Service) applyModified(ext credrec.Ref, ev event.Event) {
 }
 
 // HeartbeatTick asserts liveness to every watcher (§4.10); wire it to a
-// timer with the service's chosen period t, or use StartHeartbeats.
-func (s *Service) HeartbeatTick() { s.broker.Heartbeat() }
+// timer with the service's chosen period t, or use StartHeartbeats. The
+// fan-out goes through the batch path: one burst per watcher.
+func (s *Service) HeartbeatTick() {
+	_ = s.batchNotify(func() error {
+		s.broker.Heartbeat()
+		return nil
+	})
+}
 
 // StartHeartbeats runs the heartbeat protocol on the service's clock at
 // the configured period (Options.HeartbeatEvery; default 5s). The
@@ -274,7 +350,7 @@ func (s *Service) StartHeartbeats() (stop func()) {
 		for {
 			select {
 			case <-s.clk.After(period):
-				s.broker.Heartbeat()
+				s.HeartbeatTick()
 			case <-stopCh:
 				return
 			}

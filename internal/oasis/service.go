@@ -82,7 +82,8 @@ type Service struct {
 
 	// watch state: which peers watch which of our records
 	watchMu       sync.Mutex
-	watchSessions map[string]uint64 // peer -> broker session
+	watchSessions map[string]uint64   // peer -> broker session
+	watchRegs     map[watchKey]uint64 // (peer, record) -> registration
 
 	// external-record surrogates for remote credential records (§4.9.1)
 	extMu      sync.Mutex
@@ -156,6 +157,9 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		if err := net.Register(name, s); err != nil {
 			return nil, err
 		}
+		// Teach the bus batch path the Modified-event coalescing rule;
+		// every service installs the same rule, so this is idempotent.
+		net.SetCoalesceRule(modifiedCoalesceRule)
 	}
 	return s, nil
 }
