@@ -1,12 +1,14 @@
 GO ?= go
 
-.PHONY: build test race bench bench-notify vet ci all
+.PHONY: build test race bench bench-notify vet lint ci all
 
 all: build vet test
 
-# ci is the gate a change must pass: build, vet, the full test suite,
-# then the race detector over every concurrency-sensitive package.
-ci: build vet test race
+# ci is the gate a change must pass: build, vet, the custom static
+# analysis (rdlcheck over every example policy, oasislint over the
+# tree), the full test suite, then the race detector over every
+# concurrency-sensitive package.
+ci: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -35,3 +37,15 @@ bench-notify:
 
 vet:
 	$(GO) vet ./...
+
+# The repository's own static analysis (see DESIGN.md "Static
+# analysis"): oasislint enforces the concurrency discipline with
+# stdlib go/ast + go/types; rdlcheck analyzes every shipped policy for
+# unrevocable roles, dead rules and unreachable roles. Error-level
+# findings fail the build.
+lint:
+	$(GO) run ./cmd/oasislint ./internal/... ./cmd/...
+	$(GO) run ./cmd/rdlcheck -q examples/quickstart/*.rdl
+	$(GO) run ./cmd/rdlcheck -q examples/golfclub/*.rdl
+	$(GO) run ./cmd/rdlcheck -q examples/login/*.rdl
+	$(GO) run ./cmd/rdlcheck -q examples/mssa/*.rdl

@@ -89,9 +89,10 @@ func run() error {
 			return err
 		}
 	}
-	start := time.Now()
+	wall := clock.Real()
+	start := wall.Now()
 	sim.Run(*nSteps, 250*time.Millisecond)
-	elapsed := time.Since(start)
+	elapsed := wall.Now().Sub(start)
 
 	beads, matched := m.Stats()
 	fmt.Printf("badgesim: %d sites, %d badges, %d steps in %v (wall)\n",

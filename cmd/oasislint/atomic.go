@@ -1,0 +1,118 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lintAtomicMix reports L002: a struct field passed by address to a
+// sync/atomic function in one place but read or written plainly in
+// another. Mixing the two races: the plain access is invisible to the
+// atomic one. Construction paths — package init functions and New*
+// constructors, where the value is not yet shared — are exempt.
+func lintAtomicMix(p *pkg, report func(token.Pos, string, string)) {
+	// Pass 1: collect the fields blessed by &x.f arguments to
+	// sync/atomic calls, and the selector nodes forming those arguments.
+	blessed := make(map[*types.Var]string) // field -> atomic func name
+	inAtomic := make(map[ast.Node]bool)    // selectors already atomic
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := atomicCallee(p, call)
+			if fn == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if v := fieldOf(p, sel); v != nil {
+					blessed[v] = fn
+					inAtomic[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(blessed) == 0 {
+		return
+	}
+
+	// Pass 2: any other selector of a blessed field outside an init
+	// path is a plain access racing the atomic ones.
+	for _, file := range p.files {
+		var fstack []string // enclosing function names
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				fstack = append(fstack, x.Name.Name)
+				ast.Inspect(x.Type, walk)
+				if x.Body != nil {
+					ast.Inspect(x.Body, walk)
+				}
+				fstack = fstack[:len(fstack)-1]
+				return false
+			case *ast.SelectorExpr:
+				if inAtomic[x] {
+					return true
+				}
+				v := fieldOf(p, x)
+				if v == nil {
+					return true
+				}
+				fn, ok := blessed[v]
+				if !ok {
+					return true
+				}
+				if len(fstack) > 0 && initPath(fstack[len(fstack)-1]) {
+					return true
+				}
+				report(x.Sel.Pos(), "L002",
+					"plain access to field "+v.Name()+" also used with atomic."+fn+
+						" (use the atomic API, or move the access into a constructor)")
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+}
+
+// initPath reports whether a function name marks a construction path in
+// which the owning value is not yet shared.
+func initPath(name string) bool {
+	return name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new")
+}
+
+// atomicCallee returns the sync/atomic function name called, or "".
+func atomicCallee(p *pkg, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return fn.Name()
+}
+
+// fieldOf returns the struct field a selector denotes, or nil.
+func fieldOf(p *pkg, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := p.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncValueTypes are the sync and sync/atomic types that must never be
+// copied after first use.
+var syncValueTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true,
+		"Once": true, "Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// lockIn returns the name of a no-copy type reachable by value inside
+// t (through structs and arrays, not pointers), or "".
+func lockIn(t types.Type) string {
+	return lockInSeen(t, make(map[types.Type]bool))
+}
+
+func lockInSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		if obj := n.Obj(); obj.Pkg() != nil {
+			if names, ok := syncValueTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+		return lockInSeen(n.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := lockInSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return lockInSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+// copySource reports whether the expression denotes an existing value
+// (as opposed to a fresh composite literal, conversion or call result)
+// so that assigning or passing it duplicates internal lock state.
+func copySource(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Obj == nil || x.Obj.Kind != ast.Con
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copySource(x.X)
+	default:
+		return false
+	}
+}
+
+// lintCopyLocks reports L001: lock-bearing values copied through
+// receivers, parameters, results, assignments, call arguments or range
+// clauses.
+func lintCopyLocks(p *pkg, report func(token.Pos, string, string)) {
+	// typeOf resolves value expressions only: type expressions (as in
+	// new(atomic.Int64) or a conversion) denote no copied value.
+	typeOf := func(e ast.Expr) types.Type {
+		if tv, ok := p.info.Types[e]; ok && tv.IsValue() {
+			return tv.Type
+		}
+		return nil
+	}
+	checkFieldList(p, report)
+
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range x.Rhs {
+					if !copySource(rhs) {
+						continue
+					}
+					if name := lockIn(typeOf(rhs)); name != "" {
+						report(rhs.Pos(), "L001", "assignment copies lock value: type contains "+name)
+					}
+				}
+			case *ast.CallExpr:
+				for _, arg := range x.Args {
+					if !copySource(arg) {
+						continue
+					}
+					if name := lockIn(typeOf(arg)); name != "" {
+						report(arg.Pos(), "L001", "call passes lock by value: argument contains "+name)
+					}
+				}
+			case *ast.RangeStmt:
+				if x.Value != nil {
+					// A := range value is recorded in Defs, not Types.
+					t := typeOf(x.Value)
+					if id, ok := x.Value.(*ast.Ident); ok && t == nil {
+						if obj := p.info.Defs[id]; obj != nil {
+							t = obj.Type()
+						} else if obj := p.info.Uses[id]; obj != nil {
+							t = obj.Type()
+						}
+					}
+					if name := lockIn(t); name != "" {
+						report(x.Value.Pos(), "L001", "range clause copies lock value: element contains "+name)
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, res := range x.Results {
+					if !copySource(res) {
+						continue
+					}
+					if name := lockIn(typeOf(res)); name != "" {
+						report(res.Pos(), "L001", "return copies lock value: type contains "+name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags value receivers and parameters whose types carry
+// locks: every call would copy them.
+func checkFieldList(p *pkg, report func(token.Pos, string, string)) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := p.info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := types.Unalias(tv.Type).(*types.Pointer); isPtr {
+				continue
+			}
+			if name := lockIn(tv.Type); name != "" {
+				report(field.Type.Pos(), "L001", what+" passes lock by value: type contains "+name)
+			}
+		}
+	}
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				check(x.Recv, "receiver")
+				check(x.Type.Params, "parameter")
+			case *ast.FuncLit:
+				check(x.Type.Params, "parameter")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pkg is one type-checked package under lint.
+type pkg struct {
+	dir   string
+	path  string
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+// loader parses and type-checks packages with the standard library
+// only: module-local imports are resolved against the repository,
+// everything else is delegated to the source importer. Packages are
+// checked once and memoized.
+type loader struct {
+	fset    *token.FileSet
+	root    string // module root directory
+	module  string // module path from go.mod
+	std     types.Importer
+	pkgs    map[string]*pkg // by directory
+	loading map[string]bool
+}
+
+func newLoader(root, module string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*pkg),
+		loading: make(map[string]bool),
+	}
+}
+
+// Import implements types.Importer for the type-checker's benefit.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+		p, err := l.load(filepath.Join(l.root, rel), path)
+		if err != nil {
+			return nil, err
+		}
+		return p.tpkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package in dir, attributing it the
+// given import path.
+func (l *loader) load(dir, ipath string) (*pkg, error) {
+	if p, ok := l.pkgs[dir]; ok {
+		return p, nil
+	}
+	if l.loading[dir] {
+		return nil, fmt.Errorf("import cycle through %s", ipath)
+	}
+	l.loading[dir] = true
+	defer delete(l.loading, dir)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(ipath, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &pkg{dir: dir, path: ipath, files: files, tpkg: tpkg, info: info}
+	l.pkgs[dir] = p
+	return p, nil
+}
+
+// loadDir loads the package in dir, deriving its import path from the
+// module root when the directory lies under it.
+func (l *loader) loadDir(dir string) (*pkg, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	ipath := l.module + "/" + filepath.ToSlash(dir)
+	if rel, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		ipath = l.module + "/" + filepath.ToSlash(rel)
+	}
+	return l.load(dir, ipath)
+}
+
+// findModule walks upward from dir to the enclosing go.mod, returning
+// the module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return abs, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module line", abs)
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// expand resolves ./dir/... patterns into the list of package
+// directories beneath them, skipping testdata trees.
+func expand(patterns []string) ([]string, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		d = filepath.Clean(d)
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		base, rec := strings.CutSuffix(pat, "/...")
+		if !rec {
+			add(pat)
+			continue
+		}
+		err := filepath.WalkDir(filepath.Clean(base), func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") && path != base {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

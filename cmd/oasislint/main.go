@@ -1,0 +1,90 @@
+// oasislint enforces this repository's concurrency discipline with the
+// standard library's go/ast and go/types only — no external analysis
+// framework. It walks the packages named on the command line (defaults:
+// ./internal/... and ./cmd/...) and reports:
+//
+//	L001  a type containing a sync lock (Mutex, RWMutex, WaitGroup, ...)
+//	      or a sync/atomic value copied by value
+//	L002  a field accessed through sync/atomic in one place and by a
+//	      plain read or write in another, outside construction
+//	L003  a channel send, or a bus Flush/EndBatch/StartBatch call, made
+//	      while a lock is held (all locks in this repo are leaves)
+//	L004  time.Now and friends outside internal/clock — virtual time
+//	      must flow through clock.Clock so tests stay deterministic
+//
+// Test files are not analyzed. Any finding makes the exit status
+// non-zero, so `make lint` gates CI.
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+)
+
+// finding is one linter diagnostic.
+type finding struct {
+	pos  token.Position
+	code string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.pos.Filename, f.pos.Line, f.pos.Column, f.code, f.msg)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		args = []string{"./internal/...", "./cmd/..."}
+	}
+	dirs, err := expand(args)
+	if err != nil {
+		return err
+	}
+	root, module, err := findModule(".")
+	if err != nil {
+		return err
+	}
+	l := newLoader(root, module)
+
+	var findings []finding
+	for _, dir := range dirs {
+		p, err := l.loadDir(dir)
+		if err != nil {
+			return fmt.Errorf("oasislint: %w", err)
+		}
+		report := func(pos token.Pos, code, msg string) {
+			findings = append(findings, finding{pos: l.fset.Position(pos), code: code, msg: msg})
+		}
+		lintCopyLocks(p, report)
+		lintAtomicMix(p, report)
+		lintLockAcrossSend(p, report)
+		lintTimeNow(p, module, report)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.code < b.code
+	})
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		return fmt.Errorf("oasislint: %d finding(s)", len(findings))
+	}
+	return nil
+}

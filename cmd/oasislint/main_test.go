@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestFixtureFindings(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{filepath.Join("testdata", "src", "bad")}, &out)
+	if err == nil {
+		t.Fatal("fixture package produced no findings")
+	}
+	got := filepath.ToSlash(out.String())
+	golden := filepath.Join("testdata", "bad.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings differ from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestFixtureCoversEveryCheck cross-references the fixture's own
+// annotations: every line commented "// L00x" must be reported with
+// that code, and no line commented "// ok" may be reported at all.
+func TestFixtureCoversEveryCheck(t *testing.T) {
+	var out strings.Builder
+	_ = run([]string{filepath.Join("testdata", "src", "bad")}, &out)
+	got := out.String()
+
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "bad", "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i, line := range strings.Split(string(src), "\n") {
+		lineNo := i + 1
+		_, comment, found := strings.Cut(line, "// ")
+		if !found {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(comment, "L00"):
+			checked++
+			code := comment[:4]
+			marker := "bad.go:" + strconv.Itoa(lineNo) + ":"
+			if !lineReported(got, marker, code) {
+				t.Errorf("line %d annotated %s but not reported:\n%s", lineNo, code, got)
+			}
+		case strings.HasPrefix(comment, "ok"):
+			checked++
+			if strings.Contains(got, "bad.go:"+strconv.Itoa(lineNo)+":") {
+				t.Errorf("line %d annotated ok but reported:\n%s", lineNo, got)
+			}
+		}
+	}
+	if checked < 12 {
+		t.Fatalf("only %d annotated lines found in fixture", checked)
+	}
+}
+
+func lineReported(out, marker, code string) bool {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, marker) && strings.Contains(l, code) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRepoIsClean is the teeth of the linter: the repository's own
+// packages must carry zero findings.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatalf("lint findings in the tree:\n%s", out.String())
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	dirs, err := expand([]string{"./testdata/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 0 {
+		t.Errorf("testdata not skipped: %v", dirs)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root, module, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if module != "oasis" {
+		t.Errorf("module = %q", module)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Errorf("root %q has no go.mod", root)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level time functions that read or
+// schedule against the real wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true,
+	"NewTicker": true, "Sleep": true,
+}
+
+// lintTimeNow reports L004: wall-clock reads outside internal/clock.
+// Everything else must take a clock.Clock so virtual time drives the
+// simulations and tests deterministically. Test files are not analyzed,
+// so they are exempt by construction.
+func lintTimeNow(p *pkg, module string, report func(token.Pos, string, string)) {
+	if p.path == module+"/internal/clock" {
+		return
+	}
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			// time.Time.Since etc. are methods; only package functions
+			// touch the wall clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			report(sel.Pos(), "L004",
+				"time."+fn.Name()+" outside internal/clock: take a clock.Clock instead "+
+					"(virtual time keeps simulations deterministic)")
+			return true
+		})
+	}
+}

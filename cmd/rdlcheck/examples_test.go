@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestExamplePolicies runs the analyzer over every rolefile shipped with
+// the examples, one invocation per example directory so cross-service
+// references resolve. The deployed policies must be free of error-level
+// findings, and the full report is pinned as a golden file.
+func TestExamplePolicies(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("..", "..", "examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	tested := 0
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.rdl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		sort.Strings(files)
+		tested++
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			got, err := runTool(t, files...)
+			if err != nil {
+				t.Fatalf("example policy has error-level findings: %v\n%s", err, got)
+			}
+			golden := filepath.Join("testdata", "examples", name+".golden")
+			checkGolden(t, golden, normalize(got, dir))
+		})
+	}
+	if tested < 4 {
+		t.Fatalf("only %d example directories carry rolefiles; expected at least 4", tested)
+	}
+}

@@ -1,21 +1,34 @@
-// rdlcheck parses and type-checks a rolefile, printing the inferred
-// role signatures and the proof-system axioms of §3.2.2. Foreign role
-// signatures may be supplied with -foreign "Svc.Role=type,type" flags.
+// rdlcheck parses, type-checks and statically analyzes one or more
+// rolefiles as a single policy. Each file is attributed to a service
+// named after its base name (Conf.rdl defines service "Conf"), so
+// cross-service role references between the given files resolve against
+// each other; signatures of services not given may be declared with
+// -foreign or, by default, inferred from usage.
+//
+// Beyond the per-file type check, the whole policy is analyzed
+// (internal/rdl/analyze): revocation coverage, unreachable roles, dead
+// rules, unsatisfiable constraints, dependency cycles. Error-level
+// findings make the exit status non-zero, so the tool gates CI.
 //
 // Usage:
 //
-//	rdlcheck [-foreign Login.LoggedOn=Login.userid,Login.host] file.rdl
-//	echo 'Chair <- Login.LoggedOn("jmb", h)' | rdlcheck -foreign ...
+//	rdlcheck [-json] [-severity warning] [-q] file.rdl...
+//	rdlcheck -foreign Login.LoggedOn=Login.userid,Login.host file.rdl
+//	echo 'Chair <- Login.LoggedOn("jmb", h)*' | rdlcheck
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"oasis/internal/rdl"
+	"oasis/internal/rdl/analyze"
 	"oasis/internal/value"
 )
 
@@ -56,54 +69,233 @@ func main() {
 	}
 }
 
+// policyFile is one rolefile under check.
+type policyFile struct {
+	path    string
+	service string
+	file    *rdl.File
+	rf      *rdl.Rolefile
+}
+
+// driver loads, type-checks and analyzes a set of rolefiles.
+type driver struct {
+	files     []*policyFile
+	byService map[string][]*policyFile
+	foreign   foreignFlags
+	assume    bool
+	checking  map[string]bool
+}
+
+// serviceOf names the service a rolefile path belongs to: the base name
+// without its extension.
+func serviceOf(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// resolve implements rdl.RoleTypesFunc across the loaded files: explicit
+// -foreign declarations win, then sibling services in the same
+// invocation, then (with -assume-foreign) inference from usage.
+func (d *driver) resolve(service, rolefile, role string) ([]value.Type, error) {
+	if ts, ok := d.foreign[service+"."+role]; ok {
+		return ts, nil
+	}
+	if files := d.byService[service]; files != nil {
+		if d.checking[service] {
+			// A reference back into a service still being checked
+			// (self-qualified or mutually recursive): fall back to
+			// inference rather than deadlocking on types.
+			if d.assume {
+				return nil, rdl.ErrInferSignature
+			}
+			return nil, fmt.Errorf("circular type dependency on service %s", service)
+		}
+		if err := d.checkService(service); err != nil {
+			return nil, err
+		}
+		for _, pf := range files {
+			if ts, ok := pf.rf.Types[role]; ok {
+				return ts, nil
+			}
+		}
+		return nil, fmt.Errorf("service %s defines no role %s", service, role)
+	}
+	if d.assume {
+		return nil, rdl.ErrInferSignature
+	}
+	return nil, fmt.Errorf("unknown foreign role %s.%s (add -foreign, or drop -assume-foreign=false)", service, role)
+}
+
+// checkService type-checks every file of one service, memoized.
+func (d *driver) checkService(service string) error {
+	d.checking[service] = true
+	defer delete(d.checking, service)
+	for _, pf := range d.byService[service] {
+		if pf.rf != nil {
+			continue
+		}
+		rf, err := rdl.Check(pf.file, d.resolve, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", pf.path, err)
+		}
+		pf.rf = rf
+	}
+	return nil
+}
+
+// jsonRole, jsonFile and jsonReport shape the -json output; the schema
+// is documented in docs/RDL.md.
+type jsonRole struct {
+	Name   string   `json:"name"`
+	Params []string `json:"params"`
+}
+
+type jsonFile struct {
+	File    string     `json:"file"`
+	Service string     `json:"service"`
+	Rules   int        `json:"rules"`
+	Roles   []jsonRole `json:"roles"`
+}
+
+type jsonReport struct {
+	Files    []jsonFile        `json:"files"`
+	Findings []analyze.Finding `json:"findings"`
+	Counts   map[string]int    `json:"counts"`
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("rdlcheck", flag.ContinueOnError)
 	foreign := foreignFlags{}
 	fs.Var(foreign, "foreign", "foreign role signature Svc.Role=type,type (repeatable)")
-	axioms := fs.Bool("axioms", true, "print proof-system axioms")
+	assume := fs.Bool("assume-foreign", true, "infer undeclared foreign role signatures from usage")
+	axioms := fs.Bool("axioms", false, "print proof-system axioms (§3.2.2)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	quiet := fs.Bool("q", false, "print findings only, no signatures")
+	sevName := fs.String("severity", "info", "minimum severity to report: info, warning or error")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	minSev, err := analyze.ParseSeverity(*sevName)
+	if err != nil {
+		return err
+	}
 
-	var src []byte
-	var err error
-	if fs.NArg() > 0 {
-		src, err = os.ReadFile(fs.Arg(0))
+	d := &driver{
+		byService: make(map[string][]*policyFile),
+		foreign:   foreign,
+		assume:    *assume,
+		checking:  make(map[string]bool),
+	}
+	if fs.NArg() == 0 {
+		src, err := io.ReadAll(stdin)
+		if err != nil {
+			return err
+		}
+		if err := d.load("<stdin>", "main", string(src)); err != nil {
+			return err
+		}
+	}
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := d.load(path, serviceOf(path), string(src)); err != nil {
+			return err
+		}
+	}
+
+	services := make([]string, 0, len(d.byService))
+	for svc := range d.byService {
+		services = append(services, svc)
+	}
+	sort.Strings(services)
+	for _, svc := range services {
+		if err := d.checkService(svc); err != nil {
+			return err
+		}
+	}
+
+	inputs := make([]analyze.Input, len(d.files))
+	for i, pf := range d.files {
+		inputs[i] = analyze.Input{Service: pf.service, File: pf.path, RF: pf.rf}
+	}
+	findings := analyze.Analyze(inputs)
+	shown := analyze.Filter(findings, minSev)
+
+	if *jsonOut {
+		if err := writeJSON(stdout, d.files, shown, findings); err != nil {
+			return err
+		}
 	} else {
-		src, err = io.ReadAll(stdin)
-	}
-	if err != nil {
-		return err
+		writeText(stdout, d.files, shown, *quiet, *axioms)
 	}
 
-	file, err := rdl.Parse(string(src))
-	if err != nil {
-		return err
-	}
-	resolver := func(service, rolefile, role string) ([]value.Type, error) {
-		if ts, ok := foreign[service+"."+role]; ok {
-			return ts, nil
-		}
-		return nil, fmt.Errorf("unknown foreign role %s.%s (add -foreign)", service, role)
-	}
-	checked, err := rdl.Check(file, resolver, nil)
-	if err != nil {
-		return err
-	}
-
-	fmt.Fprintf(stdout, "rolefile OK: %d rules, %d local roles\n", len(file.Rules), len(checked.Types))
-	for _, role := range checked.Roles() {
-		types := checked.Types[role]
-		parts := make([]string, len(types))
-		for i, t := range types {
-			parts[i] = t.String()
-		}
-		fmt.Fprintf(stdout, "  role %s(%s)\n", role, strings.Join(parts, ", "))
-	}
-	if *axioms {
-		for i, r := range file.Rules {
-			fmt.Fprintf(stdout, "\naxiom %d:\n%s\n", i+1, rdl.Axiom(r))
-		}
+	if errs := len(analyze.Filter(findings, analyze.Error)); errs > 0 {
+		return fmt.Errorf("rdlcheck: %d error-level finding(s)", errs)
 	}
 	return nil
+}
+
+func (d *driver) load(path, service, src string) error {
+	file, err := rdl.Parse(src)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	pf := &policyFile{path: path, service: service, file: file}
+	d.files = append(d.files, pf)
+	d.byService[service] = append(d.byService[service], pf)
+	return nil
+}
+
+func writeJSON(w io.Writer, files []*policyFile, shown, all []analyze.Finding) error {
+	rep := jsonReport{
+		Files:    make([]jsonFile, 0, len(files)),
+		Findings: shown,
+		Counts:   map[string]int{"error": 0, "warning": 0, "info": 0},
+	}
+	if rep.Findings == nil {
+		rep.Findings = []analyze.Finding{}
+	}
+	for _, f := range all {
+		rep.Counts[f.Severity.String()]++
+	}
+	for _, pf := range files {
+		jf := jsonFile{File: pf.path, Service: pf.service, Rules: len(pf.file.Rules), Roles: []jsonRole{}}
+		for _, role := range pf.rf.Roles() {
+			params := make([]string, 0, len(pf.rf.Types[role]))
+			for _, t := range pf.rf.Types[role] {
+				params = append(params, t.String())
+			}
+			jf.Roles = append(jf.Roles, jsonRole{Name: role, Params: params})
+		}
+		rep.Files = append(rep.Files, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func writeText(w io.Writer, files []*policyFile, findings []analyze.Finding, quiet, axioms bool) {
+	if !quiet {
+		for _, pf := range files {
+			fmt.Fprintf(w, "%s: OK: %d rules, %d roles\n", pf.path, len(pf.file.Rules), len(pf.rf.Types))
+			for _, role := range pf.rf.Roles() {
+				types := pf.rf.Types[role]
+				parts := make([]string, len(types))
+				for i, t := range types {
+					parts[i] = t.String()
+				}
+				fmt.Fprintf(w, "  role %s(%s)\n", role, strings.Join(parts, ", "))
+			}
+			if axioms {
+				for i, r := range pf.file.Rules {
+					fmt.Fprintf(w, "\naxiom %d:\n%s\n", i+1, rdl.Axiom(r))
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
 }

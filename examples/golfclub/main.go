@@ -4,6 +4,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -16,12 +17,14 @@ import (
 	"oasis/internal/value"
 )
 
-const golfRolefile = `
-def Member(p) p: Login.userid
-Member(p)  <- Login.LoggedOn(p, h) : p in founders
-Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)
-Member(p)  <- Rec(p, m1)* <| Member(m2) : m1 != m2
-`
+// The rolefiles live beside this file so `rdlcheck Login.rdl Golf.rdl`
+// can analyze the deployed policy as-is.
+//
+//go:embed Golf.rdl
+var golfRolefile string
+
+//go:embed Login.rdl
+var loginRolefile string
 
 func main() {
 	if err := run(); err != nil {
@@ -36,10 +39,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := login.AddRolefile("main", `
-def LoggedOn(u, h) u: Login.userid h: Login.host
-LoggedOn(u, h) <-
-`); err != nil {
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
 		return err
 	}
 	club, err := oasis.New("Golf", clk, net, oasis.Options{})

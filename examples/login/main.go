@@ -6,6 +6,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -19,13 +20,11 @@ import (
 	"oasis/internal/value"
 )
 
-const loginRolefile = `
-def Login(l, u, h) l: integer u: Login.userid h: string
-Login(3, u, @host) <- Pw.Passwd(u, "Login")* : @host in secure
-Login(2, u, @host) <- Pw.Passwd(u, "Login")* : @host in hosts
-Login(1, u, @host) <- Pw.Passwd(u, "Login")*
-Login(0, u, @host) <-
-`
+// The rolefile lives beside this file so `rdlcheck Login.rdl` can
+// analyze the deployed policy as-is.
+//
+//go:embed Login.rdl
+var loginRolefile string
 
 func main() {
 	if err := run(); err != nil {

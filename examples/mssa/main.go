@@ -4,6 +4,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,12 @@ import (
 	"oasis/internal/oasis"
 	"oasis/internal/value"
 )
+
+// The rolefile lives beside this file so `rdlcheck Login.rdl` can
+// analyze the deployed policy as-is.
+//
+//go:embed Login.rdl
+var loginRolefile string
 
 func main() {
 	if err := run(); err != nil {
@@ -31,10 +38,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := login.AddRolefile("main", `
-def LoggedOn(u, h) u: Login.userid h: Login.host
-LoggedOn(u, h) <-
-`); err != nil {
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
 		return err
 	}
 	hosts := ids.NewHostAuthority("ws1", clk.Now())

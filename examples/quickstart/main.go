@@ -5,6 +5,7 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 	"time"
@@ -16,6 +17,15 @@ import (
 	"oasis/internal/oasis"
 	"oasis/internal/value"
 )
+
+// The rolefiles live beside this file so `rdlcheck Login.rdl Conf.rdl`
+// can analyze the deployed policy as-is.
+//
+//go:embed Login.rdl
+var loginRolefile string
+
+//go:embed Conf.rdl
+var confRolefile string
 
 func main() {
 	if err := run(); err != nil {
@@ -32,10 +42,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := login.AddRolefile("main", `
-def LoggedOn(u, h) u: Login.userid h: Login.host
-LoggedOn(u, h) <-
-`); err != nil {
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
 		return err
 	}
 
@@ -44,10 +51,7 @@ LoggedOn(u, h) <-
 	if err != nil {
 		return err
 	}
-	if err := conf.AddRolefile("main", `
-Chair     <- Login.LoggedOn("jmb", h)
-Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
-`); err != nil {
+	if err := conf.AddRolefile("main", confRolefile); err != nil {
 		return err
 	}
 	conf.Groups().AddMember("dm", "staff")

@@ -80,8 +80,8 @@ func (h notifyHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h notifyHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *notifyHeap) Push(x any)        { *h = append(*h, x.(queued)) }
+func (h notifyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *notifyHeap) Push(x any)   { *h = append(*h, x.(queued)) }
 func (h *notifyHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -272,13 +272,15 @@ func (p *remotePeer) readLoop(conn net.Conn) {
 	for {
 		var msg wireMsg
 		if err := dec.Decode(&msg); err != nil {
-			// Fail all outstanding calls.
+			// Fail all outstanding calls. Take the map under the lock
+			// but deliver after releasing it: locks are leaves here.
 			p.mu.Lock()
-			for seq, ch := range p.waiting {
-				ch <- wireMsg{Kind: "reply", Seq: seq, Err: "bus: connection lost"}
-				delete(p.waiting, seq)
-			}
+			waiting := p.waiting
+			p.waiting = make(map[uint64]chan wireMsg)
 			p.mu.Unlock()
+			for seq, ch := range waiting {
+				ch <- wireMsg{Kind: "reply", Seq: seq, Err: "bus: connection lost"}
+			}
 			return
 		}
 		if msg.Kind == "notify" {

@@ -77,7 +77,7 @@ type Service struct {
 	rfMu      sync.RWMutex // read-mostly: installed rolefiles
 	rolefiles map[string]*rolefileState
 
-	typeMu    sync.RWMutex            // read-mostly: foreign role signatures
+	typeMu    sync.RWMutex // read-mostly: foreign role signatures
 	typeCache map[string][]value.Type
 
 	// watch state: which peers watch which of our records

@@ -1,0 +1,459 @@
+// Package analyze implements whole-policy static analysis over parsed
+// and checked RDL rolefiles. Where internal/rdl's checker answers "is
+// this rolefile well-typed?", this package answers questions about the
+// policy the rolefiles jointly express: can every role actually be
+// acquired, can every issued certificate actually be revoked, which
+// rules are dead, and where do roles depend on each other cyclically.
+//
+// The headline check is revocation coverage (R001). The paper's
+// security argument (§4.2–§4.4) rests on rapid selective revocation:
+// every certificate carries a credential record whose truth is the
+// conjunction of the *membership rules* captured at entry. A rule none
+// of whose premises is a membership rule — no starred candidate, no
+// starred election, no starred group test, no |> revoker — issues
+// certificates that nothing in the credential-record graph can ever
+// falsify. Such a role silently opts out of the architecture's
+// guarantee, so the analyzer reports it at error severity.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oasis/internal/rdl"
+)
+
+// Input is one checked rolefile under analysis, attributed to the
+// service that installs it. Analyze accepts any number of inputs; role
+// references between loaded services are resolved against each other,
+// references to services not loaded are assumed satisfiable.
+type Input struct {
+	Service string
+	File    string
+	RF      *rdl.Rolefile
+}
+
+// ruleInfo is one rule with its provenance.
+type ruleInfo struct {
+	in    *Input
+	rule  *rdl.Rule
+	index int    // 1-based position within its file
+	key   string // qualified head role, "Service.Role"
+	unsat bool   // constraint statically false
+}
+
+func (ri *ruleInfo) line() int {
+	if ri.rule.Head.Line > 0 {
+		return ri.rule.Head.Line
+	}
+	return ri.rule.Line
+}
+
+// defSite records where a role was first defined.
+type defSite struct {
+	in      *Input
+	line    int
+	hasRule bool
+}
+
+// Analyze runs every whole-policy check over the inputs and returns the
+// findings sorted by (file, line, code).
+func Analyze(inputs []Input) []Finding {
+	a := &analysis{
+		loaded:  make(map[string]bool),
+		defined: make(map[string]*defSite),
+	}
+	for i := range inputs {
+		a.loaded[inputs[i].Service] = true
+	}
+	for i := range inputs {
+		a.collect(&inputs[i])
+	}
+	a.checkUndefined()
+	a.checkReachability()
+	a.checkRevocation()
+	a.checkDeadRules()
+	a.checkCycles()
+	sortFindings(a.findings)
+	return a.findings
+}
+
+type analysis struct {
+	loaded   map[string]bool
+	defined  map[string]*defSite
+	rules    []*ruleInfo
+	findings []Finding
+}
+
+// keyOf qualifies a role reference from the viewpoint of the file that
+// contains it.
+func keyOf(in *Input, ref *rdl.RoleRef) string {
+	svc := ref.Service
+	if svc == "" {
+		svc = in.Service
+	}
+	return svc + "." + ref.Name
+}
+
+func refService(in *Input, ref *rdl.RoleRef) string {
+	if ref.Service == "" {
+		return in.Service
+	}
+	return ref.Service
+}
+
+// premises returns the acquisition premises of a rule: its candidate
+// roles and its elector, if any. The revoker is not a premise — it is
+// consulted at revocation, not entry.
+func premises(r *rdl.Rule) []*rdl.RoleRef {
+	out := make([]*rdl.RoleRef, 0, len(r.Candidates)+1)
+	for i := range r.Candidates {
+		out = append(out, &r.Candidates[i])
+	}
+	if r.Elector != nil {
+		out = append(out, r.Elector)
+	}
+	return out
+}
+
+func (a *analysis) report(f Finding) { a.findings = append(a.findings, f) }
+
+// collect indexes one input's declarations and rules, reporting
+// statically-false constraints (R005) as it goes.
+func (a *analysis) collect(in *Input) {
+	for _, d := range in.RF.File.Decls {
+		key := in.Service + "." + d.Role
+		if a.defined[key] == nil {
+			a.defined[key] = &defSite{in: in, line: d.Line}
+		}
+	}
+	for i, r := range in.RF.File.Rules {
+		ri := &ruleInfo{in: in, rule: r, index: i + 1, key: keyOf(in, &r.Head)}
+		if staticEval(r.Constraint) == triFalse {
+			ri.unsat = true
+			a.report(Finding{
+				Code: CodeUnsatisfiable, Severity: Warning,
+				Service: in.Service, File: in.File, Line: ri.line(), Role: ri.key,
+				Message: fmt.Sprintf("constraint %s is statically false; the rule can never fire", r.Constraint),
+			})
+		}
+		a.rules = append(a.rules, ri)
+		if site := a.defined[ri.key]; site == nil {
+			a.defined[ri.key] = &defSite{in: in, line: ri.line(), hasRule: true}
+		} else {
+			site.hasRule = true
+		}
+	}
+}
+
+// checkUndefined reports references to roles of loaded services that no
+// rule or declaration defines (R002).
+func (a *analysis) checkUndefined() {
+	seen := make(map[string]bool) // file + key, one report per pair
+	for _, ri := range a.rules {
+		refs := premises(ri.rule)
+		if ri.rule.Revoker != nil {
+			refs = append(refs, ri.rule.Revoker)
+		}
+		for _, ref := range refs {
+			svc := refService(ri.in, ref)
+			if !a.loaded[svc] {
+				continue
+			}
+			key := keyOf(ri.in, ref)
+			if a.defined[key] != nil {
+				continue
+			}
+			dedupe := ri.in.File + "\x00" + key
+			if seen[dedupe] {
+				continue
+			}
+			seen[dedupe] = true
+			a.report(Finding{
+				Code: CodeUndefined, Severity: Error,
+				Service: ri.in.Service, File: ri.in.File, Line: ref.Line, Role: key,
+				Message: fmt.Sprintf("role %s is referenced but never defined by a rule or declaration", key),
+			})
+		}
+	}
+}
+
+// reachableSet computes the fixpoint of role acquirability: a role is
+// reachable when some satisfiable rule for it has every premise
+// reachable. Roles of services not loaded are assumed reachable
+// (their policies are not in view); an empty right-hand side is an
+// unchecked claim and is always reachable (§3.4.3).
+func (a *analysis) reachableSet() map[string]bool {
+	reachable := make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, ri := range a.rules {
+			if ri.unsat || reachable[ri.key] {
+				continue
+			}
+			ok := true
+			for _, ref := range premises(ri.rule) {
+				svc := refService(ri.in, ref)
+				if !a.loaded[svc] {
+					continue // foreign service not in view: assumed acquirable
+				}
+				if !reachable[keyOf(ri.in, ref)] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				reachable[ri.key] = true
+				changed = true
+			}
+		}
+	}
+	return reachable
+}
+
+// checkReachability reports defined roles with no acquisition path
+// (R003).
+func (a *analysis) checkReachability() {
+	reachable := a.reachableSet()
+	keys := make([]string, 0, len(a.defined))
+	for k := range a.defined {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		site := a.defined[key]
+		if reachable[key] {
+			continue
+		}
+		msg := fmt.Sprintf("role %s is unreachable: no rule path from initial credentials can acquire it", key)
+		if !site.hasRule {
+			msg = fmt.Sprintf("role %s is declared but no entry rule defines it", key)
+		}
+		a.report(Finding{
+			Code: CodeUnreachable, Severity: Warning,
+			Service: site.in.Service, File: site.in.File, Line: site.line, Role: key,
+			Message: msg,
+		})
+	}
+}
+
+// checkRevocation is the revocation-coverage check (R001) plus the
+// inert-star check (R007). A rule needs coverage when it has premises
+// to falsify: candidates, an elector, or a group test. Coverage is any
+// starred candidate, a starred election (<|* or a starred elector
+// reference), a starred group test, or a |> revoker.
+func (a *analysis) checkRevocation() {
+	for _, ri := range a.rules {
+		r := ri.rule
+		if ri.unsat {
+			continue
+		}
+		for _, star := range inertStars(r.Constraint, nil) {
+			a.report(Finding{
+				Code: CodeStaticStar, Severity: Info,
+				Service: ri.in.Service, File: ri.in.File, Line: ri.line(), Role: ri.key,
+				Message: fmt.Sprintf("membership star on %s has no group test: it is captured once at entry and can never be falsified (§3.2.3)", star),
+			})
+		}
+		needs := len(r.Candidates) > 0 || r.Elector != nil || hasGroupTest(r.Constraint)
+		if !needs {
+			continue // an unchecked claim; the issuing service revokes directly
+		}
+		covered := r.ElectStarred || r.Revoker != nil
+		for i := range r.Candidates {
+			covered = covered || r.Candidates[i].Starred
+		}
+		if r.Elector != nil {
+			covered = covered || r.Elector.Starred
+		}
+		covered = covered || starredGroupTest(r.Constraint)
+		if covered {
+			continue
+		}
+		a.report(Finding{
+			Code: CodeUnrevocable, Severity: Error,
+			Service: ri.in.Service, File: ri.in.File, Line: ri.line(), Role: ri.key,
+			Message: fmt.Sprintf("role %s acquired via rule %d is unrevocable: no premise is a membership rule (star a candidate or group test, use <|*, or add a |> revoker)", ri.key, ri.index),
+		})
+	}
+}
+
+// checkDeadRules reports duplicate rules and rules shadowed by an
+// earlier unconditional catch-all for the same role (R004). Rule order
+// is precedence (§3.2.2): the first suitable membership is issued.
+func (a *analysis) checkDeadRules() {
+	type fileRole struct {
+		file string
+		key  string
+	}
+	canon := make(map[fileRole]map[string]int) // canonical rule -> line
+	catchAll := make(map[fileRole]int)         // line of the catch-all
+	for _, ri := range a.rules {
+		fr := fileRole{ri.in.File, ri.key}
+		c := canonRule(ri.rule)
+		if canon[fr] == nil {
+			canon[fr] = make(map[string]int)
+		}
+		if prev, dup := canon[fr][c]; dup {
+			a.report(Finding{
+				Code: CodeDeadRule, Severity: Warning,
+				Service: ri.in.Service, File: ri.in.File, Line: ri.line(), Role: ri.key,
+				Message: fmt.Sprintf("rule %d duplicates the rule at line %d", ri.index, prev),
+			})
+			continue
+		}
+		canon[fr][c] = ri.line()
+		if prev, shadowed := catchAll[fr]; shadowed {
+			a.report(Finding{
+				Code: CodeDeadRule, Severity: Warning,
+				Service: ri.in.Service, File: ri.in.File, Line: ri.line(), Role: ri.key,
+				Message: fmt.Sprintf("rule %d is shadowed by the unconditional rule at line %d (first matching rule wins, §3.2.2)", ri.index, prev),
+			})
+			continue
+		}
+		if isCatchAll(ri.rule) && !ri.unsat {
+			catchAll[fr] = ri.line()
+		}
+	}
+}
+
+// isCatchAll reports an unconditional rule that matches any request for
+// its role: no premises, no constraint that could fail, and a head of
+// distinct plain variables.
+func isCatchAll(r *rdl.Rule) bool {
+	if len(r.Candidates) > 0 || r.Elector != nil {
+		return false
+	}
+	if r.Constraint != nil && staticEval(r.Constraint) != triTrue {
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, arg := range r.Head.Args {
+		if arg.Var == "" || strings.HasPrefix(arg.Var, "@") || seen[arg.Var] {
+			return false
+		}
+		seen[arg.Var] = true
+	}
+	return true
+}
+
+// checkCycles finds strongly connected components of the role
+// dependency graph (edges from a rule's head to each premise) and
+// reports each cycle once (R006). Cycles are legitimate — the golf
+// club's quorum is one — but only when a base-case rule keeps the
+// roles reachable, so they are worth an info-level note.
+func (a *analysis) checkCycles() {
+	// Edges between roles defined in loaded services.
+	edges := make(map[string][]string)
+	for _, ri := range a.rules {
+		for _, ref := range premises(ri.rule) {
+			key := keyOf(ri.in, ref)
+			if a.defined[key] == nil {
+				continue
+			}
+			edges[ri.key] = append(edges[ri.key], key)
+		}
+	}
+	for _, scc := range stronglyConnected(edges) {
+		selfLoop := false
+		if len(scc) == 1 {
+			for _, to := range edges[scc[0]] {
+				if to == scc[0] {
+					selfLoop = true
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+		}
+		sort.Strings(scc)
+		site := a.defined[scc[0]]
+		msg := fmt.Sprintf("role dependency cycle: %s", strings.Join(append(scc, scc[0]), " -> "))
+		if selfLoop {
+			msg = fmt.Sprintf("role %s depends on itself", scc[0])
+		}
+		a.report(Finding{
+			Code: CodeCycle, Severity: Info,
+			Service: site.in.Service, File: site.in.File, Line: site.line, Role: scc[0],
+			Message: msg,
+		})
+	}
+}
+
+// stronglyConnected is Tarjan's algorithm; only components of size > 1
+// are returned (self-loops are detected by the caller).
+func stronglyConnected(edges map[string][]string) [][]string {
+	nodes := make([]string, 0, len(edges))
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range edges {
+		add(from)
+		for _, to := range tos {
+			add(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := append([]string(nil), edges[v]...)
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, visited := index[w]; !visited {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				out = append(out, scc)
+			} else if len(scc) == 1 {
+				// Preserve single nodes with self-loops for the caller.
+				for _, to := range edges[scc[0]] {
+					if to == scc[0] {
+						out = append(out, scc)
+						break
+					}
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strongconnect(n)
+		}
+	}
+	return out
+}

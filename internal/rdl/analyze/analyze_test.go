@@ -1,0 +1,322 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"oasis/internal/rdl"
+	"oasis/internal/value"
+)
+
+// checkFile parses and type-checks a rolefile with foreign signatures
+// inferred from usage, as cmd/rdlcheck does.
+func checkFile(t *testing.T, src string) *rdl.Rolefile {
+	t.Helper()
+	f, err := rdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := rdl.Check(f, func(service, rolefile, role string) ([]value.Type, error) {
+		switch service + "." + role {
+		case "Login.LoggedOn":
+			return []value.Type{value.ObjectType("Login.userid"), value.ObjectType("Login.host")}, nil
+		case "Pw.Passwd":
+			return []value.Type{value.ObjectType("Login.userid"), value.StringType}, nil
+		}
+		return nil, rdl.ErrInferSignature
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rf
+}
+
+func analyzeOne(t *testing.T, service, src string) []Finding {
+	t.Helper()
+	return Analyze([]Input{{Service: service, File: service + ".rdl", RF: checkFile(t, src)}})
+}
+
+func codes(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Code
+	}
+	return out
+}
+
+func findCode(fs []Finding, code string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Code == code {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestUnrevocableRole(t *testing.T) {
+	fs := analyzeOne(t, "Conf", `
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`)
+	got := findCode(fs, CodeUnrevocable)
+	if len(got) != 1 {
+		t.Fatalf("unrevocable findings = %v", fs)
+	}
+	f := got[0]
+	if f.Role != "Conf.Chair" || f.Severity != Error || f.Line != 2 {
+		t.Errorf("finding = %+v", f)
+	}
+	if !strings.Contains(f.Message, "unrevocable") {
+		t.Errorf("message = %q", f.Message)
+	}
+}
+
+func TestRevocationCoverageForms(t *testing.T) {
+	// Each rule is covered by a different mechanism: starred candidate,
+	// starred election, starred elector reference, revoker, starred
+	// group test. None should be flagged.
+	fs := analyzeOne(t, "S", `
+A(u) <- Login.LoggedOn(u, h)*
+B(u) <- Login.LoggedOn(u, h) <|* A(v)
+C(u) <- Login.LoggedOn(u, h) <| A(v)*
+D(u) <- Login.LoggedOn(u, h) |> A(v)
+E(u) <- Login.LoggedOn(u, h) : (u in staff)*
+`)
+	if got := findCode(fs, CodeUnrevocable); len(got) != 0 {
+		t.Errorf("covered rules flagged: %v", got)
+	}
+}
+
+func TestUncheckedClaimExempt(t *testing.T) {
+	// An empty right-hand side is an unchecked claim (§3.4.3); the
+	// issuing service revokes it directly, so no coverage is required.
+	fs := analyzeOne(t, "Login", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`)
+	if len(fs) != 0 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestConstraintOnlyRuleNeedsCoverage(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+def Op(u) u: string
+Op(u) <- : u in admins
+`)
+	if got := findCode(fs, CodeUnrevocable); len(got) != 1 {
+		t.Errorf("unstarred group-test rule not flagged: %v", fs)
+	}
+}
+
+func TestUndefinedRole(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+def A(u) u: string
+A(u) <- Ghost(u)*
+`)
+	got := findCode(fs, CodeUndefined)
+	if len(got) != 1 || got[0].Role != "S.Ghost" || got[0].Severity != Error {
+		t.Fatalf("findings = %v", fs)
+	}
+	// A is also unreachable: its only premise can never be satisfied.
+	if got := findCode(fs, CodeUnreachable); len(got) != 1 || got[0].Role != "S.A" {
+		t.Errorf("unreachable = %v", fs)
+	}
+}
+
+func TestUnreachableViaCycleWithoutBase(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+def A(u) u: string
+A(u) <- B(u)*
+B(u) <- A(u)*
+`)
+	if got := findCode(fs, CodeUnreachable); len(got) != 2 {
+		t.Errorf("unreachable = %v", fs)
+	}
+	if got := findCode(fs, CodeCycle); len(got) != 1 {
+		t.Errorf("cycle = %v", fs)
+	}
+}
+
+func TestQuorumCycleWithBaseIsReachable(t *testing.T) {
+	// The golf club shape: Member and Rec depend on each other, but the
+	// founders rule is a base case, so both roles stay reachable and
+	// only an info-level cycle note appears.
+	fs := analyzeOne(t, "Golf", `
+def Member(p) p: Login.userid
+Member(p)  <- Login.LoggedOn(p, h)* : (p in founders)*
+Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)*
+Member(p)  <- Rec(p, m1)* <| Member(m2)* : m1 != m2
+`)
+	if got := findCode(fs, CodeUnreachable); len(got) != 0 {
+		t.Errorf("unreachable = %v", got)
+	}
+	cyc := findCode(fs, CodeCycle)
+	if len(cyc) != 1 || cyc[0].Severity != Info {
+		t.Fatalf("cycle = %v", fs)
+	}
+	if !strings.Contains(cyc[0].Message, "Golf.Member") || !strings.Contains(cyc[0].Message, "Golf.Rec") {
+		t.Errorf("cycle message = %q", cyc[0].Message)
+	}
+}
+
+func TestSelfLoopCycle(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+A(u) <- A(u)*
+A(u) <- Login.LoggedOn(u, h)*
+`)
+	cyc := findCode(fs, CodeCycle)
+	if len(cyc) != 1 || !strings.Contains(cyc[0].Message, "depends on itself") {
+		t.Fatalf("cycle = %v", fs)
+	}
+	if got := findCode(fs, CodeUnreachable); len(got) != 0 {
+		t.Errorf("unreachable = %v", got)
+	}
+}
+
+func TestDuplicateRuleIsDead(t *testing.T) {
+	// Alpha-equivalent rules are duplicates even with renamed variables.
+	fs := analyzeOne(t, "S", `
+A(u) <- Login.LoggedOn(u, h)*
+A(x) <- Login.LoggedOn(x, k)*
+`)
+	got := findCode(fs, CodeDeadRule)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "duplicates") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestCatchAllShadowsLaterRules(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+def A(u) u: Login.userid
+A(u) <-
+A(u) <- Login.LoggedOn(u, h)*
+`)
+	got := findCode(fs, CodeDeadRule)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "shadowed") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestLiteralGradedHeadsNotShadowed(t *testing.T) {
+	// The four-level login: literal head arguments grade the result;
+	// no rule shadows another.
+	fs := analyzeOne(t, "Login", `
+def Login(l, u, h) l: integer u: Login.userid h: string
+Login(3, u, @host) <- Pw.Passwd(u, "Login")* : @host in secure
+Login(2, u, @host) <- Pw.Passwd(u, "Login")* : @host in hosts
+Login(1, u, @host) <- Pw.Passwd(u, "Login")*
+Login(0, u, @host) <-
+`)
+	if got := findCode(fs, CodeDeadRule); len(got) != 0 {
+		t.Errorf("dead rules = %v", got)
+	}
+	if got := findCode(fs, CodeUnrevocable); len(got) != 0 {
+		t.Errorf("unrevocable = %v", got)
+	}
+}
+
+func TestUnsatisfiableConstraint(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+A(u) <- Login.LoggedOn(u, h)* : u != u
+B(u) <- Login.LoggedOn(u, h)* : 1 = 2
+C(u) <- Login.LoggedOn(u, h)* : "x" = "y" or not (2 > 1)
+`)
+	got := findCode(fs, CodeUnsatisfiable)
+	if len(got) != 3 {
+		t.Fatalf("unsatisfiable = %v", fs)
+	}
+	// Unsatisfiable rules cannot acquire their heads.
+	if got := findCode(fs, CodeUnreachable); len(got) != 3 {
+		t.Errorf("unreachable = %v", fs)
+	}
+}
+
+func TestStaticStarInfo(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+A(u, v) <- Login.LoggedOn(u, h)* : (u != v)*
+`)
+	got := findCode(fs, CodeStaticStar)
+	if len(got) != 1 || got[0].Severity != Info {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestCrossServiceResolution(t *testing.T) {
+	login := checkFile(t, `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`)
+	conf := checkFile(t, `
+Chair     <- Login.LoggedOn("jmb", h)*
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`)
+	fs := Analyze([]Input{
+		{Service: "Login", File: "Login.rdl", RF: login},
+		{Service: "Conf", File: "Conf.rdl", RF: conf},
+	})
+	if len(fs) != 0 {
+		t.Errorf("findings = %v", fs)
+	}
+
+	// Now break the reference: Conf names a role Login does not define.
+	conf2 := checkFile(t, `
+Chair <- Login.Missing("jmb", h)*
+`)
+	fs = Analyze([]Input{
+		{Service: "Login", File: "Login.rdl", RF: login},
+		{Service: "Conf", File: "Conf.rdl", RF: conf2},
+	})
+	got := findCode(fs, CodeUndefined)
+	if len(got) != 1 || got[0].Role != "Login.Missing" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestSeverityHelpers(t *testing.T) {
+	fs := []Finding{
+		{Code: "a", Severity: Info},
+		{Code: "b", Severity: Error},
+		{Code: "c", Severity: Warning},
+	}
+	if Max(fs) != Error {
+		t.Error("Max")
+	}
+	if Max(nil) != -1 {
+		t.Error("Max(nil)")
+	}
+	if got := Filter(fs, Warning); len(got) != 2 {
+		t.Errorf("Filter = %v", got)
+	}
+	for _, tc := range []struct {
+		in   string
+		want Severity
+	}{{"info", Info}, {"warning", Warning}, {"warn", Warning}, {"error", Error}} {
+		got, err := ParseSeverity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSeverity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity accepted nonsense")
+	}
+}
+
+func TestSetComparisonFolding(t *testing.T) {
+	fs := analyzeOne(t, "S", `
+A(u) <- Login.LoggedOn(u, h)* : {ab} = {ba}
+B(u) <- Login.LoggedOn(u, h)* : {ab} != {ba}
+C(u) <- Login.LoggedOn(u, h)* : {a} <= {ab}
+D(u) <- Login.LoggedOn(u, h)* : {ab} <= {a}
+`)
+	unsat := findCode(fs, CodeUnsatisfiable)
+	if len(unsat) != 2 {
+		t.Fatalf("unsatisfiable = %v (all: %v)", unsat, codes(fs))
+	}
+	for _, f := range unsat {
+		if f.Role != "S.B" && f.Role != "S.D" {
+			t.Errorf("wrong rule flagged: %+v", f)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Severity grades a finding. Error-level findings break the paper's
+// security argument (an issued certificate the service cannot revoke,
+// a premise that can never be satisfied); warnings are soundness smells
+// (dead or unreachable policy); info findings document structure worth
+// a second look (dependency cycles, inert stars).
+type Severity int
+
+// Severity levels, ordered from least to most severe.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("analyze: severity must be a JSON string, got %s", b)
+	}
+	v, err := ParseSeverity(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity parses a severity name.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "warning", "warn":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	default:
+		return Info, fmt.Errorf("analyze: unknown severity %q (want info, warning or error)", s)
+	}
+}
+
+// Finding codes. Each is documented in docs/RDL.md.
+const (
+	// CodeUnrevocable: a rule with premises none of which is a
+	// membership rule and no |> revoker — certificates issued via it
+	// cannot be selectively revoked (§4.2–§4.4).
+	CodeUnrevocable = "R001"
+	// CodeUndefined: a role of a loaded service is referenced but no
+	// rule or declaration defines it.
+	CodeUndefined = "R002"
+	// CodeUnreachable: a defined role with no satisfiable acquisition
+	// path from initial credentials.
+	CodeUnreachable = "R003"
+	// CodeDeadRule: a rule that can never determine an issued
+	// certificate (duplicate, or shadowed by an earlier catch-all).
+	CodeDeadRule = "R004"
+	// CodeUnsatisfiable: a rule whose constraint is statically false.
+	CodeUnsatisfiable = "R005"
+	// CodeCycle: roles that depend on each other cyclically
+	// (delegation/use-condition cycle; legitimate quorum patterns
+	// still need a base case to be reachable).
+	CodeCycle = "R006"
+	// CodeStaticStar: a membership star on a condition with no group
+	// test — captured once at entry, it can never be falsified and so
+	// provides no revocation path (§3.2.3).
+	CodeStaticStar = "R007"
+)
+
+// Finding is one typed analyzer diagnostic.
+type Finding struct {
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	Service  string   `json:"service"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Role     string   `json:"role,omitempty"`
+	Message  string   `json:"message"`
+}
+
+// String renders the finding in file:line: severity code: message form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s %s: %s", f.File, f.Line, f.Severity, f.Code, f.Message)
+}
+
+// sortFindings orders findings by file, line, code, message for
+// deterministic output.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Code != fs[j].Code {
+			return fs[i].Code < fs[j].Code
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// Max returns the highest severity present, or -1 if none.
+func Max(fs []Finding) Severity {
+	max := Severity(-1)
+	for _, f := range fs {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+// Filter returns the findings at or above the given severity.
+func Filter(fs []Finding, min Severity) []Finding {
+	out := make([]Finding, 0, len(fs))
+	for _, f := range fs {
+		if f.Severity >= min {
+			out = append(out, f)
+		}
+	}
+	return out
+}

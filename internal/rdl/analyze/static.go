@@ -1,0 +1,383 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"oasis/internal/rdl"
+)
+
+// tri is a three-valued truth: most constraints cannot be decided
+// statically (group membership, server-specific functions), but literal
+// comparisons and self-comparisons can.
+type tri int
+
+const (
+	triUnknown tri = iota
+	triFalse
+	triTrue
+)
+
+func triNot(t tri) tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func triAnd(a, b tri) tri {
+	if a == triFalse || b == triFalse {
+		return triFalse
+	}
+	if a == triTrue && b == triTrue {
+		return triTrue
+	}
+	return triUnknown
+}
+
+func triOr(a, b tri) tri {
+	if a == triTrue || b == triTrue {
+		return triTrue
+	}
+	if a == triFalse && b == triFalse {
+		return triFalse
+	}
+	return triUnknown
+}
+
+// staticEval decides a constraint where literals allow it; nil
+// constraints are vacuously true.
+func staticEval(e rdl.Expr) tri {
+	if e == nil {
+		return triTrue
+	}
+	switch x := e.(type) {
+	case rdl.AndExpr:
+		return triAnd(staticEval(x.L), staticEval(x.R))
+	case rdl.OrExpr:
+		return triOr(staticEval(x.L), staticEval(x.R))
+	case rdl.NotExpr:
+		return triNot(staticEval(x.E))
+	case rdl.StarExpr:
+		return staticEval(x.E)
+	case rdl.CmpExpr:
+		return staticCmp(x)
+	default:
+		return triUnknown
+	}
+}
+
+func staticCmp(x rdl.CmpExpr) tri {
+	lt, rt := x.L.Term, x.R.Term
+	if lt == nil || rt == nil {
+		return triUnknown
+	}
+	// A variable compared with itself.
+	if lt.Var != "" && lt.Var == rt.Var {
+		switch x.Op {
+		case rdl.CmpEq, rdl.CmpLe, rdl.CmpGe:
+			return triTrue
+		case rdl.CmpNeq, rdl.CmpLt, rdl.CmpGt:
+			return triFalse
+		}
+		return triUnknown
+	}
+	switch {
+	case lt.IsInt && rt.IsInt:
+		return cmpOrdered(x.Op, compareInt(lt.IntLit, rt.IntLit))
+	case lt.IsStr && rt.IsStr:
+		return cmpOrdered(x.Op, strings.Compare(lt.StrLit, rt.StrLit))
+	case lt.IsSet && rt.IsSet:
+		return cmpSets(x.Op, lt.SetLit, rt.SetLit)
+	}
+	// A literal against a variable (or mixed kinds the checker already
+	// rejected) cannot be decided here.
+	return triUnknown
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOrdered(op rdl.CmpOp, c int) tri {
+	var ok bool
+	switch op {
+	case rdl.CmpEq:
+		ok = c == 0
+	case rdl.CmpNeq:
+		ok = c != 0
+	case rdl.CmpLt:
+		ok = c < 0
+	case rdl.CmpLe:
+		ok = c <= 0
+	case rdl.CmpGt:
+		ok = c > 0
+	case rdl.CmpGe:
+		ok = c >= 0
+	default:
+		return triUnknown
+	}
+	if ok {
+		return triTrue
+	}
+	return triFalse
+}
+
+// cmpSets compares set literals as rune sets: = / != are set equality,
+// <= / >= the subset / superset tests of figure 3.3.
+func cmpSets(op rdl.CmpOp, a, b string) tri {
+	as, bs := runeSet(a), runeSet(b)
+	var ok bool
+	switch op {
+	case rdl.CmpEq:
+		ok = as == bs
+	case rdl.CmpNeq:
+		ok = as != bs
+	case rdl.CmpLe:
+		ok = subset(as, bs)
+	case rdl.CmpGe:
+		ok = subset(bs, as)
+	default:
+		return triUnknown
+	}
+	if ok {
+		return triTrue
+	}
+	return triFalse
+}
+
+func runeSet(s string) string {
+	seen := make(map[rune]bool)
+	var rs []rune
+	for _, r := range s {
+		if !seen[r] {
+			seen[r] = true
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return string(rs)
+}
+
+func subset(a, b string) bool {
+	for _, r := range a {
+		if !strings.ContainsRune(b, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasGroupTest reports whether the expression contains an `in` test —
+// the only condition kind whose truth can change after entry without a
+// parameter changing (§3.2.3).
+func hasGroupTest(e rdl.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case rdl.AndExpr:
+		return hasGroupTest(x.L) || hasGroupTest(x.R)
+	case rdl.OrExpr:
+		return hasGroupTest(x.L) || hasGroupTest(x.R)
+	case rdl.NotExpr:
+		return hasGroupTest(x.E)
+	case rdl.StarExpr:
+		return hasGroupTest(x.E)
+	case rdl.InExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// starredGroupTest reports whether some starred sub-expression contains
+// a group test — i.e. the constraint contributes a dynamic membership
+// rule wired to the credential-record graph.
+func starredGroupTest(e rdl.Expr) bool {
+	switch x := e.(type) {
+	case nil:
+		return false
+	case rdl.AndExpr:
+		return starredGroupTest(x.L) || starredGroupTest(x.R)
+	case rdl.OrExpr:
+		return starredGroupTest(x.L) || starredGroupTest(x.R)
+	case rdl.NotExpr:
+		return starredGroupTest(x.E)
+	case rdl.StarExpr:
+		return hasGroupTest(x.E)
+	default:
+		return false
+	}
+}
+
+// inertStars appends the rendering of every starred sub-expression that
+// contains no group test: such a star is captured once at entry time
+// and can never be falsified afterwards.
+func inertStars(e rdl.Expr, out []string) []string {
+	switch x := e.(type) {
+	case nil:
+		return out
+	case rdl.AndExpr:
+		return inertStars(x.R, inertStars(x.L, out))
+	case rdl.OrExpr:
+		return inertStars(x.R, inertStars(x.L, out))
+	case rdl.NotExpr:
+		return inertStars(x.E, out)
+	case rdl.StarExpr:
+		if !hasGroupTest(x.E) {
+			return append(out, x.String())
+		}
+		return inertStars(x.E, out)
+	default:
+		return out
+	}
+}
+
+// canonRule renders a rule with variables renamed v0, v1, ... in order
+// of first appearance, so alpha-equivalent rules compare equal. The
+// reserved @host variable keeps its identity (it is pre-bound).
+func canonRule(r *rdl.Rule) string {
+	names := make(map[string]string)
+	v := func(name string) string {
+		if name == "@host" {
+			return name
+		}
+		c, ok := names[name]
+		if !ok {
+			c = fmt.Sprintf("v%d", len(names))
+			names[name] = c
+		}
+		return c
+	}
+	var b strings.Builder
+	canonRef(&b, r.Head, v)
+	b.WriteString(" <- ")
+	for i := range r.Candidates {
+		if i > 0 {
+			b.WriteString(" & ")
+		}
+		canonRef(&b, r.Candidates[i], v)
+	}
+	if r.Elector != nil {
+		b.WriteString(" <|")
+		if r.ElectStarred {
+			b.WriteByte('*')
+		}
+		b.WriteByte(' ')
+		canonRef(&b, *r.Elector, v)
+	}
+	if r.Revoker != nil {
+		b.WriteString(" |>")
+		if r.RevokeStar {
+			b.WriteByte('*')
+		}
+		b.WriteByte(' ')
+		canonRef(&b, *r.Revoker, v)
+	}
+	if r.Constraint != nil {
+		b.WriteString(" : ")
+		canonExpr(&b, r.Constraint, v)
+	}
+	return b.String()
+}
+
+func canonRef(b *strings.Builder, ref rdl.RoleRef, v func(string) string) {
+	b.WriteString(ref.Qualified())
+	if len(ref.Args) > 0 {
+		b.WriteByte('(')
+		for i, a := range ref.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			canonTerm(b, a, v)
+		}
+		b.WriteByte(')')
+	}
+	if ref.Starred {
+		b.WriteByte('*')
+	}
+}
+
+func canonTerm(b *strings.Builder, t rdl.Term, v func(string) string) {
+	if t.Var != "" {
+		b.WriteString(v(t.Var))
+		return
+	}
+	b.WriteString(t.String())
+}
+
+func canonExpr(b *strings.Builder, e rdl.Expr, v func(string) string) {
+	switch x := e.(type) {
+	case rdl.AndExpr:
+		b.WriteByte('(')
+		canonExpr(b, x.L, v)
+		b.WriteString(" and ")
+		canonExpr(b, x.R, v)
+		b.WriteByte(')')
+	case rdl.OrExpr:
+		b.WriteByte('(')
+		canonExpr(b, x.L, v)
+		b.WriteString(" or ")
+		canonExpr(b, x.R, v)
+		b.WriteByte(')')
+	case rdl.NotExpr:
+		b.WriteString("not ")
+		canonExpr(b, x.E, v)
+	case rdl.StarExpr:
+		b.WriteByte('(')
+		canonExpr(b, x.E, v)
+		b.WriteString(")*")
+	case rdl.InExpr:
+		if x.Call != nil {
+			canonCall(b, x.Call, v)
+		} else {
+			canonTerm(b, x.T, v)
+		}
+		if x.Neg {
+			b.WriteString(" not in ")
+		} else {
+			b.WriteString(" in ")
+		}
+		b.WriteString(x.Group)
+	case rdl.CmpExpr:
+		canonOperand(b, x.L, v)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		canonOperand(b, x.R, v)
+	case rdl.CallExpr:
+		canonCall(b, x.Call, v)
+	}
+}
+
+func canonOperand(b *strings.Builder, o rdl.Operand, v func(string) string) {
+	if o.Call != nil {
+		canonCall(b, o.Call, v)
+		return
+	}
+	canonTerm(b, *o.Term, v)
+}
+
+func canonCall(b *strings.Builder, c *rdl.Call, v func(string) string) {
+	b.WriteString(c.Fn)
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		canonOperand(b, a, v)
+	}
+	b.WriteByte(')')
+}

@@ -1,6 +1,7 @@
 package rdl
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -11,6 +12,13 @@ import (
 // service (the gettypes operation of §4.3). rolefile may be empty for the
 // service's default rolefile.
 type RoleTypesFunc func(service, rolefile, role string) ([]value.Type, error)
+
+// ErrInferSignature may be returned by a RoleTypesFunc to make the
+// checker infer the foreign role's parameter types from usage, exactly
+// as it does for local roles. Offline tools (cmd/rdlcheck) use it to
+// analyze a rolefile without the issuing service's gettypes available;
+// a live service should keep resolving signatures over the network.
+var ErrInferSignature = errors.New("rdl: infer foreign signature from usage")
 
 // Func describes a server-specific function usable in constraint
 // expressions (§3.3.1), such as unixacl or creator. Args may be nil to
@@ -106,6 +114,8 @@ type checker struct {
 	roleSlots map[string][]*node // local role -> per-parameter nodes
 	roleNames map[string][]string
 	imports   map[string]bool // imported object type names
+
+	inferredSlots map[string][]*node // foreign role (qualified) -> nodes, under ErrInferSignature
 }
 
 // Check type-checks a parsed rolefile. foreign resolves signatures of
@@ -115,12 +125,13 @@ type checker struct {
 // redundant, exactly as §3.2.1 promises.
 func Check(f *File, foreign RoleTypesFunc, funcs FuncTable) (*Rolefile, error) {
 	c := &checker{
-		file:      f,
-		foreign:   foreign,
-		funcs:     funcs,
-		roleSlots: make(map[string][]*node),
-		roleNames: make(map[string][]string),
-		imports:   make(map[string]bool),
+		file:          f,
+		foreign:       foreign,
+		funcs:         funcs,
+		roleSlots:     make(map[string][]*node),
+		roleNames:     make(map[string][]string),
+		imports:       make(map[string]bool),
+		inferredSlots: make(map[string][]*node),
 	}
 	for _, im := range f.Imports {
 		c.imports[im.Service+"."+im.Type] = true
@@ -253,15 +264,33 @@ func (c *checker) rule(r *Rule) error {
 					Msg: fmt.Sprintf("no resolver for foreign role %s", ref.Qualified())}
 			}
 			ts, err := c.foreign(ref.Service, ref.Rolefile, ref.Name)
-			if err != nil {
+			switch {
+			case errors.Is(err, ErrInferSignature):
+				// Infer the foreign signature from usage: all
+				// references to the same qualified role share slots.
+				key := ref.Service + "." + ref.Rolefile + "." + ref.Name
+				slots = c.inferredSlots[key]
+				if slots == nil {
+					slots = make([]*node, len(ref.Args))
+					for i := range slots {
+						slots[i] = &node{line: ref.Line}
+					}
+					c.inferredSlots[key] = slots
+				}
+				if len(slots) != len(ref.Args) {
+					return &CheckError{Line: ref.Line,
+						Msg: fmt.Sprintf("%s used with %d arguments, conflicting with earlier use", ref.Qualified(), len(ref.Args))}
+				}
+			case err != nil:
 				return &CheckError{Line: ref.Line,
 					Msg: fmt.Sprintf("resolving %s: %v", ref.Qualified(), err)}
+			default:
+				if len(ts) != len(ref.Args) {
+					return &CheckError{Line: ref.Line,
+						Msg: fmt.Sprintf("%s takes %d arguments, got %d", ref.Qualified(), len(ts), len(ref.Args))}
+				}
+				slotTypes = ts
 			}
-			if len(ts) != len(ref.Args) {
-				return &CheckError{Line: ref.Line,
-					Msg: fmt.Sprintf("%s takes %d arguments, got %d", ref.Qualified(), len(ts), len(ref.Args))}
-			}
-			slotTypes = ts
 		}
 		for i, a := range ref.Args {
 			var n *node

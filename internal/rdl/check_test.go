@@ -248,3 +248,115 @@ func TestLiteralValueCoercion(t *testing.T) {
 		t.Fatalf("set literal = %v, %v", s, err)
 	}
 }
+
+func TestDuplicateRoleDeclArityClash(t *testing.T) {
+	// The same role name declared (or used) at two different arities is
+	// a duplicate definition, not an overload.
+	for _, src := range []string{
+		"def A(u) u: string\ndef A(u, v) u: string v: string\nA(u) <-",
+		"A(u) <- Login.LoggedOn(u, h)\nA(u, v) <- Login.LoggedOn(u, h)",
+	} {
+		f, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Check(f, loginTypes, nil)
+		if err == nil || !strings.Contains(err.Error(), "arity") && !strings.Contains(err.Error(), "conflicting") {
+			t.Errorf("Check(%q) err = %v", src, err)
+		}
+	}
+}
+
+func TestRuleScopedVariableShadowing(t *testing.T) {
+	// Variables are rule-scoped: the same name may carry different
+	// types in different rules without clashing.
+	src := `
+A(h) <- Login.LoggedOn(u, h)
+B(h) <- Pw.Passwd(h, k)
+`
+	rf := checkOK(t, src, nil)
+	if got := rf.Types["A"]; len(got) != 1 || got[0].Name != "Login.host" {
+		t.Fatalf("A types = %v", got)
+	}
+	if got := rf.Types["B"]; len(got) != 1 || got[0].Name != "Login.userid" {
+		t.Fatalf("B types = %v", got)
+	}
+}
+
+func TestForeignRoleTypeMismatch(t *testing.T) {
+	// Within one rule the shared variable h would have to be both a
+	// Login.host (from LoggedOn) and a Login.userid (from Passwd).
+	src := `R(u) <- Login.LoggedOn(u, h) & Pw.Passwd(h, k)`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, loginTypes, nil); err == nil ||
+		!strings.Contains(err.Error(), "type mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// inferTypes resolves the known roles and asks the checker to infer
+// everything else from usage, as cmd/rdlcheck -assume-foreign does.
+func inferTypes(service, rolefile, role string) ([]value.Type, error) {
+	if service == "Login" && role == "LoggedOn" {
+		return []value.Type{value.ObjectType("Login.userid"), value.ObjectType("Login.host")}, nil
+	}
+	return nil, ErrInferSignature
+}
+
+func TestInferSignatureSharedAcrossRules(t *testing.T) {
+	// Both rules use Crypto.Key; its inferred parameter slots are
+	// shared, so the concrete type flowing in from the first rule
+	// types the second rule's head.
+	src := `
+A(u) <- Login.LoggedOn(u, h) & Crypto.Key(u, k)
+B(k) <- Crypto.Key(u, k) : k = "x"
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, inferTypes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rf.Types["A"]; len(got) != 1 || got[0].Name != "Login.userid" {
+		t.Fatalf("A types = %v", got)
+	}
+	if got := rf.Types["B"]; len(got) != 1 || got[0] != value.StringType {
+		t.Fatalf("B types = %v", got)
+	}
+}
+
+func TestInferSignatureArityConflict(t *testing.T) {
+	src := `
+A(u) <- Crypto.Key(u)
+B(u) <- Crypto.Key(u, k)
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, inferTypes, nil); err == nil ||
+		!strings.Contains(err.Error(), "conflicting with earlier use") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInferSignatureTypeConflict(t *testing.T) {
+	// The inferred slot is unified to Login.userid by the first rule
+	// and to an integer literal by the second: a cross-rule mismatch.
+	src := `
+A(u) <- Login.LoggedOn(u, h) & Crypto.Key(u)
+B    <- Crypto.Key(7)
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(f, inferTypes, nil); err == nil {
+		t.Fatal("cross-rule inferred type conflict accepted")
+	}
+}
