@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: build test race bench bench-notify vet lint ci all
+.PHONY: build test race chaos bench bench-notify vet lint ci all
 
 all: build vet test
 
 # ci is the gate a change must pass: build, vet, the custom static
 # analysis (rdlcheck over every example policy, oasislint over the
-# tree), the full test suite, then the race detector over every
-# concurrency-sensitive package.
-ci: build vet lint test race
+# tree), the full test suite, the race detector over every
+# concurrency-sensitive package, then the seeded chaos suite.
+ci: build vet lint test race chaos
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,16 @@ test:
 # tested with the race detector on.
 race:
 	$(GO) test -race ./internal/bus/... ./internal/event/... \
-		./internal/oasis/... ./internal/credrec/... ./internal/cert/...
+		./internal/oasis/... ./internal/credrec/... ./internal/cert/... \
+		./internal/fault/...
+
+# The seeded chaos suite (internal/fault/chaos_test.go): whole
+# deployments driven through scripted partitions, loss and duplication;
+# every run reproduces from (seed, schedule), so failures are
+# deterministic. Always under the race detector — the fault plane
+# exists to shake out exactly the interleavings it would catch.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/fault/... -count=1
 
 # Serial benchmarks plus the parallel suite at 1, 4 and 8 threads
 # (bench_parallel_test.go); results feed EXPERIMENTS.md.

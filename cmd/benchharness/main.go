@@ -18,6 +18,7 @@ import (
 	"oasis/internal/clock"
 	"oasis/internal/credrec"
 	"oasis/internal/event"
+	"oasis/internal/fault"
 	"oasis/internal/ids"
 	"oasis/internal/mssa"
 	"oasis/internal/oasis"
@@ -55,7 +56,155 @@ func run() error {
 		return err
 	}
 	fmt.Println()
-	return tableT7()
+	if err := tableT7(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return tableT8()
+}
+
+// tableT8 is the chaos matrix (E29): a Login/Conf deployment driven
+// through a scheduled partition (30s-60s) under varying link faults,
+// with the watched login revoked mid-partition. For each fault profile
+// it reports the fault plane's activity, how long after the split the
+// watcher's validations failed safe, how long after the heal the
+// surviving membership was restored by resync, and whether a same-seed
+// rerun reproduced the identical fault transcript (§4.10 determinism).
+func tableT8() error {
+	fmt.Println("T8 (E29): chaos matrix — split at 30s, heal at 60s, revocation at 40s")
+	fmt.Printf("%-24s %7s %6s %12s %12s %10s\n",
+		"link faults", "drops", "dups", "failsafe", "recovery", "same-seed")
+	profiles := []struct {
+		label string
+		f     fault.Faults
+	}{
+		{"clean", fault.Faults{}},
+		{"dup=0.2 jitter=300ms", fault.Faults{Dup: 0.2, Jitter: 300 * time.Millisecond}},
+		{"drop=0.3", fault.Faults{Drop: 0.3}},
+	}
+	for _, p := range profiles {
+		const seed = 7
+		r1, err := chaosRun(seed, p.f)
+		if err != nil {
+			return err
+		}
+		r2, err := chaosRun(seed, p.f)
+		if err != nil {
+			return err
+		}
+		same := "yes"
+		if r1.transcript != r2.transcript {
+			same = "NO"
+		}
+		fmtAt := func(at, from int) string {
+			if at < 0 {
+				return "never"
+			}
+			return fmt.Sprintf("+%ds", at-from)
+		}
+		fmt.Printf("%-24s %7d %6d %12s %12s %10s\n", p.label,
+			r1.drops, r1.dups, fmtAt(r1.failsafeAt, 30), fmtAt(r1.recoveryAt, 60), same)
+	}
+	fmt.Println("  (failsafe: split -> validations refused; recovery: heal -> restored")
+	fmt.Println("   by auto-resync; every run reproduces from (seed, schedule), §4.10)")
+	return nil
+}
+
+type chaosResult struct {
+	transcript             string
+	drops, dups            int64
+	failsafeAt, recoveryAt int // virtual seconds; -1 = never happened
+}
+
+// chaosRun is one seeded pass of the T8 scenario: a member watched
+// across the Login->Conf link, a partition per schedule, a second
+// member revoked mid-partition, validation probed every second.
+func chaosRun(seed int64, f fault.Faults) (chaosResult, error) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	plane := fault.New(clk, seed)
+	plane.Install(net)
+	login, err := oasis.New("Login", clk, net, oasis.Options{HeartbeatEvery: 5 * time.Second})
+	if err != nil {
+		return chaosResult{}, err
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		return chaosResult{}, err
+	}
+	conf, err := oasis.New("Conf", clk, net, oasis.Options{
+		HeartbeatEvery: 5 * time.Second,
+		FailsafeMissed: 2,
+		AutoResync:     true,
+	})
+	if err != nil {
+		return chaosResult{}, err
+	}
+	if err := conf.AddRolefile("main", `Member(u) <- Login.LoggedOn(u, h)*`); err != nil {
+		return chaosResult{}, err
+	}
+	host := ids.NewHostAuthority("ely", clk.Now())
+	member := func(user string) (ids.ClientID, *cert.RMC, *cert.RMC, error) {
+		c := host.NewDomain()
+		lg, err := login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{
+				value.Object("Login.userid", user),
+				value.Object("Login.host", "ely"),
+			},
+		})
+		if err != nil {
+			return c, nil, nil, err
+		}
+		m, err := conf.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "Member",
+			Args:  []value.Value{value.Object("Login.userid", user)},
+			Creds: []*cert.RMC{lg},
+		})
+		return c, lg, m, err
+	}
+	stayC, _, stayM, err := member("alice")
+	if err != nil {
+		return chaosResult{}, err
+	}
+	goneC, goneLogin, _, err := member("bob")
+	if err != nil {
+		return chaosResult{}, err
+	}
+	plane.SetFaults("Login", "Conf", f)
+	plane.SetSchedule([]fault.Step{
+		{At: 30 * time.Second, Kind: "split", Name: "wan", Side1: []string{"Login"}, Side2: []string{"Conf"}},
+		{At: 60 * time.Second, Kind: "heal", Name: "wan"},
+	})
+	res := chaosResult{failsafeAt: -1, recoveryAt: -1}
+	for i := 1; i <= 120; i++ {
+		clk.Advance(time.Second)
+		plane.Tick()
+		net.Flush()
+		if i%5 == 0 {
+			login.HeartbeatTick()
+			net.Flush()
+			conf.SuspicionTick()
+		}
+		if i == 40 {
+			if err := login.Exit(goneLogin, goneC); err != nil {
+				return chaosResult{}, err
+			}
+		}
+		ok := conf.Validate(stayM, stayC) == nil
+		if res.failsafeAt < 0 && i >= 30 && !ok {
+			res.failsafeAt = i
+		}
+		if res.recoveryAt < 0 && i >= 60 && ok {
+			res.recoveryAt = i
+		}
+	}
+	res.transcript = plane.Transcript()
+	res.drops = plane.Drops()
+	res.dups = plane.Dups()
+	return res, nil
 }
 
 // t7Endpoint counts deliveries and the sequence numbers they cover

@@ -15,6 +15,13 @@
 // Modified events; -remote joins another process's peer port under its
 // service name, letting rolefiles here reference its roles.
 //
+// -fault-schedule arms a deterministic fault plane on the in-process
+// bus (drops, duplicates, delays, partitions — the format is documented
+// at internal/fault.ParseSchedule); -fault-seed makes the run
+// reproducible. Watched sources degrade through suspect/failed after
+// -failsafe-missed silent heartbeat periods, recover by automatic
+// resync, and every transition is logged.
+//
 // Protocol (one JSON object per line):
 //
 //	{"op":"enter","enter":{...}}          -> {"ok":true,"cert":{...}}
@@ -30,9 +37,11 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 
 	"oasis/internal/bus"
 	"oasis/internal/clock"
+	"oasis/internal/fault"
 	"oasis/internal/oasis"
 )
 
@@ -58,14 +67,31 @@ func main() {
 		scope      = flag.String("scope", "main", "rolefile scope id")
 		listen     = flag.String("listen", "127.0.0.1:7465", "client (JSON) listen address")
 		peerListen = flag.String("peer-listen", "", "inter-service (gob) listen address; empty disables")
+		faultSched = flag.String("fault-schedule", "", "fault schedule file for the in-process bus (see internal/fault.ParseSchedule); empty disables")
+		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for the fault plane; a run is reproducible from (seed, schedule)")
+		missedHB   = flag.Int("failsafe-missed", 3, "heartbeat periods of silence before a watched source's records fail safe to False")
 		remotes    = remoteFlags{}
 	)
 	flag.Var(remotes, "remote", "peer service name=addr (repeatable)")
 	flag.Parse()
-	if err := run(*name, *rolefile, *scope, *listen, *peerListen, remotes); err != nil {
+	if err := run(config{
+		name: *name, rolefilePath: *rolefile, scope: *scope,
+		listen: *listen, peerListen: *peerListen,
+		faultSchedule: *faultSched, faultSeed: *faultSeed,
+		failsafeMissed: *missedHB, remotes: remotes,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+type config struct {
+	name, rolefilePath, scope string
+	listen, peerListen        string
+	faultSchedule             string
+	faultSeed                 int64
+	failsafeMissed            int
+	remotes                   map[string]string
 }
 
 const builtinLoginRolefile = `
@@ -73,32 +99,60 @@ def LoggedOn(u, h) u: Login.userid h: Login.host
 LoggedOn(u, h) <-
 `
 
-func run(name, rolefilePath, scope, listen, peerListen string, remotes map[string]string) error {
+func run(cfg config) error {
+	name := cfg.name
 	src := builtinLoginRolefile
-	if rolefilePath != "" {
-		data, err := os.ReadFile(rolefilePath)
+	if cfg.rolefilePath != "" {
+		data, err := os.ReadFile(cfg.rolefilePath)
 		if err != nil {
 			return err
 		}
 		src = string(data)
 	}
 	oasis.RegisterWireTypes()
-	network := bus.NewNetwork(clock.Real())
-	svc, err := oasis.New(name, clock.Real(), network, oasis.Options{})
+	clk := clock.Real()
+	network := bus.NewNetwork(clk)
+	if cfg.faultSchedule != "" {
+		data, err := os.ReadFile(cfg.faultSchedule)
+		if err != nil {
+			return err
+		}
+		steps, err := fault.ParseSchedule(string(data))
+		if err != nil {
+			return err
+		}
+		plane := fault.New(clk, cfg.faultSeed)
+		plane.Install(network)
+		plane.SetSchedule(steps)
+		log.Printf("oasisd: fault plane armed: %d step(s), seed %d", len(steps), cfg.faultSeed)
+		go func() {
+			for {
+				<-clk.After(time.Second)
+				plane.Tick()
+			}
+		}()
+	}
+	svc, err := oasis.New(name, clk, network, oasis.Options{
+		FailsafeMissed: cfg.failsafeMissed,
+		AutoResync:     true,
+		OnSourceState: func(source string, from, to oasis.SourceState) {
+			log.Printf("oasisd: source %q %s -> %s", source, from, to)
+		},
+	})
 	if err != nil {
 		return err
 	}
-	for peer, addr := range remotes {
+	for peer, addr := range cfg.remotes {
 		if err := network.AddRemote(peer, addr); err != nil {
 			return fmt.Errorf("join %s at %s: %w", peer, addr, err)
 		}
 		log.Printf("oasisd: joined peer %q at %s", peer, addr)
 	}
-	if err := svc.AddRolefile(scope, src); err != nil {
+	if err := svc.AddRolefile(cfg.scope, src); err != nil {
 		return err
 	}
-	if peerListen != "" {
-		peerLn, err := net.Listen("tcp", peerListen)
+	if cfg.peerListen != "" {
+		peerLn, err := net.Listen("tcp", cfg.peerListen)
 		if err != nil {
 			return err
 		}
@@ -112,12 +166,14 @@ func run(name, rolefilePath, scope, listen, peerListen string, remotes map[strin
 	}
 	stopHB := svc.StartHeartbeats()
 	defer stopHB()
-	ln, err := net.Listen("tcp", listen)
+	stopSusp := svc.StartSuspicion()
+	defer stopSusp()
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
-	log.Printf("oasisd: service %q serving rolefile %q on %s", name, scope, ln.Addr())
+	log.Printf("oasisd: service %q serving rolefile %q on %s", name, cfg.scope, ln.Addr())
 	srv := NewServer(svc)
 	return srv.Serve(ln)
 }

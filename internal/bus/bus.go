@@ -51,6 +51,27 @@ type BatchEndpoint interface {
 // unregistered peer.
 var ErrUnreachable = errors.New("bus: peer unreachable")
 
+// Verdict is a link policy's treatment of one notification: drop it,
+// deliver Copies copies (1 is normal; 2 models duplication), and add
+// Delay to its delivery time (a random component yields reordering,
+// because the delay queue is ordered by due time).
+type Verdict struct {
+	Drop   bool
+	Copies int
+	Delay  time.Duration
+}
+
+// LinkPolicy lets a fault-injection plane (internal/fault) interpose on
+// every link. Notify is consulted once per asynchronous notification at
+// send time and may consume randomness; Blocked is a pure query — is
+// the link severed right now? — consulted for synchronous calls and
+// again when a delayed notification comes due, so a message queued
+// before a partition does not slip across it.
+type LinkPolicy interface {
+	Notify(from, to string) Verdict
+	Blocked(from, to string) bool
+}
+
 type linkKey struct{ a, b string }
 
 func normKey(a, b string) linkKey {
@@ -142,6 +163,11 @@ type Network struct {
 	counters       [counterShards]counterShard
 
 	coalesce atomic.Pointer[CoalesceRule]
+	policy   atomic.Pointer[policyBox]
+
+	// TCP call-retry tuning (remotePeer.call); see SetCallRetry.
+	retryAttempts atomic.Int64
+	retryBase     atomic.Int64 // nanoseconds
 
 	activeBatches atomic.Int64 // fast "any batch open?" check for Send
 	batchMu       sync.Mutex
@@ -177,6 +203,60 @@ func (n *Network) SetDown(a, b string, down bool) {
 	n.down[normKey(a, b)] = down
 }
 
+// FailLink severs the (bidirectional) link between two peers: calls
+// across it return ErrUnreachable and notifications — including ones
+// already queued with a delay — count against the drop counter.
+func (n *Network) FailLink(a, b string) { n.SetDown(a, b, true) }
+
+// HealLink restores a link severed with FailLink.
+func (n *Network) HealLink(a, b string) { n.SetDown(a, b, false) }
+
+// Dropped reports the number of notifications lost in transit: sends
+// over failed links, queued deliveries whose link or destination went
+// away before they came due, policy-injected drops, and TCP encode
+// failures. Heartbeat loss detection (§4.10) is sequence-based; this
+// counter is the transport-side account of the same losses.
+func (n *Network) Dropped() int64 { return n.droppedCount.Load() }
+
+// policyBox wraps the LinkPolicy interface so it can sit in an
+// atomic.Pointer.
+type policyBox struct{ p LinkPolicy }
+
+// SetLinkPolicy installs (or, with nil, removes) the link-layer fault
+// policy. The fault plane (internal/fault) is the intended implementer.
+func (n *Network) SetLinkPolicy(p LinkPolicy) {
+	if p == nil {
+		n.policy.Store(nil)
+		return
+	}
+	n.policy.Store(&policyBox{p: p})
+}
+
+// linkSevered reports whether the link is failed or policy-blocked; it
+// takes linkMu itself and must be called with no bus lock held.
+func (n *Network) linkSevered(from, to string) bool {
+	n.linkMu.RLock()
+	downNow := n.down[normKey(from, to)]
+	n.linkMu.RUnlock()
+	if downNow {
+		return true
+	}
+	if box := n.policy.Load(); box != nil {
+		return box.p.Blocked(from, to)
+	}
+	return false
+}
+
+// SetCallRetry tunes the TCP call path (remotePeer.call): up to
+// attempts tries, waiting base, 2·base, 4·base… between them on the
+// network clock. attempts ≤ 1 disables retry. Only pre-send failures
+// (dial, encode) are retried — once a request may have reached the
+// peer, retrying could double-apply it.
+func (n *Network) SetCallRetry(attempts int, base time.Duration) {
+	n.retryAttempts.Store(int64(attempts))
+	n.retryBase.Store(int64(base))
+}
+
 // SetDelay imposes a one-way-equivalent delivery delay on the link; it
 // applies to asynchronous notifications only (synchronous calls model a
 // blocking RPC).
@@ -203,11 +283,8 @@ func (n *Network) route(to string) (Endpoint, remoteLink) {
 // added with AddRemote are reached over their TCP link.
 func (n *Network) Call(from, to, op string, arg any) (any, error) {
 	ep, remote := n.route(to)
-	n.linkMu.RLock()
-	downNow := n.down[normKey(from, to)]
-	n.linkMu.RUnlock()
 	n.bump("call:" + op)
-	if downNow || (ep == nil && remote == nil) {
+	if n.linkSevered(from, to) || (ep == nil && remote == nil) {
 		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
 	if ep == nil {
@@ -218,10 +295,12 @@ func (n *Network) Call(from, to, op string, arg any) (any, error) {
 
 // Send delivers an event notification from one peer to another,
 // applying link failure (silent drop — exactly what heartbeats exist to
-// detect) and delay (queued until Flush past the due time). While the
-// sender has a batch open (StartBatch), immediate deliveries are
-// buffered and flushed — coalesced — at EndBatch; link failure and
-// delay are still evaluated here, at send time.
+// detect), the installed LinkPolicy (probabilistic drop, duplication,
+// added delay), and delay (queued until Flush past the due time). While
+// the sender has a batch open (StartBatch), immediate deliveries are
+// buffered and flushed — coalesced — at EndBatch; link failure, policy
+// and delay are still evaluated here, at send time, except that a
+// queued notification re-checks the link when it comes due.
 func (n *Network) Send(from, to string, note event.Notification) {
 	n.notifyCount.Add(1)
 	if note.Heartbeat {
@@ -237,6 +316,25 @@ func (n *Network) Send(from, to string, note event.Notification) {
 		n.droppedCount.Add(1)
 		return
 	}
+	copies := 1
+	if box := n.policy.Load(); box != nil {
+		v := box.p.Notify(from, to)
+		if v.Drop {
+			n.droppedCount.Add(1)
+			return
+		}
+		if v.Copies > 1 {
+			copies = v.Copies
+		}
+		d += v.Delay
+	}
+	for c := 0; c < copies; c++ {
+		n.sendOne(from, to, ep, remote, note, d)
+	}
+}
+
+// sendOne queues or delivers a single (possibly duplicated) copy.
+func (n *Network) sendOne(from, to string, ep Endpoint, remote remoteLink, note event.Notification, d time.Duration) {
 	if d > 0 {
 		n.queueMu.Lock()
 		n.nextSeq++
@@ -388,6 +486,13 @@ func (n *Network) Flush() int {
 	n.queueMu.Unlock()
 	delivered := 0
 	for _, q := range due {
+		// Re-check the link at delivery time: a message queued before a
+		// partition must not slip across it. (Blocked is a pure query, so
+		// this consumes no policy randomness.)
+		if n.linkSevered(q.from, q.to) {
+			n.droppedCount.Add(1)
+			continue
+		}
 		ep, remote := n.route(q.to)
 		switch {
 		case ep != nil:

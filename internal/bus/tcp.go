@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"oasis/internal/event"
 )
@@ -101,6 +103,10 @@ type remotePeer struct {
 	addr string
 	home *Network // dispatches inbound back-channel notifications
 
+	// dropped counts notifications lost on this link specifically; the
+	// same losses also count in the home network's global Dropped.
+	dropped atomic.Int64
+
 	mu      sync.Mutex
 	conn    net.Conn
 	w       *bufio.Writer
@@ -108,6 +114,22 @@ type remotePeer struct {
 	closed  bool // CloseRemotes: no reconnection
 	nextSeq uint64
 	waiting map[uint64]chan wireMsg
+
+	// Inbound back-channel notifications are delivered by a pump
+	// goroutine, never on the read loop itself: a delivery callback may
+	// issue a synchronous call over this very link (the auto-resync a
+	// reviving heartbeat triggers does exactly that), and the reply can
+	// only be read by the read loop.
+	inMu      sync.Mutex
+	inQ       []wireMsg
+	inPumping bool
+}
+
+// drop accounts count lost notifications against both the per-link and
+// the network-wide counters.
+func (p *remotePeer) drop(count int) {
+	p.dropped.Add(int64(count))
+	p.home.dropNote(count)
 }
 
 // ServeTCP exports this network's registered endpoints on the listener.
@@ -212,6 +234,19 @@ func (n *Network) AddRemote(name, addr string) error {
 	return nil
 }
 
+// RemoteDropped reports the notifications lost on the TCP link to the
+// named remote peer (the per-link slice of Dropped). Zero for names
+// that are not remotePeer links.
+func (n *Network) RemoteDropped(name string) int64 {
+	n.peersMu.RLock()
+	link := n.remotes[name]
+	n.peersMu.RUnlock()
+	if p, ok := link.(*remotePeer); ok {
+		return p.dropped.Load()
+	}
+	return 0
+}
+
 // CloseRemotes shuts down outgoing TCP links.
 func (n *Network) CloseRemotes() {
 	n.peersMu.Lock()
@@ -287,7 +322,7 @@ func (p *remotePeer) readLoop(conn net.Conn) {
 			// Back-channel delivery (figure 4.8's event notification
 			// arriving over the link we dialled).
 			if p.home != nil {
-				p.home.Send(msg.From, msg.To, msg.Note)
+				p.enqueueInbound(msg)
 			}
 			continue
 		}
@@ -304,11 +339,83 @@ func (p *remotePeer) readLoop(conn net.Conn) {
 	}
 }
 
+// enqueueInbound queues one inbound notification and ensures a pump is
+// running. Only the read loop enqueues, so queue order is wire order,
+// and the pump clears its running flag only after its last delivery
+// completed — two pumps never run at once, so delivery order per link
+// equals arrival order (§4.10 gap detection depends on it).
+func (p *remotePeer) enqueueInbound(msg wireMsg) {
+	p.inMu.Lock()
+	p.inQ = append(p.inQ, msg)
+	start := !p.inPumping
+	if start {
+		p.inPumping = true
+	}
+	p.inMu.Unlock()
+	if start {
+		go p.pumpInbound()
+	}
+}
+
+func (p *remotePeer) pumpInbound() {
+	for {
+		p.inMu.Lock()
+		if len(p.inQ) == 0 {
+			p.inPumping = false
+			p.inMu.Unlock()
+			return
+		}
+		msg := p.inQ[0]
+		p.inQ = p.inQ[1:]
+		p.inMu.Unlock()
+		p.home.Send(msg.From, msg.To, msg.Note)
+	}
+}
+
+// call issues one synchronous request. Pre-send failures — dial and
+// encode, where the request cannot have reached the peer — are retried
+// with exponential backoff on the home network's clock (SetCallRetry);
+// once the request is on the wire a lost connection fails the call,
+// because retrying could execute it twice.
 func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
+	attempts := int(p.home.retryAttempts.Load())
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := time.Duration(p.home.retryBase.Load())
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && backoff > 0 {
+			// Waits on the clock, never time.Sleep: virtual-clock
+			// simulations advance it deterministically. No lock is held
+			// across the wait.
+			<-p.home.clk.After(backoff)
+			backoff *= 2
+		}
+		var ch chan wireMsg
+		ch, err = p.startCall(from, to, op, arg)
+		if err != nil {
+			continue
+		}
+		reply := <-ch
+		if reply.Err != "" {
+			return nil, errors.New(reply.Err)
+		}
+		if reply.IsNil {
+			return nil, nil
+		}
+		return reply.Arg, nil
+	}
+	return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+}
+
+// startCall dials if needed and puts one request on the wire, returning
+// the reply channel. Errors here are pre-send: safe to retry.
+func (p *remotePeer) startCall(from, to, op string, arg any) (chan wireMsg, error) {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	if err := p.ensureConnLocked(); err != nil {
-		p.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+		return nil, err
 	}
 	p.nextSeq++
 	seq := p.nextSeq
@@ -321,18 +428,9 @@ func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 	if err != nil {
 		delete(p.waiting, seq)
 		p.breakLocked()
-		p.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		return nil, err
 	}
-	p.mu.Unlock()
-	reply := <-ch
-	if reply.Err != "" {
-		return nil, errors.New(reply.Err)
-	}
-	if reply.IsNil {
-		return nil, nil
-	}
-	return reply.Arg, nil
+	return ch, nil
 }
 
 func (p *remotePeer) send(from, to string, note event.Notification) {
@@ -347,18 +445,18 @@ func (p *remotePeer) sendBatch(from, to string, notes []event.Notification) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if err := p.ensureConnLocked(); err != nil {
-		p.home.dropNote(len(notes))
+		p.drop(len(notes))
 		return
 	}
 	for i, note := range notes {
 		if err := p.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note}); err != nil {
-			p.home.dropNote(len(notes) - i)
+			p.drop(len(notes) - i)
 			p.breakLocked()
 			return
 		}
 	}
 	if err := p.w.Flush(); err != nil {
-		p.home.dropNote(len(notes))
+		p.drop(len(notes))
 		p.breakLocked()
 	}
 }

@@ -43,6 +43,7 @@
 package credrec
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -669,6 +670,46 @@ func (st *Store) MarkSourceUnknown(source string) int {
 	return n
 }
 
+// MarkSourceFailsafe moves every non-permanent external record from the
+// given source to False — NOT permanently: the fact may still hold, the
+// holder simply cannot confirm it. This is the §6.8.4 fail-safe
+// escalation beyond MarkSourceUnknown: after enough missed heartbeats
+// the source is presumed failed and everything depending on it stops
+// validating until a resync restores the true states. Records already
+// False (or permanent) are skipped. The change cascades.
+func (st *Store) MarkSourceFailsafe(source string) int {
+	st.writeMu.Lock()
+	n := 0
+	for si := range st.shards {
+		for _, sl := range st.shards[si].slots {
+			r := sl.rec
+			if r == nil || r.external != source || r.permanent || r.state == False {
+				continue
+			}
+			st.transition(r, False, false)
+			n++
+		}
+	}
+	st.writeMu.Unlock()
+	st.drain()
+	return n
+}
+
+// Resolve returns the record's current state and permanence with a
+// single lock-free load (the resync responder's read). A dangling
+// reference reports (False, permanent): the fact was revoked and swept.
+func (st *Store) Resolve(ref Ref) (State, bool, error) {
+	sh := st.shardFor(ref.Index)
+	sh.mu.RLock()
+	r, err := sh.get(ref)
+	sh.mu.RUnlock()
+	if err != nil {
+		return False, true, err
+	}
+	v := r.sp.Load()
+	return State(v &^ permBit), v&permBit != 0, nil
+}
+
 // ExternalRefs lists the live external records for a source, so a server
 // can re-read their states when a connection is re-established.
 func (st *Store) ExternalRefs(source string) []Ref {
@@ -719,6 +760,47 @@ func (st *Store) Sweep() int {
 		sh.mu.Unlock()
 	}
 	return deleted
+}
+
+// Image renders every live record as one text line in global index
+// order: a deterministic fingerprint of the store's entire state. Two
+// stores that evolved through the same logical history — an original
+// and its journal replay, or peers that have resynchronised — produce
+// byte-identical images; the chaos and persistence suites compare them
+// directly.
+func (st *Store) Image() []byte {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+	maxSlots := 0
+	for si := range st.shards {
+		if n := len(st.shards[si].slots); n > maxSlots {
+			maxSlots = n
+		}
+	}
+	var b bytes.Buffer
+	// Global index p*numShards+si ascends with p outer, si inner.
+	for p := 0; p < maxSlots; p++ {
+		for si := 0; si < numShards; si++ {
+			sh := &st.shards[si]
+			if p >= len(sh.slots) || sh.slots[p].rec == nil {
+				continue
+			}
+			r := sh.slots[p].rec
+			flags := ""
+			if r.notify {
+				flags += "n"
+			}
+			if r.directUse {
+				flags += "d"
+			}
+			if r.autoRev {
+				flags += "a"
+			}
+			fmt.Fprintf(&b, "%s op=%d state=%s perm=%t ext=%q flags=%q parents=%d children=%d\n",
+				r.ref, r.op, r.state, r.permanent, r.external, flags, r.nParents, len(r.children))
+		}
+	}
+	return b.Bytes()
 }
 
 // Live reports the number of live records (for tests and benchmarks).

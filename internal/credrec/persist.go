@@ -18,10 +18,14 @@ import (
 // crash therefore validate correctly after recovery, and revocations
 // performed before the crash stay revoked.
 
-// LoggedStore journals mutations of an underlying Store. Journal writes
-// are serialised, but the journal-then-apply pair is not atomic against
-// other mutators: callers mutating concurrently must impose their own
-// ordering (the OASIS service engine serialises issuance already).
+// LoggedStore journals mutations of an underlying Store. The
+// apply-then-journal pair runs under one mutex, so concurrent mutators
+// cannot interleave an apply order different from the journal order —
+// replaying the journal at any instant reproduces the store exactly,
+// even while a revocation cascade is in flight on another goroutine.
+// The one restriction that buys: a change callback (Store.OnChange)
+// must not mutate the same LoggedStore re-entrantly, since the
+// triggering mutation still holds the journal lock when callbacks fire.
 type LoggedStore struct {
 	*Store
 	mu sync.Mutex
@@ -34,20 +38,33 @@ func NewLoggedStore(w io.Writer) *LoggedStore {
 	return &LoggedStore{Store: NewStore(), w: w}
 }
 
+// log appends one journal line; caller holds ls.mu.
 func (ls *LoggedStore) log(format string, args ...any) {
+	fmt.Fprintf(ls.w, format+"\n", args...)
+}
+
+// Snapshot runs f with the journal lock held and no mutation in
+// flight: f can copy the journal writer's backing storage and get a
+// consistent image (a torn copy taken mid-mutation would journal an
+// allocation whose cascade it missed).
+func (ls *LoggedStore) Snapshot(f func()) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
-	fmt.Fprintf(ls.w, format+"\n", args...)
+	f()
 }
 
 // NewFact journals and performs.
 func (ls *LoggedStore) NewFact(s State) Ref {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	ls.log("fact %d", int(s))
 	return ls.Store.NewFact(s)
 }
 
 // NewExternal journals and performs.
 func (ls *LoggedStore) NewExternal(source string, s State) Ref {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	ls.log("ext %q %d", source, int(s))
 	return ls.Store.NewExternal(source, s)
 }
@@ -63,12 +80,16 @@ func (ls *LoggedStore) NewDerived(op Op, parents ...Parent) Ref {
 		}
 		fmt.Fprintf(&b, " %d:%d", p.Ref.Uint64(), neg)
 	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	ls.log("%s", b.String())
 	return ls.Store.NewDerived(op, parents...)
 }
 
-// SetState journals and performs.
+// SetState performs and, on success, journals.
 func (ls *LoggedStore) SetState(ref Ref, s State) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.SetState(ref, s); err != nil {
 		return err
 	}
@@ -76,8 +97,10 @@ func (ls *LoggedStore) SetState(ref Ref, s State) error {
 	return nil
 }
 
-// Invalidate journals and performs.
+// Invalidate performs and, on success, journals.
 func (ls *LoggedStore) Invalidate(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.Invalidate(ref); err != nil {
 		return err
 	}
@@ -85,8 +108,10 @@ func (ls *LoggedStore) Invalidate(ref Ref) error {
 	return nil
 }
 
-// MakePermanent journals and performs.
+// MakePermanent performs and, on success, journals.
 func (ls *LoggedStore) MakePermanent(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.MakePermanent(ref); err != nil {
 		return err
 	}
@@ -94,8 +119,10 @@ func (ls *LoggedStore) MakePermanent(ref Ref) error {
 	return nil
 }
 
-// MarkDirectUse journals and performs.
+// MarkDirectUse performs and, on success, journals.
 func (ls *LoggedStore) MarkDirectUse(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.MarkDirectUse(ref); err != nil {
 		return err
 	}
@@ -103,8 +130,10 @@ func (ls *LoggedStore) MarkDirectUse(ref Ref) error {
 	return nil
 }
 
-// MarkNotify journals and performs.
+// MarkNotify performs and, on success, journals.
 func (ls *LoggedStore) MarkNotify(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.MarkNotify(ref); err != nil {
 		return err
 	}
@@ -112,8 +141,10 @@ func (ls *LoggedStore) MarkNotify(ref Ref) error {
 	return nil
 }
 
-// MarkAutoRevoke journals and performs.
+// MarkAutoRevoke performs and, on success, journals.
 func (ls *LoggedStore) MarkAutoRevoke(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	if err := ls.Store.MarkAutoRevoke(ref); err != nil {
 		return err
 	}
@@ -124,6 +155,8 @@ func (ls *LoggedStore) MarkAutoRevoke(ref Ref) error {
 // Sweep journals and performs: the garbage collector's slot reuse is
 // deterministic, so replay reproduces the same free list.
 func (ls *LoggedStore) Sweep() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
 	ls.log("sweep")
 	return ls.Store.Sweep()
 }

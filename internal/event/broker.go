@@ -573,6 +573,24 @@ func (b *Broker) Resend(sess uint64) error {
 	return nil
 }
 
+// SessionSeq reports the highest sequence number assigned on the
+// session so far. A resync snapshot quotes it as the stream position
+// the snapshot supersedes: the issuer must read it BEFORE reading
+// record state, so that an update racing the snapshot is either in the
+// state it reads or delivered later with a sequence above the quoted
+// floor — captured twice at worst (idempotent), never lost.
+func (b *Broker) SessionSeq(sess uint64) (uint64, error) {
+	b.mu.RLock()
+	s, ok := b.sessions[sess]
+	b.mu.RUnlock()
+	if !ok {
+		return 0, ErrNoSession
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq, nil
+}
+
 // UnackedCount reports resend state held for a session (for tests and
 // the background-traffic experiment E6).
 func (b *Broker) UnackedCount(sess uint64) int {

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -14,20 +15,37 @@ type Handler func(Event)
 // §4.10); the argument is the source name.
 type GapHandler func(source string)
 
+// ReviveHandler is invoked when a source the receiver had presumed
+// failed (CheckLiveness, MarkSilent) delivers again — the trigger for
+// resynchronisation after a partition heals.
+type ReviveHandler func(source string)
+
+// sessKey identifies one delivery stream. Session identifiers are
+// allocated independently by each broker, so they are only meaningful
+// qualified by the source name; keying by SessionID alone would let
+// streams from different sources collide.
+type sessKey struct {
+	source string
+	sess   uint64
+}
+
 // Receiver is the client-side event library of figure 6.1. It dispatches
 // notifications to per-registration handlers, tracks per-source event
-// horizons, detects sequence gaps, and acknowledges every i-th heartbeat
-// so that the broker can delete resend state.
+// horizons, detects sequence gaps, suppresses duplicated and stale
+// notifications (a faulty link may deliver a notification twice, or
+// after a resync already covered it), and acknowledges every i-th
+// heartbeat so that the broker can delete resend state.
 type Receiver struct {
 	ackEvery int
 	onGap    GapHandler
 
 	mu          sync.Mutex
+	onRevive    ReviveHandler
 	handlers    map[uint64]Handler
 	srcHandlers map[string]Handler   // keyed source + "/" + regID
-	lastSeq     map[uint64]uint64    // per session
+	lastSeq     map[sessKey]uint64   // per (source, session)
 	horizons    map[string]time.Time // per source
-	hbCount     map[uint64]int
+	hbCount     map[sessKey]int
 	acks        []Ack
 	silent      map[string]bool // sources currently presumed failed
 }
@@ -50,9 +68,9 @@ func NewReceiver(ackEvery int, onGap GapHandler) *Receiver {
 		onGap:       onGap,
 		handlers:    make(map[uint64]Handler),
 		srcHandlers: make(map[string]Handler),
-		lastSeq:     make(map[uint64]uint64),
+		lastSeq:     make(map[sessKey]uint64),
 		horizons:    make(map[string]time.Time),
-		hbCount:     make(map[uint64]int),
+		hbCount:     make(map[sessKey]int),
 		silent:      make(map[string]bool),
 	}
 }
@@ -73,48 +91,92 @@ func (r *Receiver) HandleFrom(source string, regID uint64, h Handler) {
 	r.srcHandlers[srcKey(source, regID)] = h
 }
 
+// OnRevive installs the handler called when a silent source delivers.
+func (r *Receiver) OnRevive(h ReviveHandler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onRevive = h
+}
+
 func srcKey(source string, regID uint64) string {
 	return source + "/" + strconv.FormatUint(regID, 10)
 }
 
 // Deliver implements Sink.
 func (r *Receiver) Deliver(n Notification) {
+	k := sessKey{n.Source, n.SessionID}
 	r.mu.Lock()
+	last, seen := r.lastSeq[k]
+	// A notification at or below the stream's high-water mark is a
+	// duplicate (lossy links may copy) or predates a resync floor
+	// (SetSessionFloor); its payload must not be re-applied. Its
+	// horizon and liveness evidence are still honoured below — the
+	// source is demonstrably alive.
+	stale := seen && n.Seq <= last
 	gap := false
-	// A coalescing transport collapses a run of superseded notifications
-	// into one, reporting the collapsed count; sequence numbers
-	// (Seq-Coalesced .. Seq) all count as received (§4.10).
-	if last, ok := r.lastSeq[n.SessionID]; ok && n.Seq > last+1+n.Coalesced {
-		gap = true
-	}
-	if n.Seq > r.lastSeq[n.SessionID] {
-		r.lastSeq[n.SessionID] = n.Seq
+	if !stale {
+		// A coalescing transport collapses a run of superseded
+		// notifications into one, reporting the collapsed count;
+		// sequence numbers (Seq-Coalesced .. Seq) all count as
+		// received (§4.10).
+		if seen && n.Seq > last+1+n.Coalesced {
+			gap = true
+		}
+		r.lastSeq[k] = n.Seq
 	}
 	if n.Horizon.After(r.horizons[n.Source]) {
 		r.horizons[n.Source] = n.Horizon
 	}
+	revived := r.silent[n.Source]
 	delete(r.silent, n.Source)
 	var h Handler
-	if !n.Heartbeat {
-		if sh, ok := r.srcHandlers[srcKey(n.Source, n.RegID)]; ok {
-			h = sh
+	if !stale {
+		if !n.Heartbeat {
+			if sh, ok := r.srcHandlers[srcKey(n.Source, n.RegID)]; ok {
+				h = sh
+			} else {
+				h = r.handlers[n.RegID]
+			}
 		} else {
-			h = r.handlers[n.RegID]
-		}
-	} else {
-		r.hbCount[n.SessionID]++
-		if r.hbCount[n.SessionID]%r.ackEvery == 0 {
-			r.acks = append(r.acks, Ack{Session: n.SessionID, Seq: n.Seq})
+			r.hbCount[k]++
+			if r.hbCount[k]%r.ackEvery == 0 {
+				r.acks = append(r.acks, Ack{Session: n.SessionID, Seq: n.Seq})
+			}
 		}
 	}
 	onGap := r.onGap
+	onRevive := r.onRevive
 	r.mu.Unlock()
 
+	// The payload is applied before the revive/gap callbacks run: those
+	// callbacks typically trigger a resync, and a resync snapshot taken
+	// at the source necessarily covers this notification (it was sent
+	// first) — so snapshot-after-payload converges, while
+	// payload-after-snapshot could roll a record back to a state the
+	// snapshot had already superseded.
+	if h != nil {
+		h(n.Event)
+	}
+	if revived && onRevive != nil {
+		onRevive(n.Source)
+	}
 	if gap && onGap != nil {
 		onGap(n.Source)
 	}
-	if h != nil {
-		h(n.Event)
+}
+
+// SetSessionFloor seals a delivery stream at seq: notifications on it
+// numbered seq or lower are treated as stale and not dispatched. A
+// resync snapshot taken at broker sequence s already reflects every
+// update up to s, so in-flight copies of those notifications —
+// delayed in the network across the resync — must not be re-applied
+// on top of the fresher snapshot.
+func (r *Receiver) SetSessionFloor(source string, sess, seq uint64) {
+	k := sessKey{source, sess}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq > r.lastSeq[k] {
+		r.lastSeq[k] = seq
 	}
 }
 
@@ -141,6 +203,19 @@ func (r *Receiver) Horizon(source string) (time.Time, bool) {
 	return t, ok
 }
 
+// Sources lists every source the receiver tracks, sorted for
+// deterministic iteration.
+func (r *Receiver) Sources() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.horizons))
+	for src := range r.horizons {
+		out = append(out, src)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TakeAcks returns and clears the pending acknowledgements.
 func (r *Receiver) TakeAcks() []Ack {
 	r.mu.Lock()
@@ -165,7 +240,17 @@ func (r *Receiver) CheckLiveness(now time.Time, allowance time.Duration) []strin
 			failed = append(failed, src)
 		}
 	}
+	sort.Strings(failed)
 	return failed
+}
+
+// MarkSilent records an external presumption of failure for the source
+// (the service-level suspicion machinery escalates independently of
+// CheckLiveness); the next delivery from it fires OnRevive.
+func (r *Receiver) MarkSilent(source string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.silent[source] = true
 }
 
 // Silent reports whether the source is currently presumed failed.

@@ -96,6 +96,130 @@ func TestReceiverLivenessDetection(t *testing.T) {
 	}
 }
 
+func TestReceiverSuppressesDuplicates(t *testing.T) {
+	// A lossy link may deliver the same notification twice (fault-plane
+	// duplication); the payload must be applied once.
+	r := NewReceiver(2, nil)
+	var got []Event
+	r.HandleFrom("s", 7, func(e Event) { got = append(got, e) })
+	n := Notification{Source: "s", SessionID: 1, Seq: 5, RegID: 7, Event: New("E", value.Int(1))}
+	r.Deliver(n)
+	r.Deliver(n)
+	if len(got) != 1 {
+		t.Fatalf("duplicate dispatched: %d deliveries", len(got))
+	}
+	// A duplicated heartbeat must not advance the ack cadence either.
+	hb := Notification{Source: "s", SessionID: 1, Seq: 6, Heartbeat: true}
+	r.Deliver(hb)
+	r.Deliver(hb)
+	if acks := r.TakeAcks(); len(acks) != 0 {
+		t.Fatalf("duplicate heartbeat acked: %v", acks)
+	}
+}
+
+func TestReceiverSessionsKeyedBySource(t *testing.T) {
+	// Two brokers allocate session ids independently; session 1 from
+	// source A must not mask session 1 from source B.
+	var gaps []string
+	r := NewReceiver(2, func(src string) { gaps = append(gaps, src) })
+	var got []Event
+	r.HandleFrom("A", 1, func(e Event) { got = append(got, e) })
+	r.HandleFrom("B", 1, func(e Event) { got = append(got, e) })
+	r.Deliver(Notification{Source: "A", SessionID: 1, Seq: 5, RegID: 1, Event: New("E", value.Int(1))})
+	// Same session id and a lower seq from a different source: neither a
+	// duplicate nor a gap.
+	r.Deliver(Notification{Source: "B", SessionID: 1, Seq: 1, RegID: 1, Event: New("E", value.Int(2))})
+	if len(got) != 2 {
+		t.Fatalf("cross-source collision suppressed delivery: %d", len(got))
+	}
+	if len(gaps) != 0 {
+		t.Fatalf("cross-source collision reported a gap: %v", gaps)
+	}
+}
+
+func TestReceiverSessionFloor(t *testing.T) {
+	r := NewReceiver(2, nil)
+	var got []Event
+	r.HandleFrom("s", 7, func(e Event) { got = append(got, e) })
+	r.SetSessionFloor("s", 1, 10)
+	// In-flight notifications at or below the floor are stale.
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 9, RegID: 7, Event: New("E", value.Int(1))})
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 10, RegID: 7, Event: New("E", value.Int(2))})
+	if len(got) != 0 {
+		t.Fatalf("pre-floor notification dispatched: %d", len(got))
+	}
+	// Above the floor flows normally.
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 11, RegID: 7, Event: New("E", value.Int(3))})
+	if len(got) != 1 || !got[0].Args[0].Equal(value.Int(3)) {
+		t.Fatalf("post-floor delivery = %v", got)
+	}
+	// The floor never regresses the high-water mark.
+	r.SetSessionFloor("s", 1, 2)
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 11, RegID: 7, Event: New("E", value.Int(4))})
+	if len(got) != 1 {
+		t.Fatal("floor regression re-admitted stale seq")
+	}
+}
+
+func TestReceiverOnRevive(t *testing.T) {
+	var revived []string
+	r := NewReceiver(2, nil)
+	r.OnRevive(func(src string) { revived = append(revived, src) })
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 1, Heartbeat: true})
+	if len(revived) != 0 {
+		t.Fatalf("revive fired for a live source: %v", revived)
+	}
+	r.MarkSilent("s")
+	if !r.Silent("s") {
+		t.Fatal("MarkSilent ineffective")
+	}
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 2, Heartbeat: true})
+	if len(revived) != 1 || revived[0] != "s" {
+		t.Fatalf("revived = %v", revived)
+	}
+	if r.Silent("s") {
+		t.Fatal("delivery did not clear silence")
+	}
+	// Even a stale duplicate proves the source is alive.
+	r.MarkSilent("s")
+	r.Deliver(Notification{Source: "s", SessionID: 1, Seq: 2, Heartbeat: true})
+	if len(revived) != 2 {
+		t.Fatal("stale delivery did not revive")
+	}
+}
+
+func TestReceiverSources(t *testing.T) {
+	r := NewReceiver(2, nil)
+	h := time.Unix(100, 0)
+	r.Deliver(Notification{Source: "b", SessionID: 1, Seq: 1, Horizon: h, Heartbeat: true})
+	r.Deliver(Notification{Source: "a", SessionID: 1, Seq: 1, Horizon: h, Heartbeat: true})
+	got := r.Sources()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Sources = %v", got)
+	}
+}
+
+func TestBrokerSessionSeq(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	b := NewBroker("s", clk, BrokerOptions{})
+	r := NewReceiver(2, nil)
+	sess, err := b.OpenSession(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := b.SessionSeq(sess); err != nil || seq != 0 {
+		t.Fatalf("fresh session seq = %d, %v", seq, err)
+	}
+	b.Heartbeat()
+	b.Heartbeat()
+	if seq, err := b.SessionSeq(sess); err != nil || seq != 2 {
+		t.Fatalf("seq after two heartbeats = %d, %v", seq, err)
+	}
+	if _, err := b.SessionSeq(999); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+}
+
 func TestBrokerReceiverEndToEnd(t *testing.T) {
 	// The full figure 6.1 loop: register, signal, dispatch, heartbeat, ack.
 	clk := clock.NewVirtual(time.Unix(0, 0))

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSchedule parses the textual fault-schedule format used by
+// cmd/oasisd's -fault-schedule flag and the chaos suite fixtures.
+//
+// One directive per line; '#' starts a comment; blank lines are
+// ignored. Durations use Go syntax (50ms, 2s, 1m).
+//
+//	at <offset> faults <a> <b> [drop=<p>] [dup=<p>] [delay=<dur>] [jitter=<dur>]
+//	at <offset> sever <a> <b>
+//	at <offset> restore <a> <b>
+//	at <offset> split <name> <a,b,...> <c,d,...>
+//	at <offset> heal <name>
+//
+// A faults directive with no options clears the link's fault profile.
+func ParseSchedule(src string) ([]Step, error) {
+	var steps []Step
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		step, err := parseStep(fields)
+		if err != nil {
+			return nil, fmt.Errorf("fault: schedule line %d: %w", lineno+1, err)
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+func parseStep(fields []string) (Step, error) {
+	if len(fields) < 3 || fields[0] != "at" {
+		return Step{}, fmt.Errorf("want 'at <offset> <verb> ...', got %q", strings.Join(fields, " "))
+	}
+	at, err := time.ParseDuration(fields[1])
+	if err != nil {
+		return Step{}, fmt.Errorf("bad offset %q: %v", fields[1], err)
+	}
+	if at < 0 {
+		return Step{}, fmt.Errorf("negative offset %q", fields[1])
+	}
+	s := Step{At: at, Kind: fields[2]}
+	rest := fields[3:]
+	switch s.Kind {
+	case "faults":
+		if len(rest) < 2 {
+			return Step{}, fmt.Errorf("faults needs two peer names")
+		}
+		s.A, s.B = rest[0], rest[1]
+		for _, opt := range rest[2:] {
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return Step{}, fmt.Errorf("bad option %q (want key=value)", opt)
+			}
+			switch k {
+			case "drop", "dup":
+				p, err := strconv.ParseFloat(v, 64)
+				if err != nil || p < 0 || p > 1 {
+					return Step{}, fmt.Errorf("bad probability %q", opt)
+				}
+				if k == "drop" {
+					s.Faults.Drop = p
+				} else {
+					s.Faults.Dup = p
+				}
+			case "delay", "jitter":
+				d, err := time.ParseDuration(v)
+				if err != nil || d < 0 {
+					return Step{}, fmt.Errorf("bad duration %q", opt)
+				}
+				if k == "delay" {
+					s.Faults.Delay = d
+				} else {
+					s.Faults.Jitter = d
+				}
+			default:
+				return Step{}, fmt.Errorf("unknown faults option %q", k)
+			}
+		}
+	case "sever", "restore":
+		if len(rest) != 2 {
+			return Step{}, fmt.Errorf("%s needs two peer names", s.Kind)
+		}
+		s.A, s.B = rest[0], rest[1]
+	case "split":
+		if len(rest) != 3 {
+			return Step{}, fmt.Errorf("split needs <name> <side1> <side2>")
+		}
+		s.Name = rest[0]
+		s.Side1 = splitNames(rest[1])
+		s.Side2 = splitNames(rest[2])
+		if len(s.Side1) == 0 || len(s.Side2) == 0 {
+			return Step{}, fmt.Errorf("split sides must be non-empty")
+		}
+	case "heal":
+		if len(rest) != 1 {
+			return Step{}, fmt.Errorf("heal needs a partition name")
+		}
+		s.Name = rest[0]
+	default:
+		return Step{}, fmt.Errorf("unknown verb %q", s.Kind)
+	}
+	return s, nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

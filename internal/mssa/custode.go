@@ -77,22 +77,32 @@ const loginService = "Login"
 
 // NewCustode creates a custode attached to the network.
 func NewCustode(name string, clk clock.Clock, net *bus.Network) (*Custode, error) {
+	return NewCustodeWith(name, clk, net, oasis.Options{})
+}
+
+// NewCustodeWith creates a custode whose embedded service starts from
+// the given base options (heartbeat period, fail-safe budget, resync
+// policy — the chaos suite tunes these). The custode's own constraint
+// functions and ACL-version parents are merged on top.
+func NewCustodeWith(name string, clk clock.Clock, net *bus.Network, base oasis.Options) (*Custode, error) {
 	c := &Custode{
 		name:  name,
 		clk:   clk,
 		net:   net,
 		files: make(map[uint64]*file),
 	}
-	svc, err := oasis.New(name, clk, net, oasis.Options{
-		Funcs: rdl.FuncTable{
-			"acl": &rdl.Func{
-				Result: value.SetType(RightsUniverse),
-				Args:   []value.Type{value.StringType, value.ObjectType("Login.userid")},
-				Fn:     c.aclFunc,
-			},
-		},
-		ExtraParents: c.extraParents,
-	})
+	opts := base
+	opts.Funcs = make(rdl.FuncTable, len(base.Funcs)+1)
+	for k, v := range base.Funcs {
+		opts.Funcs[k] = v
+	}
+	opts.Funcs["acl"] = &rdl.Func{
+		Result: value.SetType(RightsUniverse),
+		Args:   []value.Type{value.StringType, value.ObjectType("Login.userid")},
+		Fn:     c.aclFunc,
+	}
+	opts.ExtraParents = c.extraParents
+	svc, err := oasis.New(name, clk, net, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -34,16 +34,23 @@ Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
 
 func newHarness(t *testing.T) *harness {
 	t.Helper()
+	return newHarnessWith(t, Options{}, Options{})
+}
+
+// newHarnessWith builds the two-service harness with explicit options
+// (the suspicion and resync tests configure heartbeat budgets on Conf).
+func newHarnessWith(t *testing.T, loginOpts, confOpts Options) *harness {
+	t.Helper()
 	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
 	net := bus.NewNetwork(clk)
-	login, err := New("Login", clk, net, Options{})
+	login, err := New("Login", clk, net, loginOpts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := login.AddRolefile("main", loginRolefile); err != nil {
 		t.Fatal(err)
 	}
-	conf, err := New("Conf", clk, net, Options{})
+	conf, err := New("Conf", clk, net, confOpts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package oasis
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"time"
 
@@ -48,6 +49,33 @@ type ReadStateArg struct {
 	Ref credrec.Ref
 }
 
+// ResyncArg asks an issuing service to re-assert the authoritative
+// state of the listed credential records after a communications
+// failure (§4.10: "when connection is re-established the state of each
+// record is read"). The caller sorts Refs so that the responder's
+// reply — and the Modified events it re-signals — come out in a
+// deterministic order.
+type ResyncArg struct {
+	Refs []credrec.Ref
+}
+
+// ResyncEntry is one record's authoritative state at the snapshot.
+type ResyncEntry struct {
+	Ref       credrec.Ref
+	State     credrec.State
+	Permanent bool
+}
+
+// ResyncReply carries the snapshot plus the caller's notification
+// stream position at the moment it was taken: every update covered by
+// the snapshot was sent at or below Seq, so the caller can seal the
+// stream there and know that anything newer still flows.
+type ResyncReply struct {
+	Session uint64
+	Seq     uint64
+	Entries []ResyncEntry
+}
+
 // Call implements bus.Endpoint: the service's inter-service interface.
 func (s *Service) Call(from, op string, arg any) (any, error) {
 	switch op {
@@ -73,6 +101,12 @@ func (s *Service) Call(from, op string, arg any) (any, error) {
 			return credrec.False, nil // deleted means permanently false
 		}
 		return st, nil
+	case "resync":
+		a, ok := arg.(ResyncArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad resync argument %T", arg)
+		}
+		return s.handleResync(from, a)
 	case "revoke":
 		r, ok := arg.(*cert.Revocation)
 		if !ok {
@@ -339,10 +373,7 @@ func (s *Service) HeartbeatTick() {
 // returned stop function halts the loop and waits for it to exit —
 // services own their background goroutines' lifetimes.
 func (s *Service) StartHeartbeats() (stop func()) {
-	period := s.opts.HeartbeatEvery
-	if period <= 0 {
-		period = 5 * time.Second
-	}
+	period := s.heartbeatPeriod()
 	stopCh := make(chan struct{})
 	done := make(chan struct{})
 	go func() {
@@ -375,10 +406,48 @@ func (s *Service) LivenessTick(allowance time.Duration) []string {
 	return failed
 }
 
-// Reconnect re-reads the state of every external record from a source
-// after a communications failure (§4.10: "when connection is
-// re-established the state of each record is read").
-func (s *Service) Reconnect(source string) error {
+// handleResync serves the responder side of the resync protocol. The
+// ordering here is the protocol's one invariant: the caller's session
+// sequence is read BEFORE any record state. An update racing with the
+// snapshot is then always captured at least once — in the snapshot if
+// it lands before the state read, or in a notification numbered above
+// Seq (which the caller's stream floor lets through) if it lands
+// after. Read the other way round, an update falling between the state
+// read and the sequence read would be in neither.
+//
+// Besides filling the reply, each record's state is re-asserted as a
+// Modified event through the normal broker channel: the re-assertions
+// are sequence-numbered above the snapshot point, idempotent at every
+// receiver (duplicate suppression), and — running inside a
+// notification batch — coalesce with any concurrent cascade burst.
+func (s *Service) handleResync(from string, a ResyncArg) (ResyncReply, error) {
+	var reply ResyncReply
+	s.watchMu.Lock()
+	sess, watched := s.watchSessions[from]
+	s.watchMu.Unlock()
+	if watched {
+		if seq, err := s.broker.SessionSeq(sess); err == nil {
+			reply.Session = sess
+			reply.Seq = seq
+		}
+	}
+	_ = s.batchNotify(func() error {
+		for _, ref := range a.Refs {
+			st, perm, _ := s.store.Resolve(ref)
+			reply.Entries = append(reply.Entries, ResyncEntry{Ref: ref, State: st, Permanent: perm})
+			s.onRecordChange(ref, st, perm)
+		}
+		return nil
+	})
+	return reply, nil
+}
+
+// ResyncSource re-reads the authoritative state of every external
+// record held from a source (§4.10) and seals the notification stream
+// at the snapshot point, so a delayed pre-snapshot notification can
+// never roll a record back behind the snapshot. Safe to call at any
+// time: re-applying current state is a no-op.
+func (s *Service) ResyncSource(source string) error {
 	if s.net == nil {
 		return fmt.Errorf("oasis: no network")
 	}
@@ -386,28 +455,58 @@ func (s *Service) Reconnect(source string) error {
 	// extRecords map: record name spaces are managed separately, so
 	// external identifiers must be mapped to internal ones (figure 4.8).
 	s.extMu.Lock()
-	pairs := make(map[credrec.Ref]credrec.Ref) // local -> remote
+	byRemote := make(map[uint64]credrec.Ref) // remote -> local
 	for k, local := range s.extRecords {
 		if k.source == source {
-			pairs[local] = credrec.RefFromUint64(k.ref)
+			byRemote[k.ref] = local
 		}
 	}
 	s.extMu.Unlock()
-	for local, remote := range pairs {
-		res, err := s.net.Call(s.name, source, "readstate", ReadStateArg{Ref: remote})
-		if err != nil {
-			return err
-		}
-		st, ok := res.(credrec.State)
-		if !ok {
-			return fmt.Errorf("oasis: bad readstate reply from %s", source)
-		}
-		if st == credrec.False {
-			_ = s.store.Invalidate(local)
-			continue
-		}
-		_ = s.store.SetState(local, st)
+	refs := make([]credrec.Ref, 0, len(byRemote))
+	for u := range byRemote {
+		refs = append(refs, credrec.RefFromUint64(u))
 	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Uint64() < refs[j].Uint64() })
+
+	res, err := s.net.Call(s.name, source, "resync", ResyncArg{Refs: refs})
+	if err != nil {
+		return err
+	}
+	reply, ok := res.(ResyncReply)
+	if !ok {
+		return fmt.Errorf("oasis: bad resync reply from %s", source)
+	}
+	// Seal the stream before applying the snapshot: notifications still
+	// in flight from before the snapshot are stale by construction.
+	if reply.Session != 0 || reply.Seq != 0 {
+		s.receiver.SetSessionFloor(source, reply.Session, reply.Seq)
+	}
+	_ = s.batchNotify(func() error {
+		for _, e := range reply.Entries {
+			local, ok := byRemote[e.Ref.Uint64()]
+			if !ok {
+				continue
+			}
+			if e.Permanent && e.State == credrec.False {
+				_ = s.store.Invalidate(local)
+				continue
+			}
+			_ = s.store.SetState(local, e.State)
+		}
+		return nil
+	})
 	s.receiver.ObserveSource(source, s.clk.Now())
+	return nil
+}
+
+// Reconnect restores service with a source after a communications
+// failure (§4.10: "when connection is re-established the state of each
+// record is read"): one resync round-trip replaces the per-record
+// readstate calls, and success clears the source's suspicion.
+func (s *Service) Reconnect(source string) error {
+	if err := s.ResyncSource(source); err != nil {
+		return err
+	}
+	s.setSourceState(source, SourceAlive)
 	return nil
 }

@@ -15,7 +15,13 @@ import (
 // an external credential record there.
 func enterConfMember(t *testing.T) (*harness, *cert.RMC, *cert.RMC, *cert.RMC) {
 	t.Helper()
-	h := newHarness(t)
+	return enterConfMemberOn(t, newHarness(t))
+}
+
+// enterConfMemberOn runs the same scenario on a caller-built harness
+// (the suspicion tests configure heartbeat budgets on Conf first).
+func enterConfMemberOn(t *testing.T, h *harness) (*harness, *cert.RMC, *cert.RMC, *cert.RMC) {
+	t.Helper()
 	h.conf.Groups().AddMember("dm", "staff")
 	chairClient := h.client("ely")
 	chair, err := h.conf.Enter(EnterRequest{Client: chairClient, Rolefile: "main", Role: "Chair",

@@ -37,6 +37,19 @@ type Options struct {
 	DelegationTTL time.Duration
 	// HeartbeatEvery is the inter-service heartbeat period t (§4.10).
 	HeartbeatEvery time.Duration
+	// FailsafeMissed is the number of heartbeat periods a watched
+	// source may stay silent before it is declared failed and every
+	// credential record dependent on it fails safe to False (§6.8.4).
+	// Zero means 3.
+	FailsafeMissed int
+	// AutoResync resynchronises external records automatically when a
+	// degraded source is heard from again (a partition heals) or a
+	// notification gap is detected, instead of waiting for an explicit
+	// Reconnect call.
+	AutoResync bool
+	// OnSourceState, if set, observes failure-suspicion transitions of
+	// watched sources; services use it for audit logging.
+	OnSourceState func(source string, from, to SourceState)
 	// Funcs are the server-specific constraint functions (§3.3.1).
 	Funcs rdl.FuncTable
 	// ExtraParents, if set, lets the embedding service contribute
@@ -88,6 +101,11 @@ type Service struct {
 	// external-record surrogates for remote credential records (§4.9.1)
 	extMu      sync.Mutex
 	extRecords map[extKey]credrec.Ref
+
+	// failure-suspicion state per watched source (§4.10 / §6.8.4)
+	suspMu    sync.Mutex
+	suspicion map[string]SourceState
+	resyncing map[string]bool
 
 	// delegation bookkeeping (server-side state per §4.4/§4.11)
 	delegMu     sync.Mutex
@@ -148,10 +166,16 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		typeCache:     make(map[string][]value.Type),
 		watchSessions: make(map[string]uint64),
 		delegations:   make(map[credrec.Ref]*delegInfo),
+		suspicion:     make(map[string]SourceState),
+		resyncing:     make(map[string]bool),
 	}
 	s.groups = credrec.NewGroups(s.store)
 	s.broker = event.NewBroker(name, clk, event.BrokerOptions{})
-	s.receiver = event.NewReceiver(4, nil)
+	// A sequence gap means a notification — possibly a revocation — was
+	// lost; a revived source means a partition healed. Both feed the
+	// suspicion machinery (suspicion.go).
+	s.receiver = event.NewReceiver(4, s.onNotificationGap)
+	s.receiver.OnRevive(s.onSourceRevive)
 	s.store.OnChange(s.onRecordChange)
 	if net != nil {
 		if err := net.Register(name, s); err != nil {

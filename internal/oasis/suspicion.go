@@ -1,0 +1,205 @@
+package oasis
+
+import "time"
+
+// Failure suspicion for watched sources (§4.10 / §6.8.4). A service that
+// holds external credential records watches the issuing source's
+// heartbeats. Silence degrades the source in two steps:
+//
+//	Alive ──(> 1.5 heartbeat periods silent)──▶ Suspect
+//	Suspect ──(≥ FailsafeMissed periods silent)──▶ Failed
+//
+// Suspect marks every dependent record Unknown — validation already
+// fails, but a resync can cheaply restore the truth. Failed goes
+// further and fails the records safe to False (§6.8.4): the service
+// now behaves exactly as if the certificates had been revoked, even if
+// the partition later turns out to have been a network fault.
+//
+// Recovery is never granted on silence ending alone: a source returns
+// to Alive only through a successful resync (ResyncSource), because
+// the notifications lost during the silence may have included
+// revocations. With Options.AutoResync the resync is attempted
+// automatically when a degraded source is heard from again.
+
+// SourceState is the suspicion level of one watched source.
+type SourceState int
+
+const (
+	SourceAlive SourceState = iota
+	SourceSuspect
+	SourceFailed
+)
+
+func (s SourceState) String() string {
+	switch s {
+	case SourceAlive:
+		return "alive"
+	case SourceSuspect:
+		return "suspect"
+	case SourceFailed:
+		return "failed"
+	}
+	return "invalid"
+}
+
+// SourceStatus reports the current suspicion level of a source.
+func (s *Service) SourceStatus(source string) SourceState {
+	s.suspMu.Lock()
+	defer s.suspMu.Unlock()
+	return s.suspicion[source]
+}
+
+// setSourceState applies one suspicion transition and its side effects.
+// The store mutation runs outside suspMu (a leaf lock) and inside a
+// notification batch, so a fail-safe cascade reaches downstream
+// watchers as one coalesced burst.
+func (s *Service) setSourceState(source string, to SourceState) {
+	s.suspMu.Lock()
+	from := s.suspicion[source]
+	if from == to {
+		s.suspMu.Unlock()
+		return
+	}
+	s.suspicion[source] = to
+	s.suspMu.Unlock()
+
+	switch to {
+	case SourceSuspect:
+		_ = s.batchNotify(func() error {
+			s.store.MarkSourceUnknown(source)
+			return nil
+		})
+		s.receiver.MarkSilent(source)
+	case SourceFailed:
+		_ = s.batchNotify(func() error {
+			s.store.MarkSourceFailsafe(source)
+			return nil
+		})
+		s.receiver.MarkSilent(source)
+	}
+	if cb := s.opts.OnSourceState; cb != nil {
+		cb(source, from, to)
+	}
+}
+
+// heartbeatPeriod returns the configured heartbeat period with its
+// default applied.
+func (s *Service) heartbeatPeriod() time.Duration {
+	if s.opts.HeartbeatEvery > 0 {
+		return s.opts.HeartbeatEvery
+	}
+	return 5 * time.Second
+}
+
+// SuspicionTick advances the failure-suspicion machine: wire it to the
+// same cadence as HeartbeatTick (or use StartSuspicion). Each watched
+// source's event horizon is compared against the heartbeat period;
+// silence past 1.5 periods makes the source Suspect, silence past
+// Options.FailsafeMissed periods makes it Failed. A degraded source
+// whose heartbeats have resumed is resynced (when AutoResync is set)
+// rather than trusted outright.
+func (s *Service) SuspicionTick() {
+	period := s.heartbeatPeriod()
+	suspectAfter := period + period/2
+	missed := s.opts.FailsafeMissed
+	if missed <= 0 {
+		missed = 3
+	}
+	failAfter := time.Duration(missed) * period
+	if failAfter < suspectAfter {
+		failAfter = suspectAfter
+	}
+	now := s.clk.Now()
+	for _, src := range s.receiver.Sources() {
+		h, ok := s.receiver.Horizon(src)
+		if !ok {
+			continue
+		}
+		silence := now.Sub(h)
+		switch {
+		case silence >= failAfter:
+			s.setSourceState(src, SourceFailed)
+		case silence >= suspectAfter:
+			if s.SourceStatus(src) == SourceAlive {
+				s.setSourceState(src, SourceSuspect)
+			}
+		default:
+			if s.SourceStatus(src) != SourceAlive && s.opts.AutoResync {
+				s.tryResync(src)
+			}
+		}
+	}
+}
+
+// StartSuspicion runs SuspicionTick on the service clock at the
+// heartbeat period. The returned stop function halts the loop and
+// waits for it to exit.
+func (s *Service) StartSuspicion() (stop func()) {
+	period := s.heartbeatPeriod()
+	stopCh := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-s.clk.After(period):
+				s.SuspicionTick()
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-done
+	}
+}
+
+// tryResync attempts recovery of a degraded source; only a successful
+// resync returns it to Alive. One resync per source runs at a time:
+// the re-assertions a resync signals are delivered one by one, and a
+// gap observed mid-delivery (the re-asserts' sequence numbers leapfrog
+// notes still queued in the same burst) must not recurse into a second
+// resync — the in-flight snapshot reply already covers it.
+func (s *Service) tryResync(source string) {
+	s.suspMu.Lock()
+	if s.resyncing[source] {
+		s.suspMu.Unlock()
+		return
+	}
+	s.resyncing[source] = true
+	s.suspMu.Unlock()
+	defer func() {
+		s.suspMu.Lock()
+		delete(s.resyncing, source)
+		s.suspMu.Unlock()
+	}()
+	if err := s.ResyncSource(source); err == nil {
+		s.setSourceState(source, SourceAlive)
+	}
+}
+
+// onNotificationGap handles a detected sequence gap: the lost
+// notification may have been a revocation, so the source's records
+// fail safe to Unknown immediately. The source itself is demonstrably
+// alive (the gap was detected on a delivery), so with AutoResync the
+// truth is restored in the same breath.
+func (s *Service) onNotificationGap(source string) {
+	if s.SourceStatus(source) == SourceAlive {
+		s.setSourceState(source, SourceSuspect)
+	}
+	if s.opts.AutoResync {
+		s.tryResync(source)
+	}
+}
+
+// onSourceRevive handles the first delivery from a source the service
+// had presumed failed — the partition-heal trigger for resync.
+func (s *Service) onSourceRevive(source string) {
+	if !s.opts.AutoResync {
+		return
+	}
+	if s.SourceStatus(source) != SourceAlive {
+		s.tryResync(source)
+	}
+}

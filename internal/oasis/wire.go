@@ -21,6 +21,8 @@ func RegisterWireTypes() {
 		gob.Register(ValidateArg{})
 		gob.Register(ValidateReply{})
 		gob.Register(ReadStateArg{})
+		gob.Register(ResyncArg{})
+		gob.Register(ResyncReply{})
 		gob.Register(&cert.RMC{})
 		gob.Register(&cert.Delegation{})
 		gob.Register(&cert.Revocation{})
