@@ -1,14 +1,28 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-notify vet lint ci all
+.PHONY: build test race chaos bench bench-notify bench-smoke bench-json \
+	vet lint ci all help
 
 all: build vet test
 
 # ci is the gate a change must pass: build, vet, the custom static
 # analysis (rdlcheck over every example policy, oasislint over the
 # tree), the full test suite, the race detector over every
-# concurrency-sensitive package, then the seeded chaos suite.
-ci: build vet lint test race chaos
+# concurrency-sensitive package, the seeded chaos suite, then one
+# iteration of every benchmark so the perf suites cannot rot.
+ci: build vet lint test race chaos bench-smoke
+
+help:
+	@echo "build       compile everything"
+	@echo "test        full test suite"
+	@echo "race        race-detector suite over the concurrent packages"
+	@echo "chaos       seeded chaos suite (partitions, loss, duplication)"
+	@echo "lint        oasislint + rdlcheck static analysis"
+	@echo "bench       serial + parallel (-cpu 1,4,8) benchmark suites"
+	@echo "bench-notify  notification-plane suite (EXPERIMENTS.md E28)"
+	@echo "bench-smoke   compile-and-run every benchmark once (part of ci)"
+	@echo "bench-json    E30 benchmarks as test2json into BENCH_5.json"
+	@echo "ci          build vet lint test race chaos bench-smoke"
 
 build:
 	$(GO) build ./...
@@ -43,6 +57,19 @@ bench:
 # results feed EXPERIMENTS.md E28.
 bench-notify:
 	$(GO) test -bench 'Notify|Heartbeat' -benchmem -cpu 1,4,8 -run '^$$' .
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for a measurement. Part of ci.
+bench-smoke:
+	$(GO) test -benchtime=1x -run '^$$' -bench . .
+
+# The E30 remote-validation benchmarks (gob vs binary wire, locked vs
+# pipelined writer, cached vs cold verify) in machine-readable
+# test2json form; the perf trajectory of the wire layer is tracked in
+# BENCH_5.json.
+bench-json:
+	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
+		-bench 'RemoteValidateTCP|ValidateRMCParallel' . > BENCH_5.json
 
 vet:
 	$(GO) vet ./...

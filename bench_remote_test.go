@@ -1,0 +1,140 @@
+// E30: the end-to-end remote-validation fast path. A certificate issued
+// by Login is validated over a real TCP link ("services offer to
+// validate certificates for use in other services", §2.10) at every
+// combination of wire codec (gob vs the hand-rolled binary codec) and
+// writer discipline (encode+flush under the per-peer lock vs the
+// pipelined queue+flusher). Run with `-cpu 1,4,8` to see how the convoy
+// on the locked writer caps concurrent callers while the pipelined
+// writer keeps scaling; EXPERIMENTS.md E30 records the numbers.
+package benchmarks
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// benchRemoteWorld is one TCP link between a caller network and a
+// network hosting a Login service with an issued certificate.
+type benchRemoteWorld struct {
+	client *bus.Network
+	rmc    *cert.RMC
+	domain ids.ClientID
+	close  func()
+}
+
+func newBenchRemoteWorld(b *testing.B, wire string, syncWrites bool) *benchRemoteWorld {
+	b.Helper()
+	oasis.RegisterWireTypes()
+
+	serverClk := clock.NewVirtual(time.Unix(0, 0))
+	serverNet := bus.NewNetwork(serverClk)
+	if err := serverNet.SetWireFormat(wire); err != nil {
+		b.Fatal(err)
+	}
+	serverNet.SetWireSyncWrites(syncWrites)
+	login, err := oasis.New("Login", serverClk, serverNet, oasis.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		b.Fatal(err)
+	}
+	host := ids.NewHostAuthority("ely", serverClk.Now())
+	domain := host.NewDomain()
+	rmc, err := login.Enter(oasis.EnterRequest{
+		Client: domain, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = serverNet.ServeTCP(ln) }()
+
+	clientNet := bus.NewNetwork(clock.NewVirtual(time.Unix(0, 0)))
+	if err := clientNet.SetWireFormat(wire); err != nil {
+		b.Fatal(err)
+	}
+	clientNet.SetWireSyncWrites(syncWrites)
+	if err := clientNet.AddRemote("Login", ln.Addr().String()); err != nil {
+		b.Fatal(err)
+	}
+	if got := clientNet.RemoteWireFormat("Login"); got != wire {
+		b.Fatalf("link negotiated %q, want %q", got, wire)
+	}
+	return &benchRemoteWorld{
+		client: clientNet,
+		rmc:    rmc,
+		domain: domain,
+		close: func() {
+			clientNet.CloseRemotes()
+			ln.Close()
+		},
+	}
+}
+
+// BenchmarkRemoteValidateTCP is the E30 matrix. "locked" serialises
+// encode+flush under the per-peer mutex (the pre-pipelining writer);
+// "pipelined" is the shipping configuration: callers enqueue under a
+// leaf lock and a single flusher drains the queue with one flush per
+// batch.
+func BenchmarkRemoteValidateTCP(b *testing.B) {
+	for _, wire := range []string{bus.WireGob, bus.WireBinary} {
+		for _, mode := range []struct {
+			name string
+			sync bool
+		}{
+			{"locked", true},
+			{"pipelined", false},
+		} {
+			b.Run(fmt.Sprintf("%s-%s", wire, mode.name), func(b *testing.B) {
+				w := newBenchRemoteWorld(b, wire, mode.sync)
+				defer w.close()
+				arg := oasis.ValidateArg{Cert: w.rmc, Client: w.domain}
+				// One warm call catches misconfiguration before timing.
+				if _, err := w.client.Call("Bench", "Login", "validate", arg); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				// A service sees many more outstanding requests than cores;
+				// 8 callers per proc keeps the link busy enough that the
+				// writer discipline — one flush per batch vs one flush per
+				// message under the peer lock — actually shows.
+				b.SetParallelism(8)
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						res, err := w.client.Call("Bench", "Login", "validate", arg)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if r, ok := res.(oasis.ValidateReply); !ok || len(r.Roles) == 0 {
+							b.Errorf("bad reply %#v", res)
+							return
+						}
+					}
+				})
+			})
+		}
+	}
+}

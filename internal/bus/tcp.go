@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,23 +20,35 @@ import (
 // the same semantics as in-process ones (the architecture is
 // "inherently distributed and scalable").
 //
-// The wire protocol is gob: one persistent connection per remote peer
-// link, multiplexing synchronous calls (with sequence-numbered replies)
-// and asynchronous notifications. Call/Send payloads must have their
-// concrete types gob-registered by the owning packages (see
-// oasis.RegisterWireTypes).
+// The wire protocol multiplexes synchronous calls (with
+// sequence-numbered replies) and asynchronous notifications over one
+// persistent connection per remote peer link. Two codecs exist: the
+// binary codec (codec.go), negotiated at connect time, and the
+// original gob protocol, which any link falls back to when either end
+// predates the negotiation (see the hello exchange below). Call/Send
+// payloads must be registered by the owning packages — gob-registered
+// for the fallback, RegisterWirePayload for the binary fast path (see
+// oasis.RegisterWireTypes, which does both).
 //
-// Every encoder writes through a bufio.Writer that is flushed once per
-// logical message — or once per burst on the batch path — so a
-// revocation storm costs a handful of write syscalls instead of one
-// per record. A failed encode or flush is never silent: the
+// Outbound traffic goes through a per-connection msgWriter. By default
+// it is pipelined: callers enqueue under a leaf mutex and a single
+// flusher goroutine encodes and flushes, so concurrent calls and
+// notification bursts interleave on the wire instead of convoying on a
+// lock held across encode+flush, and bursts coalesce into one syscall.
+// A failed encode or flush is never silent: every undelivered
 // notification counts as dropped on the home network (heartbeat loss
 // detection then sees the gap, §4.10) and the connection is torn down
 // so the next use reconnects.
 
-// wireBufSize is the write-buffer size per TCP link; notification
+// wireBufSize is the I/O buffer size per TCP link; notification
 // messages are a few hundred bytes, so one buffer holds a large burst.
 const wireBufSize = 32 << 10
+
+// Wire formats for TCP links (SetWireFormat, RemoteWireFormat).
+const (
+	WireBinary = "binary" // hand-rolled tagged codec (codec.go)
+	WireGob    = "gob"    // legacy gob protocol
+)
 
 type wireMsg struct {
 	Kind  string // "call", "reply", "notify"
@@ -47,6 +60,347 @@ type wireMsg struct {
 	Err   string
 	Note  event.Notification
 	IsNil bool // reply payload was nil
+}
+
+// msgEncoder writes wire messages into a buffered stream; flush pushes
+// everything encoded so far to the socket.
+type msgEncoder interface {
+	encode(*wireMsg) error
+	flush() error
+}
+
+// msgDecoder reads one wire message per call.
+type msgDecoder interface {
+	decode(*wireMsg) error
+}
+
+type gobMsgEnc struct {
+	w   *bufio.Writer
+	enc *gob.Encoder
+}
+
+func newGobMsgEnc(w *bufio.Writer) *gobMsgEnc { return &gobMsgEnc{w: w, enc: gob.NewEncoder(w)} }
+func (g *gobMsgEnc) encode(m *wireMsg) error  { return g.enc.Encode(*m) }
+func (g *gobMsgEnc) flush() error             { return g.w.Flush() }
+
+type gobMsgDec struct{ dec *gob.Decoder }
+
+func newGobMsgDec(r *bufio.Reader) *gobMsgDec { return &gobMsgDec{dec: gob.NewDecoder(r)} }
+func (g *gobMsgDec) decode(m *wireMsg) error {
+	*m = wireMsg{}
+	return g.dec.Decode(m)
+}
+
+type binMsgEnc struct {
+	w   *bufio.Writer
+	enc *WireEnc
+}
+
+func newBinMsgEnc(w *bufio.Writer) *binMsgEnc { return &binMsgEnc{w: w, enc: NewWireEnc(w)} }
+func (b *binMsgEnc) encode(m *wireMsg) error  { return encodeWireMsg(b.enc, m) }
+func (b *binMsgEnc) flush() error             { return b.w.Flush() }
+
+type binMsgDec struct{ dec *WireDec }
+
+func newBinMsgDec(r *bufio.Reader) *binMsgDec { return &binMsgDec{dec: NewWireDec(r)} }
+func (b *binMsgDec) decode(m *wireMsg) error  { return decodeWireMsg(b.dec, m) }
+
+// ---- connect-time codec negotiation ----
+//
+// The dialling side opens with one fixed-size hello line naming the
+// codecs it speaks; a server that understands the hello replies with
+// its pick and both ends switch. Interop with peers that predate the
+// negotiation falls out of the framing:
+//
+//   - A legacy gob server reads the hello's first byte 'O' (0x4f) as a
+//     79-byte gob message length. The padding guarantees those bytes
+//     all arrive, gob rejects them deterministically, and the server
+//     hangs up — which the dialler takes as "speak gob" and re-dials
+//     with the legacy protocol (remembered per peer, so reconnects
+//     skip the failed probe).
+//   - A legacy client opens straight into a gob type descriptor, which
+//     never begins with the hello prefix; a new server peeks, sees no
+//     hello, and serves plain gob on that connection.
+const (
+	helloPrefix = "OASIS1 "
+	helloOffers = "bin,gob"
+	helloLen    = 96 // > 1 + 79 so a legacy gob server's bogus read completes
+	helloBinary = "bin"
+	helloGob    = "gob"
+)
+
+// clientHello sends the hello and reads the server's pick. Any failure
+// means the far side does not negotiate; the caller falls back to gob.
+func clientHello(conn net.Conn, br *bufio.Reader) (string, error) {
+	hello := make([]byte, 0, helloLen)
+	hello = append(hello, helloPrefix...)
+	hello = append(hello, helloOffers...)
+	for len(hello) < helloLen-1 {
+		hello = append(hello, '.')
+	}
+	hello = append(hello, '\n')
+	if _, err := conn.Write(hello); err != nil {
+		return "", err
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, helloPrefix) {
+		return "", fmt.Errorf("bus: bad hello reply %q", line)
+	}
+	switch strings.TrimSpace(strings.TrimPrefix(line, helloPrefix)) {
+	case helloBinary:
+		return WireBinary, nil
+	case helloGob:
+		return WireGob, nil
+	default:
+		return "", fmt.Errorf("bus: bad hello reply %q", line)
+	}
+}
+
+// serverHello consumes a peeked hello line and answers with the chosen
+// codec.
+func serverHello(conn net.Conn, br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	proto, token := WireGob, helloGob
+	offers := strings.Trim(strings.TrimPrefix(line, helloPrefix), ".\n")
+	for _, o := range strings.Split(offers, ",") {
+		if o == helloBinary {
+			proto, token = WireBinary, helloBinary
+			break
+		}
+	}
+	if _, err := conn.Write([]byte(helloPrefix + token + "\n")); err != nil {
+		return "", err
+	}
+	return proto, nil
+}
+
+// SetWireFormat selects the codec for TCP links made after the call:
+// WireBinary (the default — negotiated, with automatic gob fallback)
+// or WireGob, which disables negotiation entirely and speaks the
+// legacy protocol, for interworking with deployments that predate the
+// binary codec.
+func (n *Network) SetWireFormat(format string) error {
+	switch format {
+	case WireBinary:
+		n.wireGobOnly.Store(false)
+	case WireGob:
+		n.wireGobOnly.Store(true)
+	default:
+		return fmt.Errorf("bus: unknown wire format %q", format)
+	}
+	return nil
+}
+
+// SetWireSyncWrites disables (true) or restores (false) the pipelined
+// writer on TCP links made after the call. With sync writes every
+// sender encodes and flushes inline under the writer lock — the
+// pre-pipelining behavior, kept so the benchmark suite can measure
+// exactly what the pipeline buys.
+func (n *Network) SetWireSyncWrites(sync bool) {
+	n.wireSyncWrites.Store(sync)
+}
+
+// RemoteWireFormat reports the codec negotiated on the live connection
+// to the named remote peer: WireBinary, WireGob, or "" when the name
+// is not a connected remotePeer link.
+func (n *Network) RemoteWireFormat(name string) string {
+	n.peersMu.RLock()
+	link := n.remotes[name]
+	n.peersMu.RUnlock()
+	if p, ok := link.(*remotePeer); ok {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.proto
+	}
+	return ""
+}
+
+// ---- outbound writer ----
+
+// errWriterDead reports that a message writer had already failed:
+// nothing passed to enqueue was accepted, and the caller owns the drop
+// accounting for the batch. Any other enqueue error means the writer
+// accepted the batch and has already accounted its lost tail.
+var errWriterDead = errors.New("bus: connection lost")
+
+// msgWriter serializes outbound traffic for one TCP connection.
+//
+// In the default pipelined mode, enqueue appends to a queue under a
+// leaf mutex and returns; a single flusher goroutine drains the queue,
+// encoding each message and flushing the socket once per drained
+// batch. In sync mode (SetWireSyncWrites) enqueue encodes and flushes
+// inline under the lock.
+//
+// The first failed encode or flush kills the writer for good: a
+// partial frame may be on the wire, so the stream cannot be trusted.
+// Death closes the socket — waking the connection's read loop, which
+// fails outstanding calls — and counts every accepted-but-undelivered
+// notification exactly once through onDrop. pendingNotes carries that
+// invariant: it counts notify messages accepted into the pipeline and
+// not yet flushed, so whichever path kills the writer first owns them.
+type msgWriter struct {
+	conn       net.Conn
+	enc        msgEncoder
+	syncWrites bool
+	onDrop     func(int) // counts lost notifications; must use atomics only (called under wr.mu)
+
+	mu           sync.Mutex
+	q            []wireMsg
+	spare        []wireMsg // drained batch recycled as the next queue
+	pendingNotes int       // notify messages accepted but not yet flushed
+	flushing     bool      // a flushLoop goroutine is running
+	dead         bool
+}
+
+func countNotify(msgs []wireMsg) int {
+	n := 0
+	for i := range msgs {
+		if msgs[i].Kind == "notify" {
+			n++
+		}
+	}
+	return n
+}
+
+// enqueue accepts messages for the wire. errWriterDead means nothing
+// was accepted (safe to retry or account elsewhere); other errors are
+// sync-mode wire failures whose losses are already accounted.
+func (wr *msgWriter) enqueue(msgs ...wireMsg) error {
+	wr.mu.Lock()
+	if wr.dead {
+		wr.mu.Unlock()
+		return errWriterDead
+	}
+	if wr.syncWrites {
+		err := wr.writeLocked(msgs)
+		wr.mu.Unlock()
+		return err
+	}
+	wr.q = append(wr.q, msgs...)
+	wr.pendingNotes += countNotify(msgs)
+	if wr.flushing {
+		wr.mu.Unlock()
+		return nil
+	}
+	wr.flushing = true
+	wr.mu.Unlock()
+	// Combining: the caller that found the writer idle drains one batch
+	// itself — usually just its own message, with none of the latency of
+	// scheduling a flusher goroutine. If traffic piled up behind it, the
+	// rest goes to a background flusher so no caller flushes forever.
+	if wr.flushBatch() {
+		go wr.flushLoop()
+	}
+	return nil
+}
+
+// writeLocked is the sync-mode path; caller holds wr.mu. These
+// messages never entered pendingNotes, so failure passes the unsent
+// tail to dieLocked explicitly — preserving the original accounting: a
+// failed encode loses the tail of the burst, a failed flush all of it.
+func (wr *msgWriter) writeLocked(msgs []wireMsg) error {
+	for i := range msgs {
+		if err := wr.enc.encode(&msgs[i]); err != nil {
+			wr.dieLocked(msgs[i:])
+			return err
+		}
+	}
+	if err := wr.enc.flush(); err != nil {
+		wr.dieLocked(msgs)
+		return err
+	}
+	return nil
+}
+
+// dieLocked kills the writer; caller holds wr.mu. Drops counted here
+// are pendingNotes (everything the pipeline accepted and has not
+// flushed) plus the caller's unaccepted tail; both zero out so no
+// later death path counts them again.
+func (wr *msgWriter) dieLocked(tail []wireMsg) {
+	if wr.dead {
+		return
+	}
+	wr.dead = true
+	lost := wr.pendingNotes + countNotify(tail)
+	wr.pendingNotes = 0
+	wr.q = nil
+	_ = wr.conn.Close()
+	if lost > 0 && wr.onDrop != nil {
+		wr.onDrop(lost)
+	}
+}
+
+// kill tears the writer down from outside (read-loop death, link
+// teardown); queued-but-undelivered notifications count as dropped.
+func (wr *msgWriter) kill() {
+	wr.mu.Lock()
+	wr.dieLocked(nil)
+	wr.mu.Unlock()
+}
+
+// flushLoop drains the queue until it is empty or the writer dies.
+// Exactly one flusher runs at a time (the flushing flag); it encodes
+// outside wr.mu so enqueuers never wait on the socket.
+func (wr *msgWriter) flushLoop() {
+	for wr.flushBatch() {
+	}
+}
+
+// flushBatch drains and flushes one batch. It returns true while the
+// queue still has messages — the caller is still the flusher and must
+// keep going — and false once the queue is empty or the writer died
+// (the flushing flag has been released).
+func (wr *msgWriter) flushBatch() bool {
+	wr.mu.Lock()
+	if wr.dead || len(wr.q) == 0 {
+		wr.flushing = false
+		wr.mu.Unlock()
+		return false
+	}
+	batch := wr.q
+	wr.q = wr.spare
+	wr.spare = nil
+	wr.mu.Unlock()
+	for i := range batch {
+		if err := wr.enc.encode(&batch[i]); err != nil {
+			wr.mu.Lock()
+			wr.dieLocked(nil) // batch is still in pendingNotes
+			wr.flushing = false
+			wr.mu.Unlock()
+			return false
+		}
+	}
+	if err := wr.enc.flush(); err != nil {
+		wr.mu.Lock()
+		wr.dieLocked(nil)
+		wr.flushing = false
+		wr.mu.Unlock()
+		return false
+	}
+	// Zero the drained slots so the recycled array does not pin
+	// payloads, then hand the array back as the next queue.
+	flushedNotes := countNotify(batch)
+	clear(batch)
+	wr.mu.Lock()
+	if wr.dead {
+		wr.flushing = false
+		wr.mu.Unlock()
+		return false
+	}
+	wr.pendingNotes -= flushedNotes
+	wr.spare = batch[:0]
+	more := len(wr.q) > 0
+	if !more {
+		wr.flushing = false
+	}
+	wr.mu.Unlock()
+	return more
 }
 
 // remoteLink routes traffic for one remote name.
@@ -61,11 +415,8 @@ type remoteLink interface {
 // the same TCP connection its calls came up on, so a dialling service
 // needs no listener of its own.
 type backchannel struct {
-	net  *Network // counts drops on encode failure
-	mu   *sync.Mutex
-	w    *bufio.Writer
-	enc  *gob.Encoder
-	dead bool // encode failed; the dialling peer must reconnect
+	net *Network   // counts drops when the writer is already dead
+	wr  *msgWriter // the serving connection's writer
 }
 
 func (b *backchannel) call(from, to, op string, arg any) (any, error) {
@@ -77,23 +428,13 @@ func (b *backchannel) send(from, to string, note event.Notification) {
 }
 
 func (b *backchannel) sendBatch(from, to string, notes []event.Notification) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.dead {
-		b.net.dropNote(len(notes))
-		return
-	}
+	msgs := make([]wireMsg, len(notes))
 	for i, note := range notes {
-		if err := b.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note}); err != nil {
-			// The rest of the burst is lost with this one; the peer's
-			// read loop will observe the broken stream and re-dial.
-			b.dead = true
-			b.net.dropNote(len(notes) - i)
-			return
-		}
+		msgs[i] = wireMsg{Kind: "notify", From: from, To: to, Note: note}
 	}
-	if err := b.w.Flush(); err != nil {
-		b.dead = true
+	if err := b.wr.enqueue(msgs...); errors.Is(err, errWriterDead) {
+		// Nothing was accepted; sync-mode wire failures account
+		// themselves through the writer's onDrop.
 		b.net.dropNote(len(notes))
 	}
 }
@@ -107,13 +448,14 @@ type remotePeer struct {
 	// same losses also count in the home network's global Dropped.
 	dropped atomic.Int64
 
-	mu      sync.Mutex
-	conn    net.Conn
-	w       *bufio.Writer
-	enc     *gob.Encoder
-	closed  bool // CloseRemotes: no reconnection
-	nextSeq uint64
-	waiting map[uint64]chan wireMsg
+	mu        sync.Mutex
+	conn      net.Conn
+	wr        *msgWriter
+	proto     string // negotiated codec of the live connection
+	legacyGob bool   // peer failed the hello once; speak gob on reconnects
+	closed    bool   // CloseRemotes: no reconnection
+	nextSeq   uint64
+	waiting   map[uint64]wireWaiter
 
 	// Inbound back-channel notifications are delivered by a pump
 	// goroutine, never on the read loop itself: a delivery callback may
@@ -124,6 +466,22 @@ type remotePeer struct {
 	inQ       []wireMsg
 	inPumping bool
 }
+
+// wireWaiter is one outstanding call. The connection tag keeps a dying
+// read loop from failing calls already re-issued on a successor
+// connection.
+type wireWaiter struct {
+	ch   chan wireMsg
+	conn net.Conn
+}
+
+// callChans recycles reply channels across calls. A waiting channel
+// receives exactly one message — whoever removes the waiter from the
+// map (reply or connection loss) owns the single send — so once the
+// caller has read it, the channel is empty and safe to reuse. The
+// pre-send failure path never reads and never recycles: a racing
+// connection loss may still have a message in flight there.
+var callChans = sync.Pool{New: func() any { return make(chan wireMsg, 1) }}
 
 // drop accounts count lost notifications against both the per-link and
 // the network-wide counters.
@@ -156,16 +514,33 @@ func (n *Network) ServeTCP(ln net.Listener) error {
 
 func (n *Network) serveConn(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	proto := WireGob
+	if !n.wireGobOnly.Load() {
+		if peek, err := br.Peek(len(helloPrefix)); err == nil && string(peek) == helloPrefix {
+			p, err := serverHello(conn, br)
+			if err != nil {
+				return
+			}
+			proto = p
+		}
+	}
 	w := bufio.NewWriterSize(conn, wireBufSize)
-	enc := gob.NewEncoder(w)
-	var encMu sync.Mutex
+	var enc msgEncoder
+	var dec msgDecoder
+	if proto == WireBinary {
+		enc, dec = newBinMsgEnc(w), newBinMsgDec(br)
+	} else {
+		enc, dec = newGobMsgEnc(w), newGobMsgDec(br)
+	}
+	wr := &msgWriter{conn: conn, enc: enc, syncWrites: n.wireSyncWrites.Load(), onDrop: n.dropNote}
+	defer wr.kill()
 	var backNames []string
 	defer func() {
 		// Drop back-channels routed over this connection.
 		n.peersMu.Lock()
 		for _, name := range backNames {
-			if bc, ok := n.remotes[name].(*backchannel); ok && bc.enc == enc {
+			if bc, ok := n.remotes[name].(*backchannel); ok && bc.wr == wr {
 				delete(n.remotes, name)
 			}
 		}
@@ -173,37 +548,45 @@ func (n *Network) serveConn(conn net.Conn) {
 	}()
 	for {
 		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
+		if err := dec.decode(&msg); err != nil {
 			return
 		}
 		// The caller is reachable for notifications over this very
-		// connection; remember that unless it is already known.
+		// connection; remember that unless it is already known. The
+		// name is almost always known after the first message, so
+		// check under the read lock and only upgrade (re-checking) to
+		// install a new back-channel.
 		if msg.From != "" {
-			n.peersMu.Lock()
+			n.peersMu.RLock()
 			_, local := n.peers[msg.From]
 			_, known := n.remotes[msg.From]
+			n.peersMu.RUnlock()
 			if !local && !known {
-				if n.remotes == nil {
-					n.remotes = make(map[string]remoteLink)
+				n.peersMu.Lock()
+				_, local = n.peers[msg.From]
+				_, known = n.remotes[msg.From]
+				if !local && !known {
+					if n.remotes == nil {
+						n.remotes = make(map[string]remoteLink)
+					}
+					n.remotes[msg.From] = &backchannel{net: n, wr: wr}
+					backNames = append(backNames, msg.From)
 				}
-				n.remotes[msg.From] = &backchannel{net: n, mu: &encMu, w: w, enc: enc}
-				backNames = append(backNames, msg.From)
+				n.peersMu.Unlock()
 			}
-			n.peersMu.Unlock()
 		}
 		switch msg.Kind {
 		case "call":
+			// Each call is served on its own goroutine; replies are
+			// enqueued on the shared writer, so slow handlers never
+			// stall the read loop and fast replies overtake them.
 			go func(msg wireMsg) {
 				res, err := n.Call(msg.From, msg.To, msg.Op, msg.Arg)
 				reply := wireMsg{Kind: "reply", Seq: msg.Seq, Arg: res, IsNil: res == nil}
 				if err != nil {
 					reply.Err = err.Error()
 				}
-				encMu.Lock()
-				if err := enc.Encode(reply); err == nil {
-					_ = w.Flush()
-				}
-				encMu.Unlock()
+				_ = wr.enqueue(reply)
 			}(msg)
 		case "notify":
 			n.Send(msg.From, msg.To, msg.Note)
@@ -215,7 +598,7 @@ func (n *Network) serveConn(conn net.Conn) {
 // and notifications to that name cross the socket; the remote network
 // must be serving (ServeTCP) and have the name registered.
 func (n *Network) AddRemote(name, addr string) error {
-	p := &remotePeer{addr: addr, home: n, waiting: make(map[uint64]chan wireMsg)}
+	p := &remotePeer{addr: addr, home: n, waiting: make(map[uint64]wireWaiter)}
 	p.mu.Lock()
 	err := p.connectLocked()
 	p.mu.Unlock()
@@ -257,30 +640,54 @@ func (n *Network) CloseRemotes() {
 		if p, ok := link.(*remotePeer); ok {
 			p.mu.Lock()
 			p.closed = true
-			if p.conn != nil {
-				_ = p.conn.Close()
-				p.conn = nil
-			}
+			p.breakLocked()
 			p.mu.Unlock()
 		}
 	}
 }
 
-// connectLocked dials the peer and installs the buffered encoder;
-// caller holds p.mu.
+// connectLocked dials the peer, negotiates the codec, and installs the
+// pipelined writer; caller holds p.mu.
 func (p *remotePeer) connectLocked() error {
 	conn, err := net.Dial("tcp", p.addr)
 	if err != nil {
 		return err
 	}
+	proto := WireGob
+	br := bufio.NewReaderSize(conn, wireBufSize)
+	if !p.home.wireGobOnly.Load() && !p.legacyGob {
+		negotiated, herr := clientHello(conn, br)
+		if herr != nil {
+			// The peer predates the negotiation: it read the hello as
+			// a broken gob frame and hung up. Re-dial speaking plain
+			// gob, and remember so reconnects skip the failed probe.
+			_ = conn.Close()
+			p.legacyGob = true
+			conn, err = net.Dial("tcp", p.addr)
+			if err != nil {
+				return err
+			}
+			br = bufio.NewReaderSize(conn, wireBufSize)
+		} else {
+			proto = negotiated
+		}
+	}
+	w := bufio.NewWriterSize(conn, wireBufSize)
+	var enc msgEncoder
+	var dec msgDecoder
+	if proto == WireBinary {
+		enc, dec = newBinMsgEnc(w), newBinMsgDec(br)
+	} else {
+		enc, dec = newGobMsgEnc(w), newGobMsgDec(br)
+	}
 	p.conn = conn
-	p.w = bufio.NewWriterSize(conn, wireBufSize)
-	p.enc = gob.NewEncoder(p.w)
-	go p.readLoop(conn)
+	p.wr = &msgWriter{conn: conn, enc: enc, syncWrites: p.home.wireSyncWrites.Load(), onDrop: p.drop}
+	p.proto = proto
+	go p.readLoop(conn, dec, p.wr)
 	return nil
 }
 
-// ensureConnLocked reconnects a link marked broken by an earlier encode
+// ensureConnLocked reconnects a link marked broken by an earlier wire
 // failure; caller holds p.mu.
 func (p *remotePeer) ensureConnLocked() error {
 	if p.conn != nil {
@@ -293,28 +700,48 @@ func (p *remotePeer) ensureConnLocked() error {
 }
 
 // breakLocked tears the connection down after a wire error so the next
-// use reconnects; caller holds p.mu. Outstanding calls are failed by
-// the read loop when the close surfaces there.
+// use reconnects; caller holds p.mu. Killing the writer closes the
+// socket, which wakes the read loop; it fails the calls outstanding on
+// this connection.
 func (p *remotePeer) breakLocked() {
+	if p.wr != nil {
+		p.wr.kill()
+	}
 	if p.conn != nil {
 		_ = p.conn.Close()
 		p.conn = nil
 	}
+	p.wr = nil
+	p.proto = ""
 }
 
-func (p *remotePeer) readLoop(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+func (p *remotePeer) readLoop(conn net.Conn, dec msgDecoder, wr *msgWriter) {
 	for {
 		var msg wireMsg
-		if err := dec.Decode(&msg); err != nil {
-			// Fail all outstanding calls. Take the map under the lock
-			// but deliver after releasing it: locks are leaves here.
+		if err := dec.decode(&msg); err != nil {
+			// This connection is done: clear it if it is still the
+			// live one, kill its writer (accounting queued
+			// notifications as dropped), and fail the calls that went
+			// out on it. Calls tagged with a successor connection are
+			// left alone. Channels are notified after releasing the
+			// lock: locks are leaves here.
 			p.mu.Lock()
-			waiting := p.waiting
-			p.waiting = make(map[uint64]chan wireMsg)
+			if p.conn == conn {
+				p.conn = nil
+				p.wr = nil
+				p.proto = ""
+			}
+			var failed []chan wireMsg
+			for seq, wait := range p.waiting {
+				if wait.conn == conn {
+					delete(p.waiting, seq)
+					failed = append(failed, wait.ch)
+				}
+			}
 			p.mu.Unlock()
-			for seq, ch := range waiting {
-				ch <- wireMsg{Kind: "reply", Seq: seq, Err: "bus: connection lost"}
+			wr.kill()
+			for _, ch := range failed {
+				ch <- wireMsg{Kind: "reply", Err: "bus: connection lost"}
 			}
 			return
 		}
@@ -330,11 +757,11 @@ func (p *remotePeer) readLoop(conn net.Conn) {
 			continue
 		}
 		p.mu.Lock()
-		ch, ok := p.waiting[msg.Seq]
+		wait, ok := p.waiting[msg.Seq]
 		delete(p.waiting, msg.Seq)
 		p.mu.Unlock()
 		if ok {
-			ch <- msg
+			wait.ch <- msg
 		}
 	}
 }
@@ -366,17 +793,25 @@ func (p *remotePeer) pumpInbound() {
 			return
 		}
 		msg := p.inQ[0]
+		// Zero the consumed slot so the backing array does not retain
+		// the notification payload, and drop the array entirely once
+		// drained — a sustained storm otherwise pins every message
+		// ever queued.
+		p.inQ[0] = wireMsg{}
 		p.inQ = p.inQ[1:]
+		if len(p.inQ) == 0 {
+			p.inQ = nil
+		}
 		p.inMu.Unlock()
 		p.home.Send(msg.From, msg.To, msg.Note)
 	}
 }
 
 // call issues one synchronous request. Pre-send failures — dial and
-// encode, where the request cannot have reached the peer — are retried
-// with exponential backoff on the home network's clock (SetCallRetry);
-// once the request is on the wire a lost connection fails the call,
-// because retrying could execute it twice.
+// enqueue, where the request cannot have reached the peer — are
+// retried with exponential backoff on the home network's clock
+// (SetCallRetry); once the request is accepted for the wire a lost
+// connection fails the call, because retrying could execute it twice.
 func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 	attempts := int(p.home.retryAttempts.Load())
 	if attempts < 1 {
@@ -398,6 +833,7 @@ func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 			continue
 		}
 		reply := <-ch
+		callChans.Put(ch)
 		if reply.Err != "" {
 			return nil, errors.New(reply.Err)
 		}
@@ -409,25 +845,31 @@ func (p *remotePeer) call(from, to, op string, arg any) (any, error) {
 	return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 }
 
-// startCall dials if needed and puts one request on the wire, returning
-// the reply channel. Errors here are pre-send: safe to retry.
+// startCall dials if needed and hands one request to the writer,
+// returning the reply channel. Errors here are pre-send: either the
+// dial failed or the writer was already dead and accepted nothing, so
+// a retry cannot double-execute. The enqueue happens outside p.mu —
+// the writer has its own leaf lock — so concurrent calls pipeline.
 func (p *remotePeer) startCall(from, to, op string, arg any) (chan wireMsg, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err := p.ensureConnLocked(); err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
+	conn, wr := p.conn, p.wr
 	p.nextSeq++
 	seq := p.nextSeq
-	ch := make(chan wireMsg, 1)
-	p.waiting[seq] = ch
-	err := p.enc.Encode(wireMsg{Kind: "call", Seq: seq, From: from, To: to, Op: op, Arg: arg})
-	if err == nil {
-		err = p.w.Flush()
-	}
-	if err != nil {
+	ch := callChans.Get().(chan wireMsg)
+	p.waiting[seq] = wireWaiter{ch: ch, conn: conn}
+	p.mu.Unlock()
+
+	if err := wr.enqueue(wireMsg{Kind: "call", Seq: seq, From: from, To: to, Op: op, Arg: arg}); err != nil {
+		p.mu.Lock()
 		delete(p.waiting, seq)
-		p.breakLocked()
+		if p.wr == wr {
+			p.breakLocked()
+		}
+		p.mu.Unlock()
 		return nil, err
 	}
 	return ch, nil
@@ -437,26 +879,35 @@ func (p *remotePeer) send(from, to string, note event.Notification) {
 	p.sendBatch(from, to, []event.Notification{note})
 }
 
-// sendBatch encodes a notification burst and flushes the socket once.
-// A failed encode loses the tail of the burst: each lost notification
-// counts as dropped and the link is marked for reconnection, so the
-// failure is visible to heartbeat loss detection rather than silent.
+// sendBatch hands a notification burst to the writer, which flushes
+// the socket once per drained batch. A wire failure loses the tail of
+// the burst: each lost notification counts as dropped and the link is
+// marked for reconnection, so the failure is visible to heartbeat loss
+// detection rather than silent.
 func (p *remotePeer) sendBatch(from, to string, notes []event.Notification) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if err := p.ensureConnLocked(); err != nil {
+		p.mu.Unlock()
 		p.drop(len(notes))
 		return
 	}
+	wr := p.wr
+	p.mu.Unlock()
+
+	msgs := make([]wireMsg, len(notes))
 	for i, note := range notes {
-		if err := p.enc.Encode(wireMsg{Kind: "notify", From: from, To: to, Note: note}); err != nil {
-			p.drop(len(notes) - i)
-			p.breakLocked()
-			return
-		}
+		msgs[i] = wireMsg{Kind: "notify", From: from, To: to, Note: note}
 	}
-	if err := p.w.Flush(); err != nil {
-		p.drop(len(notes))
-		p.breakLocked()
+	if err := wr.enqueue(msgs...); err != nil {
+		if errors.Is(err, errWriterDead) {
+			// Nothing was accepted; sync-mode wire failures account
+			// their own losses through the writer's onDrop.
+			p.drop(len(notes))
+		}
+		p.mu.Lock()
+		if p.wr == wr {
+			p.breakLocked()
+		}
+		p.mu.Unlock()
 	}
 }

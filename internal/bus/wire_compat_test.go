@@ -1,0 +1,171 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/clock"
+	"oasis/internal/event"
+)
+
+// Mixed-version interworking: a peer that predates the binary codec is
+// emulated with SetWireFormat(WireGob), which reproduces the legacy
+// behavior exactly — the server does not sniff for a hello and the
+// client sends none. Every pairing must end up on a working link; only
+// new↔new may speak binary.
+
+type compatEnd struct {
+	net  *Network
+	peer *testPeer
+}
+
+// dialCompat wires caller→server over TCP with the given wire formats
+// and returns both ends plus a teardown.
+func dialCompat(t *testing.T, serverFmt, clientFmt string) (server, client compatEnd, done func()) {
+	t.Helper()
+	mk := func(format, name string) compatEnd {
+		n := NewNetwork(clock.NewVirtual(time.Unix(0, 0)))
+		if err := n.SetWireFormat(format); err != nil {
+			t.Fatal(err)
+		}
+		p := &testPeer{}
+		if err := n.Register(name, p); err != nil {
+			t.Fatal(err)
+		}
+		return compatEnd{net: n, peer: p}
+	}
+	server = mk(serverFmt, "svc")
+	client = mk(clientFmt, "caller")
+	ln, err := nettest()
+	if err != nil {
+		t.Skip("no loopback listener available:", err)
+	}
+	go func() { _ = server.net.ServeTCP(ln) }()
+	if err := client.net.AddRemote("svc", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	return server, client, func() {
+		client.net.CloseRemotes()
+		ln.Close()
+	}
+}
+
+// checkBridge exercises a call, a notification to the server, and a
+// back-channel notification to the client.
+func checkBridge(t *testing.T, server, client compatEnd) {
+	t.Helper()
+	got, err := client.net.Call("caller", "svc", "echo", "ping")
+	if err != nil || got != "ping" {
+		t.Fatalf("Call = %v, %v", got, err)
+	}
+	client.net.Send("caller", "svc", event.Notification{Source: "caller", Seq: 1})
+	waitFor(t, func() bool { return server.peer.noteCount() == 1 })
+	// The call above taught the server a back-channel for "caller".
+	server.net.Send("svc", "caller", event.Notification{Source: "svc", Seq: 1})
+	waitFor(t, func() bool { return client.peer.noteCount() == 1 })
+}
+
+func waitFor(t *testing.T, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWireNegotiatesBinary(t *testing.T) {
+	server, client, done := dialCompat(t, WireBinary, WireBinary)
+	defer done()
+	if f := client.net.RemoteWireFormat("svc"); f != WireBinary {
+		t.Fatalf("negotiated %q, want %q", f, WireBinary)
+	}
+	checkBridge(t, server, client)
+}
+
+func TestWireFallbackToLegacyServer(t *testing.T) {
+	server, client, done := dialCompat(t, WireGob, WireBinary)
+	defer done()
+	if f := client.net.RemoteWireFormat("svc"); f != WireGob {
+		t.Fatalf("negotiated %q, want %q", f, WireGob)
+	}
+	checkBridge(t, server, client)
+	// The failed probe is remembered: a reconnect goes straight to gob.
+	n := client.net
+	n.peersMu.RLock()
+	rp := n.remotes["svc"].(*remotePeer)
+	n.peersMu.RUnlock()
+	rp.mu.Lock()
+	legacy := rp.legacyGob
+	rp.breakLocked()
+	rp.mu.Unlock()
+	if !legacy {
+		t.Fatal("legacy fallback not remembered")
+	}
+	got, err := client.net.Call("caller", "svc", "echo", "again")
+	if err != nil || got != "again" {
+		t.Fatalf("post-reconnect Call = %v, %v", got, err)
+	}
+	if f := client.net.RemoteWireFormat("svc"); f != WireGob {
+		t.Fatalf("reconnect negotiated %q, want %q", f, WireGob)
+	}
+}
+
+func TestWireServesLegacyClient(t *testing.T) {
+	server, client, done := dialCompat(t, WireBinary, WireGob)
+	defer done()
+	if f := client.net.RemoteWireFormat("svc"); f != WireGob {
+		t.Fatalf("negotiated %q, want %q", f, WireGob)
+	}
+	checkBridge(t, server, client)
+}
+
+func TestWireBinaryBothWithSyncWrites(t *testing.T) {
+	// The benchmark baseline mode must be functionally identical.
+	clkA := clock.NewVirtual(time.Unix(0, 0))
+	serverNet := NewNetwork(clkA)
+	serverNet.SetWireSyncWrites(true)
+	served := &testPeer{}
+	if err := serverNet.Register("svc", served); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := nettest()
+	if err != nil {
+		t.Skip(err)
+	}
+	go func() { _ = serverNet.ServeTCP(ln) }()
+	defer ln.Close()
+
+	clientNet := NewNetwork(clock.NewVirtual(time.Unix(0, 0)))
+	clientNet.SetWireSyncWrites(true)
+	if err := clientNet.Register("caller", &testPeer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clientNet.AddRemote("svc", ln.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	defer clientNet.CloseRemotes()
+	if f := clientNet.RemoteWireFormat("svc"); f != WireBinary {
+		t.Fatalf("negotiated %q, want %q", f, WireBinary)
+	}
+	for i := 0; i < 10; i++ {
+		if got, err := clientNet.Call("caller", "svc", "echo", "x"); err != nil || got != "x" {
+			t.Fatalf("Call = %v, %v", got, err)
+		}
+	}
+}
+
+func TestSetWireFormatValidates(t *testing.T) {
+	n := NewNetwork(clock.NewVirtual(time.Unix(0, 0)))
+	if err := n.SetWireFormat("carrier-pigeon"); err == nil {
+		t.Fatal("bad wire format accepted")
+	}
+	if err := n.SetWireFormat(WireGob); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetWireFormat(WireBinary); err != nil {
+		t.Fatal(err)
+	}
+}

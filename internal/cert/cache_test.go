@@ -1,0 +1,327 @@
+package cert
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+)
+
+func cacheTestRMC() *RMC {
+	return &RMC{
+		Service:  "Doc",
+		Rolefile: "doc.rdl",
+		Roles:    RoleSet(0b11),
+		Args:     []value.Value{value.Str("alice"), value.Int(7)},
+		Client:   ids.ClientID{Host: "h", ID: 4, BootTime: time.Unix(99, 0)},
+		CRR:      credrec.Ref{Index: 2, Magic: 42},
+		Expiry:   time.Unix(5000, 0),
+	}
+}
+
+func TestCanonicalCacheStableWhileUnchanged(t *testing.T) {
+	c := cacheTestRMC()
+	e1 := c.canonEntry()
+	if e2 := c.canonEntry(); e2 != e1 {
+		t.Fatal("unchanged certificate rebuilt its canonical entry")
+	}
+	s := NewHMACSigner([]byte("k"), 32)
+	c.Sign(s)
+	if !c.Verify(s) || !c.Verify(s) {
+		t.Fatal("repeat verify of unchanged certificate failed")
+	}
+	if e3 := c.canonEntry(); e3 != e1 {
+		t.Fatal("verify rebuilt the canonical entry")
+	}
+}
+
+func TestCanonicalCacheInvalidatedByMutation(t *testing.T) {
+	s := NewHMACSigner([]byte("k"), 32)
+	mutations := map[string]func(*RMC){
+		"service":     func(c *RMC) { c.Service = "Evil" },
+		"rolefile":    func(c *RMC) { c.Rolefile = "other.rdl" },
+		"roles":       func(c *RMC) { c.Roles = RoleSet(0b111) },
+		"args-swap":   func(c *RMC) { c.Args[0] = value.Str("mallory") },
+		"args-alias":  func(c *RMC) { c.Args = append([]value.Value{}, value.Str("x")) },
+		"client":      func(c *RMC) { c.Client.ID = 99 },
+		"crr":         func(c *RMC) { c.CRR = credrec.Ref{Index: 9, Magic: 9} },
+		"expiry":      func(c *RMC) { c.Expiry = c.Expiry.Add(time.Hour) },
+		"sig-swapped": func(c *RMC) { c.Sig = []byte("forged") },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			c := cacheTestRMC()
+			c.Sign(s)
+			if !c.Verify(s) {
+				t.Fatal("fresh certificate does not verify")
+			}
+			mutate(c)
+			if c.Verify(s) {
+				t.Fatal("tampered certificate still verifies (stale cache)")
+			}
+		})
+	}
+}
+
+func TestCanonicalCacheInvalidatedByCopy(t *testing.T) {
+	// Forging via struct copy (the other pattern the certificate tests
+	// use) must not ride the original's cache either. The copy is taken
+	// before the cache exists so the atomic.Value is not copied warm.
+	s := NewHMACSigner([]byte("k"), 32)
+	orig := cacheTestRMC()
+	forged := *orig
+	orig.Sign(s)
+	forged.Sig = orig.Sig
+	forged.Roles = RoleSet(0b1111)
+	if forged.Verify(s) {
+		t.Fatal("forged copy verifies")
+	}
+	if !orig.Verify(s) {
+		t.Fatal("original stopped verifying after copy was rejected")
+	}
+}
+
+func TestVerifyMemoPerSigner(t *testing.T) {
+	s1 := NewHMACSigner([]byte("k1"), 32)
+	s2 := NewHMACSigner([]byte("k2"), 32)
+	c := cacheTestRMC()
+	c.Sign(s1)
+	if !c.Verify(s1) {
+		t.Fatal("signer 1 rejects its own signature")
+	}
+	// A different signer must not hit signer 1's memo.
+	if c.Verify(s2) {
+		t.Fatal("memo leaked across signers")
+	}
+	if !c.Verify(s1) {
+		t.Fatal("signer 1 broken after signer 2 rejected")
+	}
+}
+
+func TestVerifyMemoInvalidatedByEpoch(t *testing.T) {
+	// keep=1: rolling discards the old secret immediately, so a
+	// certificate verified before the roll must fail after it instead of
+	// riding the memo.
+	r := NewRollingSigner([]byte("gen0"), 32, 1)
+	c := cacheTestRMC()
+	c.Sign(r)
+	if !c.Verify(r) {
+		t.Fatal("fresh certificate does not verify")
+	}
+	r.Roll([]byte("gen1"))
+	if c.Verify(r) {
+		t.Fatal("certificate signed with a discarded secret still verifies")
+	}
+}
+
+func TestVerifyMemoSurvivesRollWithinRetention(t *testing.T) {
+	// keep=2: the old secret stays accepted for one roll, so the
+	// certificate re-verifies (via the real HMAC walk, since the epoch
+	// changed) and only dies on the second roll.
+	r := NewRollingSigner([]byte("gen0"), 32, 2)
+	c := cacheTestRMC()
+	c.Sign(r)
+	if !c.Verify(r) {
+		t.Fatal("fresh certificate does not verify")
+	}
+	r.Roll([]byte("gen1"))
+	if r.Epoch() == 0 {
+		t.Fatal("Roll did not bump the epoch")
+	}
+	if !c.Verify(r) {
+		t.Fatal("certificate rejected while its secret is still retained")
+	}
+	r.Roll([]byte("gen2"))
+	if c.Verify(r) {
+		t.Fatal("certificate outlived its secret's retention")
+	}
+}
+
+func TestDelegationCacheInvalidation(t *testing.T) {
+	s := NewHMACSigner([]byte("k"), 32)
+	mk := func() *Delegation {
+		return &Delegation{
+			Service:  "Doc",
+			Rolefile: "doc.rdl",
+			Role:     "courier",
+			Args:     []value.Value{value.Str("bob")},
+			Required: []RoleSpec{
+				{Service: "Login", Rolefile: "login.rdl", Role: "user", Args: []value.Value{value.Str("bob")}},
+			},
+			DelegCRR: credrec.Ref{Index: 1, Magic: 5},
+			Expiry:   time.Unix(7000, 0),
+		}
+	}
+	d := mk()
+	d.Sign(s)
+	if !d.Verify(s) || !d.Verify(s) {
+		t.Fatal("fresh delegation does not verify twice")
+	}
+	// Mutating a nested required-role argument in place must invalidate.
+	d.Required[0].Args[0] = value.Str("mallory")
+	if d.Verify(s) {
+		t.Fatal("tampered required-role args still verify")
+	}
+	d2 := mk()
+	d2.Sign(s)
+	d2.Role = "admin"
+	if d2.Verify(s) {
+		t.Fatal("tampered role still verifies")
+	}
+}
+
+// freshCopy simulates the remote-validation path: a struct with the
+// same field values but no warm per-instance cache, exactly what wire
+// decoding produces.
+func freshCopy(c *RMC) *RMC {
+	return &RMC{
+		Service:  c.Service,
+		Rolefile: c.Rolefile,
+		Roles:    c.Roles,
+		Args:     append([]value.Value(nil), c.Args...),
+		Client:   c.Client,
+		CRR:      c.CRR,
+		Expiry:   c.Expiry,
+		Sig:      append([]byte(nil), c.Sig...),
+	}
+}
+
+func TestVerifyCacheCrossInstance(t *testing.T) {
+	s := NewHMACSigner([]byte("k"), 32)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(s)
+	if !vc.VerifyRMC(orig, s) {
+		t.Fatal("signed certificate does not verify")
+	}
+	// A field-identical fresh instance must verify (this is the hit the
+	// cache exists for), and repeatedly.
+	for i := 0; i < 3; i++ {
+		if !vc.VerifyRMC(freshCopy(orig), s) {
+			t.Fatalf("fresh instance %d rejected", i)
+		}
+	}
+}
+
+func TestVerifyCacheStolenSignature(t *testing.T) {
+	s := NewHMACSigner([]byte("k"), 32)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(s)
+	if !vc.VerifyRMC(orig, s) {
+		t.Fatal("signed certificate does not verify")
+	}
+	// A forged body carrying the victim's valid signature must miss the
+	// snapshot comparison and fail the real check.
+	forged := freshCopy(orig)
+	forged.Roles = RoleSet(0b1111)
+	if vc.VerifyRMC(forged, s) {
+		t.Fatal("forged body with stolen signature verified via cache")
+	}
+	// And the genuine certificate must still verify afterwards.
+	if !vc.VerifyRMC(freshCopy(orig), s) {
+		t.Fatal("genuine certificate rejected after forgery attempt")
+	}
+}
+
+func TestVerifyCacheWrongSigner(t *testing.T) {
+	s1 := NewHMACSigner([]byte("k1"), 32)
+	s2 := NewHMACSigner([]byte("k2"), 32)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(s1)
+	if !vc.VerifyRMC(orig, s1) {
+		t.Fatal("signed certificate does not verify")
+	}
+	if vc.VerifyRMC(freshCopy(orig), s2) {
+		t.Fatal("cache answered for a different signer")
+	}
+}
+
+func TestVerifyCacheEpochExpiry(t *testing.T) {
+	r := NewRollingSigner([]byte("gen0"), 32, 1)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(r)
+	if !vc.VerifyRMC(orig, r) {
+		t.Fatal("signed certificate does not verify")
+	}
+	r.Roll([]byte("gen1"))
+	// keep=1 discarded the signing secret: the cached verdict must not
+	// outlive the epoch it was verified under.
+	if vc.VerifyRMC(freshCopy(orig), r) {
+		t.Fatal("cached verdict survived a secret roll")
+	}
+}
+
+func TestVerifyCacheRollWithinRetention(t *testing.T) {
+	r := NewRollingSigner([]byte("gen0"), 32, 2)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(r)
+	if !vc.VerifyRMC(orig, r) {
+		t.Fatal("signed certificate does not verify")
+	}
+	r.Roll([]byte("gen1"))
+	// The old secret is still retained: re-verifies via the real walk
+	// and re-caches under the new epoch.
+	if !vc.VerifyRMC(freshCopy(orig), r) {
+		t.Fatal("certificate rejected while its secret is retained")
+	}
+	if !vc.VerifyRMC(freshCopy(orig), r) {
+		t.Fatal("re-cached certificate rejected")
+	}
+	r.Roll([]byte("gen2"))
+	if vc.VerifyRMC(freshCopy(orig), r) {
+		t.Fatal("certificate outlived its secret's retention")
+	}
+}
+
+func TestVerifyCacheConcurrent(t *testing.T) {
+	r := NewRollingSigner([]byte("gen0"), 32, 3)
+	vc := NewVerifyCache()
+	orig := cacheTestRMC()
+	orig.Sign(r)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if !vc.VerifyRMC(freshCopy(orig), r) {
+					t.Error("concurrent cached verify failed")
+					return
+				}
+			}
+		}()
+	}
+	r.Roll([]byte("gen1"))
+	wg.Wait()
+}
+
+func TestVerifyCachedConcurrent(t *testing.T) {
+	// Concurrent verifies of a shared certificate (the service engine's
+	// read path) must be race-free whether or not the memo is warm.
+	r := NewRollingSigner([]byte("gen0"), 32, 3)
+	c := cacheTestRMC()
+	c.Sign(r)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if !c.Verify(r) {
+					t.Error("concurrent verify failed")
+					return
+				}
+			}
+		}()
+	}
+	// Roll once mid-flight (keep=3 keeps the signing secret accepted).
+	r.Roll([]byte("gen1"))
+	wg.Wait()
+}

@@ -106,12 +106,19 @@ type RMC struct {
 	CRR      credrec.Ref  // validity credential (§4.6)
 	Expiry   time.Time    // zero = no expiry
 	Sig      []byte
+
+	// canon caches the canonical byte form and last verification; it
+	// is pinned to this instance by an owner check, so struct copies
+	// re-serialise their own fields (cache.go).
+	canon atomic.Value // *certCanon
 }
 
-// canonical serialises the signed fields deterministically. The client
-// identifier and context are folded in so that theft and out-of-context
-// use change the signature (figure 4.1).
-func (c *RMC) canonical() []byte {
+// buildCanonical serialises the signed fields deterministically. The
+// client identifier and context are folded in so that theft and
+// out-of-context use change the signature (figure 4.1). Hot paths go
+// through canonical() in cache.go, which memoizes the result
+// per instance.
+func (c *RMC) buildCanonical() []byte {
 	var b strings.Builder
 	b.WriteString("rmc|")
 	b.WriteString(c.Service)
@@ -131,12 +138,6 @@ func (c *RMC) canonical() []byte {
 	}
 	return []byte(b.String())
 }
-
-// Sign computes and stores the signature using the given signer.
-func (c *RMC) Sign(s Signer) { c.Sig = s.Sign(c.canonical()) }
-
-// Verify checks the signature.
-func (c *RMC) Verify(s Signer) bool { return s.Verify(c.canonical(), c.Sig) }
 
 // String renders the certificate briefly.
 func (c *RMC) String() string {
@@ -174,9 +175,13 @@ type Delegation struct {
 	DelegCRR credrec.Ref // the delegation's own credential record
 	Expiry   time.Time   // delegations should time out (§4.4)
 	Sig      []byte
+
+	// canon caches the canonical byte form and last verification; see
+	// the RMC field of the same name and cache.go.
+	canon atomic.Value // *certCanon
 }
 
-func (d *Delegation) canonical() []byte {
+func (d *Delegation) buildCanonical() []byte {
 	var b strings.Builder
 	b.WriteString("deleg|")
 	b.WriteString(d.Service)
@@ -199,12 +204,6 @@ func (d *Delegation) canonical() []byte {
 	}
 	return []byte(b.String())
 }
-
-// Sign signs the delegation certificate.
-func (d *Delegation) Sign(s Signer) { d.Sig = s.Sign(d.canonical()) }
-
-// Verify checks the delegation certificate's signature.
-func (d *Delegation) Verify(s Signer) bool { return s.Verify(d.canonical(), d.Sig) }
 
 // Revocation is a revocation certificate (figure 4.3). DelegatorCRR
 // witnesses that the delegator is still a member of the delegating role;
@@ -286,7 +285,13 @@ func (h *HMACSigner) Verify(data, sig []byte) bool {
 	return subtle.ConstantTimeCompare(h.mac(buf[:0], data), sig) == 1
 }
 
-var _ Signer = (*HMACSigner)(nil)
+// Epoch implements EpochSigner: a single fixed secret never changes.
+func (h *HMACSigner) Epoch() uint64 { return 0 }
+
+// Generations implements EpochSigner: exactly one secret is accepted.
+func (h *HMACSigner) Generations() int { return 1 }
+
+var _ EpochSigner = (*HMACSigner)(nil)
 
 // RollingSigner maintains a rolling table of secrets (§5.5.1): new
 // certificates are signed with the newest secret, but certificates
@@ -301,6 +306,7 @@ var _ Signer = (*HMACSigner)(nil)
 type RollingSigner struct {
 	rollMu sync.Mutex // serialises Roll against Roll
 	gens   atomic.Pointer[[]*HMACSigner]
+	epoch  atomic.Uint64 // bumped by Roll; invalidates verification caches
 	keep   int
 	size   int
 }
@@ -328,7 +334,14 @@ func (r *RollingSigner) Roll(secret []byte) {
 		gens = gens[:r.keep]
 	}
 	r.gens.Store(&gens)
+	// Publish the epoch bump after the new table: a verification cache
+	// that still sees the old epoch re-checks against the new table,
+	// which is the safe direction.
+	r.epoch.Add(1)
 }
+
+// Epoch implements EpochSigner: every Roll changes the accepted set.
+func (r *RollingSigner) Epoch() uint64 { return r.epoch.Load() }
 
 // Generations reports how many secrets are currently accepted.
 func (r *RollingSigner) Generations() int { return len(*r.gens.Load()) }
@@ -346,7 +359,7 @@ func (r *RollingSigner) Verify(data, sig []byte) bool {
 	return false
 }
 
-var _ Signer = (*RollingSigner)(nil)
+var _ EpochSigner = (*RollingSigner)(nil)
 
 // RecordSigner keeps a record of everything issued instead of relying on
 // cryptography — the paper notes a service issuing few certificates may

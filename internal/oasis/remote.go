@@ -178,7 +178,7 @@ func (s *Service) handleValidate(from string, a ValidateArg) (ValidateReply, err
 	if c == nil || c.Service != s.name {
 		return ValidateReply{}, fmt.Errorf("oasis: certificate not issued by %s", s.name)
 	}
-	if !c.Verify(s.signer) {
+	if !s.verifyCert(c) {
 		s.countFailure(Fraud)
 		return ValidateReply{}, fmt.Errorf("oasis: signature check failed")
 	}

@@ -80,6 +80,7 @@ type Service struct {
 	clk    clock.Clock
 	net    *bus.Network
 	signer cert.Signer
+	sigs   *cert.VerifyCache // cross-instance verified-signature cache
 	opts   Options
 
 	store    *credrec.Store
@@ -160,6 +161,7 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		clk:           clk,
 		net:           net,
 		signer:        opts.Signer,
+		sigs:          cert.NewVerifyCache(),
 		opts:          opts,
 		store:         credrec.NewStore(),
 		rolefiles:     make(map[string]*rolefileState),

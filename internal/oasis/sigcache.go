@@ -1,0 +1,18 @@
+package oasis
+
+import "oasis/internal/cert"
+
+// verifyCert is the engine's signature check for role membership
+// certificates. It consults the cross-instance verified-signature
+// cache (cert.VerifyCache): the remote-validation hot path
+// deserialises a fresh *cert.RMC per call, so without the cache every
+// inbound check would rebuild the canonical byte form and redo the
+// HMAC — and a rolling signer would walk every retained secret
+// generation per check (§5.5.1). A hit costs one allocation-free field
+// comparison against the snapshot verified earlier; a forged body
+// carrying a stolen valid signature fails that comparison and takes
+// the full verification path; rolling the secret table bumps the
+// signer's epoch and expires every cached verdict at once.
+func (s *Service) verifyCert(c *cert.RMC) bool {
+	return s.sigs.VerifyRMC(c, s.signer)
+}

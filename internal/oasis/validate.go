@@ -119,7 +119,7 @@ func (s *Service) Validate(c *cert.RMC, caller ids.ClientID) error {
 		// Condition 4: issued by a different service.
 		return s.fail(Erroneous, "certificate issued by %q presented to %q", c.Service, s.name)
 	}
-	if !c.Verify(s.signer) {
+	if !s.verifyCert(c) {
 		// Condition 2: forged or modified.
 		return s.fail(Fraud, "signature check failed")
 	}

@@ -12,11 +12,15 @@ import (
 var registerOnce sync.Once
 
 // RegisterWireTypes registers every payload type the inter-service
-// protocol sends through the bus's TCP bridging (gob encodes the `any`
-// argument/reply fields by concrete type). Call it once in any process
-// that uses bus.Network.ServeTCP / AddRemote with OASIS services.
+// protocol sends through the bus's TCP bridging, with both codecs: gob
+// (the legacy protocol and the fallback, which encodes the `any`
+// argument/reply fields by concrete type name) and the binary codec's
+// tagged encoders (wirecodec.go, used on links that negotiate
+// bus.WireBinary). Call it once in any process that uses
+// bus.Network.ServeTCP / AddRemote with OASIS services.
 func RegisterWireTypes() {
 	registerOnce.Do(func() {
+		registerBinaryPayloads()
 		gob.Register(GetTypesArg{})
 		gob.Register(ValidateArg{})
 		gob.Register(ValidateReply{})

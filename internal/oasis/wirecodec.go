@@ -1,0 +1,461 @@
+package oasis
+
+import (
+	"fmt"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/value"
+)
+
+// Binary wire-payload codecs for the inter-service protocol, the fast
+// path the TCP bridge uses when both ends negotiate bus.WireBinary
+// (see internal/bus/codec.go). Each payload type carried in the `any`
+// argument/reply position gets one tag byte and a hand-rolled
+// encoder/decoder pair; gob — which writes the concrete type name with
+// every value — is then only paid by legacy links and unregistered
+// types.
+//
+// The tags are protocol constants: both ends of a link must agree on
+// them forever, so they are append-only — never renumber or reuse a
+// tag, even for a retired type. Tags 0 and 255 are reserved by the bus
+// (nil and the gob-blob fallback).
+const (
+	wireTagGetTypesArg   = 1
+	wireTagValidateArg   = 2
+	wireTagValidateReply = 3
+	wireTagReadStateArg  = 4
+	wireTagResyncArg     = 5
+	wireTagResyncReply   = 6
+	wireTagRMC           = 7
+	wireTagDelegation    = 8
+	wireTagRevocation    = 9
+	wireTagState         = 10
+	wireTagTypes         = 11
+	wireTagValue         = 12
+)
+
+// registerBinaryPayloads registers every protocol payload with the
+// bus's binary codec; called once from RegisterWireTypes alongside the
+// gob registrations (the fallback path needs both).
+func registerBinaryPayloads() {
+	bus.RegisterWirePayload(wireTagGetTypesArg, GetTypesArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(GetTypesArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not GetTypesArg", v)
+			}
+			e.PutString(a.Rolefile)
+			e.PutString(a.Role)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			var a GetTypesArg
+			var err error
+			if a.Rolefile, err = d.String(); err != nil {
+				return nil, err
+			}
+			if a.Role, err = d.String(); err != nil {
+				return nil, err
+			}
+			return a, nil
+		})
+
+	bus.RegisterWirePayload(wireTagValidateArg, ValidateArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(ValidateArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ValidateArg", v)
+			}
+			e.PutBool(a.Cert != nil)
+			if a.Cert != nil {
+				encodeRMC(e, a.Cert)
+			}
+			encodeClientID(e, a.Client)
+			e.PutBool(a.Watch)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			var a ValidateArg
+			hasCert, err := d.Bool()
+			if err != nil {
+				return nil, err
+			}
+			if hasCert {
+				if a.Cert, err = decodeRMC(d); err != nil {
+					return nil, err
+				}
+			}
+			if a.Client, err = decodeClientID(d); err != nil {
+				return nil, err
+			}
+			if a.Watch, err = d.Bool(); err != nil {
+				return nil, err
+			}
+			return a, nil
+		})
+
+	bus.RegisterWirePayload(wireTagValidateReply, ValidateReply{},
+		func(e *bus.WireEnc, v any) error {
+			r, ok := v.(ValidateReply)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ValidateReply", v)
+			}
+			e.PutStrings(r.Roles)
+			e.PutTypes(r.Types)
+			e.PutVarint(int64(r.State))
+			e.PutUvarint(r.RegID)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			var r ValidateReply
+			var err error
+			if r.Roles, err = d.Strings(); err != nil {
+				return nil, err
+			}
+			if r.Types, err = d.Types(); err != nil {
+				return nil, err
+			}
+			st, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			r.State = credrec.State(st)
+			if r.RegID, err = d.Uvarint(); err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+
+	bus.RegisterWirePayload(wireTagReadStateArg, ReadStateArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(ReadStateArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ReadStateArg", v)
+			}
+			e.PutUvarint(a.Ref.Uint64())
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			u, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			return ReadStateArg{Ref: credrec.RefFromUint64(u)}, nil
+		})
+
+	bus.RegisterWirePayload(wireTagResyncArg, ResyncArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(ResyncArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ResyncArg", v)
+			}
+			e.PutUvarint(uint64(len(a.Refs)))
+			for _, r := range a.Refs {
+				e.PutUvarint(r.Uint64())
+			}
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<16 {
+				return nil, fmt.Errorf("oasis: resync ref count %d exceeds limit", n)
+			}
+			a := ResyncArg{}
+			if n > 0 {
+				a.Refs = make([]credrec.Ref, n)
+				for i := range a.Refs {
+					u, err := d.Uvarint()
+					if err != nil {
+						return nil, err
+					}
+					a.Refs[i] = credrec.RefFromUint64(u)
+				}
+			}
+			return a, nil
+		})
+
+	bus.RegisterWirePayload(wireTagResyncReply, ResyncReply{},
+		func(e *bus.WireEnc, v any) error {
+			r, ok := v.(ResyncReply)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ResyncReply", v)
+			}
+			e.PutUvarint(r.Session)
+			e.PutUvarint(r.Seq)
+			e.PutUvarint(uint64(len(r.Entries)))
+			for _, ent := range r.Entries {
+				e.PutUvarint(ent.Ref.Uint64())
+				e.PutVarint(int64(ent.State))
+				e.PutBool(ent.Permanent)
+			}
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			var r ResyncReply
+			var err error
+			if r.Session, err = d.Uvarint(); err != nil {
+				return nil, err
+			}
+			if r.Seq, err = d.Uvarint(); err != nil {
+				return nil, err
+			}
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<16 {
+				return nil, fmt.Errorf("oasis: resync entry count %d exceeds limit", n)
+			}
+			if n > 0 {
+				r.Entries = make([]ResyncEntry, n)
+				for i := range r.Entries {
+					u, err := d.Uvarint()
+					if err != nil {
+						return nil, err
+					}
+					st, err := d.Varint()
+					if err != nil {
+						return nil, err
+					}
+					perm, err := d.Bool()
+					if err != nil {
+						return nil, err
+					}
+					r.Entries[i] = ResyncEntry{Ref: credrec.RefFromUint64(u), State: credrec.State(st), Permanent: perm}
+				}
+			}
+			return r, nil
+		})
+
+	bus.RegisterWirePayload(wireTagRMC, &cert.RMC{},
+		func(e *bus.WireEnc, v any) error {
+			c, ok := v.(*cert.RMC)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not *cert.RMC", v)
+			}
+			encodeRMC(e, c)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) { return decodeRMC(d) })
+
+	bus.RegisterWirePayload(wireTagDelegation, &cert.Delegation{},
+		func(e *bus.WireEnc, v any) error {
+			dg, ok := v.(*cert.Delegation)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not *cert.Delegation", v)
+			}
+			e.PutString(dg.Service)
+			e.PutString(dg.Rolefile)
+			e.PutString(dg.Role)
+			e.PutValues(dg.Args)
+			e.PutUvarint(uint64(len(dg.Required)))
+			for _, spec := range dg.Required {
+				e.PutString(spec.Service)
+				e.PutString(spec.Rolefile)
+				e.PutString(spec.Role)
+				e.PutValues(spec.Args)
+			}
+			e.PutUvarint(dg.DelegCRR.Uint64())
+			e.PutTime(dg.Expiry)
+			e.PutBytes(dg.Sig)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			dg := &cert.Delegation{}
+			var err error
+			if dg.Service, err = d.String(); err != nil {
+				return nil, err
+			}
+			if dg.Rolefile, err = d.String(); err != nil {
+				return nil, err
+			}
+			if dg.Role, err = d.String(); err != nil {
+				return nil, err
+			}
+			if dg.Args, err = d.Values(); err != nil {
+				return nil, err
+			}
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<16 {
+				return nil, fmt.Errorf("oasis: required-role count %d exceeds limit", n)
+			}
+			if n > 0 {
+				dg.Required = make([]cert.RoleSpec, n)
+				for i := range dg.Required {
+					var spec cert.RoleSpec
+					if spec.Service, err = d.String(); err != nil {
+						return nil, err
+					}
+					if spec.Rolefile, err = d.String(); err != nil {
+						return nil, err
+					}
+					if spec.Role, err = d.String(); err != nil {
+						return nil, err
+					}
+					if spec.Args, err = d.Values(); err != nil {
+						return nil, err
+					}
+					dg.Required[i] = spec
+				}
+			}
+			u, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			dg.DelegCRR = credrec.RefFromUint64(u)
+			if dg.Expiry, err = d.Time(); err != nil {
+				return nil, err
+			}
+			if dg.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return dg, nil
+		})
+
+	bus.RegisterWirePayload(wireTagRevocation, &cert.Revocation{},
+		func(e *bus.WireEnc, v any) error {
+			r, ok := v.(*cert.Revocation)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not *cert.Revocation", v)
+			}
+			e.PutString(r.Service)
+			e.PutUvarint(r.DelegatorCRR.Uint64())
+			e.PutUvarint(r.TargetCRR.Uint64())
+			e.PutBytes(r.Sig)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			r := &cert.Revocation{}
+			var err error
+			if r.Service, err = d.String(); err != nil {
+				return nil, err
+			}
+			u, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			r.DelegatorCRR = credrec.RefFromUint64(u)
+			if u, err = d.Uvarint(); err != nil {
+				return nil, err
+			}
+			r.TargetCRR = credrec.RefFromUint64(u)
+			if r.Sig, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+
+	bus.RegisterWirePayload(wireTagState, credrec.State(0),
+		func(e *bus.WireEnc, v any) error {
+			st, ok := v.(credrec.State)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not credrec.State", v)
+			}
+			e.PutVarint(int64(st))
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			st, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			return credrec.State(st), nil
+		})
+
+	bus.RegisterWirePayload(wireTagTypes, []value.Type{},
+		func(e *bus.WireEnc, v any) error {
+			ts, ok := v.([]value.Type)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not []value.Type", v)
+			}
+			e.PutTypes(ts)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) { return d.Types() })
+
+	bus.RegisterWirePayload(wireTagValue, value.Value{},
+		func(e *bus.WireEnc, v any) error {
+			val, ok := v.(value.Value)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not value.Value", v)
+			}
+			e.PutValue(val)
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) { return d.Value() })
+}
+
+func encodeClientID(e *bus.WireEnc, c ids.ClientID) {
+	e.PutString(c.Host)
+	e.PutUvarint(c.ID)
+	e.PutTime(c.BootTime)
+}
+
+func decodeClientID(d *bus.WireDec) (ids.ClientID, error) {
+	var c ids.ClientID
+	var err error
+	if c.Host, err = d.String(); err != nil {
+		return c, err
+	}
+	if c.ID, err = d.Uvarint(); err != nil {
+		return c, err
+	}
+	if c.BootTime, err = d.Time(); err != nil {
+		return c, err
+	}
+	return c, nil
+}
+
+func encodeRMC(e *bus.WireEnc, c *cert.RMC) {
+	e.PutString(c.Service)
+	e.PutString(c.Rolefile)
+	e.PutUvarint(uint64(c.Roles))
+	e.PutValues(c.Args)
+	encodeClientID(e, c.Client)
+	e.PutUvarint(c.CRR.Uint64())
+	e.PutTime(c.Expiry)
+	e.PutBytes(c.Sig)
+}
+
+func decodeRMC(d *bus.WireDec) (*cert.RMC, error) {
+	c := &cert.RMC{}
+	var err error
+	if c.Service, err = d.String(); err != nil {
+		return nil, err
+	}
+	if c.Rolefile, err = d.String(); err != nil {
+		return nil, err
+	}
+	roles, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	c.Roles = cert.RoleSet(roles)
+	if c.Args, err = d.Values(); err != nil {
+		return nil, err
+	}
+	if c.Client, err = decodeClientID(d); err != nil {
+		return nil, err
+	}
+	crr, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	c.CRR = credrec.RefFromUint64(crr)
+	if c.Expiry, err = d.Time(); err != nil {
+		return nil, err
+	}
+	if c.Sig, err = d.Bytes(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,85 @@
+package value
+
+import (
+	"testing"
+)
+
+// FuzzValueUnmarshal checks that Unmarshal never panics on arbitrary
+// input, and that anything it accepts survives a Marshal → Unmarshal
+// round trip with the canonical encoding.
+func FuzzValueUnmarshal(f *testing.F) {
+	seeds := []string{
+		"i:3",
+		"i:-9223372036854775808",
+		`s:"a,b"`,
+		`s:"\""`,
+		`s:"back\\slash"`,
+		`s:""`,
+		"b:rwx:7",
+		"b:rwx:0",
+		"b:longuniverse0123456789:ffff",
+		"o:Login.userid:dm",
+		"o::",
+		"i:",
+		"s:unquoted",
+		"b:rwx",
+		"x:3",
+		"",
+		":",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Unmarshal(s)
+		if err != nil {
+			return
+		}
+		m := v.Marshal()
+		v2, err := Unmarshal(m)
+		if err != nil {
+			t.Fatalf("Unmarshal(Marshal(%q) = %q) failed: %v", s, m, err)
+		}
+		if m2 := v2.Marshal(); m2 != m {
+			t.Fatalf("marshal not canonical: %q → %q → %q", s, m, m2)
+		}
+	})
+}
+
+// FuzzUnmarshalArgs checks the quote-aware comma splitter: no panics,
+// and accepted vectors round-trip through MarshalArgs byte-for-byte.
+func FuzzUnmarshalArgs(f *testing.F) {
+	seeds := []string{
+		"",
+		"i:1",
+		"i:1,i:2,i:3",
+		`s:"a,b",i:7`,
+		`s:"comma , inside",s:"quote \" inside"`,
+		`s:"trailing backslash \\",b:rwx:5`,
+		`o:Doc.read:alice,b:perm:3,s:"x"`,
+		"i:1,,i:2",
+		",",
+		`s:"unterminated`,
+		`s:"\",i:1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		args, err := UnmarshalArgs(s)
+		if err != nil {
+			return
+		}
+		m := MarshalArgs(args)
+		args2, err := UnmarshalArgs(m)
+		if err != nil {
+			t.Fatalf("UnmarshalArgs(MarshalArgs(%q) = %q) failed: %v", s, m, err)
+		}
+		if len(args2) != len(args) {
+			t.Fatalf("arg count changed: %q → %d args → %q → %d args", s, len(args), m, len(args2))
+		}
+		if m2 := MarshalArgs(args2); m2 != m {
+			t.Fatalf("marshal not canonical: %q → %q → %q", s, m, m2)
+		}
+	})
+}
