@@ -1,16 +1,17 @@
 GO ?= go
 
-.PHONY: build test race chaos bench bench-notify bench-smoke bench-json \
-	vet lint ci all help
+.PHONY: build test test-rdl-diff race chaos bench bench-notify bench-rdl \
+	bench-smoke bench-json vet lint ci all help
 
 all: build vet test
 
 # ci is the gate a change must pass: build, vet, the custom static
 # analysis (rdlcheck over every example policy, oasislint over the
-# tree), the full test suite, the race detector over every
+# tree), the full test suite, the compiled-vs-interpreted RDL
+# differential suite, the race detector over every
 # concurrency-sensitive package, the seeded chaos suite, then one
 # iteration of every benchmark so the perf suites cannot rot.
-ci: build vet lint test race chaos bench-smoke
+ci: build vet lint test test-rdl-diff race chaos bench-smoke
 
 help:
 	@echo "build       compile everything"
@@ -18,17 +19,29 @@ help:
 	@echo "race        race-detector suite over the concurrent packages"
 	@echo "chaos       seeded chaos suite (partitions, loss, duplication)"
 	@echo "lint        oasislint + rdlcheck static analysis"
+	@echo "test-rdl-diff  role entry with the compiled/interpreted differential seam on"
 	@echo "bench       serial + parallel (-cpu 1,4,8) benchmark suites"
 	@echo "bench-notify  notification-plane suite (EXPERIMENTS.md E28)"
+	@echo "bench-rdl   interpreted vs compiled role entry (EXPERIMENTS.md E31)"
 	@echo "bench-smoke   compile-and-run every benchmark once (part of ci)"
-	@echo "bench-json    E30 benchmarks as test2json into BENCH_5.json"
-	@echo "ci          build vet lint test race chaos bench-smoke"
+	@echo "bench-json    E30/E31 benchmarks as test2json into BENCH_5/6.json"
+	@echo "ci          build vet lint test test-rdl-diff race chaos bench-smoke"
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The compiled-vs-interpreted differential gate: OASIS_RDL_DIFF=1 makes
+# every rule application in the entry engine run both the compiled
+# program and the tree-walking interpreter and panic on any divergence,
+# so the whole oasis suite doubles as a fixture corpus; the rdl package
+# differential unit tests run the same comparison over the example
+# rolefiles and the semantic corner cases. Part of ci.
+test-rdl-diff:
+	OASIS_RDL_DIFF=1 $(GO) test -count=1 ./internal/oasis/...
+	$(GO) test -run 'Differential|Compile' -count=1 ./internal/rdl/
 
 # The concurrency regression suite: the striped store, read-mostly
 # service engine, sharded bus, and batched broker are only meaningfully
@@ -58,6 +71,13 @@ bench:
 bench-notify:
 	$(GO) test -bench 'Notify|Heartbeat' -benchmem -cpu 1,4,8 -run '^$$' .
 
+# The RDL execution-plan suite (bench_rdl_test.go): role entry with the
+# constraint interpreter versus the compiled program over the
+# quickstart, golfclub and login example policies; results feed
+# EXPERIMENTS.md E31.
+bench-rdl:
+	$(GO) test -bench RDLEntry -benchmem -cpu 1,4,8 -run '^$$' .
+
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a measurement. Part of ci.
 bench-smoke:
@@ -66,10 +86,13 @@ bench-smoke:
 # The E30 remote-validation benchmarks (gob vs binary wire, locked vs
 # pipelined writer, cached vs cold verify) in machine-readable
 # test2json form; the perf trajectory of the wire layer is tracked in
-# BENCH_5.json.
+# BENCH_5.json. The E31 entry-plan suite lands in BENCH_6.json the same
+# way.
 bench-json:
 	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
 		-bench 'RemoteValidateTCP|ValidateRMCParallel' . > BENCH_5.json
+	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
+		-bench 'RDLEntry' . > BENCH_6.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,200 @@
+// E31: interpreted versus compiled RDL role entry. Each benchmark
+// builds one of the example policies twice — once with the entry engine
+// forced onto the tree-walking interpreter, once on the compiled
+// execution plan (internal/rdl/compile.go) — and drives Enter on the
+// hot path. Run with `-cpu 1,4,8` (make bench-rdl); EXPERIMENTS.md E31
+// records the numbers.
+package benchmarks
+
+import (
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// rdlBenchWorld is one service under benchmark plus the pre-issued
+// request that enters its hot role.
+type rdlBenchWorld struct {
+	svc *oasis.Service
+	req oasis.EnterRequest
+}
+
+// newRDLLoginIssuer builds a Login service that accepts the LoggedOn
+// claim and issues the foreign credential the policies consume.
+func newRDLLoginIssuer(b *testing.B, clk *clock.Virtual, net *bus.Network) (*oasis.Service, *ids.HostAuthority) {
+	b.Helper()
+	login, err := oasis.New("Login", clk, net, oasis.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := login.AddRolefile("main", `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`); err != nil {
+		b.Fatal(err)
+	}
+	return login, ids.NewHostAuthority("ely", clk.Now())
+}
+
+func rdlLogOn(b *testing.B, login *oasis.Service, host *ids.HostAuthority, user string) (ids.ClientID, *cert.RMC) {
+	b.Helper()
+	c := host.NewDomain()
+	rmc, err := login.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", user),
+			value.Object("Login.host", "ely"),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, rmc
+}
+
+// newGolfclubWorld reproduces examples/golfclub: Member(p) enters via a
+// starred LoggedOn candidate under a starred founders-group test, with
+// two election-form rules behind it in the dispatch order.
+func newGolfclubWorld(b *testing.B, mode oasis.RDLMode) rdlBenchWorld {
+	b.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	login, host := newRDLLoginIssuer(b, clk, net)
+	club, err := oasis.New("Golf", clk, net, oasis.Options{RDLMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := club.AddRolefile("main", `
+def Member(p) p: Login.userid
+Member(p)  <- Login.LoggedOn(p, h)* : (p in founders)*
+Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)
+Member(p)  <- Rec(p, m1)* <| Member(m2) : m1 != m2
+`); err != nil {
+		b.Fatal(err)
+	}
+	club.Groups().AddMember("arnold", "founders")
+	c, loggedOn := rdlLogOn(b, login, host, "arnold")
+	return rdlBenchWorld{svc: club, req: oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{loggedOn},
+	}}
+}
+
+// newQuickstartWorld reproduces examples/quickstart: Chair enters via a
+// starred literal-argument candidate (figure 3.1).
+func newQuickstartWorld(b *testing.B, mode oasis.RDLMode) rdlBenchWorld {
+	b.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	login, host := newRDLLoginIssuer(b, clk, net)
+	conf, err := oasis.New("Conf", clk, net, oasis.Options{RDLMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", `
+Chair     <- Login.LoggedOn("jmb", h)*
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+`); err != nil {
+		b.Fatal(err)
+	}
+	c, loggedOn := rdlLogOn(b, login, host, "jmb")
+	return rdlBenchWorld{svc: conf, req: oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{loggedOn},
+	}}
+}
+
+// newLoginLevelsWorld reproduces examples/login: four Login levels
+// dispatch in source order; the client's host is in hosts but not
+// secure, so entry walks the level-3 rule's failing group test before
+// settling on level 2 (§3.4.3).
+func newLoginLevelsWorld(b *testing.B, mode oasis.RDLMode) rdlBenchWorld {
+	b.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	pw, err := oasis.New("Pw", clk, net, oasis.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pw.AddRolefile("main", `
+def Passwd(u, s) u: Login.userid s: string
+Passwd(u, s) <-
+`); err != nil {
+		b.Fatal(err)
+	}
+	levels, err := oasis.New("Levels", clk, net, oasis.Options{RDLMode: mode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := levels.AddRolefile("main", `
+def Login(l, u, h) l: integer u: Login.userid h: string
+Login(3, u, @host) <- Pw.Passwd(u, "Login")* : @host in secure
+Login(2, u, @host) <- Pw.Passwd(u, "Login")* : @host in hosts
+Login(1, u, @host) <- Pw.Passwd(u, "Login")*
+Login(0, u, @host) <-
+`); err != nil {
+		b.Fatal(err)
+	}
+	levels.Groups().AddMember("ely", "hosts")
+	host := ids.NewHostAuthority("ely", clk.Now())
+	c := host.NewDomain()
+	passwd, err := pw.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Passwd",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Str("Login"),
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rdlBenchWorld{svc: levels, req: oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "Login",
+		Creds: []*cert.RMC{passwd},
+	}}
+}
+
+// benchRDLEntry runs one policy's entry under both execution modes.
+// b.RunParallel puts every core on the entry path, so -cpu 1,4,8 traces
+// the scaling curve the E31 table records.
+func benchRDLEntry(b *testing.B, build func(*testing.B, oasis.RDLMode) rdlBenchWorld) {
+	for _, m := range []struct {
+		name string
+		mode oasis.RDLMode
+	}{
+		{"interpreter", oasis.RDLInterpreter},
+		{"compiled", oasis.RDLCompiled},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			w := build(b, m.mode)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := w.svc.Enter(w.req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRDLEntryGolfclub(b *testing.B) {
+	benchRDLEntry(b, newGolfclubWorld)
+}
+
+func BenchmarkRDLEntryQuickstart(b *testing.B) {
+	benchRDLEntry(b, newQuickstartWorld)
+}
+
+func BenchmarkRDLEntryLoginLevels(b *testing.B) {
+	benchRDLEntry(b, newLoginLevelsWorld)
+}

@@ -169,6 +169,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs.Var(foreign, "foreign", "foreign role signature Svc.Role=type,type (repeatable)")
 	assume := fs.Bool("assume-foreign", true, "infer undeclared foreign role signatures from usage")
 	axioms := fs.Bool("axioms", false, "print proof-system axioms (§3.2.2)")
+	dumpPlan := fs.Bool("dump-plan", false, "print compiled execution plans (the entry engine's form)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	quiet := fs.Bool("q", false, "print findings only, no signatures")
 	sevName := fs.String("severity", "info", "minimum severity to report: info, warning or error")
@@ -223,6 +224,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	findings := analyze.Analyze(inputs)
 	shown := analyze.Filter(findings, minSev)
 
+	if *dumpPlan {
+		if err := analyze.DumpPlans(stdout, inputs); err != nil {
+			return err
+		}
+		// The plan dump replaces the signature listing; findings still
+		// follow so the exit status keeps gating CI.
+		*quiet = true
+	}
 	if *jsonOut {
 		if err := writeJSON(stdout, d.files, shown, findings); err != nil {
 			return err

@@ -165,6 +165,34 @@ func TestRunFromStdin(t *testing.T) {
 	}
 }
 
+func TestDumpPlanFlag(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-dump-plan",
+		"../../examples/quickstart/Login.rdl",
+		"../../examples/quickstart/Conf.rdl"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"(service Conf)",
+		"regs: r0=@host",
+		"cand 0: Login.LoggedOn(",
+		"star r1 in staff",
+		"election-form",
+		"no-VM fast path",
+		"dispatch:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dump-plan output missing %q:\n%s", want, got)
+		}
+	}
+	// The plan dump replaces the signature listing.
+	if strings.Contains(got, "role LoggedOn(") {
+		t.Error("signature listing printed alongside -dump-plan")
+	}
+}
+
 func TestAxiomsFlag(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{"-axioms"}, strings.NewReader(`Visitor("x") <-`), &out)

@@ -191,7 +191,7 @@ func (s *Service) EnterDelegated(req EnterRequest) (*cert.RMC, error) {
 }
 
 // applyElection applies the election rule enabled by a delegation.
-func (s *Service) applyElection(st *rolefileState, rt *ruleTypes, req EnterRequest, list []*held, ec *electionCtx) *held {
+func (s *Service) applyElection(st *rolefileState, rt *ruleTypes, req EnterRequest, idx heldIndex, ec *electionCtx) *held {
 	rule := ec.rule
 	env := ec.electorEnv.Clone().Extend("@host", value.Str(req.Client.Host))
 	if ec.deleg.Args != nil {
@@ -205,7 +205,7 @@ func (s *Service) applyElection(st *rolefileState, rt *ruleTypes, req EnterReque
 	var revokers []revokerReq
 	for ci := range rule.Candidates {
 		cand := &rule.Candidates[ci]
-		h, e := matchCandidate(cand, rt.candidates[ci], list, env)
+		h, e := matchCandidate(cand, rt.candidates[ci], idx, env)
 		if h == nil {
 			return nil
 		}

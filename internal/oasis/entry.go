@@ -122,28 +122,112 @@ func (s *Service) initialList(st *rolefileState, client ids.ClientID, creds []*c
 	return list, nil
 }
 
+// heldKey indexes the working membership list by issuing service and
+// role name — the two fields every candidate reference constrains.
+type heldKey struct {
+	service string
+	name    string
+}
+
+// heldIndex buckets the membership list so candidate resolution visits
+// only same-named memberships instead of scanning the whole list. Order
+// within a bucket is list order, preserving the "first suitable one"
+// semantics of §3.2.2.
+type heldIndex map[heldKey][]*held
+
+func newHeldIndex(list []*held) heldIndex {
+	idx := make(heldIndex, len(list))
+	for _, h := range list {
+		idx.add(h)
+	}
+	return idx
+}
+
+func (idx heldIndex) add(h *held) {
+	k := heldKey{service: h.service, name: h.name}
+	idx[k] = append(idx[k], h)
+}
+
 // applyRules runs the precedence algorithm of §3.2.2: each statement is
 // applied in turn; a resulting membership is appended to the tail of the
 // list and may serve as a credential for later statements. Election
 // rules are skipped unless this entry carries the matching delegation
 // (electionOnly identifies the rule enabled by the delegation).
+//
+// Standard rules dispatch through the rolefile's compiled Program by
+// default; OASIS_RDL_INTERP=1 or Options.RDLMode selects the AST
+// interpreter (the benchmark baseline), and RDLDifferential runs both
+// and panics on divergence. Election rules carry the elector's saved
+// environment and always use the interpreter — they are off the
+// per-request hot path.
 func (s *Service) applyRules(st *rolefileState, req EnterRequest, list []*held, election *electionCtx) []*held {
+	idx := newHeldIndex(list)
+	var m *rdl.Machine
+	if s.rdlMode != RDLInterpreter && st.prog != nil {
+		m = st.machines.Get().(*rdl.Machine)
+		defer st.machines.Put(m)
+	}
 	for i, rule := range st.rf.File.Rules {
 		rt := st.ruleTypes[i]
 		if rule.Elector != nil {
 			if election == nil || election.rule != rule {
 				continue
 			}
-			if h := s.applyElection(st, rt, req, list, election); h != nil {
+			if h := s.applyElection(st, rt, req, idx, election); h != nil {
 				list = append(list, h)
+				idx.add(h)
 			}
 			continue
 		}
-		if h := s.applyStandard(st, rt, rule, req, list); h != nil {
+		var h *held
+		switch {
+		case m == nil:
+			h = s.applyStandard(st, rt, rule, req, idx)
+		case s.rdlMode == RDLDifferential:
+			hc := s.applyCompiled(st, rt, i, m, req, idx)
+			hi := s.applyStandard(st, rt, rule, req, idx)
+			if !heldEquivalent(hi, hc) {
+				panic(fmt.Sprintf("oasis: rdl differential divergence: rolefile %s rule %d (%s): interpreter=%+v compiled=%+v",
+					st.id, i+1, rule.Head.Name, hi, hc))
+			}
+			h = hi
+		default:
+			h = s.applyCompiled(st, rt, i, m, req, idx)
+		}
+		if h != nil {
 			list = append(list, h)
+			idx.add(h)
 		}
 	}
 	return list
+}
+
+// heldEquivalent compares the memberships two evaluation strategies
+// derived for the same rule (the differential-testing seam).
+func heldEquivalent(a, b *held) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.service != b.service || a.rolefile != b.rolefile || a.name != b.name {
+		return false
+	}
+	if !argsEqual(a.args, b.args) {
+		return false
+	}
+	if len(a.parents) != len(b.parents) || len(a.revokers) != len(b.revokers) {
+		return false
+	}
+	for i := range a.parents {
+		if a.parents[i] != b.parents[i] {
+			return false
+		}
+	}
+	for i := range a.revokers {
+		if a.revokers[i] != b.revokers[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // requestEnv seeds the evaluation environment with ambient request
@@ -155,8 +239,10 @@ func requestEnv(client ids.ClientID) value.Env {
 	return value.Env{}.Extend("@host", value.Str(client.Host))
 }
 
-// applyStandard attempts one standard-form rule against the list.
-func (s *Service) applyStandard(st *rolefileState, rt *ruleTypes, rule *rdl.Rule, req EnterRequest, list []*held) *held {
+// applyStandard attempts one standard-form rule against the list,
+// interpreting the rule's AST (the baseline the compiled path is
+// differentially tested against).
+func (s *Service) applyStandard(st *rolefileState, rt *ruleTypes, rule *rdl.Rule, req EnterRequest, idx heldIndex) *held {
 	env := requestEnv(req.Client)
 	// Seed from the request when this rule defines the requested role
 	// and concrete arguments were supplied.
@@ -171,7 +257,7 @@ func (s *Service) applyStandard(st *rolefileState, rt *ruleTypes, rule *rdl.Rule
 	var revokers []revokerReq
 	for ci := range rule.Candidates {
 		cand := &rule.Candidates[ci]
-		h, e := matchCandidate(cand, rt.candidates[ci], list, env)
+		h, e := matchCandidate(cand, rt.candidates[ci], idx, env)
 		if h == nil {
 			return nil
 		}
@@ -209,13 +295,68 @@ func (s *Service) applyStandard(st *rolefileState, rt *ruleTypes, rule *rdl.Rule
 	}
 }
 
-// matchCandidate finds the first membership on the list satisfying a
-// candidate role reference (the "first suitable one", §3.2.2).
-func matchCandidate(ref *rdl.RoleRef, types []value.Type, list []*held, env value.Env) (*held, value.Env) {
-	for _, h := range list {
-		if h.name != ref.Name || h.service != ref.Service {
-			continue
+// applyCompiled attempts one standard-form rule through its compiled
+// execution plan: registers replace the environment maps, literal
+// arguments are pre-coerced constants, and the constraint runs as an
+// instruction stream (no AST walk, no per-rule map allocation). The
+// result is identical to applyStandard — RDLDifferential asserts it.
+func (s *Service) applyCompiled(st *rolefileState, rt *ruleTypes, ri int, m *rdl.Machine, req EnterRequest, idx heldIndex) *held {
+	cr := &st.prog.Rules[ri]
+	m.Reset(ri)
+	m.BindHost(value.Str(req.Client.Host))
+	// Seed from the request when this rule defines the requested role
+	// and concrete arguments were supplied.
+	if cr.Head.Name == req.Role && req.Args != nil {
+		if !m.MatchPlan(&cr.Head, req.Args) {
+			return nil
 		}
+	}
+	var parents []credrec.Parent
+	var revokers []revokerReq
+	for ci := range cr.Cands {
+		cand := &cr.Cands[ci]
+		h := matchCandidateCompiled(m, cand, idx)
+		if h == nil {
+			return nil
+		}
+		if cand.Starred {
+			ps, rs := h.starSupport()
+			parents = append(parents, ps...)
+			revokers = append(revokers, rs...)
+		}
+	}
+	ok, err := m.RunConstraint(rdl.GroupOracleFunc(s.groupMember), s.opts.Funcs)
+	if err != nil || !ok {
+		return nil
+	}
+	parents = append(parents, s.condParents(m.Conds())...)
+
+	args, ok := m.Instantiate(&cr.Head)
+	if !ok {
+		return nil // unbound head variable: rule not applicable
+	}
+	rule := cr.Rule
+	if rule.Revoker != nil {
+		revokers = append(revokers, revokerReq{
+			revokerRole: rule.Revoker.Name,
+			instance:    instanceKey(rule.Head.Name, args),
+		})
+	}
+	return &held{
+		rolefile: st.id,
+		name:     rule.Head.Name,
+		args:     args,
+		types:    rt.head,
+		parents:  parents,
+		revokers: revokers,
+	}
+}
+
+// matchCandidate finds the first membership on the list satisfying a
+// candidate role reference (the "first suitable one", §3.2.2), probing
+// the (service, name) index instead of scanning the whole list.
+func matchCandidate(ref *rdl.RoleRef, types []value.Type, idx heldIndex, env value.Env) (*held, value.Env) {
+	for _, h := range idx[heldKey{service: ref.Service, name: ref.Name}] {
 		if ref.Rolefile != "" && h.rolefile != ref.Rolefile {
 			continue
 		}
@@ -226,6 +367,21 @@ func matchCandidate(ref *rdl.RoleRef, types []value.Type, list []*held, env valu
 		return h, e
 	}
 	return nil, nil
+}
+
+// matchCandidateCompiled is matchCandidate against a compiled reference
+// plan: argument unification runs on the register file, and a failed
+// attempt rolls its tentative bindings back before the next entry.
+func matchCandidateCompiled(m *rdl.Machine, ref *rdl.RefPlan, idx heldIndex) *held {
+	for _, h := range idx[heldKey{service: ref.Service, name: ref.Name}] {
+		if ref.Rolefile != "" && h.rolefile != ref.Rolefile {
+			continue
+		}
+		if m.MatchPlan(ref, h.args) {
+			return h
+		}
+	}
+	return nil
 }
 
 // evalConstraint evaluates an optional constraint, returning the
@@ -246,15 +402,23 @@ func (s *Service) evalConstraint(e rdl.Expr, env value.Env) (value.Env, []rdl.Me
 }
 
 func (s *Service) groupMember(member value.Value, group string) bool {
-	return s.groups.IsMember(memberKey(member), group)
+	return s.groups.IsMember(s.memberKey(member), group)
 }
 
-// memberKey names a value for group membership purposes.
-func memberKey(v value.Value) string {
+// memberKey names a value for group membership purposes. String and
+// object values are their own key; other kinds marshal, memoized per
+// service so repeated oracle probes on the same principal (every entry
+// re-tests its groups) stop re-marshalling.
+func (s *Service) memberKey(v value.Value) string {
 	if v.T.Kind == value.KindString || v.T.Kind == value.KindObject {
 		return v.S
 	}
-	return v.Marshal()
+	if k, ok := s.memberKeys.Load(v); ok {
+		return k.(string)
+	}
+	k := v.Marshal()
+	s.memberKeys.Store(v, k)
+	return k
 }
 
 // condParents converts starred constraint conditions into credential
@@ -268,7 +432,7 @@ func (s *Service) condParents(conds []rdl.MembershipCond) []credrec.Parent {
 		if !c.IsGroupTest {
 			continue
 		}
-		ref := s.groups.CredentialFor(memberKey(c.Member), c.Group)
+		ref := s.groups.CredentialFor(s.memberKey(c.Member), c.Group)
 		if c.Neg {
 			out = append(out, credrec.Not(ref))
 		} else {

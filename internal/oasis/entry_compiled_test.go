@@ -1,0 +1,187 @@
+package oasis
+
+import (
+	"strings"
+	"testing"
+
+	"oasis/internal/cert"
+	"oasis/internal/value"
+)
+
+// scenarioCert pairs an issued certificate with the service that issued
+// it, so the compiled/interpreted worlds can be compared role by role.
+type scenarioCert struct {
+	svc *Service
+	rmc *cert.RMC
+}
+
+// describe flattens a certificate to the facts the RDL engine decided:
+// the compound role set and the argument vector.
+func (sc scenarioCert) describe() string {
+	return strings.Join(sc.svc.RoleNames(sc.rmc), ",") + "|" + value.MarshalArgs(sc.rmc.Args)
+}
+
+// runEntryScenarios drives one harness through role-entry scenarios that
+// exercise every compiled-path feature — literal-argument candidates,
+// compound certificates, election-form rules, requested args, starred
+// group conditions and revocation — and returns the issued certificates
+// in a deterministic order.
+func runEntryScenarios(t *testing.T, h *harness) []scenarioCert {
+	t.Helper()
+	var certs []scenarioCert
+
+	// Chair via a literal-argument candidate; the figure 3.1 rolefile.
+	chairClient := h.client("ely")
+	chairLogin := h.logOn(t, chairClient, "jmb")
+	chair, err := h.conf.Enter(EnterRequest{
+		Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatalf("Chair entry: %v", err)
+	}
+	certs = append(certs, scenarioCert{h.conf, chair})
+
+	// Member via election by the Chair, guarded by a starred group test.
+	h.conf.Groups().AddMember("dm", "staff")
+	deleg, _, err := h.conf.Delegate(DelegateRequest{
+		Client: chairClient, Rolefile: "main", Role: "Member",
+		Args:        []value.Value{uid("dm")},
+		ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatalf("Delegate: %v", err)
+	}
+	memberClient := h.client("achilles")
+	memberLogin := h.logOn(t, memberClient, "dm")
+	member, err := h.conf.EnterDelegated(EnterRequest{
+		Client: memberClient, Rolefile: "main", Role: "Member",
+		Creds:      []*cert.RMC{memberLogin},
+		Delegation: deleg,
+	})
+	if err != nil {
+		t.Fatalf("Member entry: %v", err)
+	}
+	certs = append(certs, scenarioCert{h.conf, member})
+
+	// Starred group revocation: removing dm from staff revokes Member.
+	h.conf.Groups().RemoveMember("dm", "staff")
+	if err := h.conf.Validate(member, memberClient); err == nil {
+		t.Fatal("Member survived staff removal")
+	}
+	h.conf.Groups().AddMember("dm", "staff")
+
+	// Requested args select a rule (§3.4.3 login levels), and compound
+	// derivation through an unconstrained rule (no-VM fast path).
+	svc, err := New("Levels", h.clk, h.net, Options{RDLMode: h.conf.rdlMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddRolefile("main", `
+def Level(l, u) l: integer
+Level(3, u) <- Login.LoggedOn(u, h) : h in secure
+Level(2, u) <- Login.LoggedOn(u, h) : h in hosts
+Level(1, u) <- Login.LoggedOn(u, h)
+`); err != nil {
+		t.Fatal(err)
+	}
+	svc.Groups().AddMember("ely", "hosts")
+	lvl, err := svc.Enter(EnterRequest{
+		Client: chairClient, Rolefile: "main", Role: "Level",
+		Args:  []value.Value{value.Int(1), uid("jmb")},
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatalf("Level entry: %v", err)
+	}
+	lvlDefault, err := svc.Enter(EnterRequest{
+		Client: chairClient, Rolefile: "main", Role: "Level",
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatalf("Level default entry: %v", err)
+	}
+	certs = append(certs, scenarioCert{svc, lvl}, scenarioCert{svc, lvlDefault})
+
+	compound, err := New("Compound", h.clk, h.net, Options{RDLMode: h.conf.rdlMode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compound.AddRolefile("main", "Chair <- Login.LoggedOn(\"jmb\", h)\nMember <- Chair\n"); err != nil {
+		t.Fatal(err)
+	}
+	both, err := compound.Enter(EnterRequest{
+		Client: chairClient, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatalf("compound entry: %v", err)
+	}
+	if !compound.HasRole(both, "main", "Member") {
+		t.Fatalf("compound roles = %v", compound.RoleNames(both))
+	}
+	certs = append(certs, scenarioCert{compound, both})
+	return certs
+}
+
+// TestEntryModesAgree runs the same scenarios through an interpreter-mode
+// world and a compiled-mode world and requires the issued certificates to
+// carry identical compound role sets and arguments.
+func TestEntryModesAgree(t *testing.T) {
+	interp := newHarnessWith(t,
+		Options{RDLMode: RDLInterpreter}, Options{RDLMode: RDLInterpreter})
+	compiled := newHarnessWith(t,
+		Options{RDLMode: RDLCompiled}, Options{RDLMode: RDLCompiled})
+
+	ic := runEntryScenarios(t, interp)
+	cc := runEntryScenarios(t, compiled)
+	if len(ic) != len(cc) {
+		t.Fatalf("certificate count: interpreter=%d compiled=%d", len(ic), len(cc))
+	}
+	for i := range ic {
+		if id, cd := ic[i].describe(), cc[i].describe(); id != cd {
+			t.Fatalf("cert %d: interpreter=%s compiled=%s", i, id, cd)
+		}
+	}
+}
+
+// TestEntryDifferentialMode exercises the in-engine differential seam:
+// every rule application runs both the compiled program and the
+// interpreter and panics on divergence, so a clean pass of the scenarios
+// is itself the assertion.
+func TestEntryDifferentialMode(t *testing.T) {
+	h := newHarnessWith(t,
+		Options{RDLMode: RDLDifferential}, Options{RDLMode: RDLDifferential})
+	runEntryScenarios(t, h)
+}
+
+// TestRDLModeEnvOverride checks that the environment variables force the
+// interpreter baseline and the differential mode regardless of Options.
+func TestRDLModeEnvOverride(t *testing.T) {
+	t.Setenv("OASIS_RDL_INTERP", "1")
+	h := newHarness(t)
+	if h.conf.rdlMode != RDLInterpreter {
+		t.Fatalf("OASIS_RDL_INTERP=1: mode = %d, want interpreter", h.conf.rdlMode)
+	}
+	c := h.client("ely")
+	loggedOn := h.logOn(t, c, "jmb")
+	if _, err := h.conf.Enter(EnterRequest{
+		Client: c, Rolefile: "main", Role: "Chair", Creds: []*cert.RMC{loggedOn},
+	}); err != nil {
+		t.Fatalf("interpreter-mode entry: %v", err)
+	}
+
+	t.Setenv("OASIS_RDL_INTERP", "")
+	t.Setenv("OASIS_RDL_DIFF", "1")
+	h2 := newHarness(t)
+	if h2.conf.rdlMode != RDLDifferential {
+		t.Fatalf("OASIS_RDL_DIFF=1: mode = %d, want differential", h2.conf.rdlMode)
+	}
+	c2 := h2.client("ely")
+	loggedOn2 := h2.logOn(t, c2, "jmb")
+	if _, err := h2.conf.Enter(EnterRequest{
+		Client: c2, Rolefile: "main", Role: "Chair", Creds: []*cert.RMC{loggedOn2},
+	}); err != nil {
+		t.Fatalf("differential-mode entry: %v", err)
+	}
+}

@@ -11,6 +11,7 @@ package oasis
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -58,7 +59,23 @@ type Options struct {
 	// attribute-based membership rules need (§3.3.1). The MSSA uses it
 	// to tie certificates to ACL-version records (§5.5.2).
 	ExtraParents func(rolefile, role string, args []value.Value) []credrec.Parent
+	// RDLMode selects how entry rules are evaluated; the default
+	// (RDLAuto) uses the compiled execution plan unless the
+	// OASIS_RDL_INTERP=1 environment variable forces the interpreter.
+	RDLMode RDLMode
 }
+
+// RDLMode selects the role-entry rule evaluation strategy.
+type RDLMode int
+
+// The evaluation strategies. RDLDifferential runs both and panics on
+// any divergence — the differential-testing seam.
+const (
+	RDLAuto RDLMode = iota
+	RDLCompiled
+	RDLInterpreter
+	RDLDifferential
+)
 
 // Service is one OASIS service instance.
 //
@@ -112,6 +129,16 @@ type Service struct {
 	delegMu     sync.Mutex
 	delegations map[credrec.Ref]*delegInfo
 
+	// rdlMode is fixed at construction (RDLAuto resolved against the
+	// environment), so the entry path reads it without synchronisation.
+	rdlMode RDLMode
+	// memberKeys memoizes the marshalled group-membership key of
+	// non-string values (sets, integers), so repeated oracle probes on
+	// the same principal stop re-marshalling. Keyed by value.Value
+	// (comparable); the population is bounded by the principals the
+	// installed policies test, so the map is never evicted.
+	memberKeys sync.Map
+
 	audit auditCounters
 }
 
@@ -132,6 +159,10 @@ type rolefileState struct {
 	roleMap *cert.RoleMap
 	// per-rule resolved argument types
 	ruleTypes []*ruleTypes
+	// prog is the compiled execution plan, built once at installation;
+	// machines pools the register machines that run it.
+	prog     *rdl.Program
+	machines sync.Pool
 	// role-based revocation databases (§4.11)
 	mu        sync.Mutex
 	revocable map[string]roleRevEntry // role instance -> entry
@@ -156,6 +187,17 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 	if opts.Signer == nil {
 		opts.Signer = cert.NewHMACSigner([]byte("svc-secret:"+name), 16)
 	}
+	mode := opts.RDLMode
+	if mode == RDLAuto {
+		switch {
+		case os.Getenv("OASIS_RDL_INTERP") == "1":
+			mode = RDLInterpreter
+		case os.Getenv("OASIS_RDL_DIFF") == "1":
+			mode = RDLDifferential
+		default:
+			mode = RDLCompiled
+		}
+	}
 	s := &Service{
 		name:          name,
 		clk:           clk,
@@ -170,6 +212,7 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		delegations:   make(map[credrec.Ref]*delegInfo),
 		suspicion:     make(map[string]SourceState),
 		resyncing:     make(map[string]bool),
+		rdlMode:       mode,
 	}
 	s.groups = credrec.NewGroups(s.store)
 	s.broker = event.NewBroker(name, clk, event.BrokerOptions{})
@@ -241,6 +284,25 @@ func (s *Service) AddRolefile(id, src string) error {
 		}
 		st.ruleTypes = append(st.ruleTypes, rt)
 	}
+	// Compile the rolefile once at installation: entry requests run the
+	// program's execution plans instead of re-walking the AST. The
+	// entry-time signatures (gettypes already resolved) are passed so
+	// literal arguments are coerced now, not per request.
+	sigs := make([]rdl.RuleSig, len(st.ruleTypes))
+	for i, rt := range st.ruleTypes {
+		sigs[i] = rdl.RuleSig{
+			Head:       rt.head,
+			Candidates: rt.candidates,
+			Elector:    rt.elector,
+			Revoker:    rt.revoker,
+		}
+	}
+	prog, err := rdl.Compile(rf, sigs)
+	if err != nil {
+		return err
+	}
+	st.prog = prog
+	st.machines.New = func() any { return prog.NewMachine() }
 	s.rfMu.Lock()
 	defer s.rfMu.Unlock()
 	if _, dup := s.rolefiles[id]; dup {

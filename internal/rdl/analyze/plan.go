@@ -1,0 +1,30 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+
+	"oasis/internal/rdl"
+)
+
+// DumpPlans compiles every input rolefile to its execution plan — the
+// form the entry engine actually runs (internal/rdl/compile.go) — and
+// writes the disassembly. Signatures of foreign references resolve from
+// what checking recorded (Rolefile.Foreign), so the dump works offline:
+// a literal argument whose foreign signature was unresolvable shows as
+// !unresolved, meaning that slot can never match at entry time.
+func DumpPlans(w io.Writer, inputs []Input) error {
+	for i := range inputs {
+		in := &inputs[i]
+		prog, err := rdl.Compile(in.RF, nil)
+		if err != nil {
+			return fmt.Errorf("%s: compiling plan: %v", in.File, err)
+		}
+		fmt.Fprintf(w, "== %s (service %s) ==\n", in.File, in.Service)
+		if _, err := io.WriteString(w, prog.Disassemble()); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -38,6 +38,17 @@ type Rolefile struct {
 	File  *File
 	Types map[string][]value.Type // local role name -> parameter types
 	Names map[string][]string     // local role name -> parameter names (best effort)
+	// Foreign records the signatures of foreign role references seen
+	// during checking, keyed "Service.Rolefile.Name" (empty components
+	// kept). Resolver-supplied signatures are always present; inferred
+	// ones (ErrInferSignature) are recorded best effort, so offline
+	// tools can compile the rolefile without a live gettypes.
+	Foreign map[string][]value.Type
+}
+
+// ForeignKey is the Foreign-map key for a role reference.
+func ForeignKey(service, rolefile, name string) string {
+	return service + "." + rolefile + "." + name
 }
 
 // Roles lists the locally defined role names in sorted order.
@@ -116,6 +127,8 @@ type checker struct {
 	imports   map[string]bool // imported object type names
 
 	inferredSlots map[string][]*node // foreign role (qualified) -> nodes, under ErrInferSignature
+
+	foreignSigs map[string][]value.Type // resolver-returned foreign signatures
 }
 
 // Check type-checks a parsed rolefile. foreign resolves signatures of
@@ -132,6 +145,7 @@ func Check(f *File, foreign RoleTypesFunc, funcs FuncTable) (*Rolefile, error) {
 		roleNames:     make(map[string][]string),
 		imports:       make(map[string]bool),
 		inferredSlots: make(map[string][]*node),
+		foreignSigs:   make(map[string][]value.Type),
 	}
 	for _, im := range f.Imports {
 		c.imports[im.Service+"."+im.Type] = true
@@ -159,7 +173,24 @@ func Check(f *File, foreign RoleTypesFunc, funcs FuncTable) (*Rolefile, error) {
 		}
 		types[role] = ts
 	}
-	return &Rolefile{File: f, Types: types, Names: c.roleNames}, nil
+	// Record inferred foreign signatures best effort: a slot that will
+	// not resolve simply stays absent from the map.
+	for key, slots := range c.inferredSlots {
+		ts := make([]value.Type, len(slots))
+		ok := true
+		for i, s := range slots {
+			t, err := resolveNode(s.find())
+			if err != nil {
+				ok = false
+				break
+			}
+			ts[i] = t
+		}
+		if ok {
+			c.foreignSigs[key] = ts
+		}
+	}
+	return &Rolefile{File: f, Types: types, Names: c.roleNames, Foreign: c.foreignSigs}, nil
 }
 
 // resolveNode finalises a node's type, applying literal-shape defaults:
@@ -290,6 +321,7 @@ func (c *checker) rule(r *Rule) error {
 						Msg: fmt.Sprintf("%s takes %d arguments, got %d", ref.Qualified(), len(ts), len(ref.Args))}
 				}
 				slotTypes = ts
+				c.foreignSigs[ForeignKey(ref.Service, ref.Rolefile, ref.Name)] = ts
 			}
 		}
 		for i, a := range ref.Args {

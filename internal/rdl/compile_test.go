@@ -1,0 +1,448 @@
+package rdl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oasis/internal/value"
+)
+
+// programFor compiles a single constraint wrapped in a minimal rule,
+// the compiled counterpart of constraintOf.
+func programFor(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := Parse("R <- S : " + src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	rf := &Rolefile{File: f, Types: map[string][]value.Type{"R": {}, "S": {}}}
+	p, err := Compile(rf, nil)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return p
+}
+
+// normCond projects a MembershipCond to a comparable form (Expr by its
+// surface rendering).
+type normCond struct {
+	IsGroupTest bool
+	Member      value.Value
+	Group       string
+	Neg         bool
+	Expr        string
+	Env         string
+}
+
+func normConds(conds []MembershipCond) []normCond {
+	out := make([]normCond, len(conds))
+	for i, c := range conds {
+		out[i] = normCond{
+			IsGroupTest: c.IsGroupTest,
+			Member:      c.Member,
+			Group:       c.Group,
+			Neg:         c.Neg,
+		}
+		if c.Expr != nil {
+			out[i].Expr = c.Expr.String()
+			out[i].Env = c.Env.String()
+		}
+	}
+	return out
+}
+
+// diffConstraint asserts that the interpreter and the compiled VM agree
+// on a constraint: same error (by message), same verdict, same final
+// environment, same captured conditions.
+func diffConstraint(t *testing.T, expr Expr, p *Program, ruleIdx int, ctx EvalContext) {
+	t.Helper()
+	ir, ierr := Eval(expr, ctx)
+	cr, cerr := p.EvalRule(ruleIdx, ctx)
+	if (ierr == nil) != (cerr == nil) {
+		t.Fatalf("error divergence: interpreter=%v compiled=%v", ierr, cerr)
+	}
+	if ierr != nil {
+		if ierr.Error() != cerr.Error() {
+			t.Fatalf("error message divergence: interpreter=%q compiled=%q", ierr, cerr)
+		}
+		return
+	}
+	if ir.OK != cr.OK {
+		t.Fatalf("verdict divergence: interpreter=%v compiled=%v", ir.OK, cr.OK)
+	}
+	if !reflect.DeepEqual(map[string]value.Value(ir.Env), map[string]value.Value(cr.Env)) {
+		t.Fatalf("env divergence:\ninterpreter=%v\ncompiled=%v", ir.Env, cr.Env)
+	}
+	if !reflect.DeepEqual(normConds(ir.Conds), normConds(cr.Conds)) {
+		t.Fatalf("conds divergence:\ninterpreter=%v\ncompiled=%v", ir.Conds, cr.Conds)
+	}
+}
+
+func diffStr(t *testing.T, src string, env value.Env, groups GroupOracle, funcs FuncTable) {
+	t.Helper()
+	p := programFor(t, src)
+	diffConstraint(t, p.Rules[0].Rule.Constraint, p, 0, EvalContext{Env: env, Groups: groups, Funcs: funcs})
+}
+
+// TestCompileEvalDifferential drives the compiled VM and the AST
+// interpreter over the semantic corners — short-circuiting, binding
+// '=', set-literal coercion, star capture under negation, error paths —
+// and requires byte-identical results.
+func TestCompileEvalDifferential(t *testing.T) {
+	groups := testGroups{
+		"staff":   {"alice": true, "jmb": true},
+		"secure":  {"hostA": true},
+		"empty":   {},
+		"numbers": {"i:7": true},
+	}
+	funcs := FuncTable{
+		"inc": &Func{Result: value.IntType, Fn: func(a []value.Value) (value.Value, error) {
+			return value.Int(a[0].I + 1), nil
+		}},
+		"one": &Func{Result: value.IntType, Fn: func(a []value.Value) (value.Value, error) {
+			return value.Int(1), nil
+		}},
+		"name": &Func{Result: value.StringType, Fn: func(a []value.Value) (value.Value, error) {
+			return value.Str("alice"), nil
+		}},
+		"boom": &Func{Result: value.IntType, Fn: func(a []value.Value) (value.Value, error) {
+			return value.Value{}, fmt.Errorf("boom failed")
+		}},
+	}
+	env := value.Env{}.
+		Extend("a", value.Int(3)).
+		Extend("b", value.Int(5)).
+		Extend("s", value.Str("abc")).
+		Extend("u", value.Str("alice")).
+		Extend("v", value.Str("mallory")).
+		Extend("r", value.MustSet("rwx", "rw")).
+		Extend("w", value.MustSet("rwx", "rwx")).
+		Extend("n", value.Int(7)).
+		Extend("@host", value.Str("hostA"))
+
+	srcs := []string{
+		// comparisons, all operators, both orders
+		"a = 3", "a = b", "a != b", "a < b", "a <= 3", "a > b", "a >= 3",
+		"s = \"abc\"", "s != \"abc\"", "s < \"abd\"", "s >= \"abc\"",
+		// sets: subset both directions, literal coercion both sides
+		"r <= w", "w <= r", "w >= r", "r = {rw}", "{r} <= r", "{wx} <= w",
+		// binding '=': var on either side, chained use of the binding
+		"x = 3 and x < b", "3 = x and x = 3", "x = inc(a) and x = 4",
+		"x = s and x = \"abc\"",
+		// binding does not fire for !=, or when both sides are unbound
+		"x != 3", "x = y",
+		// boolean structure with short-circuits
+		"a = 3 and b = 5", "a = 4 or b = 5", "a = 4 and boom()",
+		"a = 3 or boom()", "not (a = 4)", "not (a = 3 and b = 4)",
+		// group tests, negation, @host
+		"u in staff", "v in staff", "u not in staff", "v not in empty",
+		"@host in secure", "n in numbers",
+		// star capture: group form, negated group, generic expr
+		"(u in staff)*", "(v in staff)*", "(u not in empty)*",
+		"((u in staff) and a = 3)*", "(a = 3)*", "(x = 9)*  and x = 9",
+		"(name() in staff)*", "(n in numbers)*",
+		// stars under negation are never captured, however deep
+		"not (u in staff)*", "not (not ((u in staff)*))",
+		"not ((u in staff)* and a = 4)",
+		// star not reached via short-circuit
+		"a = 3 or (u in staff)*", "a = 4 and (u in staff)*",
+		// nested stars
+		"((u in staff)* and (a = 3)*)*",
+		// function calls as conditions and operands
+		"one()", "inc(a) = 4", "inc(inc(a)) = 5", "name() = u",
+		// error paths: unbound variable, unknown function, call failure,
+		// set literal with no typed context, bad set element
+		"z = z", "z < 3", "mystery() = 1", "boom() = 1", "boom()",
+		"{rw} = {rw}", "{zz} <= r", "a <= r", "s < a",
+		"(z in staff)*",
+	}
+	for _, src := range srcs {
+		t.Run(src, func(t *testing.T) {
+			diffStr(t, src, env, groups, funcs)
+			// Same sources with no oracle and no funcs: the error paths
+			// ("no group oracle", "unknown function") must match too.
+			diffStr(t, src, env, nil, nil)
+			// And under an empty environment, exercising unbound-variable
+			// errors and '=' binding from scratch.
+			diffStr(t, src, value.Env{}, groups, funcs)
+		})
+	}
+}
+
+// TestCompileEvalDifferentialBindingEnv pins the binding '=' result
+// environment: the compiled machine must extend the environment exactly
+// as the interpreter does, and must not leak failed candidate bindings.
+func TestCompileEvalDifferentialBindingEnv(t *testing.T) {
+	p := programFor(t, "x = 3 and x = 4")
+	res, err := p.EvalRule(0, EvalContext{Env: value.Env{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK {
+		t.Fatal("x = 3 and x = 4 held")
+	}
+	// The interpreter keeps bindings made before the failure.
+	if got := res.Env["x"]; !got.Equal(value.Int(3)) {
+		t.Fatalf("x = %v, want 3", got)
+	}
+}
+
+// exampleFiles returns every example rolefile in the repository.
+func exampleFiles(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob("../../examples/*/*.rdl")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no example rolefiles found: %v", err)
+	}
+	return paths
+}
+
+func inferAll(service, rolefile, role string) ([]value.Type, error) {
+	return nil, ErrInferSignature
+}
+
+// sampleValue produces a deterministic value of the given type.
+func sampleValue(t value.Type, name string) value.Value {
+	switch t.Kind {
+	case value.KindInt:
+		return value.Int(int64(len(name)))
+	case value.KindString:
+		return value.Str("s-" + name)
+	case value.KindSet:
+		v, _ := value.Set(t.Universe, t.Universe[:1])
+		return v
+	case value.KindObject:
+		return value.Object(t.Name, "id-"+name)
+	default:
+		return value.Str("v-" + name)
+	}
+}
+
+// envForRule synthesizes an environment binding the rule's registers
+// with type-faithful sample values: types come from the compiled head
+// and candidate plans, defaulting to strings.
+func envForRule(p *Program, cr *CompiledRule) value.Env {
+	types := make(map[string]value.Type)
+	collect := func(rp *RefPlan) {
+		if rp.Types == nil {
+			return
+		}
+		for i, a := range rp.Args {
+			if a.Reg >= 0 {
+				types[cr.Regs[a.Reg]] = rp.Types[i]
+			}
+		}
+	}
+	collect(&cr.Head)
+	for ci := range cr.Cands {
+		collect(&cr.Cands[ci])
+	}
+	env := make(value.Env, len(cr.Regs))
+	for _, name := range cr.Regs {
+		if name == "@host" {
+			env[name] = value.Str("hostA")
+			continue
+		}
+		if ty, ok := types[name]; ok {
+			env[name] = sampleValue(ty, name)
+		} else {
+			env[name] = value.Str("s-" + name)
+		}
+	}
+	return env
+}
+
+type parityGroups bool
+
+func (g parityGroups) IsMember(m value.Value, group string) bool {
+	if !bool(g) {
+		return false
+	}
+	return (len(m.S)+len(group))%2 == 0
+}
+
+// TestCompileExamplesDifferential compiles every example rolefile and
+// checks, rule by rule, that the compiled constraint agrees with the
+// interpreter under full, partial and empty environments and under
+// different group oracles.
+func TestCompileExamplesDifferential(t *testing.T) {
+	for _, path := range exampleFiles(t) {
+		t.Run(filepath.Base(filepath.Dir(path))+"/"+filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := Check(f, inferAll, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Compile(rf, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Rules) != len(f.Rules) {
+				t.Fatalf("compiled %d rules, file has %d", len(p.Rules), len(f.Rules))
+			}
+			for i := range p.Rules {
+				cr := &p.Rules[i]
+				if (cr.Code == nil) != (cr.Rule.Constraint == nil) {
+					t.Errorf("rule %d: no-VM marker mismatch (code=%v constraint=%v)",
+						i+1, cr.Code != nil, cr.Rule.Constraint != nil)
+				}
+				if cr.Rule.Constraint == nil {
+					continue
+				}
+				full := envForRule(p, cr)
+				envs := []value.Env{full, {}}
+				// Partial environment: drop the last allocated register.
+				if n := len(cr.Regs); n > 1 {
+					partial := full.Clone()
+					delete(partial, cr.Regs[n-1])
+					envs = append(envs, partial)
+				}
+				for ei, env := range envs {
+					for _, oracle := range []GroupOracle{parityGroups(true), parityGroups(false), nil} {
+						t.Run(fmt.Sprintf("rule%d/env%d/oracle%v", i+1, ei, oracle), func(t *testing.T) {
+							diffConstraint(t, cr.Rule.Constraint, p, i,
+								EvalContext{Env: env, Groups: oracle, Funcs: nil})
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompileDispatchIndex checks the by-head rule index: source order
+// within a bucket, every rule present, lookups by role name.
+func TestCompileDispatchIndex(t *testing.T) {
+	src, err := os.ReadFile("../../examples/login/Login.rdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, inferAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(rf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs := p.RulesFor("Login")
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(idxs, want) {
+		t.Fatalf("RulesFor(Login) = %v, want %v", idxs, want)
+	}
+	if p.RulesFor("NoSuchRole") != nil {
+		t.Fatal("RulesFor on unknown role returned rules")
+	}
+	total := 0
+	for _, idxs := range p.ByHead {
+		total += len(idxs)
+	}
+	if total != len(p.Rules) {
+		t.Fatalf("ByHead indexes %d rules, program has %d", total, len(p.Rules))
+	}
+}
+
+// TestCompileNoVMFastPath checks that constraint-free rules carry no
+// code and evaluate without a machine.
+func TestCompileNoVMFastPath(t *testing.T) {
+	f, err := Parse("def LoggedOn(u, h) u: string h: string\nLoggedOn(u, h) <-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(rf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Code != nil {
+		t.Fatal("constraint-free rule compiled to code")
+	}
+	env := value.Env{"u": value.Str("x")}
+	res, err := p.EvalRule(0, EvalContext{Env: env})
+	if err != nil || !res.OK || len(res.Conds) != 0 {
+		t.Fatalf("no-VM rule: res=%+v err=%v", res, err)
+	}
+}
+
+// TestCompileDisassemble sanity-checks the textual plan dump consumed
+// by rdlcheck -dump-plan.
+func TestCompileDisassemble(t *testing.T) {
+	src, err := os.ReadFile("../../examples/golfclub/Golf.rdl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, inferAll, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(rf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := p.Disassemble()
+	for _, want := range []string{
+		"rule 1:", "regs:", "head:", "cand 0:", "code:",
+		"election-form", "dispatch:", "Member -> rules",
+		"star", "grp",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestMachineRollback checks that a failed candidate match unwinds its
+// tentative bindings (the per-held rollback matchCandidate relies on).
+func TestMachineRollback(t *testing.T) {
+	f, err := Parse("def R(x, y) x: integer y: string\ndef S(x, y) x: integer y: string\nR(x, y) <- S(x, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Check(f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(rf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.NewMachine()
+	m.Reset(0)
+	m.BindHost(value.Str("h"))
+	cand := &p.Rules[0].Cands[0]
+	// First attempt binds x=1 then fails on a bound-y mismatch.
+	m.MatchPlan(cand, []value.Value{value.Int(1), value.Str("a")})
+	// y now bound; a conflicting held must fail AND roll back nothing
+	// that belonged to the earlier successful match.
+	if m.MatchPlan(cand, []value.Value{value.Int(2), value.Str("b")}) {
+		t.Fatal("conflicting candidate matched")
+	}
+	args, ok := m.Instantiate(&p.Rules[0].Head)
+	if !ok {
+		t.Fatal("head instantiation failed after rollback")
+	}
+	if !args[0].Equal(value.Int(1)) || !args[1].Equal(value.Str("a")) {
+		t.Fatalf("bindings disturbed by failed match: %v", args)
+	}
+}
