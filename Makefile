@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test test-rdl-diff race chaos bench bench-notify bench-rdl \
-	bench-smoke bench-json vet lint ci all help
+	bench-persist bench-smoke bench-json vet lint ci all help
 
 all: build vet test
 
@@ -23,8 +23,9 @@ help:
 	@echo "bench       serial + parallel (-cpu 1,4,8) benchmark suites"
 	@echo "bench-notify  notification-plane suite (EXPERIMENTS.md E28)"
 	@echo "bench-rdl   interpreted vs compiled role entry (EXPERIMENTS.md E31)"
+	@echo "bench-persist  journal append + recovery suites (EXPERIMENTS.md E32)"
 	@echo "bench-smoke   compile-and-run every benchmark once (part of ci)"
-	@echo "bench-json    E30/E31 benchmarks as test2json into BENCH_5/6.json"
+	@echo "bench-json    E30/E31/E32 benchmarks as test2json into BENCH_5/6/7.json"
 	@echo "ci          build vet lint test test-rdl-diff race chaos bench-smoke"
 
 build:
@@ -51,13 +52,15 @@ race:
 		./internal/oasis/... ./internal/credrec/... ./internal/cert/... \
 		./internal/fault/...
 
-# The seeded chaos suite (internal/fault/chaos_test.go): whole
-# deployments driven through scripted partitions, loss and duplication;
-# every run reproduces from (seed, schedule), so failures are
+# The seeded chaos suite (internal/fault/chaos_test.go) plus the
+# storage kill-point suite (persist_chaos_test.go): whole deployments
+# driven through scripted partitions, loss and duplication, and the
+# persistence engine crashed at every operation boundary; every run
+# reproduces from its seed/schedule/kill point, so failures are
 # deterministic. Always under the race detector — the fault plane
 # exists to shake out exactly the interleavings it would catch.
 chaos:
-	$(GO) test -race -run 'Chaos' ./internal/fault/... -count=1
+	$(GO) test -race -run 'Chaos|KillPoint|RevocationsStay' ./internal/fault/... -count=1
 
 # Serial benchmarks plus the parallel suite at 1, 4 and 8 threads
 # (bench_parallel_test.go); results feed EXPERIMENTS.md.
@@ -78,6 +81,14 @@ bench-notify:
 bench-rdl:
 	$(GO) test -bench RDLEntry -benchmem -cpu 1,4,8 -run '^$$' .
 
+# The persistence-engine suite (bench_persist_test.go): text versus
+# binary group-commit journal appends onto a real file at 1, 4 and 8
+# mutators, and replay-all versus snapshot+tail recovery across history
+# lengths; results feed EXPERIMENTS.md E32.
+bench-persist:
+	$(GO) test -bench 'PersistAppend' -benchmem -cpu 1,4,8 -run '^$$' .
+	$(GO) test -bench 'PersistRecovery' -benchmem -run '^$$' .
+
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a measurement. Part of ci.
 bench-smoke:
@@ -86,13 +97,15 @@ bench-smoke:
 # The E30 remote-validation benchmarks (gob vs binary wire, locked vs
 # pipelined writer, cached vs cold verify) in machine-readable
 # test2json form; the perf trajectory of the wire layer is tracked in
-# BENCH_5.json. The E31 entry-plan suite lands in BENCH_6.json the same
-# way.
+# BENCH_5.json. The E31 entry-plan suite lands in BENCH_6.json and the
+# E32 persistence suite in BENCH_7.json the same way.
 bench-json:
 	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
 		-bench 'RemoteValidateTCP|ValidateRMCParallel' . > BENCH_5.json
 	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
 		-bench 'RDLEntry' . > BENCH_6.json
+	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
+		-bench 'PersistAppend|PersistRecovery' . > BENCH_7.json
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,13 @@
 // Modified events; -remote joins another process's peer port under its
 // service name, letting rolefiles here reference its roles.
 //
+// -store-dir persists the credential-record store: every mutation is
+// group-committed to a binary journal and the store snapshots and
+// compacts itself every -snapshot-every operations, so a restart
+// recovers certificates and revocations from the newest snapshot plus
+// the journal tail (docs/STORAGE.md). -sync selects the durability
+// policy (always / batched / none).
+//
 // -fault-schedule arms a deterministic fault plane on the in-process
 // bus (drops, duplicates, delays, partitions — the format is documented
 // at internal/fault.ParseSchedule); -fault-seed makes the run
@@ -41,6 +48,8 @@ import (
 
 	"oasis/internal/bus"
 	"oasis/internal/clock"
+	"oasis/internal/credrec"
+	"oasis/internal/credrec/storage"
 	"oasis/internal/fault"
 	"oasis/internal/oasis"
 )
@@ -70,6 +79,9 @@ func main() {
 		faultSched = flag.String("fault-schedule", "", "fault schedule file for the in-process bus (see internal/fault.ParseSchedule); empty disables")
 		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for the fault plane; a run is reproducible from (seed, schedule)")
 		missedHB   = flag.Int("failsafe-missed", 3, "heartbeat periods of silence before a watched source's records fail safe to False")
+		storeDir   = flag.String("store-dir", "", "persist the credential-record store in this directory (journal + snapshots); empty keeps it in memory")
+		snapEvery  = flag.Int("snapshot-every", 4096, "journal operations between automatic snapshots/compactions (0 disables the trigger)")
+		syncMode   = flag.String("sync", "batched", "journal durability: always (fsync before a mutation returns), batched (one fsync per group commit), none")
 		remotes    = remoteFlags{}
 	)
 	flag.Var(remotes, "remote", "peer service name=addr (repeatable)")
@@ -79,6 +91,7 @@ func main() {
 		listen: *listen, peerListen: *peerListen,
 		faultSchedule: *faultSched, faultSeed: *faultSeed,
 		failsafeMissed: *missedHB, remotes: remotes,
+		storeDir: *storeDir, snapshotEvery: *snapEvery, syncMode: *syncMode,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -92,6 +105,9 @@ type config struct {
 	faultSeed                 int64
 	failsafeMissed            int
 	remotes                   map[string]string
+	storeDir                  string
+	snapshotEvery             int
+	syncMode                  string
 }
 
 const builtinLoginRolefile = `
@@ -132,13 +148,40 @@ func run(cfg config) error {
 			}
 		}()
 	}
-	svc, err := oasis.New(name, clk, network, oasis.Options{
+	opts := oasis.Options{
 		FailsafeMissed: cfg.failsafeMissed,
 		AutoResync:     true,
 		OnSourceState: func(source string, from, to oasis.SourceState) {
 			log.Printf("oasisd: source %q %s -> %s", source, from, to)
 		},
-	})
+	}
+	if cfg.storeDir != "" {
+		policy, err := credrec.ParseSyncPolicy(cfg.syncMode)
+		if err != nil {
+			return err
+		}
+		be, err := storage.OpenDir(cfg.storeDir)
+		if err != nil {
+			return fmt.Errorf("opening store dir: %w", err)
+		}
+		eng, err := storage.Open(be, storage.Options{
+			Sync:                policy,
+			SnapshotEveryOps:    cfg.snapshotEvery,
+			SweepBeforeSnapshot: true,
+			OnSnapshotError: func(err error) {
+				log.Printf("oasisd: snapshot failed (will retry): %v", err)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("recovering store from %s: %w", cfg.storeDir, err)
+		}
+		defer eng.Close()
+		snap, segs, recs, torn := eng.Recovered()
+		log.Printf("oasisd: store %s recovered: snapshot %d, %d tail segment(s), %d record(s) replayed, torn tail: %v",
+			cfg.storeDir, snap, segs, recs, torn)
+		opts.Store = eng.Store()
+	}
+	svc, err := oasis.New(name, clk, network, opts)
 	if err != nil {
 		return err
 	}

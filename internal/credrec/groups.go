@@ -20,7 +20,7 @@ import (
 // shard held); the Store never calls back into Groups, so the reverse
 // edge cannot occur.
 type Groups struct {
-	st   *Store
+	st   Recorder
 	seed maphash.Seed
 
 	shards [numShards]groupShard
@@ -38,7 +38,7 @@ type groupKey struct {
 }
 
 // NewGroups creates a group-membership manager over the given store.
-func NewGroups(st *Store) *Groups {
+func NewGroups(st Recorder) *Groups {
 	g := &Groups{st: st, seed: maphash.MakeSeed()}
 	for i := range g.shards {
 		g.shards[i].members = make(map[groupKey]bool)

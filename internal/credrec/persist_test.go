@@ -2,14 +2,26 @@ package credrec
 
 import (
 	"bytes"
-	"strings"
+	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
 
+// drain forces the commit queue onto the sink so tests can read the
+// journal bytes.
+func drain(t *testing.T, ls *LoggedStore) {
+	t.Helper()
+	if err := ls.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReplayReproducesStore(t *testing.T) {
 	var journal bytes.Buffer
 	ls := NewLoggedStore(&journal)
+	defer ls.Close()
 
 	login := ls.NewFact(True)
 	deleg := ls.NewDerived(OpAnd, Of(login))
@@ -21,9 +33,10 @@ func TestReplayReproducesStore(t *testing.T) {
 	if err := ls.SetState(group, False); err != nil {
 		t.Fatal(err)
 	}
+	drain(t, ls)
 
 	// "Crash" and recover.
-	recovered, err := Replay(strings.NewReader(journal.String()))
+	recovered, err := Replay(bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,6 +59,7 @@ func TestReplayReproducesStore(t *testing.T) {
 func TestReplayPreservesRevocation(t *testing.T) {
 	var journal bytes.Buffer
 	ls := NewLoggedStore(&journal)
+	defer ls.Close()
 	root := ls.NewFact(True)
 	child := ls.NewDerived(OpAnd, Of(root))
 	if err := ls.MarkDirectUse(child); err != nil {
@@ -54,7 +68,8 @@ func TestReplayPreservesRevocation(t *testing.T) {
 	if err := ls.Invalidate(root); err != nil {
 		t.Fatal(err)
 	}
-	recovered, err := Replay(strings.NewReader(journal.String()))
+	drain(t, ls)
+	recovered, err := Replay(bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,6 +88,7 @@ func TestReplayPreservesSweepAllocation(t *testing.T) {
 	// post-sweep pre-crash still resolve.
 	var journal bytes.Buffer
 	ls := NewLoggedStore(&journal)
+	defer ls.Close()
 	a := ls.NewFact(True)
 	if err := ls.Invalidate(a); err != nil {
 		t.Fatal(err)
@@ -82,8 +98,9 @@ func TestReplayPreservesSweepAllocation(t *testing.T) {
 	if err := ls.MarkDirectUse(b); err != nil {
 		t.Fatal(err)
 	}
+	drain(t, ls)
 
-	recovered, err := Replay(strings.NewReader(journal.String()))
+	recovered, err := Replay(bytes.NewReader(journal.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,23 +112,254 @@ func TestReplayPreservesSweepAllocation(t *testing.T) {
 	}
 }
 
-func TestReplayErrors(t *testing.T) {
-	bad := []string{
-		"gibberish 1",
-		"fact",           // missing state
-		"derived 1 zz",   // bad parent
-		"set 999999 2",   // dangling ref
-		"ext noquotes 2", // unquoted source
-		"invalidate",     // missing ref
-	}
-	for _, src := range bad {
-		if _, err := Replay(strings.NewReader(src)); err == nil {
-			t.Errorf("Replay(%q) succeeded", src)
+// journalBytes runs ops on a fresh LoggedStore and returns the journal.
+func journalBytes(t *testing.T, ops func(*LoggedStore)) []byte {
+	t.Helper()
+	var journal bytes.Buffer
+	ls := NewLoggedStore(&journal)
+	ops(ls)
+	drain(t, ls)
+	ls.Close()
+	return append([]byte(nil), journal.Bytes()...)
+}
+
+func TestReplayTornTail(t *testing.T) {
+	full := journalBytes(t, func(ls *LoggedStore) {
+		a := ls.NewFact(True)
+		ls.NewDerived(OpAnd, Of(a))
+		_ = ls.Invalidate(a)
+	})
+
+	// Every strict prefix of the journal replays without error (the
+	// torn final record is dropped), and applies at most the records
+	// fully contained in the prefix.
+	for cut := 1; cut < len(full); cut++ {
+		st := NewStore()
+		applied, torn, err := ReplayInto(st, bytes.NewReader(full[:cut]), false)
+		if err != nil {
+			t.Fatalf("cut=%d: replay failed: %v", cut, err)
+		}
+		if !torn && applied != recordCount(t, full[:cut]) {
+			t.Fatalf("cut=%d: clean replay of a strict prefix applied %d records", cut, applied)
 		}
 	}
-	// Blank lines are fine.
-	if _, err := Replay(strings.NewReader("\n\nfact 2\n\n")); err != nil {
+
+	// Strict mode refuses the same torn prefixes.
+	st := NewStore()
+	if _, _, err := ReplayInto(st, bytes.NewReader(full[:len(full)-1]), true); err == nil {
+		t.Fatal("strict replay tolerated a torn tail")
+	}
+}
+
+// recordCount parses frames without applying, for test assertions.
+func recordCount(t *testing.T, journal []byte) int {
+	t.Helper()
+	jr := newJournalReader(bytes.NewReader(journal))
+	n := 0
+	for {
+		if _, err := jr.next(); err != nil {
+			return n
+		}
+		n++
+	}
+}
+
+func TestReplayMidJournalCorruption(t *testing.T) {
+	full := journalBytes(t, func(ls *LoggedStore) {
+		a := ls.NewFact(True)
+		b := ls.NewFact(True)
+		_ = ls.MarkDirectUse(a)
+		_ = ls.MarkDirectUse(b)
+		_ = ls.Invalidate(a)
+	})
+	// Flip a CRC or payload byte of a non-final record: recovery must
+	// fail loudly — committed operations follow the damage. (Frame
+	// layout: uvarint len | crc32 | payload, so bytes 1..4 are record
+	// one's checksum and the bytes after that its payload.)
+	for _, pos := range []int{1, 2, 5, 6} {
+		corrupt := append([]byte(nil), full...)
+		corrupt[pos] ^= 0xff
+		if _, err := Replay(bytes.NewReader(corrupt)); err == nil {
+			t.Errorf("corruption at byte %d went undetected", pos)
+		} else if !errors.Is(err, ErrJournalCorrupt) {
+			t.Errorf("corruption at byte %d: error %v is not ErrJournalCorrupt", pos, err)
+		}
+	}
+
+	// A zeroed length byte is structural corruption.
+	zeroLen := append([]byte(nil), full...)
+	zeroLen[0] = 0
+	if _, err := Replay(bytes.NewReader(zeroLen)); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("zero-length record: %v, want ErrJournalCorrupt", err)
+	}
+
+	// A corrupted length byte can swallow the rest of the stream as one
+	// bogus over-long frame — at frame granularity that is
+	// indistinguishable from a torn tail, which is exactly why the
+	// engine replays every segment except the last in strict mode:
+	// there it MUST fail.
+	lenFlip := append([]byte(nil), full...)
+	lenFlip[7] ^= 0xff // record two's length varint
+	st := NewStore()
+	if _, _, err := ReplayInto(st, bytes.NewReader(lenFlip), true); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("strict replay of length-corrupted journal: %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// failingSink errors on the nth write; satellite regression for the
+// silent write-error swallowing of the text journal (the old
+// persist.go:42 Fprintf dropped errors on the floor).
+type failingSink struct {
+	mu     sync.Mutex
+	writes int
+	failAt int
+	data   []byte
+}
+
+func (s *failingSink) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writes++
+	if s.writes >= s.failAt {
+		return 0, fmt.Errorf("disk on fire")
+	}
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+func (s *failingSink) Sync() error { return nil }
+
+func TestJournalWriteErrorFailStop(t *testing.T) {
+	sink := &failingSink{failAt: 1}
+	ls := NewLoggedStoreWith(NewStore(), sink, JournalOptions{Sync: SyncAlways})
+	defer ls.Close()
+
+	// The failing mutation surfaces the journal error (SyncAlways
+	// blocks until the commit attempt).
+	if err := ls.SetState(ls.NewFact(True), False); err == nil {
+		t.Fatal("journal write failure not surfaced")
+	}
+	if ls.Err() == nil {
+		t.Fatal("sticky error not recorded")
+	}
+
+	// The store fail-stops: no further mutation is applied or queued.
+	before := ls.Live()
+	if ref := ls.NewFact(True); (ref != Ref{}) {
+		t.Fatalf("allocation on a failed store returned live ref %v", ref)
+	}
+	if err := ls.SetState(Ref{}, True); err == nil {
+		t.Fatal("mutation on a failed store succeeded")
+	}
+	if got := ls.Live(); got != before {
+		t.Fatalf("failed store mutated: %d -> %d live records", before, got)
+	}
+	if err := ls.Sync(); err == nil {
+		t.Fatal("Sync on a failed store reported success")
+	}
+}
+
+func TestSyncAlwaysDurableOnReturn(t *testing.T) {
+	sink := &failingSink{failAt: 1 << 30}
+	ls := NewLoggedStoreWith(NewStore(), sink, JournalOptions{Sync: SyncAlways})
+	defer ls.Close()
+	ref := ls.NewFact(True)
+	if err := ls.Invalidate(ref); err != nil {
 		t.Fatal(err)
+	}
+	// With SyncAlways the journal bytes are on the sink before the
+	// mutator returns — no Sync/drain needed.
+	sink.mu.Lock()
+	data := append([]byte(nil), sink.data...)
+	sink.mu.Unlock()
+	recovered, err := Replay(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _, _ := recovered.Resolve(ref); s != False {
+		t.Fatalf("revocation not durable at mutator return: state %v", s)
+	}
+}
+
+func TestClosedStoreRefusesMutation(t *testing.T) {
+	var journal bytes.Buffer
+	ls := NewLoggedStore(&journal)
+	ref := ls.NewFact(True)
+	if err := ls.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.SetState(ref, False); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("mutation after Close: %v, want ErrStoreClosed", err)
+	}
+	if ref2 := ls.NewFact(True); (ref2 != Ref{}) {
+		t.Fatal("allocation after Close returned a live ref")
+	}
+	// Reads still work.
+	if !ls.Valid(ref) {
+		t.Fatal("read path broken after Close")
+	}
+}
+
+// Satellite regression: slot reuse must survive the snapshot boundary.
+// A sweep frees slots, the snapshot captures the free list, and
+// allocations journaled *after* the snapshot must mint identical
+// references when replayed into the restored snapshot.
+func TestSweepFreeListAcrossSnapshotBoundary(t *testing.T) {
+	var journal bytes.Buffer
+	ls := NewLoggedStore(&journal)
+	defer ls.Close()
+
+	var victims []Ref
+	for i := 0; i < 40; i++ {
+		victims = append(victims, ls.NewFact(True))
+	}
+	keep := ls.NewFact(True)
+	if err := ls.MarkDirectUse(keep); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range victims {
+		if err := ls.Invalidate(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ls.Sweep() // 40 slots onto the free lists
+
+	// Snapshot at the sweep boundary; remember where the tail starts.
+	var snap bytes.Buffer
+	var tailOffset int
+	ls.Snapshot(func() {
+		if err := ls.WriteSnapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+		tailOffset = journal.Len()
+	})
+
+	// Post-snapshot allocations reuse swept slots.
+	var reused []Ref
+	for i := 0; i < 48; i++ {
+		reused = append(reused, ls.NewFact(True))
+	}
+	drain(t, ls)
+
+	restored, err := ReadSnapshot(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayInto(restored, bytes.NewReader(journal.Bytes()[tailOffset:]), true); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range reused {
+		if got, err := restored.Lookup(want); err != nil || got != True {
+			t.Fatalf("reused ref %d (%v) does not resolve after snapshot+tail recovery: %v %v", i, want, got, err)
+		}
+	}
+	// Future allocation stays deterministic: the next mint matches.
+	a, b := ls.NewFact(True), restored.NewFact(True)
+	if a != b {
+		t.Fatalf("allocation diverged after recovery: live %v vs recovered %v", a, b)
+	}
+	if !bytes.Equal(ls.Store.Image(), restored.Image()) {
+		t.Fatal("image diverged after post-recovery allocation")
 	}
 }
 
@@ -121,6 +369,7 @@ func TestQuickReplayEquivalence(t *testing.T) {
 	f := func(raw []byte) bool {
 		var journal bytes.Buffer
 		ls := NewLoggedStore(&journal)
+		defer ls.Close()
 		var refs []Ref
 		refs = append(refs, ls.NewFact(True), ls.NewFact(True))
 		for i := 0; i+1 < len(raw); i += 2 {
@@ -141,7 +390,10 @@ func TestQuickReplayEquivalence(t *testing.T) {
 				ls.Sweep()
 			}
 		}
-		recovered, err := Replay(strings.NewReader(journal.String()))
+		if err := ls.Sync(); err != nil {
+			return false
+		}
+		recovered, err := Replay(bytes.NewReader(journal.Bytes()))
 		if err != nil {
 			return false
 		}
@@ -158,6 +410,51 @@ func TestQuickReplayEquivalence(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- text baseline (the pre-engine journal format) ----
+
+func TestTextReplayReproducesStore(t *testing.T) {
+	var journal bytes.Buffer
+	ls := NewTextLoggedStore(&journal)
+	login := ls.NewFact(True)
+	member := ls.NewDerived(OpAnd, Of(login))
+	if err := ls.MarkDirectUse(member); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Invalidate(login); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := ReplayText(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.Valid(member) {
+		t.Fatal("revocation lost across text recovery")
+	}
+	if !bytes.Equal(ls.Store.Image(), recovered.Image()) {
+		t.Fatal("text replay image differs")
+	}
+}
+
+func TestTextReplayErrors(t *testing.T) {
+	bad := []string{
+		"gibberish 1",
+		"fact",           // missing state
+		"derived 1 zz",   // bad parent
+		"set 999999 2",   // dangling ref
+		"ext noquotes 2", // unquoted source
+		"invalidate",     // missing ref
+	}
+	for _, src := range bad {
+		if _, err := ReplayText(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("ReplayText(%q) succeeded", src)
+		}
+	}
+	// Blank lines are fine.
+	if _, err := ReplayText(bytes.NewReader([]byte("\n\nfact 2\n\n"))); err != nil {
 		t.Fatal(err)
 	}
 }

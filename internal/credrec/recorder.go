@@ -1,0 +1,53 @@
+package credrec
+
+// Recorder is the full credential-record store surface — allocation,
+// state transitions, flags, GC, bulk source transitions, and the read
+// paths. Both the plain in-memory *Store and the journaling
+// *LoggedStore satisfy it; the oasis service engine and the group
+// manager operate through it so a deployment chooses persistence by
+// handing a recovered LoggedStore to oasis.Options.Store, with no
+// change anywhere above.
+type Recorder interface {
+	// Allocation (§4.5–4.7).
+	NewFact(s State) Ref
+	NewExternal(source string, s State) Ref
+	NewDerived(op Op, parents ...Parent) Ref
+
+	// State transitions and revocation (§4.6, §4.8).
+	SetState(ref Ref, s State) error
+	Invalidate(ref Ref) error
+	MakePermanent(ref Ref) error
+
+	// Record flags (figure 4.7).
+	MarkDirectUse(ref Ref) error
+	MarkNotify(ref Ref) error
+	MarkAutoRevoke(ref Ref) error
+
+	// Bulk transitions for failure suspicion (§4.10, §6.8.4).
+	MarkSourceUnknown(source string) int
+	MarkSourceFailsafe(source string) int
+
+	// Garbage collection (§4.8).
+	Sweep() int
+
+	// Read paths.
+	Lookup(ref Ref) (State, error)
+	Valid(ref Ref) bool
+	Resolve(ref Ref) (State, bool, error)
+	AutoRevoke(ref Ref) bool
+	External(ref Ref) string
+	ExternalRefs(source string) []Ref
+
+	// Observation and introspection.
+	OnChange(f ChangeFunc)
+	Image() []byte
+	Live() int
+	Stats() (created, deleted uint64)
+}
+
+// Interface conformance: the in-memory store and its journaling
+// wrapper are interchangeable behind Recorder.
+var (
+	_ Recorder = (*Store)(nil)
+	_ Recorder = (*LoggedStore)(nil)
+)

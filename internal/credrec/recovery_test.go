@@ -90,6 +90,7 @@ func TestImageDistinguishesState(t *testing.T) {
 func TestConcurrentCascadeRoundtrip(t *testing.T) {
 	var journal bytes.Buffer
 	ls := NewLoggedStore(&journal)
+	defer ls.Close()
 
 	const roots = 64
 	const workers = 4
@@ -132,6 +133,9 @@ func TestConcurrentCascadeRoundtrip(t *testing.T) {
 		}
 	}
 	wg.Wait()
+	if err := ls.Sync(); err != nil {
+		t.Fatal(err)
+	}
 
 	recovered, err := Replay(bytes.NewReader(journal.Bytes()))
 	if err != nil {

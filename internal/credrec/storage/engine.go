@@ -1,0 +1,285 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"oasis/internal/credrec"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Sync is the group-commit durability policy (credrec.SyncBatched
+	// by default).
+	Sync credrec.SyncPolicy
+	// SnapshotEveryOps triggers a snapshot + compaction after this many
+	// journaled operations since the last snapshot. Zero disables the
+	// op trigger.
+	SnapshotEveryOps int
+	// SnapshotEveryBytes triggers on journal bytes since the last
+	// snapshot. Zero disables the byte trigger.
+	SnapshotEveryBytes int64
+	// SweepBeforeSnapshot runs a store Sweep before each snapshot, so
+	// fully-revoked subgraphs are garbage-collected and never carried
+	// into the image.
+	SweepBeforeSnapshot bool
+	// OnSnapshotError, if set, observes failures of automatic
+	// snapshots (the engine keeps journaling; the next trigger
+	// retries).
+	OnSnapshotError func(error)
+}
+
+// Engine ties a Backend to a recovering, journaling credential store.
+// Open performs recovery; Store returns the live LoggedStore; the
+// engine snapshots and compacts in the background per Options.
+type Engine struct {
+	be   Backend
+	opts Options
+
+	ls *credrec.LoggedStore
+
+	mu     sync.Mutex // serialises snapshot/roll/close
+	seg    Segment    // active segment (mutated only under mu)
+	segNum uint64
+	closed bool
+
+	// snapshot trigger accounting (written by the committer's OnCommit
+	// callback, read by the trigger loop)
+	opsSince   atomic.Int64
+	bytesSince atomic.Int64
+
+	snapCh chan struct{}
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// recovery facts, for operators and tests
+	recoveredSnapshot uint64
+	recoveredSegments int
+	recoveredRecords  int
+	recoveredTorn     bool
+}
+
+// Open recovers the store held by be — newest snapshot, then replay of
+// every segment above it — and starts journaling new mutations to a
+// fresh segment. A torn final record in the last segment (the
+// footprint of a crash mid-append) is dropped; torn or corrupt data
+// anywhere else fails recovery.
+func Open(be Backend, opts Options) (*Engine, error) {
+	e := &Engine{
+		be:     be,
+		opts:   opts,
+		snapCh: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+
+	snapNum, snapReader, haveSnap, err := be.LoadSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("storage: loading snapshot: %w", err)
+	}
+	var st *credrec.Store
+	if haveSnap {
+		st, err = credrec.ReadSnapshot(snapReader)
+		snapReader.Close()
+		if err != nil {
+			return nil, fmt.Errorf("storage: snapshot %d: %w", snapNum, err)
+		}
+		e.recoveredSnapshot = snapNum
+	} else {
+		st = credrec.NewStore()
+	}
+
+	segs, err := be.ListSegments()
+	if err != nil {
+		return nil, fmt.Errorf("storage: listing segments: %w", err)
+	}
+	// Segments the snapshot covers are garbage a crash prevented the
+	// compactor from deleting; skip them (and finish the delete).
+	var tail []uint64
+	for _, n := range segs {
+		if !haveSnap || n > snapNum {
+			tail = append(tail, n)
+		} else {
+			_ = be.RemoveSegment(n)
+		}
+	}
+	// Only the newest data-bearing segment may be torn: everything
+	// below it was fully written before the next segment was opened.
+	// An empty trailing segment (created by a snapshot whose install
+	// crashed) is fine either way.
+	tornAt := -1
+	for i, n := range tail {
+		r, err := be.OpenSegment(n)
+		if err != nil {
+			return nil, fmt.Errorf("storage: opening segment %d: %w", n, err)
+		}
+		applied, torn, rerr := credrec.ReplayInto(st, r, false)
+		r.Close()
+		if rerr != nil {
+			return nil, fmt.Errorf("storage: segment %d: %w", n, rerr)
+		}
+		if torn {
+			if tornAt >= 0 {
+				return nil, fmt.Errorf("storage: segment %d torn mid-journal: %w", tail[tornAt], credrec.ErrJournalCorrupt)
+			}
+			tornAt = i
+			e.recoveredTorn = true
+		} else if applied > 0 && tornAt >= 0 {
+			return nil, fmt.Errorf("storage: segment %d torn mid-journal: %w", tail[tornAt], credrec.ErrJournalCorrupt)
+		}
+		e.recoveredRecords += applied
+	}
+	e.recoveredSegments = len(tail)
+
+	e.segNum = snapNum
+	if len(segs) > 0 && segs[len(segs)-1] > e.segNum {
+		e.segNum = segs[len(segs)-1]
+	}
+	e.segNum++
+	seg, err := be.CreateSegment(e.segNum)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating segment %d: %w", e.segNum, err)
+	}
+	e.seg = seg
+
+	e.ls = credrec.NewLoggedStoreWith(st, seg, credrec.JournalOptions{
+		Sync: opts.Sync,
+		OnCommit: func(records, bytes int) {
+			e.opsSince.Add(int64(records))
+			e.bytesSince.Add(int64(bytes))
+			if e.due() {
+				select {
+				case e.snapCh <- struct{}{}:
+				default:
+				}
+			}
+		},
+	})
+
+	e.wg.Add(1)
+	go e.snapshotLoop()
+	return e, nil
+}
+
+// Store returns the live, journaling store.
+func (e *Engine) Store() *credrec.LoggedStore { return e.ls }
+
+// Recovered reports what Open rebuilt: the snapshot number used (0 if
+// none), tail segments replayed, records applied from them, and
+// whether a torn final record was dropped.
+func (e *Engine) Recovered() (snapshot uint64, segments, records int, torn bool) {
+	return e.recoveredSnapshot, e.recoveredSegments, e.recoveredRecords, e.recoveredTorn
+}
+
+// due reports whether a snapshot trigger has tripped.
+func (e *Engine) due() bool {
+	if e.opts.SnapshotEveryOps > 0 && e.opsSince.Load() >= int64(e.opts.SnapshotEveryOps) {
+		return true
+	}
+	if e.opts.SnapshotEveryBytes > 0 && e.bytesSince.Load() >= e.opts.SnapshotEveryBytes {
+		return true
+	}
+	return false
+}
+
+// snapshotLoop services automatic snapshot triggers.
+func (e *Engine) snapshotLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.snapCh:
+			if !e.due() {
+				continue
+			}
+			if err := e.Snapshot(); err != nil && err != ErrEngineClosed {
+				if e.opts.OnSnapshotError != nil {
+					e.opts.OnSnapshotError(err)
+				}
+			}
+		}
+	}
+}
+
+// Snapshot compacts now: quiesce the store, make the active segment
+// durable, write a snapshot covering it, roll the journal to a fresh
+// segment, and delete the segments and snapshots the new image
+// obsoletes. On failure the journal keeps running on its old segment
+// and nothing is deleted.
+func (e *Engine) Snapshot() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	if e.opts.SweepBeforeSnapshot {
+		e.ls.Sweep()
+	}
+	var err error
+	e.ls.Snapshot(func() {
+		cur := e.segNum
+		// The snapshot claims to cover segment cur completely; make
+		// the claim true before installing it.
+		if serr := e.seg.Sync(); serr != nil {
+			err = fmt.Errorf("storage: syncing segment %d: %w", cur, serr)
+			return
+		}
+		if werr := e.be.WriteSnapshot(cur, func(w io.Writer) error {
+			return e.ls.WriteSnapshot(w)
+		}); werr != nil {
+			err = fmt.Errorf("storage: writing snapshot %d: %w", cur, werr)
+			return
+		}
+		next := cur + 1
+		seg, cerr := e.be.CreateSegment(next)
+		if cerr != nil {
+			err = fmt.Errorf("storage: creating segment %d: %w", next, cerr)
+			return
+		}
+		_ = e.seg.Close()
+		e.ls.SetSink(seg)
+		e.seg = seg
+		e.segNum = next
+		e.opsSince.Store(0)
+		e.bytesSince.Store(0)
+		// GC: the snapshot supersedes everything at or below cur.
+		if segs, lerr := e.be.ListSegments(); lerr == nil {
+			for _, n := range segs {
+				if n <= cur {
+					_ = e.be.RemoveSegment(n)
+				}
+			}
+		}
+		_ = e.be.RemoveSnapshotsBelow(cur)
+	})
+	return err
+}
+
+// Close drains the journal, stops the background compactor, syncs the
+// active segment and releases the backend.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	close(e.done)
+	e.wg.Wait()
+
+	err := e.ls.Close()
+	if serr := e.seg.Sync(); err == nil && serr != nil {
+		err = serr
+	}
+	if cerr := e.seg.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if berr := e.be.Close(); err == nil && berr != nil {
+		err = berr
+	}
+	return err
+}

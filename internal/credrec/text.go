@@ -1,0 +1,267 @@
+package credrec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The original text journal: one fmt.Fprintf line per mutation under a
+// single mutex, no batching, no sync. It is kept as the measured
+// baseline for the binary group-commit journal (bench_persist_test.go,
+// EXPERIMENTS.md E32) and as the reader for pre-engine journals.
+
+// TextLoggedStore journals mutations of an underlying Store as text
+// lines, one synchronous Fprintf per operation. Deprecated in favour
+// of LoggedStore; retained as the performance baseline and for
+// migrating old journals (ReplayText).
+type TextLoggedStore struct {
+	*Store
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTextLoggedStore wraps an empty store with a text journal writer.
+func NewTextLoggedStore(w io.Writer) *TextLoggedStore {
+	return &TextLoggedStore{Store: NewStore(), w: w}
+}
+
+// log appends one journal line; caller holds ls.mu.
+func (ls *TextLoggedStore) log(format string, args ...any) {
+	fmt.Fprintf(ls.w, format+"\n", args...)
+}
+
+// Snapshot runs f with the journal lock held and no mutation in flight.
+func (ls *TextLoggedStore) Snapshot(f func()) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	f()
+}
+
+// NewFact journals and performs.
+func (ls *TextLoggedStore) NewFact(s State) Ref {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.log("fact %d", int(s))
+	return ls.Store.NewFact(s)
+}
+
+// NewExternal journals and performs.
+func (ls *TextLoggedStore) NewExternal(source string, s State) Ref {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.log("ext %q %d", source, int(s))
+	return ls.Store.NewExternal(source, s)
+}
+
+// NewDerived journals and performs.
+func (ls *TextLoggedStore) NewDerived(op Op, parents ...Parent) Ref {
+	var b strings.Builder
+	fmt.Fprintf(&b, "derived %d", int(op))
+	for _, p := range parents {
+		neg := 0
+		if p.Negated {
+			neg = 1
+		}
+		fmt.Fprintf(&b, " %d:%d", p.Ref.Uint64(), neg)
+	}
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.log("%s", b.String())
+	return ls.Store.NewDerived(op, parents...)
+}
+
+// SetState performs and, on success, journals.
+func (ls *TextLoggedStore) SetState(ref Ref, s State) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.SetState(ref, s); err != nil {
+		return err
+	}
+	ls.log("set %d %d", ref.Uint64(), int(s))
+	return nil
+}
+
+// Invalidate performs and, on success, journals.
+func (ls *TextLoggedStore) Invalidate(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.Invalidate(ref); err != nil {
+		return err
+	}
+	ls.log("invalidate %d", ref.Uint64())
+	return nil
+}
+
+// MakePermanent performs and, on success, journals.
+func (ls *TextLoggedStore) MakePermanent(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.MakePermanent(ref); err != nil {
+		return err
+	}
+	ls.log("permanent %d", ref.Uint64())
+	return nil
+}
+
+// MarkDirectUse performs and, on success, journals.
+func (ls *TextLoggedStore) MarkDirectUse(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.MarkDirectUse(ref); err != nil {
+		return err
+	}
+	ls.log("directuse %d", ref.Uint64())
+	return nil
+}
+
+// MarkNotify performs and, on success, journals.
+func (ls *TextLoggedStore) MarkNotify(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.MarkNotify(ref); err != nil {
+		return err
+	}
+	ls.log("notify %d", ref.Uint64())
+	return nil
+}
+
+// MarkAutoRevoke performs and, on success, journals.
+func (ls *TextLoggedStore) MarkAutoRevoke(ref Ref) error {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if err := ls.Store.MarkAutoRevoke(ref); err != nil {
+		return err
+	}
+	ls.log("autorevoke %d", ref.Uint64())
+	return nil
+}
+
+// Sweep journals and performs.
+func (ls *TextLoggedStore) Sweep() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.log("sweep")
+	return ls.Store.Sweep()
+}
+
+// ReplayText rebuilds a store by re-executing a text journal written by
+// TextLoggedStore (the pre-engine on-disk format).
+func ReplayText(r io.Reader) (*Store, error) {
+	st := NewStore()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		bad := func(err error) error {
+			return fmt.Errorf("credrec: journal line %d (%q): %v", line, text, err)
+		}
+		argInt := func(i int) (uint64, error) {
+			if i >= len(fields) {
+				return 0, fmt.Errorf("missing field %d", i)
+			}
+			return strconv.ParseUint(fields[i], 10, 64)
+		}
+		switch fields[0] {
+		case "fact":
+			s, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			st.NewFact(State(s))
+		case "ext":
+			if len(fields) < 3 {
+				return nil, bad(fmt.Errorf("want source and state"))
+			}
+			source, err := strconv.Unquote(fields[1])
+			if err != nil {
+				return nil, bad(err)
+			}
+			s, err := argInt(2)
+			if err != nil {
+				return nil, bad(err)
+			}
+			st.NewExternal(source, State(s))
+		case "derived":
+			op, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			var parents []Parent
+			for _, f := range fields[2:] {
+				refStr, negStr, ok := strings.Cut(f, ":")
+				if !ok {
+					return nil, bad(fmt.Errorf("bad parent %q", f))
+				}
+				u, err := strconv.ParseUint(refStr, 10, 64)
+				if err != nil {
+					return nil, bad(err)
+				}
+				parents = append(parents, Parent{Ref: RefFromUint64(u), Negated: negStr == "1"})
+			}
+			st.NewDerived(Op(op), parents...)
+		case "set":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			s, err := argInt(2)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.SetState(RefFromUint64(u), State(s)); err != nil {
+				return nil, bad(err)
+			}
+		case "invalidate":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.Invalidate(RefFromUint64(u)); err != nil {
+				return nil, bad(err)
+			}
+		case "permanent":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			if err := st.MakePermanent(RefFromUint64(u)); err != nil {
+				return nil, bad(err)
+			}
+		case "directuse", "notify", "autorevoke":
+			u, err := argInt(1)
+			if err != nil {
+				return nil, bad(err)
+			}
+			ref := RefFromUint64(u)
+			var merr error
+			switch fields[0] {
+			case "directuse":
+				merr = st.MarkDirectUse(ref)
+			case "notify":
+				merr = st.MarkNotify(ref)
+			case "autorevoke":
+				merr = st.MarkAutoRevoke(ref)
+			}
+			if merr != nil {
+				return nil, bad(merr)
+			}
+		case "sweep":
+			st.Sweep()
+		default:
+			return nil, bad(fmt.Errorf("unknown op"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

@@ -1,0 +1,335 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"oasis/internal/credrec"
+	"oasis/internal/credrec/storage"
+)
+
+// Crash-consistency suite for the persistence engine. The Memory
+// backend models durability exactly — a synced watermark per segment,
+// advanced only by fsync — so a "crash" is a pure function: Crash(extra)
+// yields the bytes a power loss would leave. Each scenario executes a
+// deterministic operation script, kills the engine at every possible
+// point, recovers, and asserts:
+//
+//   - safety: the recovered store equals the fault-free store after
+//     some durable prefix of the script (exactly the completed prefix
+//     under SyncAlways), so no revocation a client saw acknowledged is
+//     forgotten;
+//   - convergence: replaying the remainder of the script on the
+//     recovered store ends in the byte-identical image of a run that
+//     never crashed — the same obligation the partition suite
+//     (chaos_test.go) checks for network faults, here for storage
+//     faults.
+
+// pstep is one scripted operation. refs accumulates every minted
+// reference; determinism of the allocator guarantees the same script
+// mints the same refs in every store.
+type pstep struct {
+	name string
+	run  func(r credrec.Recorder, refs *[]credrec.Ref)
+}
+
+func mint(ref credrec.Ref, refs *[]credrec.Ref) { *refs = append(*refs, ref) }
+
+func at(refs *[]credrec.Ref, i int) credrec.Ref { return (*refs)[i%len(*refs)] }
+
+// persistScript is a fixed workload touching every journaled operation:
+// allocation, cascade revocation, permanence, sweeps and source-wide
+// transitions. Every step journals exactly one record — the batched
+// kill-point test depends on that, because a group-commit batch can end
+// between any two records and recovery must land on a step boundary.
+func persistScript() []pstep {
+	var s []pstep
+	add := func(name string, run func(r credrec.Recorder, refs *[]credrec.Ref)) {
+		s = append(s, pstep{name, run})
+	}
+	add("ext-login", func(r credrec.Recorder, refs *[]credrec.Ref) { mint(r.NewExternal("login", credrec.True), refs) })
+	add("fact-0", func(r credrec.Recorder, refs *[]credrec.Ref) { mint(r.NewFact(credrec.True), refs) })
+	for i := 0; i < 6; i++ {
+		i := i
+		add(fmt.Sprintf("derive-%d", i), func(r credrec.Recorder, refs *[]credrec.Ref) {
+			mint(r.NewDerived(credrec.OpAnd, credrec.Of(at(refs, i)), credrec.Of(at(refs, i+1))), refs)
+		})
+		add(fmt.Sprintf("use-%d", i), func(r credrec.Recorder, refs *[]credrec.Ref) {
+			_ = r.MarkDirectUse(at(refs, len(*refs)-1))
+		})
+	}
+	add("revoke-2", func(r credrec.Recorder, refs *[]credrec.Ref) { _ = r.Invalidate(at(refs, 2)) })
+	add("flip-3-false", func(r credrec.Recorder, refs *[]credrec.Ref) { _ = r.SetState(at(refs, 3), credrec.False) })
+	add("flip-3-true", func(r credrec.Recorder, refs *[]credrec.Ref) { _ = r.SetState(at(refs, 3), credrec.True) })
+	add("permanent-4", func(r credrec.Recorder, refs *[]credrec.Ref) { _ = r.MakePermanent(at(refs, 4)) })
+	add("sweep-1", func(r credrec.Recorder, refs *[]credrec.Ref) { r.Sweep() })
+	for i := 0; i < 4; i++ {
+		i := i
+		add(fmt.Sprintf("fact-reuse-%d", i), func(r credrec.Recorder, refs *[]credrec.Ref) {
+			mint(r.NewFact(credrec.True), refs)
+		})
+	}
+	add("suspect-login", func(r credrec.Recorder, refs *[]credrec.Ref) { r.MarkSourceUnknown("login") })
+	add("failsafe-login", func(r credrec.Recorder, refs *[]credrec.Ref) { r.MarkSourceFailsafe("login") })
+	add("resync-login", func(r credrec.Recorder, refs *[]credrec.Ref) {
+		for _, ref := range r.ExternalRefs("login") {
+			_ = r.SetState(ref, credrec.True)
+		}
+	})
+	add("revoke-5", func(r credrec.Recorder, refs *[]credrec.Ref) { _ = r.Invalidate(at(refs, 5)) })
+	add("sweep-2", func(r credrec.Recorder, refs *[]credrec.Ref) { r.Sweep() })
+	add("fact-final", func(r credrec.Recorder, refs *[]credrec.Ref) { mint(r.NewFact(credrec.Unknown), refs) })
+	return s
+}
+
+// prefixImages runs the script on a plain in-memory store, capturing
+// the image after every step: prefixImages[k] is the fault-free state
+// once steps < k have executed.
+func prefixImages(script []pstep) [][]byte {
+	st := credrec.NewStore()
+	var refs []credrec.Ref
+	images := make([][]byte, 0, len(script)+1)
+	images = append(images, st.Image())
+	for _, step := range script {
+		step.run(st, &refs)
+		images = append(images, st.Image())
+	}
+	return images
+}
+
+// runPrefix executes steps < k on r, returning the accumulated refs.
+func runPrefix(script []pstep, r credrec.Recorder, k int) []credrec.Ref {
+	var refs []credrec.Ref
+	for _, step := range script[:k] {
+		step.run(r, &refs)
+	}
+	return refs
+}
+
+// TestKillPointsSyncAlways crashes after every step under SyncAlways.
+// The durable prefix is exactly the completed steps, so recovery must
+// land on prefix image k — and finishing the script must converge to
+// the fault-free final image.
+func TestKillPointsSyncAlways(t *testing.T) {
+	script := persistScript()
+	images := prefixImages(script)
+	// Snapshot+compaction at this step exercises snapshot-plus-tail
+	// recovery for every later kill point.
+	const snapshotAt = 9
+
+	for k := 0; k <= len(script); k++ {
+		be := storage.NewMemory()
+		eng, err := storage.Open(be, storage.Options{Sync: credrec.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := runPrefix(script, eng.Store(), min(k, snapshotAt))
+		if k > snapshotAt {
+			if err := eng.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+			for _, step := range script[snapshotAt:k] {
+				step.run(eng.Store(), &refs)
+			}
+		}
+
+		// Power loss. The engine object is abandoned, as a crash would.
+		crashed := be.Crash(0)
+		eng2, err := storage.Open(crashed, storage.Options{})
+		if err != nil {
+			t.Fatalf("kill after step %d: recovery failed: %v", k, err)
+		}
+		if got := eng2.Store().Image(); !bytes.Equal(got, images[k]) {
+			t.Fatalf("kill after step %d (%q): recovered image is not the durable prefix\n-- recovered --\n%s\n-- want --\n%s",
+				k, stepName(script, k), got, images[k])
+		}
+		// Convergence: finish the script on the recovered store. The ref
+		// table is rebuilt on a scratch store — allocation determinism
+		// makes it identical to the one the crashed run held.
+		cont := runPrefix(script, credrec.NewStore(), k)
+		for _, step := range script[k:] {
+			step.run(eng2.Store(), &cont)
+		}
+		if got := eng2.Store().Image(); !bytes.Equal(got, images[len(script)]) {
+			t.Fatalf("kill after step %d: post-recovery run diverged from fault-free image", k)
+		}
+		if err := eng2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func stepName(script []pstep, k int) string {
+	if k == 0 {
+		return "start"
+	}
+	return script[k-1].name
+}
+
+// TestKillPointsSyncBatched crashes under the batched policy, where the
+// durable prefix is whatever the group committer had fsynced. Recovery
+// must land on SOME prefix image — never a state the fault-free run
+// cannot reach (no reordering, no partial application) — and converge
+// once the lost tail is re-run.
+func TestKillPointsSyncBatched(t *testing.T) {
+	script := persistScript()
+	images := prefixImages(script)
+	for k := 0; k <= len(script); k++ {
+		be := storage.NewMemory()
+		eng, err := storage.Open(be, storage.Options{Sync: credrec.SyncBatched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runPrefix(script, eng.Store(), k)
+		crashed := be.Crash(0)
+		eng2, err := storage.Open(crashed, storage.Options{})
+		if err != nil {
+			t.Fatalf("kill after step %d: recovery failed: %v", k, err)
+		}
+		got := eng2.Store().Image()
+		prefix := -1
+		for j := 0; j <= k; j++ {
+			if bytes.Equal(got, images[j]) {
+				prefix = j
+				break
+			}
+		}
+		if prefix < 0 {
+			t.Fatalf("kill after step %d: recovered image matches no durable prefix", k)
+		}
+		// Converge from the surviving prefix.
+		cont := runPrefix(script, credrec.NewStore(), prefix)
+		for _, step := range script[prefix:] {
+			step.run(eng2.Store(), &cont)
+		}
+		if !bytes.Equal(eng2.Store().Image(), images[len(script)]) {
+			t.Fatalf("kill after step %d: convergence from prefix %d failed", k, prefix)
+		}
+		if err := eng2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestKillPointTornTail crashes with partial unsynced bytes surviving,
+// producing a torn final record at every byte boundary. Recovery must
+// drop the tear, land on a durable prefix, and stay deterministic.
+func TestKillPointTornTail(t *testing.T) {
+	script := persistScript()
+	images := prefixImages(script)
+	const k = 12 // kill point; unsynced tail torn at every length
+	for extra := 0; extra < 64; extra++ {
+		be := storage.NewMemory()
+		eng, err := storage.Open(be, storage.Options{Sync: credrec.SyncNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runPrefix(script, eng.Store(), k)
+		if err := eng.Store().Sync(); err != nil { // drain the queue; fsync never happens under SyncNone
+			t.Fatal(err)
+		}
+		crashed := be.Crash(extra)
+		eng2, err := storage.Open(crashed, storage.Options{})
+		if err != nil {
+			t.Fatalf("extra=%d: recovery failed: %v", extra, err)
+		}
+		got := eng2.Store().Image()
+		ok := false
+		for j := 0; j <= k; j++ {
+			if bytes.Equal(got, images[j]) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("extra=%d: torn recovery matches no durable prefix", extra)
+		}
+		// Determinism: the same crash recovers to the same image twice.
+		eng3, err := storage.Open(be.Crash(extra), storage.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(eng3.Store().Image(), got) {
+			t.Fatalf("extra=%d: identical crashes recovered differently", extra)
+		}
+		eng2.Close()
+		eng3.Close()
+	}
+}
+
+// TestKillPointMidSnapshot crashes during snapshot installation: the
+// install is atomic, so recovery sees the old snapshot (or none) plus
+// the intact journal — nothing is lost, nothing is double-applied.
+func TestKillPointMidSnapshot(t *testing.T) {
+	script := persistScript()
+	images := prefixImages(script)
+	const k = 14
+
+	be := storage.NewMemory()
+	eng, err := storage.Open(be, storage.Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := runPrefix(script, eng.Store(), k)
+	be.FailNextSnapshot()
+	if err := eng.Snapshot(); err == nil {
+		t.Fatal("injected snapshot failure not surfaced")
+	}
+	// The store keeps journaling after the failed install.
+	for _, step := range script[k:] {
+		step.run(eng.Store(), &refs)
+	}
+
+	eng2, err := storage.Open(be.Crash(0), storage.Options{})
+	if err != nil {
+		t.Fatalf("recovery after failed snapshot install: %v", err)
+	}
+	defer eng2.Close()
+	if snap, _, _, _ := eng2.Recovered(); snap != 0 {
+		t.Fatalf("recovered from snapshot %d that never installed", snap)
+	}
+	if !bytes.Equal(eng2.Store().Image(), images[len(script)]) {
+		t.Fatal("recovery after failed snapshot install lost operations")
+	}
+}
+
+// TestRevocationsStayRevoked is the paper's §4.10 safety obligation
+// against storage faults: once a revocation has been acknowledged under
+// SyncAlways, EVERY subsequent crash/recovery — at any kill point, with
+// any torn tail — yields a store in which the credential is still
+// invalid.
+func TestRevocationsStayRevoked(t *testing.T) {
+	for extra := 0; extra < 32; extra++ {
+		be := storage.NewMemory()
+		eng, err := storage.Open(be, storage.Options{Sync: credrec.SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls := eng.Store()
+		root := ls.NewFact(credrec.True)
+		member := ls.NewDerived(credrec.OpAnd, credrec.Of(root))
+		if err := ls.MarkDirectUse(member); err != nil {
+			t.Fatal(err)
+		}
+		if err := ls.Invalidate(root); err != nil {
+			t.Fatal(err) // acknowledged: durable by SyncAlways
+		}
+		// Unsynced noise after the acknowledgement, then a crash that
+		// preserves an arbitrary slice of it.
+		for i := 0; i < 8; i++ {
+			ls.NewFact(credrec.True)
+		}
+		eng2, err := storage.Open(be.Crash(extra), storage.Options{})
+		if err != nil {
+			t.Fatalf("extra=%d: %v", extra, err)
+		}
+		if eng2.Store().Valid(member) {
+			t.Fatalf("extra=%d: acknowledged revocation forgotten after crash", extra)
+		}
+		if s, _, _ := eng2.Store().Resolve(member); s != credrec.False {
+			t.Fatalf("extra=%d: revoked member resolves %v", extra, s)
+		}
+		eng2.Close()
+	}
+}

@@ -63,6 +63,12 @@ type Options struct {
 	// (RDLAuto) uses the compiled execution plan unless the
 	// OASIS_RDL_INTERP=1 environment variable forces the interpreter.
 	RDLMode RDLMode
+	// Store, if set, is the credential-record store the service runs
+	// on — typically a recovered, journaling store from the
+	// persistence engine (internal/credrec/storage), so certificates
+	// issued before a crash validate after recovery and revocations
+	// stay revoked. Nil means a fresh in-memory store.
+	Store credrec.Recorder
 }
 
 // RDLMode selects the role-entry rule evaluation strategy.
@@ -100,7 +106,7 @@ type Service struct {
 	sigs   *cert.VerifyCache // cross-instance verified-signature cache
 	opts   Options
 
-	store    *credrec.Store
+	store    credrec.Recorder
 	groups   *credrec.Groups
 	broker   *event.Broker
 	receiver *event.Receiver
@@ -205,7 +211,7 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		signer:        opts.Signer,
 		sigs:          cert.NewVerifyCache(),
 		opts:          opts,
-		store:         credrec.NewStore(),
+		store:         opts.Store,
 		rolefiles:     make(map[string]*rolefileState),
 		typeCache:     make(map[string][]value.Type),
 		watchSessions: make(map[string]uint64),
@@ -213,6 +219,9 @@ func New(name string, clk clock.Clock, net *bus.Network, opts Options) (*Service
 		suspicion:     make(map[string]SourceState),
 		resyncing:     make(map[string]bool),
 		rdlMode:       mode,
+	}
+	if s.store == nil {
+		s.store = credrec.NewStore()
 	}
 	s.groups = credrec.NewGroups(s.store)
 	s.broker = event.NewBroker(name, clk, event.BrokerOptions{})
@@ -238,7 +247,7 @@ func (s *Service) Name() string { return s.name }
 
 // Store exposes the credential record store (used by case-study layers
 // such as the MSSA that manage their own policy records).
-func (s *Service) Store() *credrec.Store { return s.store }
+func (s *Service) Store() credrec.Recorder { return s.store }
 
 // Groups exposes the group membership manager.
 func (s *Service) Groups() *credrec.Groups { return s.groups }

@@ -78,6 +78,11 @@ func TestConcurrentValidateRevokeRoll(t *testing.T) {
 					t.Errorf("stable certificate rejected: %v", err)
 					return
 				}
+				// Sample the acknowledgement before validating: only a
+				// validation that *started* after RevokeDirect returned
+				// is required to see the revocation. Loading afterwards
+				// would flag lookups that raced ahead of the revoke.
+				wasRevoked := revoked.Load()
 				err := svc.Validate(victim, client)
 				switch {
 				case err == nil:
@@ -85,7 +90,7 @@ func TestConcurrentValidateRevokeRoll(t *testing.T) {
 						t.Error("victim validated after being seen revoked (torn state)")
 						return
 					}
-					if revoked.Load() {
+					if wasRevoked {
 						t.Error("victim validated after RevokeDirect returned")
 						return
 					}
