@@ -74,6 +74,7 @@ type journalReader struct {
 	pay bytes.Reader
 	dec *bus.WireDec
 	buf []byte
+	off int64 // stream offset just past the last good record
 }
 
 func newJournalReader(r io.Reader) *journalReader {
@@ -109,7 +110,13 @@ func (jr *journalReader) next() ([]byte, error) {
 	}
 	frame := jr.buf[:length+4]
 	if _, err := io.ReadFull(jr.br, frame); err != nil {
-		return nil, errTorn // short frame: the write never finished
+		// Only end-of-stream inside the frame is a torn tail; a device
+		// read error must fail loudly, not silently drop committed
+		// records as if they were never written.
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errTorn // short frame: the write never finished
+		}
+		return nil, fmt.Errorf("credrec: journal read: %w", err)
 	}
 	want := binary.LittleEndian.Uint32(frame[:4])
 	payload := frame[4:]
@@ -123,7 +130,18 @@ func (jr *journalReader) next() ([]byte, error) {
 		}
 		return nil, fmt.Errorf("%w: record checksum mismatch", ErrJournalCorrupt)
 	}
+	jr.off += int64(uvarintLen(length)) + 4 + int64(length)
 	return payload, nil
+}
+
+// uvarintLen is the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
 }
 
 // apply decodes one record payload and applies it to st.
@@ -265,25 +283,35 @@ func (jr *journalReader) apply(st *Store, payload []byte) error {
 // passes strict for every segment except the last, because only the
 // segment being appended to at the crash can legitimately be torn.
 func ReplayInto(st *Store, r io.Reader, strict bool) (applied int, torn bool, err error) {
+	applied, _, torn, err = ReplayIntoOffset(st, r, strict)
+	return applied, torn, err
+}
+
+// ReplayIntoOffset is ReplayInto, additionally reporting the stream
+// offset just past the last applied record — the length a torn segment
+// can be truncated to so its tear is not mistaken for mid-journal
+// corruption by a later recovery.
+func ReplayIntoOffset(st *Store, r io.Reader, strict bool) (applied int, clean int64, torn bool, err error) {
 	jr := newJournalReader(r)
 	for {
 		payload, err := jr.next()
 		if err == io.EOF {
-			return applied, false, nil
+			return applied, clean, false, nil
 		}
 		if err == errTorn {
 			if strict {
-				return applied, true, fmt.Errorf("%w: record %d torn mid-journal", ErrJournalCorrupt, applied+1)
+				return applied, clean, true, fmt.Errorf("%w: record %d torn mid-journal", ErrJournalCorrupt, applied+1)
 			}
-			return applied, true, nil
+			return applied, clean, true, nil
 		}
 		if err != nil {
-			return applied, false, err
+			return applied, clean, false, err
 		}
 		if err := jr.apply(st, payload); err != nil {
-			return applied, false, fmt.Errorf("%w: record %d: %v", ErrJournalCorrupt, applied+1, err)
+			return applied, clean, false, fmt.Errorf("%w: record %d: %v", ErrJournalCorrupt, applied+1, err)
 		}
 		applied++
+		clean = jr.off
 	}
 }
 

@@ -335,7 +335,9 @@ func (ls *LoggedStore) NewFact(s State) Ref {
 	ls.scratch.Reset()
 	ls.enc.PutByte(opFact)
 	ls.enc.PutUvarint(uint64(s))
-	ls.waitLocked(ls.enqueueLocked())
+	if ls.waitLocked(ls.enqueueLocked()) != nil {
+		return Ref{} // SyncAlways: the record never became durable
+	}
 	return ref
 }
 
@@ -351,7 +353,9 @@ func (ls *LoggedStore) NewExternal(source string, s State) Ref {
 	ls.enc.PutByte(opExternal)
 	ls.enc.PutString(source)
 	ls.enc.PutUvarint(uint64(s))
-	ls.waitLocked(ls.enqueueLocked())
+	if ls.waitLocked(ls.enqueueLocked()) != nil {
+		return Ref{} // SyncAlways: the record never became durable
+	}
 	return ref
 }
 
@@ -371,7 +375,9 @@ func (ls *LoggedStore) NewDerived(op Op, parents ...Parent) Ref {
 		ls.enc.PutUvarint(p.Ref.Uint64())
 		ls.enc.PutBool(p.Negated)
 	}
-	ls.waitLocked(ls.enqueueLocked())
+	if ls.waitLocked(ls.enqueueLocked()) != nil {
+		return Ref{} // SyncAlways: the record never became durable
+	}
 	return ref
 }
 

@@ -259,6 +259,68 @@ func TestJournalWriteErrorFailStop(t *testing.T) {
 	}
 }
 
+// TestSyncAlwaysAllocatorFailureReturnsZeroRef pins the other half of
+// the SyncAlways contract: the allocator whose own record fails to
+// reach stable storage must not hand out a live Ref — the documented
+// failure convention is the zero Ref, and a live Ref here would name a
+// record that vanishes at the next recovery.
+func TestSyncAlwaysAllocatorFailureReturnsZeroRef(t *testing.T) {
+	sink := &failingSink{failAt: 2}
+	ls := NewLoggedStoreWith(NewStore(), sink, JournalOptions{Sync: SyncAlways})
+	defer ls.Close()
+	if ref := ls.NewFact(True); (ref == Ref{}) {
+		t.Fatal("healthy allocation returned the zero Ref")
+	}
+	// SyncAlways commits each mutation as its own batch, so this is the
+	// second write — the failing one.
+	if ref := ls.NewExternal("login", True); (ref != Ref{}) {
+		t.Fatalf("allocator returned live ref %v for a record that never reached stable storage", ref)
+	}
+	if ls.Err() == nil {
+		t.Fatal("store did not fail-stop")
+	}
+	if ref := ls.NewDerived(OpAnd); (ref != Ref{}) {
+		t.Fatalf("fail-stopped store allocated %v", ref)
+	}
+}
+
+// errReader yields its bytes, then a device error instead of io.EOF.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestReplayReadErrorIsNotTorn: a genuine device read error mid-record
+// must fail recovery loudly. Mapping it to a torn tail would silently
+// drop committed — possibly acknowledged — records.
+func TestReplayReadErrorIsNotTorn(t *testing.T) {
+	full := journalBytes(t, func(ls *LoggedStore) {
+		a := ls.NewFact(True)
+		_ = ls.Invalidate(a)
+	})
+	devErr := errors.New("device read error")
+	// End the readable bytes inside the final record's frame so the
+	// failure lands in io.ReadFull — the path that used to map every
+	// error to a torn tail.
+	st := NewStore()
+	applied, torn, err := ReplayInto(st, &errReader{data: full[:len(full)-2], err: devErr}, false)
+	if torn {
+		t.Fatalf("device error reported as torn tail (applied %d)", applied)
+	}
+	if !errors.Is(err, devErr) {
+		t.Fatalf("replay error %v does not wrap the device error", err)
+	}
+}
+
 func TestSyncAlwaysDurableOnReturn(t *testing.T) {
 	sink := &failingSink{failAt: 1 << 30}
 	ls := NewLoggedStoreWith(NewStore(), sink, JournalOptions{Sync: SyncAlways})

@@ -114,7 +114,7 @@ func Open(be Backend, opts Options) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("storage: opening segment %d: %w", n, err)
 		}
-		applied, torn, rerr := credrec.ReplayInto(st, r, false)
+		applied, clean, torn, rerr := credrec.ReplayIntoOffset(st, r, false)
 		r.Close()
 		if rerr != nil {
 			return nil, fmt.Errorf("storage: segment %d: %w", n, rerr)
@@ -125,6 +125,14 @@ func Open(be Backend, opts Options) (*Engine, error) {
 			}
 			tornAt = i
 			e.recoveredTorn = true
+			// Cut the tear off the medium. Without this, the next
+			// recovery would see the (still torn) segment followed by a
+			// data-bearing successor and refuse it as mid-journal
+			// corruption — one crash plus one ordinary restart would
+			// brick the store.
+			if terr := be.TruncateSegment(n, clean); terr != nil {
+				return nil, fmt.Errorf("storage: truncating torn segment %d: %w", n, terr)
+			}
 		} else if applied > 0 && tornAt >= 0 {
 			return nil, fmt.Errorf("storage: segment %d torn mid-journal: %w", tail[tornAt], credrec.ErrJournalCorrupt)
 		}
@@ -204,10 +212,12 @@ func (e *Engine) snapshotLoop() {
 }
 
 // Snapshot compacts now: quiesce the store, make the active segment
-// durable, write a snapshot covering it, roll the journal to a fresh
-// segment, and delete the segments and snapshots the new image
-// obsoletes. On failure the journal keeps running on its old segment
-// and nothing is deleted.
+// durable, roll the journal to a fresh segment, write a snapshot
+// covering everything before the roll, and delete the segments and
+// snapshots the new image obsoletes. On failure nothing is deleted and
+// the journal keeps running — on its old segment if the roll failed,
+// on the new one if only the snapshot install did; either way recovery
+// still replays every committed record.
 func (e *Engine) Snapshot() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -220,18 +230,17 @@ func (e *Engine) Snapshot() error {
 	var err error
 	e.ls.Snapshot(func() {
 		cur := e.segNum
-		// The snapshot claims to cover segment cur completely; make
-		// the claim true before installing it.
+		// The snapshot will claim to cover segment cur completely; make
+		// the claim true before anything is installed.
 		if serr := e.seg.Sync(); serr != nil {
 			err = fmt.Errorf("storage: syncing segment %d: %w", cur, serr)
 			return
 		}
-		if werr := e.be.WriteSnapshot(cur, func(w io.Writer) error {
-			return e.ls.WriteSnapshot(w)
-		}); werr != nil {
-			err = fmt.Errorf("storage: writing snapshot %d: %w", cur, werr)
-			return
-		}
+		// Roll to the next segment BEFORE installing the snapshot. The
+		// quiesced state corresponds to the end of cur either way, but
+		// in the other order a failed roll would leave the journal
+		// appending to a segment an installed snapshot claims to cover
+		// — and the next recovery would delete those committed records.
 		next := cur + 1
 		seg, cerr := e.be.CreateSegment(next)
 		if cerr != nil {
@@ -242,6 +251,15 @@ func (e *Engine) Snapshot() error {
 		e.ls.SetSink(seg)
 		e.seg = seg
 		e.segNum = next
+		if werr := e.be.WriteSnapshot(cur, func(w io.Writer) error {
+			return e.ls.WriteSnapshot(w)
+		}); werr != nil {
+			// Harmless: no snapshot, so recovery replays segments
+			// <= cur plus the new tail. The since-counters keep
+			// accumulating, so the next trigger retries promptly.
+			err = fmt.Errorf("storage: writing snapshot %d: %w", cur, werr)
+			return
+		}
 		e.opsSince.Store(0)
 		e.bytesSince.Store(0)
 		// GC: the snapshot supersedes everything at or below cur.

@@ -155,7 +155,9 @@ func TestEngineMidSnapshotCrash(t *testing.T) {
 	img := e.Store().Image()
 
 	// The snapshot install fails (crash before rename); the engine
-	// reports it and keeps journaling on the old segment.
+	// reports it and keeps journaling (on the already-rolled segment —
+	// the roll happens before the install precisely so a failure here
+	// cannot orphan committed records).
 	be.FailNextSnapshot()
 	if err := e.Snapshot(); err == nil {
 		t.Fatal("injected snapshot failure not reported")
@@ -230,6 +232,166 @@ func TestEngineTornFinalRecord(t *testing.T) {
 		t.Fatal("torn final record not reported")
 	}
 	checkRecovered(t, e2.Store(), kept, revoked)
+}
+
+// TestEngineTornRecoveryThenRestart is the double-recovery obligation:
+// recovering from a torn tail must truncate the tear off the medium, so
+// that journaling new records and restarting again — with no snapshot
+// in between — still recovers. Without truncation the second Open sees
+// the old tear followed by a data-bearing segment and refuses it as
+// mid-journal corruption.
+func TestEngineTornRecoveryThenRestart(t *testing.T) {
+	be := NewMemory()
+	e, err := Open(be, Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, revoked := populate(e.Store())
+
+	// Crash with half a frame appended to the active segment.
+	segs, _ := be.ListSegments()
+	active := segs[len(segs)-1]
+	crashed := be.Crash(0)
+	cs := crashed.segs[active]
+	cs.data = append(cs.data, 0x09, 0x00, 0x00)
+	cs.synced = len(cs.data)
+
+	e2, err := Open(crashed, Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, torn := e2.Recovered(); !torn {
+		t.Fatal("torn final record not reported")
+	}
+	after := e2.Store().NewFact(credrec.True)
+	if err := e2.Store().MarkDirectUse(after); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ordinary restart (no crash, no snapshot). Must not fail, and must
+	// not report the already-truncated tear again.
+	e3, err := Open(crashed, Options{})
+	if err != nil {
+		t.Fatalf("restart after torn recovery failed: %v", err)
+	}
+	defer e3.Close()
+	if _, _, _, torn := e3.Recovered(); torn {
+		t.Fatal("tear survived the first recovery")
+	}
+	checkRecovered(t, e3.Store(), kept, revoked)
+	if !e3.Store().Valid(after) {
+		t.Fatal("post-tear mutation lost")
+	}
+}
+
+// TestDirTornRecoveryThenRestart exercises the same double recovery on
+// the filesystem backend (os.Truncate path).
+func TestDirTornRecoveryThenRestart(t *testing.T) {
+	dir := t.TempDir()
+	be, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(be, Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, revoked := populate(e.Store())
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest segment: half a frame at the tail.
+	segs, _ := be.ListSegments()
+	f, err := os.OpenFile(be.segPath(segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x09, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	be2, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(be2, Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, torn := e2.Recovered(); !torn {
+		t.Fatal("torn final record not reported")
+	}
+	after := e2.Store().NewFact(credrec.True)
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	be3, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Open(be3, Options{})
+	if err != nil {
+		t.Fatalf("restart after torn recovery failed: %v", err)
+	}
+	defer e3.Close()
+	if _, _, _, torn := e3.Recovered(); torn {
+		t.Fatal("tear survived the first recovery")
+	}
+	checkRecovered(t, e3.Store(), kept, revoked)
+	if !e3.Store().Valid(after) {
+		t.Fatal("post-tear mutation lost")
+	}
+}
+
+// TestEngineSegmentRollFailureInstallsNoSnapshot pins the Snapshot
+// ordering: if the roll to a fresh segment fails, no snapshot may be
+// installed — one covering the still-active segment would make the
+// next recovery delete committed (even acknowledged) records.
+func TestEngineSegmentRollFailureInstallsNoSnapshot(t *testing.T) {
+	be := NewMemory()
+	e, err := Open(be, Options{Sync: credrec.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, revoked := populate(e.Store())
+
+	be.FailNextCreateSegment()
+	if err := e.Snapshot(); err == nil {
+		t.Fatal("injected segment-roll failure not reported")
+	}
+	if _, r, ok, _ := be.LoadSnapshot(); ok {
+		r.Close()
+		t.Fatal("snapshot installed despite failed segment roll")
+	}
+
+	// The journal keeps running; everything must survive a crash.
+	after := e.Store().NewFact(credrec.True)
+	if err := e.Store().MarkDirectUse(after); err != nil {
+		t.Fatal(err)
+	}
+	img := e.Store().Image()
+
+	e2, err := Open(be.Crash(0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if !bytes.Equal(e2.Store().Image(), img) {
+		t.Fatal("committed records lost after failed segment roll")
+	}
+	checkRecovered(t, e2.Store(), kept, revoked)
+	if !e2.Store().Valid(after) {
+		t.Fatal("post-failure mutation lost")
+	}
+	// A later snapshot on the survivor succeeds and compacts.
+	if err := e2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestEngineJournalWriteFailureFailsStop(t *testing.T) {

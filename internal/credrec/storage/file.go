@@ -93,6 +93,25 @@ func (d *Dir) CreateSegment(n uint64) (Segment, error) {
 	return f, nil
 }
 
+// TruncateSegment durably truncates segment n to size bytes (recovery
+// cutting a torn tail). Idempotent under crashes: if the fsync never
+// lands, the next recovery finds the same tear and truncates again.
+func (d *Dir) TruncateSegment(n uint64, size int64) error {
+	f, err := os.OpenFile(d.segPath(n), os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if terr := f.Truncate(size); terr != nil {
+		f.Close()
+		return terr
+	}
+	if serr := f.Sync(); serr != nil {
+		f.Close()
+		return serr
+	}
+	return f.Close()
+}
+
 // RemoveSegment deletes segment n.
 func (d *Dir) RemoveSegment(n uint64) error {
 	if err := os.Remove(d.segPath(n)); err != nil && !os.IsNotExist(err) {

@@ -29,6 +29,9 @@ type Memory struct {
 	// installing anything (a crash mid-snapshot: the tmp file is
 	// never renamed).
 	failSnapshot bool
+	// failCreate makes the next CreateSegment fail (an IO error at the
+	// segment-roll point of a snapshot).
+	failCreate bool
 }
 
 type memSegment struct {
@@ -58,6 +61,14 @@ func (m *Memory) FailNextSnapshot() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.failSnapshot = true
+}
+
+// FailNextCreateSegment makes the next CreateSegment fail, modelling an
+// IO error at the segment-roll point of a snapshot.
+func (m *Memory) FailNextCreateSegment() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failCreate = true
 }
 
 // Crash returns the backend a recovery would see after a power loss:
@@ -106,9 +117,30 @@ func (m *Memory) OpenSegment(n uint64) (io.ReadCloser, error) {
 func (m *Memory) CreateSegment(n uint64) (Segment, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.failCreate {
+		m.failCreate = false
+		return nil, fmt.Errorf("storage: injected segment create failure")
+	}
 	s := &memSegment{}
 	m.segs[n] = s
 	return &memSegmentWriter{m: m, s: s}, nil
+}
+
+// TruncateSegment truncates segment n to size bytes.
+func (m *Memory) TruncateSegment(n uint64, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.segs[n]
+	if !ok {
+		return fmt.Errorf("storage: no segment %d", n)
+	}
+	if size < int64(len(s.data)) {
+		s.data = s.data[:size]
+	}
+	if int64(s.synced) > int64(len(s.data)) {
+		s.synced = len(s.data)
+	}
+	return nil
 }
 
 // RemoveSegment deletes segment n.

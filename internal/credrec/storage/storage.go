@@ -44,6 +44,11 @@ type Backend interface {
 	OpenSegment(n uint64) (io.ReadCloser, error)
 	// CreateSegment creates (or truncates) segment n for appending.
 	CreateSegment(n uint64) (Segment, error)
+	// TruncateSegment durably truncates segment n to size bytes. The
+	// engine uses it during recovery to cut a torn tail off the crashed
+	// segment, so a later recovery cannot mistake the tear for
+	// mid-journal corruption; the bytes below size must be preserved.
+	TruncateSegment(n uint64, size int64) error
 	// RemoveSegment deletes segment n.
 	RemoveSegment(n uint64) error
 
