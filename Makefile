@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test test-rdl-diff race chaos bench bench-notify bench-rdl \
-	bench-persist bench-smoke bench-json vet lint ci all help
+	bench-persist bench-smoke bench-json vet lint reach ci all help
 
 all: build vet test
 
@@ -18,7 +18,8 @@ help:
 	@echo "test        full test suite"
 	@echo "race        race-detector suite over the concurrent packages"
 	@echo "chaos       seeded chaos suite (partitions, loss, duplication)"
-	@echo "lint        oasislint + rdlcheck static analysis"
+	@echo "lint        oasislint + rdlcheck static analysis (includes reach)"
+	@echo "reach       rdlcheck -reach scenario reachability over every example"
 	@echo "test-rdl-diff  role entry with the compiled/interpreted differential seam on"
 	@echo "bench       serial + parallel (-cpu 1,4,8) benchmark suites"
 	@echo "bench-notify  notification-plane suite (EXPERIMENTS.md E28)"
@@ -50,7 +51,7 @@ test-rdl-diff:
 race:
 	$(GO) test -race ./internal/bus/... ./internal/event/... \
 		./internal/oasis/... ./internal/credrec/... ./internal/cert/... \
-		./internal/fault/...
+		./internal/fault/... ./cmd/rdlcheck/...
 
 # The seeded chaos suite (internal/fault/chaos_test.go) plus the
 # storage kill-point suite (persist_chaos_test.go): whole deployments
@@ -115,9 +116,24 @@ vet:
 # stdlib go/ast + go/types; rdlcheck analyzes every shipped policy for
 # unrevocable roles, dead rules and unreachable roles. Error-level
 # findings fail the build.
-lint:
+lint: reach
 	$(GO) run ./cmd/oasislint ./internal/... ./cmd/...
 	$(GO) run ./cmd/rdlcheck -q examples/quickstart/*.rdl
 	$(GO) run ./cmd/rdlcheck -q examples/golfclub/*.rdl
 	$(GO) run ./cmd/rdlcheck -q examples/login/*.rdl
 	$(GO) run ./cmd/rdlcheck -q examples/mssa/*.rdl
+
+# Scenario reachability (docs/RDL.md "Reachability analysis"): each
+# example ships a .scn scenario whose expect/possible/deny assertions
+# are proved against the policy's symbolic fixpoint; a failed assertion
+# is an error-level R010 finding, so drift between a policy and its
+# documented access expectations fails the build.
+reach:
+	$(GO) run ./cmd/rdlcheck -reach -q -severity error \
+		examples/quickstart/*.rdl examples/quickstart/*.scn
+	$(GO) run ./cmd/rdlcheck -reach -q -severity error \
+		examples/golfclub/*.rdl examples/golfclub/*.scn
+	$(GO) run ./cmd/rdlcheck -reach -q -severity error \
+		examples/login/*.rdl examples/login/*.scn
+	$(GO) run ./cmd/rdlcheck -reach -q -severity error \
+		examples/mssa/*.rdl examples/mssa/*.scn

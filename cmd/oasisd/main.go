@@ -175,7 +175,13 @@ func run(cfg config) error {
 		if err != nil {
 			return fmt.Errorf("recovering store from %s: %w", cfg.storeDir, err)
 		}
-		defer eng.Close()
+		defer func() {
+			// The close flushes the final group commit; a failure here
+			// means the tail of the journal may not be durable.
+			if err := eng.Close(); err != nil {
+				log.Printf("oasisd: closing store: %v", err)
+			}
+		}()
 		snap, segs, recs, torn := eng.Recovered()
 		log.Printf("oasisd: store %s recovered: snapshot %d, %d tail segment(s), %d record(s) replayed, torn tail: %v",
 			cfg.storeDir, snap, segs, recs, torn)

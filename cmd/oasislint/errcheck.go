@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// busSendFuncs are the notification-plane calls whose error reports a
+// lost or unflushed message; dropping it silently loses notifications.
+var busSendFuncs = map[string]bool{
+	"Flush": true, "flush": true, "enqueue": true,
+}
+
+// lintDroppedErrors reports L005: an error-returning call on the
+// persistence or notification plane whose result is thrown away by an
+// expression, go or defer statement. A dropped journal Write/Sync or
+// segment truncation error means the store silently diverges from disk;
+// a dropped bus flush error silently loses notifications. The blank
+// assignment `_ = call()` stays legal: it marks the discard as a
+// decision rather than an accident.
+//
+// Watched callees: every error-returning function or method declared in
+// internal/credrec/storage (the Backend/Segment/Engine journal
+// surface), and the send-path methods (Flush and the enqueue/flush
+// internals) of internal/bus.
+func lintDroppedErrors(p *pkg, module string, report func(token.Pos, string, string)) {
+	storagePath := module + "/internal/credrec/storage"
+	busPath := module + "/internal/bus"
+
+	check := func(call *ast.CallExpr, how string) {
+		fn := calleeFunc(p, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !lastResultIsError(sig) {
+			return
+		}
+		// Attribute the call to the static receiver's package when there
+		// is one: Segment.Write resolves to the embedded io.Writer, but
+		// what matters is that the value is a storage segment.
+		owner := fn.Pkg().Path()
+		if recv := receiverPath(p, call); recv != "" {
+			owner = recv
+		}
+		switch owner {
+		case storagePath:
+			// every error on the storage surface is a durability signal
+		case busPath:
+			if !busSendFuncs[fn.Name()] {
+				return
+			}
+		default:
+			return
+		}
+		report(call.Pos(), "L005",
+			how+" discards the error from "+shortPkg(owner)+"."+fn.Name()+
+				": handle it or discard explicitly with `_ =`")
+	}
+
+	for _, file := range p.files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.GoStmt:
+				check(s.Call, "go statement")
+			case *ast.DeferStmt:
+				check(s.Call, "defer")
+			}
+			return true
+		})
+	}
+}
+
+// receiverPath returns the package path declaring the static receiver
+// type of a method call, or "" for plain function calls and receivers
+// of unnamed type.
+func receiverPath(p *pkg, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection, ok := p.info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path()
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(p *pkg, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := p.info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := p.info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// lastResultIsError reports whether the signature's final result is the
+// built-in error type (the Go convention for the call's failure
+// report).
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// shortPkg trims an import path to its final element for messages.
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -11,6 +11,9 @@
 //	      while a lock is held (all locks in this repo are leaves)
 //	L004  time.Now and friends outside internal/clock — virtual time
 //	      must flow through clock.Clock so tests stay deterministic
+//	L005  an error from the persistence surface (internal/credrec/storage
+//	      Write/Sync/Truncate/Snapshot/...) or a bus send path dropped on
+//	      the floor; `_ =` marks an accepted discard
 //
 // Test files are not analyzed. Any finding makes the exit status
 // non-zero, so `make lint` gates CI.
@@ -69,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 		lintAtomicMix(p, report)
 		lintLockAcrossSend(p, report)
 		lintTimeNow(p, module, report)
+		lintDroppedErrors(p, module, report)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

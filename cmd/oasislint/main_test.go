@@ -42,33 +42,40 @@ func TestFixtureCoversEveryCheck(t *testing.T) {
 	_ = run([]string{filepath.Join("testdata", "src", "bad")}, &out)
 	got := out.String()
 
-	src, err := os.ReadFile(filepath.Join("testdata", "src", "bad", "bad.go"))
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "src", "bad", "*.go"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	checked := 0
-	for i, line := range strings.Split(string(src), "\n") {
-		lineNo := i + 1
-		_, comment, found := strings.Cut(line, "// ")
-		if !found {
-			continue
+	for _, path := range fixtures {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
 		}
-		switch {
-		case strings.HasPrefix(comment, "L00"):
-			checked++
-			code := comment[:4]
-			marker := "bad.go:" + strconv.Itoa(lineNo) + ":"
-			if !lineReported(got, marker, code) {
-				t.Errorf("line %d annotated %s but not reported:\n%s", lineNo, code, got)
+		base := filepath.Base(path)
+		for i, line := range strings.Split(string(src), "\n") {
+			lineNo := i + 1
+			_, comment, found := strings.Cut(line, "// ")
+			if !found {
+				continue
 			}
-		case strings.HasPrefix(comment, "ok"):
-			checked++
-			if strings.Contains(got, "bad.go:"+strconv.Itoa(lineNo)+":") {
-				t.Errorf("line %d annotated ok but reported:\n%s", lineNo, got)
+			switch {
+			case strings.HasPrefix(comment, "L00"):
+				checked++
+				code := comment[:4]
+				marker := base + ":" + strconv.Itoa(lineNo) + ":"
+				if !lineReported(got, marker, code) {
+					t.Errorf("%s line %d annotated %s but not reported:\n%s", base, lineNo, code, got)
+				}
+			case strings.HasPrefix(comment, "ok"):
+				checked++
+				if strings.Contains(got, base+":"+strconv.Itoa(lineNo)+":") {
+					t.Errorf("%s line %d annotated ok but reported:\n%s", base, lineNo, got)
+				}
 			}
 		}
 	}
-	if checked < 12 {
+	if checked < 18 {
 		t.Fatalf("only %d annotated lines found in fixture", checked)
 	}
 }

@@ -1,0 +1,26 @@
+package bad
+
+import (
+	"oasis/internal/bus"
+	"oasis/internal/credrec/storage"
+)
+
+func journalDiscards(seg storage.Segment, be storage.Backend, e *storage.Engine) error {
+	seg.Write([]byte("rec")) // L005: dropped journal write error
+	seg.Sync()               // L005: dropped group-commit sync error
+	be.TruncateSegment(1, 0) // L005: dropped torn-tail truncation error
+	go e.Snapshot()          // L005: snapshot failure vanishes with the goroutine
+	defer e.Close()          // L005: deferred close drops the final flush error
+
+	_ = seg.Sync() // ok: explicit discard
+	if err := seg.Sync(); err != nil {
+		return err // ok: handled
+	}
+	return e.Snapshot() // ok: returned to the caller
+}
+
+func busDiscards(enc *bus.WireEnc) error {
+	enc.Flush()        // L005: a dropped flush error loses notifications
+	_ = enc.Flush()    // ok: explicit discard
+	return enc.Flush() // ok: returned
+}

@@ -1,0 +1,567 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/rdl"
+	"oasis/internal/rdl/analyze"
+	"oasis/internal/value"
+)
+
+// TestDifferentialSoundness replays every example scenario against the
+// real entry engine and checks that static reachability is a sound
+// over-approximation of runtime entry: every role certificate the
+// runtime actually issues must be covered by a fact the symbolic
+// fixpoint derived (same principal, same role, each argument equal or
+// abstracted to ⊤). The runtime may enter fewer roles than the static
+// engine admits (foreign services are assumed satisfiable statically),
+// but never more.
+func TestDifferentialSoundness(t *testing.T) {
+	for dir, files := range exampleScenarios(t) {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			runDifferential(t, files)
+		})
+	}
+}
+
+// diffWorld is one scenario wired up twice: the static reachability
+// report on one side, live oasis services on the other.
+type diffWorld struct {
+	t        *testing.T
+	scn      *analyze.Scenario
+	inputs   []analyze.Input
+	services map[string]*oasis.Service
+	loaded   map[string]*rdl.Rolefile // services under analysis only
+	clients  map[string]ids.ClientID
+	creds    map[string][]*cert.RMC
+	entered  map[string]diffEntry
+}
+
+// diffEntry is one successful runtime role entry.
+type diffEntry struct {
+	principal string
+	service   string
+	role      string
+	args      []value.Value
+	rmc       *cert.RMC
+}
+
+func (e diffEntry) key() string {
+	return e.principal + "|" + e.service + "." + e.role + "|" + value.MarshalArgs(e.args)
+}
+
+func runDifferential(t *testing.T, files []string) {
+	var rdlPaths, scnPaths []string
+	for _, f := range files {
+		if strings.HasSuffix(f, ".scn") {
+			scnPaths = append(scnPaths, f)
+		} else {
+			rdlPaths = append(rdlPaths, f)
+		}
+	}
+	src, err := os.ReadFile(scnPaths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn, err := analyze.ParseScenario(scnPaths[0], string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Static side: type-check the rolefiles exactly as rdlcheck -reach
+	// does (scenario foreign declarations double as -foreign flags).
+	d := &driver{
+		byService: make(map[string][]*policyFile),
+		foreign:   foreignFlags{},
+		assume:    true,
+		checking:  make(map[string]bool),
+	}
+	for _, fr := range scn.Foreign {
+		ts := make([]value.Type, len(fr.Types))
+		for i, tn := range fr.Types {
+			ts[i] = parseType(tn)
+		}
+		d.foreign[fr.Service+"."+fr.Role] = ts
+	}
+	for _, path := range rdlPaths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.load(path, serviceOf(path), string(b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for svc := range d.byService {
+		if err := d.checkService(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inputs := make([]analyze.Input, len(d.files))
+	for i, pf := range d.files {
+		inputs[i] = analyze.Input{Service: pf.service, File: pf.path, RF: pf.rf}
+	}
+	rep := analyze.Reach(inputs, scn)
+
+	w := &diffWorld{
+		t:        t,
+		scn:      scn,
+		inputs:   inputs,
+		services: make(map[string]*oasis.Service),
+		loaded:   make(map[string]*rdl.Rolefile),
+		clients:  make(map[string]ids.ClientID),
+		entered:  make(map[string]diffEntry),
+		creds:    make(map[string][]*cert.RMC),
+	}
+	w.buildRuntime(rdlPaths)
+	w.mintCredentials()
+	w.probeFixpoint()
+
+	if len(w.entered) == 0 {
+		t.Fatal("runtime entered no roles at all; the differential check is vacuous")
+	}
+	w.checkSoundness(rep)
+	w.checkExpectsEntered()
+}
+
+// buildRuntime stands up one oasis service per rolefile under analysis
+// plus a stub claim service for every foreign declaration, all on one
+// bus, and populates group membership from the scenario.
+func (w *diffWorld) buildRuntime(rdlPaths []string) {
+	t := w.t
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net := bus.NewNetwork(clk)
+
+	type pending struct{ service, src string }
+	var todo []pending
+	for _, path := range rdlPaths {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		todo = append(todo, pending{serviceOf(path), string(b)})
+	}
+	// Stub services accept any foreign role as an unchecked claim with
+	// the declared signature, so scenario credentials on them mint.
+	stubs := make(map[string][]analyze.ScnForeign)
+	for _, fr := range w.scn.Foreign {
+		stubs[fr.Service] = append(stubs[fr.Service], fr)
+	}
+	for svc, decls := range stubs {
+		var b strings.Builder
+		for _, fr := range decls {
+			params := make([]string, len(fr.Types))
+			for i := range fr.Types {
+				params[i] = fmt.Sprintf("a%d", i)
+			}
+			fmt.Fprintf(&b, "def %s(%s)", fr.Role, strings.Join(params, ", "))
+			for i, tn := range fr.Types {
+				fmt.Fprintf(&b, " %s: %s", params[i], tn)
+			}
+			fmt.Fprintf(&b, "\n%s(%s) <-\n", fr.Role, strings.Join(params, ", "))
+		}
+		todo = append(todo, pending{svc, b.String()})
+	}
+
+	for _, p := range todo {
+		svc, err := oasis.New(p.service, clk, net, oasis.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.services[p.service] = svc
+	}
+	// Rolefiles resolve foreign signatures over the bus, so installation
+	// order matters; retry until the dependency order works itself out.
+	for round := 0; len(todo) > 0 && round < len(w.services)+1; round++ {
+		var stuck []pending
+		var lastErr error
+		for _, p := range todo {
+			if err := w.services[p.service].AddRolefile("main", p.src); err != nil {
+				stuck = append(stuck, p)
+				lastErr = err
+				continue
+			}
+		}
+		if len(stuck) == len(todo) {
+			t.Fatalf("rolefile installation made no progress: %v", lastErr)
+		}
+		todo = stuck
+	}
+	for _, in := range w.inputs {
+		w.loaded[in.Service] = in.RF
+	}
+
+	for member, groups := range w.scn.Members {
+		for g := range groups {
+			svcName, group, ok := strings.Cut(g, ".")
+			if !ok || w.services[svcName] == nil {
+				continue
+			}
+			w.services[svcName].Groups().AddMember(member, group)
+		}
+	}
+
+	hosts := make(map[string]*ids.HostAuthority)
+	for _, p := range w.scn.Principals {
+		host := w.scn.Hosts[p]
+		if host == "" {
+			host = "unbound-" + p
+		}
+		ha, ok := hosts[host]
+		if !ok {
+			ha = ids.NewHostAuthority(host, clk.Now())
+			hosts[host] = ha
+		}
+		w.clients[p] = ha.NewDomain()
+	}
+}
+
+// headTypes returns the parameter types of Service.Role, from the
+// checked rolefile or the scenario's foreign declaration.
+func (w *diffWorld) headTypes(service, role string) []value.Type {
+	if rf, ok := w.loaded[service]; ok {
+		return rf.Types[role]
+	}
+	for _, fr := range w.scn.Foreign {
+		if fr.Service == service && fr.Role == role {
+			ts := make([]value.Type, len(fr.Types))
+			for i, tn := range fr.Types {
+				ts[i] = parseType(tn)
+			}
+			return ts
+		}
+	}
+	return nil
+}
+
+// concreteValue turns a scenario literal into a runtime value of the
+// declared type.
+func concreteValue(t value.Type, lit string) (value.Value, bool) {
+	switch t.Kind {
+	case value.KindInt:
+		n, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return value.Value{}, false
+		}
+		return value.Int(n), true
+	case value.KindString:
+		return value.Str(lit), true
+	case value.KindSet:
+		v, err := value.Set(t.Universe, strings.Trim(lit, "{}"))
+		return v, err == nil
+	default:
+		return value.Object(t.Name, lit), true
+	}
+}
+
+// canonValue renders a runtime value in the canonical literal form the
+// abstract domain uses, so runtime arguments compare against AVals.
+func canonValue(v value.Value) string {
+	switch v.T.Kind {
+	case value.KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case value.KindString, value.KindObject:
+		return v.S
+	case value.KindSet:
+		rs := []rune(v.Members())
+		sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+		return "{" + string(rs) + "}"
+	default:
+		return v.String()
+	}
+}
+
+// mintCredentials grants every scenario credential by entering the role
+// on its issuing (or stub) service with the declared arguments.
+func (w *diffWorld) mintCredentials() {
+	t := w.t
+	for _, c := range w.scn.Credentials {
+		svc := w.services[c.Service]
+		if svc == nil {
+			t.Fatalf("credential on unknown service %s", c.Service)
+		}
+		types := w.headTypes(c.Service, c.Role)
+		if len(types) != len(c.Args) {
+			t.Fatalf("credential %s.%s arity %d, signature %d", c.Service, c.Role, len(c.Args), len(types))
+		}
+		args := make([]value.Value, len(c.Args))
+		for i, a := range c.Args {
+			if a.IsTop() {
+				t.Fatalf("credential %s.%s has a ⊤ argument; scenarios mint concrete credentials", c.Service, c.Role)
+			}
+			v, ok := concreteValue(types[i], a.Literal())
+			if !ok {
+				t.Fatalf("credential %s.%s arg %d: cannot build %s from %q", c.Service, c.Role, i, types[i], a.Literal())
+			}
+			args[i] = v
+		}
+		rmc, err := svc.Enter(oasis.EnterRequest{
+			Client: w.clients[c.Principal], Rolefile: "main", Role: c.Role, Args: args,
+		})
+		if err != nil {
+			t.Fatalf("minting credential %s %s.%s: %v", c.Principal, c.Service, c.Role, err)
+		}
+		w.record(c.Principal, c.Service, c.Role, rmc)
+	}
+}
+
+// record stores a successful entry and adds the certificate to the
+// principal's wallet for later rounds. Reports whether it was new.
+func (w *diffWorld) record(principal, service, role string, rmc *cert.RMC) bool {
+	e := diffEntry{principal: principal, service: service, role: role, args: rmc.Args, rmc: rmc}
+	if _, ok := w.entered[e.key()]; ok {
+		return false
+	}
+	w.entered[e.key()] = e
+	w.creds[principal] = append(w.creds[principal], rmc)
+	return true
+}
+
+// probeFixpoint drives the runtime to enter as many roles as it will
+// grant: plain entry, assertion-guided concrete probes, and election
+// rounds, repeated until a round grants nothing new.
+func (w *diffWorld) probeFixpoint() {
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, p := range w.scn.Principals {
+			for _, in := range w.inputs {
+				if w.probeService(p, in) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (w *diffWorld) probeService(p string, in analyze.Input) bool {
+	svc := w.services[in.Service]
+	changed := false
+	seenRole := make(map[string]bool)
+	for _, r := range in.RF.File.Rules {
+		role := r.Head.Name
+		if !seenRole[role] {
+			seenRole[role] = true
+			// Plain entry: let the engine pick any derivable instance.
+			if rmc, err := svc.Enter(oasis.EnterRequest{
+				Client: w.clients[p], Rolefile: "main", Role: role, Creds: w.creds[p],
+			}); err == nil && w.record(p, in.Service, role, rmc) {
+				changed = true
+			}
+			// Assertion-guided probes: try the concrete instances the
+			// scenario talks about (wildcards enumerate a small universe).
+			for _, a := range w.scn.Asserts {
+				if a.Principal != p || a.Service != in.Service || a.Role != role || !a.HasArgs {
+					continue
+				}
+				for _, args := range w.enumerate(a.Args, in.RF.Types[role], p, p) {
+					if rmc, err := svc.Enter(oasis.EnterRequest{
+						Client: w.clients[p], Rolefile: "main", Role: role, Args: args, Creds: w.creds[p],
+					}); err == nil && w.record(p, in.Service, role, rmc) {
+						changed = true
+					}
+				}
+			}
+		}
+		if r.Elector == nil {
+			continue
+		}
+		// Election: every principal holding the elector role tries to
+		// delegate every small-universe instance to p.
+		wild := make([]analyze.AVal, len(r.Head.Args))
+		for i := range wild {
+			wild[i] = analyze.Top()
+		}
+		for _, e := range w.scn.Principals {
+			for _, entry := range w.heldRoles(e, in.Service, r.Elector.Name) {
+				for _, args := range w.enumerate(wild, in.RF.Types[role], p, e) {
+					deleg, _, err := svc.Delegate(oasis.DelegateRequest{
+						Client: w.clients[e], Rolefile: "main", Role: role,
+						Args: args, ElectorCert: entry.rmc,
+					})
+					if err != nil {
+						continue
+					}
+					if rmc, err := svc.EnterDelegated(oasis.EnterRequest{
+						Client: w.clients[p], Rolefile: "main", Role: role,
+						Creds: w.creds[p], Delegation: deleg,
+					}); err == nil && w.record(p, in.Service, role, rmc) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// heldRoles lists p's successful entries of Service.role.
+func (w *diffWorld) heldRoles(p, service, role string) []diffEntry {
+	var out []diffEntry
+	for _, e := range w.entered {
+		if e.principal == p && e.service == service && e.role == role {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// enumerate expands an argument pattern into concrete tuples: literals
+// stay fixed, wildcards range over a small universe drawn from the two
+// principals involved (names, hosts, small integers). Capped so probe
+// rounds stay tiny.
+func (w *diffWorld) enumerate(pattern []analyze.AVal, types []value.Type, p, elector string) [][]value.Value {
+	if len(types) != len(pattern) {
+		return nil
+	}
+	tuples := [][]value.Value{{}}
+	for i, a := range pattern {
+		var opts []value.Value
+		if !a.IsTop() {
+			v, ok := concreteValue(types[i], a.Literal())
+			if !ok {
+				return nil
+			}
+			opts = []value.Value{v}
+		} else {
+			opts = w.wildcardValues(types[i], p, elector)
+		}
+		var next [][]value.Value
+		for _, tu := range tuples {
+			for _, v := range opts {
+				next = append(next, append(append([]value.Value(nil), tu...), v))
+			}
+			if len(next) > 64 {
+				return next
+			}
+		}
+		tuples = next
+	}
+	return tuples
+}
+
+func (w *diffWorld) wildcardValues(t value.Type, p, elector string) []value.Value {
+	var out []value.Value
+	switch t.Kind {
+	case value.KindInt:
+		for i := int64(0); i < 4; i++ {
+			out = append(out, value.Int(i))
+		}
+	case value.KindString:
+		out = append(out, value.Str(p), value.Str(w.hostOf(p)))
+		if elector != p {
+			out = append(out, value.Str(elector))
+		}
+	default:
+		out = append(out, value.Object(t.Name, p))
+		if elector != p {
+			out = append(out, value.Object(t.Name, elector))
+		}
+		if h := w.hostOf(p); strings.Contains(strings.ToLower(t.Name), "host") {
+			out = append(out, value.Object(t.Name, h))
+		}
+	}
+	return out
+}
+
+func (w *diffWorld) hostOf(p string) string {
+	if h := w.scn.Hosts[p]; h != "" {
+		return h
+	}
+	return "unbound-" + p
+}
+
+// checkSoundness verifies that every runtime entry on an analysed
+// service is covered by a static fact.
+func (w *diffWorld) checkSoundness(rep *analyze.ReachReport) {
+	t := w.t
+	keys := make([]string, 0, len(w.entered))
+	for k := range w.entered {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := w.entered[k]
+		if _, ok := w.loaded[e.service]; !ok {
+			continue // stub foreign service: outside the analysed world
+		}
+		qualified := e.service + "." + e.role
+		if !w.covered(rep, e, qualified) {
+			args := make([]string, len(e.args))
+			for i, v := range e.args {
+				args[i] = canonValue(v)
+			}
+			t.Errorf("UNSOUND: runtime entered %s as %s(%s) but no static fact covers it",
+				e.principal, qualified, strings.Join(args, ", "))
+		}
+	}
+}
+
+// checkExpectsEntered anchors the other direction on the shipped
+// examples: every `expect` assertion over an analysed service with
+// explicit arguments names a role instance the runtime really grants,
+// so the probe harness (and the scenarios) cannot rot into vacuity.
+func (w *diffWorld) checkExpectsEntered() {
+	for _, a := range w.scn.Asserts {
+		if a.Kind != analyze.AssertExpect || !a.HasArgs {
+			continue
+		}
+		if _, ok := w.loaded[a.Service]; !ok {
+			continue
+		}
+		found := false
+		for _, e := range w.entered {
+			if e.principal != a.Principal || e.service != a.Service || e.role != a.Role || len(e.args) != len(a.Args) {
+				continue
+			}
+			match := true
+			for i, pa := range a.Args {
+				if !pa.IsTop() && pa.Literal() != canonValue(e.args[i]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			w.t.Errorf("runtime never entered the expected instance %s", a.String())
+		}
+	}
+}
+
+func (w *diffWorld) covered(rep *analyze.ReachReport, e diffEntry, qualified string) bool {
+	for _, f := range rep.Facts {
+		if f.Principal != e.principal || f.Role != qualified || len(f.Args) != len(e.args) {
+			continue
+		}
+		match := true
+		for i, fa := range f.Args {
+			if !fa.IsTop() && fa.Literal() != canonValue(e.args[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

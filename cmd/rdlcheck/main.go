@@ -10,10 +10,24 @@
 // rules, unsatisfiable constraints, dependency cycles. Error-level
 // findings make the exit status non-zero, so the tool gates CI.
 //
+// With -reach, positional arguments ending in .scn are parsed as
+// scenarios (initial credential assignments, docs/RDL.md "Reachability
+// analysis") and the whole policy is run through the symbolic
+// reachability engine: every acquirable (principal, role instance) pair
+// is reported with a witness derivation, scenario assertions are
+// checked (failures are R010, error level), and open-access (R008) and
+// unrevocable-chain (R009) findings join the structural ones.
+//
+// Exit status: 0 when no reported finding is error-level, 1 otherwise.
+// Findings below -severity are neither printed nor gate the exit
+// status; error-level findings always satisfy any -severity threshold,
+// so lowering it can only hide advisory findings, never failures.
+//
 // Usage:
 //
 //	rdlcheck [-json] [-severity warning] [-q] file.rdl...
 //	rdlcheck -foreign Login.LoggedOn=Login.userid,Login.host file.rdl
+//	rdlcheck -reach scenario.scn file.rdl...
 //	echo 'Chair <- Login.LoggedOn("jmb", h)*' | rdlcheck
 package main
 
@@ -44,22 +58,28 @@ func (f foreignFlags) Set(s string) error {
 	var ts []value.Type
 	if types != "" {
 		for _, t := range strings.Split(types, ",") {
-			switch t {
-			case "integer", "int":
-				ts = append(ts, value.IntType)
-			case "string":
-				ts = append(ts, value.StringType)
-			default:
-				if strings.HasPrefix(t, "{") && strings.HasSuffix(t, "}") {
-					ts = append(ts, value.SetType(strings.Trim(t, "{}")))
-				} else {
-					ts = append(ts, value.ObjectType(t))
-				}
-			}
+			ts = append(ts, parseType(t))
 		}
 	}
 	f[name] = ts
 	return nil
+}
+
+// parseType maps a surface type name ("integer", "string", "{rwx}",
+// "Login.userid") to a value type; the same names appear in -foreign
+// flags and scenario foreign directives.
+func parseType(t string) value.Type {
+	switch t {
+	case "integer", "int":
+		return value.IntType
+	case "string":
+		return value.StringType
+	default:
+		if strings.HasPrefix(t, "{") && strings.HasSuffix(t, "}") {
+			return value.SetType(strings.Trim(t, "{}"))
+		}
+		return value.ObjectType(t)
+	}
 }
 
 func main() {
@@ -161,6 +181,22 @@ type jsonReport struct {
 	Files    []jsonFile        `json:"files"`
 	Findings []analyze.Finding `json:"findings"`
 	Counts   map[string]int    `json:"counts"`
+	Reach    []jsonScenario    `json:"reach,omitempty"`
+}
+
+// jsonScenario is one scenario's reachability result in -json output.
+type jsonScenario struct {
+	File    string              `json:"file"`
+	Name    string              `json:"name,omitempty"`
+	Facts   []*analyze.FactJSON `json:"facts"`
+	Asserts []jsonAssert        `json:"asserts"`
+}
+
+type jsonAssert struct {
+	Assert string `json:"assert"`
+	Line   int    `json:"line"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -172,7 +208,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	dumpPlan := fs.Bool("dump-plan", false, "print compiled execution plans (the entry engine's form)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	quiet := fs.Bool("q", false, "print findings only, no signatures")
+	reach := fs.Bool("reach", false, "run scenario reachability analysis over the given .scn file(s)")
 	sevName := fs.String("severity", "info", "minimum severity to report: info, warning or error")
+	fs.SetOutput(os.Stderr)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: rdlcheck [flags] [file.rdl ...] [scenario.scn ...]")
+		fmt.Fprintln(fs.Output(), "\nWith no rolefile arguments, a single rolefile is read from stdin.")
+		fmt.Fprintln(fs.Output(), "With -reach, .scn arguments are scenarios (docs/RDL.md).")
+		fmt.Fprintln(fs.Output(), "\nFlags:")
+		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output(), `
+Exit status: 0 when no reported finding is error-level, 1 otherwise
+(including R010 scenario assertion failures). Findings hidden by
+-severity do not gate the exit status; error-level findings are always
+at or above any threshold, so they always fail the run.`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,13 +231,57 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
+	var rolePaths, scnPaths []string
+	for _, path := range fs.Args() {
+		if strings.HasSuffix(path, ".scn") {
+			scnPaths = append(scnPaths, path)
+		} else {
+			rolePaths = append(rolePaths, path)
+		}
+	}
+	if len(scnPaths) > 0 && !*reach {
+		return fmt.Errorf("rdlcheck: scenario file(s) given without -reach: %s", strings.Join(scnPaths, ", "))
+	}
+	var scenarios []*analyze.Scenario
+	if *reach {
+		if len(scnPaths) == 0 {
+			return fmt.Errorf("rdlcheck: -reach needs at least one .scn scenario file")
+		}
+		for _, path := range scnPaths {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			scn, err := analyze.ParseScenario(path, string(src))
+			if err != nil {
+				return err
+			}
+			scenarios = append(scenarios, scn)
+		}
+	}
+
 	d := &driver{
 		byService: make(map[string][]*policyFile),
 		foreign:   foreign,
 		assume:    *assume,
 		checking:  make(map[string]bool),
 	}
-	if fs.NArg() == 0 {
+	// Scenario foreign directives double as -foreign declarations so a
+	// scenario is self-contained.
+	for _, scn := range scenarios {
+		for _, fr := range scn.Foreign {
+			key := fr.Service + "." + fr.Role
+			if _, ok := d.foreign[key]; ok {
+				continue
+			}
+			ts := make([]value.Type, len(fr.Types))
+			for i, t := range fr.Types {
+				ts[i] = parseType(t)
+			}
+			d.foreign[key] = ts
+		}
+	}
+	if len(rolePaths) == 0 {
 		src, err := io.ReadAll(stdin)
 		if err != nil {
 			return err
@@ -196,7 +290,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 	}
-	for _, path := range fs.Args() {
+	for _, path := range rolePaths {
 		src, err := os.ReadFile(path)
 		if err != nil {
 			return err
@@ -222,6 +316,13 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		inputs[i] = analyze.Input{Service: pf.service, File: pf.path, RF: pf.rf}
 	}
 	findings := analyze.Analyze(inputs)
+	var reports []*analyze.ReachReport
+	for _, scn := range scenarios {
+		rep := analyze.Reach(inputs, scn)
+		reports = append(reports, rep)
+		findings = append(findings, rep.Findings...)
+	}
+	analyze.Sort(findings)
 	shown := analyze.Filter(findings, minSev)
 
 	if *dumpPlan {
@@ -233,17 +334,47 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		*quiet = true
 	}
 	if *jsonOut {
-		if err := writeJSON(stdout, d.files, shown, findings); err != nil {
+		if err := writeJSON(stdout, d.files, reports, shown, findings); err != nil {
 			return err
 		}
 	} else {
 		writeText(stdout, d.files, shown, *quiet, *axioms)
+		for _, rep := range reports {
+			writeReach(stdout, rep, *quiet)
+		}
 	}
 
-	if errs := len(analyze.Filter(findings, analyze.Error)); errs > 0 {
+	// The exit status is gated on the *reported* findings: a finding
+	// hidden by -severity never fails the run. Error-level findings are
+	// always at or above any threshold, so the gate cannot weaken.
+	if errs := len(analyze.Filter(shown, analyze.Error)); errs > 0 {
 		return fmt.Errorf("rdlcheck: %d error-level finding(s)", errs)
 	}
 	return nil
+}
+
+// writeReach prints one scenario's reachability report: every
+// acquirable role instance with its witness derivation, then the
+// assertion verdicts. In quiet mode the witness trees are suppressed —
+// the verdict lines and findings carry the gate.
+func writeReach(w io.Writer, rep *analyze.ReachReport, quiet bool) {
+	name := rep.Scenario.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(w, "reach %s: scenario %s\n", rep.Scenario.File, name)
+	if !quiet {
+		for _, f := range rep.Facts {
+			analyze.WriteWitness(w, f)
+		}
+	}
+	for _, res := range rep.Asserts {
+		verdict := "ok"
+		if !res.OK {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "assert %s: %s\n", verdict, res.Detail)
+	}
 }
 
 func (d *driver) load(path, service, src string) error {
@@ -257,7 +388,7 @@ func (d *driver) load(path, service, src string) error {
 	return nil
 }
 
-func writeJSON(w io.Writer, files []*policyFile, shown, all []analyze.Finding) error {
+func writeJSON(w io.Writer, files []*policyFile, reports []*analyze.ReachReport, shown, all []analyze.Finding) error {
 	rep := jsonReport{
 		Files:    make([]jsonFile, 0, len(files)),
 		Findings: shown,
@@ -265,6 +396,18 @@ func writeJSON(w io.Writer, files []*policyFile, shown, all []analyze.Finding) e
 	}
 	if rep.Findings == nil {
 		rep.Findings = []analyze.Finding{}
+	}
+	for _, rr := range reports {
+		js := jsonScenario{File: rr.Scenario.File, Name: rr.Scenario.Name, Facts: []*analyze.FactJSON{}, Asserts: []jsonAssert{}}
+		for _, f := range rr.Facts {
+			js.Facts = append(js.Facts, analyze.FactToJSON(f))
+		}
+		for _, res := range rr.Asserts {
+			js.Asserts = append(js.Asserts, jsonAssert{
+				Assert: res.Assert.String(), Line: res.Assert.Line, OK: res.OK, Detail: res.Detail,
+			})
+		}
+		rep.Reach = append(rep.Reach, js)
 	}
 	for _, f := range all {
 		rep.Counts[f.Severity.String()]++

@@ -62,8 +62,9 @@ func TestSmellsFixture(t *testing.T) {
 }
 
 func TestSeverityFilterHidesButStillFails(t *testing.T) {
-	// -severity error hides warnings and infos, but the exit status is
-	// computed on the unfiltered findings.
+	// -severity error hides warnings and infos; the exit status is
+	// computed on the reported findings, and error findings are always
+	// at or above any threshold, so the run still fails.
 	got, err := runTool(t, "-q", "-severity", "error", filepath.Join("testdata", "smells.rdl"))
 	if err == nil {
 		t.Fatal("filtered run must still fail on error findings")

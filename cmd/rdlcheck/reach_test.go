@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// exampleScenarios returns every example directory shipping both
+// rolefiles and a scenario, mapped to (rdl files, scn files).
+func exampleScenarios(t *testing.T) map[string][]string {
+	t.Helper()
+	dirs, err := filepath.Glob(filepath.Join("..", "..", "examples", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(dirs)
+	out := make(map[string][]string)
+	for _, dir := range dirs {
+		rdls, _ := filepath.Glob(filepath.Join(dir, "*.rdl"))
+		scns, _ := filepath.Glob(filepath.Join(dir, "*.scn"))
+		if len(rdls) == 0 || len(scns) == 0 {
+			continue
+		}
+		sort.Strings(rdls)
+		sort.Strings(scns)
+		out[dir] = append(rdls, scns...)
+	}
+	if len(out) < 4 {
+		t.Fatalf("only %d example directories carry rolefiles and scenarios; expected at least 4", len(out))
+	}
+	return out
+}
+
+// TestReachExamples runs -reach over every example scenario and pins
+// the full text report — facts, witnesses, assertion verdicts and
+// findings — as a golden file. All shipped assertions must hold.
+func TestReachExamples(t *testing.T) {
+	for dir, files := range exampleScenarios(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			got, err := runTool(t, append([]string{"-reach"}, files...)...)
+			if err != nil {
+				t.Fatalf("scenario assertions failed: %v\n%s", err, got)
+			}
+			checkGolden(t, filepath.Join("testdata", "reach", name+".golden"), normalize(got, dir))
+		})
+	}
+}
+
+// TestReachExamplesJSON pins the -json form of the same reports and
+// sanity-checks the schema: every scenario has facts, every fact a
+// certainty, every assertion ok.
+func TestReachExamplesJSON(t *testing.T) {
+	for dir, files := range exampleScenarios(t) {
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			got, err := runTool(t, append([]string{"-reach", "-json"}, files...)...)
+			if err != nil {
+				t.Fatalf("scenario assertions failed: %v\n%s", err, got)
+			}
+			var rep jsonReport
+			if err := json.Unmarshal([]byte(got), &rep); err != nil {
+				t.Fatalf("invalid JSON: %v", err)
+			}
+			if len(rep.Reach) != 1 {
+				t.Fatalf("want one reach scenario, got %d", len(rep.Reach))
+			}
+			sc := rep.Reach[0]
+			if len(sc.Facts) == 0 || len(sc.Asserts) == 0 {
+				t.Fatalf("empty reach report: %+v", sc)
+			}
+			for _, f := range sc.Facts {
+				if f.Certainty != "reachable" && f.Certainty != "possible" {
+					t.Errorf("fact %s.%s has certainty %q", f.Principal, f.Role, f.Certainty)
+				}
+				if f.Witness == nil {
+					t.Errorf("fact %s %s lacks a witness", f.Principal, f.Role)
+				}
+			}
+			for _, a := range sc.Asserts {
+				if !a.OK {
+					t.Errorf("assertion failed: %s", a.Detail)
+				}
+			}
+			checkGolden(t, filepath.Join("testdata", "reach", name+".json.golden"), normalize(got, dir))
+		})
+	}
+}
+
+// TestReachAssertFailureExits: a failing expect is an R010 error-level
+// finding and must make the run exit non-zero.
+func TestReachAssertFailureExits(t *testing.T) {
+	dir := t.TempDir()
+	login := filepath.Join(dir, "Login.rdl")
+	scn := filepath.Join(dir, "fail.scn")
+	writeFile(t, login, `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`)
+	writeFile(t, scn, `
+principal ghost
+expect ghost Login.Missing
+deny ghost Login.LoggedOn
+`)
+	got, err := runTool(t, "-reach", "-q", login, scn)
+	if err == nil || !strings.Contains(err.Error(), "error-level finding") {
+		t.Fatalf("failing assertions must exit non-zero, got err=%v\n%s", err, got)
+	}
+	if c := strings.Count(got, "R010"); c != 2 {
+		t.Errorf("want 2 R010 findings, got %d:\n%s", c, got)
+	}
+	if !strings.Contains(got, "assert FAIL: expect ghost Login.Missing failed: unreachable") {
+		t.Errorf("verdict line missing:\n%s", got)
+	}
+}
+
+// TestReachFlagValidation: .scn arguments demand -reach, and -reach
+// demands a scenario.
+func TestReachFlagValidation(t *testing.T) {
+	if _, err := runTool(t, "x.scn"); err == nil ||
+		!strings.Contains(err.Error(), "without -reach") {
+		t.Errorf("scn without -reach: err = %v", err)
+	}
+	if _, err := runTool(t, "-reach", "../../examples/mssa/Login.rdl"); err == nil ||
+		!strings.Contains(err.Error(), "at least one .scn") {
+		t.Errorf("-reach without scn: err = %v", err)
+	}
+	if _, err := runTool(t, "-reach", filepath.Join(t.TempDir(), "missing.scn")); err == nil {
+		t.Error("missing scenario file accepted")
+	}
+}
+
+// TestSeverityGatesExitConsistently pins the exit-code contract: the
+// status is computed from the findings the run reports, so a finding
+// hidden by -severity can never fail the run, and error-level findings
+// (which no threshold hides) always do.
+func TestSeverityGatesExitConsistently(t *testing.T) {
+	dir := t.TempDir()
+	login := filepath.Join(dir, "Login.rdl")
+	scn := filepath.Join(dir, "open.scn")
+	writeFile(t, login, `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`)
+	// The scenario yields an R008 warning (open-access claim) and no
+	// errors: visible at the default threshold, hidden at -severity
+	// error, exit zero either way.
+	writeFile(t, scn, "principal ghost\n")
+	got, err := runTool(t, "-reach", "-q", login, scn)
+	if err != nil {
+		t.Fatalf("warnings must not fail the run: %v", err)
+	}
+	if !strings.Contains(got, "R008") {
+		t.Fatalf("R008 missing at default severity:\n%s", got)
+	}
+	got, err = runTool(t, "-reach", "-q", "-severity", "error", login, scn)
+	if err != nil {
+		t.Fatalf("hidden warnings must not fail the run: %v", err)
+	}
+	if strings.Contains(got, "R008") {
+		t.Errorf("R008 shown despite -severity error:\n%s", got)
+	}
+	// An assertion failure is error-level: reported and fatal at every
+	// threshold.
+	writeFile(t, scn, "principal ghost\nexpect ghost Login.Missing\n")
+	for _, sev := range []string{"info", "warning", "error"} {
+		got, err = runTool(t, "-reach", "-q", "-severity", sev, login, scn)
+		if err == nil {
+			t.Fatalf("-severity %s swallowed an error finding", sev)
+		}
+		if !strings.Contains(got, "R010") {
+			t.Errorf("-severity %s hid the R010 finding:\n%s", sev, got)
+		}
+	}
+}
+
+// TestUsageDocumentsExitContract: -h output explains the exit-code
+// contract next to the flags.
+func TestUsageDocumentsExitContract(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	_, runErr := runTool(t, "-h")
+	os.Stderr = old
+	w.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	r.Close()
+	if runErr == nil {
+		t.Fatal("-h should return flag.ErrHelp")
+	}
+	usage := string(buf[:n])
+	for _, want := range []string{"Exit status:", "-severity", "-reach"} {
+		if !strings.Contains(usage, want) {
+			t.Errorf("usage lacks %q:\n%s", want, usage)
+		}
+	}
+}

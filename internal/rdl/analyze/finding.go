@@ -90,6 +90,17 @@ const (
 	// test — captured once at entry, it can never be falsified and so
 	// provides no revocation path (§3.2.3).
 	CodeStaticStar = "R007"
+	// CodeOpenAccess: scenario reachability (rdlcheck -reach) proved a
+	// role definitely reachable by a principal the scenario never
+	// granted any credential — open-access escalation.
+	CodeOpenAccess = "R008"
+	// CodeUnrevocableChain: a role instance is reachable through a
+	// derivation chain containing no revocable credential, so §5
+	// revocation can never evict the holder.
+	CodeUnrevocableChain = "R009"
+	// CodeAssertFailed: a scenario expect/possible/deny assertion
+	// failed against the computed reachability fixpoint.
+	CodeAssertFailed = "R010"
 )
 
 // Finding is one typed analyzer diagnostic.
@@ -108,8 +119,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: %s %s: %s", f.File, f.Line, f.Severity, f.Code, f.Message)
 }
 
-// sortFindings orders findings by file, line, code, message for
-// deterministic output.
+// sortFindings orders findings by (file, line, code, role, message) so
+// analyzer output and goldens are stable regardless of map-iteration
+// order inside the checks.
 func sortFindings(fs []Finding) {
 	sort.Slice(fs, func(i, j int) bool {
 		if fs[i].File != fs[j].File {
@@ -121,9 +133,17 @@ func sortFindings(fs []Finding) {
 		if fs[i].Code != fs[j].Code {
 			return fs[i].Code < fs[j].Code
 		}
+		if fs[i].Role != fs[j].Role {
+			return fs[i].Role < fs[j].Role
+		}
 		return fs[i].Message < fs[j].Message
 	})
 }
+
+// Sort orders findings by (file, line, code, role, message); callers
+// merging findings from several analyses use it to restore the
+// canonical order.
+func Sort(fs []Finding) { sortFindings(fs) }
 
 // Max returns the highest severity present, or -1 if none.
 func Max(fs []Finding) Severity {

@@ -1,0 +1,784 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oasis/internal/rdl"
+)
+
+// This file is the scenario reachability engine behind `rdlcheck
+// -reach`: given the policies of a set of services and a Scenario (the
+// initial credential assignment), it computes the least fixpoint of the
+// roles every principal can ever acquire across the federation —
+// delegation and group membership included — and attaches to each
+// acquirable role instance a witness derivation. The engine answers the
+// administrator's question the structural checks R001–R007 cannot:
+// "can principal P ever reach role R?".
+//
+// The abstract domain is deliberately small. Argument values are either
+// concrete literals drawn from the scenario and the rule text, or the
+// unknown value ⊤; rule premises are resolved by unification against
+// already-derived facts; constraints fold through a three-valued
+// evaluator that decides group tests against the scenario's closed
+// world and leaves everything else unknown. Unknown never blocks a
+// derivation — it downgrades it from "reachable" to "possible" — so the
+// result is a sound over-approximation of runtime entry: everything the
+// real engine admits appears here (the differential test in
+// cmd/rdlcheck holds the repo to that), while a role absent from the
+// fixpoint is provably unreachable.
+
+// AnyonePrincipal is the synthesized credential-less principal: it
+// models an arbitrary outsider holding nothing, so anything it can
+// definitely reach is open access (R008).
+const AnyonePrincipal = "<anyone>"
+
+// AVal is an abstract argument value: a concrete literal in canonical
+// rendering (integers in decimal, strings and object ids raw, set
+// literals sorted in braces) or the unknown value ⊤, written "*".
+type AVal struct {
+	top bool
+	s   string
+}
+
+// Top returns the unknown value ⊤.
+func Top() AVal { return AVal{top: true} }
+
+// Lit returns the literal abstract value with the given canonical
+// rendering.
+func Lit(s string) AVal { return AVal{s: s} }
+
+// IsTop reports whether the value is ⊤.
+func (v AVal) IsTop() bool { return v.top }
+
+// Literal returns the canonical literal rendering; only meaningful when
+// the value is not ⊤.
+func (v AVal) Literal() string { return v.s }
+
+// String renders the value: "*" for ⊤, the literal otherwise.
+func (v AVal) String() string {
+	if v.top {
+		return "*"
+	}
+	return v.s
+}
+
+// MarshalJSON encodes the value as its rendering.
+func (v AVal) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(v.String())), nil
+}
+
+// UnmarshalJSON decodes the rendering produced by MarshalJSON: "*" is
+// ⊤, anything else the literal.
+func (v *AVal) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	if s == "*" {
+		*v = Top()
+	} else {
+		*v = Lit(s)
+	}
+	return nil
+}
+
+// DerivKind classifies one step of a witness derivation.
+type DerivKind int
+
+// Derivation kinds: an initial credential from the scenario, an
+// unchecked claim (empty right-hand side, §3.4.3), an entry rule
+// application, or an assumed premise on a service outside the analysis.
+const (
+	DerivCredential DerivKind = iota
+	DerivClaim
+	DerivRule
+	DerivAssumed
+)
+
+// String names the derivation kind.
+func (k DerivKind) String() string {
+	switch k {
+	case DerivCredential:
+		return "credential"
+	case DerivClaim:
+		return "claim"
+	case DerivRule:
+		return "rule"
+	default:
+		return "assumed"
+	}
+}
+
+// Derivation explains how a fact was derived: the rule applied (with
+// its source position), the premise facts matched — candidate facts of
+// the principal itself, plus the elector's fact when the rule is an
+// election — and any note on constraint folding.
+type Derivation struct {
+	Kind    DerivKind
+	File    string
+	Line    int
+	Rule    string  // rendered rule, for DerivClaim/DerivRule
+	Elector string  // principal whose fact satisfied the election
+	Prems   []*Fact // matched premise facts, candidates first
+	Note    string  // why the verdict is only "possible", when it is
+}
+
+// Fact is one element of the fixpoint: Principal can acquire the role
+// instance Role(Args). Possible marks a conservative verdict (some
+// premise or constraint could not be decided); Evictable marks that at
+// least one derivation carries a revocable credential, so §5 revocation
+// can evict the holder (R009 fires on its absence).
+type Fact struct {
+	Principal string
+	Role      string // qualified "Service.Role"
+	Args      []AVal
+	Possible  bool
+	Evictable bool
+	Wit       *Derivation
+}
+
+// Instance renders the fact's role instance, e.g. "Golf.Member(arnold)".
+func (f *Fact) Instance() string {
+	if len(f.Args) == 0 {
+		return f.Role
+	}
+	parts := make([]string, len(f.Args))
+	for i, v := range f.Args {
+		parts[i] = v.String()
+	}
+	return f.Role + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Certainty names the verdict: "reachable" or "possible".
+func (f *Fact) Certainty() string {
+	if f.Possible {
+		return "possible"
+	}
+	return "reachable"
+}
+
+// AssertResult is the outcome of one scenario assertion.
+type AssertResult struct {
+	Assert  ScnAssert
+	OK      bool
+	Matched *Fact  // witness for expect/possible; offending fact for a failed deny
+	Detail  string // human explanation of the verdict
+}
+
+// ReachReport is the result of Reach: the full fixpoint of facts
+// (sorted by principal, role, args), the assertion outcomes, and the
+// R008–R010 findings.
+type ReachReport struct {
+	Scenario *Scenario
+	Facts    []*Fact
+	Asserts  []AssertResult
+	Findings []Finding
+}
+
+// FactsOf returns the facts of one principal, in report order.
+func (r *ReachReport) FactsOf(principal string) []*Fact {
+	var out []*Fact
+	for _, f := range r.Facts {
+		if f.Principal == principal {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Reach computes the reachability fixpoint of the scenario over the
+// loaded policies and evaluates the scenario's assertions. The inputs
+// must already have passed rdl checking.
+func Reach(inputs []Input, scn *Scenario) *ReachReport {
+	e := &reachEngine{
+		inputs:  inputs,
+		scn:     scn,
+		loaded:  make(map[string]bool),
+		defined: make(map[string]*defSite),
+		byPR:    make(map[string][]*Fact),
+		memo:    make(map[string]*Fact),
+	}
+	for i := range inputs {
+		e.loaded[inputs[i].Service] = true
+	}
+	for i := range inputs {
+		in := &inputs[i]
+		for _, d := range in.RF.File.Decls {
+			key := in.Service + "." + d.Role
+			if e.defined[key] == nil {
+				e.defined[key] = &defSite{in: in, line: d.Line}
+			}
+		}
+		for j, r := range in.RF.File.Rules {
+			ri := &ruleInfo{in: in, rule: r, index: j + 1, key: keyOf(in, &r.Head)}
+			ri.unsat = staticEval(r.Constraint) == triFalse
+			e.rules = append(e.rules, ri)
+			if e.defined[ri.key] == nil {
+				e.defined[ri.key] = &defSite{in: in, line: ri.line(), hasRule: true}
+			}
+		}
+	}
+	e.principals = append(e.principals, scn.Principals...)
+	has := false
+	for _, p := range e.principals {
+		has = has || p == AnyonePrincipal
+	}
+	if !has {
+		e.principals = append(e.principals, AnyonePrincipal)
+	}
+
+	e.seed()
+	e.fixpoint()
+	e.evalAsserts()
+	e.emitFindings()
+
+	sort.Slice(e.facts, func(i, j int) bool {
+		a, b := e.facts[i], e.facts[j]
+		if a.Principal != b.Principal {
+			return a.Principal < b.Principal
+		}
+		if a.Role != b.Role {
+			return a.Role < b.Role
+		}
+		return a.Instance() < b.Instance()
+	})
+	sortFindings(e.findings)
+	return &ReachReport{Scenario: scn, Facts: e.facts, Asserts: e.asserts, Findings: e.findings}
+}
+
+type reachEngine struct {
+	inputs     []Input
+	scn        *Scenario
+	loaded     map[string]bool
+	defined    map[string]*defSite
+	rules      []*ruleInfo
+	principals []string
+
+	facts []*Fact
+	byPR  map[string][]*Fact // principal \x00 role -> facts
+	memo  map[string]*Fact   // principal \x00 role \x00 args -> fact
+
+	asserts  []AssertResult
+	findings []Finding
+}
+
+func factKey(p, role string, args []AVal) string {
+	var b strings.Builder
+	b.WriteString(p)
+	b.WriteByte(0)
+	b.WriteString(role)
+	for _, a := range args {
+		b.WriteByte(0)
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// add inserts a fact or upgrades an existing one. The lattice has two
+// monotone directions: possible → definite (which replaces the witness,
+// so the strongest derivation is the one reported) and non-evictable →
+// evictable. The first witness at a given certainty is kept — fixpoint
+// rounds reach shallow derivations first, so witnesses stay minimal.
+func (e *reachEngine) add(p, role string, args []AVal, possible, evictable bool, wit *Derivation) bool {
+	key := factKey(p, role, args)
+	if f := e.memo[key]; f != nil {
+		changed := false
+		if f.Possible && !possible {
+			f.Possible = false
+			f.Wit = wit
+			changed = true
+		}
+		if !f.Evictable && evictable {
+			f.Evictable = true
+			changed = true
+		}
+		return changed
+	}
+	f := &Fact{Principal: p, Role: role, Args: args, Possible: possible, Evictable: evictable, Wit: wit}
+	e.memo[key] = f
+	e.facts = append(e.facts, f)
+	pr := p + "\x00" + role
+	e.byPR[pr] = append(e.byPR[pr], f)
+	return true
+}
+
+func (e *reachEngine) factsFor(p, role string) []*Fact {
+	return e.byPR[p+"\x00"+role]
+}
+
+// seed installs the scenario's initial credentials as definite,
+// evictable facts (an initial credential is a certificate its issuer
+// can always revoke).
+func (e *reachEngine) seed() {
+	for i := range e.scn.Credentials {
+		c := &e.scn.Credentials[i]
+		e.add(c.Principal, c.Service+"."+c.Role, c.Args, false, true, &Derivation{
+			Kind: DerivCredential, File: e.scn.File, Line: c.Line,
+		})
+	}
+}
+
+// fixpoint applies every rule for every principal until no fact is
+// added or upgraded. Termination: argument values are drawn from the
+// finite set of literals in the scenario and the rule text plus ⊤, so
+// the fact universe is finite, and add is monotone.
+func (e *reachEngine) fixpoint() {
+	const maxRounds = 10000 // safety net; real policies converge in a handful
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, ri := range e.rules {
+			if ri.unsat {
+				continue
+			}
+			for _, p := range e.principals {
+				if e.apply(ri, p) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// env is the variable binding built up while matching a rule's
+// premises. Maps are tiny; copy-on-write keeps backtracking simple.
+type env map[string]AVal
+
+func (m env) clone() env {
+	c := make(env, len(m)+1)
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// apply tries every way of deriving ri's head for principal p:
+// candidates unify against p's own facts, the elector (if any) against
+// any principal's facts — delegation is the cross-principal edge of the
+// role graph — and the constraint folds three-valued against the
+// scenario's closed world. Unknown downgrades to "possible" instead of
+// blocking. Returns whether the fact set changed.
+func (e *reachEngine) apply(ri *ruleInfo, p string) bool {
+	r := ri.rule
+	base := env{}
+	if h, ok := e.scn.Hosts[p]; ok {
+		base["@host"] = Lit(h)
+	} else {
+		base["@host"] = Top()
+	}
+
+	changed := false
+	derive := func(en env, possible, evictable bool, prems []*Fact, elector, note string) {
+		// Fold the constraint last, with every premise binding in scope.
+		en, t, cnote := e.evalConstraint(r.Constraint, en, ri.in.Service)
+		if t == triFalse {
+			return
+		}
+		if t == triUnknown {
+			possible = true
+			if note == "" {
+				note = cnote
+			}
+		}
+		if starredGroupTest(r.Constraint) || r.Revoker != nil || r.ElectStarred {
+			evictable = true
+		}
+		args := make([]AVal, len(r.Head.Args))
+		for i, t := range r.Head.Args {
+			args[i] = termVal(t, en)
+		}
+		kind := DerivRule
+		if len(r.Candidates) == 0 && r.Elector == nil {
+			kind = DerivClaim
+			// An unchecked claim is a certificate the issuing service
+			// revokes directly (the R001 exemption), so the chain stays
+			// evictable.
+			evictable = true
+		}
+		wit := &Derivation{
+			Kind: kind, File: ri.in.File, Line: ri.line(),
+			Rule: strings.TrimSpace(r.String()), Elector: elector, Prems: prems, Note: note,
+		}
+		if e.add(p, ri.key, args, possible, evictable, wit) {
+			changed = true
+		}
+	}
+
+	// matchPremise enumerates the ways one premise reference can be
+	// satisfied: against each held fact, and — when the reference names
+	// a service outside the analysis — against an assumed foreign fact.
+	matchPremise := func(ref *rdl.RoleRef, holder string, en env, then func(en env, f *Fact, weak bool)) {
+		key := keyOf(ri.in, ref)
+		for _, f := range e.factsFor(holder, key) {
+			if en2, weak, ok := matchArgs(ref.Args, f.Args, en); ok {
+				then(en2, f, weak || f.Possible)
+			}
+		}
+		if !e.loaded[refService(ri.in, ref)] {
+			en2 := en.clone()
+			args := make([]AVal, len(ref.Args))
+			for i, t := range ref.Args {
+				args[i] = bindTerm(t, en2)
+			}
+			f := &Fact{
+				Principal: holder, Role: key, Args: args, Possible: true, Evictable: true,
+				Wit: &Derivation{Kind: DerivAssumed, Note: "service not in analysis; premise assumed satisfiable"},
+			}
+			then(en2, f, true)
+		}
+	}
+
+	var cands func(i int, en env, possible, evictable bool, prems []*Fact)
+	cands = func(i int, en env, possible, evictable bool, prems []*Fact) {
+		if i == len(r.Candidates) {
+			if r.Elector == nil {
+				derive(en, possible, evictable, prems, "", "")
+				return
+			}
+			for _, q := range e.principals {
+				matchPremise(r.Elector, q, en, func(en2 env, f *Fact, weak bool) {
+					ev := evictable
+					if r.Elector.Starred && f.Evictable {
+						ev = true
+					}
+					derive(en2, possible || weak, ev, append(append([]*Fact(nil), prems...), f), q, "")
+				})
+			}
+			return
+		}
+		matchPremise(&r.Candidates[i], p, en, func(en2 env, f *Fact, weak bool) {
+			ev := evictable
+			if r.Candidates[i].Starred && f.Evictable {
+				ev = true
+			}
+			cands(i+1, en2, possible || weak, ev, append(append([]*Fact(nil), prems...), f))
+		})
+	}
+	cands(0, base, false, false, nil)
+	return changed
+}
+
+// termVal resolves a rule term under the environment: literals render
+// canonically, bound variables take their value, unbound variables are
+// ⊤ (the entrant chooses them at request time).
+func termVal(t rdl.Term, en env) AVal {
+	if t.Var != "" {
+		if v, ok := en[t.Var]; ok {
+			return v
+		}
+		return Top()
+	}
+	return litVal(t)
+}
+
+// bindTerm is termVal but records the binding of a previously unbound
+// variable (used when assuming a foreign premise: its unknown arguments
+// flow into the head).
+func bindTerm(t rdl.Term, en env) AVal {
+	if t.Var != "" {
+		if v, ok := en[t.Var]; ok {
+			return v
+		}
+		en[t.Var] = Top()
+		return Top()
+	}
+	return litVal(t)
+}
+
+func litVal(t rdl.Term) AVal {
+	switch {
+	case t.IsInt:
+		return Lit(strconv.FormatInt(t.IntLit, 10))
+	case t.IsSet:
+		return Lit(canonSet(t.SetLit))
+	default:
+		return Lit(t.StrLit)
+	}
+}
+
+// matchArgs unifies a premise reference's argument terms against a
+// fact's abstract values. A literal or bound variable matches an equal
+// literal strongly and ⊤ weakly (the unknown value may or may not be
+// the one required); an unbound variable binds to the fact's value.
+// weak reports that the match relied on ⊤ somewhere, which downgrades
+// the derivation to "possible".
+func matchArgs(refArgs []rdl.Term, factArgs []AVal, en env) (env, bool, bool) {
+	if len(refArgs) != len(factArgs) {
+		return nil, false, false
+	}
+	out := en.clone()
+	weak := false
+	for i, t := range refArgs {
+		fv := factArgs[i]
+		var want AVal
+		if t.Var != "" {
+			bound, ok := out[t.Var]
+			if !ok {
+				out[t.Var] = fv
+				if fv.IsTop() {
+					weak = true
+				}
+				continue
+			}
+			want = bound
+		} else {
+			want = litVal(t)
+		}
+		switch {
+		case want.IsTop() || fv.IsTop():
+			weak = true
+			// Refine a ⊤ binding when the fact pins the value down.
+			if t.Var != "" && want.IsTop() && !fv.IsTop() {
+				out[t.Var] = fv
+			}
+		case want.Literal() != fv.Literal():
+			return nil, false, false
+		}
+	}
+	return out, weak, true
+}
+
+// evalConstraint folds a constraint three-valued against the scenario's
+// closed world, binding variables through top-level "v = literal"
+// equations first (the ACL idiom of §3.3.3). It returns the updated
+// environment, the verdict, and a note explaining an unknown verdict.
+func (e *reachEngine) evalConstraint(x rdl.Expr, en env, service string) (env, tri, string) {
+	if x == nil {
+		return en, triTrue, ""
+	}
+	en = e.bindEqs(x, en.clone())
+	t, note := e.fold(x, en, service)
+	return en, t, note
+}
+
+// bindEqs walks the conjunction spine and binds unbound variables that
+// a "v = <operand>" equation determines: to the literal, or to ⊤ when
+// the right-hand side is a server-specific call or itself unknown.
+func (e *reachEngine) bindEqs(x rdl.Expr, en env) env {
+	switch c := x.(type) {
+	case rdl.AndExpr:
+		return e.bindEqs(c.R, e.bindEqs(c.L, en))
+	case rdl.StarExpr:
+		return e.bindEqs(c.E, en)
+	case rdl.CmpExpr:
+		if c.Op != rdl.CmpEq {
+			return en
+		}
+		bind := func(v *rdl.Term, other rdl.Operand) {
+			if v == nil || v.Var == "" {
+				return
+			}
+			if _, ok := en[v.Var]; ok {
+				return
+			}
+			if other.Term != nil {
+				en[v.Var] = termVal(*other.Term, en)
+			} else {
+				en[v.Var] = Top()
+			}
+		}
+		bind(c.L.Term, c.R)
+		bind(c.R.Term, c.L)
+	}
+	return en
+}
+
+// fold is the three-valued constraint evaluator of the reachability
+// domain: group tests decide against the scenario's closed world,
+// comparisons decide when both operands are concrete, server-specific
+// calls stay unknown.
+func (e *reachEngine) fold(x rdl.Expr, en env, service string) (tri, string) {
+	switch c := x.(type) {
+	case nil:
+		return triTrue, ""
+	case rdl.AndExpr:
+		lt, ln := e.fold(c.L, en, service)
+		rt, rn := e.fold(c.R, en, service)
+		return triAnd(lt, rt), firstNote(ln, rn)
+	case rdl.OrExpr:
+		lt, ln := e.fold(c.L, en, service)
+		rt, rn := e.fold(c.R, en, service)
+		return triOr(lt, rt), firstNote(ln, rn)
+	case rdl.NotExpr:
+		t, n := e.fold(c.E, en, service)
+		return triNot(t), n
+	case rdl.StarExpr:
+		return e.fold(c.E, en, service)
+	case rdl.InExpr:
+		if c.Call != nil {
+			return triUnknown, fmt.Sprintf("%s depends on a server-specific function", c.String())
+		}
+		v := termVal(c.T, en)
+		if v.IsTop() {
+			return triUnknown, fmt.Sprintf("%s undecided: %s is unknown", c.String(), c.T.String())
+		}
+		in := e.scn.IsMember(v.Literal(), service+"."+c.Group)
+		if in != c.Neg {
+			return triTrue, ""
+		}
+		return triFalse, ""
+	case rdl.CmpExpr:
+		if c.L.Call != nil || c.R.Call != nil {
+			return triUnknown, fmt.Sprintf("%s depends on a server-specific function", c.String())
+		}
+		lv, rv := termVal(*c.L.Term, en), termVal(*c.R.Term, en)
+		if lv.IsTop() || rv.IsTop() {
+			return triUnknown, fmt.Sprintf("%s undecided: an operand is unknown", c.String())
+		}
+		return cmpAVals(c.Op, lv, rv), ""
+	case rdl.CallExpr:
+		return triUnknown, fmt.Sprintf("%s depends on a server-specific function", c.String())
+	default:
+		return triUnknown, ""
+	}
+}
+
+func firstNote(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// cmpAVals compares two concrete abstract values: numerically when both
+// parse as integers, as rune sets when both are set literals, as
+// strings otherwise.
+func cmpAVals(op rdl.CmpOp, a, b AVal) tri {
+	as, bs := a.Literal(), b.Literal()
+	if ai, err := strconv.ParseInt(as, 10, 64); err == nil {
+		if bi, err := strconv.ParseInt(bs, 10, 64); err == nil {
+			return cmpOrdered(op, compareInt(ai, bi))
+		}
+	}
+	if strings.HasPrefix(as, "{") && strings.HasPrefix(bs, "{") {
+		return cmpSets(op, strings.Trim(as, "{}"), strings.Trim(bs, "{}"))
+	}
+	return cmpOrdered(op, strings.Compare(as, bs))
+}
+
+// matchAssert matches a fact against an assertion's argument pattern.
+// strict demands literal-for-literal equality (⊤ in the fact does not
+// prove a literal); loose lets ⊤ stand for anything.
+func matchAssert(a ScnAssert, f *Fact) (strict, loose bool) {
+	if !a.HasArgs {
+		return true, true
+	}
+	if len(a.Args) != len(f.Args) {
+		return false, false
+	}
+	strict = true
+	for i, want := range a.Args {
+		got := f.Args[i]
+		switch {
+		case want.IsTop():
+			// wildcard: anything matches
+		case got.IsTop():
+			strict = false
+		case want.Literal() != got.Literal():
+			return false, false
+		}
+	}
+	return strict, true
+}
+
+// evalAsserts checks every scenario assertion against the fixpoint:
+// expect demands a definite, exact match; possible accepts any
+// conservative match; deny demands that nothing matches even loosely.
+func (e *reachEngine) evalAsserts() {
+	for _, a := range e.scn.Asserts {
+		res := AssertResult{Assert: a}
+		var best *Fact // exact definite > loose/possible
+		for _, f := range e.factsFor(a.Principal, a.Key()) {
+			strict, loose := matchAssert(a, f)
+			if !loose {
+				continue
+			}
+			if strict && !f.Possible {
+				best = f
+				break
+			}
+			if best == nil {
+				best = f
+			}
+		}
+		definite := best != nil && !best.Possible && func() bool { s, _ := matchAssert(a, best); return s }()
+		switch a.Kind {
+		case AssertExpect:
+			res.OK = definite
+			res.Matched = best
+			switch {
+			case definite:
+				res.Detail = fmt.Sprintf("%s holds: %s reaches %s", a, a.Principal, best.Instance())
+			case best != nil:
+				res.Detail = fmt.Sprintf("%s failed: only possibly reachable (best: %s)", a, best.Instance())
+			default:
+				res.Detail = fmt.Sprintf("%s failed: unreachable", a)
+			}
+		case AssertPossible:
+			res.OK = best != nil
+			res.Matched = best
+			if res.OK {
+				res.Detail = fmt.Sprintf("%s holds: %s (%s)", a, best.Instance(), best.Certainty())
+			} else {
+				res.Detail = fmt.Sprintf("%s failed: unreachable", a)
+			}
+		case AssertDeny:
+			res.OK = best == nil
+			res.Matched = best
+			if res.OK {
+				res.Detail = fmt.Sprintf("%s holds: unreachable", a)
+			} else {
+				res.Detail = fmt.Sprintf("%s failed: %s is %s", a, best.Instance(), best.Certainty())
+			}
+		}
+		e.asserts = append(e.asserts, res)
+	}
+}
+
+// emitFindings turns the fixpoint into findings: R008 for open-access
+// roles (definitely reachable by a principal the scenario never granted
+// a credential), R009 for unrevocable derivations, R010 for assertion
+// failures.
+func (e *reachEngine) emitFindings() {
+	openAccess := make(map[string]bool)
+	unrevocable := make(map[string]bool)
+	for _, f := range e.facts {
+		site := e.defined[f.Role]
+		if site == nil {
+			continue // foreign role; its policy is not in view
+		}
+		if !f.Possible && !openAccess[f.Role] && !e.scn.Granted(f.Principal) {
+			openAccess[f.Role] = true
+			e.findings = append(e.findings, Finding{
+				Code: CodeOpenAccess, Severity: Warning,
+				Service: site.in.Service, File: site.in.File, Line: site.line, Role: f.Role,
+				Message: fmt.Sprintf("role instance %s is reachable by a principal holding no initial credential (open access; scenario %s)", f.Instance(), e.scn.File),
+			})
+		}
+		if !f.Evictable && !unrevocable[f.Role] {
+			unrevocable[f.Role] = true
+			e.findings = append(e.findings, Finding{
+				Code: CodeUnrevocableChain, Severity: Warning,
+				Service: site.in.Service, File: site.in.File, Line: site.line, Role: f.Role,
+				Message: fmt.Sprintf("%s can reach %s through a derivation containing no revocable credential: revocation can never evict the holder (§5)", f.Principal, f.Instance()),
+			})
+		}
+	}
+	for _, res := range e.asserts {
+		if res.OK {
+			continue
+		}
+		a := res.Assert
+		e.findings = append(e.findings, Finding{
+			Code: CodeAssertFailed, Severity: Error,
+			Service: a.Service, File: e.scn.File, Line: a.Line, Role: a.Key(),
+			Message: res.Detail,
+		})
+	}
+}

@@ -1,0 +1,401 @@
+package analyze
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const golfSrc = `
+def Member(p) p: Login.userid
+Member(p)  <- Login.LoggedOn(p, h)* : (p in founders)*
+Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)
+Member(p)  <- Rec(p, m1)* <| Member(m2) : m1 != m2
+`
+
+const loginClaimSrc = `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`
+
+// loginDeclSrc declares LoggedOn without any rule, so tests can model a
+// closed login service: only scenario credentials produce logins.
+const loginDeclSrc = `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+`
+
+func reachOn(t *testing.T, files map[string]string, scnSrc string) *ReachReport {
+	t.Helper()
+	scn, err := ParseScenario("test.scn", scnSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []Input
+	for _, svc := range []string{"Golf", "Login", "Conf", "Main"} {
+		if src, ok := files[svc]; ok {
+			inputs = append(inputs, Input{Service: svc, File: svc + ".rdl", RF: checkFile(t, src)})
+		}
+	}
+	return Reach(inputs, scn)
+}
+
+func factOf(rep *ReachReport, principal, instance string) *Fact {
+	for _, f := range rep.Facts {
+		if f.Principal == principal && f.Instance() == instance {
+			return f
+		}
+	}
+	return nil
+}
+
+func TestScenarioParse(t *testing.T) {
+	scn, err := ParseScenario("s.scn", `
+# comment
+scenario demo
+principal mallory
+host carol bastion
+credential carol Pw.Passwd("carol", 7, {rw}, *)
+member bastion Login.secure
+foreign Pw.Passwd(Login.userid, integer, {rwx}, string)
+expect carol Login.Login(3, *, *)
+deny mallory Login.Login(3, *, *)
+possible mallory Login.Login
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "demo" {
+		t.Errorf("name = %q", scn.Name)
+	}
+	if got := scn.Principals; !reflect.DeepEqual(got, []string{"mallory", "carol"}) {
+		t.Errorf("principals = %v", got)
+	}
+	c := scn.Credentials[0]
+	if c.Service != "Pw" || c.Role != "Passwd" {
+		t.Errorf("credential role = %s.%s", c.Service, c.Role)
+	}
+	want := []string{"carol", "7", "{rw}", "*"}
+	for i, a := range c.Args {
+		if a.String() != want[i] {
+			t.Errorf("arg %d = %s, want %s", i, a, want[i])
+		}
+	}
+	if !scn.IsMember("bastion", "Login.secure") || scn.IsMember("cafe", "Login.secure") {
+		t.Error("closed-world membership wrong")
+	}
+	if len(scn.Foreign) != 1 || len(scn.Foreign[0].Types) != 4 {
+		t.Errorf("foreign = %+v", scn.Foreign)
+	}
+	if len(scn.Asserts) != 3 || scn.Asserts[0].Kind != AssertExpect || scn.Asserts[1].Kind != AssertDeny {
+		t.Errorf("asserts = %+v", scn.Asserts)
+	}
+	if scn.Asserts[2].HasArgs {
+		t.Error("argless assert should not have args")
+	}
+	if !scn.Granted("carol") || scn.Granted("mallory") {
+		t.Error("Granted wrong")
+	}
+}
+
+func TestScenarioParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"frobnicate x y",
+		"credential alice Member", // not service-qualified
+		"member alice staff",      // group not qualified
+		"credential alice Golf.Member(",
+		"host carol",
+	} {
+		if _, err := ParseScenario("bad.scn", src); err == nil {
+			t.Errorf("no error for %q", src)
+		} else if !strings.Contains(err.Error(), "bad.scn:1:") {
+			t.Errorf("error %v lacks file:line", err)
+		}
+	}
+}
+
+// TestQuorumReachable is the golf club with two founders: a non-founder
+// enters Member through a recommendation by one founder countersigned
+// by the other, and the witness chain records the whole derivation.
+func TestQuorumReachable(t *testing.T) {
+	rep := reachOn(t, map[string]string{"Golf": golfSrc, "Login": loginDeclSrc}, `
+credential arnold Login.LoggedOn("arnold", "club")
+credential gary   Login.LoggedOn("gary", "club")
+credential jack   Login.LoggedOn("jack", "club")
+member arnold Golf.founders
+member gary   Golf.founders
+expect jack Golf.Member("jack")
+`)
+	for _, res := range rep.Asserts {
+		if !res.OK {
+			t.Errorf("assert failed: %s", res.Detail)
+		}
+	}
+	f := factOf(rep, "jack", "Golf.Member(jack)")
+	if f == nil || f.Possible {
+		t.Fatalf("jack's membership missing or not definite: %+v", f)
+	}
+	wit := WitnessString(f)
+	for _, needle := range []string{"Rec(p,m1)", "elected by", "credential granted by scenario"} {
+		if !strings.Contains(wit, needle) {
+			t.Errorf("witness lacks %q:\n%s", needle, wit)
+		}
+	}
+	if !f.Evictable {
+		t.Error("quorum membership should be evictable (starred premises)")
+	}
+}
+
+// TestMutualRecursionNoBase drops the founders base rule: Member and
+// Rec require each other, so with no base case the fixpoint must
+// converge to nothing rather than loop.
+func TestMutualRecursionNoBase(t *testing.T) {
+	noBase := `
+def Member(p) p: Login.userid
+Rec(p, m1) <- Login.LoggedOn(p, h)* <| Member(m1)
+Member(p)  <- Rec(p, m1)* <| Member(m2) : m1 != m2
+`
+	rep := reachOn(t, map[string]string{"Golf": noBase, "Login": loginDeclSrc}, `
+credential jack Login.LoggedOn("jack", "club")
+deny jack Golf.Member
+deny jack Golf.Rec
+`)
+	for _, res := range rep.Asserts {
+		if !res.OK {
+			t.Errorf("assert failed: %s", res.Detail)
+		}
+	}
+}
+
+// TestSingleFounderQuorumFails: with one founder the quorum constraint
+// m1 != m2 can never pick two distinct members, so a non-founder stays
+// out — the constraint folder must decide the inequality concretely.
+func TestSingleFounderQuorumFails(t *testing.T) {
+	rep := reachOn(t, map[string]string{"Golf": golfSrc, "Login": loginDeclSrc}, `
+credential arnold Login.LoggedOn("arnold", "club")
+credential jack   Login.LoggedOn("jack", "club")
+member arnold Golf.founders
+expect arnold Golf.Member("arnold")
+deny jack Golf.Member("jack")
+`)
+	for _, res := range rep.Asserts {
+		if !res.OK {
+			t.Errorf("assert failed: %s", res.Detail)
+		}
+	}
+}
+
+// TestUnknownConstraintPossible: a group test over an unknown value and
+// a foreign-service premise must both downgrade to "possible", never
+// block or prove.
+func TestUnknownConstraintPossible(t *testing.T) {
+	src := `
+def Vip(u) u: Login.userid
+def Remote(u) u: Login.userid
+Vip(u)   <- Login.LoggedOn(u, h)* : u in vips
+Remote(u) <- Ext.Token(u)*
+`
+	rep := reachOn(t, map[string]string{"Conf": src, "Login": loginClaimSrc}, `
+credential alice Login.LoggedOn("alice", "conf")
+member bob Conf.vips
+expect  bob Conf.Vip   # fails: the claimed login's userid is unknown
+possible alice Conf.Remote
+possible alice Conf.Vip("alice")  # loose: Vip(*) covers it conservatively
+`)
+	// alice is not a vip: her concrete credential decides the group test
+	// false. The claimed unknown login leaves Vip(*) merely possible.
+	if f := factOf(rep, "alice", "Conf.Vip(alice)"); f != nil {
+		t.Errorf("alice got Vip(alice): %+v", f)
+	}
+	f := factOf(rep, "alice", "Conf.Vip(*)")
+	if f == nil || !f.Possible {
+		t.Fatalf("Vip(*) should be possible for alice: %+v", f)
+	}
+	if f.Wit.Note == "" || !strings.Contains(f.Wit.Note, "vips") {
+		t.Errorf("possible verdict lacks explaining note: %+v", f.Wit)
+	}
+	// The foreign premise makes Remote possible, with an assumed node.
+	fr := factOf(rep, "alice", "Conf.Remote(*)")
+	if fr == nil || !fr.Possible {
+		t.Fatalf("Remote(*) should be possible: %+v", fr)
+	}
+	if !strings.Contains(WitnessString(fr), "assumed") {
+		t.Errorf("witness lacks assumed node:\n%s", WitnessString(fr))
+	}
+	// bob holds no login credential; the claim gives an unknown userid,
+	// so even a listed vip cannot be *proven* in.
+	for _, res := range rep.Asserts {
+		switch res.Assert.Kind {
+		case AssertExpect:
+			if res.OK {
+				t.Errorf("expect bob Conf.Vip should fail (unknown userid): %s", res.Detail)
+			}
+		default:
+			if !res.OK {
+				t.Errorf("assert failed: %s", res.Detail)
+			}
+		}
+	}
+	if n := len(findCode(rep.Findings, CodeAssertFailed)); n != 1 {
+		t.Errorf("want 1 R010, got %d", n)
+	}
+}
+
+// TestWitnessMinimality: arnold is a founder, so his membership must be
+// witnessed by the direct founders rule even though the quorum rule
+// also derives it later.
+func TestWitnessMinimality(t *testing.T) {
+	rep := reachOn(t, map[string]string{"Golf": golfSrc, "Login": loginDeclSrc}, `
+credential arnold Login.LoggedOn("arnold", "club")
+credential gary   Login.LoggedOn("gary", "club")
+member arnold Golf.founders
+member gary   Golf.founders
+`)
+	f := factOf(rep, "arnold", "Golf.Member(arnold)")
+	if f == nil || f.Possible {
+		t.Fatalf("arnold's membership missing: %+v", f)
+	}
+	w := f.Wit
+	if w.Kind != DerivRule || w.Line != 3 || len(w.Prems) != 1 {
+		t.Fatalf("witness not minimal: %+v", w)
+	}
+	if w.Prems[0].Wit.Kind != DerivCredential {
+		t.Errorf("premise should be the scenario credential, got %v", w.Prems[0].Wit.Kind)
+	}
+}
+
+// TestOpenAccessFinding: an unchecked claim is definitely reachable by
+// the synthesized credential-less principal — R008.
+func TestOpenAccessFinding(t *testing.T) {
+	rep := reachOn(t, map[string]string{"Login": loginClaimSrc}, `
+principal someone
+`)
+	fs := findCode(rep.Findings, CodeOpenAccess)
+	if len(fs) != 1 || fs[0].Role != "Login.LoggedOn" || fs[0].Severity != Warning {
+		t.Fatalf("R008 = %+v", fs)
+	}
+	f := factOf(rep, AnyonePrincipal, "Login.LoggedOn(*, *)")
+	if f == nil || f.Possible || !f.Evictable {
+		t.Fatalf("anyone's claim fact wrong: %+v", f)
+	}
+}
+
+// TestUnrevocableChainFinding: a rule with only unstarred premises
+// derives a certificate no revocation can ever evict — R009 — while
+// the same rule with a starred premise stays quiet.
+func TestUnrevocableChainFinding(t *testing.T) {
+	scn := `
+credential alice Login.LoggedOn("alice", "conf")
+`
+	rep := reachOn(t, map[string]string{
+		"Conf":  "Admin(u) <- Login.LoggedOn(u, h)\n",
+		"Login": loginDeclSrc,
+	}, scn)
+	fs := findCode(rep.Findings, CodeUnrevocableChain)
+	if len(fs) != 1 || fs[0].Role != "Conf.Admin" {
+		t.Fatalf("R009 = %+v", fs)
+	}
+	rep = reachOn(t, map[string]string{
+		"Conf":  "Admin(u) <- Login.LoggedOn(u, h)*\n",
+		"Login": loginDeclSrc,
+	}, scn)
+	if fs := findCode(rep.Findings, CodeUnrevocableChain); len(fs) != 0 {
+		t.Fatalf("starred premise still reported R009: %+v", fs)
+	}
+}
+
+// TestAssertFailures: every assertion kind fails with an R010 at the
+// assertion's scenario line.
+func TestAssertFailures(t *testing.T) {
+	rep := reachOn(t, map[string]string{"Login": loginClaimSrc}, `credential alice Login.LoggedOn("alice", "conf")
+expect alice Login.Missing
+deny alice Login.LoggedOn
+possible alice Login.Missing
+`)
+	fs := findCode(rep.Findings, CodeAssertFailed)
+	if len(fs) != 3 {
+		t.Fatalf("want 3 R010, got %+v", fs)
+	}
+	for i, want := range []int{2, 3, 4} {
+		if fs[i].Line != want || fs[i].Severity != Error || fs[i].File != "test.scn" {
+			t.Errorf("R010[%d] = %+v", i, fs[i])
+		}
+	}
+}
+
+// TestHostBinding: @host folds to the scenario's per-principal host, so
+// host-gated levels decide concretely.
+func TestHostBinding(t *testing.T) {
+	src := `
+def Login(l, u, h) l: integer u: Login.userid h: string
+Login(2, u, @host) <- Login.LoggedOn(u, h2)* : @host in secure
+Login(1, u, @host) <- Login.LoggedOn(u, h2)*
+`
+	rep := reachOn(t, map[string]string{"Main": src, "Login": loginDeclSrc}, `
+credential carol Login.LoggedOn("carol", "x")
+host carol bastion
+member bastion Main.secure
+credential dave Login.LoggedOn("dave", "x")
+host dave cafe
+expect carol Main.Login(2, "carol", "bastion")
+deny dave Main.Login(2, *, *)
+expect dave Main.Login(1, "dave", "cafe")
+`)
+	for _, res := range rep.Asserts {
+		if !res.OK {
+			t.Errorf("assert failed: %s", res.Detail)
+		}
+	}
+}
+
+// TestReachDeterministic runs the same reachability twice and demands
+// byte-identical reports — map iteration anywhere in the engine would
+// break this.
+func TestReachDeterministic(t *testing.T) {
+	files := map[string]string{"Golf": golfSrc, "Login": loginClaimSrc}
+	scn := `
+credential arnold Login.LoggedOn("arnold", "club")
+credential gary   Login.LoggedOn("gary", "club")
+credential jack   Login.LoggedOn("jack", "club")
+member arnold Golf.founders
+member gary   Golf.founders
+`
+	render := func() string {
+		rep := reachOn(t, files, scn)
+		var b strings.Builder
+		for _, f := range rep.Facts {
+			WriteWitness(&b, f)
+		}
+		for _, f := range rep.Findings {
+			b.WriteString(f.String() + "\n")
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("reach output not deterministic:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}
+
+// TestAnalyzeDeterministic is the findings-order regression test: the
+// analyzer must return the identical slice on every run.
+func TestAnalyzeDeterministic(t *testing.T) {
+	inputs := []Input{
+		{Service: "Golf", File: "Golf.rdl", RF: checkFile(t, golfSrc)},
+		{Service: "Login", File: "Login.rdl", RF: checkFile(t, loginClaimSrc)},
+		{Service: "Conf", File: "Conf.rdl", RF: checkFile(t, `
+def Ghost(u) u: Login.userid
+Chair     <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+Ghost(u)  <- Conf.Nothing(u)
+`)},
+	}
+	first := Analyze(inputs)
+	for i := 0; i < 10; i++ {
+		if again := Analyze(inputs); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d differs:\nfirst: %v\nagain: %v", i, first, again)
+		}
+	}
+	if len(first) == 0 {
+		t.Fatal("fixture produced no findings; determinism test is vacuous")
+	}
+}

@@ -1,0 +1,368 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Scenario is the input of the reachability engine (reach.go): an
+// initial credential assignment per principal, the closed-world facts
+// the constraint folder may rely on (group membership, request hosts),
+// signatures for roles of services outside the analysis, and the
+// expect/possible/deny assertions that pin intended reachability so
+// examples and CI can gate on them (R010).
+//
+// The format is line-oriented text (.scn); see docs/RDL.md
+// "Reachability analysis" for the grammar.
+type Scenario struct {
+	File string
+	Name string
+
+	// Principals in first-mention order. Principals mentioned only in
+	// assertions are legal: they model an attacker holding nothing.
+	Principals []string
+
+	Credentials []ScnCredential
+
+	// Members is the closed world of group membership: member value ->
+	// fully qualified groups ("Service.group") it belongs to. A value
+	// absent from a group is NOT in it (the closed-world default); only
+	// the unknown value ⊤ leaves a group test undecided.
+	Members map[string]map[string]bool
+
+	// Hosts binds a principal's ambient @host variable. Principals
+	// without a binding connect from an unknown host.
+	Hosts map[string]string
+
+	Foreign []ScnForeign
+	Asserts []ScnAssert
+}
+
+// ScnCredential is one initial credential: Principal holds
+// Service.Role with the given argument values.
+type ScnCredential struct {
+	Principal string
+	Service   string
+	Role      string
+	Args      []AVal
+	Line      int
+}
+
+// ScnForeign declares the signature of a role whose service is not part
+// of the analysis, mirroring rdlcheck's -foreign flag so a scenario is
+// self-contained. Types are the surface-syntax names ("integer",
+// "string", "{rwx}", "Login.userid").
+type ScnForeign struct {
+	Service string
+	Role    string
+	Types   []string
+	Line    int
+}
+
+// AssertKind distinguishes the three scenario assertions.
+type AssertKind int
+
+// The assertion kinds. Expect demands definite reachability, Possible
+// accepts a conservative verdict, Deny demands that not even a
+// conservative derivation exists.
+const (
+	AssertExpect AssertKind = iota
+	AssertPossible
+	AssertDeny
+)
+
+// String names the assertion keyword.
+func (k AssertKind) String() string {
+	switch k {
+	case AssertExpect:
+		return "expect"
+	case AssertPossible:
+		return "possible"
+	default:
+		return "deny"
+	}
+}
+
+// ScnAssert is one reachability assertion. Args is nil to assert about
+// any instance of the role; otherwise each element is a literal that
+// must match or ⊤ ("*") as a wildcard.
+type ScnAssert struct {
+	Kind      AssertKind
+	Principal string
+	Service   string
+	Role      string
+	Args      []AVal // nil: any instance
+	HasArgs   bool
+	Line      int
+}
+
+// Key renders the asserted role as Service.Role.
+func (a ScnAssert) Key() string { return a.Service + "." + a.Role }
+
+// String renders the assertion in scenario syntax.
+func (a ScnAssert) String() string {
+	s := a.Kind.String() + " " + a.Principal + " " + a.Key()
+	if a.HasArgs {
+		parts := make([]string, len(a.Args))
+		for i, v := range a.Args {
+			parts[i] = v.String()
+		}
+		s += "(" + strings.Join(parts, ", ") + ")"
+	}
+	return s
+}
+
+// ParseScenario parses a .scn file.
+func ParseScenario(file, src string) (*Scenario, error) {
+	scn := &Scenario{
+		File:    file,
+		Members: make(map[string]map[string]bool),
+		Hosts:   make(map[string]string),
+	}
+	seen := make(map[string]bool)
+	principal := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			scn.Principals = append(scn.Principals, name)
+		}
+	}
+	for no, raw := range strings.Split(src, "\n") {
+		line := no + 1
+		s := raw
+		if i := strings.IndexAny(s, "#"); i >= 0 {
+			s = s[:i]
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		kw, rest, _ := strings.Cut(s, " ")
+		rest = strings.TrimSpace(rest)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", file, line, fmt.Sprintf(format, args...))
+		}
+		switch kw {
+		case "scenario":
+			scn.Name = rest
+		case "principal":
+			if rest == "" || strings.ContainsAny(rest, " \t") {
+				return nil, fail("principal wants one name, got %q", rest)
+			}
+			principal(rest)
+		case "host":
+			p, h, ok := strings.Cut(rest, " ")
+			h = strings.TrimSpace(h)
+			if !ok || h == "" {
+				return nil, fail("host wants: host <principal> <hostname>")
+			}
+			principal(p)
+			scn.Hosts[p] = unquote(h)
+		case "credential":
+			p, ref, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fail("credential wants: credential <principal> <Service.Role(args)>")
+			}
+			svc, role, args, _, err := parseScnRef(strings.TrimSpace(ref))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if svc == "" {
+				return nil, fail("credential role must be service-qualified (Service.Role)")
+			}
+			principal(p)
+			scn.Credentials = append(scn.Credentials, ScnCredential{
+				Principal: p, Service: svc, Role: role, Args: args, Line: line,
+			})
+		case "member":
+			v, g, ok := strings.Cut(rest, " ")
+			g = strings.TrimSpace(g)
+			if !ok || !strings.Contains(g, ".") {
+				return nil, fail("member wants: member <value> <Service.group>")
+			}
+			val := unquote(v)
+			if scn.Members[val] == nil {
+				scn.Members[val] = make(map[string]bool)
+			}
+			scn.Members[val][g] = true
+		case "foreign":
+			svc, role, _, types, err := parseScnRef(rest)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if svc == "" {
+				return nil, fail("foreign role must be service-qualified (Service.Role)")
+			}
+			scn.Foreign = append(scn.Foreign, ScnForeign{Service: svc, Role: role, Types: types, Line: line})
+		case "expect", "possible", "deny":
+			var kind AssertKind
+			switch kw {
+			case "expect":
+				kind = AssertExpect
+			case "possible":
+				kind = AssertPossible
+			default:
+				kind = AssertDeny
+			}
+			p, ref, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fail("%s wants: %s <principal> <Service.Role[(args)]>", kw, kw)
+			}
+			svc, role, args, _, err := parseScnRef(strings.TrimSpace(ref))
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if svc == "" {
+				return nil, fail("%s role must be service-qualified (Service.Role)", kw)
+			}
+			principal(p)
+			scn.Asserts = append(scn.Asserts, ScnAssert{
+				Kind: kind, Principal: p, Service: svc, Role: role,
+				Args: args, HasArgs: strings.Contains(ref, "("), Line: line,
+			})
+		default:
+			return nil, fail("unknown directive %q (want scenario, principal, host, credential, member, foreign, expect, possible or deny)", kw)
+		}
+	}
+	return scn, nil
+}
+
+// IsMember answers a closed-world group test: v is in Service.group iff
+// the scenario lists it.
+func (s *Scenario) IsMember(v, qualifiedGroup string) bool {
+	return s.Members[v][qualifiedGroup]
+}
+
+// Granted reports whether the scenario gives the principal any initial
+// credential — the R008 distinction.
+func (s *Scenario) Granted(principal string) bool {
+	for _, c := range s.Credentials {
+		if c.Principal == principal {
+			return true
+		}
+	}
+	return false
+}
+
+// parseScnRef parses "Service.Role", "Service.Role(a, b)" or, for
+// foreign declarations, "Service.Role(type, type)". Arguments are
+// returned both as abstract values (for credentials/assertions) and as
+// raw text (for foreign type lists).
+func parseScnRef(s string) (svc, role string, args []AVal, raw []string, err error) {
+	name := s
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return "", "", nil, nil, fmt.Errorf("unbalanced parentheses in %q", s)
+		}
+		name = s[:i]
+		inner := strings.TrimSpace(s[i+1 : len(s)-1])
+		if inner != "" {
+			for _, part := range splitArgs(inner) {
+				part = strings.TrimSpace(part)
+				raw = append(raw, part)
+				v, err := parseAVal(part)
+				if err != nil {
+					return "", "", nil, nil, err
+				}
+				args = append(args, v)
+			}
+		}
+	}
+	name = strings.TrimSpace(name)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		svc, role = name[:i], name[i+1:]
+	} else {
+		role = name
+	}
+	if role == "" {
+		return "", "", nil, nil, fmt.Errorf("empty role name in %q", s)
+	}
+	return svc, role, args, raw, nil
+}
+
+// splitArgs splits a comma-separated argument list, respecting quoted
+// strings and set braces.
+func splitArgs(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			inStr = !inStr
+		case '{':
+			if !inStr {
+				depth++
+			}
+		case '}':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// parseAVal parses one scenario literal: quoted string, integer, set
+// literal, "*" (the unknown value ⊤), or a bare word (shorthand for a
+// string — principal names double as userids everywhere in the paper's
+// examples).
+func parseAVal(s string) (AVal, error) {
+	switch {
+	case s == "*":
+		return Top(), nil
+	case strings.HasPrefix(s, `"`):
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return AVal{}, fmt.Errorf("bad string literal %s: %v", s, err)
+		}
+		return Lit(u), nil
+	case strings.HasPrefix(s, "{"):
+		if !strings.HasSuffix(s, "}") {
+			return AVal{}, fmt.Errorf("unbalanced set literal %s", s)
+		}
+		return Lit(canonSet(strings.Trim(s, "{}"))), nil
+	default:
+		if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return Lit(s), nil
+		}
+		if s == "" || strings.ContainsAny(s, "() \t") {
+			return AVal{}, fmt.Errorf("bad literal %q", s)
+		}
+		return Lit(s), nil
+	}
+}
+
+// canonSet renders a set literal canonically: sorted unique runes
+// wrapped in braces, so {ba} and {ab} compare equal.
+func canonSet(elems string) string {
+	seen := make(map[rune]bool)
+	var rs []rune
+	for _, r := range elems {
+		if !seen[r] {
+			seen[r] = true
+			rs = append(rs, r)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
+	return "{" + string(rs) + "}"
+}
+
+// unquote strips optional double quotes from a scenario value.
+func unquote(s string) string {
+	if strings.HasPrefix(s, `"`) && strings.HasSuffix(s, `"`) && len(s) >= 2 {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+	}
+	return s
+}

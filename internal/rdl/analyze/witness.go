@@ -1,0 +1,137 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Witness rendering: every positive reachability answer carries the
+// derivation chain that gets the principal into the role, printable as
+// an indented tree (WriteWitness) and as a nested JSON document
+// (WitnessJSON). Derivations reference premise facts directly, so a
+// shared premise prints once per occurrence; a visited set guards
+// against upgrade-induced sharing loops.
+
+// WriteWitness prints the fact's derivation tree, indented two spaces
+// per level:
+//
+//	arnold reaches Golf.Member(arnold)
+//	  by Golf.rdl:2: Member(p) <- Login.LoggedOn(p,h)* : (p in founders)*
+//	    arnold holds Login.LoggedOn(arnold, clubhouse)  [credential granted by scenario]
+func WriteWitness(w io.Writer, f *Fact) {
+	writeWitness(w, f, 0, make(map[*Fact]bool))
+}
+
+func writeWitness(w io.Writer, f *Fact, depth int, seen map[*Fact]bool) {
+	pad := strings.Repeat("  ", depth)
+	verb := "reaches"
+	if f.Possible {
+		verb = "possibly reaches"
+	}
+	if depth > 0 {
+		verb = "holds"
+		if f.Possible {
+			verb = "possibly holds"
+		}
+	}
+	fmt.Fprintf(w, "%s%s %s %s\n", pad, f.Principal, verb, f.Instance())
+	if seen[f] {
+		fmt.Fprintf(w, "%s  (derivation shown above)\n", pad)
+		return
+	}
+	seen[f] = true
+	defer delete(seen, f)
+	d := f.Wit
+	if d == nil {
+		return
+	}
+	switch d.Kind {
+	case DerivCredential:
+		fmt.Fprintf(w, "%s  credential granted by scenario (%s:%d)\n", pad, d.File, d.Line)
+	case DerivClaim:
+		fmt.Fprintf(w, "%s  by unchecked claim %s:%d: %s\n", pad, d.File, d.Line, d.Rule)
+	case DerivAssumed:
+		fmt.Fprintf(w, "%s  assumed: %s\n", pad, d.Note)
+	case DerivRule:
+		fmt.Fprintf(w, "%s  by %s:%d: %s\n", pad, d.File, d.Line, d.Rule)
+		if d.Elector != "" {
+			fmt.Fprintf(w, "%s  elected by %s\n", pad, d.Elector)
+		}
+	}
+	if d.Note != "" && d.Kind != DerivAssumed {
+		fmt.Fprintf(w, "%s  possible only: %s\n", pad, d.Note)
+	}
+	for _, prem := range d.Prems {
+		writeWitness(w, prem, depth+1, seen)
+	}
+}
+
+// WitnessString renders the tree to a string.
+func WitnessString(f *Fact) string {
+	var b strings.Builder
+	WriteWitness(&b, f)
+	return b.String()
+}
+
+// FactJSON is the JSON form of a fact with its witness, emitted under
+// "reach" in rdlcheck -json output.
+type FactJSON struct {
+	Principal string       `json:"principal"`
+	Role      string       `json:"role"`
+	Args      []AVal       `json:"args,omitempty"`
+	Certainty string       `json:"certainty"`
+	Evictable bool         `json:"evictable"`
+	Witness   *WitnessJSON `json:"witness,omitempty"`
+}
+
+// WitnessJSON is one node of the JSON derivation tree.
+type WitnessJSON struct {
+	Kind     string      `json:"kind"`
+	File     string      `json:"file,omitempty"`
+	Line     int         `json:"line,omitempty"`
+	Rule     string      `json:"rule,omitempty"`
+	Elector  string      `json:"elector,omitempty"`
+	Note     string      `json:"note,omitempty"`
+	Premises []*FactJSON `json:"premises,omitempty"`
+	Cycle    bool        `json:"cycle,omitempty"` // true when truncated at a repeated fact
+}
+
+// FactToJSON converts a fact (and its full derivation) to the JSON
+// document form.
+func FactToJSON(f *Fact) *FactJSON {
+	return factToJSON(f, make(map[*Fact]bool))
+}
+
+func factToJSON(f *Fact, seen map[*Fact]bool) *FactJSON {
+	out := &FactJSON{
+		Principal: f.Principal,
+		Role:      f.Role,
+		Args:      f.Args,
+		Certainty: f.Certainty(),
+		Evictable: f.Evictable,
+	}
+	if f.Wit == nil {
+		return out
+	}
+	w := &WitnessJSON{
+		Kind:    f.Wit.Kind.String(),
+		File:    f.Wit.File,
+		Line:    f.Wit.Line,
+		Rule:    f.Wit.Rule,
+		Elector: f.Wit.Elector,
+		Note:    f.Wit.Note,
+	}
+	out.Witness = w
+	if seen[f] {
+		w.Cycle = true
+		w.Premises = nil
+		return out
+	}
+	seen[f] = true
+	defer delete(seen, f)
+	for _, prem := range f.Wit.Prems {
+		w.Premises = append(w.Premises, factToJSON(prem, seen))
+	}
+	return out
+}
