@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test test-rdl-diff race chaos bench bench-notify bench-rdl \
-	bench-persist bench-smoke bench-json vet lint reach ci all help
+	bench-persist bench-gateway bench-smoke bench-json vet lint reach ci \
+	all help
 
 all: build vet test
 
@@ -25,6 +26,7 @@ help:
 	@echo "bench-notify  notification-plane suite (EXPERIMENTS.md E28)"
 	@echo "bench-rdl   interpreted vs compiled role entry (EXPERIMENTS.md E31)"
 	@echo "bench-persist  journal append + recovery suites (EXPERIMENTS.md E32)"
+	@echo "bench-gateway  HTTP issue/introspect/revoke suite into BENCH_9.json (E33)"
 	@echo "bench-smoke   compile-and-run every benchmark once (part of ci)"
 	@echo "bench-json    E30/E31/E32 benchmarks as test2json into BENCH_5/6/7.json"
 	@echo "ci          build vet lint test test-rdl-diff race chaos bench-smoke"
@@ -51,7 +53,7 @@ test-rdl-diff:
 race:
 	$(GO) test -race ./internal/bus/... ./internal/event/... \
 		./internal/oasis/... ./internal/credrec/... ./internal/cert/... \
-		./internal/fault/... ./cmd/rdlcheck/...
+		./internal/fault/... ./internal/gateway/... ./cmd/rdlcheck/...
 
 # The seeded chaos suite (internal/fault/chaos_test.go) plus the
 # storage kill-point suite (persist_chaos_test.go): whole deployments
@@ -89,6 +91,14 @@ bench-rdl:
 bench-persist:
 	$(GO) test -bench 'PersistAppend' -benchmem -cpu 1,4,8 -run '^$$' .
 	$(GO) test -bench 'PersistRecovery' -benchmem -run '^$$' .
+
+# The federation-gateway suite (bench_gateway_test.go): the full
+# deployed HTTP handler stack at the issue/introspect/revoke hot paths;
+# the perf trajectory lands in BENCH_9.json as test2json (EXPERIMENTS.md
+# E33).
+bench-gateway:
+	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
+		-bench 'Gateway' . > BENCH_9.json
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a measurement. Part of ci.

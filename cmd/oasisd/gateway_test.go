@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/event"
+	"oasis/internal/gateway"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// startGatewayServer boots a service and its federation gateway exactly
+// as run() wires them — same newGateway, real TCP listener — and
+// returns the base URL.
+func startGatewayServer(t *testing.T, svc *oasis.Service, network *bus.Network, cfg config) string {
+	t.Helper()
+	gw := newGateway(svc, network, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = gw.Serve(ln)
+	}()
+	t.Cleanup(func() { _ = ln.Close(); <-done })
+	return "http://" + ln.Addr().String()
+}
+
+func httpPost(t *testing.T, url string, body, out any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("%s: undecodable response %q: %v", url, buf.String(), err)
+		}
+	}
+	return resp
+}
+
+// blockingSink holds every delivery until released, so notifications
+// pile up in the session outbox and PendingNotifications climbs.
+type blockingSink struct{ release chan struct{} }
+
+func (s *blockingSink) Deliver(event.Notification) { <-s.release }
+
+// TestGatewayAcceptance is the end-to-end check from the issue: a token
+// is issued over real HTTP against a running oasisd stack, introspects
+// active with the right role, flips inactive after revocation with no
+// restart, and the gateway sheds mutating requests with 503 +
+// Retry-After while the notification plane is saturated.
+func TestGatewayAcceptance(t *testing.T) {
+	clk := clock.Real()
+	network := bus.NewNetwork(clk)
+	svc, err := oasis.New("Login", clk, network, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddRolefile("main", builtinLoginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	base := startGatewayServer(t, svc, network, config{
+		httpRate: 1000, httpMaxConns: 16, httpPressure: 4,
+	})
+
+	c := ids.NewHostAuthority("ely", clk.Now()).NewDomain()
+	var issued gateway.TokenResponse
+	resp := httpPost(t, base+"/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	}, &issued)
+	if resp.StatusCode != http.StatusOK || issued.Token == "" {
+		t.Fatalf("issue over HTTP: status %d", resp.StatusCode)
+	}
+
+	var in gateway.IntrospectResponse
+	httpPost(t, base+"/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in)
+	if !in.Active || len(in.Roles) == 0 || in.Roles[0] != "LoggedOn" {
+		t.Fatalf("introspection: %+v", in)
+	}
+
+	// Saturate the notification plane: a session whose sink never
+	// returns, hit with concurrent heartbeats, backs up its outbox.
+	sink := &blockingSink{release: make(chan struct{})}
+	if _, err := svc.Broker().OpenSession(sink, nil); err != nil {
+		t.Fatal(err)
+	}
+	const beats = 8
+	var wg sync.WaitGroup
+	for i := 0; i < beats; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); svc.Broker().Heartbeat() }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Broker().PendingNotifications() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("notification plane never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp = httpPost(t, base+"/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", "dm"),
+			value.Object("Login.host", "ely"),
+		},
+	}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("issue under saturation: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// Introspection stays live under pressure.
+	httpPost(t, base+"/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in)
+	if !in.Active {
+		t.Fatal("introspection wrong under saturation")
+	}
+	close(sink.release)
+	wg.Wait()
+	deadline = time.Now().Add(5 * time.Second)
+	for svc.Broker().PendingNotifications() >= 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("notification plane never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Revocation over HTTP, then introspection flips — no restart.
+	var rres gateway.RevokeResponse
+	resp = httpPost(t, base+"/v1/revoke", gateway.RevokeRequest{Token: issued.Token}, &rres)
+	if resp.StatusCode != http.StatusOK || !rres.OK {
+		t.Fatalf("revoke over HTTP: status %d", resp.StatusCode)
+	}
+	httpPost(t, base+"/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in)
+	if in.Active {
+		t.Fatal("revoked token still introspects active")
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"oasis/internal/bus"
+	"oasis/internal/gateway"
+	"oasis/internal/oasis"
+)
+
+// newGateway builds the federation gateway exactly as run() deploys
+// it: per-client rate limiting, a connection cap, and backpressure
+// wired to the whole notification plane — the bus's delay/batch queues
+// plus the service broker's per-session outboxes. Tests reuse this so
+// acceptance coverage exercises the deployed wiring, not a test-local
+// variant.
+func newGateway(svc *oasis.Service, network *bus.Network, cfg config) *gateway.Gateway {
+	return gateway.New(svc, gateway.Options{
+		RatePerSec:    cfg.httpRate,
+		MaxConns:      cfg.httpMaxConns,
+		PressureLimit: cfg.httpPressure,
+		Pressure: func() int {
+			pending := svc.Broker().PendingNotifications()
+			if network != nil {
+				pending += network.PendingNotifications()
+			}
+			return pending
+		},
+	})
+}

@@ -22,6 +22,14 @@
 // the journal tail (docs/STORAGE.md). -sync selects the durability
 // policy (always / batched / none).
 //
+// -http-listen opens the federation gateway (internal/gateway): role
+// entry as token issuance, live token introspection, and RFC 7009
+// revocation over HTTP/JSON for clients outside the trusted-peer
+// protocol (docs/GATEWAY.md). -http-rate shapes the per-client token
+// bucket, -http-max-conns caps concurrent connections, and
+// -http-pressure is the notification-plane backlog at which the
+// gateway sheds mutating requests with 503 + Retry-After.
+//
 // -fault-schedule arms a deterministic fault plane on the in-process
 // bus (drops, duplicates, delays, partitions — the format is documented
 // at internal/fault.ParseSchedule); -fault-seed makes the run
@@ -79,6 +87,10 @@ func main() {
 		faultSched = flag.String("fault-schedule", "", "fault schedule file for the in-process bus (see internal/fault.ParseSchedule); empty disables")
 		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for the fault plane; a run is reproducible from (seed, schedule)")
 		missedHB   = flag.Int("failsafe-missed", 3, "heartbeat periods of silence before a watched source's records fail safe to False")
+		httpListen = flag.String("http-listen", "", "federation gateway (HTTP/JSON token issuance/introspection/revocation) listen address; empty disables")
+		httpRate   = flag.Float64("http-rate", 50, "gateway per-client request budget in requests/second (0 disables rate limiting)")
+		httpConns  = flag.Int("http-max-conns", 1024, "gateway concurrent-connection cap (0 = unlimited)")
+		httpPress  = flag.Int("http-pressure", 4096, "notification-plane backlog at which the gateway sheds mutating requests with 503 (0 disables backpressure)")
 		storeDir   = flag.String("store-dir", "", "persist the credential-record store in this directory (journal + snapshots); empty keeps it in memory")
 		snapEvery  = flag.Int("snapshot-every", 4096, "journal operations between automatic snapshots/compactions (0 disables the trigger)")
 		syncMode   = flag.String("sync", "batched", "journal durability: always (fsync before a mutation returns), batched (one fsync per group commit), none")
@@ -92,6 +104,8 @@ func main() {
 		faultSchedule: *faultSched, faultSeed: *faultSeed,
 		failsafeMissed: *missedHB, remotes: remotes,
 		storeDir: *storeDir, snapshotEvery: *snapEvery, syncMode: *syncMode,
+		httpListen: *httpListen, httpRate: *httpRate,
+		httpMaxConns: *httpConns, httpPressure: *httpPress,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -108,6 +122,10 @@ type config struct {
 	storeDir                  string
 	snapshotEvery             int
 	syncMode                  string
+	httpListen                string
+	httpRate                  float64
+	httpMaxConns              int
+	httpPressure              int
 }
 
 const builtinLoginRolefile = `
@@ -217,6 +235,21 @@ func run(cfg config) error {
 	defer stopHB()
 	stopSusp := svc.StartSuspicion()
 	defer stopSusp()
+	if cfg.httpListen != "" {
+		httpLn, err := net.Listen("tcp", cfg.httpListen)
+		if err != nil {
+			return err
+		}
+		defer httpLn.Close()
+		gw := newGateway(svc, network, cfg)
+		go func() {
+			if err := gw.Serve(httpLn); err != nil {
+				log.Printf("oasisd: gateway listener: %v", err)
+			}
+		}()
+		log.Printf("oasisd: federation gateway on %s (rate %.0f/s, max-conns %d, pressure %d)",
+			httpLn.Addr(), cfg.httpRate, cfg.httpMaxConns, cfg.httpPressure)
+	}
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err

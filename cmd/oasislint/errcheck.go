@@ -23,8 +23,11 @@ var busSendFuncs = map[string]bool{
 //
 // Watched callees: every error-returning function or method declared in
 // internal/credrec/storage (the Backend/Segment/Engine journal
-// surface), and the send-path methods (Flush and the enqueue/flush
-// internals) of internal/bus.
+// surface), the send-path methods (Flush and the enqueue/flush
+// internals) of internal/bus, and net/http ResponseWriter.Write — a
+// dropped response-write error hides a client that went away
+// mid-response, which the federation gateway must count rather than
+// ignore.
 func lintDroppedErrors(p *pkg, module string, report func(token.Pos, string, string)) {
 	storagePath := module + "/internal/credrec/storage"
 	busPath := module + "/internal/bus"
@@ -50,6 +53,12 @@ func lintDroppedErrors(p *pkg, module string, report func(token.Pos, string, str
 			// every error on the storage surface is a durability signal
 		case busPath:
 			if !busSendFuncs[fn.Name()] {
+				return
+			}
+		case "net/http":
+			// Only the response-body write: its error is the sole
+			// evidence the client never received the reply.
+			if fn.Name() != "Write" {
 				return
 			}
 		default:

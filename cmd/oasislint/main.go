@@ -12,8 +12,9 @@
 //	L004  time.Now and friends outside internal/clock — virtual time
 //	      must flow through clock.Clock so tests stay deterministic
 //	L005  an error from the persistence surface (internal/credrec/storage
-//	      Write/Sync/Truncate/Snapshot/...) or a bus send path dropped on
-//	      the floor; `_ =` marks an accepted discard
+//	      Write/Sync/Truncate/Snapshot/...), a bus send path, or an HTTP
+//	      ResponseWriter.Write dropped on the floor; `_ =` marks an
+//	      accepted discard
 //
 // Test files are not analyzed. Any finding makes the exit status
 // non-zero, so `make lint` gates CI.

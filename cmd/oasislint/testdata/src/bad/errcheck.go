@@ -1,6 +1,8 @@
 package bad
 
 import (
+	"net/http"
+
 	"oasis/internal/bus"
 	"oasis/internal/credrec/storage"
 )
@@ -23,4 +25,16 @@ func busDiscards(enc *bus.WireEnc) error {
 	enc.Flush()        // L005: a dropped flush error loses notifications
 	_ = enc.Flush()    // ok: explicit discard
 	return enc.Flush() // ok: returned
+}
+
+func responseDiscards(w http.ResponseWriter, req *http.Request) {
+	w.Write([]byte(`{}`))      // L005: the write error is the only sign the client vanished
+	defer w.Write([]byte("}")) // L005: deferred response write drops the error too
+	w.WriteHeader(200)         // ok: WriteHeader returns nothing
+	if _, err := w.Write(nil); err != nil {
+		_ = err // ok: handled
+	}
+	n, _ := w.Write(nil) // ok: explicit discard
+	_ = n
+	_ = req.Body.Close() // ok: Close is not a watched callee anyway
 }

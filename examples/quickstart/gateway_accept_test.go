@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/gateway"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// TestQuickstartGateway is the quickstart scenario driven over real
+// HTTP: oasisd-style deployment of the Login and Conference policies
+// with a federation gateway in front of Conf. dm's membership arrives
+// as an access token; when dm logs off at Login, the revocation
+// cascades across services and the token introspects inactive — the
+// curl session in docs/GATEWAY.md is this test.
+func TestQuickstartGateway(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(1996, 3, 1, 9, 0, 0, 0, time.UTC))
+	net2 := bus.NewNetwork(clk)
+	login, err := oasis.New("Login", clk, net2, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := oasis.New("Conf", clk, net2, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", confRolefile); err != nil {
+		t.Fatal(err)
+	}
+	conf.Groups().AddMember("dm", "staff")
+
+	gw := gateway.New(conf, gateway.Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = gw.Serve(ln) }()
+	defer func() { _ = ln.Close(); <-done }()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path string, body, out any) int {
+		t.Helper()
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatalf("%s: undecodable response: %v", path, err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	// jmb chairs; the chair elects dm (figure 4.3).
+	ely := ids.NewHostAuthority("ely", clk.Now())
+	cam := ids.NewHostAuthority("cam", clk.Now())
+	jmbProc, dmProc := ely.NewDomain(), cam.NewDomain()
+	logOn := func(c ids.ClientID, user string) *cert.RMC {
+		rmc, err := login.Enter(oasis.EnterRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{
+				value.Object("Login.userid", user),
+				value.Object("Login.host", c.Host),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rmc
+	}
+	jmbLogin := logOn(jmbProc, "jmb")
+	chair, err := conf.Enter(oasis.EnterRequest{
+		Client: jmbProc, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{jmbLogin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := conf.Delegate(oasis.DelegateRequest{
+		Client: jmbProc, Rolefile: "main", Role: "Member",
+		Args:        []value.Value{value.Object("Login.userid", "dm")},
+		ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// dm accepts the election over HTTP: a Member access token.
+	dmLogin := logOn(dmProc, "dm")
+	var issued gateway.TokenResponse
+	if code := post("/v1/token", gateway.TokenRequest{
+		Client: dmProc, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{dmLogin}, Delegation: deleg,
+	}, &issued); code != http.StatusOK {
+		t.Fatalf("token issuance: status %d", code)
+	}
+
+	var in gateway.IntrospectResponse
+	post("/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in)
+	if !in.Active || in.Issuer != "Conf" {
+		t.Fatalf("fresh membership token: %+v", in)
+	}
+
+	// dm logs off at Login — a different service than the gateway
+	// fronts. The Modified event crosses the bus, Conf revokes the
+	// membership, and the token is dead with no gateway involvement.
+	if err := login.Exit(dmLogin, dmProc); err != nil {
+		t.Fatal(err)
+	}
+	post("/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in)
+	if in.Active {
+		t.Fatal("token survived the cross-service logout cascade")
+	}
+
+	// The chair's explicit path still works over HTTP: re-elect, then
+	// present the revocation certificate from the election (the
+	// "revocation certificate held by chair" of the quickstart).
+	deleg2, rev2, err := conf.Delegate(oasis.DelegateRequest{
+		Client: jmbProc, Rolefile: "main", Role: "Member",
+		Args:        []value.Value{value.Object("Login.userid", "dm")},
+		ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmLogin2 := logOn(dmProc, "dm")
+	var issued2 gateway.TokenResponse
+	if code := post("/v1/token", gateway.TokenRequest{
+		Client: dmProc, Rolefile: "main", Role: "Member",
+		Creds: []*cert.RMC{dmLogin2}, Delegation: deleg2,
+	}, &issued2); code != http.StatusOK {
+		t.Fatalf("re-issue: status %d", code)
+	}
+	var rres gateway.RevokeResponse
+	if code := post("/v1/revoke", gateway.RevokeRequest{Revocation: rev2}, &rres); code != http.StatusOK || !rres.OK {
+		t.Fatalf("chair revoke over HTTP: status %d ok=%v", code, rres.OK)
+	}
+	post("/v1/introspect", gateway.IntrospectRequest{Token: issued2.Token}, &in)
+	if in.Active {
+		t.Fatal("membership token survived the chair's revocation")
+	}
+}

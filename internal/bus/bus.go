@@ -225,6 +225,25 @@ func (n *Network) HealLink(a, b string) { n.SetDown(a, b, false) }
 // counter is the transport-side account of the same losses.
 func (n *Network) Dropped() int64 { return n.droppedCount.Load() }
 
+// PendingNotifications reports the notification-plane backlog inside
+// the bus: delay-queued deliveries plus everything buffered in open
+// batches. It is the transport half of the saturation signal a
+// front-door (the HTTP gateway) sheds load on; the other half is the
+// brokers' per-session outboxes (event.Broker.PendingNotifications).
+func (n *Network) PendingNotifications() int {
+	n.queueMu.Lock()
+	pending := len(n.queue)
+	n.queueMu.Unlock()
+	n.batchMu.Lock()
+	for _, st := range n.batches {
+		for _, notes := range st.byDest {
+			pending += len(notes)
+		}
+	}
+	n.batchMu.Unlock()
+	return pending
+}
+
 // policyBox wraps the LinkPolicy interface so it can sit in an
 // atomic.Pointer.
 type policyBox struct{ p LinkPolicy }

@@ -605,6 +605,27 @@ func (b *Broker) UnackedCount(sess uint64) int {
 	return len(s.unacked)
 }
 
+// PendingNotifications reports the total depth of the per-session
+// outboxes — notifications prepared but not yet handed to their sinks.
+// A sustained backlog means the delivery plane is saturated; the HTTP
+// gateway reads this (together with the bus's own queues) to shed load
+// instead of letting the queues grow without bound.
+func (b *Broker) PendingNotifications() int {
+	b.mu.RLock()
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.RUnlock()
+	pending := 0
+	for _, s := range sessions {
+		s.mu.Lock()
+		pending += len(s.outbox)
+		s.mu.Unlock()
+	}
+	return pending
+}
+
 // SessionCount reports the number of open sessions.
 func (b *Broker) SessionCount() int {
 	b.mu.RLock()

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oasis/internal/cert"
+	"oasis/internal/gateway"
+	"oasis/internal/value"
+)
+
+// gwPost sends one JSON request into the gateway handler.
+func gwPost(t *testing.T, h http.Handler, path string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: undecodable response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec.Code
+}
+
+// TestChaosGatewayPartition proves the federation gateway inherits the
+// engine's fail-safe stance instead of caching its own: a token issued
+// over HTTP before a partition introspects inactive once the watcher's
+// fail-safe budget for the unreachable issuer runs out, and heals back
+// to active after resync — all without the gateway being told anything.
+func TestChaosGatewayPartition(t *testing.T) {
+	w := newWorld(t, 11)
+	gw := gateway.New(w.conf, gateway.Options{})
+	h := gw.Handler()
+
+	aliceC, aliceLogin := w.user("ely", "alice")
+	var issued gateway.TokenResponse
+	if code := gwPost(t, h, "/v1/token", gateway.TokenRequest{
+		Client: aliceC, Rolefile: "main", Role: "Member",
+		Args:  []value.Value{value.Object("Login.userid", "alice")},
+		Creds: []*cert.RMC{aliceLogin},
+	}, &issued); code != http.StatusOK {
+		t.Fatalf("issue over HTTP: status %d", code)
+	}
+
+	active := func() bool {
+		var in gateway.IntrospectResponse
+		if code := gwPost(t, h, "/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}, &in); code != http.StatusOK {
+			t.Fatalf("introspect: status %d", code)
+		}
+		return in.Active
+	}
+	if !active() {
+		t.Fatal("fresh token inactive")
+	}
+
+	w.plane.SetSchedule([]Step{
+		{At: 30 * time.Second, Kind: "split", Name: "wan", Side1: []string{"Login"}, Side2: []string{"Conf"}},
+		{At: 60 * time.Second, Kind: "heal", Name: "wan"},
+	})
+
+	budget := missedHB * int(hbPeriod/time.Second)
+	var healedAt int
+	w.drive(120, nil, func(i int) {
+		switch {
+		case i < 30:
+			if !active() {
+				t.Fatalf("t=%d: token inactive before the partition", i)
+			}
+		case i >= 30+budget+int(hbPeriod/time.Second) && i < 60:
+			// Past the fail-safe budget (plus one period of slack for
+			// the suspicion tick to land) the issuer is presumed
+			// failed: the honest answer over HTTP is inactive, even
+			// though alice's login was never revoked.
+			if active() {
+				t.Fatalf("t=%d: token still active mid-partition past the fail-safe budget", i)
+			}
+		case i > 60:
+			if healedAt == 0 && active() {
+				healedAt = i
+			}
+		}
+	})
+	if healedAt == 0 {
+		t.Fatal("token never introspected active again after the heal")
+	}
+	if healedAt > 60+3*int(hbPeriod/time.Second) {
+		t.Fatalf("resync too slow: token active again only at t=%d", healedAt)
+	}
+	if !active() {
+		t.Fatal("token inactive at the end of the healed run")
+	}
+}

@@ -1,0 +1,599 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/gateway"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// seqReader is a deterministic token-entropy source, so tests (and the
+// golden vectors) mint predictable ids.
+type seqReader struct{ ctr byte }
+
+func (r *seqReader) Read(p []byte) (int, error) {
+	for i := range p {
+		r.ctr++
+		p[i] = r.ctr
+	}
+	return len(p), nil
+}
+
+const loginRolefile = `
+def LoggedOn(u, h) u: Login.userid h: Login.host
+LoggedOn(u, h) <-
+`
+
+// confRolefile exercises every issuance path the gateway fronts:
+// plain entry, constrained entry, role-based revocation (|>*) and
+// entry by election (<|*).
+const confRolefile = `
+Chair        <- Login.LoggedOn("jmb", h)*
+Candidate(u) <- Login.LoggedOn(u, h)* : u in staff
+Member(u)    <- Candidate(u)* |>* Chair
+Deleg(u)     <- Login.LoggedOn(u, h)* <|* Chair
+`
+
+// world is a Login+Conf deployment with a gateway over Conf.
+type world struct {
+	t     *testing.T
+	clk   *clock.Virtual
+	net   *bus.Network
+	login *oasis.Service
+	conf  *oasis.Service
+	gw    *gateway.Gateway
+	hosts map[string]*ids.HostAuthority
+}
+
+func newWorld(t *testing.T, opts gateway.Options) *world {
+	t.Helper()
+	clk := clock.NewVirtual(time.Date(1997, 6, 1, 9, 0, 0, 0, time.UTC))
+	n := bus.NewNetwork(clk)
+	login, err := oasis.New("Login", clk, n, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	conf, err := oasis.New("Conf", clk, n, oasis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conf.AddRolefile("main", confRolefile); err != nil {
+		t.Fatal(err)
+	}
+	conf.Groups().AddMember("dm", "staff")
+	if opts.Rand == nil {
+		opts.Rand = &seqReader{}
+	}
+	return &world{
+		t: t, clk: clk, net: n, login: login, conf: conf,
+		gw:    gateway.New(conf, opts),
+		hosts: make(map[string]*ids.HostAuthority),
+	}
+}
+
+func (w *world) client(host string) ids.ClientID {
+	ha, ok := w.hosts[host]
+	if !ok {
+		ha = ids.NewHostAuthority(host, w.clk.Now())
+		w.hosts[host] = ha
+	}
+	return ha.NewDomain()
+}
+
+func (w *world) logOn(c ids.ClientID, user string) *cert.RMC {
+	w.t.Helper()
+	rmc, err := w.login.Enter(oasis.EnterRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{
+			value.Object("Login.userid", user),
+			value.Object("Login.host", c.Host),
+		},
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return rmc
+}
+
+func uid(u string) value.Value { return value.Object("Login.userid", u) }
+
+// post performs one request against the handler and decodes the JSON
+// body into out (if non-nil), returning the recorder for header and
+// status checks.
+func post(t *testing.T, h http.Handler, path string, body, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s: undecodable response %q: %v", path, rec.Body.String(), err)
+		}
+	}
+	return rec
+}
+
+func (w *world) issueMember(user string) (gateway.TokenResponse, *cert.RMC, ids.ClientID) {
+	w.t.Helper()
+	c := w.client("cam")
+	loginCert := w.logOn(c, user)
+	var res gateway.TokenResponse
+	rec := post(w.t, w.gw.Handler(), "/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Args:  []value.Value{uid(user)},
+		Creds: []*cert.RMC{loginCert},
+	}, &res)
+	if rec.Code != http.StatusOK {
+		w.t.Fatalf("issue: status %d body %s", rec.Code, rec.Body.String())
+	}
+	return res, loginCert, c
+}
+
+func introspect(t *testing.T, h http.Handler, token string) gateway.IntrospectResponse {
+	t.Helper()
+	var res gateway.IntrospectResponse
+	rec := post(t, h, "/v1/introspect", gateway.IntrospectRequest{Token: token}, &res)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("introspect: status %d body %s", rec.Code, rec.Body.String())
+	}
+	return res
+}
+
+func TestTokenLifecycle(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	res, _, _ := w.issueMember("dm")
+	if res.Token == "" || res.TokenType != "oasis" {
+		t.Fatalf("bad token response: %+v", res)
+	}
+	if res.Issuer != "Conf" || len(res.Roles) == 0 {
+		t.Fatalf("bad issuer/roles: %+v", res)
+	}
+
+	in := introspect(t, w.gw.Handler(), res.Token)
+	if !in.Active {
+		t.Fatalf("fresh token inactive: %+v", in)
+	}
+	if in.Issuer != "Conf" || in.Rolefile != "main" {
+		t.Fatalf("introspection misreports issuer/rolefile: %+v", in)
+	}
+	found := false
+	for _, r := range in.Roles {
+		if r == "Member" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("introspection misses the Member role: %+v", in)
+	}
+	if len(in.Args) != 1 || !in.Args[0].Equal(uid("dm")) {
+		t.Fatalf("introspection misreports args: %+v", in)
+	}
+
+	// Revoke, then introspection flips — live from the store.
+	var rres gateway.RevokeResponse
+	rec := post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{Token: res.Token}, &rres)
+	if rec.Code != http.StatusOK || !rres.OK {
+		t.Fatalf("revoke: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if in := introspect(t, w.gw.Handler(), res.Token); in.Active {
+		t.Fatal("revoked token still active")
+	}
+	// RFC 7009: revoking again (and revoking garbage) is 200.
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{Token: res.Token}, &rres)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second revoke: status %d", rec.Code)
+	}
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{Token: "no-such-token"}, &rres)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("unknown-token revoke: status %d", rec.Code)
+	}
+}
+
+// TestRevocationCascadeVisible is the federation point: the login that
+// justified a Conf membership is revoked at Login, the Modified event
+// cascades across the bus, and the very next introspection reports
+// inactive — the gateway keeps no validity state to go stale.
+func TestRevocationCascadeVisible(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	res, loginCert, c := w.issueMember("dm")
+	if in := introspect(t, w.gw.Handler(), res.Token); !in.Active {
+		t.Fatal("fresh token inactive")
+	}
+	if err := w.login.Exit(loginCert, c); err != nil {
+		t.Fatal(err)
+	}
+	if in := introspect(t, w.gw.Handler(), res.Token); in.Active {
+		t.Fatal("token survived upstream login revocation")
+	}
+}
+
+func TestTokenExpiryFromRMC(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1000, 0))
+	login, err := oasis.New("Login", clk, nil, oasis.Options{CertTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	gw := gateway.New(login, gateway.Options{Rand: &seqReader{}})
+	c := ids.NewHostAuthority("ely", clk.Now()).NewDomain()
+	var res gateway.TokenResponse
+	rec := post(t, gw.Handler(), "/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{uid("dm"), value.Object("Login.host", "ely")},
+	}, &res)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("issue: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if res.ExpiresIn != 3600 {
+		t.Fatalf("expires_in = %d, want 3600 (derived from the RMC)", res.ExpiresIn)
+	}
+	in := introspect(t, gw.Handler(), res.Token)
+	if !in.Active || in.Exp == 0 {
+		t.Fatalf("fresh token: %+v", in)
+	}
+	if in.Exp-in.Iat != 3600 {
+		t.Fatalf("exp-iat = %d, want 3600", in.Exp-in.Iat)
+	}
+	clk.Advance(2 * time.Hour)
+	if in := introspect(t, gw.Handler(), res.Token); in.Active {
+		t.Fatal("expired token still active")
+	}
+	if n := gw.TokenCount(); n != 0 {
+		t.Fatalf("expired token not dropped from the store: %d live", n)
+	}
+}
+
+func TestDelegationEntry(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	chairC := w.client("ely")
+	chairLogin := w.logOn(chairC, "jmb")
+	chair, err := w.conf.Enter(oasis.EnterRequest{
+		Client: chairC, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, _, err := w.conf.Delegate(oasis.DelegateRequest{
+		Client: chairC, Rolefile: "main", Role: "Deleg",
+		Args:        []value.Value{uid("dm")},
+		ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmC := w.client("cam")
+	dmLogin := w.logOn(dmC, "dm")
+	var res gateway.TokenResponse
+	rec := post(t, w.gw.Handler(), "/v1/token", gateway.TokenRequest{
+		Client: dmC, Rolefile: "main", Role: "Deleg",
+		Creds:      []*cert.RMC{dmLogin},
+		Delegation: deleg,
+	}, &res)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delegated issue: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if in := introspect(t, w.gw.Handler(), res.Token); !in.Active {
+		t.Fatal("delegated token inactive")
+	}
+}
+
+func TestRevokeByRoleAndByCertificate(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	// Chair enters through the gateway too — their token is the
+	// revoker credential.
+	chairC := w.client("ely")
+	chairLogin := w.logOn(chairC, "jmb")
+	var chairRes gateway.TokenResponse
+	rec := post(t, w.gw.Handler(), "/v1/token", gateway.TokenRequest{
+		Client: chairC, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin},
+	}, &chairRes)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("chair issue: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	memberRes, _, _ := w.issueMember("dm")
+	if in := introspect(t, w.gw.Handler(), memberRes.Token); !in.Active {
+		t.Fatal("member inactive before revocation")
+	}
+
+	// Role-based revocation: the chair names the instance parameters.
+	var rres gateway.RevokeResponse
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{
+		RevokerToken: chairRes.Token, Rolefile: "main",
+		Role: "Member", Args: []value.Value{uid("dm")},
+	}, &rres)
+	if rec.Code != http.StatusOK || !rres.OK {
+		t.Fatalf("role-based revoke: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if in := introspect(t, w.gw.Handler(), memberRes.Token); in.Active {
+		t.Fatal("member survived role-based revocation")
+	}
+	// Idempotent: naming the same instance again is 200.
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{
+		RevokerToken: chairRes.Token, Rolefile: "main",
+		Role: "Member", Args: []value.Value{uid("dm")},
+	}, &rres)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat role-based revoke: status %d body %s", rec.Code, rec.Body.String())
+	}
+	// A non-revoker cannot eject anyone.
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{
+		RevokerToken: memberRes.Token, Rolefile: "main",
+		Role: "Chair", Args: nil,
+	}, nil)
+	if rec.Code == http.StatusOK {
+		t.Fatal("revocation accepted from a non-revoker")
+	}
+
+	// Revocation-certificate path: chair delegates, then revokes the
+	// delegation through the gateway.
+	chair, err := w.conf.Enter(oasis.EnterRequest{
+		Client: chairC, Rolefile: "main", Role: "Chair",
+		Creds: []*cert.RMC{chairLogin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleg, revCert, err := w.conf.Delegate(oasis.DelegateRequest{
+		Client: chairC, Rolefile: "main", Role: "Deleg",
+		Args:        []value.Value{uid("alice")},
+		ElectorCert: chair,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceC := w.client("cam")
+	aliceLogin := w.logOn(aliceC, "alice")
+	var aliceRes gateway.TokenResponse
+	rec = post(t, w.gw.Handler(), "/v1/token", gateway.TokenRequest{
+		Client: aliceC, Rolefile: "main", Role: "Deleg",
+		Creds: []*cert.RMC{aliceLogin}, Delegation: deleg,
+	}, &aliceRes)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delegated issue: status %d body %s", rec.Code, rec.Body.String())
+	}
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{Revocation: revCert}, &rres)
+	if rec.Code != http.StatusOK || !rres.OK {
+		t.Fatalf("certificate revoke: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if in := introspect(t, w.gw.Handler(), aliceRes.Token); in.Active {
+		t.Fatal("delegated membership survived revocation certificate")
+	}
+	// Idempotent replay of the same revocation certificate.
+	rec = post(t, w.gw.Handler(), "/v1/revoke", gateway.RevokeRequest{Revocation: revCert}, &rres)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("replayed certificate revoke: status %d body %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	h := w.gw.Handler()
+
+	// Not JSON.
+	req := httptest.NewRequest(http.MethodPost, "/v1/token", bytes.NewReader([]byte("{nope")))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("garbage body: status %d", rec.Code)
+	}
+	var e gateway.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Err != "invalid_request" {
+		t.Fatalf("garbage body: %s", rec.Body.String())
+	}
+
+	// Missing role / missing client.
+	if rec := post(t, h, "/v1/token", gateway.TokenRequest{Client: w.client("ely")}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing role: status %d", rec.Code)
+	}
+	if rec := post(t, h, "/v1/token", gateway.TokenRequest{Role: "Member"}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing client: status %d", rec.Code)
+	}
+	// Introspect and revoke with nothing in them.
+	if rec := post(t, h, "/v1/introspect", gateway.IntrospectRequest{}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty introspect: status %d", rec.Code)
+	}
+	if rec := post(t, h, "/v1/revoke", gateway.RevokeRequest{}, nil); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty revoke: status %d", rec.Code)
+	}
+	// Entry the policy refuses.
+	c := w.client("ely")
+	login := w.logOn(c, "intruder")
+	rec2 := post(t, h, "/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("intruder")}, Creds: []*cert.RMC{login},
+	}, &e)
+	if rec2.Code != http.StatusBadRequest || e.Err != "invalid_grant" {
+		t.Fatalf("refused entry: status %d body %s", rec2.Code, rec2.Body.String())
+	}
+	// Wrong method.
+	req = httptest.NewRequest(http.MethodGet, "/v1/token", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", rec.Code)
+	}
+	// Introspecting a guessed token reveals nothing but inactive.
+	in := introspect(t, h, "0123456789abcdef0123456789abcdef")
+	if in.Active || in.Issuer != "" || in.Roles != nil {
+		t.Fatalf("guessed token leaked state: %+v", in)
+	}
+}
+
+func TestRateLimitRetryAfter(t *testing.T) {
+	w := newWorld(t, gateway.Options{RatePerSec: 1, Burst: 2})
+	h := w.gw.Handler()
+	// Burst of 2 is admitted; the third is refused with Retry-After.
+	for i := 0; i < 2; i++ {
+		if rec := post(t, h, "/v1/introspect", gateway.IntrospectRequest{Token: "x"}, nil); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, rec.Code)
+		}
+	}
+	rec := post(t, h, "/v1/introspect", gateway.IntrospectRequest{Token: "x"}, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over budget: status %d, want 429", rec.Code)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("429 without a usable Retry-After: %q", ra)
+	}
+	// The clock refills the bucket.
+	w.clk.Advance(3 * time.Second)
+	if rec := post(t, h, "/v1/introspect", gateway.IntrospectRequest{Token: "x"}, nil); rec.Code != http.StatusOK {
+		t.Fatalf("after refill: status %d", rec.Code)
+	}
+}
+
+func TestBackpressureShedsMutations(t *testing.T) {
+	pending := 0
+	w := newWorld(t, gateway.Options{
+		Pressure:      func() int { return pending },
+		PressureLimit: 10,
+	})
+	h := w.gw.Handler()
+	res, _, _ := w.issueMember("dm")
+
+	pending = 10 // saturation
+	c := w.client("cam")
+	login := w.logOn(c, "dm")
+	rec := post(t, h, "/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Args: []value.Value{uid("dm")}, Creds: []*cert.RMC{login},
+	}, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("issue under saturation: status %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	rec = post(t, h, "/v1/revoke", gateway.RevokeRequest{Token: res.Token}, nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("revoke under saturation: status %d, want 503", rec.Code)
+	}
+	// Introspection — the read path clients use to honour revocations —
+	// stays available.
+	if in := introspect(t, h, res.Token); !in.Active {
+		t.Fatal("introspection unavailable or wrong under saturation")
+	}
+	// Pressure clears; the shed requests succeed on retry.
+	pending = 0
+	rec = post(t, h, "/v1/revoke", gateway.RevokeRequest{Token: res.Token}, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("revoke after pressure cleared: status %d", rec.Code)
+	}
+}
+
+// TestConnectionLimit proves Serve's listener cap: with MaxConns 1,
+// a second connection is not accepted until the first closes.
+func TestConnectionLimit(t *testing.T) {
+	w := newWorld(t, gateway.Options{MaxConns: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.gw.Serve(ln)
+	}()
+	defer func() { _ = ln.Close(); <-done }()
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+	roundTrip := func(conn net.Conn, deadline time.Duration) error {
+		if err := conn.SetDeadline(time.Now().Add(deadline)); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(conn, "POST /v1/healthz HTTP/1.1\r\nHost: gw\r\nContent-Length: 0\r\n\r\n"); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		return err
+	}
+
+	first := dial()
+	if err := roundTrip(first, 5*time.Second); err != nil {
+		t.Fatalf("first connection: %v", err)
+	}
+	// The slot is held (keep-alive); a second connection can connect
+	// (kernel backlog) but gets no service.
+	second := dial()
+	if err := roundTrip(second, 300*time.Millisecond); err == nil {
+		t.Fatal("second connection served while the cap was held")
+	}
+	// Releasing the first slot lets the second proceed.
+	_ = first.Close()
+	if err := roundTrip(second, 5*time.Second); err != nil {
+		t.Fatalf("second connection after release: %v", err)
+	}
+	_ = second.Close()
+}
+
+// TestExpiredTokensSwept proves the amortised sweep: minting past the
+// sweep threshold reclaims expired records without a background timer.
+func TestExpiredTokensSwept(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	login, err := oasis.New("Login", clk, nil, oasis.Options{CertTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	gw := gateway.New(login, gateway.Options{Rand: &seqReader{}})
+	h := gw.Handler()
+	c := ids.NewHostAuthority("ely", clk.Now()).NewDomain()
+	issue := func() {
+		rec := post(t, h, "/v1/token", gateway.TokenRequest{
+			Client: c, Rolefile: "main", Role: "LoggedOn",
+			Args: []value.Value{uid("u"), value.Object("Login.host", "ely")},
+		}, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("issue: status %d", rec.Code)
+		}
+	}
+	const dead = 512
+	for i := 0; i < dead; i++ {
+		issue()
+	}
+	clk.Advance(time.Hour) // everything so far is now expired
+	before := gw.TokenCount()
+	// Enough fresh mints to cross every shard's sweep threshold.
+	for i := 0; i < 16*256; i++ {
+		issue()
+	}
+	after := gw.TokenCount()
+	if after >= before+16*256 {
+		t.Fatalf("expired tokens never swept: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,205 @@
+package gateway_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"oasis/internal/cert"
+	"oasis/internal/clock"
+	"oasis/internal/gateway"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden HTTP vectors from this run")
+
+// wireExchange is one recorded request/response pair. The vectors are
+// the gateway's compatibility contract: a change to any file under
+// testdata/ is a wire-format change and must be deliberate.
+type wireExchange struct {
+	Label    string            `json:"label"`
+	Path     string            `json:"path"`
+	Status   int               `json:"status"`
+	Headers  map[string]string `json:"headers,omitempty"`
+	Request  json.RawMessage   `json:"request"`
+	Response json.RawMessage   `json:"response"`
+}
+
+// record performs the request and captures the exchange.
+func record(t *testing.T, h http.Handler, label, path string, body any) wireExchange {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	hdr := map[string]string{"Content-Type": rec.Header().Get("Content-Type")}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		hdr["Retry-After"] = ra
+	}
+	return wireExchange{
+		Label: label, Path: path, Status: rec.Code, Headers: hdr,
+		Request:  json.RawMessage(raw),
+		Response: json.RawMessage(bytes.TrimSpace(rec.Body.Bytes())),
+	}
+}
+
+func checkGolden(t *testing.T, name string, exchanges []wireExchange) {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(exchanges); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden vector (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("wire format drifted from %s (re-run with -update if deliberate)\n got: %s\nwant: %s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestGoldenIssueIntrospectRevoke walks one token through its whole
+// life — issue, introspect while active, revoke, introspect after,
+// re-revoke — and pins every byte on the wire.
+func TestGoldenIssueIntrospectRevoke(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	h := w.gw.Handler()
+	c := w.client("cam")
+	loginCert := w.logOn(c, "dm")
+
+	issueReq := gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "Member",
+		Args:  []value.Value{uid("dm")},
+		Creds: []*cert.RMC{loginCert},
+	}
+	var out []wireExchange
+	ex := record(t, h, "issue member token", "/v1/token", issueReq)
+	out = append(out, ex)
+	var issued gateway.TokenResponse
+	if err := json.Unmarshal(ex.Response, &issued); err != nil || ex.Status != http.StatusOK {
+		t.Fatalf("issue failed: status %d body %s", ex.Status, ex.Response)
+	}
+	out = append(out,
+		record(t, h, "introspect active token", "/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}),
+		record(t, h, "revoke token", "/v1/revoke", gateway.RevokeRequest{Token: issued.Token}),
+		record(t, h, "introspect revoked token", "/v1/introspect", gateway.IntrospectRequest{Token: issued.Token}),
+		record(t, h, "revoke again (idempotent)", "/v1/revoke", gateway.RevokeRequest{Token: issued.Token}),
+	)
+	checkGolden(t, "lifecycle.json", out)
+}
+
+// TestGoldenErrors pins the OAuth error envelope for the refusal
+// paths: malformed body, missing fields, policy denial, unknown token.
+func TestGoldenErrors(t *testing.T) {
+	w := newWorld(t, gateway.Options{})
+	h := w.gw.Handler()
+	var out []wireExchange
+
+	// Malformed JSON goes through record's marshalling, so hand-roll it.
+	req := httptest.NewRequest(http.MethodPost, "/v1/token", bytes.NewReader([]byte(`{"role":`)))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	out = append(out, wireExchange{
+		Label: "malformed body", Path: "/v1/token", Status: rec.Code,
+		Headers:  map[string]string{"Content-Type": rec.Header().Get("Content-Type")},
+		Request:  json.RawMessage(`"{\"role\":"`),
+		Response: json.RawMessage(bytes.TrimSpace(rec.Body.Bytes())),
+	})
+
+	out = append(out, record(t, h, "missing role", "/v1/token",
+		gateway.TokenRequest{Client: w.client("ely")}))
+
+	c := w.client("cam")
+	login := w.logOn(c, "intruder")
+	out = append(out, record(t, h, "policy refuses entry", "/v1/token",
+		gateway.TokenRequest{
+			Client: c, Rolefile: "main", Role: "Member",
+			Args: []value.Value{uid("intruder")}, Creds: []*cert.RMC{login},
+		}))
+
+	out = append(out, record(t, h, "introspect unknown token", "/v1/introspect",
+		gateway.IntrospectRequest{Token: "00ff00ff00ff00ff00ff00ff00ff00ff"}))
+	out = append(out, record(t, h, "revoke unknown token (idempotent)", "/v1/revoke",
+		gateway.RevokeRequest{Token: "00ff00ff00ff00ff00ff00ff00ff00ff"}))
+	checkGolden(t, "errors.json", out)
+}
+
+// TestGoldenExpiry pins the expired-token introspection answer: the
+// certificate's deadline passes and the token reports only inactive.
+func TestGoldenExpiry(t *testing.T) {
+	clk := clock.NewVirtual(time.Date(1997, 6, 1, 9, 0, 0, 0, time.UTC))
+	login, err := oasis.New("Login", clk, nil, oasis.Options{CertTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := login.AddRolefile("main", loginRolefile); err != nil {
+		t.Fatal(err)
+	}
+	gw := gateway.New(login, gateway.Options{Rand: &seqReader{}})
+	h := gw.Handler()
+	c := ids.NewHostAuthority("ely", clk.Now()).NewDomain()
+	ex := record(t, h, "issue short-lived token", "/v1/token", gateway.TokenRequest{
+		Client: c, Rolefile: "main", Role: "LoggedOn",
+		Args: []value.Value{uid("dm"), value.Object("Login.host", "ely")},
+	})
+	var issued gateway.TokenResponse
+	if err := json.Unmarshal(ex.Response, &issued); err != nil || ex.Status != http.StatusOK {
+		t.Fatalf("issue failed: status %d body %s", ex.Status, ex.Response)
+	}
+	clk.Advance(2 * time.Hour)
+	out := []wireExchange{
+		ex,
+		record(t, h, "introspect expired token", "/v1/introspect",
+			gateway.IntrospectRequest{Token: issued.Token}),
+	}
+	checkGolden(t, "expired.json", out)
+}
+
+// TestGoldenRateLimited pins the 429 envelope including Retry-After.
+func TestGoldenRateLimited(t *testing.T) {
+	w := newWorld(t, gateway.Options{RatePerSec: 1, Burst: 1})
+	h := w.gw.Handler()
+	_ = record(t, h, "spend the budget", "/v1/introspect", gateway.IntrospectRequest{Token: "x"})
+	out := []wireExchange{
+		record(t, h, "rate limited", "/v1/introspect", gateway.IntrospectRequest{Token: "x"}),
+	}
+	checkGolden(t, "rate_limited.json", out)
+}
+
+// TestGoldenSaturated pins the 503 shed envelope.
+func TestGoldenSaturated(t *testing.T) {
+	w := newWorld(t, gateway.Options{
+		Pressure:      func() int { return 99 },
+		PressureLimit: 10,
+	})
+	out := []wireExchange{
+		record(t, w.gw.Handler(), "mutating request shed under backpressure", "/v1/token",
+			gateway.TokenRequest{Client: w.client("ely"), Rolefile: "main", Role: "Member"}),
+	}
+	checkGolden(t, "saturated.json", out)
+}

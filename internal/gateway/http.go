@@ -1,0 +1,350 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"oasis/internal/cert"
+	"oasis/internal/credrec"
+	"oasis/internal/ids"
+	"oasis/internal/oasis"
+	"oasis/internal/value"
+)
+
+// maxBodyBytes bounds one request body; the largest legitimate payload
+// is a credential list, far below this.
+const maxBodyBytes = 1 << 20
+
+// TokenRequest asks for role entry as token issuance (POST /v1/token).
+// Creds carry role membership certificates previously issued by this
+// or peer services; Delegation selects entry by election (§4.4).
+type TokenRequest struct {
+	Client     ids.ClientID     `json:"client"`
+	Rolefile   string           `json:"rolefile,omitempty"`
+	Role       string           `json:"role"`
+	Args       []value.Value    `json:"args,omitempty"`
+	Creds      []*cert.RMC      `json:"creds,omitempty"`
+	Delegation *cert.Delegation `json:"delegation,omitempty"`
+}
+
+// TokenResponse is the issued token. ExpiresIn is derived from the
+// RMC's own expiry (0 = the certificate does not expire); Cert is the
+// underlying certificate so native-protocol peers can interoperate.
+type TokenResponse struct {
+	Token     string        `json:"access_token"`
+	TokenType string        `json:"token_type"`
+	ExpiresIn int64         `json:"expires_in,omitempty"`
+	Issuer    string        `json:"issuer"`
+	Rolefile  string        `json:"rolefile"`
+	Roles     []string      `json:"roles"`
+	Args      []value.Value `json:"args,omitempty"`
+	Cert      *cert.RMC     `json:"cert,omitempty"`
+}
+
+// tokenType names the scheme in token responses.
+const tokenType = "oasis"
+
+// IntrospectRequest asks for the live status of a token
+// (POST /v1/introspect).
+type IntrospectRequest struct {
+	Token string `json:"token"`
+}
+
+// IntrospectResponse reports a token's live status (RFC 7662 shape).
+// Everything beyond Active is omitted for inactive tokens, so callers
+// learn nothing about tokens they merely guess at.
+type IntrospectResponse struct {
+	Active   bool          `json:"active"`
+	Issuer   string        `json:"issuer,omitempty"`
+	Rolefile string        `json:"rolefile,omitempty"`
+	Roles    []string      `json:"roles,omitempty"`
+	Args     []value.Value `json:"args,omitempty"`
+	Client   string        `json:"client,omitempty"`
+	Exp      int64         `json:"exp,omitempty"`
+	Iat      int64         `json:"iat,omitempty"`
+}
+
+// RevokeRequest revokes by one of three routes (POST /v1/revoke):
+//   - Token: the token's own membership is revoked (RevokeDirect);
+//   - Revocation: a signed revocation certificate kills a delegation
+//     (Service.Revoke, §4.4);
+//   - RevokerToken + Role (+ Args): role-based revocation — the caller
+//     holds the revoker role and names the instance (RevokeByRole,
+//     §4.11).
+type RevokeRequest struct {
+	Token        string           `json:"token,omitempty"`
+	Revocation   *cert.Revocation `json:"revocation,omitempty"`
+	RevokerToken string           `json:"revoker_token,omitempty"`
+	Rolefile     string           `json:"rolefile,omitempty"`
+	Role         string           `json:"role,omitempty"`
+	Args         []value.Value    `json:"args,omitempty"`
+}
+
+// RevokeResponse acknowledges a revocation. Per RFC 7009 the endpoint
+// is idempotent: revoking an already-revoked or unknown token is OK.
+type RevokeResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ErrorResponse is the error envelope (OAuth shape).
+type ErrorResponse struct {
+	Err  string `json:"error"`
+	Desc string `json:"error_description,omitempty"`
+}
+
+// droppedResponseWrites counts response bodies the client went away
+// before receiving — the only way a ResponseWriter.Write error can be
+// "handled" is to account for it.
+var droppedResponseWrites atomic.Uint64
+
+// DroppedResponseWrites reports responses lost to departed clients.
+func DroppedResponseWrites() uint64 { return droppedResponseWrites.Load() }
+
+// writeJSON encodes v, then writes status and body. Encoding first
+// means an encode failure can still become a 500 instead of a torn
+// 200; a body-write failure means the client is gone, which is counted
+// rather than ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		http.Error(w, `{"error":"server_error"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		droppedResponseWrites.Add(1)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code, desc string) {
+	writeJSON(w, status, ErrorResponse{Err: code, Desc: desc})
+}
+
+// retryAfter sets the Retry-After header, rounded up to whole seconds
+// (the header's granularity).
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// decode reads one bounded JSON body into v.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+// engineError maps an engine failure onto the HTTP error vocabulary:
+// fraud is refused outright, everything else is an invalid grant.
+func engineError(w http.ResponseWriter, err error) {
+	var verr *oasis.ValidationError
+	if errors.As(err, &verr) {
+		switch verr.Class {
+		case oasis.Fraud:
+			writeError(w, http.StatusForbidden, "access_denied", verr.Reason)
+			return
+		case oasis.Revoked, oasis.Erroneous:
+			writeError(w, http.StatusBadRequest, "invalid_grant", verr.Reason)
+			return
+		}
+	}
+	writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+}
+
+// handleToken performs role entry and mints an opaque token bound to
+// the issued certificate.
+func (g *Gateway) handleToken(w http.ResponseWriter, r *http.Request) {
+	var req TokenRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if req.Role == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request", "role is required")
+		return
+	}
+	if req.Client.IsZero() {
+		writeError(w, http.StatusBadRequest, "invalid_request", "client identity is required")
+		return
+	}
+	rmc, err := g.svc.Enter(oasis.EnterRequest{
+		Client:     req.Client,
+		Rolefile:   req.Rolefile,
+		Role:       req.Role,
+		Args:       req.Args,
+		Creds:      req.Creds,
+		Delegation: req.Delegation,
+	})
+	if err != nil {
+		engineError(w, err)
+		return
+	}
+	now := g.clk.Now()
+	id, err := g.tokens.mint(rmc, now)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "server_error", err.Error())
+		return
+	}
+	res := TokenResponse{
+		Token:     id,
+		TokenType: tokenType,
+		Issuer:    g.svc.Name(),
+		Rolefile:  rmc.Rolefile,
+		Roles:     g.svc.RoleNames(rmc),
+		Args:      rmc.Args,
+		Cert:      rmc,
+	}
+	if !rmc.Expiry.IsZero() {
+		res.ExpiresIn = int64(rmc.Expiry.Sub(now) / time.Second)
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleIntrospect answers a token's status live from the credential
+// record store: a revocation cascade that lands between two
+// introspections flips the answer with no gateway-side invalidation.
+func (g *Gateway) handleIntrospect(w http.ResponseWriter, r *http.Request) {
+	var req IntrospectRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	if req.Token == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request", "token is required")
+		return
+	}
+	rec, ok := g.tokens.lookup(req.Token)
+	if !ok {
+		writeJSON(w, http.StatusOK, IntrospectResponse{Active: false})
+		return
+	}
+	c := rec.cert
+	if !c.Expiry.IsZero() && g.clk.Now().After(c.Expiry) {
+		// Expired: the engine would refuse it too; drop our record so
+		// the table does not accrete dead tokens.
+		g.tokens.remove(req.Token)
+		writeJSON(w, http.StatusOK, IntrospectResponse{Active: false})
+		return
+	}
+	if err := g.svc.Validate(c, c.Client); err != nil {
+		writeJSON(w, http.StatusOK, IntrospectResponse{Active: false})
+		return
+	}
+	res := IntrospectResponse{
+		Active:   true,
+		Issuer:   g.svc.Name(),
+		Rolefile: c.Rolefile,
+		Roles:    g.svc.RoleNames(c),
+		Args:     c.Args,
+		Client:   c.Client.String(),
+		Iat:      rec.issued.Unix(),
+	}
+	if !c.Expiry.IsZero() {
+		res.Exp = c.Expiry.Unix()
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleRevoke routes a revocation through the engine. RFC 7009
+// semantics: unknown and already-revoked tokens acknowledge with 200 —
+// the caller's goal (the token is dead) already holds.
+func (g *Gateway) handleRevoke(w http.ResponseWriter, r *http.Request) {
+	var req RevokeRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_request", err.Error())
+		return
+	}
+	switch {
+	case req.Revocation != nil:
+		g.revokeByCertificate(w, req.Revocation)
+	case req.RevokerToken != "":
+		g.revokeByRole(w, req)
+	case req.Token != "":
+		g.revokeToken(w, req.Token)
+	default:
+		writeError(w, http.StatusBadRequest, "invalid_request",
+			"one of token, revocation, revoker_token is required")
+	}
+}
+
+// revokeToken invalidates the membership behind a token.
+func (g *Gateway) revokeToken(w http.ResponseWriter, token string) {
+	rec, ok := g.tokens.lookup(token)
+	if !ok {
+		writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+		return
+	}
+	if alreadyDead(g.svc.Store(), rec.cert.CRR) {
+		g.tokens.remove(token)
+		writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+		return
+	}
+	if err := g.svc.RevokeDirect(rec.cert); err != nil {
+		engineError(w, err)
+		return
+	}
+	g.tokens.remove(token)
+	writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+}
+
+// revokeByCertificate honours a signed revocation certificate (§4.4).
+func (g *Gateway) revokeByCertificate(w http.ResponseWriter, rev *cert.Revocation) {
+	if alreadyDead(g.svc.Store(), rev.TargetCRR) {
+		writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+		return
+	}
+	if err := g.svc.Revoke(rev); err != nil {
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+}
+
+// revokeByRole performs role-based revocation: the revoker's token
+// stands in for their certificate.
+func (g *Gateway) revokeByRole(w http.ResponseWriter, req RevokeRequest) {
+	rec, ok := g.tokens.lookup(req.RevokerToken)
+	if !ok {
+		writeError(w, http.StatusForbidden, "access_denied", "unknown revoker token")
+		return
+	}
+	if req.Role == "" {
+		writeError(w, http.StatusBadRequest, "invalid_request", "role is required")
+		return
+	}
+	err := g.svc.RevokeByRole(rec.cert, rec.cert.Client, req.Rolefile, req.Role, req.Args)
+	if err != nil {
+		var verr *oasis.ValidationError
+		// Idempotency: the named instance being gone already means the
+		// caller's goal holds. A permissions failure still refuses.
+		if errors.As(err, &verr) && verr.Class == oasis.Erroneous &&
+			g.svc.InstanceRevoked(req.Rolefile, req.Role, req.Args) {
+			writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+			return
+		}
+		engineError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RevokeResponse{OK: true})
+}
+
+// alreadyDead reports a credential record that is deleted or
+// permanently false — i.e. revocation already happened and may even
+// have been swept.
+func alreadyDead(store credrec.Recorder, ref credrec.Ref) bool {
+	st, perm, err := store.Resolve(ref)
+	return err != nil || (st == credrec.False && perm)
+}

@@ -436,3 +436,18 @@ func (s *Service) rolefileFor(id string) (*rolefileState, error) {
 func instanceKey(role string, args []value.Value) string {
 	return role + "(" + value.MarshalArgs(args) + ")"
 }
+
+// InstanceRevoked reports whether a role instance sits in the
+// revoked-forever database (§4.11). Gateways use it to tell an
+// idempotent re-revocation (the instance is already revoked — success)
+// from a revocation of something that never existed.
+func (s *Service) InstanceRevoked(rolefile, role string, args []value.Value) bool {
+	st, err := s.rolefileFor(rolefile)
+	if err != nil {
+		return false
+	}
+	key := instanceKey(role, args)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.revoked[key]
+}
