@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: build test test-rdl-diff race chaos bench bench-notify bench-rdl \
-	bench-persist bench-gateway bench-smoke bench-json vet lint reach ci \
-	all help
+.PHONY: build test test-shard test-rdl-diff race chaos bench bench-notify \
+	bench-rdl bench-persist bench-gateway bench-shard bench-smoke \
+	bench-json vet lint reach ci all help
 
 all: build vet test
 
@@ -12,11 +12,12 @@ all: build vet test
 # differential suite, the race detector over every
 # concurrency-sensitive package, the seeded chaos suite, then one
 # iteration of every benchmark so the perf suites cannot rot.
-ci: build vet lint test test-rdl-diff race chaos bench-smoke
+ci: build vet lint test test-shard test-rdl-diff race chaos bench-smoke
 
 help:
 	@echo "build       compile everything"
 	@echo "test        full test suite"
+	@echo "test-shard  sharding matrix: ring/sharded-store/tree/cluster suites at 1,2,4,8 shards"
 	@echo "race        race-detector suite over the concurrent packages"
 	@echo "chaos       seeded chaos suite (partitions, loss, duplication)"
 	@echo "lint        oasislint + rdlcheck static analysis (includes reach)"
@@ -27,15 +28,27 @@ help:
 	@echo "bench-rdl   interpreted vs compiled role entry (EXPERIMENTS.md E31)"
 	@echo "bench-persist  journal append + recovery suites (EXPERIMENTS.md E32)"
 	@echo "bench-gateway  HTTP issue/introspect/revoke suite into BENCH_9.json (E33)"
+	@echo "bench-shard  shard cascade + tree-vs-flat dissemination into BENCH_10.json (E34)"
 	@echo "bench-smoke   compile-and-run every benchmark once (part of ci)"
 	@echo "bench-json    E30/E31/E32 benchmarks as test2json into BENCH_5/6/7.json"
-	@echo "ci          build vet lint test test-rdl-diff race chaos bench-smoke"
+	@echo "ci          build vet lint test test-shard test-rdl-diff race chaos bench-smoke"
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test ./...
+
+# The sharding matrix (part of ci): the consistent-hash ring, the
+# sharded store at 1/2/4/8 shards against the monolithic semantics
+# (TestShardedMatrix), the dissemination tree, the cross-shard service
+# suites and the sharding wire payloads — everything `-shards` and
+# `-shard-ring` deploy, run explicitly and uncached.
+test-shard:
+	$(GO) test -run 'Sharded|Ring|Tree|Disseminator|ForwardBatch' -count=1 \
+		./internal/credrec/ ./internal/bus/
+	$(GO) test -run 'Shard|ClusterPending|CoalesceShardEdges' -count=1 \
+		./internal/oasis/
 
 # The compiled-vs-interpreted differential gate: OASIS_RDL_DIFF=1 makes
 # every rule application in the entry engine run both the compiled
@@ -99,6 +112,19 @@ bench-persist:
 bench-gateway:
 	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
 		-bench 'Gateway' . > BENCH_9.json
+
+# The sharding suite (bench_shard_test.go): revocation-storm cascade
+# throughput over the store at 1/2/4/8 shards, and tree-vs-flat
+# dissemination of a storm to 2^10 watchers. The cascade rows run at
+# -cpu 1,4,8 (per-shard writer serialisation only shows on real
+# cores); the dissemination pair times the origin's blocking cost with
+# delivery awaited untimed, so it uses fixed iterations. Both land in
+# BENCH_10.json as test2json (EXPERIMENTS.md E34).
+bench-shard:
+	$(GO) test -json -benchmem -cpu 1,4,8 -run '^$$' \
+		-bench 'ShardCascade' . > BENCH_10.json
+	$(GO) test -json -benchmem -benchtime=20x -run '^$$' \
+		-bench 'Disseminate' . >> BENCH_10.json
 
 # One iteration of every benchmark: catches benchmarks that no longer
 # compile or crash without paying for a measurement. Part of ci.

@@ -8,21 +8,19 @@ import (
 
 // newGateway builds the federation gateway exactly as run() deploys
 // it: per-client rate limiting, a connection cap, and backpressure
-// wired to the whole notification plane — the bus's delay/batch queues
-// plus the service broker's per-session outboxes. Tests reuse this so
-// acceptance coverage exercises the deployed wiring, not a test-local
-// variant.
+// wired to the whole notification plane. The pressure figure is
+// cluster-wide — this member's broker outboxes and bus delay/batch
+// queues plus every live shard peer's last piggybacked backlog
+// (oasis.ClusterPendingNotifications) — so a storm drowning one shard
+// sheds 503s at every shard's front door, not just the drowning one.
+// Outside a shard ring the figure degrades to the local plane. Tests
+// reuse this so acceptance coverage exercises the deployed wiring, not
+// a test-local variant.
 func newGateway(svc *oasis.Service, network *bus.Network, cfg config) *gateway.Gateway {
 	return gateway.New(svc, gateway.Options{
 		RatePerSec:    cfg.httpRate,
 		MaxConns:      cfg.httpMaxConns,
 		PressureLimit: cfg.httpPressure,
-		Pressure: func() int {
-			pending := svc.Broker().PendingNotifications()
-			if network != nil {
-				pending += network.PendingNotifications()
-			}
-			return pending
-		},
+		Pressure:      svc.ClusterPendingNotifications,
 	})
 }

@@ -30,6 +30,18 @@
 // -http-pressure is the notification-plane backlog at which the
 // gateway sheds mutating requests with 503 + Retry-After.
 //
+// -shards partitions this process's credential-record store across N
+// consistent-hash shards (internal/credrec.ShardedStore): records are
+// placed by ring ownership, cascades route by the shard id sealed into
+// each ref, and cross-shard dependency edges run over bridge
+// surrogates (docs/SHARDING.md). -shard-ring names the cluster's
+// members (comma-separated, must include -name); joined members
+// disseminate revocations down a fanout -shard-fanout tree instead of
+// point-to-point fan-out, and each member's gateway sheds on the
+// cluster-wide backlog aggregated from tree heartbeats. -shards is
+// incompatible with -store-dir: the journaling engine persists one
+// store image per process, and per-shard journals are future work.
+//
 // -fault-schedule arms a deterministic fault plane on the in-process
 // bus (drops, duplicates, delays, partitions — the format is documented
 // at internal/fault.ParseSchedule); -fault-seed makes the run
@@ -79,22 +91,25 @@ func (r remoteFlags) Set(s string) error {
 
 func main() {
 	var (
-		name       = flag.String("name", "Login", "service instance name")
-		rolefile   = flag.String("rolefile", "", "rolefile path (default: built-in Login rolefile)")
-		scope      = flag.String("scope", "main", "rolefile scope id")
-		listen     = flag.String("listen", "127.0.0.1:7465", "client (JSON) listen address")
-		peerListen = flag.String("peer-listen", "", "inter-service (gob) listen address; empty disables")
-		faultSched = flag.String("fault-schedule", "", "fault schedule file for the in-process bus (see internal/fault.ParseSchedule); empty disables")
-		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for the fault plane; a run is reproducible from (seed, schedule)")
-		missedHB   = flag.Int("failsafe-missed", 3, "heartbeat periods of silence before a watched source's records fail safe to False")
-		httpListen = flag.String("http-listen", "", "federation gateway (HTTP/JSON token issuance/introspection/revocation) listen address; empty disables")
-		httpRate   = flag.Float64("http-rate", 50, "gateway per-client request budget in requests/second (0 disables rate limiting)")
-		httpConns  = flag.Int("http-max-conns", 1024, "gateway concurrent-connection cap (0 = unlimited)")
-		httpPress  = flag.Int("http-pressure", 4096, "notification-plane backlog at which the gateway sheds mutating requests with 503 (0 disables backpressure)")
-		storeDir   = flag.String("store-dir", "", "persist the credential-record store in this directory (journal + snapshots); empty keeps it in memory")
-		snapEvery  = flag.Int("snapshot-every", 4096, "journal operations between automatic snapshots/compactions (0 disables the trigger)")
-		syncMode   = flag.String("sync", "batched", "journal durability: always (fsync before a mutation returns), batched (one fsync per group commit), none")
-		remotes    = remoteFlags{}
+		name        = flag.String("name", "Login", "service instance name")
+		rolefile    = flag.String("rolefile", "", "rolefile path (default: built-in Login rolefile)")
+		scope       = flag.String("scope", "main", "rolefile scope id")
+		listen      = flag.String("listen", "127.0.0.1:7465", "client (JSON) listen address")
+		peerListen  = flag.String("peer-listen", "", "inter-service (gob) listen address; empty disables")
+		faultSched  = flag.String("fault-schedule", "", "fault schedule file for the in-process bus (see internal/fault.ParseSchedule); empty disables")
+		faultSeed   = flag.Int64("fault-seed", 1, "PRNG seed for the fault plane; a run is reproducible from (seed, schedule)")
+		missedHB    = flag.Int("failsafe-missed", 3, "heartbeat periods of silence before a watched source's records fail safe to False")
+		httpListen  = flag.String("http-listen", "", "federation gateway (HTTP/JSON token issuance/introspection/revocation) listen address; empty disables")
+		httpRate    = flag.Float64("http-rate", 50, "gateway per-client request budget in requests/second (0 disables rate limiting)")
+		httpConns   = flag.Int("http-max-conns", 1024, "gateway concurrent-connection cap (0 = unlimited)")
+		httpPress   = flag.Int("http-pressure", 4096, "notification-plane backlog at which the gateway sheds mutating requests with 503 (0 disables backpressure)")
+		shards      = flag.Int("shards", 0, "partition the credential-record store across this many consistent-hash shards (0/1 keeps the monolithic store); incompatible with -store-dir")
+		shardRing   = flag.String("shard-ring", "", "comma-separated shard-cluster member names (must include -name); members disseminate revocations over a tree instead of flat fan-out")
+		shardFanout = flag.Int("shard-fanout", 0, "dissemination-tree fanout for -shard-ring (0 = default)")
+		storeDir    = flag.String("store-dir", "", "persist the credential-record store in this directory (journal + snapshots); empty keeps it in memory")
+		snapEvery   = flag.Int("snapshot-every", 4096, "journal operations between automatic snapshots/compactions (0 disables the trigger)")
+		syncMode    = flag.String("sync", "batched", "journal durability: always (fsync before a mutation returns), batched (one fsync per group commit), none")
+		remotes     = remoteFlags{}
 	)
 	flag.Var(remotes, "remote", "peer service name=addr (repeatable)")
 	flag.Parse()
@@ -103,6 +118,7 @@ func main() {
 		listen: *listen, peerListen: *peerListen,
 		faultSchedule: *faultSched, faultSeed: *faultSeed,
 		failsafeMissed: *missedHB, remotes: remotes,
+		shards: *shards, shardRing: *shardRing, shardFanout: *shardFanout,
 		storeDir: *storeDir, snapshotEvery: *snapEvery, syncMode: *syncMode,
 		httpListen: *httpListen, httpRate: *httpRate,
 		httpMaxConns: *httpConns, httpPressure: *httpPress,
@@ -119,6 +135,9 @@ type config struct {
 	faultSeed                 int64
 	failsafeMissed            int
 	remotes                   map[string]string
+	shards                    int
+	shardRing                 string
+	shardFanout               int
 	storeDir                  string
 	snapshotEvery             int
 	syncMode                  string
@@ -173,6 +192,21 @@ func run(cfg config) error {
 			log.Printf("oasisd: source %q %s -> %s", source, from, to)
 		},
 	}
+	if cfg.shards > 1 {
+		if cfg.storeDir != "" {
+			return fmt.Errorf("-shards is incompatible with -store-dir: the journaling engine persists one store image per process")
+		}
+		shardNames := make([]string, cfg.shards)
+		for i := range shardNames {
+			shardNames[i] = fmt.Sprintf("s%02d", i)
+		}
+		ss, err := credrec.NewShardedStore(shardNames, 0)
+		if err != nil {
+			return fmt.Errorf("building sharded store: %w", err)
+		}
+		opts.Store = ss
+		log.Printf("oasisd: credential-record store partitioned across %d shard(s)", cfg.shards)
+	}
 	if cfg.storeDir != "" {
 		policy, err := credrec.ParseSyncPolicy(cfg.syncMode)
 		if err != nil {
@@ -217,6 +251,20 @@ func run(cfg config) error {
 	}
 	if err := svc.AddRolefile(cfg.scope, src); err != nil {
 		return err
+	}
+	if cfg.shardRing != "" {
+		members := strings.Split(cfg.shardRing, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		if err := svc.JoinShardRing(members, cfg.shardFanout); err != nil {
+			return fmt.Errorf("joining shard ring: %w", err)
+		}
+		fanout := "default"
+		if cfg.shardFanout > 0 {
+			fanout = fmt.Sprint(cfg.shardFanout)
+		}
+		log.Printf("oasisd: joined shard ring %v (tree fanout %s)", svc.ShardRingMembers(), fanout)
 	}
 	if cfg.peerListen != "" {
 		peerLn, err := net.Listen("tcp", cfg.peerListen)

@@ -1,0 +1,78 @@
+package credrec
+
+import "testing"
+
+func TestRingCanonicalisesMembers(t *testing.T) {
+	a, err := NewRing([]string{"c", "a", "b", "a"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"b", "c", "a"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(a.Members()), 3; got != want {
+		t.Fatalf("members = %d, want %d", got, want)
+	}
+	for k := uint64(0); k < 10000; k++ {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %d: permuted rings disagree: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 40000
+	counts := make(map[string]int)
+	for k := uint64(0); k < keys; k++ {
+		counts[r.Owner(k)]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %q owns %.1f%% of the key space; want roughly 25%%", m, frac*100)
+		}
+	}
+}
+
+// TestRingJoinStability asserts the consistent-hashing property: adding
+// one member to a 4-member ring moves only a minority of the key space,
+// and every key that does not move to the newcomer keeps its old owner.
+func TestRingJoinStability(t *testing.T) {
+	old, err := NewRing([]string{"s0", "s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewRing([]string{"s0", "s1", "s2", "s3", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 40000
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		before, after := old.Owner(k), grown.Owner(k)
+		if before == after {
+			continue
+		}
+		if after != "s4" {
+			t.Fatalf("key %d moved %q -> %q: only the joining member may gain keys", k, before, after)
+		}
+		moved++
+	}
+	if frac := float64(moved) / keys; frac > 0.40 {
+		t.Fatalf("join moved %.1f%% of the key space; consistent hashing should move ~20%%", frac*100)
+	}
+}

@@ -1,0 +1,616 @@
+package credrec
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedStore partitions a credential-record graph across a set of
+// per-shard Stores, routing every operation by reference. It implements
+// the full Recorder surface, so the oasis service engine (and anything
+// else written against Recorder) runs on a sharded graph unchanged.
+//
+// # Reference layout
+//
+// The store cannot place a record "where its ref hashes to", because
+// Stores allocate references internally; instead the owning shard id is
+// sealed into the top shardIDBits of Ref.Index at allocation time.
+// Routing Resolve/SetState/Sweep by ref is then an O(1) bit unpack with
+// no ring lookup, and a reference stays resolvable forever even if the
+// ring that placed it has since changed shape (docs/SHARDING.md).
+//
+// # Placement
+//
+// Leaf records (NewFact, NewExternal) are placed by consistent hashing
+// of a minted allocation sequence number, spreading independent
+// subgraphs across shards. Derived records are placed on the shard of
+// their first parent: a revocation cascade then runs inside one shard's
+// writeMu in the common case, which is exactly what makes a
+// revocation storm scale with the shard count (bench_shard_test.go).
+//
+// # Cross-shard cascade edges
+//
+// When a derived record's parent lives on another shard, the parent
+// grows a local *bridge* — an external surrogate record on the child's
+// shard, sourced "shard:<owner>" — and the parent itself is flagged
+// Notify. The parent's change callback then fans the new state out to
+// every bridge (outside all store locks, so cascades chain across any
+// number of shards without lock-order hazards), and the child's shard
+// propagates it locally. Because bridges are external records keyed by
+// source, a suspect shard degrades exactly like a suspect peer service:
+// MarkShardUnknown / MarkShardFailsafe reuse the §4.10/§6.8.4 bulk
+// transitions, and ResyncShard re-reads the authoritative parent states
+// the same way a resync restores a healed source.
+//
+// # Concurrency
+//
+// Each underlying Store keeps its own writeMu, so mutations of records
+// on different shards proceed in parallel — the point of the exercise.
+// ShardedStore itself adds one RWMutex guarding the cross-shard edge
+// table; the change-callback hot path skips it entirely while no edges
+// exist (atomic count), and edge fan-out copies the bridge list under a
+// read lock and applies it after unlocking, so nested cascades re-enter
+// freely.
+type ShardedStore struct {
+	ring   *Ring
+	names  []string
+	stores []*Store
+
+	allocSeq atomic.Uint64 // ring key mint for leaf placement
+
+	change atomic.Pointer[ChangeFunc] // user observer (OnChange)
+
+	// Cross-shard edge table: global parent ref -> bridge surrogates.
+	nEdges  atomic.Int64
+	mu      sync.RWMutex
+	edges   map[uint64][]bridgeLink
+	bridges map[bridgeKey]Ref // (parent, child shard) -> shared bridge (local ref)
+}
+
+// bridgeLink is one bridge surrogate mirroring a remote parent.
+type bridgeLink struct {
+	shard int
+	local Ref
+}
+
+// bridgeKey dedupes bridges: all derived records on one shard that
+// share a remote parent share one surrogate for it.
+type bridgeKey struct {
+	parent uint64 // global ref of the remote parent
+	shard  int    // shard holding the bridge
+}
+
+// Shard-id packing in Ref.Index: the top shardIDBits carry the owning
+// shard, the remaining bits are the shard-local index.
+const (
+	shardIDBits   = 6
+	shardIDShift  = 32 - shardIDBits
+	localIndexMax = 1<<shardIDShift - 1
+
+	// MaxStoreShards is the most shards a ShardedStore supports (the
+	// shard-id field width in packed references).
+	MaxStoreShards = 1 << shardIDBits
+)
+
+// NewShardedStore builds a sharded store over the named shards (order
+// is canonicalised by the ring, so any permutation of the same names
+// yields identical placement). replicas is the ring's virtual-node
+// count per shard; <= 0 selects DefaultRingReplicas.
+func NewShardedStore(names []string, replicas int) (*ShardedStore, error) {
+	ring, err := NewRing(names, replicas)
+	if err != nil {
+		return nil, err
+	}
+	if len(ring.Members()) > MaxStoreShards {
+		return nil, fmt.Errorf("credrec: %d shards exceeds the %d-shard reference format", len(ring.Members()), MaxStoreShards)
+	}
+	ss := &ShardedStore{
+		ring:    ring,
+		names:   ring.Members(),
+		edges:   make(map[uint64][]bridgeLink),
+		bridges: make(map[bridgeKey]Ref),
+	}
+	ss.stores = make([]*Store, len(ss.names))
+	for i := range ss.stores {
+		st := NewStore()
+		i := i
+		st.OnChange(func(local Ref, s State, perm bool) {
+			g := ss.globalize(i, local)
+			if ss.nEdges.Load() > 0 {
+				ss.fanout(g.Uint64(), s, perm)
+			}
+			if f := ss.change.Load(); f != nil && *f != nil {
+				(*f)(g, s, perm)
+			}
+		})
+		ss.stores[i] = st
+	}
+	return ss, nil
+}
+
+// NumShards reports the shard count.
+func (ss *ShardedStore) NumShards() int { return len(ss.stores) }
+
+// ShardNames returns the canonical (sorted) shard names; index i names
+// the shard whose id is packed into references as i.
+func (ss *ShardedStore) ShardNames() []string { return ss.names }
+
+// ShardStore exposes one shard's underlying store (tests, benchmarks,
+// and per-shard image comparison).
+func (ss *ShardedStore) ShardStore(i int) *Store { return ss.stores[i] }
+
+// ShardOf unpacks the owning shard id from a reference.
+func (ss *ShardedStore) ShardOf(ref Ref) int { return int(ref.Index >> shardIDShift) }
+
+// BridgeSource is the external-record source name under which a shard's
+// bridges appear on other shards; MarkSourceUnknown(BridgeSource(name))
+// is what MarkShardUnknown does.
+func BridgeSource(shard string) string { return "shard:" + shard }
+
+func (ss *ShardedStore) globalize(shard int, local Ref) Ref {
+	if local.Index > localIndexMax {
+		panic(fmt.Sprintf("credrec: shard %d local index %d overflows the packed reference format", shard, local.Index))
+	}
+	return Ref{Index: local.Index | uint32(shard)<<shardIDShift, Magic: local.Magic}
+}
+
+// resolveShard routes a global ref to (store, local ref); a shard id
+// beyond the ring is a dangling reference (it can only come from a
+// larger ring or a corrupted ref, and dangling is the fail-safe answer).
+func (ss *ShardedStore) resolveShard(ref Ref) (*Store, Ref, error) {
+	id := int(ref.Index >> shardIDShift)
+	if id >= len(ss.stores) {
+		return nil, Ref{}, ErrDangling
+	}
+	return ss.stores[id], Ref{Index: ref.Index & localIndexMax, Magic: ref.Magic}, nil
+}
+
+// pick places the next leaf allocation via the ring.
+func (ss *ShardedStore) pick() int {
+	return ss.ring.OwnerIndex(ss.allocSeq.Add(1))
+}
+
+// danglingLocal is a reference no store slot can ever match (the local
+// index region is far beyond any allocation a test or deployment
+// reaches before the packed format overflows first); passing it as a
+// parent reproduces Store.NewDerived's broken-parent semantics —
+// the child is born permanently false.
+var danglingLocal = Ref{Index: localIndexMax, Magic: 0}
+
+// --- Recorder: allocation ---
+
+// NewFact creates a leaf fact on a ring-chosen shard.
+func (ss *ShardedStore) NewFact(s State) Ref {
+	i := ss.pick()
+	return ss.globalize(i, ss.stores[i].NewFact(s))
+}
+
+// NewExternal creates a surrogate for a fact held by another service,
+// on a ring-chosen shard.
+func (ss *ShardedStore) NewExternal(source string, s State) Ref {
+	i := ss.pick()
+	return ss.globalize(i, ss.stores[i].NewExternal(source, s))
+}
+
+// NewDerived creates a derived record on the shard of its first parent
+// (cascade locality); parents on other shards are wired through bridge
+// surrogates. A dangling parent — including one whose shard id is not
+// on the ring — makes the child permanently false, exactly as in the
+// single store.
+func (ss *ShardedStore) NewDerived(op Op, parents ...Parent) Ref {
+	owner := -1
+	if len(parents) > 0 {
+		if id := int(parents[0].Ref.Index >> shardIDShift); id < len(ss.stores) {
+			owner = id
+		}
+	}
+	if owner < 0 {
+		owner = ss.pick()
+	}
+	ownerStore := ss.stores[owner]
+	localParents := make([]Parent, 0, len(parents))
+	for _, p := range parents {
+		pStore, pLocal, err := ss.resolveShard(p.Ref)
+		if err != nil {
+			localParents = append(localParents, Parent{Ref: danglingLocal, Negated: p.Negated})
+			continue
+		}
+		if pStore == ownerStore {
+			localParents = append(localParents, Parent{Ref: pLocal, Negated: p.Negated})
+			continue
+		}
+		br, ok := ss.bridgeFor(owner, p.Ref, pStore, pLocal)
+		if !ok {
+			localParents = append(localParents, Parent{Ref: danglingLocal, Negated: p.Negated})
+			continue
+		}
+		localParents = append(localParents, Parent{Ref: br, Negated: p.Negated})
+	}
+	return ss.globalize(owner, ownerStore.NewDerived(op, localParents...))
+}
+
+// bridgeFor returns (creating if needed) the bridge surrogate on shard
+// `owner` mirroring the remote parent. Returns ok=false when the parent
+// is dangling. The parent is flagged Notify so its change callback
+// drives the bridge; after registering the edge the parent state is
+// re-read and re-applied, closing the race where the parent changed
+// between the initial read and the edge becoming visible to fan-out
+// (re-applying a state the fan-out also delivered is idempotent).
+func (ss *ShardedStore) bridgeFor(owner int, parentGlobal Ref, pStore *Store, pLocal Ref) (Ref, bool) {
+	st, perm, err := pStore.Resolve(pLocal)
+	if err != nil {
+		return Ref{}, false
+	}
+	pid := int(parentGlobal.Index >> shardIDShift)
+	key := bridgeKey{parent: parentGlobal.Uint64(), shard: owner}
+
+	ss.mu.Lock()
+	if br, ok := ss.bridges[key]; ok {
+		if _, lerr := ss.stores[owner].Lookup(br); lerr == nil {
+			ss.mu.Unlock()
+			return br, true
+		}
+		delete(ss.bridges, key) // bridge was swept; rebuild
+	}
+	ss.mu.Unlock()
+
+	if merr := pStore.MarkNotify(pLocal); merr != nil {
+		return Ref{}, false // swept between Resolve and MarkNotify
+	}
+	br := ss.stores[owner].NewExternal(BridgeSource(ss.names[pid]), st)
+	applyBridge(ss.stores[owner], br, st, perm)
+
+	ss.mu.Lock()
+	if existing, ok := ss.bridges[key]; ok {
+		// Lost a creation race; keep the winner, ours stays an orphan
+		// external with no children and is swept eventually.
+		ss.mu.Unlock()
+		return existing, true
+	}
+	ss.bridges[key] = br
+	ss.edges[key.parent] = append(ss.edges[key.parent], bridgeLink{shard: owner, local: br})
+	ss.nEdges.Add(1)
+	ss.mu.Unlock()
+
+	// Close the registration race: a parent transition that drained
+	// before the edge existed is re-read here; one that drains after
+	// will see the edge.
+	if st2, perm2, err2 := pStore.Resolve(pLocal); err2 == nil && (st2 != st || perm2 != perm) {
+		applyBridge(ss.stores[owner], br, st2, perm2)
+	} else if err2 != nil {
+		applyBridge(ss.stores[owner], br, False, true)
+	}
+	return br, true
+}
+
+// applyBridge mirrors a parent (state, permanence) onto a bridge
+// surrogate. Errors are ignored by design: they only arise when the
+// bridge is already permanent (a sticky permanent False must not be
+// overwritten — same rule as the wire protocol's applyModified) or
+// already swept.
+func applyBridge(st *Store, local Ref, s State, perm bool) {
+	if perm && s == False {
+		_ = st.Invalidate(local)
+		return
+	}
+	_ = st.SetState(local, s)
+	if perm {
+		_ = st.MakePermanent(local)
+	}
+}
+
+// fanout applies a parent's new state to every bridge mirroring it. The
+// bridge list is copied under the read lock and applied after release:
+// applying re-enters stores (and, through their change callbacks, this
+// method again for chained cross-shard cascades), which must happen
+// with no ShardedStore lock held. A permanent transition retires the
+// edge — the value can never change again, so the bridges are final.
+func (ss *ShardedStore) fanout(parent uint64, s State, perm bool) {
+	ss.mu.RLock()
+	links := ss.edges[parent]
+	copied := make([]bridgeLink, len(links))
+	copy(copied, links)
+	ss.mu.RUnlock()
+	if len(copied) == 0 {
+		return
+	}
+	if perm {
+		ss.mu.Lock()
+		if links := ss.edges[parent]; len(links) > 0 {
+			delete(ss.edges, parent)
+			ss.nEdges.Add(int64(-len(links)))
+			for _, l := range links {
+				delete(ss.bridges, bridgeKey{parent: parent, shard: l.shard})
+			}
+		}
+		ss.mu.Unlock()
+	}
+	for _, l := range copied {
+		applyBridge(ss.stores[l.shard], l.local, s, perm)
+	}
+}
+
+// --- Recorder: transitions, flags ---
+
+// SetState routes to the owning shard.
+func (ss *ShardedStore) SetState(ref Ref, s State) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.SetState(local, s)
+}
+
+// Invalidate routes to the owning shard.
+func (ss *ShardedStore) Invalidate(ref Ref) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.Invalidate(local)
+}
+
+// MakePermanent routes to the owning shard.
+func (ss *ShardedStore) MakePermanent(ref Ref) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.MakePermanent(local)
+}
+
+// MarkDirectUse routes to the owning shard.
+func (ss *ShardedStore) MarkDirectUse(ref Ref) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.MarkDirectUse(local)
+}
+
+// MarkNotify routes to the owning shard.
+func (ss *ShardedStore) MarkNotify(ref Ref) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.MarkNotify(local)
+}
+
+// MarkAutoRevoke routes to the owning shard.
+func (ss *ShardedStore) MarkAutoRevoke(ref Ref) error {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return err
+	}
+	return st.MarkAutoRevoke(local)
+}
+
+// --- Recorder: bulk source transitions ---
+
+// MarkSourceUnknown degrades every external record from the source on
+// every shard (§4.10).
+func (ss *ShardedStore) MarkSourceUnknown(source string) int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.MarkSourceUnknown(source)
+	}
+	return n
+}
+
+// MarkSourceFailsafe fails every external record from the source safe
+// to False, on every shard (§6.8.4).
+func (ss *ShardedStore) MarkSourceFailsafe(source string) int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.MarkSourceFailsafe(source)
+	}
+	return n
+}
+
+// --- Shard suspicion: the cross-shard analogue of source suspicion ---
+
+// MarkShardUnknown degrades every bridge mirroring a record owned by
+// the named shard to Unknown: the shard is suspect, so nothing derived
+// from its records may validate until it is heard from again. Cheap to
+// undo — ResyncShard restores the truth.
+func (ss *ShardedStore) MarkShardUnknown(name string) int {
+	return ss.MarkSourceUnknown(BridgeSource(name))
+}
+
+// MarkShardFailsafe fails every bridge mirroring the named shard's
+// records safe to False — the fail-safe demotion after a shard stays
+// suspect too long. Non-permanent, exactly like MarkSourceFailsafe: the
+// facts may still hold, this holder simply cannot confirm them.
+func (ss *ShardedStore) MarkShardFailsafe(name string) int {
+	return ss.MarkSourceFailsafe(BridgeSource(name))
+}
+
+// ResyncShard re-reads the authoritative state of every record the
+// named shard owns that has bridges elsewhere, and re-applies it — the
+// recovery half of shard suspicion, mirroring the §4.10 resync
+// protocol. Idempotent: re-applying current state is a no-op. Returns
+// the number of bridges refreshed.
+func (ss *ShardedStore) ResyncShard(name string) int {
+	id := -1
+	for i, n := range ss.names {
+		if n == name {
+			id = i
+		}
+	}
+	if id < 0 {
+		return 0
+	}
+	type job struct {
+		parent uint64
+		links  []bridgeLink
+	}
+	ss.mu.RLock()
+	var jobs []job
+	for parent, links := range ss.edges {
+		if int(parent>>32)>>shardIDShift == id {
+			jobs = append(jobs, job{parent: parent, links: append([]bridgeLink(nil), links...)})
+		}
+	}
+	ss.mu.RUnlock()
+	n := 0
+	for _, j := range jobs {
+		_, local, err := ss.resolveShard(RefFromUint64(j.parent))
+		if err != nil {
+			continue
+		}
+		st, perm, rerr := ss.stores[id].Resolve(local)
+		if rerr != nil {
+			st, perm = False, true
+		}
+		for _, l := range j.links {
+			applyBridge(ss.stores[l.shard], l.local, st, perm)
+			n++
+		}
+	}
+	return n
+}
+
+// --- Recorder: GC ---
+
+// Sweep garbage-collects every shard and prunes cross-shard edges whose
+// parent or bridge was deleted.
+func (ss *ShardedStore) Sweep() int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.Sweep()
+	}
+	ss.mu.Lock()
+	for parent, links := range ss.edges {
+		_, pLocal, perr := ss.resolveShard(RefFromUint64(parent))
+		pGone := perr != nil
+		if !pGone {
+			pid := int(parent >> 32 >> shardIDShift)
+			if _, err := ss.stores[pid].Lookup(pLocal); err != nil {
+				pGone = true
+			}
+		}
+		kept := links[:0]
+		for _, l := range links {
+			if _, err := ss.stores[l.shard].Lookup(l.local); err != nil || pGone {
+				ss.nEdges.Add(-1)
+				delete(ss.bridges, bridgeKey{parent: parent, shard: l.shard})
+				continue
+			}
+			kept = append(kept, l)
+		}
+		if len(kept) == 0 {
+			delete(ss.edges, parent)
+		} else {
+			ss.edges[parent] = kept
+		}
+	}
+	ss.mu.Unlock()
+	return n
+}
+
+// --- Recorder: read paths ---
+
+// Lookup routes to the owning shard; an off-ring shard id is dangling.
+func (ss *ShardedStore) Lookup(ref Ref) (State, error) {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return False, err
+	}
+	return st.Lookup(local)
+}
+
+// Valid routes to the owning shard.
+func (ss *ShardedStore) Valid(ref Ref) bool {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return false
+	}
+	return st.Valid(local)
+}
+
+// Resolve routes to the owning shard; an off-ring shard id reads as
+// permanently false, like any dangling reference.
+func (ss *ShardedStore) Resolve(ref Ref) (State, bool, error) {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return False, true, err
+	}
+	return st.Resolve(local)
+}
+
+// AutoRevoke routes to the owning shard.
+func (ss *ShardedStore) AutoRevoke(ref Ref) bool {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return false
+	}
+	return st.AutoRevoke(local)
+}
+
+// External routes to the owning shard.
+func (ss *ShardedStore) External(ref Ref) string {
+	st, local, err := ss.resolveShard(ref)
+	if err != nil {
+		return ""
+	}
+	return st.External(local)
+}
+
+// ExternalRefs gathers a source's external records across every shard,
+// globalised, in shard order.
+func (ss *ShardedStore) ExternalRefs(source string) []Ref {
+	var out []Ref
+	for i, st := range ss.stores {
+		for _, local := range st.ExternalRefs(source) {
+			out = append(out, ss.globalize(i, local))
+		}
+	}
+	return out
+}
+
+// --- Recorder: observation ---
+
+// OnChange installs the change observer; it fires for Notify-flagged
+// records on any shard, with globalised references.
+func (ss *ShardedStore) OnChange(f ChangeFunc) {
+	ss.change.Store(&f)
+}
+
+// Image renders every shard's image in shard-id order under a shard
+// header: a deterministic fingerprint of the whole partitioned graph.
+// Two sharded stores that evolved through the same logical history
+// produce byte-identical images (the chaos suite compares them).
+func (ss *ShardedStore) Image() []byte {
+	var b bytes.Buffer
+	for i, st := range ss.stores {
+		fmt.Fprintf(&b, "-- shard %d %q\n", i, ss.names[i])
+		b.Write(st.Image())
+	}
+	return b.Bytes()
+}
+
+// Live sums live records over every shard (bridges included — they are
+// real records).
+func (ss *ShardedStore) Live() int {
+	n := 0
+	for _, st := range ss.stores {
+		n += st.Live()
+	}
+	return n
+}
+
+// Stats sums cumulative creations and deletions over every shard.
+func (ss *ShardedStore) Stats() (created, deleted uint64) {
+	for _, st := range ss.stores {
+		c, d := st.Stats()
+		created += c
+		deleted += d
+	}
+	return created, deleted
+}
+
+// Interface conformance: a sharded graph is a drop-in Recorder.
+var _ Recorder = (*ShardedStore)(nil)

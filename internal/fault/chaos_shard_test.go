@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"oasis/internal/bus"
+	"oasis/internal/clock"
+	"oasis/internal/credrec"
+	"oasis/internal/oasis"
+)
+
+// Sharded-cluster chaos: four shard daemons joined in one ring, with
+// cross-shard surrogates kept coherent by tree dissemination
+// (oasis.JoinShardRing). The scenario partitions an interior tree edge
+// mid-revocation-storm and asserts the same two obligations as the
+// two-service suite: the starved subtree fails safe within the budget,
+// and after the heal every shard's store converges to the image of a
+// run where the partition never happened.
+
+// shardWorld is a 4-member shard cluster under a fault plane. With
+// sorted members [A B C D] and fanout 2, the tree rooted at shardA is
+// A -> {B, C}, B -> {D}: severing B--D starves exactly shardD.
+type shardWorld struct {
+	t     *testing.T
+	clk   *clock.Virtual
+	net   *bus.Network
+	plane *Plane
+	names []string
+	svcs  map[string]*oasis.Service
+}
+
+func newShardWorld(t *testing.T, seed int64) *shardWorld {
+	t.Helper()
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	net := bus.NewNetwork(clk)
+	plane := New(clk, seed)
+	plane.Install(net)
+	names := []string{"shardA", "shardB", "shardC", "shardD"}
+	w := &shardWorld{t: t, clk: clk, net: net, plane: plane, names: names,
+		svcs: make(map[string]*oasis.Service)}
+	for _, n := range names {
+		svc, err := oasis.New(n, clk, net, chaosOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := svc.JoinShardRing(names, 2); err != nil {
+			t.Fatal(err)
+		}
+		w.svcs[n] = svc
+	}
+	return w
+}
+
+// drive advances the cluster one virtual second at a time; on heartbeat
+// boundaries every member heartbeats its own dissemination tree (in
+// member order — the driver is single-threaded, so runs reproduce).
+func (w *shardWorld) drive(seconds int, hooks map[int]func(), each func(i int)) {
+	hbTicks := int(hbPeriod / time.Second)
+	for i := 1; i <= seconds; i++ {
+		w.clk.Advance(time.Second)
+		w.plane.Tick()
+		w.net.Flush()
+		if i%hbTicks == 0 {
+			for _, n := range w.names {
+				w.svcs[n].HeartbeatTick()
+			}
+			w.net.Flush()
+			for _, n := range w.names {
+				w.svcs[n].SuspicionTick()
+			}
+		}
+		if h := hooks[i]; h != nil {
+			h()
+		}
+		if each != nil {
+			each(i)
+		}
+	}
+}
+
+// images snapshots every member's store fingerprint in member order.
+func (w *shardWorld) images() []byte {
+	var buf bytes.Buffer
+	for _, n := range w.names {
+		fmt.Fprintf(&buf, "== %s ==\n", n)
+		buf.Write(w.svcs[n].Store().Image())
+	}
+	return buf.Bytes()
+}
+
+// shardPartitionRun is the acceptance scenario: shardA owns two
+// records, every other member imports both; the B--D tree edge severs
+// at t=30s and restores at t=60s; one record is revoked at t=40s, mid-
+// partition, so shardD can only learn of it by post-heal resync. It
+// returns the plane transcript, the per-second state log, and the
+// cluster-wide store image.
+func shardPartitionRun(t *testing.T, seed int64, partitioned bool) (string, []string, []byte) {
+	t.Helper()
+	w := newShardWorld(t, seed)
+	owner := w.svcs["shardA"]
+	kept := owner.Store().NewFact(credrec.True)
+	doomed := owner.Store().NewFact(credrec.True)
+
+	type surrogate struct{ kept, doomed credrec.Ref }
+	held := make(map[string]surrogate)
+	for _, n := range w.names[1:] {
+		svc := w.svcs[n]
+		k, err := svc.ImportShardRecord("shardA", kept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := svc.ImportShardRecord("shardA", doomed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held[n] = surrogate{kept: k, doomed: d}
+	}
+
+	if partitioned {
+		w.plane.SetSchedule([]Step{
+			{At: 30 * time.Second, Kind: "sever", A: "shardB", B: "shardD"},
+			{At: 60 * time.Second, Kind: "restore", A: "shardB", B: "shardD"},
+		})
+	}
+
+	hooks := map[int]func(){
+		40: func() {
+			if err := owner.Store().Invalidate(doomed); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	hbTicks := int(hbPeriod / time.Second)
+	var log []string
+	w.drive(120, hooks, func(i int) {
+		line := fmt.Sprintf("t=%d", i)
+		for _, n := range w.names[1:] {
+			svc, s := w.svcs[n], held[n]
+			keptSt, _, _ := svc.Store().Resolve(s.kept)
+			doomedSt, doomedPerm, _ := svc.Store().Resolve(s.doomed)
+			line += fmt.Sprintf(" %s:kept=%v,doomed=%v/%t", n, keptSt, doomedSt, doomedPerm)
+
+			// Safety off the starved subtree: members still connected to
+			// the tree see the revocation the second it happens.
+			if i >= 40 && (n == "shardB" || n == "shardC") && doomedSt != credrec.False {
+				t.Fatalf("t=%d: %s missed the revocation despite a live tree path", i, n)
+			}
+		}
+		log = append(log, line)
+		if !partitioned {
+			return
+		}
+		// Safety on the starved subtree: shardD hears nothing from the
+		// origin past t=30, so within the fail-safe budget every
+		// surrogate held from shardA is refused — including the revoked
+		// one it cannot know about (§6.8.4 bounds the exposure).
+		d := w.svcs["shardD"]
+		if i >= 30+missedHB*hbTicks && i < 60 {
+			if st, _, _ := d.Store().Resolve(held["shardD"].kept); st == credrec.True {
+				t.Fatalf("t=%d: starved shard still trusts an unreachable origin", i)
+			}
+		}
+		if i >= 40+missedHB*hbTicks {
+			if st, _, _ := d.Store().Resolve(held["shardD"].doomed); st == credrec.True {
+				t.Fatalf("t=%d: revoked record validated on the starved shard", i)
+			}
+		}
+		// Liveness: within 3 heartbeats of the heal the resync has run —
+		// the surviving record is trusted again and the revocation that
+		// happened mid-partition has landed, permanently.
+		if i >= 60+3*hbTicks {
+			if st, _, _ := d.Store().Resolve(held["shardD"].kept); st != credrec.True {
+				t.Fatalf("t=%d: surviving record not restored on healed shard", i)
+			}
+			st, perm, _ := d.Store().Resolve(held["shardD"].doomed)
+			if st != credrec.False || !perm {
+				t.Fatalf("t=%d: mid-partition revocation not recovered by resync (%v, perm=%t)", i, st, perm)
+			}
+		}
+	})
+	return w.plane.Transcript(), log, w.images()
+}
+
+func TestChaosShardPartitionResync(t *testing.T) {
+	const seed = 23
+	tr1, log1, img1 := shardPartitionRun(t, seed, true)
+
+	// Determinism: same seed, same run — transcript, state log, and
+	// every shard's final store, bit for bit.
+	tr2, log2, img2 := shardPartitionRun(t, seed, true)
+	if tr1 != tr2 {
+		t.Fatalf("same seed, different transcripts:\n--- run1 ---\n%s\n--- run2 ---\n%s", tr1, tr2)
+	}
+	if len(log1) != len(log2) {
+		t.Fatalf("log lengths differ: %d vs %d", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("state logs diverge at %d:\n%s\n%s", i, log1[i], log2[i])
+		}
+	}
+	if !bytes.Equal(img1, img2) {
+		t.Fatal("same seed, different final stores")
+	}
+
+	// Convergence: the healed cluster is indistinguishable from one that
+	// never partitioned — the starvation, fail-safe demotion and resync
+	// left no trace beyond the revocation they recovered.
+	_, _, ref := shardPartitionRun(t, seed, false)
+	if !bytes.Equal(img1, ref) {
+		t.Fatalf("post-heal cluster diverges from fault-free run:\n-- chaos --\n%s\n-- reference --\n%s", img1, ref)
+	}
+}

@@ -113,6 +113,18 @@ func (s *Service) Call(from, op string, arg any) (any, error) {
 			return nil, fmt.Errorf("oasis: bad revoke argument %T", arg)
 		}
 		return nil, s.Revoke(r)
+	case "shardwatch":
+		a, ok := arg.(ShardWatchArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad shardwatch argument %T", arg)
+		}
+		return s.handleShardWatch(from, a)
+	case "treeforward":
+		a, ok := arg.(TreeForwardArg)
+		if !ok {
+			return nil, fmt.Errorf("oasis: bad treeforward argument %T", arg)
+		}
+		return nil, s.handleTreeForward(from, a)
 	default:
 		return nil, fmt.Errorf("oasis: unknown operation %q", op)
 	}
@@ -274,6 +286,9 @@ func (s *Service) onRecordChange(ref credrec.Ref, st credrec.State, permanent bo
 	}
 	s.broker.Signal(event.New(ModifiedEvent,
 		value.Str(refString(ref)), value.Int(int64(st)), value.Int(perm)))
+	// Shard-watched records additionally fan out down this shard's
+	// dissemination tree (shard.go); a no-op outside a shard ring.
+	s.shardNotify(ref, st, permanent)
 }
 
 // extKey identifies a remote credential record.
@@ -366,6 +381,7 @@ func (s *Service) HeartbeatTick() {
 		s.broker.Heartbeat()
 		return nil
 	})
+	s.ShardHeartbeatTick()
 }
 
 // StartHeartbeats runs the heartbeat protocol on the service's clock at

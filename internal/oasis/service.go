@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"oasis/internal/bus"
@@ -134,6 +135,11 @@ type Service struct {
 	// delegation bookkeeping (server-side state per §4.4/§4.11)
 	delegMu     sync.Mutex
 	delegations map[credrec.Ref]*delegInfo
+
+	// cluster is the shard ring this service joined, nil outside one
+	// (shard.go). Atomic so the record-change callback reads it
+	// lock-free on the cascade hot path.
+	cluster atomic.Pointer[shardCluster]
 
 	// rdlMode is fixed at construction (RDLAuto resolved against the
 	// environment), so the entry path reads it without synchronisation.

@@ -76,6 +76,13 @@ func (s *Service) setSourceState(source string, to SourceState) {
 			return nil
 		})
 		s.receiver.MarkSilent(source)
+		// A failed shard peer's last piggybacked backlog claim is stale;
+		// drop it so cluster-wide backpressure reflects the living.
+		if c := s.cluster.Load(); c != nil {
+			c.mu.Lock()
+			delete(c.pressure, source)
+			c.mu.Unlock()
+		}
 	}
 	if cb := s.opts.OnSourceState; cb != nil {
 		cb(source, from, to)

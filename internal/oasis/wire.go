@@ -33,5 +33,7 @@ func RegisterWireTypes() {
 		gob.Register(credrec.State(0))
 		gob.Register([]value.Type{})
 		gob.Register(value.Value{})
+		gob.Register(ShardWatchArg{})
+		gob.Register(TreeForwardArg{})
 	})
 }

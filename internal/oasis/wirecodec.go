@@ -35,6 +35,8 @@ const (
 	wireTagState         = 10
 	wireTagTypes         = 11
 	wireTagValue         = 12
+	wireTagShardWatchArg = 13
+	wireTagTreeForward   = 14
 )
 
 // registerBinaryPayloads registers every protocol payload with the
@@ -392,6 +394,99 @@ func registerBinaryPayloads() {
 			return nil
 		},
 		func(d *bus.WireDec) (any, error) { return d.Value() })
+
+	bus.RegisterWirePayload(wireTagShardWatchArg, ShardWatchArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(ShardWatchArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not ShardWatchArg", v)
+			}
+			e.PutUvarint(uint64(len(a.Refs)))
+			for _, r := range a.Refs {
+				e.PutUvarint(r.Uint64())
+			}
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<16 {
+				return nil, fmt.Errorf("oasis: shardwatch ref count %d exceeds limit", n)
+			}
+			a := ShardWatchArg{}
+			if n > 0 {
+				a.Refs = make([]credrec.Ref, n)
+				for i := range a.Refs {
+					u, err := d.Uvarint()
+					if err != nil {
+						return nil, err
+					}
+					a.Refs[i] = credrec.RefFromUint64(u)
+				}
+			}
+			return a, nil
+		})
+
+	bus.RegisterWirePayload(wireTagTreeForward, TreeForwardArg{},
+		func(e *bus.WireEnc, v any) error {
+			a, ok := v.(TreeForwardArg)
+			if !ok {
+				return fmt.Errorf("oasis: wire payload %T is not TreeForwardArg", v)
+			}
+			e.PutString(a.Origin)
+			e.PutString(a.Root)
+			e.PutUvarint(uint64(len(a.Edges)))
+			for _, edge := range a.Edges {
+				e.PutUvarint(edge.Ref.Uint64())
+				e.PutVarint(int64(edge.State))
+				e.PutBool(edge.Permanent)
+			}
+			e.PutVarint(int64(a.Pressure))
+			return nil
+		},
+		func(d *bus.WireDec) (any, error) {
+			var a TreeForwardArg
+			var err error
+			if a.Origin, err = d.String(); err != nil {
+				return nil, err
+			}
+			if a.Root, err = d.String(); err != nil {
+				return nil, err
+			}
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<16 {
+				return nil, fmt.Errorf("oasis: treeforward edge count %d exceeds limit", n)
+			}
+			if n > 0 {
+				a.Edges = make([]ShardEdge, n)
+				for i := range a.Edges {
+					u, err := d.Uvarint()
+					if err != nil {
+						return nil, err
+					}
+					st, err := d.Varint()
+					if err != nil {
+						return nil, err
+					}
+					perm, err := d.Bool()
+					if err != nil {
+						return nil, err
+					}
+					a.Edges[i] = ShardEdge{Ref: credrec.RefFromUint64(u), State: credrec.State(st), Permanent: perm}
+				}
+			}
+			p, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			a.Pressure = int(p)
+			return a, nil
+		})
 }
 
 func encodeClientID(e *bus.WireEnc, c ids.ClientID) {
